@@ -1,0 +1,47 @@
+//! T-3.1.1 — digital-cash cycle cost (withdraw → spend → deposit) and the
+//! protocol's cryptographic hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcp_core::UserId;
+use decoupling::blindcash::bank::{Bank, Withdrawal};
+use rand::SeedableRng;
+
+fn bench_cash_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blindcash");
+    g.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+    let mut bank = Bank::new(&mut rng, 1024);
+    bank.open_account(UserId(1), i64::MAX);
+
+    g.bench_function("withdraw-cycle/1024", |b| {
+        b.iter(|| {
+            let w = Withdrawal::begin(&mut rng, bank.public_key()).unwrap();
+            let bs = bank.withdraw(UserId(1), w.blinded_msg()).unwrap();
+            w.finish(bank.public_key(), &bs).unwrap()
+        })
+    });
+
+    let w = Withdrawal::begin(&mut rng, bank.public_key()).unwrap();
+    let bs = bank.withdraw(UserId(1), w.blinded_msg()).unwrap();
+    let coin = w.finish(bank.public_key(), &bs).unwrap();
+    g.bench_function("verify-coin/1024", |b| {
+        b.iter(|| coin.verify(bank.public_key()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_full_scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blindcash-sim");
+    g.sample_size(10);
+    g.bench_function("simulated-cycle/1buyer", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            decoupling::blindcash::scenario::run(1, 1, 512, seed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cash_ops, bench_full_scenario);
+criterion_main!(benches);

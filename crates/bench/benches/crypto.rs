@@ -1,0 +1,123 @@
+//! Micro-benchmarks of the cryptographic substrate every system rides on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dcp_crypto::{aead, hpke, oprf, rsa, sha256, x25519};
+use rand::SeedableRng;
+
+fn bench_hash_aead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash-aead");
+    let data = vec![0xabu8; 1024];
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("sha256/1KiB", |b| b.iter(|| sha256::sha256(&data)));
+    let key = [7u8; 32];
+    let nonce = [9u8; 12];
+    g.bench_function("chacha20poly1305-seal/1KiB", |b| {
+        b.iter(|| aead::seal(&key, &nonce, b"", &data))
+    });
+    let ct = aead::seal(&key, &nonce, b"", &data);
+    g.bench_function("chacha20poly1305-open/1KiB", |b| {
+        b.iter(|| aead::open(&key, &nonce, b"", &ct).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_public_key(c: &mut Criterion) {
+    let mut g = c.benchmark_group("public-key");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let (sk, _pk) = x25519::keypair(&mut rng);
+    let (_, peer) = x25519::keypair(&mut rng);
+    g.bench_function("x25519-dh", |b| {
+        b.iter(|| x25519::shared_secret(&sk, &peer).unwrap())
+    });
+
+    let kp = hpke::Keypair::generate(&mut rng);
+    g.bench_function("hpke-seal/256B", |b| {
+        b.iter(|| hpke::seal(&mut rng, &kp.public, b"", b"", &[0u8; 256]).unwrap())
+    });
+    let msg = hpke::seal(&mut rng, &kp.public, b"", b"", &[0u8; 256]).unwrap();
+    g.bench_function("hpke-open/256B", |b| {
+        b.iter(|| hpke::open(&kp, b"", b"", &msg).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_blind_rsa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blind-rsa");
+    g.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    for bits in [512usize, 1024] {
+        let sk = rsa::RsaPrivateKey::generate(&mut rng, bits).unwrap();
+        let pk = sk.public_key().clone();
+        g.bench_function(format!("blind+finalize/{bits}"), |b| {
+            b.iter(|| {
+                let blinding = pk.blind(&mut rng, b"serial").unwrap();
+                let sig = sk.blind_sign(&blinding.blinded_msg).unwrap();
+                pk.finalize(b"serial", &sig, &blinding.unblinder).unwrap()
+            })
+        });
+        g.bench_function(format!("verify/{bits}"), |b| {
+            let sig = sk.sign(b"serial").unwrap();
+            b.iter(|| pk.verify(b"serial", &sig).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_voprf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("voprf");
+    g.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let server = oprf::ServerKey::generate(&mut rng);
+    let pk = server.public_key();
+    g.bench_function("blind", |b| b.iter(|| oprf::blind(&mut rng, b"input")));
+    let blinding = oprf::blind(&mut rng, b"input");
+    g.bench_function("evaluate+prove", |b| {
+        b.iter(|| {
+            server
+                .evaluate(&mut rng, &blinding.blinded_element())
+                .unwrap()
+        })
+    });
+    let (eval, proof) = server
+        .evaluate(&mut rng, &blinding.blinded_element())
+        .unwrap();
+    g.bench_function("verify+finalize", |b| {
+        b.iter(|| blinding.finalize(&pk, &eval, &proof).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_modpow_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: division-based square-and-multiply vs.
+    // Montgomery REDC, at RSA-operand sizes.
+    use dcp_crypto::bigint::BigUint;
+    use dcp_crypto::montgomery::MontgomeryCtx;
+    let mut g = c.benchmark_group("modpow-ablation");
+    g.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    for bits in [512usize, 1024] {
+        let p = BigUint::gen_prime(&mut rng, bits / 2);
+        let q = BigUint::gen_prime(&mut rng, bits / 2);
+        let n = p.mul(&q);
+        let base = BigUint::random_below(&mut rng, &n);
+        let exp = BigUint::random_below(&mut rng, &n);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        g.bench_function(format!("division-based/{bits}"), |b| {
+            b.iter(|| base.modpow(&exp, &n))
+        });
+        g.bench_function(format!("montgomery/{bits}"), |b| {
+            b.iter(|| ctx.modpow(&base, &exp))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash_aead,
+    bench_public_key,
+    bench_blind_rsa,
+    bench_voprf,
+    bench_modpow_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E-4.2 — degrees of decoupling: simulated fetch cost vs. relay count
+//! (the quantitative version of §4.2's cost/benefit discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decoupling::mpr::{run_chain, ChainConfig};
+
+fn bench_chain_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("degrees");
+    g.sample_size(10);
+    for relays in [0usize, 1, 2, 3, 4] {
+        let mut seed = 0u64;
+        g.bench_with_input(BenchmarkId::new("fetch-via", relays), &relays, |b, &k| {
+            b.iter(|| {
+                seed += 1;
+                run_chain(ChainConfig {
+                    relays: k,
+                    users: 1,
+                    fetches_each: 2,
+                    geohint: false,
+                    seed,
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain_depth);
+criterion_main!(benches);

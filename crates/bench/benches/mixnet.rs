@@ -1,0 +1,65 @@
+//! F-1 / T-3.1.2 + E-4.3 — mix-net onion costs and the batching sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcp_core::{KeyId, Label};
+use dcp_crypto::hpke;
+use decoupling::transport::onion::{self, Hop};
+use rand::SeedableRng;
+
+fn bench_onion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("onion");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(40);
+    for depth in [1usize, 2, 3, 5] {
+        let kps: Vec<hpke::Keypair> = (0..depth)
+            .map(|_| hpke::Keypair::generate(&mut rng))
+            .collect();
+        let hops: Vec<Hop> = kps
+            .iter()
+            .enumerate()
+            .map(|(i, kp)| Hop {
+                addr: i as u16,
+                pk: kp.public,
+                key_id: KeyId(i as u64),
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("wrap", depth), &depth, |b, _| {
+            b.iter(|| onion::wrap(&mut rng, &hops, &[0u8; 256], Label::Public).unwrap())
+        });
+        let (bytes, _) = onion::wrap(&mut rng, &hops, &[0u8; 256], Label::Public).unwrap();
+        g.bench_with_input(BenchmarkId::new("peel-one", depth), &depth, |b, _| {
+            b.iter(|| onion::unwrap_layer(&kps[0], &bytes).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_mixnet_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mixnet-sim");
+    g.sample_size(10);
+    for batch in [1usize, 4, 8] {
+        let mut seed = 0u64;
+        g.bench_with_input(
+            BenchmarkId::new("run-8-senders", batch),
+            &batch,
+            |b, &bs| {
+                b.iter(|| {
+                    seed += 1;
+                    decoupling::mixnet::scenario::run(decoupling::mixnet::scenario::MixnetConfig {
+                        senders: 8,
+                        mixes: 2,
+                        batch_size: bs,
+                        window_us: 200_000,
+                        shuffle: true,
+                        chaff_per_sender: 0,
+                        mix_max_wait_us: None,
+                        seed,
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_onion, bench_mixnet_sweep);
+criterion_main!(benches);

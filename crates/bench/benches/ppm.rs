@@ -1,0 +1,52 @@
+//! T-3.2.5 — PPM: submission/verification cost and population scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decoupling::ppm::prio::{process_locally, submit, Aggregator};
+use rand::SeedableRng;
+
+fn bench_prio_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ppm-ops");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+    for bits in [8usize, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("client-submit", bits), &bits, |b, &k| {
+            b.iter(|| submit(&mut rng, 1, k))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("verify+aggregate", bits),
+            &bits,
+            |b, &k| {
+                let shares = submit(&mut rng, 3, k);
+                b.iter(|| {
+                    let mut leader = Aggregator::new(0);
+                    let mut helper = Aggregator::new(1);
+                    process_locally(&mut leader, &mut helper, &shares)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_population(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ppm-sim");
+    g.sample_size(10);
+    for clients in [10usize, 50] {
+        g.throughput(Throughput::Elements(clients as u64));
+        let mut seed = 0u64;
+        g.bench_with_input(BenchmarkId::new("aggregate", clients), &clients, |b, &n| {
+            b.iter(|| {
+                seed += 1;
+                decoupling::ppm::scenario::run(decoupling::ppm::scenario::PpmConfig {
+                    clients: n,
+                    bits: 8,
+                    malicious: 0,
+                    seed,
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_prio_ops, bench_population);
+criterion_main!(benches);

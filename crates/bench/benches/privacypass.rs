@@ -1,0 +1,50 @@
+//! F-2 / T-3.2.1 — Privacy Pass issuance batch scaling and redemption.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decoupling::privacypass::{Client, Issuer};
+use rand::SeedableRng;
+
+fn bench_issuance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("privacypass-issuance");
+    g.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+    let mut issuer = Issuer::new(&mut rng);
+    let client = Client::new(issuer.public_key());
+    for batch in [1usize, 5, 20] {
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::new("issue-batch", batch), &batch, |b, &n| {
+            b.iter(|| {
+                let req = client.request_tokens(&mut rng, n);
+                issuer.issue(&mut rng, &req.blinded).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_redeem(c: &mut Criterion) {
+    let mut g = c.benchmark_group("privacypass-redeem");
+    g.sample_size(10);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let mut issuer = Issuer::new(&mut rng);
+    let mut client = Client::new(issuer.public_key());
+    let req = client.request_tokens(&mut rng, 64);
+    let evals = issuer.issue(&mut rng, &req.blinded).unwrap();
+    client.accept_issuance(req, &evals).unwrap();
+    let mut tokens = Vec::new();
+    while let Some(t) = client.spend() {
+        tokens.push(t);
+    }
+    let mut i = 0;
+    g.bench_function("redeem", |b| {
+        b.iter(|| {
+            let t = &tokens[i % tokens.len()];
+            i += 1;
+            let _ = issuer.redeem(t); // double-spends after first pass are fine for timing
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_issuance, bench_redeem);
+criterion_main!(benches);

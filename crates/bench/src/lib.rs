@@ -1,0 +1,428 @@
+//! Experiment runners shared by the `experiments` harness binary and the
+//! Criterion benches. Each public function regenerates one paper artifact
+//! (see DESIGN.md §5 for the experiment index).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dcp_core::degrees::{DegreePoint, DegreeSweep};
+use dcp_core::table::DecouplingTable;
+use dcp_core::{analyze, collusion::entity_collusion};
+use serde::Serialize;
+
+/// One reproduced table: experiment id, measured and paper versions.
+#[derive(Clone, Debug, Serialize)]
+pub struct TableResult {
+    /// Experiment id (e.g. "T-3.1.1").
+    pub id: String,
+    /// Human name.
+    pub name: String,
+    /// Table derived from the simulation.
+    pub measured: DecouplingTable,
+    /// The paper's table.
+    pub paper: DecouplingTable,
+    /// Do they match?
+    pub matches: bool,
+    /// §2.4 verdict of the run.
+    pub decoupled: bool,
+    /// Minimal re-coupling coalition size (None = uncouplable).
+    pub min_collusion: Option<usize>,
+    /// A headline performance figure for the run (µs).
+    pub latency_us: f64,
+}
+
+fn table_result(
+    id: &str,
+    name: &str,
+    measured: DecouplingTable,
+    paper: DecouplingTable,
+    decoupled: bool,
+    min_collusion: Option<usize>,
+    latency_us: f64,
+) -> TableResult {
+    let matches = measured == paper;
+    TableResult {
+        id: id.into(),
+        name: name.into(),
+        measured,
+        paper,
+        matches,
+        decoupled,
+        min_collusion,
+        latency_us,
+    }
+}
+
+/// T-3.1.1 — blind-signature digital cash.
+pub fn exp_blindcash(seed: u64) -> TableResult {
+    let r = decoupling::blindcash::scenario::run(1, 2, 512, seed);
+    let coll = entity_collusion(&r.world, r.buyers[0], 3);
+    table_result(
+        "T-3.1.1",
+        "Blind-signature digital cash",
+        r.table(0),
+        decoupling::blindcash::scenario::ScenarioReport::paper_table(),
+        analyze(&r.world).decoupled,
+        coll.min_coalition_size,
+        r.mean_cycle_us,
+    )
+}
+
+/// F-1 / T-3.1.2 — mix-net.
+pub fn exp_mixnet(seed: u64) -> TableResult {
+    let r = decoupling::mixnet::scenario::run(decoupling::mixnet::scenario::MixnetConfig {
+        senders: 8,
+        mixes: 2,
+        batch_size: 4,
+        window_us: 200_000,
+        shuffle: true,
+        chaff_per_sender: 0,
+        mix_max_wait_us: None,
+        seed,
+    });
+    let coll = entity_collusion(&r.world, r.users[0], 3);
+    table_result(
+        "F-1/T-3.1.2",
+        "Chaum mix-net (2 mixes)",
+        r.table(0),
+        decoupling::mixnet::scenario::MixnetReport::paper_table_two_mixes(),
+        analyze(&r.world).decoupled,
+        coll.min_coalition_size,
+        r.mean_latency_us,
+    )
+}
+
+/// F-2 / T-3.2.1 — Privacy Pass.
+pub fn exp_privacypass(seed: u64) -> TableResult {
+    let r = decoupling::privacypass::scenario::run(1, 2, seed);
+    let coll = entity_collusion(&r.world, r.users[0], 3);
+    table_result(
+        "F-2/T-3.2.1",
+        "Privacy Pass",
+        r.table(0),
+        decoupling::privacypass::scenario::ScenarioReport::paper_table(),
+        analyze(&r.world).decoupled,
+        coll.min_coalition_size,
+        r.mean_fetch_us,
+    )
+}
+
+/// T-3.2.2 — Oblivious DNS.
+pub fn exp_odns(seed: u64) -> TableResult {
+    let r = decoupling::odns::scenario::run_odoh(1, 5, seed);
+    let coll = entity_collusion(&r.world, r.users[0], 3);
+    table_result(
+        "T-3.2.2",
+        "Oblivious DNS (ODoH)",
+        r.table(0),
+        decoupling::odns::scenario::ScenarioReport::paper_table(),
+        analyze(&r.world).decoupled,
+        coll.min_coalition_size,
+        r.mean_query_us,
+    )
+}
+
+/// T-3.2.3 — PGPP.
+pub fn exp_pgpp(seed: u64) -> TableResult {
+    let r = decoupling::pgpp::scenario::run(decoupling::pgpp::scenario::PgppConfig {
+        mode: decoupling::pgpp::scenario::Mode::Pgpp,
+        users: 6,
+        cells: 3,
+        epochs: 3,
+        moves_per_epoch: 2,
+        seed,
+    });
+    let coll = entity_collusion(&r.world, r.users[0], 3);
+    table_result(
+        "T-3.2.3",
+        "Pretty Good Phone Privacy",
+        r.table(0),
+        decoupling::pgpp::scenario::PgppReport::paper_table(),
+        analyze(&r.world).decoupled,
+        coll.min_coalition_size,
+        0.0,
+    )
+}
+
+/// T-3.2.4 — Multi-Party Relay.
+pub fn exp_mpr(seed: u64) -> TableResult {
+    let r = decoupling::mpr::run_chain(decoupling::mpr::ChainConfig {
+        relays: 2,
+        users: 1,
+        fetches_each: 3,
+        geohint: false,
+        seed,
+    });
+    let coll = entity_collusion(&r.world, r.users[0], 4);
+    table_result(
+        "T-3.2.4",
+        "Multi-Party Relay (2 hops)",
+        r.table(0),
+        decoupling::mpr::ScenarioReport::paper_table(),
+        analyze(&r.world).decoupled,
+        coll.min_coalition_size,
+        r.mean_fetch_us,
+    )
+}
+
+/// T-3.2.5 — Private aggregate statistics.
+pub fn exp_ppm(seed: u64) -> TableResult {
+    let r = decoupling::ppm::scenario::run(decoupling::ppm::scenario::PpmConfig {
+        clients: 10,
+        bits: 8,
+        malicious: 0,
+        seed,
+    });
+    let coll = entity_collusion(&r.world, r.users[0], 3);
+    table_result(
+        "T-3.2.5",
+        "Private aggregate statistics (PPM)",
+        r.table(0),
+        decoupling::ppm::scenario::PpmReport::paper_table(),
+        analyze(&r.world).decoupled,
+        coll.min_coalition_size,
+        0.0,
+    )
+}
+
+/// T-3.3 — VPN cautionary tale.
+pub fn exp_vpn(seed: u64) -> TableResult {
+    let r = decoupling::vpn::run_vpn(1, 2, seed);
+    let coll = entity_collusion(&r.world, r.users[0], 3);
+    table_result(
+        "T-3.3",
+        "Centralized VPN (cautionary)",
+        r.table(0),
+        decoupling::vpn::VpnReport::paper_table(),
+        analyze(&r.world).decoupled,
+        coll.min_coalition_size,
+        r.mean_fetch_us,
+    )
+}
+
+/// All eight table reproductions.
+pub fn all_tables(seed: u64) -> Vec<TableResult> {
+    vec![
+        exp_blindcash(seed),
+        exp_mixnet(seed + 1),
+        exp_privacypass(seed + 2),
+        exp_odns(seed + 3),
+        exp_pgpp(seed + 4),
+        exp_mpr(seed + 5),
+        exp_ppm(seed + 6),
+        exp_vpn(seed + 7),
+    ]
+}
+
+/// E-4.2 — degrees of decoupling: the cost/benefit sweep over relay
+/// chains 0..=max_relays.
+pub fn exp_degrees(max_relays: usize, seed: u64) -> DegreeSweep {
+    let mut sweep = DegreeSweep::default();
+    for k in 0..=max_relays {
+        let config = match k {
+            0 => "direct".to_string(),
+            1 => "vpn".to_string(),
+            2 => "mpr-2".to_string(),
+            n => format!("chain-{n}"),
+        };
+        let r = decoupling::mpr::run_chain(decoupling::mpr::ChainConfig {
+            relays: k,
+            users: 2,
+            fetches_each: 3,
+            geohint: false,
+            seed,
+        });
+        let verdict = analyze(&r.world);
+        let coll = entity_collusion(&r.world, r.users[0], k.max(1) + 1);
+        sweep.push(DegreePoint {
+            config,
+            parties: k,
+            decoupled: verdict.decoupled,
+            min_collusion: coll.min_coalition_size,
+            latency_us: r.mean_fetch_us,
+            bytes_factor: r.bytes_factor,
+            throughput_rps: if r.mean_fetch_us > 0.0 {
+                1_000_000.0 / r.mean_fetch_us
+            } else {
+                0.0
+            },
+        });
+    }
+    sweep
+}
+
+/// One row of the E-4.3 traffic-analysis sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct TrafficRow {
+    /// Mix batch threshold.
+    pub batch_size: usize,
+    /// Timing-correlation attack accuracy (mean over seeds).
+    pub attack_accuracy: f64,
+    /// Random-guess baseline.
+    pub random_baseline: f64,
+    /// Mean final-hop anonymity-set size.
+    pub anonymity_set: f64,
+    /// Mean message latency (µs).
+    pub latency_us: f64,
+}
+
+/// E-4.3 — the batching/anonymity/latency tradeoff.
+pub fn exp_traffic(batch_sizes: &[usize], seeds: u64, base_seed: u64) -> Vec<TrafficRow> {
+    batch_sizes
+        .iter()
+        .map(|&batch_size| {
+            let mut acc = 0.0;
+            let mut base = 0.0;
+            let mut anon = 0.0;
+            let mut lat = 0.0;
+            for s in 0..seeds {
+                let r =
+                    decoupling::mixnet::scenario::run(decoupling::mixnet::scenario::MixnetConfig {
+                        senders: 10,
+                        mixes: 2,
+                        batch_size,
+                        window_us: 400_000,
+                        shuffle: true,
+                        chaff_per_sender: 0,
+                        mix_max_wait_us: None,
+                        seed: base_seed + s,
+                    });
+                acc += r.attack.accuracy;
+                base += r.attack.random_baseline;
+                anon += r.mean_anonymity_set;
+                lat += r.mean_latency_us;
+            }
+            let n = seeds as f64;
+            TrafficRow {
+                batch_size,
+                attack_accuracy: acc / n,
+                random_baseline: base / n,
+                anonymity_set: anon / n,
+                latency_us: lat / n,
+            }
+        })
+        .collect()
+}
+
+/// One row of the E-4.3 chaff sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct ChaffRow {
+    /// Decoys per sender.
+    pub chaff_per_sender: usize,
+    /// Timing-correlation accuracy (mean over seeds).
+    pub attack_accuracy: f64,
+    /// Total wire bytes relative to the chaff-free run.
+    pub bandwidth_factor: f64,
+}
+
+/// E-4.3 (chaff axis) — cover traffic vs. the correlation attacker.
+pub fn exp_chaff(levels: &[usize], seeds: u64, base_seed: u64) -> Vec<ChaffRow> {
+    // Timed-mix configuration: high threshold + short deadline, so each
+    // flush round carries whatever arrived in the last 40 ms — chaff's
+    // natural pairing.
+    let run_cfg = |chaff: usize, seed: u64| {
+        decoupling::mixnet::scenario::run(decoupling::mixnet::scenario::MixnetConfig {
+            senders: 8,
+            mixes: 2,
+            batch_size: 1000,
+            window_us: 400_000,
+            shuffle: true,
+            chaff_per_sender: chaff,
+            mix_max_wait_us: Some(40_000),
+            seed,
+        })
+    };
+    let base_bytes: usize = (0..seeds)
+        .map(|s| run_cfg(0, base_seed + s).trace.total_bytes())
+        .sum();
+    levels
+        .iter()
+        .map(|&chaff| {
+            let mut acc = 0.0;
+            let mut bytes = 0usize;
+            for s in 0..seeds {
+                let r = run_cfg(chaff, base_seed + s);
+                acc += r.attack.accuracy;
+                bytes += r.trace.total_bytes();
+            }
+            ChaffRow {
+                chaff_per_sender: chaff,
+                attack_accuracy: acc / seeds as f64,
+                bandwidth_factor: bytes as f64 / base_bytes as f64,
+            }
+        })
+        .collect()
+}
+
+/// Circuit amortization data point (the Tor-shaped §4.2 operating mode).
+#[derive(Clone, Debug, Serialize)]
+pub struct CircuitRow {
+    /// Hops in the circuit.
+    pub hops: usize,
+    /// First exchange including circuit build (µs).
+    pub first_exchange_us: f64,
+    /// Steady-state exchange (µs).
+    pub steady_exchange_us: f64,
+}
+
+/// Session circuits: build-once, use-many amortization by hop count.
+pub fn exp_circuits(max_hops: usize, seed: u64) -> Vec<CircuitRow> {
+    (1..=max_hops)
+        .map(|hops| {
+            let r = decoupling::mixnet::circuit_scenario::run_circuit(hops, 5, seed);
+            CircuitRow {
+                hops,
+                first_exchange_us: r.first_exchange_us,
+                steady_exchange_us: r.steady_exchange_us,
+            }
+        })
+        .collect()
+}
+
+/// One row of the E-5.1 striping sweep.
+#[derive(Clone, Debug, Serialize)]
+pub struct StripingRow {
+    /// Number of resolvers queries are striped across.
+    pub resolvers: usize,
+    /// Largest fraction of distinct names any single resolver saw.
+    pub max_view_fraction: f64,
+    /// Mean fraction across resolvers.
+    pub mean_view_fraction: f64,
+}
+
+/// E-5.1 — DNS query striping.
+pub fn exp_striping(resolver_counts: &[usize], seed: u64) -> Vec<StripingRow> {
+    resolver_counts
+        .iter()
+        .map(|&r| {
+            let rep = decoupling::odns::scenario::run_direct(4, 50, r, seed);
+            let total = rep.distinct_names.max(1) as f64;
+            let max = *rep.resolver_views.iter().max().unwrap_or(&0) as f64;
+            let mean =
+                rep.resolver_views.iter().sum::<usize>() as f64 / rep.resolver_views.len() as f64;
+            StripingRow {
+                resolvers: r,
+                max_view_fraction: max / total,
+                mean_view_fraction: mean / total,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table_matches_the_paper() {
+        for t in all_tables(9000) {
+            assert!(t.matches, "{}: measured {:?}", t.id, t.measured);
+        }
+    }
+
+    #[test]
+    fn degrees_sweep_has_the_right_shape() {
+        let sweep = exp_degrees(4, 9100);
+        sweep.check_shape().expect("shape");
+    }
+}

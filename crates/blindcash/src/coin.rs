@@ -1,0 +1,86 @@
+//! Coins: `serial ‖ signature`, one fixed denomination.
+
+use dcp_crypto::rsa::RsaPublicKey;
+use dcp_crypto::{CryptoError, Result};
+use rand::Rng;
+
+/// Length of a coin serial number.
+pub const SERIAL_LEN: usize = 32;
+
+/// A bearer coin: a random serial certified by the bank's blind signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coin {
+    /// The (unblinded) serial number.
+    pub serial: [u8; SERIAL_LEN],
+    /// The bank's PKCS#1 v1.5 signature over the serial.
+    pub signature: Vec<u8>,
+}
+
+impl Coin {
+    /// Draw a fresh random serial.
+    pub fn new_serial<R: Rng + ?Sized>(rng: &mut R) -> [u8; SERIAL_LEN] {
+        let mut s = [0u8; SERIAL_LEN];
+        rng.fill_bytes(&mut s);
+        s
+    }
+
+    /// Verify the coin against the bank's public key.
+    pub fn verify(&self, bank_pk: &RsaPublicKey) -> Result<()> {
+        bank_pk.verify(&self.serial, &self.signature)
+    }
+
+    /// Wire encoding: `serial ‖ signature`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.serial.to_vec();
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Decode from wire bytes given the bank's modulus length.
+    pub fn decode(bytes: &[u8], sig_len: usize) -> Result<Coin> {
+        if bytes.len() != SERIAL_LEN + sig_len {
+            return Err(CryptoError::Malformed);
+        }
+        let mut serial = [0u8; SERIAL_LEN];
+        serial.copy_from_slice(&bytes[..SERIAL_LEN]);
+        Ok(Coin {
+            serial,
+            signature: bytes[SERIAL_LEN..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_crypto::rsa::RsaPrivateKey;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let sk = RsaPrivateKey::generate(&mut rng, 512).unwrap();
+        let serial = Coin::new_serial(&mut rng);
+        let coin = Coin {
+            serial,
+            signature: sk.sign(&serial).unwrap(),
+        };
+        coin.verify(sk.public_key()).unwrap();
+        let wire = coin.encode();
+        let back = Coin::decode(&wire, sk.public_key().modulus_len()).unwrap();
+        assert_eq!(back, coin);
+        assert!(Coin::decode(&wire[..10], sk.public_key().modulus_len()).is_err());
+    }
+
+    #[test]
+    fn forged_coin_fails_verification() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let sk = RsaPrivateKey::generate(&mut rng, 512).unwrap();
+        let serial = Coin::new_serial(&mut rng);
+        let coin = Coin {
+            serial,
+            signature: vec![0x41; sk.public_key().modulus_len()],
+        };
+        assert!(coin.verify(sk.public_key()).is_err());
+    }
+}

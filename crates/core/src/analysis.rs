@@ -1,0 +1,165 @@
+//! The §2.4 decoupling verdict.
+//!
+//! > "A system is decoupled … if *only* the user is `(▲, ●)`. Other
+//! > entities may have at most one of `▲` or `●`, with all other tuple
+//! > entries as `△` or `⊙`."
+
+use serde::{Deserialize, Serialize};
+
+use crate::entity::{EntityId, UserId};
+use crate::tuple::KnowledgeTuple;
+use crate::world::World;
+
+/// A single violation: `entity` holds a coupled tuple about `subject`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The offending entity.
+    pub entity: EntityId,
+    /// Its column name (for reporting).
+    pub entity_name: String,
+    /// The affected user.
+    pub subject: UserId,
+    /// The coupled tuple it holds.
+    pub tuple: KnowledgeTuple,
+}
+
+/// Result of a decoupling analysis over a [`World`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecouplingVerdict {
+    /// `true` iff no non-user-domain entity is coupled for any subject.
+    pub decoupled: bool,
+    /// Every coupling found.
+    pub violations: Vec<Violation>,
+}
+
+impl DecouplingVerdict {
+    /// Entities named in violations (deduplicated, order preserved).
+    pub fn offenders(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for v in &self.violations {
+            if !seen.contains(&v.entity_name.as_str()) {
+                seen.push(v.entity_name.as_str());
+            }
+        }
+        seen
+    }
+}
+
+/// Run the §2.4 test over every (entity, subject) pair in the world.
+///
+/// Entities whose [`crate::entity::Entity::user_domain`] matches the
+/// subject are exempt: the user is always allowed to know who they are
+/// and what they do.
+pub fn analyze(world: &World) -> DecouplingVerdict {
+    let mut violations = Vec::new();
+    for entity in world.entities() {
+        for &subject in world.users() {
+            if entity.is_user_domain_of(subject) {
+                continue;
+            }
+            let tuple = world.tuple(entity.id, subject);
+            if tuple.is_coupled() {
+                violations.push(Violation {
+                    entity: entity.id,
+                    entity_name: entity.name.clone(),
+                    subject,
+                    tuple,
+                });
+            }
+        }
+    }
+    DecouplingVerdict {
+        decoupled: violations.is_empty(),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{DataKind, IdentityKind, InfoItem};
+
+    fn setup() -> (World, UserId) {
+        let mut w = World::new();
+        let _ = w.add_org("org");
+        let u = w.add_user();
+        (w, u)
+    }
+
+    #[test]
+    fn empty_world_is_decoupled() {
+        let (w, _) = setup();
+        let v = analyze(&w);
+        assert!(v.decoupled);
+        assert!(v.violations.is_empty());
+    }
+
+    #[test]
+    fn user_device_may_be_coupled() {
+        let (mut w, u) = setup();
+        let org = w.add_org("user-org");
+        let client = w.add_entity("Client", org, Some(u));
+        w.record(client, InfoItem::sensitive_identity(u, IdentityKind::Any));
+        w.record(client, InfoItem::sensitive_data(u, DataKind::Payload));
+        assert!(w.tuple(client, u).is_coupled());
+        assert!(analyze(&w).decoupled, "user's own coupling is exempt");
+    }
+
+    #[test]
+    fn third_party_coupling_is_flagged() {
+        let (mut w, u) = setup();
+        let org = w.add_org("vpn-co");
+        let vpn = w.add_entity("VPN Server", org, None);
+        w.record(vpn, InfoItem::sensitive_identity(u, IdentityKind::Any));
+        w.record(vpn, InfoItem::sensitive_data(u, DataKind::Destination));
+        let v = analyze(&w);
+        assert!(!v.decoupled);
+        assert_eq!(v.violations.len(), 1);
+        assert_eq!(v.offenders(), vec!["VPN Server"]);
+        assert_eq!(v.violations[0].subject, u);
+    }
+
+    #[test]
+    fn one_of_each_is_fine() {
+        let (mut w, u) = setup();
+        let org1 = w.add_org("o1");
+        let org2 = w.add_org("o2");
+        let r1 = w.add_entity("Relay 1", org1, None);
+        let r2 = w.add_entity("Relay 2", org2, None);
+        w.record(r1, InfoItem::sensitive_identity(u, IdentityKind::Any));
+        w.record(r1, InfoItem::plain_data(u, DataKind::Payload));
+        w.record(r2, InfoItem::plain_identity(u, IdentityKind::Any));
+        w.record(r2, InfoItem::sensitive_data(u, DataKind::Payload));
+        assert!(analyze(&w).decoupled);
+    }
+
+    #[test]
+    fn monotone_adding_knowledge_never_helps() {
+        // Property: once a world is coupled, adding more knowledge keeps it
+        // coupled (analysis is monotone in ledger contents).
+        let (mut w, u) = setup();
+        let org = w.add_org("o");
+        let e = w.add_entity("E", org, None);
+        w.record(e, InfoItem::sensitive_identity(u, IdentityKind::Any));
+        w.record(e, InfoItem::sensitive_data(u, DataKind::Payload));
+        assert!(!analyze(&w).decoupled);
+        w.record(e, InfoItem::plain_data(u, DataKind::Activity));
+        w.record(e, InfoItem::sensitive_data(u, DataKind::Location));
+        assert!(!analyze(&w).decoupled);
+    }
+
+    #[test]
+    fn multi_user_violations_counted_separately() {
+        let (mut w, u1) = setup();
+        let u2 = w.add_user();
+        let org = w.add_org("o");
+        let e = w.add_entity("E", org, None);
+        for &u in &[u1, u2] {
+            w.record(e, InfoItem::sensitive_identity(u, IdentityKind::Any));
+            w.record(e, InfoItem::sensitive_data(u, DataKind::Payload));
+        }
+        let v = analyze(&w);
+        assert_eq!(v.violations.len(), 2);
+        assert_eq!(v.offenders().len(), 1, "same entity both times");
+    }
+}

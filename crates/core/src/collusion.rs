@@ -1,0 +1,286 @@
+//! Collusion analysis (§4.1, §5.1).
+//!
+//! Decoupled systems rest on a *non-collusion* assumption: "active coupling
+//! requires active collusion between participants". This module quantifies
+//! that assumption: which coalitions of entities (or of whole
+//! organizations) would re-couple a user if they pooled their ledgers, and
+//! how large the smallest such coalition is.
+//!
+//! The minimal collusion-set size is the quantitative privacy axis of the
+//! §4.2 degrees-of-decoupling experiment: every additional non-colluding
+//! hop raises it by one, at a measurable performance cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::entity::{EntityId, OrgId, UserId};
+use crate::world::World;
+
+/// Result of a collusion analysis for one subject.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollusionReport {
+    /// The subject analyzed.
+    pub subject: UserId,
+    /// All *minimal* coalitions (no proper subset also couples) that
+    /// re-couple the subject, as entity-name lists.
+    pub minimal_coalitions: Vec<Vec<String>>,
+    /// Size of the smallest re-coupling coalition; `None` when no
+    /// coalition of non-user entities can re-couple the subject (the
+    /// information simply is not out there).
+    pub min_coalition_size: Option<usize>,
+}
+
+impl CollusionReport {
+    /// k-collusion resistance: the system tolerates any coalition of up to
+    /// `k` entities. Defined as `min_coalition_size - 1` (usize::MAX when
+    /// uncouplable).
+    pub fn collusion_resistance(&self) -> usize {
+        match self.min_coalition_size {
+            Some(n) => n.saturating_sub(1),
+            None => usize::MAX,
+        }
+    }
+}
+
+/// Enumerate minimal re-coupling coalitions of entities for `subject`,
+/// considering coalitions up to `max_size` members. Entities in the
+/// subject's own trust domain are excluded (the user can always "collude
+/// with themselves").
+pub fn entity_collusion(world: &World, subject: UserId, max_size: usize) -> CollusionReport {
+    let candidates: Vec<EntityId> = world
+        .entities()
+        .iter()
+        .filter(|e| !e.is_user_domain_of(subject))
+        .map(|e| e.id)
+        .collect();
+    collusion_over(world, subject, &candidates, max_size, |id| {
+        world.entity(*id).name.clone()
+    })
+}
+
+/// Same analysis at organization granularity: a colluding org contributes
+/// the union of all its entities' ledgers (§4.1's "distinct companies or
+/// network operators").
+pub fn org_collusion(world: &World, subject: UserId, max_size: usize) -> CollusionReport {
+    // An org whose every entity is in the user's trust domain is the user.
+    let candidates: Vec<OrgId> = world
+        .orgs()
+        .filter(|&org| {
+            let ents = world.entities_of_org(org);
+            !ents.is_empty()
+                && ents
+                    .iter()
+                    .any(|&e| !world.entity(e).is_user_domain_of(subject))
+        })
+        .collect();
+
+    let mut minimal: Vec<Vec<OrgId>> = Vec::new();
+    for size in 1..=max_size.min(candidates.len()) {
+        for combo in combinations(&candidates, size) {
+            if minimal.iter().any(|m| is_subset(m, &combo)) {
+                continue;
+            }
+            let members: Vec<EntityId> = combo
+                .iter()
+                .flat_map(|&org| world.entities_of_org(org))
+                .filter(|&e| !world.entity(e).is_user_domain_of(subject))
+                .collect();
+            if world.coalition_tuple(&members, subject).is_coupled() {
+                minimal.push(combo);
+            }
+        }
+    }
+    let min_size = minimal.iter().map(Vec::len).min();
+    CollusionReport {
+        subject,
+        minimal_coalitions: minimal
+            .into_iter()
+            .map(|c| c.iter().map(|&o| world.org_name(o).to_string()).collect())
+            .collect(),
+        min_coalition_size: min_size,
+    }
+}
+
+fn collusion_over<F: Fn(&EntityId) -> String>(
+    world: &World,
+    subject: UserId,
+    candidates: &[EntityId],
+    max_size: usize,
+    name: F,
+) -> CollusionReport {
+    let mut minimal: Vec<Vec<EntityId>> = Vec::new();
+    for size in 1..=max_size.min(candidates.len()) {
+        for combo in combinations(candidates, size) {
+            if minimal.iter().any(|m| is_subset(m, &combo)) {
+                continue;
+            }
+            if world.coalition_tuple(&combo, subject).is_coupled() {
+                minimal.push(combo);
+            }
+        }
+    }
+    let min_size = minimal.iter().map(Vec::len).min();
+    CollusionReport {
+        subject,
+        minimal_coalitions: minimal
+            .into_iter()
+            .map(|c| c.iter().map(&name).collect())
+            .collect(),
+        min_coalition_size: min_size,
+    }
+}
+
+fn combinations<T: Copy>(items: &[T], size: usize) -> Vec<Vec<T>> {
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..size).collect();
+    if size == 0 || size > items.len() {
+        return out;
+    }
+    loop {
+        out.push(idx.iter().map(|&i| items[i]).collect());
+        // Advance the combination odometer.
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + items.len() - size {
+                idx[i] += 1;
+                for j in i + 1..size {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn is_subset<T: PartialEq>(small: &[T], big: &[T]) -> bool {
+    small.iter().all(|s| big.contains(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{DataKind, IdentityKind, InfoItem};
+
+    /// Build an MPR-shaped world: client (user domain), relay 1 knows ▲,
+    /// relay 2 knows ●, origin knows ●.
+    fn mpr_world() -> (World, UserId) {
+        let mut w = World::new();
+        let user_org = w.add_org("user");
+        let apple = w.add_org("apple");
+        let cdn = w.add_org("cdn");
+        let site = w.add_org("site");
+        let u = w.add_user();
+        let client = w.add_entity("Client", user_org, Some(u));
+        let r1 = w.add_entity("Relay 1", apple, None);
+        let r2 = w.add_entity("Relay 2", cdn, None);
+        let origin = w.add_entity("Origin", site, None);
+        w.record(client, InfoItem::sensitive_identity(u, IdentityKind::Any));
+        w.record(client, InfoItem::sensitive_data(u, DataKind::Destination));
+        w.record(r1, InfoItem::sensitive_identity(u, IdentityKind::Any));
+        w.record(r1, InfoItem::plain_data(u, DataKind::Payload));
+        w.record(r2, InfoItem::plain_identity(u, IdentityKind::Any));
+        w.record(r2, InfoItem::partial_data(u, DataKind::Destination));
+        w.record(origin, InfoItem::plain_identity(u, IdentityKind::Any));
+        w.record(origin, InfoItem::sensitive_data(u, DataKind::Destination));
+        (w, u)
+    }
+
+    #[test]
+    fn mpr_needs_two_parties_to_recouple() {
+        let (w, u) = mpr_world();
+        let rep = entity_collusion(&w, u, 4);
+        assert_eq!(rep.min_coalition_size, Some(2));
+        assert_eq!(rep.collusion_resistance(), 1);
+        // {Relay 1, Relay 2} and {Relay 1, Origin} are the minimal pairs.
+        assert!(rep
+            .minimal_coalitions
+            .contains(&vec!["Relay 1".to_string(), "Relay 2".to_string()]));
+        assert!(rep
+            .minimal_coalitions
+            .contains(&vec!["Relay 1".to_string(), "Origin".to_string()]));
+        // No singleton coalition.
+        assert!(rep.minimal_coalitions.iter().all(|c| c.len() >= 2));
+    }
+
+    #[test]
+    fn vpn_singleton_coalition() {
+        let mut w = World::new();
+        let user_org = w.add_org("user");
+        let vpn_org = w.add_org("vpn-co");
+        let u = w.add_user();
+        let _client = w.add_entity("Client", user_org, Some(u));
+        let vpn = w.add_entity("VPN Server", vpn_org, None);
+        w.record(vpn, InfoItem::sensitive_identity(u, IdentityKind::Any));
+        w.record(vpn, InfoItem::sensitive_data(u, DataKind::Destination));
+        let rep = entity_collusion(&w, u, 3);
+        assert_eq!(rep.min_coalition_size, Some(1));
+        assert_eq!(rep.collusion_resistance(), 0, "no collusion needed at all");
+        assert_eq!(rep.minimal_coalitions, vec![vec!["VPN Server".to_string()]]);
+    }
+
+    #[test]
+    fn uncouplable_when_identity_never_leaves_user() {
+        let mut w = World::new();
+        let user_org = w.add_org("user");
+        let srv_org = w.add_org("srv");
+        let u = w.add_user();
+        let _client = w.add_entity("Client", user_org, Some(u));
+        let s = w.add_entity("Server", srv_org, None);
+        w.record(s, InfoItem::sensitive_data(u, DataKind::Payload));
+        let rep = entity_collusion(&w, u, 4);
+        assert_eq!(rep.min_coalition_size, None);
+        assert_eq!(rep.collusion_resistance(), usize::MAX);
+        assert!(rep.minimal_coalitions.is_empty());
+    }
+
+    #[test]
+    fn minimality_excludes_supersets() {
+        let (w, u) = mpr_world();
+        let rep = entity_collusion(&w, u, 4);
+        // {Relay 1, Relay 2, Origin} couples too, but contains minimal
+        // pairs — it must not be listed.
+        assert!(rep.minimal_coalitions.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn org_collusion_pools_entities() {
+        // One org running both relays couples on its own.
+        let mut w = World::new();
+        let user_org = w.add_org("user");
+        let mega = w.add_org("megacorp");
+        let u = w.add_user();
+        let _client = w.add_entity("Client", user_org, Some(u));
+        let r1 = w.add_entity("Relay 1", mega, None);
+        let r2 = w.add_entity("Relay 2", mega, None);
+        w.record(r1, InfoItem::sensitive_identity(u, IdentityKind::Any));
+        w.record(r2, InfoItem::sensitive_data(u, DataKind::Destination));
+        let by_entity = entity_collusion(&w, u, 3);
+        assert_eq!(by_entity.min_coalition_size, Some(2));
+        let by_org = org_collusion(&w, u, 3);
+        assert_eq!(
+            by_org.min_coalition_size,
+            Some(1),
+            "institutionally it is a single point of failure"
+        );
+        assert_eq!(
+            by_org.minimal_coalitions,
+            vec![vec!["megacorp".to_string()]]
+        );
+    }
+
+    #[test]
+    fn combinations_enumerate_correctly() {
+        let items = [1, 2, 3, 4];
+        assert_eq!(combinations(&items, 2).len(), 6);
+        assert_eq!(combinations(&items, 4).len(), 1);
+        assert!(combinations(&items, 5).is_empty());
+        assert!(combinations(&items, 0).is_empty());
+        // Each combination is strictly increasing (no duplicates).
+        for c in combinations(&items, 3) {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

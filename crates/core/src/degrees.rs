@@ -1,0 +1,221 @@
+//! Degrees of decoupling (§4.2): privacy/performance cost–benefit points.
+//!
+//! The paper argues that adding decoupling (more relays, more aggregators)
+//! improves the privacy posture — raising the collusion bar — but "in
+//! practice, decoupling eventually reaches a point where it offers limited
+//! return in privacy at great cost". This module defines the measurement
+//! record the `exp_degrees` harness sweeps to reproduce that curve.
+
+use serde::{Deserialize, Serialize};
+
+/// One point on the degrees-of-decoupling cost/benefit curve.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegreePoint {
+    /// Configuration label ("direct", "vpn", "mpr-2", "tor-3", …).
+    pub config: String,
+    /// Number of independent intermediary parties between user and origin.
+    pub parties: usize,
+    /// Measured §2.4 verdict for the configuration.
+    pub decoupled: bool,
+    /// Minimal colluding-coalition size that re-couples the user
+    /// (`None` = uncouplable; 1 = a single entity already couples).
+    pub min_collusion: Option<usize>,
+    /// Mean end-to-end latency in simulated microseconds.
+    pub latency_us: f64,
+    /// Total bytes sent on the wire per application byte delivered
+    /// (overhead factor ≥ 1.0).
+    pub bytes_factor: f64,
+    /// Requests completed per simulated second (throughput axis).
+    pub throughput_rps: f64,
+}
+
+impl DegreePoint {
+    /// Privacy score used for plotting: the collusion bar, with
+    /// uncouplable mapped to `parties + 1` (it cannot exceed the number of
+    /// distinct parties anyway).
+    pub fn privacy_score(&self) -> usize {
+        match self.min_collusion {
+            None => self.parties + 1,
+            Some(n) => n,
+        }
+    }
+
+    /// Marginal privacy gain per added party relative to `prev` — the
+    /// quantity whose diminishing value §4.2 predicts.
+    pub fn marginal_privacy(&self, prev: &DegreePoint) -> f64 {
+        let dp = self.privacy_score() as f64 - prev.privacy_score() as f64;
+        let dn = (self.parties as f64 - prev.parties as f64).max(1.0);
+        dp / dn
+    }
+
+    /// Marginal latency cost per added party relative to `prev`.
+    pub fn marginal_latency(&self, prev: &DegreePoint) -> f64 {
+        let dl = self.latency_us - prev.latency_us;
+        let dn = (self.parties as f64 - prev.parties as f64).max(1.0);
+        dl / dn
+    }
+}
+
+/// A full sweep, ordered by `parties`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DegreeSweep {
+    /// Points in increasing-degree order.
+    pub points: Vec<DegreePoint>,
+}
+
+impl DegreeSweep {
+    /// Add a point (kept sorted by party count).
+    pub fn push(&mut self, p: DegreePoint) {
+        self.points.push(p);
+        self.points.sort_by_key(|p| p.parties);
+    }
+
+    /// Verify the §4.2 shape claims:
+    /// 1. privacy score is non-decreasing in parties,
+    /// 2. latency is non-decreasing in parties,
+    /// 3. marginal privacy gain is eventually ≤ the initial gain
+    ///    (diminishing returns).
+    pub fn check_shape(&self) -> Result<(), String> {
+        for w in self.points.windows(2) {
+            if w[1].privacy_score() < w[0].privacy_score() {
+                return Err(format!(
+                    "privacy regressed from {} ({}) to {} ({})",
+                    w[0].config,
+                    w[0].privacy_score(),
+                    w[1].config,
+                    w[1].privacy_score()
+                ));
+            }
+            if w[1].latency_us + 1e-9 < w[0].latency_us {
+                return Err(format!(
+                    "latency decreased from {} ({:.1}us) to {} ({:.1}us)",
+                    w[0].config, w[0].latency_us, w[1].config, w[1].latency_us
+                ));
+            }
+        }
+        if self.points.len() >= 3 {
+            // Diminishing returns: after the marginal privacy gain peaks,
+            // it never increases again.
+            let gains: Vec<f64> = self
+                .points
+                .windows(2)
+                .map(|w| w[1].marginal_privacy(&w[0]))
+                .collect();
+            let peak = gains
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            for w in gains[peak..].windows(2) {
+                if w[1] > w[0] + 1e-9 {
+                    return Err(format!(
+                        "marginal privacy gain grew after its peak ({} > {}) — expected diminishing",
+                        w[1], w[0]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render as aligned text rows for the experiment harness.
+    pub fn to_rows(&self) -> String {
+        let mut out = String::from(
+            "config     parties  decoupled  min-collusion  latency(us)  bytes-factor  throughput(rps)\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:<10} {:>7}  {:>9}  {:>13}  {:>11.1}  {:>12.3}  {:>15.1}\n",
+                p.config,
+                p.parties,
+                p.decoupled,
+                p.min_collusion
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "∞".into()),
+                p.latency_us,
+                p.bytes_factor,
+                p.throughput_rps
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(config: &str, parties: usize, min_collusion: Option<usize>, lat: f64) -> DegreePoint {
+        DegreePoint {
+            config: config.into(),
+            parties,
+            decoupled: min_collusion != Some(1),
+            min_collusion,
+            latency_us: lat,
+            bytes_factor: 1.0 + parties as f64 * 0.1,
+            throughput_rps: 1000.0 / (1.0 + parties as f64),
+        }
+    }
+
+    #[test]
+    fn healthy_sweep_passes_shape_check() {
+        let mut s = DegreeSweep::default();
+        s.push(pt("direct", 0, Some(1), 100.0));
+        s.push(pt("vpn", 1, Some(1), 200.0));
+        s.push(pt("mpr-2", 2, Some(2), 300.0));
+        s.push(pt("tor-3", 3, Some(3), 420.0));
+        s.push(pt("relay-4", 4, Some(4), 560.0));
+        assert!(s.check_shape().is_ok(), "{:?}", s.check_shape());
+    }
+
+    #[test]
+    fn privacy_regression_is_caught() {
+        let mut s = DegreeSweep::default();
+        s.push(pt("a", 1, Some(2), 100.0));
+        s.push(pt("b", 2, Some(1), 200.0));
+        assert!(s.check_shape().unwrap_err().contains("privacy regressed"));
+    }
+
+    #[test]
+    fn latency_regression_is_caught() {
+        let mut s = DegreeSweep::default();
+        s.push(pt("a", 1, Some(1), 300.0));
+        s.push(pt("b", 2, Some(2), 100.0));
+        assert!(s.check_shape().unwrap_err().contains("latency decreased"));
+    }
+
+    #[test]
+    fn privacy_score_maps_uncouplable() {
+        assert_eq!(pt("x", 3, None, 1.0).privacy_score(), 4);
+        assert_eq!(pt("x", 3, Some(2), 1.0).privacy_score(), 2);
+    }
+
+    #[test]
+    fn marginal_computations() {
+        let a = pt("a", 1, Some(1), 100.0);
+        let b = pt("b", 3, Some(3), 300.0);
+        assert!((b.marginal_privacy(&a) - 1.0).abs() < 1e-9);
+        assert!((b.marginal_latency(&a) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_render_every_point() {
+        let mut s = DegreeSweep::default();
+        s.push(pt("direct", 0, Some(1), 100.0));
+        s.push(pt("mpr-2", 2, None, 300.0));
+        let rows = s.to_rows();
+        assert!(rows.contains("direct") && rows.contains("mpr-2"));
+        assert!(rows.contains('∞'), "uncouplable renders as ∞");
+    }
+
+    #[test]
+    fn push_keeps_sorted() {
+        let mut s = DegreeSweep::default();
+        s.push(pt("c", 3, Some(3), 300.0));
+        s.push(pt("a", 0, Some(1), 100.0));
+        s.push(pt("b", 2, Some(2), 200.0));
+        let parties: Vec<usize> = s.points.iter().map(|p| p.parties).collect();
+        assert_eq!(parties, vec![0, 2, 3]);
+    }
+}

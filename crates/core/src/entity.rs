@@ -1,0 +1,68 @@
+//! Entities, organizations, and users.
+//!
+//! The paper distinguishes **architectural** decoupling (separating
+//! functions across components) from **institutional** decoupling
+//! (separating the remaining knowledge across *non-colluding
+//! organizations*). Entities here carry an [`OrgId`] so the collusion
+//! analysis can reason at either granularity.
+
+use serde::{Deserialize, Serialize};
+
+/// A user / data subject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u64);
+
+/// An entity participating in a system (a server, relay, resolver, …, or
+/// the user's own device).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EntityId(pub u64);
+
+/// An organization operating one or more entities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OrgId(pub u64);
+
+/// Metadata describing one entity.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Entity {
+    /// Stable identifier.
+    pub id: EntityId,
+    /// Human-readable role name, used as the table column header
+    /// ("Mix 1", "Oblivious Resolver", …).
+    pub name: String,
+    /// The operating organization (institutional trust domain).
+    pub org: OrgId,
+    /// When `Some(u)`, this entity *is* user `u` (their device / client
+    /// software): it is allowed to hold `(▲, ●)` about `u`.
+    pub user_domain: Option<UserId>,
+}
+
+impl Entity {
+    /// Does this entity belong to `user`'s own trust domain?
+    pub fn is_user_domain_of(&self, user: UserId) -> bool {
+        self.user_domain == Some(user)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_domain_check() {
+        let e = Entity {
+            id: EntityId(1),
+            name: "Client".into(),
+            org: OrgId(0),
+            user_domain: Some(UserId(9)),
+        };
+        assert!(e.is_user_domain_of(UserId(9)));
+        assert!(!e.is_user_domain_of(UserId(8)));
+        let s = Entity {
+            id: EntityId(2),
+            name: "Server".into(),
+            org: OrgId(1),
+            user_domain: None,
+        };
+        assert!(!s.is_user_domain_of(UserId(9)));
+    }
+}

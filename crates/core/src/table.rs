@@ -1,0 +1,172 @@
+//! Rendering and asserting paper-style decoupling tables.
+//!
+//! Each §3 system in the paper is summarized by a one-row table of
+//! knowledge tuples, e.g. for mix-nets:
+//!
+//! ```text
+//! | Sender | Mix 1  | Mix 2  | Receiver |
+//! | (▲, ●) | (▲, ⊙) | (△, ⊙) | (△, ●)   |
+//! ```
+//!
+//! [`DecouplingTable::derive`] builds such a table from a [`World`]'s
+//! ledgers (measured knowledge), and [`DecouplingTable::expect`] builds the
+//! paper's asserted table; integration tests compare the two.
+
+use serde::{Deserialize, Serialize};
+
+use crate::entity::UserId;
+use crate::world::World;
+
+/// A derived or expected decoupling table for a single subject.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecouplingTable {
+    /// Column headers (entity names, in system order).
+    pub columns: Vec<String>,
+    /// Rendered tuples, one per column.
+    pub tuples: Vec<String>,
+}
+
+impl DecouplingTable {
+    /// Derive the table for `subject` over the named entities, from the
+    /// world's measured ledgers.
+    pub fn derive(world: &World, subject: UserId, entity_names: &[&str]) -> Self {
+        let mut columns = Vec::with_capacity(entity_names.len());
+        let mut tuples = Vec::with_capacity(entity_names.len());
+        for name in entity_names {
+            let e = world.entity_by_name(name);
+            columns.push(name.to_string());
+            tuples.push(world.tuple(e.id, subject).render());
+        }
+        DecouplingTable { columns, tuples }
+    }
+
+    /// Build an expected table from `(column, tuple)` pairs, e.g.
+    /// `[("Sender", "(▲, ●)"), ("Mix 1", "(▲, ⊙)")]`.
+    pub fn expect(cells: &[(&str, &str)]) -> Self {
+        DecouplingTable {
+            columns: cells.iter().map(|(c, _)| c.to_string()).collect(),
+            tuples: cells.iter().map(|(_, t)| t.to_string()).collect(),
+        }
+    }
+
+    /// Render as a GitHub-flavored markdown table (two rows).
+    pub fn to_markdown(&self) -> String {
+        let header = format!("| {} |", self.columns.join(" | "));
+        let sep = format!(
+            "|{}|",
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        let row = format!("| {} |", self.tuples.join(" | "));
+        format!("{header}\n{sep}\n{row}")
+    }
+
+    /// Compare against another table, returning a human-readable diff on
+    /// mismatch.
+    pub fn diff(&self, expected: &Self) -> Option<String> {
+        if self == expected {
+            return None;
+        }
+        let mut out = String::new();
+        if self.columns != expected.columns {
+            out.push_str(&format!(
+                "column mismatch: got {:?}, expected {:?}\n",
+                self.columns, expected.columns
+            ));
+        }
+        for i in 0..self.columns.len().min(expected.columns.len()) {
+            if self.tuples.get(i) != expected.tuples.get(i) {
+                out.push_str(&format!(
+                    "  {}: measured {} ≠ paper {}\n",
+                    self.columns[i],
+                    self.tuples
+                        .get(i)
+                        .map(String::as_str)
+                        .unwrap_or("<missing>"),
+                    expected
+                        .tuples
+                        .get(i)
+                        .map(String::as_str)
+                        .unwrap_or("<missing>")
+                ));
+            }
+        }
+        Some(out)
+    }
+}
+
+impl core::fmt::Display for DecouplingTable {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.to_markdown())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{DataKind, IdentityKind, InfoItem};
+
+    fn mixnet_world() -> (World, UserId) {
+        let mut w = World::new();
+        let uorg = w.add_org("user");
+        let o1 = w.add_org("mix-op-1");
+        let o2 = w.add_org("mix-op-2");
+        let ro = w.add_org("receiver-org");
+        let u = w.add_user();
+        let sender = w.add_entity("Sender", uorg, Some(u));
+        let m1 = w.add_entity("Mix 1", o1, None);
+        let m2 = w.add_entity("Mix 2", o2, None);
+        let recv = w.add_entity("Receiver", ro, None);
+        w.record(sender, InfoItem::sensitive_identity(u, IdentityKind::Any));
+        w.record(sender, InfoItem::sensitive_data(u, DataKind::Message));
+        w.record(m1, InfoItem::sensitive_identity(u, IdentityKind::Any));
+        w.record(m1, InfoItem::plain_data(u, DataKind::Payload));
+        w.record(m2, InfoItem::plain_identity(u, IdentityKind::Any));
+        w.record(m2, InfoItem::plain_data(u, DataKind::Payload));
+        w.record(recv, InfoItem::plain_identity(u, IdentityKind::Any));
+        w.record(recv, InfoItem::sensitive_data(u, DataKind::Message));
+        (w, u)
+    }
+
+    #[test]
+    fn derive_matches_papers_mixnet_table() {
+        let (w, u) = mixnet_world();
+        let derived = DecouplingTable::derive(&w, u, &["Sender", "Mix 1", "Mix 2", "Receiver"]);
+        let expected = DecouplingTable::expect(&[
+            ("Sender", "(▲, ●)"),
+            ("Mix 1", "(▲, ⊙)"),
+            ("Mix 2", "(△, ⊙)"),
+            ("Receiver", "(△, ●)"),
+        ]);
+        assert_eq!(derived, expected, "diff: {:?}", derived.diff(&expected));
+        assert!(derived.diff(&expected).is_none());
+    }
+
+    #[test]
+    fn diff_reports_cells() {
+        let (w, u) = mixnet_world();
+        let derived = DecouplingTable::derive(&w, u, &["Sender", "Mix 1"]);
+        let wrong = DecouplingTable::expect(&[("Sender", "(▲, ●)"), ("Mix 1", "(△, ⊙)")]);
+        let d = derived.diff(&wrong).expect("must differ");
+        assert!(d.contains("Mix 1"), "diff names the cell: {d}");
+        assert!(d.contains("(▲, ⊙)"), "diff shows measured value: {d}");
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let t = DecouplingTable::expect(&[("A", "(▲, ⊙)"), ("B", "(△, ●)")]);
+        let md = t.to_markdown();
+        assert_eq!(md, "| A | B |\n|---|---|\n| (▲, ⊙) | (△, ●) |");
+        assert_eq!(format!("{t}"), md);
+    }
+
+    #[test]
+    fn column_mismatch_detected() {
+        let a = DecouplingTable::expect(&[("A", "(▲, ⊙)")]);
+        let b = DecouplingTable::expect(&[("B", "(▲, ⊙)")]);
+        assert!(a.diff(&b).unwrap().contains("column mismatch"));
+    }
+}

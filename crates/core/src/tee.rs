@@ -1,0 +1,253 @@
+//! Trusted Execution Environments as decoupling substrates (§4.3).
+//!
+//! "A TEE moves the locus of trust in which the software runs to the
+//! hardware manufacturer." In framework terms, a verified enclave is an
+//! entity whose trust domain is *neither* its operator nor the user: it is
+//! keyed by a measurement-bound attestation, so the operator cannot read
+//! what the enclave reads — achieving decoupling on a single machine.
+//!
+//! The model is deliberately small: measurements are hashes of the
+//! "program"; attestation binds (measurement, enclave key) under a
+//! vendor key; verifiers check both before sealing data to the enclave.
+
+use dcp_crypto::hmac::{hmac_sha256, hmac_verify};
+use dcp_crypto::sha256::sha256;
+use serde::{Deserialize, Serialize};
+
+/// A hardware vendor (root of trust). Holds the attestation key.
+#[derive(Clone)]
+pub struct Vendor {
+    name: String,
+    attestation_key: [u8; 32],
+}
+
+/// A measured enclave program.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Measurement(pub [u8; 32]);
+
+/// An attestation: the vendor vouches that an enclave with this
+/// measurement holds this (public) key.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attestation {
+    /// Program measurement.
+    pub measurement: Measurement,
+    /// The enclave's key-exchange public key.
+    pub enclave_public: [u8; 32],
+    /// Vendor MAC over (measurement ‖ enclave_public).
+    pub evidence: [u8; 32],
+}
+
+/// A running enclave instance.
+pub struct Enclave {
+    measurement: Measurement,
+    /// X25519 private key generated inside the enclave.
+    private: [u8; 32],
+    /// Its public half, bound into the attestation.
+    pub public: [u8; 32],
+    attestation: Attestation,
+}
+
+impl Vendor {
+    /// Create a vendor root of trust.
+    pub fn new<R: rand::Rng + ?Sized>(rng: &mut R, name: &str) -> Self {
+        let mut attestation_key = [0u8; 32];
+        rng.fill_bytes(&mut attestation_key);
+        Vendor {
+            name: name.to_string(),
+            attestation_key,
+        }
+    }
+
+    /// Vendor name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Launch an enclave running `program` (its bytes are measured) on this
+    /// vendor's hardware.
+    pub fn launch<R: rand::Rng + ?Sized>(&self, rng: &mut R, program: &[u8]) -> Enclave {
+        let measurement = Measurement(sha256(program));
+        let (private, public) = dcp_crypto::x25519::keypair(rng);
+        let mut msg = measurement.0.to_vec();
+        msg.extend_from_slice(&public);
+        let evidence = hmac_sha256(&self.attestation_key, &msg);
+        Enclave {
+            measurement: measurement.clone(),
+            private,
+            public,
+            attestation: Attestation {
+                measurement,
+                enclave_public: public,
+                evidence,
+            },
+        }
+    }
+
+    /// Verify an attestation produced by this vendor's hardware.
+    pub fn verify(&self, att: &Attestation) -> bool {
+        let mut msg = att.measurement.0.to_vec();
+        msg.extend_from_slice(&att.enclave_public);
+        hmac_verify(&self.attestation_key, &msg, &att.evidence)
+    }
+}
+
+impl Enclave {
+    /// The attestation to present to remote verifiers.
+    pub fn attestation(&self) -> &Attestation {
+        &self.attestation
+    }
+
+    /// The program measurement.
+    pub fn measurement(&self) -> &Measurement {
+        &self.measurement
+    }
+
+    /// Open an HPKE message sealed to the enclave's attested key. The
+    /// *operator* of the machine has no access to `private`, which is what
+    /// makes the enclave a distinct trust domain.
+    pub fn open(&self, info: &[u8], aad: &[u8], msg: &[u8]) -> dcp_crypto::Result<Vec<u8>> {
+        let kp = dcp_crypto::hpke::Keypair {
+            private: self.private,
+            public: self.public,
+        };
+        dcp_crypto::hpke::open(&kp, info, aad, msg)
+    }
+}
+
+/// Client-side: verify attestation against the expected vendor and
+/// program, then seal `plaintext` to the enclave.
+pub fn seal_to_enclave<R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    vendor: &Vendor,
+    expected_program: &[u8],
+    att: &Attestation,
+    info: &[u8],
+    aad: &[u8],
+    plaintext: &[u8],
+) -> Result<Vec<u8>, SealError> {
+    if !vendor.verify(att) {
+        return Err(SealError::BadAttestation);
+    }
+    if att.measurement != Measurement(sha256(expected_program)) {
+        return Err(SealError::WrongProgram);
+    }
+    dcp_crypto::hpke::seal(rng, &att.enclave_public, info, aad, plaintext)
+        .map_err(|_| SealError::Crypto)
+}
+
+/// Errors from [`seal_to_enclave`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SealError {
+    /// Attestation evidence failed vendor verification.
+    BadAttestation,
+    /// Attestation is genuine but for a different program.
+    WrongProgram,
+    /// Underlying HPKE failure.
+    Crypto,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(321)
+    }
+
+    #[test]
+    fn attested_enclave_roundtrip() {
+        let mut rng = rng();
+        let vendor = Vendor::new(&mut rng, "chipco");
+        let program = b"fn main() { cache_without_looking(); }";
+        let enclave = vendor.launch(&mut rng, program);
+        let sealed = seal_to_enclave(
+            &mut rng,
+            &vendor,
+            program,
+            enclave.attestation(),
+            b"cdn",
+            b"",
+            b"origin TLS key",
+        )
+        .unwrap();
+        assert_eq!(
+            enclave.open(b"cdn", b"", &sealed).unwrap(),
+            b"origin TLS key"
+        );
+    }
+
+    #[test]
+    fn wrong_program_rejected() {
+        let mut rng = rng();
+        let vendor = Vendor::new(&mut rng, "chipco");
+        let enclave = vendor.launch(&mut rng, b"honest program");
+        let err = seal_to_enclave(
+            &mut rng,
+            &vendor,
+            b"the program the client expects",
+            enclave.attestation(),
+            b"",
+            b"",
+            b"secret",
+        )
+        .unwrap_err();
+        assert_eq!(err, SealError::WrongProgram);
+    }
+
+    #[test]
+    fn forged_attestation_rejected() {
+        let mut rng = rng();
+        let vendor = Vendor::new(&mut rng, "chipco");
+        let other_vendor = Vendor::new(&mut rng, "evil-fab");
+        let program = b"p";
+        // Enclave launched on a different root of trust.
+        let enclave = other_vendor.launch(&mut rng, program);
+        let err = seal_to_enclave(
+            &mut rng,
+            &vendor,
+            program,
+            enclave.attestation(),
+            b"",
+            b"",
+            b"secret",
+        )
+        .unwrap_err();
+        assert_eq!(err, SealError::BadAttestation);
+    }
+
+    #[test]
+    fn tampered_evidence_rejected() {
+        let mut rng = rng();
+        let vendor = Vendor::new(&mut rng, "chipco");
+        let enclave = vendor.launch(&mut rng, b"p");
+        let mut att = enclave.attestation().clone();
+        att.evidence[0] ^= 1;
+        assert!(!vendor.verify(&att));
+        // Key substitution also caught (evidence binds the key).
+        let mut att2 = enclave.attestation().clone();
+        att2.enclave_public[0] ^= 1;
+        assert!(!vendor.verify(&att2));
+    }
+
+    #[test]
+    fn operator_cannot_open() {
+        // The "operator" is anyone without the enclave's private key: a
+        // fresh keypair cannot open what was sealed to the enclave.
+        let mut rng = rng();
+        let vendor = Vendor::new(&mut rng, "chipco");
+        let enclave = vendor.launch(&mut rng, b"p");
+        let sealed = seal_to_enclave(
+            &mut rng,
+            &vendor,
+            b"p",
+            enclave.attestation(),
+            b"",
+            b"",
+            b"s",
+        )
+        .unwrap();
+        let operator_kp = dcp_crypto::hpke::Keypair::generate(&mut rng);
+        assert!(dcp_crypto::hpke::open(&operator_kp, b"", b"", &sealed).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Knowledge tuples — the `(▲, ⊙)` cells of the paper's tables — derived
+//! from an entity's accumulated [`crate::label::InfoSet`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::label::{Aspect, IdentityKind, InfoItem, Sensitivity};
+
+/// What an entity knows about a user's *identity* (one lattice point per
+/// [`IdentityKind`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IdVis {
+    /// Knows nothing that identifies the user at all.
+    None,
+    /// `△` — knows the user only as a non-sensitive identity (e.g. an
+    /// anonymous member of a network aggregate, or a shuffled pseudonym).
+    NonSensitive,
+    /// `▲` — knows a sensitive identity.
+    Sensitive,
+}
+
+/// What an entity knows about a user's *data*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DataVis {
+    /// Sees no user data.
+    None,
+    /// `⊙` — sees only non-sensitive data.
+    NonSensitive,
+    /// `⊙/●` — sees non-sensitive data plus limited sensitive content
+    /// (e.g. an origin FQDN, or the validity of a coin).
+    Partial,
+    /// `●` — sees sensitive data.
+    Sensitive,
+}
+
+/// The knowledge tuple of one entity about one subject.
+///
+/// Most tables use a single undifferentiated identity column; PGPP
+/// (§3.2.3) splits identity into `▲_H` and `▲_N`, which is why `identity`
+/// is a map keyed by [`IdentityKind`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnowledgeTuple {
+    /// Identity visibility per kind (empty map = knows nothing).
+    pub identity: BTreeMap<IdentityKind, IdVis>,
+    /// Data visibility.
+    pub data: DataVis,
+}
+
+impl KnowledgeTuple {
+    /// The empty tuple (entity knows nothing about the subject).
+    pub fn empty() -> Self {
+        KnowledgeTuple {
+            identity: BTreeMap::new(),
+            data: DataVis::None,
+        }
+    }
+
+    /// Derive a tuple from the subset of `items` about one subject.
+    pub fn from_items<'a, I: IntoIterator<Item = &'a InfoItem>>(items: I) -> Self {
+        let mut tuple = Self::empty();
+        for item in items {
+            match &item.aspect {
+                Aspect::Identity(kind) => {
+                    let vis = match item.sensitivity {
+                        Sensitivity::Sensitive => IdVis::Sensitive,
+                        Sensitivity::Partial | Sensitivity::NonSensitive => IdVis::NonSensitive,
+                    };
+                    let slot = tuple.identity.entry(*kind).or_insert(IdVis::None);
+                    if vis > *slot {
+                        *slot = vis;
+                    }
+                }
+                Aspect::Data(_) => {
+                    let vis = match item.sensitivity {
+                        Sensitivity::Sensitive => DataVis::Sensitive,
+                        Sensitivity::Partial => DataVis::Partial,
+                        Sensitivity::NonSensitive => DataVis::NonSensitive,
+                    };
+                    if vis > tuple.data {
+                        tuple.data = vis;
+                    }
+                }
+            }
+        }
+        tuple
+    }
+
+    /// The *overall* identity visibility: the max across kinds.
+    pub fn identity_overall(&self) -> IdVis {
+        self.identity.values().copied().max().unwrap_or(IdVis::None)
+    }
+
+    /// Does this tuple hold a sensitive identity (`▲`, any kind)?
+    pub fn has_sensitive_identity(&self) -> bool {
+        self.identity_overall() == IdVis::Sensitive
+    }
+
+    /// Does this tuple hold sensitive data (`●`, counting `⊙/●` as seeing
+    /// some sensitive content)?
+    pub fn has_sensitive_data(&self) -> bool {
+        matches!(self.data, DataVis::Sensitive | DataVis::Partial)
+    }
+
+    /// The §2.4 coupling test: `(▲, ●)` — knows who the user is *and*
+    /// what they do.
+    pub fn is_coupled(&self) -> bool {
+        self.has_sensitive_identity() && self.has_sensitive_data()
+    }
+
+    /// Render in the paper's notation, e.g. `(▲, ⊙)`, `(△, ⊙/●)`, or with
+    /// subscripts `(▲_H, △_N, ⊙)` when multiple identity kinds are present.
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let subscripted = self
+            .identity
+            .keys()
+            .any(|k| !matches!(k, IdentityKind::Any));
+        if self.identity.is_empty() {
+            parts.push("−".to_string());
+        } else {
+            for (kind, vis) in &self.identity {
+                let sym = match vis {
+                    IdVis::None => "−",
+                    IdVis::NonSensitive => "△",
+                    IdVis::Sensitive => "▲",
+                };
+                let sub = match kind {
+                    IdentityKind::Any => "",
+                    IdentityKind::Human => "_H",
+                    IdentityKind::Network => "_N",
+                };
+                if subscripted {
+                    parts.push(format!("{sym}{sub}"));
+                } else {
+                    parts.push(sym.to_string());
+                }
+            }
+        }
+        parts.push(
+            match self.data {
+                DataVis::None => "−",
+                DataVis::NonSensitive => "⊙",
+                DataVis::Partial => "⊙/●",
+                DataVis::Sensitive => "●",
+            }
+            .to_string(),
+        );
+        format!("({})", parts.join(", "))
+    }
+}
+
+impl core::fmt::Display for KnowledgeTuple {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::UserId;
+    use crate::label::DataKind;
+
+    fn u() -> UserId {
+        UserId(1)
+    }
+
+    #[test]
+    fn empty_tuple_renders_dashes() {
+        let t = KnowledgeTuple::empty();
+        assert_eq!(t.render(), "(−, −)");
+        assert!(!t.is_coupled());
+    }
+
+    #[test]
+    fn coupled_tuple() {
+        let items = [
+            InfoItem::sensitive_identity(u(), IdentityKind::Any),
+            InfoItem::sensitive_data(u(), DataKind::Payload),
+        ];
+        let t = KnowledgeTuple::from_items(items.iter());
+        assert_eq!(t.render(), "(▲, ●)");
+        assert!(t.is_coupled());
+    }
+
+    #[test]
+    fn decoupled_tuples() {
+        let id_only = KnowledgeTuple::from_items(
+            [
+                InfoItem::sensitive_identity(u(), IdentityKind::Any),
+                InfoItem::plain_data(u(), DataKind::Payload),
+            ]
+            .iter(),
+        );
+        assert_eq!(id_only.render(), "(▲, ⊙)");
+        assert!(!id_only.is_coupled());
+
+        let data_only = KnowledgeTuple::from_items(
+            [
+                InfoItem::plain_identity(u(), IdentityKind::Any),
+                InfoItem::sensitive_data(u(), DataKind::Payload),
+            ]
+            .iter(),
+        );
+        assert_eq!(data_only.render(), "(△, ●)");
+        assert!(!data_only.is_coupled());
+    }
+
+    #[test]
+    fn partial_data_renders_slash_and_counts_as_coupling_half() {
+        let t = KnowledgeTuple::from_items(
+            [
+                InfoItem::plain_identity(u(), IdentityKind::Any),
+                InfoItem::partial_data(u(), DataKind::Destination),
+            ]
+            .iter(),
+        );
+        assert_eq!(t.render(), "(△, ⊙/●)");
+        assert!(t.has_sensitive_data());
+        assert!(!t.is_coupled(), "no sensitive identity");
+
+        let c = KnowledgeTuple::from_items(
+            [
+                InfoItem::sensitive_identity(u(), IdentityKind::Any),
+                InfoItem::partial_data(u(), DataKind::Destination),
+            ]
+            .iter(),
+        );
+        assert!(c.is_coupled(), "▲ plus partial ● couples");
+    }
+
+    #[test]
+    fn max_wins_within_aspect() {
+        let t = KnowledgeTuple::from_items(
+            [
+                InfoItem::plain_data(u(), DataKind::Payload),
+                InfoItem::sensitive_data(u(), DataKind::DnsQuery),
+                InfoItem::plain_identity(u(), IdentityKind::Any),
+            ]
+            .iter(),
+        );
+        assert_eq!(t.data, DataVis::Sensitive);
+        assert_eq!(t.identity_overall(), IdVis::NonSensitive);
+    }
+
+    #[test]
+    fn pgpp_style_subscripts() {
+        let t = KnowledgeTuple::from_items(
+            [
+                InfoItem::sensitive_identity(u(), IdentityKind::Human),
+                InfoItem::plain_identity(u(), IdentityKind::Network),
+                InfoItem::plain_data(u(), DataKind::Payload),
+            ]
+            .iter(),
+        );
+        assert_eq!(t.render(), "(▲_H, △_N, ⊙)");
+        assert!(!t.is_coupled());
+    }
+
+    #[test]
+    fn data_vis_ordering_drives_max() {
+        assert!(DataVis::Sensitive > DataVis::Partial);
+        assert!(DataVis::Partial > DataVis::NonSensitive);
+        assert!(DataVis::NonSensitive > DataVis::None);
+        assert!(IdVis::Sensitive > IdVis::NonSensitive);
+    }
+}

@@ -1,0 +1,275 @@
+//! The [`World`]: entities, users, keys, and per-entity knowledge ledgers.
+//!
+//! A `World` is the shared bookkeeping behind a simulated system run.
+//! Protocol code registers entities and users, mints [`KeyId`]s alongside
+//! its real cryptographic keys, and calls [`World::observe`] whenever an
+//! entity sees a payload. The ledger then answers "what does entity X know
+//! about user S" — the raw material for every table in the paper.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::entity::{Entity, EntityId, OrgId, UserId};
+use crate::label::{InfoItem, InfoSet, KeyId, Label};
+use crate::tuple::KnowledgeTuple;
+
+/// The knowledge base for one simulated system.
+#[derive(Clone, Debug, Default)]
+pub struct World {
+    entities: Vec<Entity>,
+    orgs: BTreeMap<OrgId, String>,
+    users: Vec<UserId>,
+    ledgers: BTreeMap<EntityId, InfoSet>,
+    keys: BTreeMap<EntityId, BTreeSet<KeyId>>,
+    next_entity: u64,
+    next_org: u64,
+    next_user: u64,
+    next_key: u64,
+}
+
+impl World {
+    /// An empty world.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an organization (an institutional trust domain).
+    pub fn add_org(&mut self, name: &str) -> OrgId {
+        let id = OrgId(self.next_org);
+        self.next_org += 1;
+        self.orgs.insert(id, name.to_string());
+        id
+    }
+
+    /// Register a user (data subject).
+    pub fn add_user(&mut self) -> UserId {
+        let id = UserId(self.next_user);
+        self.next_user += 1;
+        self.users.push(id);
+        id
+    }
+
+    /// Register an entity operated by `org`. Pass `user_domain =
+    /// Some(user)` for the user's own device.
+    pub fn add_entity(&mut self, name: &str, org: OrgId, user_domain: Option<UserId>) -> EntityId {
+        let id = EntityId(self.next_entity);
+        self.next_entity += 1;
+        self.entities.push(Entity {
+            id,
+            name: name.to_string(),
+            org,
+            user_domain,
+        });
+        self.ledgers.insert(id, InfoSet::new());
+        self.keys.insert(id, BTreeSet::new());
+        id
+    }
+
+    /// Mint a fresh key capability and grant it to `holders`.
+    pub fn new_key(&mut self, holders: &[EntityId]) -> KeyId {
+        let id = KeyId(self.next_key);
+        self.next_key += 1;
+        for h in holders {
+            self.keys
+                .get_mut(h)
+                .expect("unknown entity granted key")
+                .insert(id);
+        }
+        id
+    }
+
+    /// Grant an existing key to another entity (e.g. key distribution, or a
+    /// modeled compromise).
+    pub fn grant_key(&mut self, entity: EntityId, key: KeyId) {
+        self.keys
+            .get_mut(&entity)
+            .expect("unknown entity")
+            .insert(key);
+    }
+
+    /// Does `entity` hold `key`?
+    pub fn has_key(&self, entity: EntityId, key: KeyId) -> bool {
+        self.keys.get(&entity).is_some_and(|s| s.contains(&key))
+    }
+
+    /// Record that `entity` observed a payload with the given label:
+    /// everything its keys can open is added to its ledger. Returns the
+    /// newly-learned items.
+    pub fn observe(&mut self, entity: EntityId, label: &Label) -> InfoSet {
+        let keys = self.keys.get(&entity).expect("unknown entity").clone();
+        let learned = label.observe(|k| keys.contains(&k));
+        let ledger = self.ledgers.get_mut(&entity).expect("unknown entity");
+        let fresh: InfoSet = learned.difference(ledger).cloned().collect();
+        ledger.extend(learned);
+        fresh
+    }
+
+    /// Record an out-of-band fact (e.g. "the ISP knows the subscriber's
+    /// name from the billing relationship").
+    pub fn record(&mut self, entity: EntityId, item: InfoItem) {
+        self.ledgers
+            .get_mut(&entity)
+            .expect("unknown entity")
+            .insert(item);
+    }
+
+    /// The full ledger of `entity`.
+    pub fn ledger(&self, entity: EntityId) -> &InfoSet {
+        self.ledgers.get(&entity).expect("unknown entity")
+    }
+
+    /// Knowledge tuple of `entity` about `subject`.
+    pub fn tuple(&self, entity: EntityId, subject: UserId) -> KnowledgeTuple {
+        KnowledgeTuple::from_items(self.ledger(entity).iter().filter(|i| i.subject == subject))
+    }
+
+    /// Combined tuple of a coalition about `subject` (collusion closure of
+    /// their union of ledgers).
+    pub fn coalition_tuple(&self, coalition: &[EntityId], subject: UserId) -> KnowledgeTuple {
+        KnowledgeTuple::from_items(
+            coalition
+                .iter()
+                .flat_map(|e| self.ledger(*e).iter())
+                .filter(|i| i.subject == subject),
+        )
+    }
+
+    /// All registered entities, in registration order.
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// Look up an entity.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        self.entities
+            .iter()
+            .find(|e| e.id == id)
+            .expect("unknown entity")
+    }
+
+    /// Find an entity by name (panics if absent — table assertions use
+    /// stable names).
+    pub fn entity_by_name(&self, name: &str) -> &Entity {
+        self.entities
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("no entity named {name:?}"))
+    }
+
+    /// All registered users.
+    pub fn users(&self) -> &[UserId] {
+        &self.users
+    }
+
+    /// Organization name.
+    pub fn org_name(&self, org: OrgId) -> &str {
+        self.orgs.get(&org).map(String::as_str).unwrap_or("?")
+    }
+
+    /// Entities operated by `org`.
+    pub fn entities_of_org(&self, org: OrgId) -> Vec<EntityId> {
+        self.entities
+            .iter()
+            .filter(|e| e.org == org)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// All organizations.
+    pub fn orgs(&self) -> impl Iterator<Item = OrgId> + '_ {
+        self.orgs.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{DataKind, IdentityKind};
+
+    #[test]
+    fn observe_respects_keys() {
+        let mut w = World::new();
+        let org = w.add_org("acme");
+        let user = w.add_user();
+        let a = w.add_entity("A", org, None);
+        let b = w.add_entity("B", org, None);
+        let key = w.new_key(&[b]);
+
+        let secret = InfoItem::sensitive_data(user, DataKind::Payload);
+        let label = Label::item(secret.clone()).sealed(key);
+
+        assert!(w.observe(a, &label).is_empty(), "A lacks the key");
+        let learned = w.observe(b, &label);
+        assert!(learned.contains(&secret));
+        assert!(w.ledger(b).contains(&secret));
+        assert!(w.ledger(a).is_empty());
+    }
+
+    #[test]
+    fn observe_reports_only_fresh_items() {
+        let mut w = World::new();
+        let org = w.add_org("o");
+        let user = w.add_user();
+        let e = w.add_entity("E", org, None);
+        let item = InfoItem::plain_data(user, DataKind::Payload);
+        let l = Label::item(item);
+        assert_eq!(w.observe(e, &l).len(), 1);
+        assert_eq!(w.observe(e, &l).len(), 0, "second observation not fresh");
+    }
+
+    #[test]
+    fn tuples_are_per_subject() {
+        let mut w = World::new();
+        let org = w.add_org("o");
+        let u1 = w.add_user();
+        let u2 = w.add_user();
+        let e = w.add_entity("E", org, None);
+        w.record(e, InfoItem::sensitive_identity(u1, IdentityKind::Any));
+        w.record(e, InfoItem::sensitive_data(u2, DataKind::Payload));
+        assert!(w.tuple(e, u1).has_sensitive_identity());
+        assert!(!w.tuple(e, u1).has_sensitive_data());
+        assert!(w.tuple(e, u2).has_sensitive_data());
+        assert!(!w.tuple(e, u2).has_sensitive_identity());
+        // Neither subject is coupled at E.
+        assert!(!w.tuple(e, u1).is_coupled() && !w.tuple(e, u2).is_coupled());
+    }
+
+    #[test]
+    fn coalition_tuple_unions_knowledge() {
+        let mut w = World::new();
+        let org = w.add_org("o");
+        let user = w.add_user();
+        let a = w.add_entity("A", org, None);
+        let b = w.add_entity("B", org, None);
+        w.record(a, InfoItem::sensitive_identity(user, IdentityKind::Any));
+        w.record(b, InfoItem::sensitive_data(user, DataKind::Payload));
+        assert!(!w.tuple(a, user).is_coupled());
+        assert!(!w.tuple(b, user).is_coupled());
+        assert!(
+            w.coalition_tuple(&[a, b], user).is_coupled(),
+            "collusion re-couples"
+        );
+    }
+
+    #[test]
+    fn key_grant_extends_visibility() {
+        let mut w = World::new();
+        let org = w.add_org("o");
+        let user = w.add_user();
+        let a = w.add_entity("A", org, None);
+        let key = w.new_key(&[]);
+        let label = Label::item(InfoItem::sensitive_data(user, DataKind::Payload)).sealed(key);
+        assert!(w.observe(a, &label).is_empty());
+        w.grant_key(a, key);
+        assert_eq!(w.observe(a, &label).len(), 1);
+    }
+
+    #[test]
+    fn entity_lookup() {
+        let mut w = World::new();
+        let org = w.add_org("org-x");
+        let e = w.add_entity("Resolver", org, None);
+        assert_eq!(w.entity_by_name("Resolver").id, e);
+        assert_eq!(w.org_name(org), "org-x");
+        assert_eq!(w.entities_of_org(org), vec![e]);
+    }
+}

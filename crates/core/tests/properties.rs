@@ -1,0 +1,164 @@
+//! Property-based tests of the framework's invariants: the analyzer must
+//! behave like a proper information-flow judgment (monotone, order-
+//! independent, consistent between its entity- and coalition-level views).
+
+use dcp_core::collusion::entity_collusion;
+use dcp_core::{
+    analyze, Aspect, DataKind, IdentityKind, InfoItem, KnowledgeTuple, Sensitivity, UserId, World,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary info item about one of `n_users` subjects.
+fn arb_item(n_users: u64) -> impl Strategy<Value = InfoItem> {
+    (
+        0..n_users,
+        prop_oneof![
+            Just(Aspect::Identity(IdentityKind::Any)),
+            Just(Aspect::Identity(IdentityKind::Human)),
+            Just(Aspect::Identity(IdentityKind::Network)),
+            Just(Aspect::Data(DataKind::Payload)),
+            Just(Aspect::Data(DataKind::DnsQuery)),
+            Just(Aspect::Data(DataKind::Location)),
+        ],
+        prop_oneof![
+            Just(Sensitivity::NonSensitive),
+            Just(Sensitivity::Partial),
+            Just(Sensitivity::Sensitive),
+        ],
+    )
+        .prop_map(|(u, aspect, sensitivity)| InfoItem {
+            subject: UserId(u),
+            aspect,
+            sensitivity,
+        })
+}
+
+/// Build a world with `n_entities` third-party entities and ledgers from
+/// the given per-entity item lists.
+fn build_world(items: &[Vec<InfoItem>], n_users: u64) -> World {
+    let mut w = World::new();
+    let org = w.add_org("org");
+    for _ in 0..n_users {
+        w.add_user();
+    }
+    for (i, ledger) in items.iter().enumerate() {
+        let e = w.add_entity(&format!("E{i}"), org, None);
+        for item in ledger {
+            w.record(e, item.clone());
+        }
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn analyzer_is_monotone(
+        base in proptest::collection::vec(proptest::collection::vec(arb_item(3), 0..8), 1..4),
+        extra in proptest::collection::vec(arb_item(3), 0..6),
+    ) {
+        let w1 = build_world(&base, 3);
+        let coupled_before = !analyze(&w1).decoupled;
+
+        // Add more knowledge to entity 0.
+        let mut grown = base.clone();
+        grown[0].extend(extra);
+        let w2 = build_world(&grown, 3);
+        if coupled_before {
+            prop_assert!(!analyze(&w2).decoupled, "coupling can never be cured by learning more");
+        }
+        // And violations only grow.
+        prop_assert!(analyze(&w2).violations.len() >= analyze(&w1).violations.len());
+    }
+
+    #[test]
+    fn verdict_matches_tuple_definition(
+        items in proptest::collection::vec(proptest::collection::vec(arb_item(2), 0..8), 1..4),
+    ) {
+        let w = build_world(&items, 2);
+        let verdict = analyze(&w);
+        let any_coupled = w.entities().iter().any(|e| {
+            w.users().iter().any(|&u| w.tuple(e.id, u).is_coupled())
+        });
+        prop_assert_eq!(verdict.decoupled, !any_coupled);
+    }
+
+    #[test]
+    fn tuple_derivation_is_order_independent(
+        mut items in proptest::collection::vec(arb_item(1), 0..10),
+    ) {
+        let forward = KnowledgeTuple::from_items(items.iter());
+        items.reverse();
+        let backward = KnowledgeTuple::from_items(items.iter());
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn coalition_dominates_members(
+        items in proptest::collection::vec(proptest::collection::vec(arb_item(2), 0..6), 2..4),
+    ) {
+        let w = build_world(&items, 2);
+        let all: Vec<_> = w.entities().iter().map(|e| e.id).collect();
+        for &u in w.users() {
+            let coalition = w.coalition_tuple(&all, u);
+            for &e in &all {
+                let single = w.tuple(e, u);
+                // The coalition knows at least as much on every axis.
+                prop_assert!(coalition.identity_overall() >= single.identity_overall());
+                prop_assert!(coalition.data >= single.data);
+                if single.is_coupled() {
+                    prop_assert!(coalition.is_coupled());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_collusion_one_iff_single_entity_coupled(
+        items in proptest::collection::vec(proptest::collection::vec(arb_item(2), 0..8), 1..4),
+    ) {
+        let w = build_world(&items, 2);
+        for &u in w.users() {
+            let single_coupled = w
+                .entities()
+                .iter()
+                .any(|e| w.tuple(e.id, u).is_coupled());
+            let rep = entity_collusion(&w, u, w.entities().len());
+            prop_assert_eq!(
+                rep.min_coalition_size == Some(1),
+                single_coupled,
+                "min={:?}",
+                rep.min_coalition_size
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_coalitions_are_minimal(
+        items in proptest::collection::vec(proptest::collection::vec(arb_item(1), 0..6), 2..5),
+    ) {
+        let w = build_world(&items, 1);
+        let rep = entity_collusion(&w, UserId(0), w.entities().len());
+        // No listed coalition is a superset of another listed coalition.
+        for (i, a) in rep.minimal_coalitions.iter().enumerate() {
+            for (j, b) in rep.minimal_coalitions.iter().enumerate() {
+                if i != j {
+                    let a_contains_b = b.iter().all(|x| a.contains(x));
+                    prop_assert!(!a_contains_b, "{a:?} ⊇ {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_roundtrips_semantics(items in proptest::collection::vec(arb_item(1), 0..8)) {
+        let t = KnowledgeTuple::from_items(items.iter());
+        let rendered = t.render();
+        // The rendering reflects the coupling state faithfully.
+        let shows_sensitive_id = rendered.contains('▲');
+        let shows_sensitive_data = rendered.contains('●');
+        prop_assert_eq!(t.has_sensitive_identity(), shows_sensitive_id);
+        prop_assert_eq!(t.has_sensitive_data(), shows_sensitive_data);
+    }
+}

@@ -1,0 +1,877 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! A deliberately compact big-integer implementation sized for the needs of
+//! this workspace: RSA (and Chaum blind RSA) moduli up to a few thousand
+//! bits, and scalar arithmetic modulo the Ed25519 group order. Limbs are
+//! little-endian `u32`s so every intermediate fits in `u64`/`i64`; division
+//! is Knuth's Algorithm D.
+//!
+//! All operations are **variable time**; see the crate-level note.
+
+use rand::Rng;
+
+/// An arbitrary-precision unsigned integer (little-endian `u32` limbs,
+/// normalized: no trailing zero limbs; zero is the empty limb vector).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    limbs: Vec<u32>,
+}
+
+impl core::fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "BigUint(0x{})",
+            crate::util::hex_encode(&self.to_bytes_be())
+        )
+    }
+}
+
+impl BigUint {
+    /// The value 0.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Construct from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        let mut out = BigUint {
+            limbs: vec![v as u32, (v >> 32) as u32],
+        };
+        out.normalize();
+        out
+    }
+
+    /// Construct from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 4 + 1);
+        let mut iter = bytes.rchunks(4);
+        for chunk in &mut iter {
+            let mut limb = 0u32;
+            for &b in chunk {
+                limb = (limb << 8) | b as u32;
+            }
+            limbs.push(limb);
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Construct from little-endian bytes.
+    pub fn from_bytes_le(bytes: &[u8]) -> Self {
+        let mut be = bytes.to_vec();
+        be.reverse();
+        Self::from_bytes_be(&be)
+    }
+
+    /// Minimal big-endian byte encoding (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 4);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.drain(..skip);
+        out
+    }
+
+    /// Big-endian byte encoding left-padded with zeros to exactly `len`
+    /// bytes. Panics if the value needs more than `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 32 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Test bit `i` (little-endian bit order).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 32;
+        if limb >= self.limbs.len() {
+            return false;
+        }
+        (self.limbs[limb] >> (i % 32)) & 1 == 1
+    }
+
+    /// Is this zero?
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Is this one?
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Is this even?
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// The least significant limb (0 for zero).
+    pub fn low_u32(&self) -> u32 {
+        self.limbs.first().copied().unwrap_or(0)
+    }
+
+    /// Copy limbs into a fixed-width little-endian array, zero-padded.
+    /// Panics if the value needs more than `width` limbs.
+    pub fn to_limbs(&self, width: usize) -> Vec<u32> {
+        assert!(self.limbs.len() <= width, "value wider than {width} limbs");
+        let mut out = vec![0u32; width];
+        out[..self.limbs.len()].copy_from_slice(&self.limbs);
+        out
+    }
+
+    /// Build from little-endian limbs (normalizing trailing zeros).
+    pub fn from_limbs(limbs: &[u32]) -> Self {
+        let mut out = BigUint {
+            limbs: limbs.to_vec(),
+        };
+        out.normalize();
+        out
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let (a, b) = if self.limbs.len() >= other.limbs.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut limbs = Vec::with_capacity(a.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..a.limbs.len() {
+            let sum = a.limbs[i] as u64 + *b.limbs.get(i).unwrap_or(&0) as u64 + carry;
+            limbs.push(sum as u32);
+            carry = sum >> 32;
+        }
+        if carry != 0 {
+            limbs.push(carry as u32);
+        }
+        BigUint { limbs }
+    }
+
+    /// `self - other`; `None` if the result would be negative.
+    pub fn checked_sub(&self, other: &Self) -> Option<Self> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0i64;
+        for i in 0..self.limbs.len() {
+            let diff = self.limbs[i] as i64 - *other.limbs.get(i).unwrap_or(&0) as i64 - borrow;
+            if diff < 0 {
+                limbs.push((diff + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                limbs.push(diff as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut out = BigUint { limbs };
+        out.normalize();
+        Some(out)
+    }
+
+    /// `self - other`; panics on underflow.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.checked_sub(other)
+            .expect("BigUint subtraction underflow")
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut limbs = vec![0u32; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry = 0u64;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = a as u64 * b as u64 + limbs[i + j] as u64 + carry;
+                limbs[i + j] = t as u32;
+                carry = t >> 32;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = limbs[k] as u64 + carry;
+                limbs[k] = t as u32;
+                carry = t >> 32;
+                k += 1;
+            }
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> Self {
+        if self.is_zero() {
+            return Self::zero();
+        }
+        let limb_shift = bits / 32;
+        let bit_shift = bits % 32;
+        let mut limbs = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u32;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (32 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> Self {
+        let limb_shift = bits / 32;
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let bit_shift = bits % 32;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (32 - bit_shift)
+                } else {
+                    0
+                };
+                limbs.push(lo | hi);
+            }
+        }
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Quotient and remainder (Knuth Algorithm D). Panics on division by zero.
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (Self::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0] as u64;
+            let mut q = Vec::with_capacity(self.limbs.len());
+            let mut rem = 0u64;
+            for &l in self.limbs.iter().rev() {
+                let cur = (rem << 32) | l as u64;
+                q.push((cur / d) as u32);
+                rem = cur % d;
+            }
+            q.reverse();
+            let mut quot = BigUint { limbs: q };
+            quot.normalize();
+            return (quot, Self::from_u64(rem));
+        }
+
+        // Normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let v = divisor.shl(shift).limbs;
+        let mut u = self.shl(shift).limbs;
+        u.push(0);
+        let n = v.len();
+        let m = u.len() - n - 1;
+        let mut q = vec![0u32; m + 1];
+        let b = 1u64 << 32;
+
+        for j in (0..=m).rev() {
+            let top = ((u[j + n] as u64) << 32) | u[j + n - 1] as u64;
+            let mut qhat = top / v[n - 1] as u64;
+            let mut rhat = top % v[n - 1] as u64;
+            while qhat >= b || qhat * v[n - 2] as u64 > ((rhat << 32) | u[j + n - 2] as u64) {
+                qhat -= 1;
+                rhat += v[n - 1] as u64;
+                if rhat >= b {
+                    break;
+                }
+            }
+            // Multiply and subtract.
+            let mut carry = 0u64;
+            let mut borrow = 0i64;
+            for i in 0..n {
+                let p = qhat * v[i] as u64 + carry;
+                carry = p >> 32;
+                let sub = u[j + i] as i64 - (p & 0xffff_ffff) as i64 - borrow;
+                u[j + i] = sub as u32;
+                borrow = i64::from(sub < 0);
+            }
+            let sub = u[j + n] as i64 - carry as i64 - borrow;
+            u[j + n] = sub as u32;
+            if sub < 0 {
+                // qhat was one too large: add the divisor back.
+                qhat -= 1;
+                let mut c = 0u64;
+                for i in 0..n {
+                    let t = u[j + i] as u64 + v[i] as u64 + c;
+                    u[j + i] = t as u32;
+                    c = t >> 32;
+                }
+                u[j + n] = u[j + n].wrapping_add(c as u32);
+            }
+            q[j] = qhat as u32;
+        }
+
+        let mut quot = BigUint { limbs: q };
+        quot.normalize();
+        let mut rem = BigUint {
+            limbs: u[..n].to_vec(),
+        };
+        rem.normalize();
+        (quot, rem.shr(shift))
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &Self) -> Self {
+        self.div_rem(m).1
+    }
+
+    /// `(self * other) mod m`.
+    pub fn mulmod(&self, other: &Self, m: &Self) -> Self {
+        self.mul(other).rem(m)
+    }
+
+    /// `(self + other) mod m`.
+    pub fn addmod(&self, other: &Self, m: &Self) -> Self {
+        self.add(other).rem(m)
+    }
+
+    /// `(self - other) mod m` (wrapping into the positive residue class).
+    pub fn submod(&self, other: &Self, m: &Self) -> Self {
+        let a = self.rem(m);
+        let b = other.rem(m);
+        if a >= b {
+            a.sub(&b)
+        } else {
+            a.add(m).sub(&b)
+        }
+    }
+
+    /// Modular exponentiation `self^exp mod m` (square-and-multiply).
+    pub fn modpow(&self, exp: &Self, m: &Self) -> Self {
+        assert!(!m.is_zero(), "zero modulus");
+        if m.is_one() {
+            return Self::zero();
+        }
+        let mut result = Self::one();
+        let base = self.rem(m);
+        let bits = exp.bit_len();
+        for i in (0..bits).rev() {
+            result = result.mulmod(&result, m);
+            if exp.bit(i) {
+                result = result.mulmod(&base, m);
+            }
+        }
+        result
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse of `self` mod `m` (extended Euclid). `None` when
+    /// `gcd(self, m) != 1`.
+    pub fn modinv(&self, m: &Self) -> Option<Self> {
+        if m.is_zero() || m.is_one() {
+            return None;
+        }
+        // Iterative extended Euclid with signed coefficients.
+        let mut old_r = self.rem(m);
+        let mut r = m.clone();
+        let mut old_s = Signed::from(Self::one());
+        let mut s = Signed::zero();
+        if old_r.is_zero() {
+            return None;
+        }
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r);
+            old_r = core::mem::replace(&mut r, rem);
+            let qs = s.mul_big(&q);
+            let new_s = old_s.sub(&qs);
+            old_s = core::mem::replace(&mut s, new_s);
+        }
+        if !old_r.is_one() {
+            return None;
+        }
+        Some(old_s.rem_positive(m))
+    }
+
+    /// Uniformly random value in `[0, bound)`. Panics when `bound == 0`.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Self) -> Self {
+        assert!(!bound.is_zero(), "empty range");
+        let bits = bound.bit_len();
+        let bytes = (bits + 7) / 8;
+        let top_mask = if bits % 8 == 0 {
+            0xffu8
+        } else {
+            (1u8 << (bits % 8)) - 1
+        };
+        loop {
+            let mut buf = vec![0u8; bytes];
+            rng.fill_bytes(&mut buf);
+            buf[0] &= top_mask;
+            let v = Self::from_bytes_be(&buf);
+            if &v < bound {
+                return v;
+            }
+        }
+    }
+
+    /// Random integer with exactly `bits` bits (top bit set).
+    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits > 0);
+        let bytes = (bits + 7) / 8;
+        let mut buf = vec![0u8; bytes];
+        rng.fill_bytes(&mut buf);
+        let extra = bytes * 8 - bits; // unused high bits in the leading byte
+        buf[0] &= 0xff >> extra;
+        buf[0] |= 1 << (7 - extra);
+        Self::from_bytes_be(&buf)
+    }
+
+    /// Miller–Rabin probabilistic primality test with `rounds` random bases
+    /// (plus base-2), preceded by small-prime trial division.
+    pub fn is_probable_prime<R: Rng + ?Sized>(&self, rng: &mut R, rounds: usize) -> bool {
+        const SMALL_PRIMES: [u32; 30] = [
+            2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83,
+            89, 97, 101, 103, 107, 109, 113,
+        ];
+        if self.bit_len() <= 32 {
+            let v = self.limbs.first().copied().unwrap_or(0);
+            if v < 2 {
+                return false;
+            }
+            return SMALL_PRIMES.contains(&v)
+                || (SMALL_PRIMES.iter().all(|&p| v % p != 0) && {
+                    // Deterministic MR for 32-bit values with bases 2, 7, 61.
+                    let n = v as u64;
+                    [2u64, 7, 61].iter().all(|&a| miller_rabin_u64(n, a))
+                });
+        }
+        for &p in &SMALL_PRIMES {
+            if self.rem(&Self::from_u64(p as u64)).is_zero() {
+                return false;
+            }
+        }
+        // Write self-1 = d * 2^s.
+        let n_minus_1 = self.sub(&Self::one());
+        let s = trailing_zeros(&n_minus_1);
+        let d = n_minus_1.shr(s);
+        let try_base = |a: &BigUint| -> bool {
+            let mut x = a.modpow(&d, self);
+            if x.is_one() || x == n_minus_1 {
+                return true;
+            }
+            for _ in 0..s.saturating_sub(1) {
+                x = x.mulmod(&x, self);
+                if x == n_minus_1 {
+                    return true;
+                }
+            }
+            false
+        };
+        if !try_base(&Self::from_u64(2)) {
+            return false;
+        }
+        let two = Self::from_u64(2);
+        let upper = self.sub(&two);
+        for _ in 0..rounds {
+            let a = Self::random_below(rng, &upper).add(&two);
+            if !try_base(&a) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Generate a random probable prime with exactly `bits` bits.
+    pub fn gen_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits >= 16, "prime too small to be useful");
+        loop {
+            let mut cand = Self::random_bits(rng, bits);
+            if cand.is_even() {
+                cand = cand.add(&Self::one());
+            }
+            if cand.bit_len() != bits {
+                continue;
+            }
+            if cand.is_probable_prime(rng, 24) {
+                return cand;
+            }
+        }
+    }
+}
+
+fn miller_rabin_u64(n: u64, a: u64) -> bool {
+    if n % a == 0 {
+        return n == a;
+    }
+    let d = (n - 1) >> (n - 1).trailing_zeros();
+    let s = (n - 1).trailing_zeros();
+    let mut x = modpow_u64(a, d, n);
+    if x == 1 || x == n - 1 {
+        return true;
+    }
+    for _ in 0..s - 1 {
+        x = mulmod_u64(x, x, n);
+        if x == n - 1 {
+            return true;
+        }
+    }
+    false
+}
+
+fn mulmod_u64(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn modpow_u64(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulmod_u64(acc, base, m);
+        }
+        base = mulmod_u64(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+fn trailing_zeros(v: &BigUint) -> usize {
+    let mut i = 0usize;
+    while !v.bit(i) {
+        i += 1;
+        if i > v.bit_len() {
+            return 0;
+        }
+    }
+    i
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        use core::cmp::Ordering;
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+            match a.cmp(b) {
+                Ordering::Equal => {}
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+/// Minimal signed wrapper used only by the extended Euclid in [`BigUint::modinv`].
+#[derive(Clone)]
+struct Signed {
+    neg: bool,
+    mag: BigUint,
+}
+
+impl Signed {
+    fn zero() -> Self {
+        Signed {
+            neg: false,
+            mag: BigUint::zero(),
+        }
+    }
+
+    fn from(mag: BigUint) -> Self {
+        Signed { neg: false, mag }
+    }
+
+    fn mul_big(&self, q: &BigUint) -> Self {
+        Signed {
+            neg: self.neg && !q.is_zero(),
+            mag: self.mag.mul(q),
+        }
+    }
+
+    fn sub(&self, other: &Self) -> Self {
+        match (self.neg, other.neg) {
+            (false, true) => Signed {
+                neg: false,
+                mag: self.mag.add(&other.mag),
+            },
+            (true, false) => Signed {
+                neg: !self.mag.is_zero() || !other.mag.is_zero(),
+                mag: self.mag.add(&other.mag),
+            },
+            (sn, _) => {
+                // Same sign: subtract magnitudes.
+                if self.mag >= other.mag {
+                    let mag = self.mag.sub(&other.mag);
+                    Signed {
+                        neg: sn && !mag.is_zero(),
+                        mag,
+                    }
+                } else {
+                    let mag = other.mag.sub(&self.mag);
+                    Signed {
+                        neg: !sn && !mag.is_zero(),
+                        mag,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reduce into `[0, m)`.
+    fn rem_positive(&self, m: &BigUint) -> BigUint {
+        let r = self.mag.rem(m);
+        if self.neg && !r.is_zero() {
+            m.sub(&r)
+        } else {
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn big(v: u128) -> BigUint {
+        let bytes = v.to_be_bytes();
+        BigUint::from_bytes_be(&bytes)
+    }
+
+    fn as_u128(v: &BigUint) -> u128 {
+        let bytes = v.to_bytes_be();
+        assert!(bytes.len() <= 16);
+        let mut buf = [0u8; 16];
+        buf[16 - bytes.len()..].copy_from_slice(&bytes);
+        u128::from_be_bytes(buf)
+    }
+
+    #[test]
+    fn basic_roundtrips() {
+        for v in [0u128, 1, 255, 256, u64::MAX as u128, u128::MAX] {
+            assert_eq!(as_u128(&big(v)), v);
+        }
+        assert_eq!(BigUint::from_bytes_be(&[]).bit_len(), 0);
+        assert_eq!(big(1).bit_len(), 1);
+        assert_eq!(big(0x8000_0000).bit_len(), 32);
+    }
+
+    #[test]
+    fn le_be_agree() {
+        let v = BigUint::from_bytes_be(&[1, 2, 3, 4, 5]);
+        assert_eq!(BigUint::from_bytes_le(&[5, 4, 3, 2, 1]), v);
+    }
+
+    #[test]
+    fn padded_encoding() {
+        assert_eq!(big(0x0102).to_bytes_be_padded(4), vec![0, 0, 1, 2]);
+        assert_eq!(BigUint::zero().to_bytes_be_padded(2), vec![0, 0]);
+    }
+
+    #[test]
+    fn division_by_small_and_large() {
+        let n = big(1_000_000_007u128 * 999_999_937 + 12345);
+        let (q, r) = n.div_rem(&big(1_000_000_007));
+        assert_eq!(as_u128(&q), 999_999_937);
+        assert_eq!(as_u128(&r), 12345);
+    }
+
+    #[test]
+    fn modpow_small() {
+        assert_eq!(
+            as_u128(&big(3).modpow(&big(20), &big(1000))),
+            3u128.pow(20) % 1000
+        );
+        assert_eq!(as_u128(&big(2).modpow(&big(0), &big(7))), 1);
+        assert_eq!(big(5).modpow(&big(100), &BigUint::one()), BigUint::zero());
+    }
+
+    #[test]
+    fn modinv_known() {
+        // 3 * 4 = 12 ≡ 1 (mod 11)
+        assert_eq!(as_u128(&big(3).modinv(&big(11)).unwrap()), 4);
+        assert!(big(6).modinv(&big(9)).is_none(), "gcd 3");
+        assert!(BigUint::zero().modinv(&big(7)).is_none());
+    }
+
+    #[test]
+    fn fermat_little_theorem_large() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let p = BigUint::gen_prime(&mut rng, 128);
+        let a = BigUint::random_below(&mut rng, &p);
+        if a.is_zero() {
+            return;
+        }
+        let exp = p.sub(&BigUint::one());
+        assert!(a.modpow(&exp, &p).is_one());
+        // And the modular inverse agrees with a^(p-2).
+        let inv1 = a.modinv(&p).unwrap();
+        let inv2 = a.modpow(&p.sub(&big(2)), &p);
+        assert_eq!(inv1, inv2);
+    }
+
+    #[test]
+    fn prime_generation_sizes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for bits in [32usize, 64, 128, 256] {
+            let p = BigUint::gen_prime(&mut rng, bits);
+            assert_eq!(p.bit_len(), bits, "requested {bits} bits");
+            assert!(p.is_probable_prime(&mut rng, 16));
+        }
+    }
+
+    #[test]
+    fn known_primality() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert!(big(2).is_probable_prime(&mut rng, 8));
+        assert!(big(3).is_probable_prime(&mut rng, 8));
+        assert!(!big(1).is_probable_prime(&mut rng, 8));
+        assert!(!big(0).is_probable_prime(&mut rng, 8));
+        assert!(big(65537).is_probable_prime(&mut rng, 8));
+        assert!(!big(65537u128 * 65539).is_probable_prime(&mut rng, 8));
+        // Carmichael number 561 = 3·11·17 must be rejected.
+        assert!(!big(561).is_probable_prime(&mut rng, 8));
+        // 2^127 - 1 is a Mersenne prime.
+        let m127 = big((1u128 << 127) - 1);
+        assert!(m127.is_probable_prime(&mut rng, 16));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = big(0x1234_5678_9abc_def0);
+        assert_eq!(as_u128(&v.shl(4)), 0x1234_5678_9abc_def0u128 << 4);
+        assert_eq!(as_u128(&v.shr(12)), 0x1234_5678_9abc_def0u128 >> 12);
+        assert_eq!(v.shr(200), BigUint::zero());
+        assert_eq!(BigUint::zero().shl(100), BigUint::zero());
+    }
+
+    proptest! {
+        #[test]
+        fn add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+            let sum = big(a).add(&big(b));
+            prop_assert_eq!(sum.sub(&big(b)), big(a));
+            prop_assert_eq!(sum.sub(&big(a)), big(b));
+        }
+
+        #[test]
+        fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(as_u128(&big(a as u128).mul(&big(b as u128))), a as u128 * b as u128);
+        }
+
+        #[test]
+        fn div_rem_matches_u128(a in any::<u128>(), b in 1u128..) {
+            let (q, r) = big(a).div_rem(&big(b));
+            prop_assert_eq!(as_u128(&q), a / b);
+            prop_assert_eq!(as_u128(&r), a % b);
+        }
+
+        #[test]
+        fn div_rem_identity_large(a in proptest::collection::vec(any::<u8>(), 1..96),
+                                  b in proptest::collection::vec(any::<u8>(), 1..48)) {
+            let a = BigUint::from_bytes_be(&a);
+            let b = BigUint::from_bytes_be(&b);
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(&b);
+            // a = q*b + r with r < b — a complete correctness characterization.
+            prop_assert!(r < b);
+            prop_assert_eq!(q.mul(&b).add(&r), a);
+        }
+
+        #[test]
+        fn cmp_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+            prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn shift_roundtrip(a in any::<u128>(), s in 0usize..120) {
+            prop_assert_eq!(big(a).shl(s).shr(s), big(a));
+        }
+
+        #[test]
+        fn modinv_is_inverse(a in 1u128.., m in 3u128..) {
+            let m = big(m | 1); // odd modulus, often coprime
+            let a = big(a).rem(&m);
+            prop_assume!(!a.is_zero());
+            if let Some(inv) = a.modinv(&m) {
+                prop_assert!(a.mulmod(&inv, &m).is_one());
+                prop_assert!(inv < m);
+            } else {
+                prop_assert!(!a.gcd(&m).is_one());
+            }
+        }
+
+        #[test]
+        fn modpow_matches_u64(b in any::<u64>(), e in any::<u8>(), m in 2u64..) {
+            let expect = modpow_u64(b, e as u64, m);
+            prop_assert_eq!(
+                as_u128(&big(b as u128).modpow(&big(e as u128), &big(m as u128))),
+                expect as u128
+            );
+        }
+
+        #[test]
+        fn bytes_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let v = BigUint::from_bytes_be(&bytes);
+            let stripped: Vec<u8> = bytes.iter().copied()
+                .skip_while(|&b| b == 0).collect();
+            prop_assert_eq!(v.to_bytes_be(), stripped);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The Ed25519 twisted Edwards group: −x² + y² = 1 + d·x²y² over
+//! GF(2²⁵⁵ − 19), used as the prime-order group for the VOPRF in
+//! [`crate::oprf`] (the cryptographic heart of Privacy Pass).
+//!
+//! Points are held in extended homogeneous coordinates (X : Y : Z : T) with
+//! x = X/Z, y = Y/Z, T = XY/Z. Addition uses the complete `add-2008-hwcd-3`
+//! formulas; doubling uses `dbl-2008-hwcd`. Scalar multiplication is a
+//! straightforward (variable-time) double-and-add — see the crate-level
+//! note on timing.
+
+use crate::field25519::FieldElement;
+use crate::scalar::Scalar;
+use crate::sha256::sha256_multi;
+use crate::{CryptoError, Result};
+use std::sync::OnceLock;
+
+/// Length of a compressed point.
+pub const POINT_LEN: usize = 32;
+
+/// Curve constant d = −121665/121666.
+fn d() -> &'static FieldElement {
+    static D: OnceLock<FieldElement> = OnceLock::new();
+    D.get_or_init(|| {
+        FieldElement::from_u64(121665)
+            .neg()
+            .mul(&FieldElement::from_u64(121666).invert())
+    })
+}
+
+/// 2d, used in point addition.
+fn d2() -> &'static FieldElement {
+    static D2: OnceLock<FieldElement> = OnceLock::new();
+    D2.get_or_init(|| d().add(d()))
+}
+
+/// A point on the Ed25519 curve, in extended coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct EdwardsPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+    t: FieldElement,
+}
+
+impl EdwardsPoint {
+    /// The identity (neutral) element.
+    pub fn identity() -> Self {
+        EdwardsPoint {
+            x: FieldElement::ZERO,
+            y: FieldElement::ONE,
+            z: FieldElement::ONE,
+            t: FieldElement::ZERO,
+        }
+    }
+
+    /// The standard basepoint B (y = 4/5, even x).
+    pub fn basepoint() -> Self {
+        static B: OnceLock<EdwardsPoint> = OnceLock::new();
+        *B.get_or_init(|| {
+            let y = FieldElement::from_u64(4).mul(&FieldElement::from_u64(5).invert());
+            let mut enc = y.to_bytes();
+            enc[31] &= 0x7f; // sign bit 0: even x
+            EdwardsPoint::decompress(&enc).expect("basepoint decompression")
+        })
+    }
+
+    /// Is this the identity?
+    pub fn is_identity(&self) -> bool {
+        self.x.is_zero() && self.y.ct_eq(&self.z)
+    }
+
+    /// Group equality (projective cross-multiplication).
+    pub fn eq_point(&self, other: &Self) -> bool {
+        self.x.mul(&other.z).ct_eq(&other.x.mul(&self.z))
+            && self.y.mul(&other.z).ct_eq(&other.y.mul(&self.z))
+    }
+
+    /// Point negation.
+    pub fn neg(&self) -> Self {
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
+    }
+
+    /// Point addition (`add-2008-hwcd-3`, complete for a = −1).
+    pub fn add(&self, other: &Self) -> Self {
+        let a = self.y.sub(&self.x).mul(&other.y.sub(&other.x));
+        let b = self.y.add(&self.x).mul(&other.y.add(&other.x));
+        let c = self.t.mul(d2()).mul(&other.t);
+        let dd = self.z.mul(&other.z);
+        let dd = dd.add(&dd);
+        let e = b.sub(&a);
+        let f = dd.sub(&c);
+        let g = dd.add(&c);
+        let h = b.add(&a);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
+    }
+
+    /// Point subtraction.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.neg())
+    }
+
+    /// Point doubling (`dbl-2008-hwcd` with a = −1).
+    pub fn double(&self) -> Self {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square();
+        let c = c.add(&c);
+        let da = a.neg(); // a·A with a = −1
+        let e = self.x.add(&self.y).square().sub(&a).sub(&b);
+        let g = da.add(&b);
+        let f = g.sub(&c);
+        let h = da.sub(&b);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
+    }
+
+    /// Scalar multiplication `k·P` (variable-time double-and-add).
+    pub fn mul(&self, k: &Scalar) -> Self {
+        let mut acc = EdwardsPoint::identity();
+        for bit in k.bits_msb_first() {
+            acc = acc.double();
+            if bit {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// `k·B` for the standard basepoint.
+    pub fn mul_base(k: &Scalar) -> Self {
+        EdwardsPoint::basepoint().mul(k)
+    }
+
+    /// Multiply by the cofactor 8 (three doublings), mapping any curve point
+    /// into the prime-order subgroup.
+    pub fn mul_by_cofactor(&self) -> Self {
+        self.double().double().double()
+    }
+
+    /// Compress to 32 bytes: the y-coordinate with the parity of x in the
+    /// top bit.
+    pub fn compress(&self) -> [u8; POINT_LEN] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let mut out = y.to_bytes();
+        if x.is_odd() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompress per RFC 8032 §5.1.3. Fails for encodings that are not on
+    /// the curve.
+    pub fn decompress(bytes: &[u8; POINT_LEN]) -> Result<Self> {
+        let sign = bytes[31] >> 7;
+        let y = FieldElement::from_bytes(bytes); // masks the sign bit
+
+        // x² = (y² − 1) / (d·y² + 1)
+        let yy = y.square();
+        let u = yy.sub(&FieldElement::ONE);
+        let v = d().mul(&yy).add(&FieldElement::ONE);
+
+        // Candidate root: x = u·v³·(u·v⁷)^((p−5)/8)
+        let v3 = v.square().mul(&v);
+        let v7 = v3.square().mul(&v);
+        let mut x = u.mul(&v3).mul(&u.mul(&v7).pow22523());
+
+        let vxx = v.mul(&x.square());
+        if vxx.ct_eq(&u) {
+            // x is already a root.
+        } else if vxx.ct_eq(&u.neg()) {
+            x = x.mul(&FieldElement::sqrt_m1());
+        } else {
+            return Err(CryptoError::InvalidPoint);
+        }
+
+        if x.is_zero() && sign == 1 {
+            return Err(CryptoError::InvalidPoint);
+        }
+        if x.is_odd() != (sign == 1) {
+            x = x.neg();
+        }
+
+        Ok(EdwardsPoint {
+            x,
+            y,
+            z: FieldElement::ONE,
+            t: x.mul(&y),
+        })
+    }
+
+    /// Verify the curve equation −x² + y² = 1 + d·x²y² (affine check).
+    pub fn is_on_curve(&self) -> bool {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let xx = x.square();
+        let yy = y.square();
+        let lhs = yy.sub(&xx);
+        let rhs = FieldElement::ONE.add(&d().mul(&xx).mul(&yy));
+        lhs.ct_eq(&rhs)
+    }
+
+    /// Deterministic hash-to-group via try-and-increment, followed by
+    /// cofactor clearing. The output lies in the prime-order subgroup and is
+    /// never the identity. Variable time in the *public* input only.
+    pub fn hash_to_group(domain: &[u8], msg: &[u8]) -> Self {
+        for counter in 0u16..=512 {
+            let h = sha256_multi(&[b"dcp-h2g:", domain, &counter.to_be_bytes(), msg]);
+            let mut candidate = [0u8; POINT_LEN];
+            candidate.copy_from_slice(&h);
+            // Derive the sign bit from a second hash byte so it is uniform.
+            let sign = sha256_multi(&[b"dcp-h2g-sign:", &h])[0] & 1;
+            candidate[31] = (candidate[31] & 0x7f) | (sign << 7);
+            if let Ok(p) = EdwardsPoint::decompress(&candidate) {
+                let q = p.mul_by_cofactor();
+                if !q.is_identity() {
+                    return q;
+                }
+            }
+        }
+        unreachable!("try-and-increment failed 512 times (probability ≈ 2^-512)")
+    }
+
+    /// A random point in the prime-order subgroup.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        let k = Scalar::random(rng);
+        Self::mul_base(&k)
+    }
+}
+
+impl PartialEq for EdwardsPoint {
+    fn eq(&self, other: &Self) -> bool {
+        self.eq_point(other)
+    }
+}
+impl Eq for EdwardsPoint {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basepoint_is_on_curve() {
+        let b = EdwardsPoint::basepoint();
+        assert!(b.is_on_curve());
+        assert!(!b.is_identity());
+    }
+
+    #[test]
+    fn identity_laws() {
+        let id = EdwardsPoint::identity();
+        let b = EdwardsPoint::basepoint();
+        assert!(id.is_on_curve());
+        assert!(b.add(&id).eq_point(&b));
+        assert!(id.add(&b).eq_point(&b));
+        assert!(id.double().is_identity());
+    }
+
+    #[test]
+    fn order_annihilates_basepoint() {
+        // ℓ·B = identity; (ℓ−1)·B = −B.
+        let l_minus_1 = Scalar::zero().sub(&Scalar::one()); // ℓ − 1 mod ℓ ≡ −1
+        let p = EdwardsPoint::mul_base(&l_minus_1);
+        assert!(p.eq_point(&EdwardsPoint::basepoint().neg()));
+        assert!(p.add(&EdwardsPoint::basepoint()).is_identity());
+    }
+
+    #[test]
+    fn double_matches_add_self() {
+        let b = EdwardsPoint::basepoint();
+        assert!(b.double().eq_point(&b.add(&b)));
+        let p = b.double().add(&b); // 3B
+        assert!(p.double().eq_point(&p.add(&p)));
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a = Scalar::random(&mut rng);
+        let b = Scalar::random(&mut rng);
+        // (a+b)·B = a·B + b·B
+        let lhs = EdwardsPoint::mul_base(&a.add(&b));
+        let rhs = EdwardsPoint::mul_base(&a).add(&EdwardsPoint::mul_base(&b));
+        assert!(lhs.eq_point(&rhs));
+        // a·(b·B) = (a·b)·B
+        let lhs = EdwardsPoint::mul_base(&b).mul(&a);
+        let rhs = EdwardsPoint::mul_base(&a.mul(&b));
+        assert!(lhs.eq_point(&rhs));
+    }
+
+    #[test]
+    fn small_scalar_mults() {
+        let b = EdwardsPoint::basepoint();
+        assert!(b.mul(&Scalar::zero()).is_identity());
+        assert!(b.mul(&Scalar::one()).eq_point(&b));
+        assert!(b.mul(&Scalar::from_u64(2)).eq_point(&b.double()));
+        assert!(b
+            .mul(&Scalar::from_u64(5))
+            .eq_point(&b.double().double().add(&b)));
+    }
+
+    #[test]
+    fn compress_decompress_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        for _ in 0..8 {
+            let p = EdwardsPoint::random(&mut rng);
+            let enc = p.compress();
+            let q = EdwardsPoint::decompress(&enc).unwrap();
+            assert!(p.eq_point(&q));
+            assert!(q.is_on_curve());
+            assert_eq!(q.compress(), enc);
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_off_curve() {
+        // An encoding where (y²−1)/(dy²+1) is a non-residue must fail; find
+        // one by scanning.
+        let mut found_invalid = false;
+        for i in 0u8..64 {
+            let mut enc = [0u8; 32];
+            enc[0] = i;
+            enc[1] = 0xd3;
+            if EdwardsPoint::decompress(&enc).is_err() {
+                found_invalid = true;
+                break;
+            }
+        }
+        assert!(found_invalid, "expected at least one invalid encoding");
+    }
+
+    #[test]
+    fn negation_cancels() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let p = EdwardsPoint::random(&mut rng);
+        assert!(p.add(&p.neg()).is_identity());
+        assert!(p.sub(&p).is_identity());
+        assert!(p.neg().neg().eq_point(&p));
+    }
+
+    #[test]
+    fn hash_to_group_properties() {
+        let p = EdwardsPoint::hash_to_group(b"test", b"input-1");
+        let q = EdwardsPoint::hash_to_group(b"test", b"input-1");
+        let r = EdwardsPoint::hash_to_group(b"test", b"input-2");
+        let s = EdwardsPoint::hash_to_group(b"other", b"input-1");
+        assert!(p.eq_point(&q), "deterministic");
+        assert!(!p.eq_point(&r), "input separated");
+        assert!(!p.eq_point(&s), "domain separated");
+        assert!(p.is_on_curve());
+        assert!(!p.is_identity());
+        // Must lie in the prime-order subgroup: (−1)·P + P = 0 is trivial;
+        // instead check ℓ·P = 0 via (ℓ−1)·P = −P.
+        let l_minus_1 = Scalar::zero().sub(&Scalar::one());
+        assert!(p.mul(&l_minus_1).eq_point(&p.neg()));
+    }
+
+    #[test]
+    fn mul_by_cofactor_lands_in_subgroup() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let p = EdwardsPoint::random(&mut rng).mul_by_cofactor();
+        let l_minus_1 = Scalar::zero().sub(&Scalar::one());
+        assert!(p.mul(&l_minus_1).eq_point(&p.neg()));
+    }
+
+    #[test]
+    fn compressed_basepoint_matches_rfc8032() {
+        // The standard Ed25519 basepoint encoding.
+        let enc = EdwardsPoint::basepoint().compress();
+        assert_eq!(
+            crate::util::hex_encode(&enc),
+            "5866666666666666666666666666666666666666666666666666666666666666"
+        );
+    }
+}

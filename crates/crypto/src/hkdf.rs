@@ -1,0 +1,101 @@
+//! HKDF-SHA256 (RFC 5869): extract-then-expand key derivation.
+
+use crate::hmac::{hmac_sha256, HmacSha256};
+use crate::sha256::DIGEST_LEN;
+
+/// `HKDF-Extract(salt, ikm)` → 32-byte pseudorandom key.
+///
+/// An empty `salt` is treated as 32 zero bytes, per RFC 5869.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    if salt.is_empty() {
+        hmac_sha256(&[0u8; DIGEST_LEN], ikm)
+    } else {
+        hmac_sha256(salt, ikm)
+    }
+}
+
+/// `HKDF-Expand(prk, info, len)` → `len` bytes of output keying material.
+///
+/// Panics if `len > 255 * 32` (the RFC 5869 bound).
+pub fn expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * DIGEST_LEN, "HKDF-Expand output too long");
+    let mut okm = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut m = HmacSha256::new(prk);
+        m.update(&t);
+        m.update(info);
+        m.update(&[counter]);
+        let block = m.finalize();
+        let take = (len - okm.len()).min(DIGEST_LEN);
+        okm.extend_from_slice(&block[..take]);
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+    okm
+}
+
+/// Extract-then-expand in one call.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{hex_decode, hex_encode};
+
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt = hex_decode("000102030405060708090a0b0c").unwrap();
+        let info = hex_decode("f0f1f2f3f4f5f6f7f8f9").unwrap();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex_encode(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            hex_encode(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case_3_empty_salt_info() {
+        let ikm = [0x0bu8; 22];
+        let prk = extract(&[], &ikm);
+        let okm = expand(&prk, &[], 42);
+        assert_eq!(
+            hex_encode(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn expand_lengths() {
+        let prk = extract(b"salt", b"ikm");
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            let okm = expand(&prk, b"info", len);
+            assert_eq!(okm.len(), len);
+            // Prefix property: a longer expansion starts with the shorter one.
+            let longer = expand(&prk, b"info", len + 7);
+            assert_eq!(&longer[..len], &okm[..]);
+        }
+    }
+
+    #[test]
+    fn different_info_different_output() {
+        let prk = extract(b"salt", b"ikm");
+        assert_ne!(expand(&prk, b"a", 32), expand(&prk, b"b", 32));
+    }
+
+    #[test]
+    #[should_panic]
+    fn expand_too_long_panics() {
+        let prk = extract(b"s", b"i");
+        let _ = expand(&prk, b"", 255 * 32 + 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Montgomery-form modular exponentiation — the classic optimization for
+//! RSA-sized moduli, kept alongside the plain square-and-multiply in
+//! [`crate::bigint`] as a measured ablation (see the `modpow_ablation`
+//! bench): division-per-step vs. division-free REDC.
+//!
+//! Works for any **odd** modulus. The implementation keeps the same `u32`
+//! limb discipline as [`BigUint`].
+
+use crate::bigint::BigUint;
+
+/// Precomputed Montgomery context for an odd modulus.
+pub struct MontgomeryCtx {
+    n: BigUint,
+    /// limb count of n
+    k: usize,
+    /// -n^{-1} mod 2^32 (the REDC constant)
+    n_prime: u32,
+    /// R^2 mod n, where R = 2^(32k)
+    r2: BigUint,
+}
+
+impl MontgomeryCtx {
+    /// Build a context. Returns `None` for even or trivial moduli.
+    pub fn new(n: &BigUint) -> Option<Self> {
+        if n.is_zero() || n.is_even() || n.is_one() {
+            return None;
+        }
+        let k = (n.bit_len() + 31) / 32;
+        // n' = -n^{-1} mod 2^32 via Newton–Hensel iteration on the low limb.
+        let n0 = n.low_u32();
+        let mut inv: u32 = 1;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u32.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n_prime = inv.wrapping_neg();
+        // R^2 mod n with R = 2^(32k).
+        let r2 = BigUint::one().shl(64 * k).rem(n);
+        Some(MontgomeryCtx {
+            n: n.clone(),
+            k,
+            n_prime,
+            r2,
+        })
+    }
+
+    /// Montgomery reduction of a (≤ 2k-limb) product: returns t·R⁻¹ mod n.
+    fn redc(&self, t: &BigUint) -> BigUint {
+        let mut limbs = t.to_limbs(2 * self.k + 1);
+        let n_limbs = self.n.to_limbs(self.k);
+        for i in 0..self.k {
+            let m = limbs[i].wrapping_mul(self.n_prime);
+            // limbs += m * n << (32*i)
+            let mut carry = 0u64;
+            for (j, &nl) in n_limbs.iter().enumerate() {
+                let x = limbs[i + j] as u64 + m as u64 * nl as u64 + carry;
+                limbs[i + j] = x as u32;
+                carry = x >> 32;
+            }
+            let mut j = i + self.k;
+            while carry != 0 {
+                let x = limbs[j] as u64 + carry;
+                limbs[j] = x as u32;
+                carry = x >> 32;
+                j += 1;
+            }
+        }
+        // Divide by R: drop the low k limbs.
+        let mut out = BigUint::from_limbs(&limbs[self.k..]);
+        if out >= self.n {
+            out = out.sub(&self.n);
+        }
+        out
+    }
+
+    /// Convert into Montgomery form: a·R mod n.
+    fn to_mont(&self, a: &BigUint) -> BigUint {
+        self.redc(&a.mul(&self.r2))
+    }
+
+    /// Montgomery product of two Montgomery-form values.
+    fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.redc(&a.mul(b))
+    }
+
+    /// `base^exp mod n` using Montgomery arithmetic.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let base = base.rem(&self.n);
+        let mont_base = self.to_mont(&base);
+        // 1 in Montgomery form is R mod n = REDC(R^2).
+        let mut acc = self.redc(&self.r2);
+        for i in (0..exp.bit_len()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &mont_base);
+            }
+        }
+        self.redc(&acc) // out of Montgomery form
+    }
+}
+
+/// One-shot Montgomery modpow; falls back to [`BigUint::modpow`] for even
+/// moduli.
+pub fn modpow(base: &BigUint, exp: &BigUint, n: &BigUint) -> BigUint {
+    match MontgomeryCtx::new(n) {
+        Some(ctx) => ctx.modpow(base, exp),
+        None => base.modpow(exp, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_bytes_be(&v.to_be_bytes())
+    }
+
+    #[test]
+    fn matches_plain_modpow_small() {
+        let n = big(1_000_003); // odd
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        for (b, e) in [(2u128, 10u128), (3, 0), (999_999, 2), (7, 65537)] {
+            assert_eq!(
+                ctx.modpow(&big(b), &big(e)),
+                big(b).modpow(&big(e), &n),
+                "b={b} e={e}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_plain_modpow_rsa_sized() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let p = BigUint::gen_prime(&mut rng, 256);
+        let q = BigUint::gen_prime(&mut rng, 256);
+        let n = p.mul(&q);
+        let ctx = MontgomeryCtx::new(&n).unwrap();
+        for _ in 0..4 {
+            let base = BigUint::random_below(&mut rng, &n);
+            let exp = BigUint::random_below(&mut rng, &n);
+            assert_eq!(ctx.modpow(&base, &exp), base.modpow(&exp, &n));
+        }
+    }
+
+    #[test]
+    fn even_modulus_rejected() {
+        assert!(MontgomeryCtx::new(&big(100)).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::one()).is_none());
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_none());
+        // The one-shot helper still answers correctly via fallback.
+        assert_eq!(modpow(&big(3), &big(4), &big(100)), big(81).rem(&big(100)));
+    }
+
+    #[test]
+    fn fermat_via_montgomery() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let p = BigUint::gen_prime(&mut rng, 192);
+        let ctx = MontgomeryCtx::new(&p).unwrap();
+        let a = BigUint::random_below(&mut rng, &p);
+        if !a.is_zero() {
+            let e = p.sub(&BigUint::one());
+            assert!(ctx.modpow(&a, &e).is_one());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn equivalence_random(b in any::<u128>(), e in any::<u64>(), n in any::<u64>()) {
+            let n = big((n as u128) | 1).add(&big(2)); // odd, ≥ 3
+            prop_assert_eq!(
+                modpow(&big(b), &big(e as u128), &n),
+                big(b).modpow(&big(e as u128), &n)
+            );
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Implemented with five 26-bit limbs; all products fit comfortably in
+//! `u64`. The final comparison against 2¹³⁰ − 5 uses a constant-time
+//! conditional select.
+
+/// Key length in bytes (r ‖ s).
+pub const KEY_LEN: usize = 32;
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 MAC. The key must be used for exactly one message.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u64; 5],
+    s: [u64; 4],
+    h: [u64; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Initialize with a 32-byte one-time key.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let t0 = u32::from_le_bytes([key[0], key[1], key[2], key[3]]) as u64;
+        let t1 = u32::from_le_bytes([key[4], key[5], key[6], key[7]]) as u64;
+        let t2 = u32::from_le_bytes([key[8], key[9], key[10], key[11]]) as u64;
+        let t3 = u32::from_le_bytes([key[12], key[13], key[14], key[15]]) as u64;
+
+        // Clamp r per RFC 8439 and split into 26-bit limbs.
+        let r = [
+            t0 & 0x03ffffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ffff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ffc0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03f03fff,
+            (t3 >> 8) & 0x000fffff,
+        ];
+        let s = [
+            u32::from_le_bytes([key[16], key[17], key[18], key[19]]) as u64,
+            u32::from_le_bytes([key[20], key[21], key[22], key[23]]) as u64,
+            u32::from_le_bytes([key[24], key[25], key[26], key[27]]) as u64,
+            u32::from_le_bytes([key[28], key[29], key[30], key[31]]) as u64,
+        ];
+        Poly1305 {
+            r,
+            s,
+            h: [0; 5],
+            buf: [0u8; 16],
+            buf_len: 0,
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 16], hibit: u64) {
+        let t0 = u32::from_le_bytes([block[0], block[1], block[2], block[3]]) as u64;
+        let t1 = u32::from_le_bytes([block[4], block[5], block[6], block[7]]) as u64;
+        let t2 = u32::from_le_bytes([block[8], block[9], block[10], block[11]]) as u64;
+        let t3 = u32::from_le_bytes([block[12], block[13], block[14], block[15]]) as u64;
+
+        self.h[0] += t0 & 0x03ffffff;
+        self.h[1] += ((t0 >> 26) | (t1 << 6)) & 0x03ffffff;
+        self.h[2] += ((t1 >> 20) | (t2 << 12)) & 0x03ffffff;
+        self.h[3] += ((t2 >> 14) | (t3 << 18)) & 0x03ffffff;
+        self.h[4] += (t3 >> 8) | (hibit << 24);
+
+        let [r0, r1, r2, r3, r4] = self.r;
+        let (s1, s2, s3, s4) = (r1 * 5, r2 * 5, r3 * 5, r4 * 5);
+        let [h0, h1, h2, h3, h4] = self.h;
+
+        let mut d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let mut d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let mut d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let mut d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let mut d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        // Partial reduction modulo 2^130 - 5.
+        let mut c;
+        c = d0 >> 26;
+        d0 &= 0x03ffffff;
+        d1 += c;
+        c = d1 >> 26;
+        d1 &= 0x03ffffff;
+        d2 += c;
+        c = d2 >> 26;
+        d2 &= 0x03ffffff;
+        d3 += c;
+        c = d3 >> 26;
+        d3 &= 0x03ffffff;
+        d4 += c;
+        c = d4 >> 26;
+        d4 &= 0x03ffffff;
+        d0 += c * 5;
+        c = d0 >> 26;
+        d0 &= 0x03ffffff;
+        d1 += c;
+
+        self.h = [d0, d1, d2, d3, d4];
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, mut data: &[u8]) -> &mut Self {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, 1);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.process_block(&block, 1);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+        self
+    }
+
+    /// Finish and return the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            // Final partial block: append 0x01 then zero-pad; hibit is 0.
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.process_block(&block, 0);
+        }
+
+        // Fully reduce h modulo 2^130 - 5.
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.h;
+        let mut c;
+        c = h1 >> 26;
+        h1 &= 0x03ffffff;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= 0x03ffffff;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= 0x03ffffff;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= 0x03ffffff;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= 0x03ffffff;
+        h1 += c;
+
+        // Compute h + 5 - 2^130 and select it if non-negative.
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 26;
+        g0 &= 0x03ffffff;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 26;
+        g1 &= 0x03ffffff;
+        let mut g2 = h2.wrapping_add(c);
+        c = g2 >> 26;
+        g2 &= 0x03ffffff;
+        let mut g3 = h3.wrapping_add(c);
+        c = g3 >> 26;
+        g3 &= 0x03ffffff;
+        let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+        // mask = all-ones if g4 underflowed (h < 2^130 - 5), keep h; else keep g.
+        let mask = (g4 >> 63).wrapping_sub(1); // g4 underflow → top bit set → mask = 0
+        let keep_h = !mask;
+        h0 = (h0 & keep_h) | (g0 & mask);
+        h1 = (h1 & keep_h) | (g1 & mask);
+        h2 = (h2 & keep_h) | (g2 & mask);
+        h3 = (h3 & keep_h) | (g3 & mask);
+        h4 = (h4 & keep_h) | (g4 & 0x03ffffff & mask);
+
+        // Serialize to 128 bits and add s modulo 2^128.
+        let f0 = (h0 | (h1 << 26)) & 0xffff_ffff;
+        let f1 = ((h1 >> 6) | (h2 << 20)) & 0xffff_ffff;
+        let f2 = ((h2 >> 12) | (h3 << 14)) & 0xffff_ffff;
+        let f3 = ((h3 >> 18) | (h4 << 8)) & 0xffff_ffff;
+
+        let mut acc = f0 + self.s[0];
+        let w0 = acc as u32;
+        acc = (acc >> 32) + f1 + self.s[1];
+        let w1 = acc as u32;
+        acc = (acc >> 32) + f2 + self.s[2];
+        let w2 = acc as u32;
+        acc = (acc >> 32) + f3 + self.s[3];
+        let w3 = acc as u32;
+
+        let mut tag = [0u8; TAG_LEN];
+        tag[0..4].copy_from_slice(&w0.to_le_bytes());
+        tag[4..8].copy_from_slice(&w1.to_le_bytes());
+        tag[8..12].copy_from_slice(&w2.to_le_bytes());
+        tag[12..16].copy_from_slice(&w3.to_le_bytes());
+        tag
+    }
+}
+
+/// One-shot Poly1305.
+pub fn poly1305(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
+    let mut p = Poly1305::new(key);
+    p.update(msg);
+    p.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::{hex_decode, hex_encode};
+
+    #[test]
+    fn rfc8439_vector() {
+        // RFC 8439 §2.5.2.
+        let key_bytes =
+            hex_decode("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b").unwrap();
+        let mut key = [0u8; KEY_LEN];
+        key.copy_from_slice(&key_bytes);
+        let tag = poly1305(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex_encode(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = [0x42u8; KEY_LEN];
+        let msg: Vec<u8> = (0..200u8).collect();
+        for split in [0usize, 1, 15, 16, 17, 31, 32, 100, 200] {
+            let mut p = Poly1305::new(&key);
+            p.update(&msg[..split]);
+            p.update(&msg[split..]);
+            assert_eq!(p.finalize(), poly1305(&key, &msg), "split {split}");
+        }
+    }
+
+    #[test]
+    fn empty_message() {
+        // With r = s = 0 the tag over the empty message is zero.
+        let key = [0u8; KEY_LEN];
+        assert_eq!(poly1305(&key, b""), [0u8; TAG_LEN]);
+    }
+
+    #[test]
+    fn tag_depends_on_every_byte() {
+        let key = [0x17u8; KEY_LEN];
+        let base = poly1305(&key, b"aaaaaaaaaaaaaaaaaaaaaaaa");
+        for i in 0..24 {
+            let mut m = *b"aaaaaaaaaaaaaaaaaaaaaaaa";
+            m[i] ^= 1;
+            assert_ne!(poly1305(&key, &m), base, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn high_limb_saturation() {
+        // All-ones message blocks with a near-maximal clamped r exercise the
+        // widest intermediate products.
+        let mut key = [0xffu8; KEY_LEN];
+        key[3] &= 0x0f; // clamping makes this irrelevant but keep key legal
+        let msg = [0xffu8; 160];
+        let t1 = poly1305(&key, &msg);
+        let t2 = poly1305(&key, &msg);
+        assert_eq!(t1, t2);
+    }
+}

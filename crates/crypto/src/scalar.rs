@@ -1,0 +1,221 @@
+//! Arithmetic modulo ℓ = 2²⁵² + 27742317777372353535851937790883648493,
+//! the prime order of the Ed25519 group's large subgroup.
+
+use crate::bigint::BigUint;
+use crate::{CryptoError, Result};
+use rand::Rng;
+
+/// Hex encoding of ℓ (big-endian).
+const ORDER_HEX: &str = "1000000000000000000000000000000014def9dea2f79cd65812631a5cf5d3ed";
+
+fn order() -> &'static BigUint {
+    use std::sync::OnceLock;
+    static ORDER: OnceLock<BigUint> = OnceLock::new();
+    ORDER.get_or_init(|| {
+        BigUint::from_bytes_be(&crate::util::hex_decode(ORDER_HEX).expect("static hex"))
+    })
+}
+
+/// A scalar in `[0, ℓ)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Scalar(BigUint);
+
+impl Scalar {
+    /// The zero scalar.
+    pub fn zero() -> Self {
+        Scalar(BigUint::zero())
+    }
+
+    /// The one scalar.
+    pub fn one() -> Self {
+        Scalar(BigUint::one())
+    }
+
+    /// From a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        Scalar(BigUint::from_u64(v).rem(order()))
+    }
+
+    /// Interpret up to 64 little-endian bytes, reduced modulo ℓ.
+    pub fn from_bytes_mod_order(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 64, "at most 512 bits");
+        Scalar(BigUint::from_bytes_le(bytes).rem(order()))
+    }
+
+    /// Strict decoding: 32 little-endian bytes that must already be `< ℓ`.
+    pub fn from_canonical_bytes(bytes: &[u8; 32]) -> Result<Self> {
+        let v = BigUint::from_bytes_le(bytes);
+        if &v >= order() {
+            return Err(CryptoError::InvalidScalar);
+        }
+        Ok(Scalar(v))
+    }
+
+    /// 32-byte little-endian canonical encoding.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        let mut be = self.0.to_bytes_be_padded(32);
+        be.reverse();
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&be);
+        out
+    }
+
+    /// A uniformly random nonzero scalar.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let mut wide = [0u8; 64];
+            rng.fill_bytes(&mut wide);
+            let s = Self::from_bytes_mod_order(&wide);
+            if !s.is_zero() {
+                return s;
+            }
+        }
+    }
+
+    /// Derive a scalar deterministically from input bytes (hash-to-scalar).
+    pub fn hash_from_bytes(domain: &[u8], data: &[u8]) -> Self {
+        let h1 = crate::sha256::sha256_multi(&[b"dcp-h2s-0:", domain, data]);
+        let h2 = crate::sha256::sha256_multi(&[b"dcp-h2s-1:", domain, data]);
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&h1);
+        wide[32..].copy_from_slice(&h2);
+        Self::from_bytes_mod_order(&wide)
+    }
+
+    /// Is this the zero scalar?
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// `self + other mod ℓ`.
+    pub fn add(&self, other: &Self) -> Self {
+        Scalar(self.0.addmod(&other.0, order()))
+    }
+
+    /// `self - other mod ℓ`.
+    pub fn sub(&self, other: &Self) -> Self {
+        Scalar(self.0.submod(&other.0, order()))
+    }
+
+    /// `self * other mod ℓ`.
+    pub fn mul(&self, other: &Self) -> Self {
+        Scalar(self.0.mulmod(&other.0, order()))
+    }
+
+    /// Additive inverse.
+    pub fn neg(&self) -> Self {
+        Scalar::zero().sub(self)
+    }
+
+    /// Multiplicative inverse; `None` for zero.
+    pub fn invert(&self) -> Option<Self> {
+        if self.is_zero() {
+            return None;
+        }
+        // ℓ is prime, so a^(ℓ-2) is the inverse.
+        let exp = order().sub(&BigUint::from_u64(2));
+        Some(Scalar(self.0.modpow(&exp, order())))
+    }
+
+    /// Iterate the bits of the scalar from most significant to least.
+    pub fn bits_msb_first(&self) -> impl Iterator<Item = bool> + '_ {
+        let len = self.0.bit_len();
+        (0..len).rev().map(move |i| self.0.bit(i))
+    }
+
+    /// Number of significant bits.
+    pub fn bit_len(&self) -> usize {
+        self.0.bit_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn order_is_prime_and_canonical() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        assert!(order().is_probable_prime(&mut rng, 12));
+        assert_eq!(order().bit_len(), 253);
+    }
+
+    #[test]
+    fn canonical_decoding() {
+        let l_minus_1 = order().sub(&BigUint::one());
+        let mut le = l_minus_1.to_bytes_be_padded(32);
+        le.reverse();
+        let mut arr = [0u8; 32];
+        arr.copy_from_slice(&le);
+        assert!(Scalar::from_canonical_bytes(&arr).is_ok());
+        // ℓ itself must be rejected.
+        let mut l_le = order().to_bytes_be_padded(32);
+        l_le.reverse();
+        let mut arr = [0u8; 32];
+        arr.copy_from_slice(&l_le);
+        assert_eq!(
+            Scalar::from_canonical_bytes(&arr),
+            Err(CryptoError::InvalidScalar)
+        );
+    }
+
+    #[test]
+    fn to_from_bytes_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..16 {
+            let s = Scalar::random(&mut rng);
+            let b = s.to_bytes();
+            assert_eq!(Scalar::from_canonical_bytes(&b).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn inversion_works() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..8 {
+            let s = Scalar::random(&mut rng);
+            let inv = s.invert().unwrap();
+            assert_eq!(s.mul(&inv), Scalar::one());
+        }
+        assert!(Scalar::zero().invert().is_none());
+    }
+
+    #[test]
+    fn hash_to_scalar_deterministic_and_domain_separated() {
+        let a = Scalar::hash_from_bytes(b"ctx1", b"msg");
+        let b = Scalar::hash_from_bytes(b"ctx1", b"msg");
+        let c = Scalar::hash_from_bytes(b"ctx2", b"msg");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn neg_adds_to_zero() {
+        let s = Scalar::from_u64(12345);
+        assert_eq!(s.add(&s.neg()), Scalar::zero());
+        assert_eq!(Scalar::zero().neg(), Scalar::zero());
+    }
+
+    proptest! {
+        #[test]
+        fn ring_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+            let (a, b, c) = (Scalar::from_u64(a), Scalar::from_u64(b), Scalar::from_u64(c));
+            prop_assert_eq!(a.add(&b), b.add(&a));
+            prop_assert_eq!(a.mul(&b), b.mul(&a));
+            prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+            prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+            prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+            prop_assert_eq!(a.add(&b).sub(&b), a);
+        }
+
+        #[test]
+        fn wide_reduction_consistent(bytes in proptest::collection::vec(any::<u8>(), 64)) {
+            // Reducing 64 bytes directly equals reducing via BigUint.
+            let s = Scalar::from_bytes_mod_order(&bytes);
+            let v = BigUint::from_bytes_le(&bytes).rem(order());
+            prop_assert_eq!(s.0, v);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Small shared helpers: hex codecs, constant-time comparison, XOR.
+
+/// Encode bytes as lowercase hex.
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        s.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    s
+}
+
+/// Decode a hex string (case-insensitive, no separators). Returns `None` on
+/// odd length or non-hex characters.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    let s = s.as_bytes();
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let nib = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    };
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in s.chunks_exact(2) {
+        out.push((nib(pair[0])? << 4) | nib(pair[1])?);
+    }
+    Some(out)
+}
+
+/// Constant-time equality for equal-length byte slices.
+///
+/// Returns `false` immediately (and non-secretly) when lengths differ —
+/// lengths are public in every use in this workspace.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// XOR `src` into `dst` in place. Panics if lengths differ.
+pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_in_place length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+/// Big-endian encoding of `v` into exactly `n` bytes (I2OSP). Panics if the
+/// value does not fit.
+pub fn i2osp(v: u64, n: usize) -> Vec<u8> {
+    assert!(n <= 8 || v <= u64::MAX, "i2osp width");
+    if n < 8 {
+        assert!(v < 1u64 << (8 * n as u32), "i2osp overflow");
+    }
+    let be = v.to_be_bytes();
+    be[8 - n.min(8)..].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let data = [0x00u8, 0x01, 0xab, 0xff, 0x7e];
+        let s = hex_encode(&data);
+        assert_eq!(s, "0001abff7e");
+        assert_eq!(hex_decode(&s).unwrap(), data);
+    }
+
+    #[test]
+    fn hex_decode_rejects_bad_input() {
+        assert!(hex_decode("abc").is_none(), "odd length");
+        assert!(hex_decode("zz").is_none(), "non-hex chars");
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn hex_decode_uppercase() {
+        assert_eq!(hex_decode("ABCDEF").unwrap(), vec![0xab, 0xcd, 0xef]);
+    }
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"hello", b"hello"));
+        assert!(!ct_eq(b"hello", b"hellp"));
+        assert!(!ct_eq(b"hello", b"hell"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn xor_works() {
+        let mut a = [0b1010u8, 0xff];
+        xor_in_place(&mut a, &[0b0110u8, 0x0f]);
+        assert_eq!(a, [0b1100u8, 0xf0]);
+    }
+
+    #[test]
+    fn i2osp_widths() {
+        assert_eq!(i2osp(0x0102, 2), vec![0x01, 0x02]);
+        assert_eq!(i2osp(7, 1), vec![7]);
+        assert_eq!(i2osp(0, 4), vec![0, 0, 0, 0]);
+        assert_eq!(
+            i2osp(u64::MAX, 8),
+            vec![0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn i2osp_overflow_panics() {
+        let _ = i2osp(256, 1);
+    }
+}

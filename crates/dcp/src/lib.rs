@@ -1,0 +1,60 @@
+//! # decoupling — "The Decoupling Principle", executable
+//!
+//! An umbrella crate for the reproduction of *The Decoupling Principle: A
+//! Practical Privacy Framework* (Schmitt, Iyengar, Wood, Raghavan —
+//! HotNets '22). It re-exports:
+//!
+//! * [`core`] — the framework: knowledge tuples, decoupling verdicts,
+//!   collusion analysis, degrees of decoupling, the TEE trust model.
+//! * [`crypto`] — from-scratch primitives (SHA-256 → HPKE → blind RSA →
+//!   VOPRF) that every system here runs on.
+//! * [`simnet`] — the deterministic discrete-event simulator with
+//!   information-flow tracking.
+//! * [`transport`] — framing, encrypted channels, onion tunnels, traffic
+//!   shaping.
+//! * [`dns`] — the DNS substrate (wire codec, zones, resolver, workloads).
+//! * The paper's systems: [`blindcash`] (§3.1.1), [`mixnet`] (§3.1.2),
+//!   [`privacypass`] (§3.2.1), [`odns`] (§3.2.2), [`pgpp`] (§3.2.3),
+//!   [`mpr`] (§3.2.4), [`ppm`] (§3.2.5), and the [`vpn`] cautionary tales
+//!   (§3.3).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use decoupling::core::{analyze, World, InfoItem, IdentityKind, DataKind};
+//!
+//! let mut world = World::new();
+//! let user_org = world.add_org("user");
+//! let op_org = world.add_org("operator");
+//! let alice = world.add_user();
+//! let client = world.add_entity("Client", user_org, Some(alice));
+//! let server = world.add_entity("Server", op_org, None);
+//!
+//! // The user knows who they are and what they do — that's allowed.
+//! world.record(client, InfoItem::sensitive_identity(alice, IdentityKind::Any));
+//! world.record(client, InfoItem::sensitive_data(alice, DataKind::Payload));
+//! // The server learns both too: that's a coupling.
+//! world.record(server, InfoItem::sensitive_identity(alice, IdentityKind::Any));
+//! world.record(server, InfoItem::sensitive_data(alice, DataKind::Payload));
+//!
+//! let verdict = analyze(&world);
+//! assert!(!verdict.decoupled);
+//! assert_eq!(verdict.offenders(), vec!["Server"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dcp_blindcash as blindcash;
+pub use dcp_core as core;
+pub use dcp_crypto as crypto;
+pub use dcp_dns as dns;
+pub use dcp_mixnet as mixnet;
+pub use dcp_mpr as mpr;
+pub use dcp_odns as odns;
+pub use dcp_pgpp as pgpp;
+pub use dcp_ppm as ppm;
+pub use dcp_privacypass as privacypass;
+pub use dcp_simnet as simnet;
+pub use dcp_transport as transport;
+pub use dcp_vpn as vpn;

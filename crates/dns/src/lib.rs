@@ -1,0 +1,58 @@
+//! # dcp-dns — a from-scratch DNS substrate
+//!
+//! Oblivious DNS (§3.2.2 of "The Decoupling Principle") is a protocol
+//! *about* DNS, so this workspace carries a real one:
+//!
+//! * [`name`] — domain names with case-insensitive label semantics.
+//! * [`wire`] — the RFC 1035 message codec: header, questions, resource
+//!   records, and name-compression pointers (decoded; encoding emits
+//!   uncompressed names, which every decoder must accept).
+//! * [`zone`] — authoritative zone data with CNAME chasing.
+//! * [`resolver`] — a caching recursive resolver over a zone database,
+//!   with TTL-driven expiry and cache-hit accounting.
+//! * [`workload`] — seeded Zipf-distributed query streams over synthetic
+//!   popularity rankings (the substitution for proprietary DNS traces:
+//!   experiments need realistic *popularity skew*, not real user queries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod name;
+pub mod resolver;
+pub mod wire;
+pub mod workload;
+pub mod zone;
+
+pub use name::DnsName;
+pub use resolver::RecursiveResolver;
+pub use wire::{Message, Question, Rcode, RecordData, ResourceRecord, RrType};
+pub use zone::Zone;
+
+/// Errors from DNS encoding/decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsError {
+    /// Message was truncated or structurally invalid.
+    Malformed,
+    /// A name was too long / had empty or oversized labels.
+    BadName,
+    /// A compression pointer loop was detected.
+    PointerLoop,
+    /// Unsupported record type on decode.
+    UnsupportedType(u16),
+}
+
+impl core::fmt::Display for DnsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DnsError::Malformed => f.write_str("malformed DNS message"),
+            DnsError::BadName => f.write_str("invalid domain name"),
+            DnsError::PointerLoop => f.write_str("compression pointer loop"),
+            DnsError::UnsupportedType(t) => write!(f, "unsupported RR type {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DnsError {}
+
+/// Result alias.
+pub type Result<T> = core::result::Result<T, DnsError>;

@@ -1,0 +1,199 @@
+//! Domain names: sequences of labels with case-insensitive comparison.
+
+use crate::{DnsError, Result};
+
+/// Maximum total name length on the wire (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+/// Maximum label length.
+pub const MAX_LABEL_LEN: usize = 63;
+
+/// A domain name, stored as lowercase labels (DNS names compare
+/// case-insensitively).
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DnsName {
+    labels: Vec<Vec<u8>>,
+}
+
+impl DnsName {
+    /// The root name (empty label sequence).
+    pub fn root() -> Self {
+        DnsName { labels: Vec::new() }
+    }
+
+    /// Parse from presentation format (`"www.example.com"`, trailing dot
+    /// optional).
+    pub fn parse(s: &str) -> Result<Self> {
+        if s == "." || s.is_empty() {
+            return Ok(Self::root());
+        }
+        let s = s.strip_suffix('.').unwrap_or(s);
+        let mut labels = Vec::new();
+        for l in s.split('.') {
+            if l.is_empty() || l.len() > MAX_LABEL_LEN {
+                return Err(DnsError::BadName);
+            }
+            labels.push(l.to_ascii_lowercase().into_bytes());
+        }
+        let name = DnsName { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(DnsError::BadName);
+        }
+        Ok(name)
+    }
+
+    /// Build from raw label bytes (lowercased internally).
+    pub fn from_labels(labels: Vec<Vec<u8>>) -> Result<Self> {
+        for l in &labels {
+            if l.is_empty() || l.len() > MAX_LABEL_LEN {
+                return Err(DnsError::BadName);
+            }
+        }
+        let name = DnsName {
+            labels: labels.into_iter().map(|l| l.to_ascii_lowercase()).collect(),
+        };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(DnsError::BadName);
+        }
+        Ok(name)
+    }
+
+    /// The labels, leftmost first.
+    pub fn labels(&self) -> &[Vec<u8>] {
+        &self.labels
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Is this the root?
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Wire length: one length byte per label + label bytes + root byte.
+    pub fn wire_len(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+    }
+
+    /// Is `self` a subdomain of (or equal to) `ancestor`?
+    pub fn is_under(&self, ancestor: &DnsName) -> bool {
+        if ancestor.labels.len() > self.labels.len() {
+            return false;
+        }
+        self.labels
+            .iter()
+            .rev()
+            .zip(ancestor.labels.iter().rev())
+            .all(|(a, b)| a == b)
+    }
+
+    /// The parent name (one label removed from the left); root's parent is
+    /// root.
+    pub fn parent(&self) -> DnsName {
+        if self.labels.is_empty() {
+            return Self::root();
+        }
+        DnsName {
+            labels: self.labels[1..].to_vec(),
+        }
+    }
+
+    /// Prepend a label (e.g. building `<blob>.odns.example`).
+    pub fn prepend(&self, label: &[u8]) -> Result<DnsName> {
+        let mut labels = vec![label.to_vec()];
+        labels.extend(self.labels.iter().cloned());
+        Self::from_labels(labels)
+    }
+}
+
+impl core::fmt::Display for DnsName {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        let parts: Vec<String> = self
+            .labels
+            .iter()
+            .map(|l| String::from_utf8_lossy(l).into_owned())
+            .collect();
+        f.write_str(&parts.join("."))
+    }
+}
+
+impl std::str::FromStr for DnsName {
+    type Err = DnsError;
+    fn from_str(s: &str) -> Result<Self> {
+        Self::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n = DnsName::parse("WWW.Example.COM").unwrap();
+        assert_eq!(n.to_string(), "www.example.com");
+        assert_eq!(n.label_count(), 3);
+        assert_eq!(DnsName::parse("www.example.com.").unwrap(), n);
+    }
+
+    #[test]
+    fn case_insensitive_equality() {
+        assert_eq!(
+            DnsName::parse("ExAmPlE.CoM").unwrap(),
+            DnsName::parse("example.com").unwrap()
+        );
+    }
+
+    #[test]
+    fn root_handling() {
+        assert!(DnsName::parse(".").unwrap().is_root());
+        assert!(DnsName::parse("").unwrap().is_root());
+        assert_eq!(DnsName::root().to_string(), ".");
+        assert_eq!(DnsName::root().wire_len(), 1);
+        assert_eq!(DnsName::root().parent(), DnsName::root());
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert!(DnsName::parse("a..b").is_err(), "empty label");
+        let long_label = "x".repeat(64);
+        assert!(DnsName::parse(&long_label).is_err(), "64-byte label");
+        assert!(DnsName::parse(&"x".repeat(63)).is_ok());
+        // Total length over 255.
+        let long_name = (0..50).map(|_| "abcdef").collect::<Vec<_>>().join(".");
+        assert!(DnsName::parse(&long_name).is_err());
+    }
+
+    #[test]
+    fn subdomain_relations() {
+        let apex = DnsName::parse("example.com").unwrap();
+        let www = DnsName::parse("www.example.com").unwrap();
+        let other = DnsName::parse("example.org").unwrap();
+        assert!(www.is_under(&apex));
+        assert!(apex.is_under(&apex));
+        assert!(!apex.is_under(&www));
+        assert!(!other.is_under(&apex));
+        assert!(www.is_under(&DnsName::root()), "everything under root");
+    }
+
+    #[test]
+    fn parent_and_prepend() {
+        let www = DnsName::parse("www.example.com").unwrap();
+        assert_eq!(www.parent().to_string(), "example.com");
+        let back = www.parent().prepend(b"www").unwrap();
+        assert_eq!(back, www);
+        // prepend enforces the length limits.
+        assert!(www.prepend(&[b'x'; 64]).is_err());
+    }
+
+    #[test]
+    fn wire_len_matches_encoding() {
+        // "www.example.com" = 1+3 + 1+7 + 1+3 + 1 = 17.
+        assert_eq!(DnsName::parse("www.example.com").unwrap().wire_len(), 17);
+    }
+}

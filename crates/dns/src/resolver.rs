@@ -1,0 +1,224 @@
+//! A caching recursive resolver over a database of authoritative zones.
+//!
+//! Recursion here is resolution against the most-specific matching zone
+//! (the simulator models the authority side as a consolidated database;
+//! the privacy analysis cares about *which resolver sees which query*, not
+//! about root/TLD referral chatter). The cache is TTL-accurate, including
+//! negative caching from SOA minimums.
+
+use std::collections::HashMap;
+
+use crate::name::DnsName;
+use crate::wire::{Message, Rcode, RrType};
+use crate::zone::Zone;
+
+/// Cache key: (name, type).
+type CacheKey = (DnsName, RrType);
+
+#[derive(Clone)]
+struct CacheEntry {
+    response: Message,
+    expires_at: u64,
+}
+
+/// A recursive resolver with a TTL cache.
+pub struct RecursiveResolver {
+    zones: Vec<Zone>,
+    cache: HashMap<CacheKey, CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RecursiveResolver {
+    /// Create a resolver over the given authoritative data.
+    pub fn new(zones: Vec<Zone>) -> Self {
+        RecursiveResolver {
+            zones,
+            cache: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// (cache hits, cache misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of cached entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Resolve `query` at time `now_secs`. Returns the response and
+    /// whether it was served from cache.
+    pub fn resolve(&mut self, query: &Message, now_secs: u64) -> (Message, bool) {
+        let Some(q) = query.questions.first() else {
+            return (Message::response_to(query, Rcode::FormErr), false);
+        };
+        let key = (q.qname.clone(), q.qtype);
+
+        if let Some(entry) = self.cache.get(&key) {
+            if entry.expires_at > now_secs {
+                self.hits += 1;
+                let mut resp = entry.response.clone();
+                resp.id = query.id;
+                return (resp, true);
+            }
+            self.cache.remove(&key);
+        }
+        self.misses += 1;
+
+        // Find the most specific zone containing the name.
+        let best = self
+            .zones
+            .iter()
+            .filter(|z| z.contains(&q.qname))
+            .max_by_key(|z| z.apex().label_count());
+        let mut resp = match best {
+            Some(zone) => zone.answer(query),
+            None => Message::response_to(query, Rcode::NxDomain),
+        };
+        resp.aa = false; // recursive answers are not authoritative
+        resp.ra = true;
+
+        let ttl = cacheable_ttl(&resp);
+        if let Some(ttl) = ttl {
+            self.cache.insert(
+                key,
+                CacheEntry {
+                    response: resp.clone(),
+                    expires_at: now_secs + ttl as u64,
+                },
+            );
+        }
+        (resp, false)
+    }
+
+    /// Drop all cached entries.
+    pub fn flush_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+/// TTL under which a response may be cached: min of answer TTLs, or the
+/// SOA minimum for negative answers. `None` = uncacheable.
+fn cacheable_ttl(resp: &Message) -> Option<u32> {
+    match resp.rcode {
+        Rcode::NoError if !resp.answers.is_empty() => resp.answers.iter().map(|r| r.ttl).min(),
+        Rcode::NoError | Rcode::NxDomain => resp.authority.iter().find_map(|r| match &r.data {
+            crate::wire::RecordData::Soa { minimum, .. } => Some((*minimum).min(r.ttl)),
+            _ => None,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::RecordData;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    fn zones() -> Vec<Zone> {
+        let mut example = Zone::new(name("example.com"));
+        example.add(
+            name("example.com"),
+            3600,
+            RecordData::Soa {
+                mname: name("ns1.example.com"),
+                rname: name("admin.example.com"),
+                serial: 1,
+                minimum: 60,
+            },
+        );
+        example.add_a("www.example.com", [192, 0, 2, 1]);
+        // A more specific delegated zone.
+        let mut sub = Zone::new(name("sub.example.com"));
+        sub.add_a("host.sub.example.com", [192, 0, 2, 99]);
+        let mut other = Zone::new(name("other.net"));
+        other.add_a("other.net", [198, 51, 100, 1]);
+        vec![example, sub, other]
+    }
+
+    #[test]
+    fn resolves_and_caches() {
+        let mut r = RecursiveResolver::new(zones());
+        let q = Message::query(1, name("www.example.com"), RrType::A);
+        let (resp, hit) = r.resolve(&q, 0);
+        assert!(!hit);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(!resp.aa, "recursive answers are not authoritative");
+        assert!(resp.ra);
+
+        let (resp2, hit2) = r.resolve(&q, 10);
+        assert!(hit2);
+        assert_eq!(resp2.answers, resp.answers);
+        assert_eq!(r.stats(), (1, 1));
+    }
+
+    #[test]
+    fn cache_expires_at_ttl() {
+        let mut r = RecursiveResolver::new(zones());
+        let q = Message::query(1, name("www.example.com"), RrType::A);
+        let _ = r.resolve(&q, 0);
+        // TTL is 300; at t=299 a hit, at t=300 a miss.
+        assert!(r.resolve(&q, 299).1);
+        assert!(!r.resolve(&q, 300).1);
+    }
+
+    #[test]
+    fn cache_id_follows_query() {
+        let mut r = RecursiveResolver::new(zones());
+        let _ = r.resolve(&Message::query(1, name("www.example.com"), RrType::A), 0);
+        let (resp, hit) = r.resolve(&Message::query(77, name("www.example.com"), RrType::A), 1);
+        assert!(hit);
+        assert_eq!(resp.id, 77, "cached responses echo the new id");
+    }
+
+    #[test]
+    fn most_specific_zone_wins() {
+        let mut r = RecursiveResolver::new(zones());
+        let (resp, _) = r.resolve(
+            &Message::query(1, name("host.sub.example.com"), RrType::A),
+            0,
+        );
+        assert_eq!(
+            resp.answers[0].data,
+            RecordData::A([192, 0, 2, 99]),
+            "delegated zone answered"
+        );
+    }
+
+    #[test]
+    fn negative_caching_uses_soa_minimum() {
+        let mut r = RecursiveResolver::new(zones());
+        let q = Message::query(1, name("missing.example.com"), RrType::A);
+        let (resp, _) = r.resolve(&q, 0);
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        // SOA minimum 60: cached until t=60.
+        assert!(r.resolve(&q, 59).1, "negative answer cached");
+        assert!(!r.resolve(&q, 60).1, "negative cache expired");
+    }
+
+    #[test]
+    fn unknown_name_nxdomain() {
+        let mut r = RecursiveResolver::new(zones());
+        let (resp, _) = r.resolve(&Message::query(1, name("nowhere.test"), RrType::A), 0);
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn flush_cache_forgets() {
+        let mut r = RecursiveResolver::new(zones());
+        let q = Message::query(1, name("www.example.com"), RrType::A);
+        let _ = r.resolve(&q, 0);
+        assert_eq!(r.cache_len(), 1);
+        r.flush_cache();
+        assert_eq!(r.cache_len(), 0);
+        assert!(!r.resolve(&q, 1).1);
+    }
+}

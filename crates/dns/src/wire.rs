@@ -1,0 +1,593 @@
+//! RFC 1035 message encoding and decoding.
+//!
+//! Encoding emits uncompressed names (legal per the RFC); decoding handles
+//! compression pointers with loop protection, so messages from any
+//! conforming implementation parse.
+
+use crate::name::DnsName;
+use crate::{DnsError, Result};
+
+/// Record type codes this codec understands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u16)]
+pub enum RrType {
+    /// IPv4 address.
+    A = 1,
+    /// Authoritative name server.
+    Ns = 2,
+    /// Canonical name alias.
+    Cname = 5,
+    /// Start of authority.
+    Soa = 6,
+    /// Free-form text.
+    Txt = 16,
+    /// IPv6 address.
+    Aaaa = 28,
+}
+
+impl RrType {
+    /// Decode a type code.
+    pub fn from_u16(v: u16) -> Result<RrType> {
+        Ok(match v {
+            1 => RrType::A,
+            2 => RrType::Ns,
+            5 => RrType::Cname,
+            6 => RrType::Soa,
+            16 => RrType::Txt,
+            28 => RrType::Aaaa,
+            other => return Err(DnsError::UnsupportedType(other)),
+        })
+    }
+}
+
+/// Response codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Rcode {
+    /// No error.
+    NoError = 0,
+    /// Format error.
+    FormErr = 1,
+    /// Server failure.
+    ServFail = 2,
+    /// Name does not exist.
+    NxDomain = 3,
+    /// Refused.
+    Refused = 5,
+}
+
+impl Rcode {
+    fn from_u8(v: u8) -> Rcode {
+        match v {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            _ => Rcode::Refused,
+        }
+    }
+}
+
+/// A question section entry (class is always IN here).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Question {
+    /// The queried name.
+    pub qname: DnsName,
+    /// The queried type.
+    pub qtype: RrType,
+}
+
+/// Typed record data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecordData {
+    /// IPv4 address.
+    A([u8; 4]),
+    /// IPv6 address.
+    Aaaa([u8; 16]),
+    /// Alias target.
+    Cname(DnsName),
+    /// Delegation target.
+    Ns(DnsName),
+    /// Text strings (each ≤ 255 bytes).
+    Txt(Vec<Vec<u8>>),
+    /// SOA minimal form: mname, rname, serial, negative-caching TTL.
+    Soa {
+        /// Primary server name.
+        mname: DnsName,
+        /// Responsible mailbox name.
+        rname: DnsName,
+        /// Zone serial.
+        serial: u32,
+        /// Negative-caching TTL.
+        minimum: u32,
+    },
+}
+
+impl RecordData {
+    /// The wire type of this data.
+    pub fn rrtype(&self) -> RrType {
+        match self {
+            RecordData::A(_) => RrType::A,
+            RecordData::Aaaa(_) => RrType::Aaaa,
+            RecordData::Cname(_) => RrType::Cname,
+            RecordData::Ns(_) => RrType::Ns,
+            RecordData::Txt(_) => RrType::Txt,
+            RecordData::Soa { .. } => RrType::Soa,
+        }
+    }
+}
+
+/// A resource record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResourceRecord {
+    /// Owner name.
+    pub name: DnsName,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Typed data.
+    pub data: RecordData,
+}
+
+/// A DNS message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Transaction id.
+    pub id: u16,
+    /// Is this a response?
+    pub is_response: bool,
+    /// Recursion desired.
+    pub rd: bool,
+    /// Recursion available.
+    pub ra: bool,
+    /// Authoritative answer.
+    pub aa: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<ResourceRecord>,
+    /// Authority section.
+    pub authority: Vec<ResourceRecord>,
+}
+
+impl Message {
+    /// Build a recursive query for (`name`, `qtype`).
+    pub fn query(id: u16, name: DnsName, qtype: RrType) -> Self {
+        Message {
+            id,
+            is_response: false,
+            rd: true,
+            ra: false,
+            aa: false,
+            rcode: Rcode::NoError,
+            questions: vec![Question { qname: name, qtype }],
+            answers: Vec::new(),
+            authority: Vec::new(),
+        }
+    }
+
+    /// Build a response skeleton echoing `query`'s id and question.
+    pub fn response_to(query: &Message, rcode: Rcode) -> Self {
+        Message {
+            id: query.id,
+            is_response: true,
+            rd: query.rd,
+            ra: true,
+            aa: false,
+            rcode,
+            questions: query.questions.clone(),
+            answers: Vec::new(),
+            authority: Vec::new(),
+        }
+    }
+
+    /// Encode to wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        let mut flags: u16 = 0;
+        if self.is_response {
+            flags |= 0x8000;
+        }
+        if self.aa {
+            flags |= 0x0400;
+        }
+        if self.rd {
+            flags |= 0x0100;
+        }
+        if self.ra {
+            flags |= 0x0080;
+        }
+        flags |= self.rcode as u16 & 0x000f;
+        out.extend_from_slice(&flags.to_be_bytes());
+        out.extend_from_slice(&(self.questions.len() as u16).to_be_bytes());
+        out.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
+        out.extend_from_slice(&(self.authority.len() as u16).to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes()); // no additional section
+        for q in &self.questions {
+            encode_name(&mut out, &q.qname);
+            out.extend_from_slice(&(q.qtype as u16).to_be_bytes());
+            out.extend_from_slice(&1u16.to_be_bytes()); // IN
+        }
+        for rr in self.answers.iter().chain(self.authority.iter()) {
+            encode_rr(&mut out, rr);
+        }
+        out
+    }
+
+    /// Decode from wire format.
+    pub fn decode(bytes: &[u8]) -> Result<Message> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let id = cur.u16()?;
+        let flags = cur.u16()?;
+        let qd = cur.u16()? as usize;
+        let an = cur.u16()? as usize;
+        let ns = cur.u16()? as usize;
+        let ar = cur.u16()? as usize;
+
+        let mut questions = Vec::with_capacity(qd);
+        for _ in 0..qd {
+            let qname = decode_name(&mut cur)?;
+            let qtype = RrType::from_u16(cur.u16()?)?;
+            let _class = cur.u16()?;
+            questions.push(Question { qname, qtype });
+        }
+        let mut answers = Vec::with_capacity(an);
+        for _ in 0..an {
+            answers.push(decode_rr(&mut cur)?);
+        }
+        let mut authority = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            authority.push(decode_rr(&mut cur)?);
+        }
+        // Skip additional records (e.g. OPT) structurally.
+        for _ in 0..ar {
+            let _ = decode_name(&mut cur)?;
+            let _t = cur.u16()?;
+            let _c = cur.u16()?;
+            let _ttl = cur.u32()?;
+            let rdlen = cur.u16()? as usize;
+            cur.skip(rdlen)?;
+        }
+
+        Ok(Message {
+            id,
+            is_response: flags & 0x8000 != 0,
+            rd: flags & 0x0100 != 0,
+            ra: flags & 0x0080 != 0,
+            aa: flags & 0x0400 != 0,
+            rcode: Rcode::from_u8((flags & 0x000f) as u8),
+            questions,
+            answers,
+            authority,
+        })
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn u8(&mut self) -> Result<u8> {
+        let b = *self.bytes.get(self.pos).ok_or(DnsError::Malformed)?;
+        self.pos += 1;
+        Ok(b)
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(((self.u8()? as u16) << 8) | self.u8()? as u16)
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(((self.u16()? as u32) << 16) | self.u16()? as u32)
+    }
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DnsError::Malformed);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn skip(&mut self, n: usize) -> Result<()> {
+        self.take(n).map(|_| ())
+    }
+}
+
+fn encode_name(out: &mut Vec<u8>, name: &DnsName) {
+    for label in name.labels() {
+        out.push(label.len() as u8);
+        out.extend_from_slice(label);
+    }
+    out.push(0);
+}
+
+/// Decode a (possibly compressed) name starting at the cursor.
+fn decode_name(cur: &mut Cursor) -> Result<DnsName> {
+    let mut labels = Vec::new();
+    let mut jumps = 0usize;
+    let mut pos = cur.pos;
+    let mut after_first_jump: Option<usize> = None;
+
+    loop {
+        let len = *cur.bytes.get(pos).ok_or(DnsError::Malformed)? as usize;
+        if len & 0xc0 == 0xc0 {
+            // Compression pointer.
+            let b2 = *cur.bytes.get(pos + 1).ok_or(DnsError::Malformed)? as usize;
+            if after_first_jump.is_none() {
+                after_first_jump = Some(pos + 2);
+            }
+            pos = ((len & 0x3f) << 8) | b2;
+            jumps += 1;
+            if jumps > 32 {
+                return Err(DnsError::PointerLoop);
+            }
+            continue;
+        }
+        if len & 0xc0 != 0 {
+            return Err(DnsError::Malformed);
+        }
+        if len == 0 {
+            pos += 1;
+            break;
+        }
+        let start = pos + 1;
+        if start + len > cur.bytes.len() {
+            return Err(DnsError::Malformed);
+        }
+        labels.push(cur.bytes[start..start + len].to_vec());
+        pos = start + len;
+        if labels.len() > 128 {
+            return Err(DnsError::BadName);
+        }
+    }
+    cur.pos = after_first_jump.unwrap_or(pos);
+    DnsName::from_labels(labels)
+}
+
+fn encode_rr(out: &mut Vec<u8>, rr: &ResourceRecord) {
+    encode_name(out, &rr.name);
+    out.extend_from_slice(&(rr.data.rrtype() as u16).to_be_bytes());
+    out.extend_from_slice(&1u16.to_be_bytes()); // IN
+    out.extend_from_slice(&rr.ttl.to_be_bytes());
+    let mut rdata = Vec::new();
+    match &rr.data {
+        RecordData::A(v) => rdata.extend_from_slice(v),
+        RecordData::Aaaa(v) => rdata.extend_from_slice(v),
+        RecordData::Cname(n) | RecordData::Ns(n) => encode_name(&mut rdata, n),
+        RecordData::Txt(strings) => {
+            for s in strings {
+                rdata.push(s.len() as u8);
+                rdata.extend_from_slice(s);
+            }
+        }
+        RecordData::Soa {
+            mname,
+            rname,
+            serial,
+            minimum,
+        } => {
+            encode_name(&mut rdata, mname);
+            encode_name(&mut rdata, rname);
+            rdata.extend_from_slice(&serial.to_be_bytes());
+            rdata.extend_from_slice(&3600u32.to_be_bytes()); // refresh
+            rdata.extend_from_slice(&600u32.to_be_bytes()); // retry
+            rdata.extend_from_slice(&86400u32.to_be_bytes()); // expire
+            rdata.extend_from_slice(&minimum.to_be_bytes());
+        }
+    }
+    out.extend_from_slice(&(rdata.len() as u16).to_be_bytes());
+    out.extend_from_slice(&rdata);
+}
+
+fn decode_rr(cur: &mut Cursor) -> Result<ResourceRecord> {
+    let name = decode_name(cur)?;
+    let rrtype = RrType::from_u16(cur.u16()?)?;
+    let _class = cur.u16()?;
+    let ttl = cur.u32()?;
+    let rdlen = cur.u16()? as usize;
+    let rdata_end = cur.pos + rdlen;
+    if rdata_end > cur.bytes.len() {
+        return Err(DnsError::Malformed);
+    }
+
+    let data = match rrtype {
+        RrType::A => {
+            let v = cur.take(4)?;
+            RecordData::A([v[0], v[1], v[2], v[3]])
+        }
+        RrType::Aaaa => {
+            let v = cur.take(16)?;
+            let mut a = [0u8; 16];
+            a.copy_from_slice(v);
+            RecordData::Aaaa(a)
+        }
+        RrType::Cname => RecordData::Cname(decode_name(cur)?),
+        RrType::Ns => RecordData::Ns(decode_name(cur)?),
+        RrType::Txt => {
+            let mut strings = Vec::new();
+            while cur.pos < rdata_end {
+                let len = cur.u8()? as usize;
+                strings.push(cur.take(len)?.to_vec());
+            }
+            RecordData::Txt(strings)
+        }
+        RrType::Soa => {
+            let mname = decode_name(cur)?;
+            let rname = decode_name(cur)?;
+            let serial = cur.u32()?;
+            let _refresh = cur.u32()?;
+            let _retry = cur.u32()?;
+            let _expire = cur.u32()?;
+            let minimum = cur.u32()?;
+            RecordData::Soa {
+                mname,
+                rname,
+                serial,
+                minimum,
+            }
+        }
+    };
+    if cur.pos != rdata_end {
+        return Err(DnsError::Malformed);
+    }
+    Ok(ResourceRecord { name, ttl, data })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = Message::query(0x1234, name("www.example.com"), RrType::A);
+        let dec = Message::decode(&q.encode()).unwrap();
+        assert_eq!(dec, q);
+        assert!(!dec.is_response);
+        assert!(dec.rd);
+    }
+
+    #[test]
+    fn response_roundtrip_all_types() {
+        let q = Message::query(7, name("example.com"), RrType::A);
+        let mut r = Message::response_to(&q, Rcode::NoError);
+        r.aa = true;
+        r.answers.push(ResourceRecord {
+            name: name("example.com"),
+            ttl: 300,
+            data: RecordData::A([93, 184, 216, 34]),
+        });
+        r.answers.push(ResourceRecord {
+            name: name("example.com"),
+            ttl: 300,
+            data: RecordData::Aaaa([0x26, 0x06, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]),
+        });
+        r.answers.push(ResourceRecord {
+            name: name("alias.example.com"),
+            ttl: 60,
+            data: RecordData::Cname(name("example.com")),
+        });
+        r.answers.push(ResourceRecord {
+            name: name("example.com"),
+            ttl: 600,
+            data: RecordData::Txt(vec![b"v=spf1 -all".to_vec(), b"second".to_vec()]),
+        });
+        r.authority.push(ResourceRecord {
+            name: name("example.com"),
+            ttl: 3600,
+            data: RecordData::Ns(name("ns1.example.com")),
+        });
+        r.authority.push(ResourceRecord {
+            name: name("example.com"),
+            ttl: 3600,
+            data: RecordData::Soa {
+                mname: name("ns1.example.com"),
+                rname: name("hostmaster.example.com"),
+                serial: 2022111401,
+                minimum: 900,
+            },
+        });
+        let dec = Message::decode(&r.encode()).unwrap();
+        assert_eq!(dec, r);
+    }
+
+    #[test]
+    fn nxdomain_response() {
+        let q = Message::query(9, name("nope.example.com"), RrType::A);
+        let r = Message::response_to(&q, Rcode::NxDomain);
+        let dec = Message::decode(&r.encode()).unwrap();
+        assert_eq!(dec.rcode, Rcode::NxDomain);
+        assert_eq!(dec.id, 9);
+        assert_eq!(dec.questions, q.questions);
+    }
+
+    #[test]
+    fn decodes_compressed_names() {
+        // Hand-built message: question "a.example.com" A, answer with the
+        // owner name compressed as a pointer to offset 12 (question name).
+        let mut m = Vec::new();
+        m.extend_from_slice(&0x0042u16.to_be_bytes()); // id
+        m.extend_from_slice(&0x8400u16.to_be_bytes()); // QR|AA
+        m.extend_from_slice(&1u16.to_be_bytes()); // qd
+        m.extend_from_slice(&1u16.to_be_bytes()); // an
+        m.extend_from_slice(&0u16.to_be_bytes()); // ns
+        m.extend_from_slice(&0u16.to_be_bytes()); // ar
+                                                  // Question name at offset 12.
+        m.extend_from_slice(&[1, b'a', 7]);
+        m.extend_from_slice(b"example");
+        m.extend_from_slice(&[3]);
+        m.extend_from_slice(b"com");
+        m.push(0);
+        m.extend_from_slice(&1u16.to_be_bytes()); // A
+        m.extend_from_slice(&1u16.to_be_bytes()); // IN
+                                                  // Answer: pointer to offset 12.
+        m.extend_from_slice(&[0xc0, 12]);
+        m.extend_from_slice(&1u16.to_be_bytes()); // A
+        m.extend_from_slice(&1u16.to_be_bytes()); // IN
+        m.extend_from_slice(&60u32.to_be_bytes());
+        m.extend_from_slice(&4u16.to_be_bytes());
+        m.extend_from_slice(&[10, 0, 0, 1]);
+
+        let dec = Message::decode(&m).unwrap();
+        assert_eq!(dec.answers[0].name, name("a.example.com"));
+        assert_eq!(dec.answers[0].data, RecordData::A([10, 0, 0, 1]));
+    }
+
+    #[test]
+    fn pointer_loop_detected() {
+        let mut m = Vec::new();
+        m.extend_from_slice(&0u16.to_be_bytes());
+        m.extend_from_slice(&0u16.to_be_bytes());
+        m.extend_from_slice(&1u16.to_be_bytes());
+        m.extend_from_slice(&0u16.to_be_bytes());
+        m.extend_from_slice(&0u16.to_be_bytes());
+        m.extend_from_slice(&0u16.to_be_bytes());
+        // Name: pointer to itself at offset 12.
+        m.extend_from_slice(&[0xc0, 12]);
+        m.extend_from_slice(&1u16.to_be_bytes());
+        m.extend_from_slice(&1u16.to_be_bytes());
+        assert_eq!(Message::decode(&m), Err(DnsError::PointerLoop));
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        let q = Message::query(1, name("example.com"), RrType::A);
+        let enc = q.encode();
+        for cut in [0usize, 3, 11, 13, enc.len() - 1] {
+            assert!(Message::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unsupported_type_is_error_not_panic() {
+        let q = Message::query(1, name("example.com"), RrType::A);
+        let mut enc = q.encode();
+        // Overwrite qtype (last 4 bytes are type+class) with 99.
+        let l = enc.len();
+        enc[l - 4] = 0;
+        enc[l - 3] = 99;
+        assert_eq!(Message::decode(&enc), Err(DnsError::UnsupportedType(99)));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_names(labels in proptest::collection::vec("[a-z0-9]{1,20}", 1..6)) {
+            let s = labels.join(".");
+            let n = DnsName::parse(&s).unwrap();
+            let q = Message::query(1, n.clone(), RrType::Aaaa);
+            let dec = Message::decode(&q.encode()).unwrap();
+            prop_assert_eq!(dec.questions[0].qname.clone(), n);
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+            let _ = Message::decode(&bytes);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Synthetic DNS query workloads.
+//!
+//! Substitution note (see DESIGN.md): the paper's systems were evaluated
+//! against real user traffic, which is exactly the sensitive data this
+//! workspace cannot (and should not) carry. The experiments need the
+//! *shape* of DNS demand — heavy-tailed domain popularity — which a seeded
+//! Zipf sampler over a synthetic ranking provides.
+
+use rand::Rng;
+
+use crate::name::DnsName;
+
+/// A Zipf-distributed query-stream generator over `n` synthetic domains.
+pub struct ZipfWorkload {
+    /// Domain popularity ranks: `domains[0]` is the most popular.
+    domains: Vec<DnsName>,
+    /// Cumulative distribution for sampling.
+    cdf: Vec<f64>,
+}
+
+impl ZipfWorkload {
+    /// Create a workload of `n` domains under `suffix` with Zipf skew `s`
+    /// (s ≈ 1.0 matches observed DNS popularity).
+    pub fn new(n: usize, s: f64, suffix: &str) -> Self {
+        assert!(n > 0);
+        let domains = (0..n)
+            .map(|i| DnsName::parse(&format!("site-{i:05}.{suffix}")).unwrap())
+            .collect();
+        let weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ZipfWorkload { domains, cdf }
+    }
+
+    /// Number of distinct domains.
+    pub fn domain_count(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// The domain at popularity rank `i` (0 = most popular).
+    pub fn domain(&self, i: usize) -> &DnsName {
+        &self.domains[i]
+    }
+
+    /// Sample one query name.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> DnsName {
+        let x: f64 = rng.gen();
+        let idx = match self.cdf.binary_search_by(|p| p.partial_cmp(&x).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.domains.len() - 1),
+        };
+        self.domains[idx].clone()
+    }
+
+    /// Sample a stream of `len` query names.
+    pub fn stream<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> Vec<DnsName> {
+        (0..len).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = ZipfWorkload::new(100, 1.0, "test");
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(5);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(5);
+        assert_eq!(w.stream(&mut r1, 50), w.stream(&mut r2, 50));
+    }
+
+    #[test]
+    fn zipf_skew_favors_top_ranks() {
+        let w = ZipfWorkload::new(1000, 1.0, "test");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let stream = w.stream(&mut rng, 20_000);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for q in &stream {
+            *counts.entry(q.to_string()).or_default() += 1;
+        }
+        let top = counts.get(&w.domain(0).to_string()).copied().unwrap_or(0);
+        let mid = counts.get(&w.domain(99).to_string()).copied().unwrap_or(0);
+        assert!(
+            top > 10 * mid.max(1),
+            "rank 1 ({top}) should dwarf rank 100 ({mid})"
+        );
+        // Heavy tail: far fewer distinct names than queries, but many.
+        assert!(counts.len() > 100 && counts.len() < stream.len());
+    }
+
+    #[test]
+    fn domains_are_distinct_and_parse() {
+        let w = ZipfWorkload::new(50, 1.0, "bench.example");
+        let mut set = std::collections::HashSet::new();
+        for i in 0..50 {
+            assert!(set.insert(w.domain(i).to_string()));
+            assert!(w.domain(i).to_string().ends_with("bench.example"));
+        }
+    }
+
+    #[test]
+    fn single_domain_degenerate_case() {
+        let w = ZipfWorkload::new(1, 1.0, "only");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(w.sample(&mut rng), *w.domain(0));
+    }
+}

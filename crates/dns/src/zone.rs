@@ -1,0 +1,258 @@
+//! Authoritative zone data with CNAME chasing.
+
+use std::collections::BTreeMap;
+
+use crate::name::DnsName;
+use crate::wire::{Message, Rcode, RecordData, ResourceRecord, RrType};
+
+/// An authoritative zone: an apex plus owner-name → records.
+#[derive(Clone, Debug, Default)]
+pub struct Zone {
+    apex: DnsName,
+    records: BTreeMap<DnsName, Vec<ResourceRecord>>,
+}
+
+impl Zone {
+    /// Create a zone rooted at `apex`.
+    pub fn new(apex: DnsName) -> Self {
+        Zone {
+            apex,
+            records: BTreeMap::new(),
+        }
+    }
+
+    /// The zone apex.
+    pub fn apex(&self) -> &DnsName {
+        &self.apex
+    }
+
+    /// Add a record. Panics if the owner is outside the zone.
+    pub fn add(&mut self, name: DnsName, ttl: u32, data: RecordData) -> &mut Self {
+        assert!(
+            name.is_under(&self.apex),
+            "{name} is not under zone apex {}",
+            self.apex
+        );
+        self.records
+            .entry(name.clone())
+            .or_default()
+            .push(ResourceRecord { name, ttl, data });
+        self
+    }
+
+    /// Convenience: add an A record from dotted-quad parts.
+    pub fn add_a(&mut self, name: &str, addr: [u8; 4]) -> &mut Self {
+        self.add(DnsName::parse(name).unwrap(), 300, RecordData::A(addr))
+    }
+
+    /// Does this zone contain `name`?
+    pub fn contains(&self, name: &DnsName) -> bool {
+        name.is_under(&self.apex)
+    }
+
+    /// Number of owner names.
+    pub fn owner_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Answer a query authoritatively, chasing CNAMEs inside the zone
+    /// (up to 8 links).
+    pub fn answer(&self, query: &Message) -> Message {
+        let Some(q) = query.questions.first() else {
+            return Message::response_to(query, Rcode::FormErr);
+        };
+        if !self.contains(&q.qname) {
+            return Message::response_to(query, Rcode::Refused);
+        }
+
+        let mut resp = Message::response_to(query, Rcode::NoError);
+        resp.aa = true;
+
+        let mut current = q.qname.clone();
+        for _ in 0..8 {
+            match self.records.get(&current) {
+                None => {
+                    if resp.answers.is_empty() {
+                        resp.rcode = Rcode::NxDomain;
+                        self.attach_soa(&mut resp);
+                    }
+                    return resp;
+                }
+                Some(rrs) => {
+                    let direct: Vec<&ResourceRecord> =
+                        rrs.iter().filter(|r| r.data.rrtype() == q.qtype).collect();
+                    if !direct.is_empty() {
+                        resp.answers.extend(direct.into_iter().cloned());
+                        return resp;
+                    }
+                    // CNAME chase.
+                    if let Some(cname) = rrs.iter().find_map(|r| match &r.data {
+                        RecordData::Cname(target) => Some((r.clone(), target.clone())),
+                        _ => None,
+                    }) {
+                        if q.qtype == RrType::Cname {
+                            resp.answers.push(cname.0);
+                            return resp;
+                        }
+                        resp.answers.push(cname.0);
+                        if !self.contains(&cname.1) {
+                            // Out-of-zone target: answer ends with the alias.
+                            return resp;
+                        }
+                        current = cname.1;
+                        continue;
+                    }
+                    // Name exists but not this type: NODATA.
+                    self.attach_soa(&mut resp);
+                    return resp;
+                }
+            }
+        }
+        resp.rcode = Rcode::ServFail; // CNAME chain too long / loop
+        resp.answers.clear();
+        resp
+    }
+
+    fn attach_soa(&self, resp: &mut Message) {
+        if let Some(rrs) = self.records.get(&self.apex) {
+            if let Some(soa) = rrs.iter().find(|r| r.data.rrtype() == RrType::Soa) {
+                resp.authority.push(soa.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::parse(s).unwrap()
+    }
+
+    fn test_zone() -> Zone {
+        let mut z = Zone::new(name("example.com"));
+        z.add(
+            name("example.com"),
+            3600,
+            RecordData::Soa {
+                mname: name("ns1.example.com"),
+                rname: name("admin.example.com"),
+                serial: 1,
+                minimum: 900,
+            },
+        );
+        z.add_a("www.example.com", [192, 0, 2, 1]);
+        z.add_a("www.example.com", [192, 0, 2, 2]);
+        z.add(
+            name("blog.example.com"),
+            300,
+            RecordData::Cname(name("www.example.com")),
+        );
+        z.add(
+            name("ext.example.com"),
+            300,
+            RecordData::Cname(name("cdn.other.net")),
+        );
+        z.add(
+            name("deep.example.com"),
+            300,
+            RecordData::Cname(name("blog.example.com")),
+        );
+        z.add(
+            name("www.example.com"),
+            300,
+            RecordData::Txt(vec![b"hello".to_vec()]),
+        );
+        z
+    }
+
+    #[test]
+    fn direct_answer_returns_all_records_of_type() {
+        let z = test_zone();
+        let q = Message::query(1, name("www.example.com"), RrType::A);
+        let r = z.answer(&q);
+        assert_eq!(r.rcode, Rcode::NoError);
+        assert!(r.aa);
+        assert_eq!(r.answers.len(), 2);
+    }
+
+    #[test]
+    fn cname_chased_to_target() {
+        let z = test_zone();
+        let r = z.answer(&Message::query(2, name("blog.example.com"), RrType::A));
+        assert_eq!(r.answers.len(), 3, "CNAME + 2 A records");
+        assert!(matches!(r.answers[0].data, RecordData::Cname(_)));
+    }
+
+    #[test]
+    fn double_cname_chase() {
+        let z = test_zone();
+        let r = z.answer(&Message::query(3, name("deep.example.com"), RrType::A));
+        assert_eq!(r.answers.len(), 4, "two CNAMEs + 2 A records");
+    }
+
+    #[test]
+    fn out_of_zone_cname_ends_answer() {
+        let z = test_zone();
+        let r = z.answer(&Message::query(4, name("ext.example.com"), RrType::A));
+        assert_eq!(r.answers.len(), 1);
+        assert_eq!(r.rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn nxdomain_with_soa() {
+        let z = test_zone();
+        let r = z.answer(&Message::query(5, name("missing.example.com"), RrType::A));
+        assert_eq!(r.rcode, Rcode::NxDomain);
+        assert_eq!(r.authority.len(), 1, "SOA for negative caching");
+    }
+
+    #[test]
+    fn nodata_when_type_missing() {
+        let z = test_zone();
+        let r = z.answer(&Message::query(6, name("www.example.com"), RrType::Aaaa));
+        assert_eq!(r.rcode, Rcode::NoError);
+        assert!(r.answers.is_empty());
+        assert_eq!(r.authority.len(), 1);
+    }
+
+    #[test]
+    fn out_of_zone_query_refused() {
+        let z = test_zone();
+        let r = z.answer(&Message::query(7, name("example.org"), RrType::A));
+        assert_eq!(r.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn cname_query_type_returns_alias_only() {
+        let z = test_zone();
+        let r = z.answer(&Message::query(8, name("blog.example.com"), RrType::Cname));
+        assert_eq!(r.answers.len(), 1);
+    }
+
+    #[test]
+    fn cname_loop_yields_servfail() {
+        let mut z = Zone::new(name("loop.test"));
+        z.add(
+            name("a.loop.test"),
+            60,
+            RecordData::Cname(name("b.loop.test")),
+        );
+        z.add(
+            name("b.loop.test"),
+            60,
+            RecordData::Cname(name("a.loop.test")),
+        );
+        let r = z.answer(&Message::query(9, name("a.loop.test"), RrType::A));
+        assert_eq!(r.rcode, Rcode::ServFail);
+        assert!(r.answers.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not under zone apex")]
+    fn out_of_zone_add_panics() {
+        let mut z = Zone::new(name("example.com"));
+        z.add_a("www.other.org", [1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Onion-routing circuits (Syverson et al. → Tor): the *session* form of
+//! mix-net decoupling.
+//!
+//! A mix-net onion is one-shot; Tor-style systems instead build a
+//! long-lived **circuit**: per-hop Diffie–Hellman yields forward/backward
+//! AEAD keys, and every cell is layered in those session keys with
+//! counter nonces. "Tor embodies this approach by allowing for circuits
+//! of 3 or more hops, albeit at greater performance cost" (§4.2).
+//!
+//! Circuit building here is single-pass (the handshake onion carries one
+//! ephemeral public key per hop), which preserves what the decoupling
+//! analysis needs: each relay learns exactly one adjacent pair and one
+//! layer's keys.
+
+use dcp_crypto::{aead, hkdf, hpke, x25519, CryptoError};
+
+/// Result alias.
+pub type Result<T> = core::result::Result<T, CryptoError>;
+
+/// Per-hop session keys and nonce counters.
+#[derive(Clone)]
+struct HopKeys {
+    fwd_key: [u8; 32],
+    bwd_key: [u8; 32],
+    fwd_ctr: u64,
+    bwd_ctr: u64,
+}
+
+fn derive_hop_keys(shared: &[u8; 32], transcript: &[u8]) -> HopKeys {
+    let prk = hkdf::extract(b"dcp-circuit", shared);
+    let okm = hkdf::expand(&prk, transcript, 64);
+    let mut fwd_key = [0u8; 32];
+    let mut bwd_key = [0u8; 32];
+    fwd_key.copy_from_slice(&okm[..32]);
+    bwd_key.copy_from_slice(&okm[32..]);
+    HopKeys {
+        fwd_key,
+        bwd_key,
+        fwd_ctr: 0,
+        bwd_ctr: 0,
+    }
+}
+
+fn nonce_for(ctr: u64, dir: u8) -> [u8; 12] {
+    let mut n = [0u8; 12];
+    n[0] = dir;
+    n[4..12].copy_from_slice(&ctr.to_be_bytes());
+    n
+}
+
+/// Client-side circuit state.
+pub struct ClientCircuit {
+    hops: Vec<HopKeys>,
+}
+
+/// Relay-side circuit state (one per circuit per relay).
+pub struct RelayCircuit {
+    keys: HopKeys,
+}
+
+/// The handshake onion: hop *k* peels layer *k* with its static HPKE key,
+/// recovers its ephemeral DH public, and forwards the rest to hop *k+1*.
+/// (Addresses are the caller's concern; this module is pure protocol.)
+pub struct Handshake {
+    /// One opaque layer blob per hop, outermost first.
+    pub onion: Vec<u8>,
+}
+
+/// Build a circuit through relays with static X25519 public keys
+/// `relay_pks`. Returns the client state and the handshake onion.
+pub fn create<R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    relay_pks: &[[u8; 32]],
+) -> Result<(ClientCircuit, Handshake)> {
+    assert!(!relay_pks.is_empty(), "circuit needs at least one hop");
+    let mut hops = Vec::with_capacity(relay_pks.len());
+    let mut ephs = Vec::with_capacity(relay_pks.len());
+    for (i, pk) in relay_pks.iter().enumerate() {
+        let (esk, epk) = x25519::keypair(rng);
+        let shared = x25519::shared_secret(&esk, pk).ok_or(CryptoError::InvalidPoint)?;
+        let transcript = [&epk[..], &pk[..], &[i as u8]].concat();
+        hops.push(derive_hop_keys(&shared, &transcript));
+        ephs.push(epk);
+    }
+    // Handshake onion: innermost layer is the last hop's ephemeral key.
+    let mut onion: Vec<u8> = Vec::new();
+    for (i, pk) in relay_pks.iter().enumerate().rev() {
+        let mut plain = ephs[i].to_vec();
+        plain.extend_from_slice(&onion);
+        onion = hpke::seal(rng, pk, b"dcp-circuit-hs", b"", &plain)?;
+    }
+    Ok((ClientCircuit { hops }, Handshake { onion }))
+}
+
+/// Relay: accept a handshake layer with the relay's static keypair.
+/// Returns this relay's circuit state, its hop index transcript, and the
+/// remaining onion (empty at the exit).
+pub fn accept(
+    kp: &hpke::Keypair,
+    hop_index: usize,
+    onion: &[u8],
+) -> Result<(RelayCircuit, Vec<u8>)> {
+    let plain = hpke::open(kp, b"dcp-circuit-hs", b"", onion)?;
+    if plain.len() < 32 {
+        return Err(CryptoError::Malformed);
+    }
+    let mut epk = [0u8; 32];
+    epk.copy_from_slice(&plain[..32]);
+    let shared = x25519::shared_secret(&kp.private, &epk).ok_or(CryptoError::InvalidPoint)?;
+    let transcript = [&epk[..], &kp.public[..], &[hop_index as u8]].concat();
+    Ok((
+        RelayCircuit {
+            keys: derive_hop_keys(&shared, &transcript),
+        },
+        plain[32..].to_vec(),
+    ))
+}
+
+impl ClientCircuit {
+    /// Number of hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Is the circuit empty? (Never true for a built circuit.)
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// Layer a forward cell: the innermost layer is the exit's.
+    pub fn seal_forward(&mut self, payload: &[u8]) -> Vec<u8> {
+        let mut cell = payload.to_vec();
+        for hop in self.hops.iter_mut().rev() {
+            cell = aead::seal(&hop.fwd_key, &nonce_for(hop.fwd_ctr, 0), b"fwd", &cell);
+            hop.fwd_ctr += 1;
+        }
+        cell
+    }
+
+    /// Remove all backward layers from a cell that traversed the circuit
+    /// in reverse (entry relay's layer is outermost).
+    pub fn open_backward(&mut self, cell: &[u8]) -> Result<Vec<u8>> {
+        let mut cur = cell.to_vec();
+        for hop in self.hops.iter_mut() {
+            cur = aead::open(&hop.bwd_key, &nonce_for(hop.bwd_ctr, 1), b"bwd", &cur)?;
+            hop.bwd_ctr += 1;
+        }
+        Ok(cur)
+    }
+}
+
+impl RelayCircuit {
+    /// Forward direction: remove this relay's layer.
+    pub fn peel_forward(&mut self, cell: &[u8]) -> Result<Vec<u8>> {
+        let out = aead::open(
+            &self.keys.fwd_key,
+            &nonce_for(self.keys.fwd_ctr, 0),
+            b"fwd",
+            cell,
+        )?;
+        self.keys.fwd_ctr += 1;
+        Ok(out)
+    }
+
+    /// Backward direction: add this relay's layer.
+    pub fn wrap_backward(&mut self, cell: &[u8]) -> Vec<u8> {
+        let out = aead::seal(
+            &self.keys.bwd_key,
+            &nonce_for(self.keys.bwd_ctr, 1),
+            b"bwd",
+            cell,
+        );
+        self.keys.bwd_ctr += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2718)
+    }
+
+    fn build(n: usize) -> (ClientCircuit, Vec<RelayCircuit>) {
+        let mut rng = rng();
+        let kps: Vec<hpke::Keypair> = (0..n).map(|_| hpke::Keypair::generate(&mut rng)).collect();
+        let pks: Vec<[u8; 32]> = kps.iter().map(|k| k.public).collect();
+        let (client, hs) = create(&mut rng, &pks).unwrap();
+        let mut relays = Vec::new();
+        let mut onion = hs.onion;
+        for (i, kp) in kps.iter().enumerate() {
+            let (rc, rest) = accept(kp, i, &onion).unwrap();
+            relays.push(rc);
+            onion = rest;
+        }
+        assert!(onion.is_empty(), "exit consumed the whole handshake");
+        (client, relays)
+    }
+
+    #[test]
+    fn three_hop_forward_and_backward() {
+        let (mut client, mut relays) = build(3);
+        // Forward: each relay peels one layer; the exit sees the payload.
+        let mut cell = client.seal_forward(b"GET /hidden-service");
+        for r in relays.iter_mut() {
+            cell = r.peel_forward(&cell).unwrap();
+        }
+        assert_eq!(cell, b"GET /hidden-service");
+
+        // Backward: exit wraps first, then middle, then entry; the client
+        // removes all three.
+        let mut back = b"200 OK".to_vec();
+        for r in relays.iter_mut().rev() {
+            back = r.wrap_backward(&back);
+        }
+        assert_eq!(client.open_backward(&back).unwrap(), b"200 OK");
+    }
+
+    #[test]
+    fn many_cells_keep_counter_sync() {
+        let (mut client, mut relays) = build(2);
+        for i in 0..20u8 {
+            let mut cell = client.seal_forward(&[i; 10]);
+            for r in relays.iter_mut() {
+                cell = r.peel_forward(&cell).unwrap();
+            }
+            assert_eq!(cell, vec![i; 10]);
+        }
+    }
+
+    #[test]
+    fn replayed_cell_rejected() {
+        let (mut client, mut relays) = build(2);
+        let cell = client.seal_forward(b"once");
+        let peeled = relays[0].peel_forward(&cell).unwrap();
+        let _ = relays[1].peel_forward(&peeled).unwrap();
+        // Replaying the same cell at relay 0 fails: its counter advanced.
+        assert!(relays[0].peel_forward(&cell).is_err());
+    }
+
+    #[test]
+    fn middle_relay_cannot_read_payload() {
+        let (mut client, mut relays) = build(3);
+        let cell = client.seal_forward(b"secret destination");
+        let after_entry = relays[0].peel_forward(&cell).unwrap();
+        // The middle relay's peel yields another ciphertext, not plaintext.
+        let after_middle = relays[1].peel_forward(&after_entry).unwrap();
+        assert!(
+            !after_middle.windows(6).any(|w| w == b"secret"),
+            "middle still sees ciphertext"
+        );
+        // Only the exit recovers it.
+        assert_eq!(
+            relays[2].peel_forward(&after_middle).unwrap(),
+            b"secret destination"
+        );
+    }
+
+    #[test]
+    fn tampered_cell_rejected_at_first_hop() {
+        let (mut client, mut relays) = build(2);
+        let mut cell = client.seal_forward(b"x");
+        cell[0] ^= 1;
+        assert!(relays[0].peel_forward(&cell).is_err());
+    }
+
+    #[test]
+    fn wrong_relay_cannot_accept_handshake() {
+        let mut rng = rng();
+        let kp1 = hpke::Keypair::generate(&mut rng);
+        let kp2 = hpke::Keypair::generate(&mut rng);
+        let (_, hs) = create(&mut rng, &[kp1.public]).unwrap();
+        assert!(accept(&kp2, 0, &hs.onion).is_err());
+    }
+
+    #[test]
+    fn single_hop_circuit_works() {
+        let (mut client, mut relays) = build(1);
+        let cell = client.seal_forward(b"hi");
+        assert_eq!(relays[0].peel_forward(&cell).unwrap(), b"hi");
+        let back = relays[0].wrap_backward(b"yo");
+        assert_eq!(client.open_backward(&back).unwrap(), b"yo");
+    }
+
+    #[test]
+    fn per_hop_keys_are_independent() {
+        // Entry relay's keys cannot open the exit's layer.
+        let (mut client, mut relays) = build(2);
+        let cell = client.seal_forward(b"layered");
+        let inner = relays[0].peel_forward(&cell).unwrap();
+        // Re-using relay 0's state on the inner cell must fail.
+        assert!(relays[0].peel_forward(&inner).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+//! The batching mix node.
+
+use dcp_core::{EntityId, KeyId, Label};
+use dcp_crypto::hpke;
+use dcp_simnet::{Ctx, Message, Node, NodeId};
+use dcp_transport::onion::{self, Unwrapped};
+use rand::seq::SliceRandom;
+
+/// Timer token for the flush deadline.
+const FLUSH_TIMER: u64 = 1;
+
+/// A threshold mix: it pools incoming messages, and once `batch_size`
+/// messages are queued (or the deadline expires) it peels one onion layer
+/// from each, shuffles them, and forwards the whole batch at once —
+/// destroying the arrival/departure order correlation.
+pub struct MixNode {
+    entity: EntityId,
+    kp: hpke::Keypair,
+    key_id: KeyId,
+    batch_size: usize,
+    /// Shuffle each batch before flushing (a FIFO "mix" that batches but
+    /// preserves order is the classic broken-mix ablation).
+    shuffle: bool,
+    /// Flush any partial pool after this many µs of inactivity.
+    max_wait_us: u64,
+    /// addr → node for forwarding.
+    addr_map: Vec<(u16, NodeId)>,
+    pool: Vec<(u16, Message)>,
+    timer_armed: bool,
+    /// Batch sizes at each flush (anonymity-set record).
+    pub flush_sizes: Vec<usize>,
+}
+
+impl MixNode {
+    /// Create a mix.
+    pub fn new(
+        entity: EntityId,
+        kp: hpke::Keypair,
+        key_id: KeyId,
+        batch_size: usize,
+        max_wait_us: u64,
+        addr_map: Vec<(u16, NodeId)>,
+    ) -> Self {
+        assert!(batch_size >= 1);
+        MixNode {
+            entity,
+            kp,
+            key_id,
+            batch_size,
+            shuffle: true,
+            max_wait_us,
+            addr_map,
+            pool: Vec::new(),
+            timer_armed: false,
+            flush_sizes: Vec::new(),
+        }
+    }
+
+    /// Disable batch shuffling (ablation: batching alone does not mix).
+    pub fn without_shuffle(mut self) -> Self {
+        self.shuffle = false;
+        self
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx) {
+        if self.pool.is_empty() {
+            return;
+        }
+        self.flush_sizes.push(self.pool.len());
+        let mut batch = std::mem::take(&mut self.pool);
+        if self.shuffle {
+            batch.shuffle(ctx.rng);
+        }
+        for (next_addr, msg) in batch {
+            let node = self
+                .addr_map
+                .iter()
+                .find(|(a, _)| *a == next_addr)
+                .map(|(_, n)| *n)
+                .expect("unknown next hop");
+            ctx.send(node, msg);
+        }
+    }
+}
+
+impl Node for MixNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        // Peel one layer of bytes and label.
+        let unwrapped = onion::unwrap_layer(&self.kp, &msg.bytes).expect("mix peel");
+        let outer_label = match &msg.label {
+            Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
+            other => other.clone(),
+        };
+        let inner_label = onion::unwrap_label(&outer_label, self.key_id);
+        let (next, bytes) = match unwrapped {
+            Unwrapped::Forward { next, bytes } => (next, bytes),
+            Unwrapped::Deliver { .. } => {
+                panic!("mix is never the final destination in this topology")
+            }
+        };
+        let mut fwd = Message::new(bytes, inner_label);
+        fwd.flow = msg.flow;
+        self.pool.push((next, fwd));
+
+        if self.pool.len() >= self.batch_size {
+            self.flush(ctx);
+        } else if !self.timer_armed {
+            self.timer_armed = true;
+            ctx.set_timer(self.max_wait_us, FLUSH_TIMER);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        if token == FLUSH_TIMER {
+            self.timer_armed = false;
+            // Deadline flush: trade some anonymity for bounded latency.
+            self.flush(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // MixNode behaviour is exercised end-to-end in `scenario`; the unit
+    // tests here cover the pool/flush bookkeeping via a tiny harness.
+    use super::*;
+    use dcp_core::World;
+    use dcp_simnet::{LinkParams, Network, SimTime};
+    use dcp_transport::onion::Hop;
+    use rand::SeedableRng;
+
+    struct Sink {
+        entity: EntityId,
+        received: std::rc::Rc<std::cell::RefCell<Vec<(u64, Vec<u8>)>>>,
+    }
+    impl Node for Sink {
+        fn entity(&self) -> EntityId {
+            self.entity
+        }
+        fn on_message(&mut self, ctx: &mut Ctx, _f: NodeId, msg: Message) {
+            self.received
+                .borrow_mut()
+                .push((ctx.now.as_us(), msg.bytes));
+        }
+    }
+
+    #[test]
+    fn batch_is_held_until_threshold() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut world = World::new();
+        let org = world.add_org("o");
+        let mix_e = world.add_entity("Mix", org, None);
+        let sink_e = world.add_entity("Sink", org, None);
+        let key = world.new_key(&[mix_e]);
+        let kp = hpke::Keypair::generate(&mut rng);
+
+        let received = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut net = Network::new(world, 3);
+        net.set_default_link(LinkParams {
+            latency_us: 1000,
+            jitter_us: 0,
+            bytes_per_us: 1000,
+        });
+        let mix_id = net.add_node(Box::new(MixNode::new(
+            mix_e,
+            kp.clone(),
+            key,
+            3,
+            1_000_000,
+            vec![(7, NodeId(1))],
+        )));
+        let _sink = net.add_node(Box::new(Sink {
+            entity: sink_e,
+            received: received.clone(),
+        }));
+
+        // Three onions injected at t = 0, 10ms, 20ms.
+        let hop = [Hop {
+            addr: 7,
+            pk: kp.public,
+            key_id: key,
+        }];
+        for i in 0..3u64 {
+            let mut srng = rand::rngs::StdRng::seed_from_u64(100 + i);
+            // The payload still carries the next-hop address after peeling,
+            // so wrap payload for delivery at the *sink*: one mix layer,
+            // then DELIVER at sink is encoded as addr 7 in the mix layer.
+            let (bytes, label) =
+                onion::wrap(&mut srng, &hop, format!("m{i}").as_bytes(), Label::Public).unwrap();
+            // Rewrite: single-hop onion delivers locally, but the mix
+            // topology forwards to addr 7 — re-wrap with an explicit
+            // forward layer instead.
+            let _ = (bytes, label);
+            let mut plain = 7u16.to_be_bytes().to_vec();
+            plain.extend_from_slice(format!("m{i}").as_bytes());
+            let sealed = hpke::seal(&mut srng, &kp.public, b"dcp-onion", b"", &plain).unwrap();
+            net.post_at(
+                mix_id,
+                Message::new(sealed, Label::Public.sealed(key)),
+                SimTime(i * 10_000),
+            );
+        }
+        net.run();
+        let got = received.borrow();
+        assert_eq!(got.len(), 3);
+        // All three delivered at the same flush time (+1 link delay):
+        // the first two messages were *held* until the third arrived.
+        let flush_time = got[0].0;
+        assert!(got.iter().all(|(t, _)| *t == flush_time), "{got:?}");
+        assert!(flush_time >= 20_000, "flush waits for the batch");
+    }
+
+    #[test]
+    fn deadline_flush_bounds_latency() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut world = World::new();
+        let org = world.add_org("o");
+        let mix_e = world.add_entity("Mix", org, None);
+        let sink_e = world.add_entity("Sink", org, None);
+        let key = world.new_key(&[mix_e]);
+        let kp = hpke::Keypair::generate(&mut rng);
+        let received = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut net = Network::new(world, 3);
+        net.set_default_link(LinkParams {
+            latency_us: 1000,
+            jitter_us: 0,
+            bytes_per_us: 1000,
+        });
+        let mix_id = net.add_node(Box::new(MixNode::new(
+            mix_e,
+            kp.clone(),
+            key,
+            64, // threshold never reached
+            50_000,
+            vec![(7, NodeId(1))],
+        )));
+        let _sink = net.add_node(Box::new(Sink {
+            entity: sink_e,
+            received: received.clone(),
+        }));
+        let mut srng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut plain = 7u16.to_be_bytes().to_vec();
+        plain.extend_from_slice(b"lonely");
+        let sealed = hpke::seal(&mut srng, &kp.public, b"dcp-onion", b"", &plain).unwrap();
+        net.post_at(
+            mix_id,
+            Message::new(sealed, Label::Public.sealed(key)),
+            SimTime(0),
+        );
+        net.run();
+        let got = received.borrow();
+        assert_eq!(got.len(), 1, "deadline flush released the message");
+        assert!(got[0].0 >= 50_000, "held until the deadline");
+    }
+}

@@ -1,0 +1,661 @@
+//! End-to-end mix-net runs: Fig. 1's topology with measurable anonymity.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dcp_core::table::DecouplingTable;
+use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, UserId, World};
+use dcp_crypto::hpke;
+use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
+use dcp_transport::onion::{self, Hop, Unwrapped};
+use rand::Rng as _;
+
+use crate::adversary::{self, AttackResult};
+use crate::mix::MixNode;
+
+/// Configuration of a mix-net run.
+#[derive(Clone, Copy, Debug)]
+pub struct MixnetConfig {
+    /// Number of senders (= receivers; each sender messages one receiver).
+    pub senders: usize,
+    /// Mixes in the chain.
+    pub mixes: usize,
+    /// Threshold batch size at each mix.
+    pub batch_size: usize,
+    /// Senders start uniformly at random within this window (µs).
+    pub window_us: u64,
+    /// Shuffle batches at each mix (disable for the broken-mix ablation).
+    pub shuffle: bool,
+    /// Decoy messages each sender emits alongside its real one (§4.3
+    /// "adding additional chaff").
+    pub chaff_per_sender: usize,
+    /// Override the mixes' flush deadline (µs). `None` = one terminal
+    /// flush after the window. Short deadlines turn the threshold mixes
+    /// into *timed* mixes — the configuration where chaff pays off.
+    pub mix_max_wait_us: Option<u64>,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for MixnetConfig {
+    fn default() -> Self {
+        MixnetConfig {
+            senders: 8,
+            mixes: 2,
+            batch_size: 4,
+            window_us: 200_000,
+            shuffle: true,
+            chaff_per_sender: 0,
+            mix_max_wait_us: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Report from a run.
+pub struct MixnetReport {
+    /// Knowledge base.
+    pub world: World,
+    /// Packet trace.
+    pub trace: Trace,
+    /// Messages delivered end-to-end.
+    pub delivered: usize,
+    /// Mean sender→receiver latency (µs).
+    pub mean_latency_us: f64,
+    /// Timing-correlation attack outcome.
+    pub attack: AttackResult,
+    /// Mean final-hop anonymity-set size.
+    pub mean_anonymity_set: f64,
+    /// Sender users.
+    pub users: Vec<UserId>,
+    /// Mix column names in chain order.
+    pub mix_names: Vec<String>,
+    /// Receiver entity name for each sender (post-shuffle).
+    pub receiver_of: Vec<String>,
+}
+
+impl MixnetReport {
+    /// Derive the §3.1.2 table for sender `i`.
+    pub fn table(&self, i: usize) -> DecouplingTable {
+        let sender_col = if i == 0 {
+            "Sender".to_string()
+        } else {
+            format!("Sender {}", i + 1)
+        };
+        let mut cols: Vec<&str> = vec![&sender_col];
+        cols.extend(self.mix_names.iter().map(String::as_str));
+        cols.push(&self.receiver_of[i]);
+        let mut t = DecouplingTable::derive(&self.world, self.users[i], &cols);
+        // Normalize headers to the paper's generic column names.
+        t.columns[0] = "Sender".to_string();
+        *t.columns.last_mut().unwrap() = "Receiver".to_string();
+        t
+    }
+
+    /// The paper's table for a 2-mix chain.
+    pub fn paper_table_two_mixes() -> DecouplingTable {
+        DecouplingTable::expect(&[
+            ("Sender", "(▲, ●)"),
+            ("Mix 1", "(▲, ⊙)"),
+            ("Mix 2", "(△, ⊙)"),
+            ("Receiver", "(△, ●)"),
+        ])
+    }
+}
+
+struct Stats {
+    delivered: usize,
+    latencies: Vec<u64>,
+}
+
+const TOKEN_REAL: u64 = 0;
+const TOKEN_CHAFF: u64 = 1;
+
+/// Payload discriminators (inside the innermost encryption layer).
+const BODY_REAL: u8 = 0;
+const BODY_CHAFF: u8 = 1;
+
+struct SenderNode {
+    entity: EntityId,
+    user: UserId,
+    first_mix: NodeId,
+    hops: Vec<Hop>,
+    /// Alternative hop stacks ending at other receivers (chaff targets).
+    chaff_hops: Vec<Vec<Hop>>,
+    mix_keys: Vec<KeyId>,
+    receiver_key: KeyId,
+    delay_us: u64,
+    chaff_delays: Vec<u64>,
+    sent: bool,
+}
+
+impl SenderNode {
+    /// Emit one decoy: same size, same onion structure, random receiver,
+    /// no information content. On the wire it is indistinguishable from a
+    /// real message.
+    fn send_chaff(&mut self, ctx: &mut Ctx) {
+        use rand::Rng as _;
+        let idx = ctx.rng.gen_range(0..self.chaff_hops.len());
+        let hops = self.chaff_hops[idx].clone();
+        let mut body = vec![BODY_CHAFF];
+        body.extend_from_slice(&[0u8; 8]);
+        body.extend_from_slice(format!("dear receiver, love sender {}", self.user.0).as_bytes());
+        let (bytes, _) = onion::wrap(ctx.rng, &hops, &body, Label::Public).expect("chaff onion");
+        // Chaff reveals the same envelope facts (someone at this address is
+        // sending into the mix-net) but protects nothing further: every
+        // layer seals emptiness.
+        let mut label = Label::Public;
+        for hop in hops.iter().rev() {
+            label = label.sealed(hop.key_id);
+        }
+        let label = Label::items([
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+            InfoItem::plain_data(self.user, DataKind::Payload),
+        ])
+        .and(label);
+        ctx.send(self.first_mix, Message::new(bytes, label));
+    }
+}
+
+impl Node for SenderNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+        );
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_data(self.user, DataKind::Message),
+        );
+        ctx.set_timer(self.delay_us, TOKEN_REAL);
+        for (i, &d) in self.chaff_delays.iter().enumerate() {
+            let _ = i;
+            ctx.set_timer(d, TOKEN_CHAFF);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        if token == TOKEN_CHAFF {
+            self.send_chaff(ctx);
+            return;
+        }
+        if self.sent {
+            return;
+        }
+        self.sent = true;
+        let payload = format!("dear receiver, love sender {}", self.user.0);
+        // Send-time stamp rides in the payload so the receiver can compute
+        // latency without out-of-band state.
+        let mut body = vec![BODY_REAL];
+        body.extend_from_slice(&ctx.now.as_us().to_be_bytes());
+        body.extend_from_slice(payload.as_bytes());
+        let (bytes, _auto_label) =
+            onion::wrap(ctx.rng, &self.hops, &body, Label::Public).expect("onion");
+
+        // Hand-build the label nesting so every intermediate mix sees the
+        // (△, ⊙) "someone is using the mix-net" facts the paper ascribes
+        // to it, while only the receiver opens the message itself.
+        let mut label = Label::items([
+            InfoItem::plain_identity(self.user, IdentityKind::Any),
+            InfoItem::sensitive_data(self.user, DataKind::Message),
+        ])
+        .sealed(self.receiver_key);
+        for &k in self.mix_keys.iter().rev() {
+            label = Label::items([
+                InfoItem::plain_identity(self.user, IdentityKind::Any),
+                InfoItem::plain_data(self.user, DataKind::Payload),
+            ])
+            .and(label)
+            .sealed(k);
+        }
+        // Envelope: the first mix (and any tap on the access link) sees
+        // the sender's address.
+        let label = Label::items([
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+            InfoItem::plain_data(self.user, DataKind::Payload),
+        ])
+        .and(label);
+        ctx.send(
+            self.first_mix,
+            Message::new(bytes, label).with_flow(self.user.0),
+        );
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Message) {}
+}
+
+struct ReceiverNode {
+    entity: EntityId,
+    kp: hpke::Keypair,
+    key_id: KeyId,
+    stats: Rc<RefCell<Stats>>,
+}
+
+impl Node for ReceiverNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        // Final onion layer: the receiver peels its own seal.
+        let unwrapped = onion::unwrap_layer(&self.kp, &msg.bytes).expect("receiver peel");
+        let Unwrapped::Deliver { payload } = unwrapped else {
+            panic!("receiver expected delivery");
+        };
+        let _ = onion::unwrap_label(
+            match &msg.label {
+                Label::Bundle(parts) if parts.len() == 2 => &parts[1],
+                other => other,
+            },
+            self.key_id,
+        );
+        if payload[0] == BODY_CHAFF {
+            return; // decoy: drop silently
+        }
+        let sent_at = u64::from_be_bytes(payload[1..9].try_into().unwrap());
+        let mut stats = self.stats.borrow_mut();
+        stats.delivered += 1;
+        stats.latencies.push(ctx.now.as_us() - sent_at);
+    }
+}
+
+/// Run the mix-net per `config`.
+pub fn run(config: MixnetConfig) -> MixnetReport {
+    use rand::SeedableRng;
+    let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x317);
+    assert!(config.mixes >= 1 && config.senders >= 1);
+
+    let mut world = World::new();
+    let user_org = world.add_org("senders");
+    let recv_org = world.add_org("receivers");
+
+    let mut mix_entities = Vec::new();
+    let mut mix_names = Vec::new();
+    for i in 0..config.mixes {
+        let org = world.add_org(&format!("mix-op-{i}"));
+        let name = format!("Mix {}", i + 1);
+        mix_entities.push(world.add_entity(&name, org, None));
+        mix_names.push(name);
+    }
+
+    let mut users = Vec::new();
+    let mut sender_entities = Vec::new();
+    for i in 0..config.senders {
+        let u = world.add_user();
+        let name = if i == 0 {
+            "Sender".to_string()
+        } else {
+            format!("Sender {}", i + 1)
+        };
+        sender_entities.push(world.add_entity(&name, user_org, Some(u)));
+        users.push(u);
+    }
+    let mut receiver_entities = Vec::new();
+    for i in 0..config.senders {
+        let name = if i == 0 {
+            "Receiver".to_string()
+        } else {
+            format!("Receiver {}", i + 1)
+        };
+        receiver_entities.push(world.add_entity(&name, recv_org, None));
+    }
+
+    // Keys.
+    let mix_kps: Vec<hpke::Keypair> = (0..config.mixes)
+        .map(|_| hpke::Keypair::generate(&mut setup_rng))
+        .collect();
+    let mix_keys: Vec<KeyId> = mix_entities.iter().map(|&e| world.new_key(&[e])).collect();
+    let recv_kps: Vec<hpke::Keypair> = (0..config.senders)
+        .map(|_| hpke::Keypair::generate(&mut setup_rng))
+        .collect();
+    let recv_keys: Vec<KeyId> = receiver_entities
+        .iter()
+        .map(|&e| world.new_key(&[e]))
+        .collect();
+
+    let mut net = Network::new(world, config.seed);
+    net.set_default_link(LinkParams::wan_ms(5));
+
+    // Node layout: mixes 0..M, receivers M..M+S, senders after.
+    let mix_ids: Vec<NodeId> = (0..config.mixes).map(NodeId).collect();
+    let recv_ids: Vec<NodeId> = (0..config.senders)
+        .map(|i| NodeId(config.mixes + i))
+        .collect();
+    let mix_addr = |i: usize| 100 + i as u16;
+    let recv_addr = |i: usize| 1000 + i as u16;
+
+    for i in 0..config.mixes {
+        let mut addr_map: Vec<(u16, NodeId)> = Vec::new();
+        if i + 1 < config.mixes {
+            addr_map.push((mix_addr(i + 1), mix_ids[i + 1]));
+        } else {
+            for (j, &r) in recv_ids.iter().enumerate() {
+                addr_map.push((recv_addr(j), r));
+            }
+        }
+        let mut mix = MixNode::new(
+            mix_entities[i],
+            mix_kps[i].clone(),
+            mix_keys[i],
+            config.batch_size,
+            config.mix_max_wait_us.unwrap_or(config.window_us + 200_000),
+            addr_map,
+        );
+        if !config.shuffle {
+            mix = mix.without_shuffle();
+        }
+        net.add_node(Box::new(mix));
+    }
+    let stats = Rc::new(RefCell::new(Stats {
+        delivered: 0,
+        latencies: Vec::new(),
+    }));
+    for i in 0..config.senders {
+        net.add_node(Box::new(ReceiverNode {
+            entity: receiver_entities[i],
+            kp: recv_kps[i].clone(),
+            key_id: recv_keys[i],
+            stats: stats.clone(),
+        }));
+    }
+
+    // Sender i messages receiver perm[i] (a seeded derangement-ish shuffle).
+    let mut perm: Vec<usize> = (0..config.senders).collect();
+    use rand::seq::SliceRandom;
+    perm.shuffle(&mut setup_rng);
+    let receiver_name = |i: usize| {
+        if i == 0 {
+            "Receiver".to_string()
+        } else {
+            format!("Receiver {}", i + 1)
+        }
+    };
+    let receiver_of: Vec<String> = perm.iter().map(|&t| receiver_name(t)).collect();
+
+    for (i, (&u, &e)) in users.iter().zip(sender_entities.iter()).enumerate() {
+        let target = perm[i];
+        let mut hops: Vec<Hop> = (0..config.mixes)
+            .map(|m| Hop {
+                addr: mix_addr(m),
+                pk: mix_kps[m].public,
+                key_id: mix_keys[m],
+            })
+            .collect();
+        hops.push(Hop {
+            addr: recv_addr(target),
+            pk: recv_kps[target].public,
+            key_id: recv_keys[target],
+        });
+        let delay_us = setup_rng.gen_range(0..config.window_us.max(1));
+        let chaff_hops: Vec<Vec<Hop>> = (0..config.senders)
+            .map(|r| {
+                let mut hs: Vec<Hop> = (0..config.mixes)
+                    .map(|m| Hop {
+                        addr: mix_addr(m),
+                        pk: mix_kps[m].public,
+                        key_id: mix_keys[m],
+                    })
+                    .collect();
+                hs.push(Hop {
+                    addr: recv_addr(r),
+                    pk: recv_kps[r].public,
+                    key_id: recv_keys[r],
+                });
+                hs
+            })
+            .collect();
+        let chaff_delays: Vec<u64> = (0..config.chaff_per_sender)
+            .map(|_| setup_rng.gen_range(0..config.window_us.max(1)))
+            .collect();
+        net.add_node(Box::new(SenderNode {
+            entity: e,
+            user: u,
+            first_mix: mix_ids[0],
+            hops,
+            chaff_hops,
+            mix_keys: mix_keys.clone(),
+            receiver_key: recv_keys[target],
+            delay_us,
+            chaff_delays,
+            sent: false,
+        }));
+    }
+
+    net.run();
+    let (world, trace) = net.into_parts();
+    let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
+    let attack = adversary::timing_correlation(&trace, mix_ids[0], &[*mix_ids.last().unwrap()]);
+    let anon = adversary::mean_anonymity_set(&trace, &[*mix_ids.last().unwrap()]);
+    let mean = if stats.latencies.is_empty() {
+        0.0
+    } else {
+        stats.latencies.iter().sum::<u64>() as f64 / stats.latencies.len() as f64
+    };
+    MixnetReport {
+        world,
+        trace,
+        delivered: stats.delivered,
+        mean_latency_us: mean,
+        attack,
+        mean_anonymity_set: anon,
+        users,
+        mix_names,
+        receiver_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_core::{analyze, collusion::entity_collusion};
+
+    fn cfg() -> MixnetConfig {
+        MixnetConfig {
+            senders: 6,
+            mixes: 2,
+            batch_size: 3,
+            window_us: 100_000,
+            shuffle: true,
+            chaff_per_sender: 0,
+            mix_max_wait_us: None,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn reproduces_paper_table() {
+        let report = run(cfg());
+        assert_eq!(report.delivered, 6);
+        let derived = report.table(0);
+        let expected = MixnetReport::paper_table_two_mixes();
+        assert_eq!(
+            derived,
+            expected,
+            "diff:\n{}",
+            derived.diff(&expected).unwrap_or_default()
+        );
+        assert!(analyze(&report.world).decoupled);
+    }
+
+    #[test]
+    fn recoupling_requires_first_and_last_knowledge() {
+        let report = run(cfg());
+        let rep = entity_collusion(&report.world, report.users[0], 4);
+        assert_eq!(
+            rep.min_coalition_size,
+            Some(2),
+            "{:?}",
+            rep.minimal_coalitions
+        );
+        // Mix 1 alone never suffices.
+        assert!(rep
+            .minimal_coalitions
+            .iter()
+            .all(|c| c != &vec!["Mix 1".to_string()]));
+    }
+
+    #[test]
+    fn batching_grows_anonymity_sets() {
+        let no_batch = run(MixnetConfig {
+            batch_size: 1,
+            seed: 3,
+            ..cfg()
+        });
+        let batched = run(MixnetConfig {
+            batch_size: 6,
+            seed: 3,
+            ..cfg()
+        });
+        assert!(no_batch.mean_anonymity_set <= 1.0 + 1e-9);
+        assert!(
+            batched.mean_anonymity_set > no_batch.mean_anonymity_set,
+            "{} vs {}",
+            batched.mean_anonymity_set,
+            no_batch.mean_anonymity_set
+        );
+    }
+
+    #[test]
+    fn batching_degrades_timing_attack() {
+        // Averaged over seeds: unbatched FIFO mixes leak ordering, big
+        // batches push the attacker toward the random baseline.
+        let mean_acc = |batch: usize| -> f64 {
+            let runs = 5;
+            (0..runs)
+                .map(|s| {
+                    run(MixnetConfig {
+                        senders: 8,
+                        mixes: 2,
+                        batch_size: batch,
+                        window_us: 400_000,
+                        shuffle: true,
+                        chaff_per_sender: 0,
+                        mix_max_wait_us: None,
+                        seed: 1000 + s,
+                    })
+                    .attack
+                    .accuracy
+                })
+                .sum::<f64>()
+                / runs as f64
+        };
+        let unbatched = mean_acc(1);
+        let batched = mean_acc(8);
+        assert!(
+            unbatched > 0.8,
+            "FIFO ordering should correlate well: {unbatched}"
+        );
+        assert!(
+            batched < unbatched - 0.2,
+            "batching should hurt the attacker: {batched} vs {unbatched}"
+        );
+    }
+
+    #[test]
+    fn batching_costs_latency() {
+        let fast = run(MixnetConfig {
+            batch_size: 1,
+            seed: 5,
+            ..cfg()
+        });
+        let slow = run(MixnetConfig {
+            batch_size: 6,
+            seed: 5,
+            ..cfg()
+        });
+        assert!(
+            slow.mean_latency_us > fast.mean_latency_us,
+            "{} vs {}",
+            slow.mean_latency_us,
+            fast.mean_latency_us
+        );
+    }
+
+    #[test]
+    fn deeper_chains_still_deliver_and_decouple() {
+        let report = run(MixnetConfig {
+            senders: 4,
+            mixes: 4,
+            batch_size: 2,
+            window_us: 100_000,
+            shuffle: true,
+            chaff_per_sender: 0,
+            mix_max_wait_us: None,
+            seed: 8,
+        });
+        assert_eq!(report.delivered, 4);
+        assert!(analyze(&report.world).decoupled);
+        // Middle mixes know only (△, ⊙).
+        let t = report.table(0);
+        assert_eq!(t.tuples[2], "(△, ⊙)");
+        assert_eq!(t.tuples[3], "(△, ⊙)");
+    }
+    #[test]
+    fn batching_without_shuffle_is_a_broken_mix() {
+        // Ablation: threshold batching with FIFO output preserves the
+        // arrival order, so the correlation attack stays strong even
+        // though every message waits for a full batch.
+        let mean_acc = |shuffle: bool| -> f64 {
+            let runs = 5;
+            (0..runs)
+                .map(|s| {
+                    run(MixnetConfig {
+                        senders: 8,
+                        mixes: 2,
+                        batch_size: 8,
+                        window_us: 400_000,
+                        shuffle,
+                        chaff_per_sender: 0,
+                        mix_max_wait_us: None,
+                        seed: 2000 + s,
+                    })
+                    .attack
+                    .accuracy
+                })
+                .sum::<f64>()
+                / runs as f64
+        };
+        let fifo = mean_acc(false);
+        let mixed = mean_acc(true);
+        assert!(fifo > 0.8, "FIFO batching leaks ordering: {fifo}");
+        assert!(
+            mixed < fifo - 0.3,
+            "shuffling is load-bearing: {mixed} vs {fifo}"
+        );
+    }
+
+    #[test]
+    fn chaff_degrades_the_attacker_at_a_bandwidth_cost() {
+        let mean = |chaff: usize| {
+            let runs = 5;
+            let mut acc = 0.0;
+            let mut bytes = 0usize;
+            for s in 0..runs {
+                let r = run(MixnetConfig {
+                    senders: 6,
+                    mixes: 2,
+                    batch_size: 2,
+                    window_us: 300_000,
+                    shuffle: true,
+                    chaff_per_sender: chaff,
+                    mix_max_wait_us: None,
+                    seed: 3000 + s,
+                });
+                assert_eq!(r.delivered, 6, "real messages still arrive");
+                acc += r.attack.accuracy;
+                bytes += r.trace.total_bytes();
+            }
+            (acc / runs as f64, bytes / runs as usize)
+        };
+        let (acc0, bytes0) = mean(0);
+        let (acc3, bytes3) = mean(3);
+        assert!(
+            acc3 < acc0,
+            "chaff must hurt the attacker: {acc3} vs {acc0}"
+        );
+        assert!(
+            bytes3 > bytes0 * 2,
+            "and it costs bandwidth: {bytes3} vs {bytes0}"
+        );
+    }
+}

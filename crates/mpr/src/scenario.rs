@@ -1,0 +1,555 @@
+//! k-relay chain scenarios over nested encrypted tunnels.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dcp_core::table::DecouplingTable;
+use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, UserId, World};
+use dcp_crypto::hpke;
+use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
+use dcp_transport::onion::{self, Hop, Unwrapped};
+
+/// Configuration for a chain run.
+#[derive(Clone, Copy, Debug)]
+pub struct ChainConfig {
+    /// Number of relays between user and origin (0 = direct).
+    pub relays: usize,
+    /// Users fetching concurrently.
+    pub users: usize,
+    /// Fetches per user.
+    pub fetches_each: usize,
+    /// Reveal a coarse location hint to the origin (§4.4 regression).
+    pub geohint: bool,
+    /// RNG / topology seed.
+    pub seed: u64,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            relays: 2,
+            users: 1,
+            fetches_each: 1,
+            geohint: false,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a chain run.
+pub struct ScenarioReport {
+    /// Knowledge base.
+    pub world: World,
+    /// Packet trace.
+    pub trace: Trace,
+    /// Completed fetches.
+    pub completed: usize,
+    /// Mean request→response latency (µs).
+    pub mean_fetch_us: f64,
+    /// Total wire bytes per application-payload byte delivered.
+    pub bytes_factor: f64,
+    /// The users.
+    pub users: Vec<UserId>,
+    /// Relay entity names in chain order (for table derivation).
+    pub relay_names: Vec<String>,
+}
+
+impl ScenarioReport {
+    /// Derive the decoupling table for user `i` over
+    /// `User | Relay 1 | … | Relay k | Origin`.
+    pub fn table(&self, i: usize) -> DecouplingTable {
+        let mut cols: Vec<&str> = vec!["User"];
+        cols.extend(self.relay_names.iter().map(String::as_str));
+        cols.push("Origin");
+        DecouplingTable::derive(&self.world, self.users[i], &cols)
+    }
+
+    /// The paper's §3.2.4 MPR table (k = 2).
+    pub fn paper_table() -> DecouplingTable {
+        DecouplingTable::expect(&[
+            ("User", "(▲, ●)"),
+            ("Relay 1", "(▲, ⊙)"),
+            ("Relay 2", "(△, ⊙/●)"),
+            ("Origin", "(△, ●)"),
+        ])
+    }
+}
+
+const REQUEST: &[u8] = b"GET /profile/sensitive-page HTTP/1.1";
+const RESPONSE: &[u8] = b"HTTP/1.1 200 OK\r\n\r\n<private content>";
+
+struct Stats {
+    completed: usize,
+    latencies: Vec<u64>,
+    payload_bytes: usize,
+}
+
+struct UserNode {
+    entity: EntityId,
+    user: UserId,
+    first_hop: NodeId,
+    hops: Vec<Hop>,
+    origin_addr: u16,
+    origin_pk: [u8; 32],
+    origin_key: KeyId,
+    geohint: bool,
+    fetches_left: usize,
+    stats: Rc<RefCell<Stats>>,
+    sent_at: SimTime,
+}
+
+impl UserNode {
+    fn fetch(&mut self, ctx: &mut Ctx) {
+        self.sent_at = ctx.now;
+        self.stats.borrow_mut().payload_bytes += REQUEST.len();
+
+        // End-to-end sealed request: only the origin reads the full
+        // request; its label gives the origin (△, ●) — plus a coarse
+        // location item when the geohint regression is enabled.
+        let mut origin_items = vec![
+            InfoItem::plain_identity(self.user, IdentityKind::Any),
+            InfoItem::sensitive_data(self.user, DataKind::Destination),
+        ];
+        if self.geohint {
+            origin_items.push(InfoItem::partial_data(self.user, DataKind::Location));
+        }
+        let e2e =
+            hpke::seal(ctx.rng, &self.origin_pk, b"e2e", b"", REQUEST).expect("seal to origin");
+        let e2e_label = Label::items(origin_items).sealed(self.origin_key);
+
+        if self.hops.is_empty() {
+            // Direct: the origin additionally sees the user's address (▲).
+            let label = Label::items([
+                InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+                InfoItem::plain_data(self.user, DataKind::Payload),
+            ])
+            .and(e2e_label);
+            ctx.send(
+                self.first_hop,
+                Message::new(e2e, label).with_flow(self.user.0),
+            );
+            return;
+        }
+
+        // Exit-visible part: the destination FQDN (⊙/●) of an anonymous
+        // user (△); the exit must see it to connect.
+        let mut exit_plain = self.origin_addr.to_be_bytes().to_vec();
+        exit_plain.extend_from_slice(&e2e);
+        let exit_label = Label::items([
+            InfoItem::plain_identity(self.user, IdentityKind::Any),
+            InfoItem::partial_data(self.user, DataKind::Destination),
+        ])
+        .and(e2e_label);
+
+        let (bytes, onion_label) =
+            onion::wrap(ctx.rng, &self.hops, &exit_plain, exit_label).expect("onion");
+        // Envelope: relay 1 sees the user's network identity (▲) and that
+        // opaque traffic is flowing (⊙).
+        let label = Label::items([
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+            InfoItem::plain_data(self.user, DataKind::Payload),
+        ])
+        .and(onion_label);
+        ctx.send(
+            self.first_hop,
+            Message::new(bytes, label).with_flow(self.user.0),
+        );
+    }
+}
+
+impl Node for UserNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+        );
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_data(self.user, DataKind::Destination),
+        );
+        self.fetch(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        // Response sealed to our resp key.
+        let _ = msg;
+        let mut stats = self.stats.borrow_mut();
+        stats.completed += 1;
+        stats.latencies.push(ctx.now - self.sent_at);
+        stats.payload_bytes += RESPONSE.len();
+        drop(stats);
+        if self.fetches_left > 1 {
+            self.fetches_left -= 1;
+            self.fetch(ctx);
+        }
+    }
+}
+
+struct RelayNode {
+    entity: EntityId,
+    kp: hpke::Keypair,
+    key_id: KeyId,
+    /// addr → node mapping for forwarding.
+    addr_map: Vec<(u16, NodeId)>,
+    /// Back-routes for responses: stack of previous hops.
+    back: Vec<NodeId>,
+}
+
+impl Node for RelayNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        // Response coming back (from a node we forwarded to): relay it to
+        // the stored previous hop.
+        if let Some(pos) = self
+            .addr_map
+            .iter()
+            .position(|(_, n)| *n == from)
+            .filter(|_| !self.back.is_empty())
+        {
+            let _ = pos;
+            let prev = self.back.pop().expect("no back route");
+            ctx.send(prev, msg);
+            return;
+        }
+
+        // Forward direction: peel one onion layer (bytes and label).
+        let unwrapped = onion::unwrap_layer(&self.kp, &msg.bytes).expect("peel");
+        let outer_label = match &msg.label {
+            Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
+            other => other.clone(),
+        };
+        let inner_label = onion::unwrap_label(&outer_label, self.key_id);
+        match unwrapped {
+            Unwrapped::Forward { next, bytes } => {
+                let next_node = self
+                    .addr_map
+                    .iter()
+                    .find(|(a, _)| *a == next)
+                    .map(|(_, n)| *n)
+                    .expect("unknown next hop");
+                self.back.insert(0, from);
+                ctx.send(
+                    next_node,
+                    Message::new(bytes, inner_label).with_flow_opt(msg.flow),
+                );
+            }
+            Unwrapped::Deliver { payload } => {
+                // Exit relay: payload = origin_addr ‖ e2e-sealed request.
+                let addr = u16::from_be_bytes([payload[0], payload[1]]);
+                let next_node = self
+                    .addr_map
+                    .iter()
+                    .find(|(a, _)| *a == addr)
+                    .map(|(_, n)| *n)
+                    .expect("unknown origin addr");
+                self.back.insert(0, from);
+                // Forward only the sealed part of the label bundle.
+                let fwd_label = match &inner_label {
+                    Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
+                    other => other.clone(),
+                };
+                ctx.send(
+                    next_node,
+                    Message::new(payload[2..].to_vec(), fwd_label).with_flow_opt(msg.flow),
+                );
+            }
+        }
+    }
+}
+
+struct OriginNode {
+    entity: EntityId,
+    kp: hpke::Keypair,
+    resp_key: KeyId,
+    /// Subjects by flow id (scenario bookkeeping for response labels).
+    flow_user: Vec<(u64, UserId)>,
+}
+
+impl Node for OriginNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        let req = hpke::open(&self.kp, b"e2e", b"", &msg.bytes).expect("open e2e");
+        assert_eq!(req, REQUEST);
+        let user = msg
+            .flow
+            .and_then(|f| self.flow_user.iter().find(|(id, _)| *id == f))
+            .map(|(_, u)| *u)
+            .expect("flow subject");
+        // Response content is the user's sensitive data, sealed end-to-end
+        // back to them.
+        let resp_label = Label::items([InfoItem::sensitive_data(user, DataKind::Destination)])
+            .sealed(self.resp_key);
+        ctx.send(
+            from,
+            Message::new(RESPONSE.to_vec(), resp_label).with_flow_opt(msg.flow),
+        );
+    }
+}
+
+/// Extension trait to thread the optional ground-truth flow id.
+trait WithFlowOpt {
+    fn with_flow_opt(self, flow: Option<u64>) -> Self;
+}
+impl WithFlowOpt for Message {
+    fn with_flow_opt(mut self, flow: Option<u64>) -> Self {
+        self.flow = flow;
+        self
+    }
+}
+
+/// Run a k-relay chain per `config`.
+pub fn run_chain(config: ChainConfig) -> ScenarioReport {
+    use rand::SeedableRng;
+    let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x33bb);
+
+    let mut world = World::new();
+    let user_org = world.add_org("users");
+    let origin_org = world.add_org("origin-co");
+    let origin_e = world.add_entity("Origin", origin_org, None);
+
+    let mut relay_entities = Vec::new();
+    let mut relay_names = Vec::new();
+    for i in 0..config.relays {
+        let org = world.add_org(&format!("relay-op-{i}"));
+        let name = format!("Relay {}", i + 1);
+        relay_entities.push(world.add_entity(&name, org, None));
+        relay_names.push(name);
+    }
+
+    let mut users = Vec::new();
+    let mut user_entities = Vec::new();
+    for i in 0..config.users {
+        let u = world.add_user();
+        let name = if i == 0 {
+            "User".to_string()
+        } else {
+            format!("User {}", i + 1)
+        };
+        user_entities.push(world.add_entity(&name, user_org, Some(u)));
+        users.push(u);
+    }
+
+    // Keys: one per relay, one for the origin's e2e, one for responses.
+    let relay_kps: Vec<hpke::Keypair> = (0..config.relays)
+        .map(|_| hpke::Keypair::generate(&mut setup_rng))
+        .collect();
+    let relay_keys: Vec<KeyId> = relay_entities
+        .iter()
+        .map(|&e| world.new_key(&[e]))
+        .collect();
+    let origin_kp = hpke::Keypair::generate(&mut setup_rng);
+    let origin_key = world.new_key(&[origin_e]);
+    let resp_key = world.new_key(&[]);
+    for &e in &user_entities {
+        world.grant_key(e, resp_key);
+    }
+
+    let mut net = Network::new(world, config.seed);
+    net.set_default_link(LinkParams::wan_ms(10));
+
+    // Topology: origin = node 0, relays 1..=k, users after.
+    let origin_id = NodeId(0);
+    let relay_ids: Vec<NodeId> = (0..config.relays).map(|i| NodeId(1 + i)).collect();
+    let origin_addr: u16 = 9000;
+    let relay_addrs: Vec<u16> = (0..config.relays).map(|i| 100 + i as u16).collect();
+
+    let hops: Vec<Hop> = (0..config.relays)
+        .map(|i| Hop {
+            addr: relay_addrs[i],
+            pk: relay_kps[i].public,
+            key_id: relay_keys[i],
+        })
+        .collect();
+
+    let flow_user: Vec<(u64, UserId)> = users.iter().map(|&u| (u.0, u)).collect();
+    net.add_node(Box::new(OriginNode {
+        entity: origin_e,
+        kp: origin_kp.clone(),
+        resp_key,
+        flow_user,
+    }));
+    for i in 0..config.relays {
+        // Each relay can forward to the next relay and to the origin.
+        let mut addr_map: Vec<(u16, NodeId)> = vec![(origin_addr, origin_id)];
+        if i + 1 < config.relays {
+            addr_map.push((relay_addrs[i + 1], relay_ids[i + 1]));
+        }
+        net.add_node(Box::new(RelayNode {
+            entity: relay_entities[i],
+            kp: relay_kps[i].clone(),
+            key_id: relay_keys[i],
+            addr_map,
+            back: Vec::new(),
+        }));
+    }
+    let stats = Rc::new(RefCell::new(Stats {
+        completed: 0,
+        latencies: Vec::new(),
+        payload_bytes: 0,
+    }));
+    let first_hop = if config.relays == 0 {
+        origin_id
+    } else {
+        relay_ids[0]
+    };
+    for (&u, &e) in users.iter().zip(user_entities.iter()) {
+        net.add_node(Box::new(UserNode {
+            entity: e,
+            user: u,
+            first_hop,
+            hops: hops.clone(),
+            origin_addr,
+            origin_pk: origin_kp.public,
+            origin_key,
+            geohint: config.geohint,
+            fetches_left: config.fetches_each,
+            stats: stats.clone(),
+            sent_at: SimTime::ZERO,
+        }));
+    }
+
+    net.run();
+    let (world, trace) = net.into_parts();
+    let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
+    let mean = if stats.latencies.is_empty() {
+        0.0
+    } else {
+        stats.latencies.iter().sum::<u64>() as f64 / stats.latencies.len() as f64
+    };
+    let bytes_factor = if stats.payload_bytes == 0 {
+        0.0
+    } else {
+        trace.total_bytes() as f64 / stats.payload_bytes as f64
+    };
+    ScenarioReport {
+        world,
+        trace,
+        completed: stats.completed,
+        mean_fetch_us: mean,
+        bytes_factor,
+        users,
+        relay_names,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_core::{analyze, collusion::entity_collusion};
+
+    fn cfg(relays: usize) -> ChainConfig {
+        ChainConfig {
+            relays,
+            users: 1,
+            fetches_each: 2,
+            geohint: false,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn two_hop_reproduces_paper_table() {
+        let report = run_chain(cfg(2));
+        assert_eq!(report.completed, 2);
+        let derived = report.table(0);
+        let expected = ScenarioReport::paper_table();
+        assert_eq!(
+            derived,
+            expected,
+            "diff:\n{}",
+            derived.diff(&expected).unwrap_or_default()
+        );
+        assert!(analyze(&report.world).decoupled);
+    }
+
+    #[test]
+    fn direct_couples_at_origin() {
+        let report = run_chain(cfg(0));
+        let verdict = analyze(&report.world);
+        assert!(!verdict.decoupled);
+        assert!(verdict.offenders().contains(&"Origin"));
+    }
+
+    #[test]
+    fn single_relay_is_a_vpn_shape() {
+        // With one relay, the exit *is* the entry: it sees both ▲ and the
+        // destination — the §3.3 cautionary tale emerges naturally.
+        let report = run_chain(cfg(1));
+        let verdict = analyze(&report.world);
+        assert!(!verdict.decoupled);
+        assert!(verdict.offenders().contains(&"Relay 1"));
+        let rep = entity_collusion(&report.world, report.users[0], 2);
+        assert_eq!(rep.min_coalition_size, Some(1));
+    }
+
+    #[test]
+    fn collusion_bar_rises_with_relays() {
+        let mut last = 1;
+        for k in [2usize, 3, 4] {
+            let report = run_chain(cfg(k));
+            assert!(analyze(&report.world).decoupled, "k={k}");
+            let rep = entity_collusion(&report.world, report.users[0], k + 1);
+            let min = rep.min_coalition_size.unwrap();
+            assert!(min >= 2, "k={k}: {min}");
+            assert!(min >= last, "non-decreasing in k");
+            last = min;
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_relays() {
+        let l: Vec<f64> = [0usize, 1, 2, 3]
+            .iter()
+            .map(|&k| run_chain(cfg(k)).mean_fetch_us)
+            .collect();
+        assert!(l[0] < l[1] && l[1] < l[2] && l[2] < l[3], "{l:?}");
+    }
+
+    #[test]
+    fn bytes_overhead_grows_with_relays() {
+        let b0 = run_chain(cfg(0)).bytes_factor;
+        let b3 = run_chain(cfg(3)).bytes_factor;
+        assert!(b3 > b0, "onion layers cost bytes: {b0} vs {b3}");
+    }
+
+    #[test]
+    fn geohint_adds_location_knowledge_at_origin() {
+        let without = run_chain(cfg(2));
+        let with = run_chain(ChainConfig {
+            geohint: true,
+            ..cfg(2)
+        });
+        let origin_plain = without
+            .world
+            .ledger(without.world.entity_by_name("Origin").id)
+            .len();
+        let origin_geo = with
+            .world
+            .ledger(with.world.entity_by_name("Origin").id)
+            .len();
+        assert_eq!(origin_geo, origin_plain + 1, "one extra location item");
+        // Still nominally decoupled (no ▲ at the origin) — the regression
+        // is a *knowledge increase*, which is the paper's point about
+        // metadata requirements eroding the principle.
+        assert!(analyze(&with.world).decoupled);
+    }
+
+    #[test]
+    fn multi_user_chains_complete() {
+        let report = run_chain(ChainConfig {
+            relays: 2,
+            users: 3,
+            fetches_each: 2,
+            geohint: false,
+            seed: 9,
+        });
+        assert_eq!(report.completed, 6);
+        assert!(analyze(&report.world).decoupled);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dcp-odns — Oblivious DNS (§3.2.2)
+//!
+//! "Nearly all Internet connections are preceded by DNS lookups", and the
+//! resolver that answers them can tie queries (●) to users (▲). ODNS and
+//! ODoH split that knowledge: the party that knows *who* asked cannot read
+//! the query; the party that reads the query does not know who asked.
+//!
+//! Paper table:
+//!
+//! | Client | Resolver | Oblivious Resolver | Origin |
+//! |--------|----------|--------------------|--------|
+//! | (▲, ●) | (▲, ⊙)   | (△, ⊙/●)           | (△, ●) |
+//!
+//! (*Origin* here is the authoritative server that ultimately answers —
+//! it sees the query but only the oblivious resolver's address.)
+//!
+//! * [`odoh`] — ODoH-style encapsulation: the query is HPKE-sealed to the
+//!   target's key and carries an ephemeral response key.
+//! * [`odns_name`] — the original ODNS trick: the encrypted query hides
+//!   inside the *name itself* (`<hex>.odns.example`), so an unmodified
+//!   recursive resolver routes it to the oblivious authority.
+//! * [`scenario`] — ODoH / direct-DNS runs on the simulator, plus the
+//!   §5.1 striping experiment spreading queries over many resolvers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod odns_name;
+pub mod odoh;
+pub mod scenario;

@@ -1,0 +1,133 @@
+//! ODoH-style encapsulation: HPKE-sealed queries with an in-band ephemeral
+//! response key.
+//!
+//! Wire shapes:
+//! * query encapsulation = `HPKE-seal(target_pk, resp_pk ‖ dns_query)`,
+//! * response encapsulation = `HPKE-seal(resp_pk, dns_response)`.
+//!
+//! The proxy only ever handles the opaque outer ciphertexts.
+
+use dcp_crypto::hpke;
+use dcp_crypto::{CryptoError, Result};
+use dcp_dns::Message as DnsMessage;
+use rand::Rng;
+
+/// Client-side state kept across a query/response exchange.
+pub struct QueryState {
+    resp_kp: hpke::Keypair,
+}
+
+/// Client: encapsulate `query` for the target. Returns the opaque bytes
+/// for the proxy and the state needed to open the response.
+pub fn seal_query<R: Rng + ?Sized>(
+    rng: &mut R,
+    target_pk: &[u8; 32],
+    query: &DnsMessage,
+) -> Result<(Vec<u8>, QueryState)> {
+    let resp_kp = hpke::Keypair::generate(rng);
+    let mut plain = resp_kp.public.to_vec();
+    plain.extend_from_slice(&query.encode());
+    let sealed = hpke::seal(rng, target_pk, b"odoh query", b"", &plain)?;
+    Ok((sealed, QueryState { resp_kp }))
+}
+
+/// Target: open an encapsulated query. Returns the DNS query and the
+/// client's response key.
+pub fn open_query(kp: &hpke::Keypair, bytes: &[u8]) -> Result<(DnsMessage, [u8; 32])> {
+    let plain = hpke::open(kp, b"odoh query", b"", bytes)?;
+    if plain.len() < 32 {
+        return Err(CryptoError::Malformed);
+    }
+    let mut resp_pk = [0u8; 32];
+    resp_pk.copy_from_slice(&plain[..32]);
+    let query = DnsMessage::decode(&plain[32..]).map_err(|_| CryptoError::Malformed)?;
+    Ok((query, resp_pk))
+}
+
+/// Target: encapsulate the response to the client's ephemeral key.
+pub fn seal_response<R: Rng + ?Sized>(
+    rng: &mut R,
+    resp_pk: &[u8; 32],
+    response: &DnsMessage,
+) -> Result<Vec<u8>> {
+    hpke::seal(rng, resp_pk, b"odoh response", b"", &response.encode())
+}
+
+/// Client: open the encapsulated response.
+pub fn open_response(state: &QueryState, bytes: &[u8]) -> Result<DnsMessage> {
+    let plain = hpke::open(&state.resp_kp, b"odoh response", b"", bytes)?;
+    DnsMessage::decode(&plain).map_err(|_| CryptoError::Malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_dns::{DnsName, Message, Rcode, RecordData, ResourceRecord, RrType};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(808)
+    }
+
+    #[test]
+    fn full_odoh_roundtrip() {
+        let mut rng = rng();
+        let target = hpke::Keypair::generate(&mut rng);
+        let query = Message::query(7, DnsName::parse("private.example.com").unwrap(), RrType::A);
+
+        let (sealed, state) = seal_query(&mut rng, &target.public, &query).unwrap();
+        // The sealed blob reveals nothing of the name (ciphertext only).
+        assert!(
+            !sealed.windows(7).any(|w| w == b"private"),
+            "query name must not appear in ciphertext"
+        );
+
+        let (opened, resp_pk) = open_query(&target, &sealed).unwrap();
+        assert_eq!(opened, query);
+
+        let mut resp = Message::response_to(&query, Rcode::NoError);
+        resp.answers.push(ResourceRecord {
+            name: DnsName::parse("private.example.com").unwrap(),
+            ttl: 60,
+            data: RecordData::A([10, 1, 2, 3]),
+        });
+        let sealed_resp = seal_response(&mut rng, &resp_pk, &resp).unwrap();
+        let got = open_response(&state, &sealed_resp).unwrap();
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn wrong_target_key_cannot_open() {
+        let mut rng = rng();
+        let target = hpke::Keypair::generate(&mut rng);
+        let wrong = hpke::Keypair::generate(&mut rng);
+        let query = Message::query(1, DnsName::parse("x.test").unwrap(), RrType::A);
+        let (sealed, _) = seal_query(&mut rng, &target.public, &query).unwrap();
+        assert!(open_query(&wrong, &sealed).is_err());
+    }
+
+    #[test]
+    fn response_bound_to_query_state() {
+        let mut rng = rng();
+        let target = hpke::Keypair::generate(&mut rng);
+        let query = Message::query(1, DnsName::parse("x.test").unwrap(), RrType::A);
+        let (sealed1, _state1) = seal_query(&mut rng, &target.public, &query).unwrap();
+        let (_sealed2, state2) = seal_query(&mut rng, &target.public, &query).unwrap();
+        let (_, resp_pk1) = open_query(&target, &sealed1).unwrap();
+        let resp = Message::response_to(&query, Rcode::NoError);
+        let sealed_resp = seal_response(&mut rng, &resp_pk1, &resp).unwrap();
+        // A different query's state cannot open it.
+        assert!(open_response(&state2, &sealed_resp).is_err());
+    }
+
+    #[test]
+    fn tampered_query_rejected() {
+        let mut rng = rng();
+        let target = hpke::Keypair::generate(&mut rng);
+        let query = Message::query(1, DnsName::parse("x.test").unwrap(), RrType::A);
+        let (mut sealed, _) = seal_query(&mut rng, &target.public, &query).unwrap();
+        let last = sealed.len() - 1;
+        sealed[last] ^= 1;
+        assert!(open_query(&target, &sealed).is_err());
+    }
+}

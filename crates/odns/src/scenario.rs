@@ -1,0 +1,998 @@
+//! Simulator scenarios: ODoH, direct DNS (the coupled baseline), and the
+//! §5.1 striping experiment.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use dcp_core::table::DecouplingTable;
+use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, UserId, World};
+use dcp_crypto::hpke;
+use dcp_dns::workload::ZipfWorkload;
+use dcp_dns::{DnsName, Message as DnsMessage, RecordData, RrType, Zone};
+use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
+
+use crate::odoh;
+use rand::Rng as _;
+
+/// Outcome of a DNS scenario run.
+pub struct ScenarioReport {
+    /// Knowledge base.
+    pub world: World,
+    /// Packet trace.
+    pub trace: Trace,
+    /// Queries answered end-to-end.
+    pub answered: usize,
+    /// Mean end-to-end query latency (µs).
+    pub mean_query_us: f64,
+    /// The client users.
+    pub users: Vec<UserId>,
+    /// Distinct query names each resolver saw (striping metric; one entry
+    /// per resolver in node order; for ODoH the proxy sees zero).
+    pub resolver_views: Vec<usize>,
+    /// Total distinct names queried.
+    pub distinct_names: usize,
+}
+
+impl ScenarioReport {
+    /// Derive the §3.2.2 table for user `i` (ODoH runs).
+    pub fn table(&self, i: usize) -> DecouplingTable {
+        DecouplingTable::derive(
+            &self.world,
+            self.users[i],
+            &["Client", "Resolver", "Oblivious Resolver", "Origin"],
+        )
+    }
+
+    /// The paper's ODNS/ODoH table.
+    pub fn paper_table() -> DecouplingTable {
+        DecouplingTable::expect(&[
+            ("Client", "(▲, ●)"),
+            ("Resolver", "(▲, ⊙)"),
+            ("Oblivious Resolver", "(△, ⊙/●)"),
+            ("Origin", "(△, ●)"),
+        ])
+    }
+}
+
+/// Zone suffix used by the synthetic workloads.
+pub const SUFFIX: &str = "bench.example";
+
+fn build_zone(workload: &ZipfWorkload) -> Zone {
+    let mut zone = Zone::new(DnsName::parse(SUFFIX).unwrap());
+    zone.add(
+        DnsName::parse(SUFFIX).unwrap(),
+        3600,
+        RecordData::Soa {
+            mname: DnsName::parse(&format!("ns1.{SUFFIX}")).unwrap(),
+            rname: DnsName::parse(&format!("admin.{SUFFIX}")).unwrap(),
+            serial: 1,
+            minimum: 60,
+        },
+    );
+    for i in 0..workload.domain_count() {
+        let name = workload.domain(i).clone();
+        let o = (i >> 8) as u8;
+        zone.add(name, 300, RecordData::A([10, 0, o, (i & 0xff) as u8]));
+    }
+    zone
+}
+
+struct Stats {
+    answered: usize,
+    latencies: Vec<u64>,
+    /// Per-resolver distinct names seen (indexed by resolver slot).
+    resolver_views: Vec<HashSet<String>>,
+}
+
+// ---------------------------------------------------------------- ODoH --
+
+struct OdohClient {
+    entity: EntityId,
+    user: UserId,
+    proxy: NodeId,
+    target_pk: [u8; 32],
+    target_key: dcp_core::KeyId,
+    queries: Vec<DnsName>,
+    state: Option<odoh::QueryState>,
+    stats: Rc<RefCell<Stats>>,
+    sent_at: SimTime,
+    next_id: u16,
+}
+
+impl OdohClient {
+    fn send_next(&mut self, ctx: &mut Ctx) {
+        let Some(name) = self.queries.pop() else {
+            return;
+        };
+        let q = DnsMessage::query(self.next_id, name, RrType::A);
+        self.next_id = self.next_id.wrapping_add(1);
+        let (sealed, state) = odoh::seal_query(ctx.rng, &self.target_pk, &q).expect("seal");
+        self.state = Some(state);
+        self.sent_at = ctx.now;
+        // Outer envelope: the proxy knows the client (▲_N) and that a DNS
+        // query happened (⊙). Inner seal: the target reads the query
+        // content (⊙/●) of an anonymous user (△).
+        let label = Label::items([
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+            InfoItem::plain_data(self.user, DataKind::DnsQuery),
+        ])
+        .and(
+            Label::items([
+                InfoItem::plain_identity(self.user, IdentityKind::Any),
+                InfoItem::partial_data(self.user, DataKind::DnsQuery),
+            ])
+            .sealed(self.target_key),
+        );
+        ctx.send(self.proxy, Message::new(sealed, label));
+    }
+}
+
+// The target_key field is injected at construction; declared separately to
+// keep send_next readable.
+impl OdohClient {
+    fn new(
+        entity: EntityId,
+        user: UserId,
+        proxy: NodeId,
+        target_pk: [u8; 32],
+        target_key: dcp_core::KeyId,
+        queries: Vec<DnsName>,
+        stats: Rc<RefCell<Stats>>,
+    ) -> Self {
+        OdohClient {
+            entity,
+            user,
+            proxy,
+            target_pk,
+            queries,
+            state: None,
+            stats,
+            sent_at: SimTime::ZERO,
+            next_id: 1,
+            target_key,
+        }
+    }
+}
+
+impl Node for OdohClient {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+        );
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_data(self.user, DataKind::DnsQuery),
+        );
+        self.send_next(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        let state = self.state.take().expect("no query in flight");
+        let resp = odoh::open_response(&state, &msg.bytes).expect("response");
+        assert!(resp.is_response);
+        let mut stats = self.stats.borrow_mut();
+        stats.answered += 1;
+        stats.latencies.push(ctx.now - self.sent_at);
+        drop(stats);
+        self.send_next(ctx);
+    }
+}
+
+struct ProxyNode {
+    entity: EntityId,
+    target: NodeId,
+    /// Pending client per in-flight query (FIFO per arrival).
+    pending: Vec<NodeId>,
+}
+
+impl Node for ProxyNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if from == self.target {
+            // Response going back: forward to the waiting client.
+            let client = self.pending.pop().expect("no pending client");
+            ctx.send(client, msg);
+        } else {
+            self.pending.insert(0, from);
+            // Strip the client-identifying envelope: the target sees only
+            // the sealed inner part plus an anonymous-aggregate marker.
+            let inner = match &msg.label {
+                Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
+                other => other.clone(),
+            };
+            ctx.send(self.target, Message::new(msg.bytes, inner));
+        }
+    }
+}
+
+struct TargetNode {
+    entity: EntityId,
+    kp: hpke::Keypair,
+    origin: NodeId,
+    client_resp_key: dcp_core::KeyId,
+    /// (proxy node, response key, subject) awaiting origin answers.
+    pending: Vec<(NodeId, [u8; 32], UserId)>,
+    /// Maps query names to subjects for label construction (the target
+    /// cannot name users — this is scenario bookkeeping keyed by what the
+    /// target *does* see).
+    subject_of_query: std::collections::HashMap<String, UserId>,
+}
+
+impl Node for TargetNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if from == self.origin {
+            let resp = DnsMessage::decode(&msg.bytes).expect("origin resp");
+            let (proxy, resp_pk, user) = self.pending.pop().expect("no pending");
+            let sealed = odoh::seal_response(ctx.rng, &resp_pk, &resp).expect("seal resp");
+            // Sealed to the client's ephemeral key: intermediaries learn
+            // nothing; the client learns its own answer (●, which it is
+            // entitled to).
+            let label = Label::items([InfoItem::sensitive_data(user, DataKind::DnsQuery)])
+                .sealed(self.client_resp_key);
+            ctx.send(proxy, Message::new(sealed, label));
+            return;
+        }
+        // Encapsulated query from the proxy.
+        let (query, resp_pk) = odoh::open_query(&self.kp, &msg.bytes).expect("open query");
+        let qname = query.questions[0].qname.to_string();
+        let user = *self
+            .subject_of_query
+            .get(&qname)
+            .expect("workload name has a subject");
+        self.pending.insert(0, (from, resp_pk, user));
+        // Plaintext recursive query to the authoritative origin: the
+        // origin sees the query (●) from the resolver's address (△).
+        let label = Label::items([
+            InfoItem::plain_identity(user, IdentityKind::Any),
+            InfoItem::sensitive_data(user, DataKind::DnsQuery),
+        ]);
+        ctx.send(self.origin, Message::new(query.encode(), label));
+    }
+}
+
+struct OriginNode {
+    entity: EntityId,
+    zone: Zone,
+}
+
+impl Node for OriginNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        let query = DnsMessage::decode(&msg.bytes).expect("query");
+        let resp = self.zone.answer(&query);
+        // The response repeats the query content back to the asker; it
+        // carries no *new* subject information beyond what the query
+        // already established, so label it Public.
+        ctx.send(from, Message::new(resp.encode(), Label::Public));
+    }
+}
+
+/// The target's per-client response key (one `KeyId` stands for "keys only
+/// clients hold"); stored on the node for label construction.
+impl TargetNode {
+    fn new(
+        entity: EntityId,
+        kp: hpke::Keypair,
+        origin: NodeId,
+        client_resp_key: dcp_core::KeyId,
+        subject_of_query: std::collections::HashMap<String, UserId>,
+    ) -> Self {
+        TargetNode {
+            entity,
+            kp,
+            origin,
+            pending: Vec::new(),
+            subject_of_query,
+            client_resp_key,
+        }
+    }
+}
+
+/// Run the ODoH scenario: `n_clients` clients issue `queries_each`
+/// Zipf-sampled queries through proxy → target → origin.
+pub fn run_odoh(n_clients: usize, queries_each: usize, seed: u64) -> ScenarioReport {
+    use rand::SeedableRng;
+    let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0d0a);
+    let workload = ZipfWorkload::new(200, 1.0, SUFFIX);
+    let zone = build_zone(&workload);
+
+    let mut world = World::new();
+    let isp_org = world.add_org("isp");
+    let odns_org = world.add_org("oblivious-operator");
+    let auth_org = world.add_org("authoritative");
+    let user_org = world.add_org("users");
+    let proxy_e = world.add_entity("Resolver", isp_org, None);
+    let target_e = world.add_entity("Oblivious Resolver", odns_org, None);
+    let origin_e = world.add_entity("Origin", auth_org, None);
+
+    let target_kp = hpke::Keypair::generate(&mut setup_rng);
+
+    let mut users = Vec::new();
+    let mut client_entities = Vec::new();
+    for i in 0..n_clients {
+        let u = world.add_user();
+        let name = if i == 0 {
+            "Client".to_string()
+        } else {
+            format!("Client {}", i + 1)
+        };
+        client_entities.push(world.add_entity(&name, user_org, Some(u)));
+        users.push(u);
+    }
+
+    // Key capabilities: the target holds its HPKE key; clients hold their
+    // response keys. (Clients' own ledgers are seeded directly, so the
+    // response KeyId is granted to no third party.)
+    let target_key = world.new_key(&[target_e]);
+    let client_resp_key = world.new_key(&[]);
+
+    // Assign each client a disjoint slice of names so the "which subject
+    // is this query about" bookkeeping is unambiguous.
+    let mut subject_of_query = std::collections::HashMap::new();
+    let mut per_client_queries: Vec<Vec<DnsName>> = Vec::new();
+    for (ci, &u) in users.iter().enumerate() {
+        let mut qs = Vec::new();
+        for k in 0..queries_each {
+            let name = workload.domain((ci * queries_each + k) % workload.domain_count());
+            subject_of_query.insert(name.to_string(), u);
+            qs.push(name.clone());
+        }
+        per_client_queries.push(qs);
+    }
+
+    let stats = Rc::new(RefCell::new(Stats {
+        answered: 0,
+        latencies: Vec::new(),
+        resolver_views: vec![HashSet::new()],
+    }));
+
+    let mut net = Network::new(world, seed);
+    net.set_default_link(LinkParams::wan_ms(8));
+
+    let proxy_id = NodeId(0);
+    let target_id = NodeId(1);
+    let origin_id = NodeId(2);
+    net.add_node(Box::new(ProxyNode {
+        entity: proxy_e,
+        target: target_id,
+        pending: Vec::new(),
+    }));
+    net.add_node(Box::new(TargetNode::new(
+        target_e,
+        target_kp.clone(),
+        origin_id,
+        client_resp_key,
+        subject_of_query,
+    )));
+    net.add_node(Box::new(OriginNode {
+        entity: origin_e,
+        zone,
+    }));
+    for ((&u, &e), queries) in users
+        .iter()
+        .zip(client_entities.iter())
+        .zip(per_client_queries.into_iter())
+    {
+        net.add_node(Box::new(OdohClient::new(
+            e,
+            u,
+            proxy_id,
+            target_kp.public,
+            target_key,
+            queries,
+            stats.clone(),
+        )));
+    }
+    // Grant clients their response key so their observations decrypt.
+    for &e in &client_entities {
+        net.world_mut().grant_key(e, client_resp_key);
+    }
+
+    net.run();
+    let (world, trace) = net.into_parts();
+    let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
+    finish_report(world, trace, stats, users, n_clients * queries_each)
+}
+
+// -------------------------------------------------- direct & striping --
+
+struct DirectClient {
+    entity: EntityId,
+    user: UserId,
+    resolvers: Vec<NodeId>,
+    queries: Vec<DnsName>,
+    stats: Rc<RefCell<Stats>>,
+    sent_at: SimTime,
+    next_id: u16,
+}
+
+impl DirectClient {
+    fn send_next(&mut self, ctx: &mut Ctx) {
+        let Some(name) = self.queries.pop() else {
+            return;
+        };
+        // Striping: pick a resolver uniformly at random (§5.1 / ref [18]).
+        let idx = ctx.rng.gen_range(0..self.resolvers.len());
+        let q = DnsMessage::query(self.next_id, name, RrType::A);
+        self.next_id = self.next_id.wrapping_add(1);
+        self.sent_at = ctx.now;
+        // Plain DNS: the resolver sees both who (▲_N) and what (●).
+        let label = Label::items([
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+            InfoItem::sensitive_data(self.user, DataKind::DnsQuery),
+        ]);
+        ctx.send(self.resolvers[idx], Message::new(q.encode(), label));
+    }
+}
+
+impl Node for DirectClient {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+        );
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_data(self.user, DataKind::DnsQuery),
+        );
+        self.send_next(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        let resp = DnsMessage::decode(&msg.bytes).expect("resp");
+        assert!(resp.is_response);
+        let mut stats = self.stats.borrow_mut();
+        stats.answered += 1;
+        stats.latencies.push(ctx.now - self.sent_at);
+        drop(stats);
+        self.send_next(ctx);
+    }
+}
+
+struct PlainResolver {
+    entity: EntityId,
+    slot: usize,
+    origin: NodeId,
+    pending: Vec<NodeId>,
+    stats: Rc<RefCell<Stats>>,
+}
+
+impl Node for PlainResolver {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if from == self.origin {
+            let client = self.pending.pop().expect("no pending");
+            ctx.send(client, msg);
+            return;
+        }
+        let query = DnsMessage::decode(&msg.bytes).expect("query");
+        self.stats.borrow_mut().resolver_views[self.slot]
+            .insert(query.questions[0].qname.to_string());
+        self.pending.insert(0, from);
+        // Forward upstream; the label travels as-is (the resolver already
+        // saw everything — plain DNS hides nothing).
+        ctx.send(self.origin, msg);
+    }
+}
+
+/// Run plain DNS through `n_resolvers` resolvers with queries striped
+/// uniformly across them. `n_resolvers = 1` is the coupled direct
+/// baseline.
+pub fn run_direct(
+    n_clients: usize,
+    queries_each: usize,
+    n_resolvers: usize,
+    seed: u64,
+) -> ScenarioReport {
+    use rand::SeedableRng;
+    let mut wl_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xd1e7);
+    let workload = ZipfWorkload::new(200, 1.0, SUFFIX);
+    let zone = build_zone(&workload);
+
+    let mut world = World::new();
+    let auth_org = world.add_org("authoritative");
+    let user_org = world.add_org("users");
+    let origin_e = world.add_entity("Origin", auth_org, None);
+    let mut resolver_entities = Vec::new();
+    for i in 0..n_resolvers {
+        let org = world.add_org(&format!("resolver-op-{i}"));
+        let name = if i == 0 {
+            "Resolver".to_string()
+        } else {
+            format!("Resolver {}", i + 1)
+        };
+        resolver_entities.push(world.add_entity(&name, org, None));
+    }
+
+    let mut users = Vec::new();
+    let mut client_entities = Vec::new();
+    for i in 0..n_clients {
+        let u = world.add_user();
+        let name = if i == 0 {
+            "Client".to_string()
+        } else {
+            format!("Client {}", i + 1)
+        };
+        client_entities.push(world.add_entity(&name, user_org, Some(u)));
+        users.push(u);
+    }
+
+    let stats = Rc::new(RefCell::new(Stats {
+        answered: 0,
+        latencies: Vec::new(),
+        resolver_views: vec![HashSet::new(); n_resolvers],
+    }));
+
+    let mut net = Network::new(world, seed);
+    net.set_default_link(LinkParams::wan_ms(8));
+
+    let origin_id = NodeId(0);
+    net.add_node(Box::new(OriginNode {
+        entity: origin_e,
+        zone,
+    }));
+    let resolver_ids: Vec<NodeId> = (0..n_resolvers).map(|i| NodeId(1 + i)).collect();
+    for (i, &e) in resolver_entities.iter().enumerate() {
+        net.add_node(Box::new(PlainResolver {
+            entity: e,
+            slot: i,
+            origin: origin_id,
+            pending: Vec::new(),
+            stats: stats.clone(),
+        }));
+    }
+    for (&u, &e) in users.iter().zip(client_entities.iter()) {
+        let queries = workload.stream(&mut wl_rng, queries_each);
+        net.add_node(Box::new(DirectClient {
+            entity: e,
+            user: u,
+            resolvers: resolver_ids.clone(),
+            queries,
+            stats: stats.clone(),
+            sent_at: SimTime::ZERO,
+            next_id: 1,
+        }));
+    }
+
+    net.run();
+    let (world, trace) = net.into_parts();
+    let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
+    finish_report(world, trace, stats, users, n_clients * queries_each)
+}
+
+fn finish_report(
+    world: World,
+    trace: Trace,
+    stats: Stats,
+    users: Vec<UserId>,
+    expected_queries: usize,
+) -> ScenarioReport {
+    let mean = if stats.latencies.is_empty() {
+        0.0
+    } else {
+        stats.latencies.iter().sum::<u64>() as f64 / stats.latencies.len() as f64
+    };
+    let mut all_names: HashSet<String> = HashSet::new();
+    for v in &stats.resolver_views {
+        all_names.extend(v.iter().cloned());
+    }
+    let _ = expected_queries;
+    ScenarioReport {
+        world,
+        trace,
+        answered: stats.answered,
+        mean_query_us: mean,
+        users,
+        resolver_views: stats.resolver_views.iter().map(HashSet::len).collect(),
+        distinct_names: all_names.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_core::{analyze, collusion::entity_collusion};
+
+    #[test]
+    fn odoh_reproduces_paper_table() {
+        let report = run_odoh(1, 3, 21);
+        assert_eq!(report.answered, 3);
+        let derived = report.table(0);
+        let expected = ScenarioReport::paper_table();
+        assert_eq!(
+            derived,
+            expected,
+            "diff:\n{}",
+            derived.diff(&expected).unwrap_or_default()
+        );
+        assert!(analyze(&report.world).decoupled);
+    }
+
+    #[test]
+    fn odoh_needs_collusion_to_recouple() {
+        let report = run_odoh(1, 2, 22);
+        let rep = entity_collusion(&report.world, report.users[0], 3);
+        assert_eq!(
+            rep.min_coalition_size,
+            Some(2),
+            "{:?}",
+            rep.minimal_coalitions
+        );
+    }
+
+    #[test]
+    fn direct_dns_is_coupled() {
+        let report = run_direct(1, 3, 1, 23);
+        assert_eq!(report.answered, 3);
+        let verdict = analyze(&report.world);
+        assert!(!verdict.decoupled);
+        assert!(verdict.offenders().contains(&"Resolver"));
+        // The single resolver needs no collusion at all.
+        let rep = entity_collusion(&report.world, report.users[0], 2);
+        assert_eq!(rep.min_coalition_size, Some(1));
+    }
+
+    #[test]
+    fn odoh_costs_more_latency_than_direct() {
+        let odoh = run_odoh(1, 4, 24);
+        let direct = run_direct(1, 4, 1, 24);
+        assert!(
+            odoh.mean_query_us > direct.mean_query_us,
+            "odoh {} vs direct {}",
+            odoh.mean_query_us,
+            direct.mean_query_us
+        );
+    }
+
+    #[test]
+    fn striping_reduces_per_resolver_view() {
+        let striped = run_direct(2, 30, 4, 25);
+        assert_eq!(striped.answered, 60);
+        let total = striped.distinct_names;
+        // Each resolver sees a strict subset of the name space.
+        for &v in &striped.resolver_views {
+            assert!(v < total, "view {v} of {total}");
+            assert!(v > 0, "uniform striping uses every resolver");
+        }
+    }
+}
+
+// ------------------------------------------------- original ODNS (2019) --
+
+/// The oblivious zone the authority serves.
+pub const ODNS_ZONE: &str = "odns.example";
+
+struct OdnsClient {
+    entity: EntityId,
+    user: UserId,
+    recursive: NodeId,
+    target_pk: [u8; 32],
+    target_key: dcp_core::KeyId,
+    queries: Vec<DnsName>,
+    resp_kp: Option<hpke::Keypair>,
+    stats: Rc<RefCell<Stats>>,
+    sent_at: SimTime,
+    next_id: u16,
+}
+
+impl OdnsClient {
+    fn send_next(&mut self, ctx: &mut Ctx) {
+        let Some(name) = self.queries.pop() else {
+            return;
+        };
+        let zone = DnsName::parse(ODNS_ZONE).unwrap();
+        let (obfuscated, resp_kp) =
+            crate::odns_name::obfuscate_query(ctx.rng, &self.target_pk, &name, &zone)
+                .expect("obfuscate");
+        self.resp_kp = Some(resp_kp);
+        self.sent_at = ctx.now;
+        // A TXT query for the obfuscated name, through the user's
+        // *ordinary* recursive resolver — which needs no modification:
+        // to it this is just another domain to resolve.
+        let q = DnsMessage::query(self.next_id, obfuscated, RrType::Txt);
+        self.next_id = self.next_id.wrapping_add(1);
+        let label = Label::items([
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+            InfoItem::plain_data(self.user, DataKind::DnsQuery),
+        ])
+        .and(
+            Label::items([
+                InfoItem::plain_identity(self.user, IdentityKind::Any),
+                InfoItem::partial_data(self.user, DataKind::DnsQuery),
+            ])
+            .sealed(self.target_key),
+        );
+        ctx.send(self.recursive, Message::new(q.encode(), label));
+    }
+}
+
+impl Node for OdnsClient {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+        );
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_data(self.user, DataKind::DnsQuery),
+        );
+        self.send_next(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        // TXT response carrying the sealed answer.
+        let resp = DnsMessage::decode(&msg.bytes).expect("response");
+        let dcp_dns::RecordData::Txt(strings) = &resp.answers[0].data else {
+            panic!("expected TXT answer");
+        };
+        let sealed: Vec<u8> = strings.concat();
+        let kp = self.resp_kp.take().expect("response key");
+        let answer = hpke::open(&kp, b"odns answer", b"", &sealed).expect("open answer");
+        assert_eq!(answer.len(), 4, "an IPv4 address came back");
+        let mut stats = self.stats.borrow_mut();
+        stats.answered += 1;
+        stats.latencies.push(ctx.now - self.sent_at);
+        drop(stats);
+        self.send_next(ctx);
+    }
+}
+
+/// The user's ordinary recursive resolver: it forwards queries for the
+/// oblivious zone to that zone's authority, exactly as it would for any
+/// delegation — no ODNS-specific code.
+struct OdnsRecursive {
+    entity: EntityId,
+    odns_authority: NodeId,
+    pending: Vec<NodeId>,
+}
+
+impl Node for OdnsRecursive {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if from == self.odns_authority {
+            let client = self.pending.pop().expect("no pending");
+            ctx.send(client, msg);
+            return;
+        }
+        self.pending.insert(0, from);
+        // Strip the client-identifying envelope part (source address
+        // rewriting — the recursive resolver is the visible querier).
+        let inner = match &msg.label {
+            Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
+            other => other.clone(),
+        };
+        ctx.send(self.odns_authority, Message::new(msg.bytes, inner));
+    }
+}
+
+/// The oblivious authority: authoritative for `odns.example`, holds the
+/// decryption key, recursively resolves the hidden question.
+struct OdnsAuthority {
+    entity: EntityId,
+    kp: hpke::Keypair,
+    origin: NodeId,
+    /// (recursive node, query id, response key, subject)
+    pending: Vec<(NodeId, u16, [u8; 32], UserId, DnsName)>,
+    client_resp_key: dcp_core::KeyId,
+    subject_of_query: std::collections::HashMap<String, UserId>,
+}
+
+impl Node for OdnsAuthority {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if from == self.origin {
+            let resp = DnsMessage::decode(&msg.bytes).expect("origin resp");
+            let (recursive, qid, resp_pk, user, obf_name) = self.pending.pop().expect("no pending");
+            // Seal the first A answer back to the client.
+            let addr = resp
+                .answers
+                .iter()
+                .find_map(|rr| match &rr.data {
+                    dcp_dns::RecordData::A(a) => Some(*a),
+                    _ => None,
+                })
+                .expect("A answer");
+            let sealed =
+                hpke::seal(ctx.rng, &resp_pk, b"odns answer", b"", &addr).expect("seal answer");
+            // Wrap the sealed answer in TXT strings (≤255 bytes each).
+            let strings: Vec<Vec<u8>> = sealed.chunks(255).map(<[u8]>::to_vec).collect();
+            let query_echo = DnsMessage::query(qid, obf_name.clone(), RrType::Txt);
+            let mut txt_resp = DnsMessage::response_to(&query_echo, dcp_dns::Rcode::NoError);
+            txt_resp.aa = true;
+            txt_resp.answers.push(dcp_dns::ResourceRecord {
+                name: obf_name,
+                ttl: 0, // per-query ciphertext must not be cached
+                data: dcp_dns::RecordData::Txt(strings),
+            });
+            let label = Label::items([InfoItem::sensitive_data(user, DataKind::DnsQuery)])
+                .sealed(self.client_resp_key);
+            ctx.send(recursive, Message::new(txt_resp.encode(), label));
+            return;
+        }
+        // Obfuscated query arriving via the recursive.
+        let query = DnsMessage::decode(&msg.bytes).expect("query");
+        let obf_name = query.questions[0].qname.clone();
+        let zone = DnsName::parse(ODNS_ZONE).unwrap();
+        let (qname, resp_pk) =
+            crate::odns_name::deobfuscate_query(&self.kp, &obf_name, &zone).expect("deobfuscate");
+        let user = *self
+            .subject_of_query
+            .get(&qname.to_string())
+            .expect("subject bookkeeping");
+        self.pending
+            .insert(0, (from, query.id, resp_pk, user, obf_name));
+        let plain_q = DnsMessage::query(query.id, qname, RrType::A);
+        let label = Label::items([
+            InfoItem::plain_identity(user, IdentityKind::Any),
+            InfoItem::sensitive_data(user, DataKind::DnsQuery),
+        ]);
+        ctx.send(self.origin, Message::new(plain_q.encode(), label));
+    }
+}
+
+/// Run the original-ODNS scenario: obfuscated queries through an
+/// unmodified recursive resolver to the oblivious authority.
+pub fn run_odns_legacy(n_clients: usize, queries_each: usize, seed: u64) -> ScenarioReport {
+    use rand::SeedableRng;
+    let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0d15);
+    let workload = ZipfWorkload::new(200, 1.0, SUFFIX);
+    let zone = build_zone(&workload);
+
+    let mut world = World::new();
+    let isp_org = world.add_org("isp");
+    let odns_org = world.add_org("oblivious-operator");
+    let auth_org = world.add_org("authoritative");
+    let user_org = world.add_org("users");
+    let recursive_e = world.add_entity("Resolver", isp_org, None);
+    let authority_e = world.add_entity("Oblivious Resolver", odns_org, None);
+    let origin_e = world.add_entity("Origin", auth_org, None);
+
+    let target_kp = hpke::Keypair::generate(&mut setup_rng);
+
+    let mut users = Vec::new();
+    let mut client_entities = Vec::new();
+    for i in 0..n_clients {
+        let u = world.add_user();
+        let name = if i == 0 {
+            "Client".to_string()
+        } else {
+            format!("Client {}", i + 1)
+        };
+        client_entities.push(world.add_entity(&name, user_org, Some(u)));
+        users.push(u);
+    }
+    let target_key = world.new_key(&[authority_e]);
+    let client_resp_key = world.new_key(&[]);
+
+    let mut subject_of_query = std::collections::HashMap::new();
+    let mut per_client_queries: Vec<Vec<DnsName>> = Vec::new();
+    for (ci, &u) in users.iter().enumerate() {
+        let mut qs = Vec::new();
+        for k in 0..queries_each {
+            let name = workload.domain((ci * queries_each + k) % workload.domain_count());
+            subject_of_query.insert(name.to_string(), u);
+            qs.push(name.clone());
+        }
+        per_client_queries.push(qs);
+    }
+
+    let stats = Rc::new(RefCell::new(Stats {
+        answered: 0,
+        latencies: Vec::new(),
+        resolver_views: vec![HashSet::new()],
+    }));
+
+    let mut net = Network::new(world, seed);
+    net.set_default_link(LinkParams::wan_ms(8));
+    let recursive_id = NodeId(0);
+    let authority_id = NodeId(1);
+    let origin_id = NodeId(2);
+    net.add_node(Box::new(OdnsRecursive {
+        entity: recursive_e,
+        odns_authority: authority_id,
+        pending: Vec::new(),
+    }));
+    net.add_node(Box::new(OdnsAuthority {
+        entity: authority_e,
+        kp: target_kp.clone(),
+        origin: origin_id,
+        pending: Vec::new(),
+        client_resp_key,
+        subject_of_query,
+    }));
+    net.add_node(Box::new(OriginNode {
+        entity: origin_e,
+        zone,
+    }));
+    for ((&u, &e), queries) in users
+        .iter()
+        .zip(client_entities.iter())
+        .zip(per_client_queries.into_iter())
+    {
+        net.add_node(Box::new(OdnsClient {
+            entity: e,
+            user: u,
+            recursive: recursive_id,
+            target_pk: target_kp.public,
+            target_key,
+            queries,
+            resp_kp: None,
+            stats: stats.clone(),
+            sent_at: SimTime::ZERO,
+            next_id: 1,
+        }));
+    }
+    for &e in &client_entities {
+        net.world_mut().grant_key(e, client_resp_key);
+    }
+
+    net.run();
+    let (world, trace) = net.into_parts();
+    let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
+    finish_report(world, trace, stats, users, n_clients * queries_each)
+}
+
+#[cfg(test)]
+mod odns_legacy_tests {
+    use super::*;
+    use dcp_core::analyze;
+
+    #[test]
+    fn odns_legacy_reproduces_paper_table() {
+        let report = run_odns_legacy(1, 2, 71);
+        assert_eq!(report.answered, 2);
+        let derived = report.table(0);
+        let expected = ScenarioReport::paper_table();
+        assert_eq!(
+            derived,
+            expected,
+            "diff:\n{}",
+            derived.diff(&expected).unwrap_or_default()
+        );
+        assert!(analyze(&report.world).decoupled);
+    }
+
+    #[test]
+    fn odns_and_odoh_agree_on_knowledge_shape() {
+        // The two protocols are different encodings of the same decoupling:
+        // their derived tables must be identical.
+        let legacy = run_odns_legacy(1, 2, 72);
+        let odoh = run_odoh(1, 2, 72);
+        assert_eq!(legacy.table(0), odoh.table(0));
+    }
+
+    #[test]
+    fn odns_pays_more_than_odoh_in_bytes() {
+        // Hex expansion inside domain names is the original protocol's
+        // known overhead vs. ODoH's binary encapsulation.
+        let legacy = run_odns_legacy(1, 4, 73);
+        let odoh = run_odoh(1, 4, 73);
+        assert!(
+            legacy.trace.total_bytes() > odoh.trace.total_bytes(),
+            "{} vs {}",
+            legacy.trace.total_bytes(),
+            odoh.trace.total_bytes()
+        );
+    }
+}

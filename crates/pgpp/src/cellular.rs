@@ -1,0 +1,205 @@
+//! The cellular core (NGC) model and its tracking adversary.
+
+use std::collections::HashMap;
+
+/// An IMSI-shaped subscriber identifier as the core sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Imsi(pub u64);
+
+/// A cell (tower) identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub u32);
+
+/// One attach/mobility event as recorded by the core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AttachEvent {
+    /// Time of the event (µs).
+    pub time_us: u64,
+    /// The identifier presented.
+    pub imsi: Imsi,
+    /// The serving cell.
+    pub cell: CellId,
+    /// The epoch in which the event happened (IMSI shuffle period).
+    pub epoch: u32,
+}
+
+/// The core network: verifies access (delegated; the core itself only
+/// checks a token is *present and fresh* in PGPP mode) and records every
+/// attach — which is exactly the dataset that makes cellular operators
+/// location brokers.
+#[derive(Default)]
+pub struct CoreNetwork {
+    /// The mobility log — the core's surveillance capability.
+    pub log: Vec<AttachEvent>,
+    /// Attaches rejected for bad credentials.
+    pub rejected: usize,
+}
+
+impl CoreNetwork {
+    /// Create an empty core.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a successful attach.
+    pub fn record_attach(&mut self, time_us: u64, imsi: Imsi, cell: CellId, epoch: u32) {
+        self.log.push(AttachEvent {
+            time_us,
+            imsi,
+            cell,
+            epoch,
+        });
+    }
+
+    /// Distinct identifiers seen.
+    pub fn distinct_imsis(&self) -> usize {
+        let mut s: Vec<Imsi> = self.log.iter().map(|e| e.imsi).collect();
+        s.sort();
+        s.dedup();
+        s.len()
+    }
+}
+
+/// The tracking adversary: given the core's log, try to follow each
+/// subscriber across epochs. It links by IMSI equality; when an IMSI
+/// disappears at an epoch boundary (PGPP shuffling), it guesses the new
+/// IMSI that first appears in the *same cell* where the old one was last
+/// seen (the natural heuristic).
+///
+/// `truth` maps each (epoch, imsi) to a stable subscriber index — ground
+/// truth for scoring only.
+pub fn trajectory_linkage(
+    log: &[AttachEvent],
+    truth: &HashMap<(u32, Imsi), usize>,
+) -> LinkageResult {
+    let max_epoch = log.iter().map(|e| e.epoch).max().unwrap_or(0);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+
+    for epoch in 0..max_epoch {
+        // Last sighting of each IMSI in `epoch`.
+        let mut last_seen: HashMap<Imsi, (u64, CellId)> = HashMap::new();
+        for e in log.iter().filter(|e| e.epoch == epoch) {
+            let slot = last_seen.entry(e.imsi).or_insert((e.time_us, e.cell));
+            if e.time_us >= slot.0 {
+                *slot = (e.time_us, e.cell);
+            }
+        }
+        // First sighting of each IMSI in `epoch + 1`.
+        let mut first_seen: Vec<(Imsi, u64, CellId)> = Vec::new();
+        for e in log.iter().filter(|e| e.epoch == epoch + 1) {
+            if let Some(slot) = first_seen.iter_mut().find(|(i, _, _)| *i == e.imsi) {
+                if e.time_us < slot.1 {
+                    slot.1 = e.time_us;
+                    slot.2 = e.cell;
+                }
+            } else {
+                first_seen.push((e.imsi, e.time_us, e.cell));
+            }
+        }
+        let next_imsis: Vec<Imsi> = first_seen.iter().map(|(i, _, _)| *i).collect();
+
+        for (&imsi, &(_, cell)) in &last_seen {
+            let Some(&subscriber) = truth.get(&(epoch, imsi)) else {
+                continue;
+            };
+            total += 1;
+            // 1. Same IMSI still present next epoch → trivially linked.
+            let guess = if next_imsis.contains(&imsi) {
+                Some(imsi)
+            } else {
+                // 2. Otherwise guess the first new IMSI appearing in the
+                // same cell (deterministic: lowest id among candidates).
+                first_seen
+                    .iter()
+                    .filter(|(_, _, c)| *c == cell)
+                    .map(|(i, _, _)| *i)
+                    .min()
+            };
+            if let Some(g) = guess {
+                if truth.get(&(epoch + 1, g)) == Some(&subscriber) {
+                    correct += 1;
+                }
+            }
+        }
+    }
+
+    LinkageResult {
+        linked_correctly: correct,
+        attempts: total,
+        accuracy: if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        },
+    }
+}
+
+/// Outcome of the trajectory-linking attack.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkageResult {
+    /// Cross-epoch links the adversary got right.
+    pub linked_correctly: usize,
+    /// Links attempted (one per subscriber per epoch boundary).
+    pub attempts: usize,
+    /// `linked_correctly / attempts`.
+    pub accuracy: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth_of(entries: &[(u32, u64, usize)]) -> HashMap<(u32, Imsi), usize> {
+        entries.iter().map(|&(e, i, s)| ((e, Imsi(i)), s)).collect()
+    }
+
+    #[test]
+    fn permanent_imsis_are_fully_linkable() {
+        let mut core = CoreNetwork::new();
+        // Two subscribers, two epochs, same IMSIs throughout.
+        for epoch in 0..2 {
+            core.record_attach(epoch as u64 * 100, Imsi(1), CellId(1), epoch);
+            core.record_attach(epoch as u64 * 100 + 1, Imsi(2), CellId(2), epoch);
+        }
+        let truth = truth_of(&[(0, 1, 0), (0, 2, 1), (1, 1, 0), (1, 2, 1)]);
+        let r = trajectory_linkage(&core.log, &truth);
+        assert_eq!(r.attempts, 2);
+        assert!((r.accuracy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shuffled_imsis_in_shared_cells_confuse_linking() {
+        let mut core = CoreNetwork::new();
+        // Two subscribers who end epoch 0 in the SAME cell, then shuffle.
+        core.record_attach(0, Imsi(1), CellId(7), 0);
+        core.record_attach(1, Imsi(2), CellId(7), 0);
+        // Epoch 1: new IMSIs 11/12, both reappearing in cell 7; the
+        // adversary's same-cell heuristic must pick one for both — at most
+        // one of two links can be right.
+        core.record_attach(100, Imsi(11), CellId(7), 1);
+        core.record_attach(101, Imsi(12), CellId(7), 1);
+        let truth = truth_of(&[(0, 1, 0), (0, 2, 1), (1, 11, 0), (1, 12, 1)]);
+        let r = trajectory_linkage(&core.log, &truth);
+        assert_eq!(r.attempts, 2);
+        assert!(r.accuracy <= 0.5, "{}", r.accuracy);
+    }
+
+    #[test]
+    fn no_epoch_boundary_no_attempts() {
+        let mut core = CoreNetwork::new();
+        core.record_attach(0, Imsi(1), CellId(1), 0);
+        let r = trajectory_linkage(&core.log, &HashMap::new());
+        assert_eq!(r.attempts, 0);
+        assert_eq!(r.accuracy, 0.0);
+    }
+
+    #[test]
+    fn distinct_imsi_counting() {
+        let mut core = CoreNetwork::new();
+        core.record_attach(0, Imsi(1), CellId(1), 0);
+        core.record_attach(1, Imsi(1), CellId(2), 0);
+        core.record_attach(2, Imsi(9), CellId(1), 1);
+        assert_eq!(core.distinct_imsis(), 2);
+    }
+}

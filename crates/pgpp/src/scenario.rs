@@ -1,0 +1,512 @@
+//! Legacy vs. PGPP cellular runs on the simulator.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dcp_core::table::DecouplingTable;
+use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, UserId, World};
+use dcp_privacypass::protocol::{Client as TokenClient, Issuer, Token};
+use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
+use rand::Rng as _;
+
+use crate::cellular::{trajectory_linkage, CellId, CoreNetwork, Imsi, LinkageResult};
+
+/// Operating mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Permanent IMSIs, billing identity inside the core.
+    Legacy,
+    /// Epoch-shuffled IMSIs, blind-token auth against the PGPP-GW.
+    Pgpp,
+}
+
+/// Configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PgppConfig {
+    /// Operating mode.
+    pub mode: Mode,
+    /// Subscribers.
+    pub users: usize,
+    /// Cells in the network.
+    pub cells: usize,
+    /// Epochs (IMSI shuffle periods).
+    pub epochs: u32,
+    /// Moves per user per epoch.
+    pub moves_per_epoch: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for PgppConfig {
+    fn default() -> Self {
+        PgppConfig {
+            mode: Mode::Pgpp,
+            users: 8,
+            cells: 3,
+            epochs: 3,
+            moves_per_epoch: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// Report.
+pub struct PgppReport {
+    /// Knowledge base.
+    pub world: World,
+    /// Packet trace.
+    pub trace: Trace,
+    /// Successful attaches at the core.
+    pub attaches: usize,
+    /// Trajectory-linking attack outcome over the core's log.
+    pub linkage: LinkageResult,
+    /// Distinct IMSIs the core observed.
+    pub distinct_imsis: usize,
+    /// The subscribers.
+    pub users: Vec<UserId>,
+}
+
+impl PgppReport {
+    /// Derive the §3.2.3 table for user `i`.
+    pub fn table(&self, i: usize) -> DecouplingTable {
+        DecouplingTable::derive(&self.world, self.users[i], &["User", "PGPP-GW", "NGC"])
+    }
+
+    /// The paper's table.
+    pub fn paper_table() -> DecouplingTable {
+        DecouplingTable::expect(&[
+            ("User", "(▲_H, ▲_N, ●)"),
+            ("PGPP-GW", "(▲_H, △_N, ⊙)"),
+            ("NGC", "(△_H, △_N, ⊙/●)"),
+        ])
+    }
+}
+
+const TIMER_MOVE: u64 = 1;
+
+struct Shared {
+    core: CoreNetwork,
+    issuer: Issuer,
+    /// Ground truth (epoch, imsi) → subscriber index.
+    truth: HashMap<(u32, Imsi), usize>,
+}
+
+struct PhoneNode {
+    entity: EntityId,
+    user: UserId,
+    index: usize,
+    mode: Mode,
+    ngc: NodeId,
+    gw: NodeId,
+    cells: usize,
+    epochs: u32,
+    moves_per_epoch: usize,
+    epoch_len_us: u64,
+    shared: Rc<RefCell<Shared>>,
+    wallet: TokenClient,
+    pending_issuance: Option<dcp_privacypass::protocol::IssuanceRequest>,
+    moves_done: usize,
+}
+
+impl PhoneNode {
+    fn current_epoch(&self, now_us: u64) -> u32 {
+        ((now_us / self.epoch_len_us) as u32).min(self.epochs - 1)
+    }
+
+    fn imsi_for(&self, epoch: u32) -> Imsi {
+        match self.mode {
+            // Permanent: derived from the subscriber index only.
+            Mode::Legacy => Imsi(1000 + self.index as u64),
+            // Shuffled per epoch: a per-epoch pseudonym. (In deployment
+            // this comes from the SIM's PGPP profile; the simulation uses
+            // a deterministic mix so ground truth is recordable.)
+            Mode::Pgpp => Imsi(
+                0x5eed_0000_0000
+                    + (epoch as u64) * 10_000
+                    + ((self.index as u64 * 7919 + epoch as u64 * 104729) % 10_000),
+            ),
+        }
+    }
+
+    fn attach(&mut self, ctx: &mut Ctx) {
+        let epoch = self.current_epoch(ctx.now.as_us());
+        let imsi = self.imsi_for(epoch);
+        let cell = CellId(ctx.rng.gen_range(0..self.cells) as u32);
+        self.shared
+            .borrow_mut()
+            .truth
+            .insert((epoch, imsi), self.index);
+
+        let mut payload = imsi.0.to_be_bytes().to_vec();
+        payload.extend_from_slice(&cell.0.to_be_bytes());
+        payload.extend_from_slice(&epoch.to_be_bytes());
+        let token = if self.mode == Mode::Pgpp {
+            let t = self.wallet.spend().expect("token wallet empty");
+            t.encode()
+        } else {
+            Vec::new()
+        };
+        payload.extend_from_slice(&token);
+
+        // What the core learns from an attach: the serving cell (location,
+        // ●-grade data) bound to whatever identity the IMSI is. Legacy:
+        // the IMSI *is* the subscriber (▲_N, and via the billing database
+        // ▲_H). PGPP: a shuffled pseudonym (△_N) — the human identity
+        // never appears (△_H comes from "a member of the subscriber
+        // aggregate").
+        let label = match self.mode {
+            Mode::Legacy => Label::items([
+                InfoItem::sensitive_identity(self.user, IdentityKind::Network),
+                InfoItem::sensitive_identity(self.user, IdentityKind::Human),
+                InfoItem::sensitive_data(self.user, DataKind::Location),
+            ]),
+            Mode::Pgpp => Label::items([
+                InfoItem::plain_identity(self.user, IdentityKind::Network),
+                InfoItem::plain_identity(self.user, IdentityKind::Human),
+                InfoItem::partial_data(self.user, DataKind::Location),
+            ]),
+        };
+        ctx.send(self.ngc, Message::new(payload, label));
+    }
+
+    /// Schedule every attach up front: `moves_per_epoch` attaches inside
+    /// each epoch, jittered within their slot so arrival order varies but
+    /// every user is active in every epoch.
+    fn schedule_all_moves(&mut self, ctx: &mut Ctx) {
+        let slot = self.epoch_len_us / (self.moves_per_epoch as u64 + 1);
+        for e in 0..self.epochs as u64 {
+            for m in 0..self.moves_per_epoch as u64 {
+                let jitter = ctx.rng.gen_range(0..slot / 4);
+                let at = e * self.epoch_len_us + (m + 1) * slot + jitter;
+                ctx.set_timer(at.saturating_sub(ctx.now.as_us()), TIMER_MOVE);
+            }
+        }
+    }
+}
+
+impl Node for PhoneNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_identity(self.user, IdentityKind::Human),
+        );
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_identity(self.user, IdentityKind::Network),
+        );
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_data(self.user, DataKind::Location),
+        );
+        if self.mode == Mode::Pgpp {
+            // Buy service: authenticate to the gateway with the billing
+            // identity (▲_H) and obtain blinded attach tokens (⊙).
+            let need = (self.epochs as usize) * self.moves_per_epoch;
+            let req = self.wallet.request_tokens(ctx.rng, need);
+            let mut bytes = vec![0x01u8]; // tag: issuance request
+            for b in &req.blinded {
+                bytes.extend_from_slice(&b.0);
+            }
+            self.pending_issuance = Some(req);
+            let label = Label::items([
+                InfoItem::sensitive_identity(self.user, IdentityKind::Human),
+                InfoItem::plain_identity(self.user, IdentityKind::Network),
+                InfoItem::plain_data(self.user, DataKind::Payload),
+            ]);
+            ctx.send(self.gw, Message::new(bytes, label));
+        } else {
+            self.schedule_all_moves(ctx);
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if from == self.gw {
+            // Token issuance response.
+            let mut evals = Vec::new();
+            for chunk in msg.bytes.chunks_exact(96) {
+                let mut e = [0u8; 32];
+                e.copy_from_slice(&chunk[..32]);
+                let mut c = [0u8; 32];
+                c.copy_from_slice(&chunk[32..64]);
+                let mut s = [0u8; 32];
+                s.copy_from_slice(&chunk[64..96]);
+                evals.push((
+                    dcp_crypto::oprf::EvaluatedElement(e),
+                    dcp_crypto::oprf::DleqProof { c, s },
+                ));
+            }
+            let req = self.pending_issuance.take().expect("issuance in flight");
+            self.wallet.accept_issuance(req, &evals).expect("tokens");
+            self.schedule_all_moves(ctx);
+        }
+        // Attach acks need no action.
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+        self.attach(ctx);
+        self.moves_done += 1;
+    }
+}
+
+struct NgcNode {
+    entity: EntityId,
+    mode: Mode,
+    gw: NodeId,
+    shared: Rc<RefCell<Shared>>,
+    /// Attaches awaiting gateway token verification (PGPP mode).
+    awaiting: Vec<(u64, Imsi, CellId, u32)>,
+}
+
+impl Node for NgcNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if from == self.gw {
+            // Verification verdict for the oldest awaiting attach.
+            let ok = msg.bytes == [1u8];
+            let (t, imsi, cell, epoch) = self.awaiting.pop().expect("no awaiting attach");
+            let mut shared = self.shared.borrow_mut();
+            if ok {
+                shared.core.record_attach(t, imsi, cell, epoch);
+            } else {
+                shared.core.rejected += 1;
+            }
+            return;
+        }
+        let imsi = Imsi(u64::from_be_bytes(msg.bytes[..8].try_into().unwrap()));
+        let cell = CellId(u32::from_be_bytes(msg.bytes[8..12].try_into().unwrap()));
+        let epoch = u32::from_be_bytes(msg.bytes[12..16].try_into().unwrap());
+        match self.mode {
+            Mode::Legacy => {
+                // Billing database lookup inside the core authenticates the
+                // IMSI directly.
+                self.shared
+                    .borrow_mut()
+                    .core
+                    .record_attach(ctx.now.as_us(), imsi, cell, epoch);
+            }
+            Mode::Pgpp => {
+                // Over-the-top auth: forward the bare token to the gateway.
+                // The token is unlinkable — it attributes to no subject.
+                let mut token = vec![0x02u8]; // tag: verification request
+                token.extend_from_slice(&msg.bytes[16..]);
+                self.awaiting
+                    .insert(0, (ctx.now.as_us(), imsi, cell, epoch));
+                ctx.send(self.gw, Message::new(token, Label::Public));
+            }
+        }
+    }
+}
+
+struct GwNode {
+    entity: EntityId,
+    shared: Rc<RefCell<Shared>>,
+}
+
+impl Node for GwNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if msg.bytes[0] == 0x02 {
+            // Token verification from the NGC.
+            let token = Token::decode(&msg.bytes[1..]).expect("token");
+            let ok = self.shared.borrow_mut().issuer.redeem(&token).is_ok();
+            ctx.send(from, Message::new(vec![u8::from(ok)], Label::Public));
+        } else {
+            // Issuance request from a phone (batch of 32-byte blinded
+            // elements).
+            let blinded: Vec<dcp_crypto::oprf::BlindedElement> = msg.bytes[1..]
+                .chunks_exact(32)
+                .map(|c| {
+                    let mut b = [0u8; 32];
+                    b.copy_from_slice(c);
+                    dcp_crypto::oprf::BlindedElement(b)
+                })
+                .collect();
+            let evals = self
+                .shared
+                .borrow_mut()
+                .issuer
+                .issue(ctx.rng, &blinded)
+                .expect("issue");
+            let mut bytes = Vec::new();
+            for (e, p) in &evals {
+                bytes.extend_from_slice(&e.0);
+                bytes.extend_from_slice(&p.c);
+                bytes.extend_from_slice(&p.s);
+            }
+            ctx.send(from, Message::new(bytes, Label::Public));
+        }
+    }
+}
+
+/// Run the cellular scenario per `config`.
+pub fn run(config: PgppConfig) -> PgppReport {
+    use rand::SeedableRng;
+    let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x9699);
+    assert!(config.epochs >= 1);
+
+    let mut world = World::new();
+    let user_org = world.add_org("subscribers");
+    let core_org = world.add_org("mobile-operator");
+    let gw_org = world.add_org("pgpp-operator");
+    let gw_e = world.add_entity("PGPP-GW", gw_org, None);
+    let ngc_e = world.add_entity("NGC", core_org, None);
+
+    let issuer = Issuer::new(&mut setup_rng);
+    let issuer_pk = issuer.public_key();
+    let shared = Rc::new(RefCell::new(Shared {
+        core: CoreNetwork::new(),
+        issuer,
+        truth: HashMap::new(),
+    }));
+
+    let mut users = Vec::new();
+    let mut phone_entities = Vec::new();
+    for i in 0..config.users {
+        let u = world.add_user();
+        let name = if i == 0 {
+            "User".to_string()
+        } else {
+            format!("User {}", i + 1)
+        };
+        phone_entities.push(world.add_entity(&name, user_org, Some(u)));
+        users.push(u);
+        if config.mode == Mode::Legacy {
+            // The operator's billing DB binds IMSI → human identity.
+            world.record(ngc_e, InfoItem::sensitive_identity(u, IdentityKind::Human));
+        } else {
+            // The gateway bills the subscriber (▲_H) but sees only token
+            // traffic (⊙); it also knows its customers exist as network
+            // users (△_N).
+            world.record(gw_e, InfoItem::sensitive_identity(u, IdentityKind::Human));
+        }
+    }
+
+    let mut net = Network::new(world, config.seed);
+    net.set_default_link(LinkParams::wan_ms(5));
+    let gw_id = NodeId(0);
+    let ngc_id = NodeId(1);
+    net.add_node(Box::new(GwNode {
+        entity: gw_e,
+        shared: shared.clone(),
+    }));
+    net.add_node(Box::new(NgcNode {
+        entity: ngc_e,
+        mode: config.mode,
+        gw: gw_id,
+        shared: shared.clone(),
+        awaiting: Vec::new(),
+    }));
+    let epoch_len_us = 1_000_000;
+    for (i, (&u, &e)) in users.iter().zip(phone_entities.iter()).enumerate() {
+        net.add_node(Box::new(PhoneNode {
+            entity: e,
+            user: u,
+            index: i,
+            mode: config.mode,
+            ngc: ngc_id,
+            gw: gw_id,
+            cells: config.cells,
+            epochs: config.epochs,
+            moves_per_epoch: config.moves_per_epoch,
+            epoch_len_us,
+            shared: shared.clone(),
+            wallet: TokenClient::new(issuer_pk),
+            pending_issuance: None,
+            moves_done: 0,
+        }));
+    }
+
+    net.run();
+    let (world, trace) = net.into_parts();
+    let shared = Rc::try_unwrap(shared).map_err(|_| ()).unwrap().into_inner();
+    let linkage = trajectory_linkage(&shared.core.log, &shared.truth);
+    PgppReport {
+        world,
+        trace,
+        attaches: shared.core.log.len(),
+        linkage,
+        distinct_imsis: shared.core.distinct_imsis(),
+        users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_core::analyze;
+
+    fn cfg(mode: Mode) -> PgppConfig {
+        PgppConfig {
+            mode,
+            users: 6,
+            cells: 2,
+            epochs: 3,
+            moves_per_epoch: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn pgpp_reproduces_paper_table() {
+        let report = run(cfg(Mode::Pgpp));
+        assert!(report.attaches > 0);
+        let derived = report.table(0);
+        let expected = PgppReport::paper_table();
+        assert_eq!(
+            derived,
+            expected,
+            "diff:\n{}",
+            derived.diff(&expected).unwrap_or_default()
+        );
+        assert!(analyze(&report.world).decoupled);
+    }
+
+    #[test]
+    fn legacy_couples_at_the_core() {
+        let report = run(cfg(Mode::Legacy));
+        let verdict = analyze(&report.world);
+        assert!(!verdict.decoupled);
+        assert!(verdict.offenders().contains(&"NGC"));
+    }
+
+    #[test]
+    fn legacy_trajectories_fully_linkable() {
+        let report = run(cfg(Mode::Legacy));
+        assert!(report.linkage.attempts > 0);
+        assert!(
+            (report.linkage.accuracy - 1.0).abs() < 1e-9,
+            "{:?}",
+            report.linkage
+        );
+        assert_eq!(report.distinct_imsis, 6, "one permanent IMSI per user");
+    }
+
+    #[test]
+    fn pgpp_shuffling_breaks_linkage() {
+        let legacy = run(cfg(Mode::Legacy));
+        let pgpp = run(cfg(Mode::Pgpp));
+        assert!(pgpp.distinct_imsis > legacy.distinct_imsis);
+        assert!(
+            pgpp.linkage.accuracy < legacy.linkage.accuracy,
+            "pgpp {:?} vs legacy {:?}",
+            pgpp.linkage,
+            legacy.linkage
+        );
+        // With 6 users over 2 cells the same-cell guess is mostly wrong.
+        assert!(pgpp.linkage.accuracy < 0.7, "{:?}", pgpp.linkage);
+    }
+
+    #[test]
+    fn all_attaches_authenticated_in_pgpp() {
+        let report = run(cfg(Mode::Pgpp));
+        // Every move produced exactly one recorded attach (tokens all
+        // valid and fresh).
+        assert_eq!(report.attaches, 6 * 3 * 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! GF(2⁶¹ − 1): a Mersenne prime field sized for fast `u64` arithmetic.
+
+/// The field modulus, 2⁶¹ − 1 (a Mersenne prime).
+pub const P: u64 = (1u64 << 61) - 1;
+
+/// A field element in canonical form (`0 ≤ value < P`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Fe(u64);
+
+impl Fe {
+    /// Zero.
+    pub const ZERO: Fe = Fe(0);
+    /// One.
+    pub const ONE: Fe = Fe(1);
+
+    /// Construct, reducing mod P.
+    pub fn new(v: u64) -> Fe {
+        Fe(v % P)
+    }
+
+    /// The canonical representative.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Field addition.
+    pub fn add(self, other: Fe) -> Fe {
+        let s = self.0 + other.0; // < 2^62, no overflow
+        Fe(if s >= P { s - P } else { s })
+    }
+
+    /// Field subtraction.
+    pub fn sub(self, other: Fe) -> Fe {
+        Fe(if self.0 >= other.0 {
+            self.0 - other.0
+        } else {
+            self.0 + P - other.0
+        })
+    }
+
+    /// Additive inverse.
+    pub fn neg(self) -> Fe {
+        if self.0 == 0 {
+            Fe(0)
+        } else {
+            Fe(P - self.0)
+        }
+    }
+
+    /// Field multiplication (Mersenne folding).
+    pub fn mul(self, other: Fe) -> Fe {
+        let wide = self.0 as u128 * other.0 as u128;
+        let lo = (wide & P as u128) as u64;
+        let hi = (wide >> 61) as u64;
+        let s = lo + hi; // hi < 2^61 (since inputs < P), lo < 2^61
+        Fe(if s >= P { s - P } else { s })
+    }
+
+    /// Exponentiation.
+    pub fn pow(self, mut e: u64) -> Fe {
+        let mut base = self;
+        let mut acc = Fe::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse (`None` for zero).
+    pub fn inv(self) -> Option<Fe> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.pow(P - 2))
+        }
+    }
+
+    /// Uniformly random element.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Fe {
+        loop {
+            let v = rng.gen::<u64>() & ((1u64 << 61) - 1);
+            if v < P {
+                return Fe(v);
+            }
+        }
+    }
+
+    /// 8-byte little-endian encoding.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+
+    /// Decode; values ≥ P are rejected.
+    pub fn from_bytes(b: &[u8; 8]) -> Option<Fe> {
+        let v = u64::from_le_bytes(*b);
+        if v < P {
+            Some(Fe(v))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn modulus_is_mersenne_prime_shape() {
+        assert_eq!(P, 2_305_843_009_213_693_951);
+        assert_eq!(P, (1u64 << 61) - 1);
+    }
+
+    #[test]
+    fn basic_ops() {
+        let a = Fe::new(5);
+        let b = Fe::new(7);
+        assert_eq!(a.add(b), Fe::new(12));
+        assert_eq!(a.sub(b), Fe::new(P - 2));
+        assert_eq!(a.mul(b), Fe::new(35));
+        assert_eq!(a.neg().add(a), Fe::ZERO);
+        assert_eq!(Fe::new(P), Fe::ZERO, "constructor reduces");
+    }
+
+    #[test]
+    fn near_modulus_multiplication() {
+        let big = Fe::new(P - 1); // ≡ −1
+        assert_eq!(big.mul(big), Fe::ONE, "(−1)² = 1");
+        assert_eq!(big.mul(Fe::new(2)), Fe::new(P - 2));
+    }
+
+    #[test]
+    fn inversion() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..16 {
+            let x = Fe::random(&mut rng);
+            if x == Fe::ZERO {
+                continue;
+            }
+            assert_eq!(x.mul(x.inv().unwrap()), Fe::ONE);
+        }
+        assert!(Fe::ZERO.inv().is_none());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let x = Fe::new(0x1234_5678_9abc);
+        assert_eq!(Fe::from_bytes(&x.to_bytes()), Some(x));
+        assert_eq!(Fe::from_bytes(&u64::MAX.to_le_bytes()), None);
+    }
+
+    proptest! {
+        #[test]
+        fn field_laws(a in 0..P, b in 0..P, c in 0..P) {
+            let (a, b, c) = (Fe::new(a), Fe::new(b), Fe::new(c));
+            prop_assert_eq!(a.add(b), b.add(a));
+            prop_assert_eq!(a.mul(b), b.mul(a));
+            prop_assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+            prop_assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+            prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+            prop_assert_eq!(a.add(b).sub(b), a);
+        }
+
+        #[test]
+        fn pow_matches_repeated_mul(a in 0..P, e in 0u64..32) {
+            let a = Fe::new(a);
+            let mut expect = Fe::ONE;
+            for _ in 0..e {
+                expect = expect.mul(a);
+            }
+            prop_assert_eq!(a.pow(e), expect);
+        }
+    }
+}

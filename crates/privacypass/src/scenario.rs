@@ -1,0 +1,373 @@
+//! The Fig. 2 flow on the simulator: challenge → issuance → redemption.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dcp_core::table::DecouplingTable;
+use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, UserId, World};
+use dcp_crypto::oprf::{BlindedElement, DleqProof, EvaluatedElement};
+use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
+use dcp_transport::frame::{Frame, FrameType};
+
+use crate::protocol::{Client, Issuer, Token};
+
+/// Result of a scenario run.
+pub struct ScenarioReport {
+    /// Knowledge base after the run.
+    pub world: World,
+    /// Packet trace.
+    pub trace: Trace,
+    /// Successful redemptions at the origin.
+    pub redeemed: usize,
+    /// Redemptions refused (forged/double-spend).
+    pub refused: usize,
+    /// Mean time from first request to content served, microseconds.
+    pub mean_fetch_us: f64,
+    /// The client users.
+    pub users: Vec<UserId>,
+}
+
+impl ScenarioReport {
+    /// Derive the §3.2.1 table for user `i`.
+    pub fn table(&self, i: usize) -> DecouplingTable {
+        DecouplingTable::derive(&self.world, self.users[i], &["Client", "Issuer", "Origin"])
+    }
+
+    /// The paper's table.
+    pub fn paper_table() -> DecouplingTable {
+        DecouplingTable::expect(&[
+            ("Client", "(▲, ●)"),
+            ("Issuer", "(▲, ⊙)"),
+            ("Origin", "(△, ●)"),
+        ])
+    }
+}
+
+struct Shared {
+    issuer: Issuer,
+    redeemed: usize,
+    refused: usize,
+    fetch_times: Vec<u64>,
+}
+
+const TOKENS_PER_BATCH: usize = 4;
+
+struct ClientNode {
+    entity: EntityId,
+    user: UserId,
+    issuer: NodeId,
+    origin: NodeId,
+    shared: Rc<RefCell<Shared>>,
+    state: Option<crate::protocol::IssuanceRequest>,
+    client: Client,
+    fetches_left: usize,
+    started_at: SimTime,
+}
+
+impl Node for ClientNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+        );
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_data(self.user, DataKind::Activity),
+        );
+        self.started_at = ctx.now;
+        // Issuance: the client authenticates (solves the issuer's
+        // challenge) — the issuer learns ▲ but only blinded elements ⊙.
+        let req = self.client.request_tokens(ctx.rng, TOKENS_PER_BATCH);
+        let mut bytes = Vec::new();
+        for b in &req.blinded {
+            bytes.extend_from_slice(&b.0);
+        }
+        self.state = Some(req);
+        let label = Label::items([
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+            InfoItem::plain_data(self.user, DataKind::Activity),
+        ]);
+        ctx.send(
+            self.issuer,
+            Message::new(Frame::new(FrameType::Token, bytes).encode(), label),
+        );
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if from == self.issuer {
+            let frame = Frame::decode(&msg.bytes).expect("issuer frame");
+            let mut evals = Vec::new();
+            for chunk in frame.payload.chunks_exact(32 + 64) {
+                let mut e = [0u8; 32];
+                e.copy_from_slice(&chunk[..32]);
+                let mut c = [0u8; 32];
+                c.copy_from_slice(&chunk[32..64]);
+                let mut s = [0u8; 32];
+                s.copy_from_slice(&chunk[64..96]);
+                evals.push((EvaluatedElement(e), DleqProof { c, s }));
+            }
+            let req = self.state.take().expect("no issuance in flight");
+            self.client.accept_issuance(req, &evals).expect("issuance");
+            self.fetch(ctx);
+        } else if from == self.origin {
+            self.shared
+                .borrow_mut()
+                .fetch_times
+                .push(ctx.now - self.started_at);
+            if self.fetches_left > 1 {
+                self.fetches_left -= 1;
+                self.started_at = ctx.now;
+                self.fetch(ctx);
+            }
+        }
+    }
+}
+
+impl ClientNode {
+    fn fetch(&mut self, ctx: &mut Ctx) {
+        let token = self.client.spend().expect("wallet empty");
+        let mut payload = token.encode();
+        payload.extend_from_slice(b"GET /private-resource");
+        // The origin sees the request content (●) from an anonymous but
+        // authorized client (△).
+        let label = Label::items([
+            InfoItem::plain_identity(self.user, IdentityKind::Any),
+            InfoItem::sensitive_data(self.user, DataKind::Activity),
+        ]);
+        ctx.send(
+            self.origin,
+            Message::new(Frame::new(FrameType::Data, payload).encode(), label),
+        );
+    }
+}
+
+struct IssuerNode {
+    entity: EntityId,
+    shared: Rc<RefCell<Shared>>,
+}
+
+impl Node for IssuerNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        let frame = Frame::decode(&msg.bytes).expect("client frame");
+        match frame.ftype {
+            FrameType::Token => {
+                // Issuance request: batch of blinded elements.
+                let blinded: Vec<BlindedElement> = frame
+                    .payload
+                    .chunks_exact(32)
+                    .map(|c| {
+                        let mut b = [0u8; 32];
+                        b.copy_from_slice(c);
+                        BlindedElement(b)
+                    })
+                    .collect();
+                let evals = self
+                    .shared
+                    .borrow_mut()
+                    .issuer
+                    .issue(ctx.rng, &blinded)
+                    .expect("issue");
+                let mut bytes = Vec::new();
+                for (e, p) in &evals {
+                    bytes.extend_from_slice(&e.0);
+                    bytes.extend_from_slice(&p.c);
+                    bytes.extend_from_slice(&p.s);
+                }
+                ctx.send(
+                    from,
+                    Message::new(
+                        Frame::new(FrameType::Response, bytes).encode(),
+                        Label::Public,
+                    ),
+                );
+            }
+            FrameType::Data => {
+                // Redemption check forwarded by the origin. Tokens are
+                // unlinkable: the issuer learns that *some* token was
+                // redeemed — attributable to no one (Label::Public on the
+                // way in).
+                let token = Token::decode(&frame.payload).expect("token bytes");
+                let ok = self.shared.borrow_mut().issuer.redeem(&token).is_ok();
+                ctx.send(
+                    from,
+                    Message::new(
+                        Frame::new(FrameType::Response, vec![u8::from(ok)]).encode(),
+                        Label::Public,
+                    ),
+                );
+            }
+            _ => panic!("unexpected frame at issuer"),
+        }
+    }
+}
+
+struct OriginNode {
+    entity: EntityId,
+    issuer: NodeId,
+    shared: Rc<RefCell<Shared>>,
+    /// Requests awaiting issuer verification: (client node, request label).
+    pending: Vec<(NodeId, Label)>,
+}
+
+impl Node for OriginNode {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if from == self.issuer {
+            let frame = Frame::decode(&msg.bytes).expect("issuer frame");
+            let ok = frame.payload == [1u8];
+            let (client, _label) = self.pending.pop().expect("no pending request");
+            let mut shared = self.shared.borrow_mut();
+            if ok {
+                shared.redeemed += 1;
+                drop(shared);
+                ctx.send(client, Message::public(b"200 OK content".to_vec()));
+            } else {
+                shared.refused += 1;
+                drop(shared);
+                ctx.send(client, Message::public(b"403".to_vec()));
+            }
+            return;
+        }
+        // Client request: token (64 bytes) + request body.
+        let frame = Frame::decode(&msg.bytes).expect("client frame");
+        let token_bytes = &frame.payload[..64];
+        self.pending.insert(0, (from, msg.label.clone()));
+        // Forward only the token to the issuer — carries no user-
+        // attributable information (unlinkable).
+        ctx.send(
+            self.issuer,
+            Message::new(
+                Frame::new(FrameType::Data, token_bytes.to_vec()).encode(),
+                Label::Public,
+            ),
+        );
+    }
+}
+
+/// Run the scenario: `n_clients` clients each redeem `fetches_each` tokens
+/// (one issuance batch covers them; `fetches_each ≤ 4`).
+pub fn run(n_clients: usize, fetches_each: usize, seed: u64) -> ScenarioReport {
+    use rand::SeedableRng;
+    assert!(fetches_each <= TOKENS_PER_BATCH);
+    let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9a55);
+
+    let mut world = World::new();
+    let issuer_org = world.add_org("issuer-co");
+    let origin_org = world.add_org("origin-co");
+    let user_org = world.add_org("users");
+    let issuer_e = world.add_entity("Issuer", issuer_org, None);
+    let origin_e = world.add_entity("Origin", origin_org, None);
+
+    let issuer = Issuer::new(&mut setup_rng);
+    let issuer_pk = issuer.public_key();
+    let shared = Rc::new(RefCell::new(Shared {
+        issuer,
+        redeemed: 0,
+        refused: 0,
+        fetch_times: Vec::new(),
+    }));
+
+    let mut users = Vec::new();
+    let mut client_entities = Vec::new();
+    for i in 0..n_clients {
+        let u = world.add_user();
+        let name = if i == 0 {
+            "Client".to_string()
+        } else {
+            format!("Client {}", i + 1)
+        };
+        let e = world.add_entity(&name, user_org, Some(u));
+        users.push(u);
+        client_entities.push(e);
+    }
+
+    let mut net = Network::new(world, seed);
+    net.set_default_link(LinkParams::wan_ms(15));
+
+    let issuer_id = NodeId(0);
+    let origin_id = NodeId(1);
+    net.add_node(Box::new(IssuerNode {
+        entity: issuer_e,
+        shared: shared.clone(),
+    }));
+    net.add_node(Box::new(OriginNode {
+        entity: origin_e,
+        issuer: issuer_id,
+        shared: shared.clone(),
+        pending: Vec::new(),
+    }));
+    for (&u, &e) in users.iter().zip(client_entities.iter()) {
+        net.add_node(Box::new(ClientNode {
+            entity: e,
+            user: u,
+            issuer: issuer_id,
+            origin: origin_id,
+            shared: shared.clone(),
+            state: None,
+            client: Client::new(issuer_pk),
+            fetches_left: fetches_each,
+            started_at: SimTime::ZERO,
+        }));
+    }
+
+    net.run();
+    let (world, trace) = net.into_parts();
+    let shared = Rc::try_unwrap(shared)
+        .map_err(|_| ())
+        .expect("sim released")
+        .into_inner();
+    let mean = if shared.fetch_times.is_empty() {
+        0.0
+    } else {
+        shared.fetch_times.iter().sum::<u64>() as f64 / shared.fetch_times.len() as f64
+    };
+    ScenarioReport {
+        world,
+        trace,
+        redeemed: shared.redeemed,
+        refused: shared.refused,
+        mean_fetch_us: mean,
+        users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_core::analyze;
+    use dcp_core::collusion::entity_collusion;
+
+    #[test]
+    fn scenario_reproduces_paper_table() {
+        let report = run(1, 2, 42);
+        assert_eq!(report.redeemed, 2);
+        assert_eq!(report.refused, 0);
+        let derived = report.table(0);
+        let expected = ScenarioReport::paper_table();
+        assert_eq!(
+            derived,
+            expected,
+            "diff:\n{}",
+            derived.diff(&expected).unwrap_or_default()
+        );
+    }
+
+    #[test]
+    fn scenario_is_decoupled_and_needs_collusion() {
+        let report = run(2, 1, 43);
+        let verdict = analyze(&report.world);
+        assert!(verdict.decoupled, "offenders: {:?}", verdict.offenders());
+        // Re-coupling a user requires Issuer + Origin together.
+        let rep = entity_collusion(&report.world, report.users[0], 3);
+        assert_eq!(rep.min_coalition_size, Some(2));
+    }
+}

@@ -1,0 +1,76 @@
+//! # dcp-simnet — a deterministic discrete-event network simulator
+//!
+//! The paper's systems (mix-nets, ODoH, Multi-Party Relays, PGPP, PPM, …)
+//! were deployed on the public Internet; this workspace reproduces their
+//! *architecture* on a simulator that preserves exactly the properties the
+//! decoupling analysis needs:
+//!
+//! * **Real bytes.** Protocol messages are genuine encoded/encrypted
+//!   payloads (HPKE, DNS wire format, onion layers) — not enums.
+//! * **Information flow.** Every [`Message`] carries a
+//!   [`dcp_core::Label`]; each delivery makes the receiving node's entity
+//!   (and any wiretap on the link) *observe* the label, so per-entity
+//!   knowledge accrues exactly as visibility allows.
+//! * **Timing and size.** Links have latency, jitter, and bandwidth;
+//!   every packet leaves a [`PacketRecord`] so traffic-analysis
+//!   adversaries (§4.3) can be run against honest metadata.
+//! * **Determinism.** A seeded RNG and a total event order make every
+//!   experiment reproducible bit-for-bit.
+//!
+//! The design follows the event-driven style of stacks like smoltcp: no
+//! async runtime, no threads — a [`Network`] owns an event queue and
+//! dispatches to [`Node`] implementations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod net;
+pub mod node;
+pub mod record;
+
+pub use net::{LinkParams, Network, Tap};
+pub use node::{Ctx, Message, Node, NodeId};
+pub use record::{PacketRecord, Trace};
+
+/// Simulated time in microseconds since simulation start.
+#[derive(
+    Clone,
+    Copy,
+    Debug,
+    Default,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Add a duration in microseconds.
+    pub fn after(self, us: u64) -> SimTime {
+        SimTime(self.0 + us)
+    }
+
+    /// Microseconds since start.
+    pub fn as_us(self) -> u64 {
+        self.0
+    }
+
+    /// As (fractional) milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+}
+
+impl core::ops::Sub for SimTime {
+    type Output = u64;
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0 - rhs.0
+    }
+}

@@ -1,0 +1,104 @@
+//! Packet traces: the honest metadata a passive observer can collect.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, SimTime};
+
+/// One packet as seen on the wire. This is *all* an observer gets —
+/// endpoints, timing, and size — which is exactly the §2.1 point that
+/// "unprivileged observers of lower layers can readily observe who is
+/// talking to whom".
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketRecord {
+    /// Time the packet was put on the wire.
+    pub send_time: SimTime,
+    /// Time it arrived.
+    pub deliver_time: SimTime,
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Wire size in bytes.
+    pub size: usize,
+    /// Ground truth for scoring attacks (never an input to them).
+    pub true_flow: Option<u64>,
+}
+
+/// An append-only trace of packets.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<PacketRecord>,
+}
+
+impl Trace {
+    /// Append a record.
+    pub fn push(&mut self, r: PacketRecord) {
+        self.records.push(r);
+    }
+
+    /// All records, in send order.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Records on the directed link `src → dst`.
+    pub fn on_link(&self, src: NodeId, dst: NodeId) -> Vec<&PacketRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.src == src && r.dst == dst)
+            .collect()
+    }
+
+    /// Records entering or leaving `node`.
+    pub fn at_node(&self, node: NodeId) -> Vec<&PacketRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.src == node || r.dst == node)
+            .collect()
+    }
+
+    /// Total bytes carried.
+    pub fn total_bytes(&self) -> usize {
+        self.records.iter().map(|r| r.size).sum()
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(src: usize, dst: usize, size: usize, t: u64) -> PacketRecord {
+        PacketRecord {
+            send_time: SimTime(t),
+            deliver_time: SimTime(t + 10),
+            src: NodeId(src),
+            dst: NodeId(dst),
+            size,
+            true_flow: None,
+        }
+    }
+
+    #[test]
+    fn trace_filters() {
+        let mut t = Trace::default();
+        t.push(rec(0, 1, 100, 0));
+        t.push(rec(1, 2, 200, 5));
+        t.push(rec(0, 2, 50, 9));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_bytes(), 350);
+        assert_eq!(t.on_link(NodeId(0), NodeId(1)).len(), 1);
+        assert_eq!(t.on_link(NodeId(1), NodeId(0)).len(), 0, "directed");
+        assert_eq!(t.at_node(NodeId(2)).len(), 2);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,190 @@
+//! Pairwise encrypted channels over HPKE — the simulator's TLS.
+//!
+//! A channel binds a real HPKE context to a [`dcp_core::KeyId`]
+//! so ciphertext bytes and information-flow labels stay in lock-step:
+//! sealing bytes also wraps the label; opening bytes corresponds to the
+//! receiver's entity holding the `KeyId` in the [`dcp_core::World`].
+
+use dcp_core::{KeyId, Label};
+use dcp_crypto::hpke;
+use rand::Rng;
+
+use crate::Result;
+
+/// A labeled ciphertext: the encrypted bytes plus the label describing
+/// what they protect.
+#[derive(Clone, Debug)]
+pub struct Sealed {
+    /// Ciphertext bytes (`enc ‖ ct` for the first message, `ct` after).
+    pub bytes: Vec<u8>,
+    /// The label, wrapped under the channel's [`KeyId`].
+    pub label: Label,
+}
+
+/// The initiator's half of a channel.
+pub struct ChannelInitiator {
+    ctx: hpke::Context,
+    key_id: KeyId,
+    enc: [u8; hpke::ENC_LEN],
+    first: bool,
+}
+
+/// The responder's half.
+pub struct ChannelResponder {
+    ctx: hpke::Context,
+    key_id: KeyId,
+}
+
+/// Create the initiator half toward a responder public key.
+///
+/// `key_id` must be a key minted in the `World` and granted to *both*
+/// endpoint entities — it models the session key both sides derive.
+pub fn initiate<R: Rng + ?Sized>(
+    rng: &mut R,
+    responder_pk: &[u8; 32],
+    info: &[u8],
+    key_id: KeyId,
+) -> Result<ChannelInitiator> {
+    let (enc, ctx) = hpke::setup_base_s(rng, responder_pk, info)?;
+    Ok(ChannelInitiator {
+        ctx,
+        key_id,
+        enc,
+        first: true,
+    })
+}
+
+impl ChannelInitiator {
+    /// Seal bytes and wrap the label. The first sealed message carries the
+    /// HPKE encapsulated key as a prefix.
+    pub fn seal(&mut self, aad: &[u8], plaintext: &[u8], label: Label) -> Sealed {
+        let ct = self.ctx.seal(aad, plaintext);
+        let bytes = if self.first {
+            self.first = false;
+            let mut b = self.enc.to_vec();
+            b.extend_from_slice(&ct);
+            b
+        } else {
+            ct
+        };
+        Sealed {
+            bytes,
+            label: label.sealed(self.key_id),
+        }
+    }
+
+    /// The channel's key id.
+    pub fn key_id(&self) -> KeyId {
+        self.key_id
+    }
+}
+
+impl ChannelResponder {
+    /// Accept the first message of a channel: parse the encapsulated key
+    /// and decrypt. Returns the responder half plus the first plaintext.
+    pub fn accept(
+        kp: &hpke::Keypair,
+        info: &[u8],
+        aad: &[u8],
+        first_msg: &[u8],
+        key_id: KeyId,
+    ) -> Result<(ChannelResponder, Vec<u8>)> {
+        if first_msg.len() < hpke::ENC_LEN {
+            return Err(crate::TransportError::BadFrame);
+        }
+        let mut enc = [0u8; hpke::ENC_LEN];
+        enc.copy_from_slice(&first_msg[..hpke::ENC_LEN]);
+        let mut ctx = hpke::setup_base_r(&enc, kp, info)?;
+        let pt = ctx.open(aad, &first_msg[hpke::ENC_LEN..])?;
+        Ok((ChannelResponder { ctx, key_id }, pt))
+    }
+
+    /// Open a subsequent message.
+    pub fn open(&mut self, aad: &[u8], ct: &[u8]) -> Result<Vec<u8>> {
+        Ok(self.ctx.open(aad, ct)?)
+    }
+
+    /// Unwrap one [`Label::Sealed`] layer keyed by this channel.
+    ///
+    /// Panics if the label is not sealed under this channel's key — that
+    /// would mean bytes and labels have come apart, which is a programming
+    /// error in the protocol code.
+    pub fn unwrap_label(&self, label: &Label) -> Label {
+        match label {
+            Label::Sealed { key, inner } if *key == self.key_id => (**inner).clone(),
+            other => panic!(
+                "label/bytes desync: expected seal under {:?}, got {other:?}",
+                self.key_id
+            ),
+        }
+    }
+
+    /// The channel's key id.
+    pub fn key_id(&self) -> KeyId {
+        self.key_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_core::{DataKind, InfoItem, UserId};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn channel_roundtrip_with_labels() {
+        let mut rng = rng();
+        let kp = hpke::Keypair::generate(&mut rng);
+        let key_id = KeyId(1);
+        let mut tx = initiate(&mut rng, &kp.public, b"chan", key_id).unwrap();
+
+        let item = InfoItem::sensitive_data(UserId(1), DataKind::Payload);
+        let sealed = tx.seal(b"", b"first message", Label::item(item.clone()));
+
+        // An observer without the key learns nothing from the label.
+        assert!(sealed.label.observe(|_| false).is_empty());
+        // The responder opens bytes and label together.
+        let (mut rx, pt) =
+            ChannelResponder::accept(&kp, b"chan", b"", &sealed.bytes, key_id).unwrap();
+        assert_eq!(pt, b"first message");
+        let inner = rx.unwrap_label(&sealed.label);
+        assert!(inner.observe(|_| false).contains(&item));
+
+        // Subsequent messages have no enc prefix.
+        let s2 = tx.seal(b"", b"second", Label::Public);
+        assert!(s2.bytes.len() < sealed.bytes.len());
+        assert_eq!(rx.open(b"", &s2.bytes).unwrap(), b"second");
+    }
+
+    #[test]
+    fn wrong_info_fails() {
+        let mut rng = rng();
+        let kp = hpke::Keypair::generate(&mut rng);
+        let mut tx = initiate(&mut rng, &kp.public, b"info-a", KeyId(0)).unwrap();
+        let sealed = tx.seal(b"", b"x", Label::Public);
+        assert!(ChannelResponder::accept(&kp, b"info-b", b"", &sealed.bytes, KeyId(0)).is_err());
+    }
+
+    #[test]
+    fn truncated_first_message_rejected() {
+        let mut rng = rng();
+        let kp = hpke::Keypair::generate(&mut rng);
+        assert!(ChannelResponder::accept(&kp, b"", b"", &[0u8; 10], KeyId(0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "label/bytes desync")]
+    fn unwrap_label_panics_on_desync() {
+        let mut rng = rng();
+        let kp = hpke::Keypair::generate(&mut rng);
+        let mut tx = initiate(&mut rng, &kp.public, b"", KeyId(5)).unwrap();
+        let sealed = tx.seal(b"", b"x", Label::Public);
+        let (rx, _) = ChannelResponder::accept(&kp, b"", b"", &sealed.bytes, KeyId(5)).unwrap();
+        // A label sealed under a *different* key id must panic.
+        rx.unwrap_label(&Label::Public.sealed(KeyId(6)));
+    }
+}

@@ -1,0 +1,61 @@
+//! # dcp-transport — encrypted transport building blocks
+//!
+//! The systems in the paper are all, at bottom, arrangements of encrypted
+//! channels threaded through intermediaries. This crate provides those
+//! blocks, each keeping real ciphertext bytes and
+//! [`dcp_core::Label`] information-flow labels in lock-step:
+//!
+//! * [`frame`] — length-prefixed message framing with typed frames
+//!   (DATA / CONNECT / RESPONSE / CHAFF), the on-wire syntax for every
+//!   relay protocol here.
+//! * [`channel`] — pairwise HPKE channels: the
+//!   stand-in for a TLS connection in the simulator.
+//! * [`onion`] — nested encryption: build a multi-hop onion whose layer
+//!   *k* can only be removed by hop *k*'s private key, with per-layer
+//!   next-hop addressing (Chaum mix-nets, Tor circuits, and MPR's nested
+//!   CONNECT tunnels all instantiate this).
+//! * [`shaping`] — §4.3 traffic-analysis countermeasures: constant-size
+//!   cells and chaff policies, with their overhead made measurable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod frame;
+pub mod onion;
+pub mod shaping;
+
+/// Errors from transport-layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// A frame was truncated or had an unknown type.
+    BadFrame,
+    /// Cryptographic failure (wrong key, tampering).
+    Crypto(dcp_crypto::CryptoError),
+    /// A cell was not the expected constant size.
+    BadCell,
+    /// Payload too large for the negotiated cell size.
+    Oversize,
+}
+
+impl From<dcp_crypto::CryptoError> for TransportError {
+    fn from(e: dcp_crypto::CryptoError) -> Self {
+        TransportError::Crypto(e)
+    }
+}
+
+impl core::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TransportError::BadFrame => f.write_str("malformed frame"),
+            TransportError::Crypto(e) => write!(f, "crypto: {e}"),
+            TransportError::BadCell => f.write_str("bad cell size"),
+            TransportError::Oversize => f.write_str("payload exceeds cell capacity"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Result alias.
+pub type Result<T> = core::result::Result<T, TransportError>;

@@ -1,0 +1,242 @@
+//! Nested ("onion") encryption with per-layer next-hop addressing.
+//!
+//! One mechanism, three systems from the paper:
+//! * Chaum mix-nets (§3.1.2) — each mix strips one layer;
+//! * onion routing / Tor — same structure, circuit-oriented;
+//! * Multi-Party Relay (§3.2.4) — two nested CONNECT tunnels.
+//!
+//! Layer format (before sealing): `next_addr:u16be ‖ inner_bytes`, where
+//! `next_addr` is the address of the next hop and `inner_bytes` is either
+//! another sealed layer or, at the exit, the application payload.
+//! [`DELIVER_LOCAL`] marks "this payload is for you".
+//!
+//! Labels are wrapped in the same nesting as the real HPKE layers, so an
+//! intermediate hop's knowledge ledger shows exactly one layer's worth of
+//! visibility.
+
+use dcp_core::{KeyId, Label};
+use dcp_crypto::hpke;
+use rand::Rng;
+
+use crate::{Result, TransportError};
+
+/// Address constant: the payload is for the node that removed the layer.
+pub const DELIVER_LOCAL: u16 = 0xffff;
+
+/// One hop's public material.
+#[derive(Clone)]
+pub struct Hop {
+    /// Protocol-level address of this hop (the *previous* hop forwards to
+    /// this address).
+    pub addr: u16,
+    /// The hop's HPKE public key.
+    pub pk: [u8; 32],
+    /// The world key id mirroring the hop's private key.
+    pub key_id: KeyId,
+}
+
+/// Build an onion through `hops` (first element = first hop entered).
+///
+/// The innermost layer instructs the final hop to deliver locally; every
+/// outer layer instructs hop *k* to forward to hop *k+1*. Returns the
+/// outermost ciphertext and the identically-nested label.
+pub fn wrap<R: Rng + ?Sized>(
+    rng: &mut R,
+    hops: &[Hop],
+    payload: &[u8],
+    payload_label: Label,
+) -> Result<(Vec<u8>, Label)> {
+    assert!(!hops.is_empty(), "onion needs at least one hop");
+    let mut bytes = payload.to_vec();
+    let mut label = payload_label;
+    for (i, hop) in hops.iter().enumerate().rev() {
+        let next_addr = if i + 1 < hops.len() {
+            hops[i + 1].addr
+        } else {
+            DELIVER_LOCAL
+        };
+        let mut plain = next_addr.to_be_bytes().to_vec();
+        plain.extend_from_slice(&bytes);
+        bytes = hpke::seal(rng, &hop.pk, b"dcp-onion", b"", &plain)?;
+        label = label.sealed(hop.key_id);
+    }
+    Ok((bytes, label))
+}
+
+/// Result of removing one layer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Unwrapped {
+    /// Forward `bytes` to `next`.
+    Forward {
+        /// Next hop address.
+        next: u16,
+        /// The remaining onion.
+        bytes: Vec<u8>,
+    },
+    /// The payload is for this hop.
+    Deliver {
+        /// Application payload.
+        payload: Vec<u8>,
+    },
+}
+
+/// Remove one layer with this hop's keypair.
+pub fn unwrap_layer(kp: &hpke::Keypair, bytes: &[u8]) -> Result<Unwrapped> {
+    let plain = hpke::open(kp, b"dcp-onion", b"", bytes)?;
+    if plain.len() < 2 {
+        return Err(TransportError::BadFrame);
+    }
+    let next = u16::from_be_bytes([plain[0], plain[1]]);
+    let rest = plain[2..].to_vec();
+    Ok(if next == DELIVER_LOCAL {
+        Unwrapped::Deliver { payload: rest }
+    } else {
+        Unwrapped::Forward { next, bytes: rest }
+    })
+}
+
+/// Unwrap the matching label layer (callers keep bytes/labels in sync).
+pub fn unwrap_label(label: &Label, key_id: KeyId) -> Label {
+    match label {
+        Label::Sealed { key, inner } if *key == key_id => (**inner).clone(),
+        other => panic!("onion label desync: expected seal under {key_id:?}, got {other:?}"),
+    }
+}
+
+/// Per-layer ciphertext growth: each layer adds the 2-byte address plus
+/// HPKE's encapsulated key and AEAD tag.
+pub const LAYER_OVERHEAD: usize = 2 + hpke::SEAL_OVERHEAD;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_core::{DataKind, InfoItem, UserId};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    fn make_hops<R: Rng>(rng: &mut R, n: usize) -> (Vec<Hop>, Vec<hpke::Keypair>) {
+        let mut hops = Vec::new();
+        let mut kps = Vec::new();
+        for i in 0..n {
+            let kp = hpke::Keypair::generate(rng);
+            hops.push(Hop {
+                addr: 100 + i as u16,
+                pk: kp.public,
+                key_id: KeyId(i as u64),
+            });
+            kps.push(kp);
+        }
+        (hops, kps)
+    }
+
+    #[test]
+    fn three_hop_onion_peels_in_order() {
+        let mut rng = rng();
+        let (hops, kps) = make_hops(&mut rng, 3);
+        let item = InfoItem::sensitive_data(UserId(0), DataKind::Message);
+        let (bytes, label) = wrap(&mut rng, &hops, b"the payload", Label::item(item)).unwrap();
+        assert_eq!(label.seal_depth(), 3);
+
+        // Hop 0 forwards to hop 1's address.
+        let u0 = unwrap_layer(&kps[0], &bytes).unwrap();
+        let (next, bytes1) = match u0 {
+            Unwrapped::Forward { next, bytes } => (next, bytes),
+            _ => panic!("expected forward"),
+        };
+        assert_eq!(next, 101);
+
+        let u1 = unwrap_layer(&kps[1], &bytes1).unwrap();
+        let (next, bytes2) = match u1 {
+            Unwrapped::Forward { next, bytes } => (next, bytes),
+            _ => panic!("expected forward"),
+        };
+        assert_eq!(next, 102);
+
+        // Final hop delivers.
+        match unwrap_layer(&kps[2], &bytes2).unwrap() {
+            Unwrapped::Deliver { payload } => assert_eq!(payload, b"the payload"),
+            _ => panic!("expected deliver"),
+        }
+    }
+
+    #[test]
+    fn single_hop_delivers_immediately() {
+        let mut rng = rng();
+        let (hops, kps) = make_hops(&mut rng, 1);
+        let (bytes, label) = wrap(&mut rng, &hops, b"hi", Label::Public).unwrap();
+        assert_eq!(label.seal_depth(), 1);
+        assert_eq!(
+            unwrap_layer(&kps[0], &bytes).unwrap(),
+            Unwrapped::Deliver {
+                payload: b"hi".to_vec()
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_hop_cannot_peel() {
+        let mut rng = rng();
+        let (hops, kps) = make_hops(&mut rng, 2);
+        let (bytes, _) = wrap(&mut rng, &hops, b"x", Label::Public).unwrap();
+        // Hop 1's key cannot remove hop 0's layer.
+        assert!(unwrap_layer(&kps[1], &bytes).is_err());
+    }
+
+    #[test]
+    fn middle_hop_sees_no_payload_or_destination() {
+        // The information-flow version of the same fact, via labels.
+        let mut rng = rng();
+        let (hops, _) = make_hops(&mut rng, 3);
+        let item = InfoItem::sensitive_data(UserId(0), DataKind::Destination);
+        let (_, label) = wrap(&mut rng, &hops, b"GET /", Label::item(item.clone())).unwrap();
+        // Holding only the middle key opens nothing (outer layer blocks).
+        let seen = label.observe(|k| k == KeyId(1));
+        assert!(seen.is_empty());
+        // Holding all three keys reveals the payload item.
+        assert!(label.observe(|_| true).contains(&item));
+    }
+
+    #[test]
+    fn layer_overhead_is_constant() {
+        let mut rng = rng();
+        let (hops, _) = make_hops(&mut rng, 4);
+        let payload = vec![0u8; 64];
+        for n in 1..=4 {
+            let (bytes, _) = wrap(&mut rng, &hops[..n], &payload, Label::Public).unwrap();
+            assert_eq!(
+                bytes.len(),
+                payload.len() + n * LAYER_OVERHEAD,
+                "{n} layers"
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_onion_rejected() {
+        let mut rng = rng();
+        let (hops, kps) = make_hops(&mut rng, 2);
+        let (mut bytes, _) = wrap(&mut rng, &hops, b"x", Label::Public).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        assert!(unwrap_layer(&kps[0], &bytes).is_err());
+    }
+
+    #[test]
+    fn unwrap_label_peels_one_layer() {
+        let label = Label::Public.sealed(KeyId(1)).sealed(KeyId(0));
+        let inner = unwrap_label(&label, KeyId(0));
+        assert_eq!(inner.seal_depth(), 1);
+        let core = unwrap_label(&inner, KeyId(1));
+        assert_eq!(core, Label::Public);
+    }
+
+    #[test]
+    #[should_panic(expected = "desync")]
+    fn unwrap_label_detects_wrong_key() {
+        let label = Label::Public.sealed(KeyId(0));
+        let _ = unwrap_label(&label, KeyId(9));
+    }
+}

@@ -1,0 +1,203 @@
+//! Traffic shaping (§4.3): constant-size cells and chaff policies.
+//!
+//! "Encryption protects the confidentiality of data, but it does not
+//! protect against other attributes of application data such as the size
+//! and timestamps of data while in transit. Specific systems like Tor go
+//! to great lengths to mitigate these types of attacks, including via use
+//! of constant-size packets and adding additional chaff… These types of
+//! enhancements come at a cost."
+//!
+//! This module makes both the mitigation and its cost concrete: cells hide
+//! sizes at a measurable padding overhead; [`ChaffPolicy`] schedules cover
+//! traffic at a measurable bandwidth cost. The `exp_traffic` experiment
+//! sweeps these knobs against a size/timing correlation adversary.
+
+use crate::{Result, TransportError};
+
+/// Pad `payload` into a fixed-size cell: `len:u32be ‖ payload ‖ zeros`.
+///
+/// Errors with [`TransportError::Oversize`] when the payload (plus the
+/// 4-byte length) exceeds `cell_size`.
+pub fn pad_to_cell(payload: &[u8], cell_size: usize) -> Result<Vec<u8>> {
+    if payload.len() + 4 > cell_size {
+        return Err(TransportError::Oversize);
+    }
+    let mut out = Vec::with_capacity(cell_size);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out.resize(cell_size, 0);
+    Ok(out)
+}
+
+/// Recover the payload from a cell produced by [`pad_to_cell`].
+pub fn unpad_cell(cell: &[u8], cell_size: usize) -> Result<Vec<u8>> {
+    if cell.len() != cell_size || cell.len() < 4 {
+        return Err(TransportError::BadCell);
+    }
+    let len = u32::from_be_bytes([cell[0], cell[1], cell[2], cell[3]]) as usize;
+    if 4 + len > cell.len() {
+        return Err(TransportError::BadCell);
+    }
+    // Padding must be zero — reject sloppy encoders (covert channels).
+    if cell[4 + len..].iter().any(|&b| b != 0) {
+        return Err(TransportError::BadCell);
+    }
+    Ok(cell[4..4 + len].to_vec())
+}
+
+/// Split an arbitrary payload into as many cells as needed.
+pub fn cells_for(payload: &[u8], cell_size: usize) -> Result<Vec<Vec<u8>>> {
+    assert!(cell_size > 8, "cell too small to be useful");
+    let capacity = cell_size - 4;
+    if payload.is_empty() {
+        return Ok(vec![pad_to_cell(payload, cell_size)?]);
+    }
+    payload
+        .chunks(capacity)
+        .map(|c| pad_to_cell(c, cell_size))
+        .collect()
+}
+
+/// Padding overhead factor for sending `payload_len` bytes in `cell_size`
+/// cells (wire bytes per useful byte).
+pub fn overhead_factor(payload_len: usize, cell_size: usize) -> f64 {
+    if payload_len == 0 {
+        return f64::INFINITY;
+    }
+    let capacity = cell_size - 4;
+    let cells = payload_len.div_ceil(capacity);
+    (cells * cell_size) as f64 / payload_len as f64
+}
+
+/// A chaff (cover traffic) policy: emit dummy cells at a fixed rate so the
+/// wire shows a constant packet cadence regardless of real demand.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaffPolicy {
+    /// Microseconds between cover cells (`0` disables chaff).
+    pub interval_us: u64,
+    /// Cell size used for chaff (should equal the data cell size, or the
+    /// chaff is trivially distinguishable).
+    pub cell_size: usize,
+}
+
+impl ChaffPolicy {
+    /// No cover traffic.
+    pub const OFF: ChaffPolicy = ChaffPolicy {
+        interval_us: 0,
+        cell_size: 512,
+    };
+
+    /// Is chaff enabled?
+    pub fn enabled(&self) -> bool {
+        self.interval_us > 0
+    }
+
+    /// Number of chaff cells emitted in a window of `duration_us`.
+    pub fn cells_in(&self, duration_us: u64) -> u64 {
+        if !self.enabled() {
+            return 0;
+        }
+        duration_us / self.interval_us
+    }
+
+    /// Bandwidth cost of the policy in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        if !self.enabled() {
+            return 0.0;
+        }
+        self.cell_size as f64 * 1_000_000.0 / self.interval_us as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pad_unpad_roundtrip() {
+        let cell = pad_to_cell(b"hello", 64).unwrap();
+        assert_eq!(cell.len(), 64);
+        assert_eq!(unpad_cell(&cell, 64).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn empty_payload_cell() {
+        let cell = pad_to_cell(b"", 16).unwrap();
+        assert_eq!(unpad_cell(&cell, 16).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn oversize_rejected() {
+        assert_eq!(
+            pad_to_cell(&[0u8; 61], 64).unwrap_err(),
+            TransportError::Oversize
+        );
+        assert!(pad_to_cell(&[0u8; 60], 64).is_ok());
+    }
+
+    #[test]
+    fn bad_cells_rejected() {
+        assert!(unpad_cell(&[0u8; 32], 64).is_err(), "wrong size");
+        // Length field exceeding the cell.
+        let mut cell = vec![0u8; 64];
+        cell[3] = 200;
+        assert!(unpad_cell(&cell, 64).is_err());
+        // Non-zero padding.
+        let mut cell = pad_to_cell(b"hi", 64).unwrap();
+        cell[63] = 1;
+        assert!(unpad_cell(&cell, 64).is_err());
+    }
+
+    #[test]
+    fn multi_cell_split() {
+        let payload = vec![7u8; 150];
+        let cells = cells_for(&payload, 64).unwrap();
+        assert_eq!(cells.len(), 3, "150 bytes / 60-byte capacity");
+        let mut rejoined = Vec::new();
+        for c in &cells {
+            rejoined.extend(unpad_cell(c, 64).unwrap());
+        }
+        assert_eq!(rejoined, payload);
+        // All cells identical size on the wire: sizes leak nothing.
+        assert!(cells.iter().all(|c| c.len() == 64));
+    }
+
+    #[test]
+    fn overhead_factor_shapes() {
+        // 60 useful bytes in a 64-byte cell.
+        assert!((overhead_factor(60, 64) - 64.0 / 60.0).abs() < 1e-9);
+        // 1 useful byte still costs a whole cell.
+        assert!((overhead_factor(1, 64) - 64.0).abs() < 1e-9);
+        // Bigger cells waste more on small payloads.
+        assert!(overhead_factor(10, 512) > overhead_factor(10, 64));
+    }
+
+    #[test]
+    fn chaff_policy_math() {
+        let off = ChaffPolicy::OFF;
+        assert!(!off.enabled());
+        assert_eq!(off.cells_in(1_000_000), 0);
+        assert_eq!(off.bytes_per_sec(), 0.0);
+
+        let p = ChaffPolicy {
+            interval_us: 10_000,
+            cell_size: 512,
+        };
+        assert_eq!(p.cells_in(1_000_000), 100);
+        assert!((p.bytes_per_sec() - 51_200.0).abs() < 1e-6);
+    }
+
+    proptest! {
+        #[test]
+        fn cells_roundtrip_any_payload(payload in proptest::collection::vec(any::<u8>(), 0..1000)) {
+            let cells = cells_for(&payload, 128).unwrap();
+            let mut rejoined = Vec::new();
+            for c in &cells {
+                prop_assert_eq!(c.len(), 128);
+                rejoined.extend(unpad_cell(c, 128).unwrap());
+            }
+            prop_assert_eq!(rejoined, payload);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # dcp-vpn — the §3.3 cautionary tales
+//!
+//! Two systems that *protect* traffic without *decoupling* it:
+//!
+//! * **Centralized VPN** — "by funneling all traffic through a single
+//!   trusted party, such systems create a single locus of observation."
+//!
+//!   | Client | VPN Server | Origin |
+//!   |--------|------------|--------|
+//!   | (▲, ●) | (▲, ●)     | (△, ●) |
+//!
+//! * **TLS Encrypted ClientHello (ECH)** — hides the SNI from the
+//!   *network*, "however, ECH does not alter what information the TLS
+//!   server sees." Useful, but not decoupling: the verdict depends on
+//!   which adversary you ask.
+//!
+//! Both scenarios run on the simulator with a passive network observer
+//! tap, so the derived tables show all three vantage points: client-side
+//! network, service, and destination.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenario;
+
+pub use scenario::{run_ech, run_vpn, EchReport, VpnReport};

@@ -1,0 +1,436 @@
+//! VPN and ECH scenarios with a passive network observer.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dcp_core::table::DecouplingTable;
+use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, UserId, World};
+use dcp_crypto::hpke;
+use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Tap, Trace};
+
+const REQUEST: &[u8] = b"GET /account/medical-records HTTP/1.1";
+
+// ------------------------------------------------------------------ VPN --
+
+/// Result of the VPN scenario.
+pub struct VpnReport {
+    /// Knowledge base.
+    pub world: World,
+    /// Packet trace.
+    pub trace: Trace,
+    /// Completed fetches.
+    pub completed: usize,
+    /// Mean fetch latency (µs).
+    pub mean_fetch_us: f64,
+    /// The users.
+    pub users: Vec<UserId>,
+}
+
+impl VpnReport {
+    /// Derive the §3.3 table for user `i`.
+    pub fn table(&self, i: usize) -> DecouplingTable {
+        DecouplingTable::derive(
+            &self.world,
+            self.users[i],
+            &["Client", "VPN Server", "Origin"],
+        )
+    }
+
+    /// The paper's table.
+    pub fn paper_table() -> DecouplingTable {
+        DecouplingTable::expect(&[
+            ("Client", "(▲, ●)"),
+            ("VPN Server", "(▲, ●)"),
+            ("Origin", "(△, ●)"),
+        ])
+    }
+}
+
+struct VpnStats {
+    completed: usize,
+    latencies: Vec<u64>,
+}
+
+struct VpnClient {
+    entity: EntityId,
+    user: UserId,
+    vpn: NodeId,
+    vpn_pk: [u8; 32],
+    vpn_key: KeyId,
+    fetches_left: usize,
+    stats: Rc<RefCell<VpnStats>>,
+    sent_at: SimTime,
+}
+
+impl VpnClient {
+    fn fetch(&mut self, ctx: &mut Ctx) {
+        self.sent_at = ctx.now;
+        let sealed = hpke::seal(ctx.rng, &self.vpn_pk, b"vpn", b"", REQUEST).expect("seal");
+        // The tunnel protects the request from the *network*, but the VPN
+        // terminates it: the server decrypts and sees destination + content
+        // (●) bound to the subscriber's address/account (▲).
+        let label = Label::items([InfoItem::sensitive_identity(self.user, IdentityKind::Any)]).and(
+            Label::items([InfoItem::sensitive_data(self.user, DataKind::Destination)])
+                .sealed(self.vpn_key),
+        );
+        ctx.send(self.vpn, Message::new(sealed, label));
+    }
+}
+
+impl Node for VpnClient {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+        );
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_data(self.user, DataKind::Destination),
+        );
+        self.fetch(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, _msg: Message) {
+        let mut s = self.stats.borrow_mut();
+        s.completed += 1;
+        s.latencies.push(ctx.now - self.sent_at);
+        drop(s);
+        if self.fetches_left > 1 {
+            self.fetches_left -= 1;
+            self.fetch(ctx);
+        }
+    }
+}
+
+struct VpnServer {
+    entity: EntityId,
+    kp: hpke::Keypair,
+    origin: NodeId,
+    back: Vec<(NodeId, UserId)>,
+    node_user: Vec<(NodeId, UserId)>,
+}
+
+impl Node for VpnServer {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if from == self.origin {
+            let (client, _) = self.back.pop().expect("no back route");
+            ctx.send(client, msg);
+            return;
+        }
+        let req = hpke::open(&self.kp, b"vpn", b"", &msg.bytes).expect("tunnel open");
+        let user = self
+            .node_user
+            .iter()
+            .find(|(n, _)| *n == from)
+            .map(|(_, u)| *u)
+            .expect("unknown subscriber");
+        self.back.insert(0, (from, user));
+        // Proxied onward in the clear (from the origin's view, the client
+        // is the VPN's address).
+        let label = Label::items([
+            InfoItem::plain_identity(user, IdentityKind::Any),
+            InfoItem::sensitive_data(user, DataKind::Destination),
+        ]);
+        ctx.send(self.origin, Message::new(req, label));
+    }
+}
+
+struct PlainOrigin {
+    entity: EntityId,
+}
+
+impl Node for PlainOrigin {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, _msg: Message) {
+        ctx.send(from, Message::public(b"200 OK".to_vec()));
+    }
+}
+
+/// Run the VPN scenario.
+pub fn run_vpn(n_users: usize, fetches_each: usize, seed: u64) -> VpnReport {
+    use rand::SeedableRng;
+    let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1f);
+    let mut world = World::new();
+    let user_org = world.add_org("users");
+    let vpn_org = world.add_org("vpn-co");
+    let origin_org = world.add_org("origin-co");
+    let net_org = world.add_org("network");
+    let vpn_e = world.add_entity("VPN Server", vpn_org, None);
+    let origin_e = world.add_entity("Origin", origin_org, None);
+    let observer_e = world.add_entity("Network Observer", net_org, None);
+
+    let vpn_kp = hpke::Keypair::generate(&mut setup_rng);
+    let vpn_key = world.new_key(&[vpn_e]);
+
+    let mut users = Vec::new();
+    let mut user_entities = Vec::new();
+    for i in 0..n_users {
+        let u = world.add_user();
+        let name = if i == 0 {
+            "Client".to_string()
+        } else {
+            format!("Client {}", i + 1)
+        };
+        user_entities.push(world.add_entity(&name, user_org, Some(u)));
+        users.push(u);
+    }
+
+    let mut net = Network::new(world, seed);
+    net.set_default_link(LinkParams::wan_ms(10));
+    let vpn_id = NodeId(0);
+    let origin_id = NodeId(1);
+
+    let node_user: Vec<(NodeId, UserId)> = users
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| (NodeId(2 + i), u))
+        .collect();
+    net.add_node(Box::new(VpnServer {
+        entity: vpn_e,
+        kp: vpn_kp.clone(),
+        origin: origin_id,
+        back: Vec::new(),
+        node_user,
+    }));
+    net.add_node(Box::new(PlainOrigin { entity: origin_e }));
+    let stats = Rc::new(RefCell::new(VpnStats {
+        completed: 0,
+        latencies: Vec::new(),
+    }));
+    for (&u, &e) in users.iter().zip(user_entities.iter()) {
+        net.add_node(Box::new(VpnClient {
+            entity: e,
+            user: u,
+            vpn: vpn_id,
+            vpn_pk: vpn_kp.public,
+            vpn_key,
+            fetches_left: fetches_each,
+            stats: stats.clone(),
+            sent_at: SimTime::ZERO,
+        }));
+    }
+    // Client-side network observer (the user's ISP): sees the access
+    // links in both directions but not the VPN's egress side.
+    let access_links: Vec<(NodeId, NodeId)> = (0..n_users)
+        .flat_map(|i| [(NodeId(2 + i), vpn_id), (vpn_id, NodeId(2 + i))])
+        .collect();
+    net.add_tap(Tap {
+        observer: observer_e,
+        links: Some(access_links),
+    });
+
+    net.run();
+    let (world, trace) = net.into_parts();
+    let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
+    let mean = if stats.latencies.is_empty() {
+        0.0
+    } else {
+        stats.latencies.iter().sum::<u64>() as f64 / stats.latencies.len() as f64
+    };
+    VpnReport {
+        world,
+        trace,
+        completed: stats.completed,
+        mean_fetch_us: mean,
+        users,
+    }
+}
+
+// ------------------------------------------------------------------ ECH --
+
+/// Result of the ECH scenario.
+pub struct EchReport {
+    /// Knowledge base.
+    pub world: World,
+    /// Was ECH enabled?
+    pub ech: bool,
+    /// The user.
+    pub user: UserId,
+}
+
+impl EchReport {
+    /// Derive the table over `Client | Network Observer | TLS Server`.
+    pub fn table(&self) -> DecouplingTable {
+        DecouplingTable::derive(
+            &self.world,
+            self.user,
+            &["Client", "Network Observer", "TLS Server"],
+        )
+    }
+}
+
+struct EchClient {
+    entity: EntityId,
+    user: UserId,
+    server: NodeId,
+    server_pk: [u8; 32],
+    server_key: KeyId,
+    ech: bool,
+}
+
+impl Node for EchClient {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+        );
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_data(self.user, DataKind::Destination),
+        );
+        // ClientHello: with ECH the SNI travels sealed to the server's ECH
+        // key; without it, the SNI is cleartext on the wire.
+        let sni = b"very-private-site.example".to_vec();
+        let sni_item = InfoItem::sensitive_data(self.user, DataKind::Destination);
+        let envelope = InfoItem::sensitive_identity(self.user, IdentityKind::Any);
+        let (bytes, label) = if self.ech {
+            let sealed = hpke::seal(ctx.rng, &self.server_pk, b"ech", b"", &sni).expect("ech seal");
+            (
+                sealed,
+                Label::item(envelope).and(Label::item(sni_item).sealed(self.server_key)),
+            )
+        } else {
+            (sni, Label::items([envelope, sni_item]))
+        };
+        ctx.send(self.server, Message::new(bytes, label));
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Message) {}
+}
+
+struct TlsServer {
+    entity: EntityId,
+    kp: hpke::Keypair,
+    ech: bool,
+}
+
+impl Node for TlsServer {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        let sni = if self.ech {
+            hpke::open(&self.kp, b"ech", b"", &msg.bytes).expect("ech open")
+        } else {
+            msg.bytes
+        };
+        assert_eq!(&sni, b"very-private-site.example");
+        ctx.send(from, Message::public(b"ServerHello".to_vec()));
+    }
+}
+
+/// Run the ECH handshake model. With `ech = true` the network observer
+/// loses the SNI; the server's view is unchanged either way.
+pub fn run_ech(ech: bool, seed: u64) -> EchReport {
+    use rand::SeedableRng;
+    let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xec4);
+    let mut world = World::new();
+    let user_org = world.add_org("users");
+    let site_org = world.add_org("site-co");
+    let net_org = world.add_org("network");
+    let server_e = world.add_entity("TLS Server", site_org, None);
+    let observer_e = world.add_entity("Network Observer", net_org, None);
+    let user = world.add_user();
+    let client_e = world.add_entity("Client", user_org, Some(user));
+
+    let kp = hpke::Keypair::generate(&mut setup_rng);
+    let server_key = world.new_key(&[server_e]);
+
+    let mut net = Network::new(world, seed);
+    net.set_default_link(LinkParams::wan_ms(10));
+    let server_id = NodeId(0);
+    net.add_node(Box::new(TlsServer {
+        entity: server_e,
+        kp: kp.clone(),
+        ech,
+    }));
+    net.add_node(Box::new(EchClient {
+        entity: client_e,
+        user,
+        server: server_id,
+        server_pk: kp.public,
+        server_key,
+        ech,
+    }));
+    net.add_tap(Tap {
+        observer: observer_e,
+        links: None,
+    });
+    net.run();
+    let (world, _) = net.into_parts();
+    EchReport { world, ech, user }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_core::{analyze, collusion::entity_collusion};
+
+    #[test]
+    fn vpn_reproduces_paper_table_and_fails_verdict() {
+        let report = run_vpn(1, 2, 31);
+        assert_eq!(report.completed, 2);
+        let derived = report.table(0);
+        let expected = VpnReport::paper_table();
+        assert_eq!(
+            derived,
+            expected,
+            "diff:\n{}",
+            derived.diff(&expected).unwrap_or_default()
+        );
+        let verdict = analyze(&report.world);
+        assert!(!verdict.decoupled);
+        assert!(verdict.offenders().contains(&"VPN Server"));
+        // Zero collusion needed: the VPN is a single locus of observation.
+        let rep = entity_collusion(&report.world, report.users[0], 2);
+        assert_eq!(rep.min_coalition_size, Some(1));
+    }
+
+    #[test]
+    fn vpn_hides_from_network_observer() {
+        // The tunnel *does* protect against the network — the observer
+        // never sees the destination. The failure is the trusted hop.
+        let report = run_vpn(1, 1, 32);
+        let obs = report.world.entity_by_name("Network Observer").id;
+        let tuple = report.world.tuple(obs, report.users[0]);
+        assert!(tuple.has_sensitive_identity(), "sees the client address");
+        assert!(!tuple.has_sensitive_data(), "cannot see into the tunnel");
+    }
+
+    #[test]
+    fn ech_hides_sni_from_network_only() {
+        let without = run_ech(false, 33);
+        let with = run_ech(true, 33);
+
+        let obs_t = |r: &EchReport| {
+            let e = r.world.entity_by_name("Network Observer").id;
+            r.world.tuple(e, r.user)
+        };
+        let srv_t = |r: &EchReport| {
+            let e = r.world.entity_by_name("TLS Server").id;
+            r.world.tuple(e, r.user)
+        };
+
+        // Without ECH the network observer couples the user all by itself.
+        assert!(obs_t(&without).is_coupled());
+        // With ECH the observer loses the data half…
+        assert!(!obs_t(&with).is_coupled());
+        assert!(!obs_t(&with).has_sensitive_data());
+        // …but the server's view is unchanged: still (▲, ●).
+        assert!(srv_t(&without).is_coupled());
+        assert!(
+            srv_t(&with).is_coupled(),
+            "ECH does not decouple the server"
+        );
+        assert!(!analyze(&with.world).decoupled);
+    }
+}

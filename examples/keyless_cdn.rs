@@ -1,0 +1,112 @@
+//! A Phoenix-style "keyless CDN" (§4.3): the origin provisions its TLS
+//! secrets into an attested enclave on CDN hardware, so the CDN serves
+//! content "without the CDN seeing any sensitive data" — decoupling on a
+//! single machine, with the hardware vendor as the trust anchor.
+//!
+//! Run with: `cargo run --example keyless_cdn`
+
+use decoupling::core::tee::{seal_to_enclave, Vendor};
+use decoupling::core::{analyze, DataKind, IdentityKind, InfoItem, World};
+use rand::SeedableRng;
+
+const CDN_PROGRAM: &[u8] =
+    b"dcp-phoenix-v1: terminate TLS inside the enclave; cache; never export keys";
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    // The CDN operator's machine hosts an enclave running a pinned program.
+    let vendor = Vendor::new(&mut rng, "chipco");
+    let enclave = vendor.launch(&mut rng, CDN_PROGRAM);
+    println!(
+        "enclave measurement: {}…",
+        decoupling::crypto::util::hex_encode(&enclave.measurement().0[..8])
+    );
+
+    // The origin verifies the attestation, then ships its TLS private key
+    // sealed to the enclave — the CDN operator never sees it.
+    let tls_key = b"origin-tls-private-key-material";
+    let sealed = seal_to_enclave(
+        &mut rng,
+        &vendor,
+        CDN_PROGRAM,
+        enclave.attestation(),
+        b"phoenix-provision",
+        b"",
+        tls_key,
+    )
+    .expect("attestation verified");
+    println!(
+        "origin provisioned {} key bytes into the enclave",
+        tls_key.len()
+    );
+
+    let inside = enclave.open(b"phoenix-provision", b"", &sealed).unwrap();
+    assert_eq!(inside, tls_key);
+    println!("enclave holds the key; host OS sees only ciphertext");
+
+    // A rogue machine running a modified program cannot get the key.
+    let rogue = vendor.launch(&mut rng, b"modified program that exfiltrates keys");
+    let refused = seal_to_enclave(
+        &mut rng,
+        &vendor,
+        CDN_PROGRAM,
+        rogue.attestation(),
+        b"phoenix-provision",
+        b"",
+        tls_key,
+    );
+    println!("rogue program provisioning attempt: {refused:?}");
+    assert!(refused.is_err());
+
+    // Framework view: the CDN *operator* and the *enclave* are separate
+    // entities; user sessions terminate inside the enclave.
+    let mut world = World::new();
+    let user_org = world.add_org("user");
+    let cdn_org = world.add_org("cdn-operator");
+    let hw_org = world.add_org("hardware-vendor");
+    let alice = world.add_user();
+    let client = world.add_entity("Client", user_org, Some(alice));
+    let operator = world.add_entity("CDN Operator", cdn_org, None);
+    let enclave_e = world.add_entity("CDN Enclave", hw_org, None);
+
+    world.record(
+        client,
+        InfoItem::sensitive_identity(alice, IdentityKind::Any),
+    );
+    world.record(
+        client,
+        InfoItem::sensitive_data(alice, DataKind::Destination),
+    );
+    // The operator routes opaque TLS bytes: it knows who connects (▲), not
+    // what they request (⊙).
+    world.record(
+        operator,
+        InfoItem::sensitive_identity(alice, IdentityKind::Any),
+    );
+    world.record(operator, InfoItem::plain_data(alice, DataKind::Payload));
+    // The enclave terminates TLS: it sees requests (●) but, running a
+    // pinned program with sealed state, exposes no identity database (△).
+    world.record(
+        enclave_e,
+        InfoItem::plain_identity(alice, IdentityKind::Any),
+    );
+    world.record(
+        enclave_e,
+        InfoItem::sensitive_data(alice, DataKind::Destination),
+    );
+
+    println!(
+        "\n{}",
+        decoupling::core::table::DecouplingTable::derive(
+            &world,
+            alice,
+            &["Client", "CDN Operator", "CDN Enclave"]
+        )
+    );
+    println!("decoupled: {}", analyze(&world).decoupled);
+    println!(
+        "(the operator/enclave split is §4.3's point: the TEE is a second \
+         'institution' living on the first one's hardware)"
+    );
+}

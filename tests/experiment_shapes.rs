@@ -1,0 +1,103 @@
+//! Shape checks for the §4–§5 quantitative claims (fast versions of the
+//! bench-harness experiments).
+
+use decoupling::core::degrees::{DegreePoint, DegreeSweep};
+use decoupling::core::{analyze, collusion::entity_collusion};
+
+#[test]
+fn e42_degrees_of_decoupling_curve() {
+    let mut sweep = DegreeSweep::default();
+    for (config, relays) in [("direct", 0usize), ("vpn", 1), ("mpr-2", 2), ("chain-3", 3)] {
+        let r = decoupling::mpr::run_chain(decoupling::mpr::ChainConfig {
+            relays,
+            users: 1,
+            fetches_each: 2,
+            geohint: false,
+            seed: 401,
+        });
+        let verdict = analyze(&r.world);
+        let coll = entity_collusion(&r.world, r.users[0], relays.max(1) + 1);
+        sweep.push(DegreePoint {
+            config: config.to_string(),
+            parties: relays,
+            decoupled: verdict.decoupled,
+            min_collusion: coll.min_coalition_size,
+            latency_us: r.mean_fetch_us,
+            bytes_factor: r.bytes_factor,
+            throughput_rps: if r.mean_fetch_us > 0.0 {
+                1_000_000.0 / r.mean_fetch_us
+            } else {
+                0.0
+            },
+        });
+    }
+    // The paper's §4.2 claims, checked mechanically: privacy up, latency
+    // up, diminishing returns.
+    sweep.check_shape().expect("curve shape matches §4.2");
+    // Crossover: decoupling starts at exactly 2 parties.
+    assert!(!sweep.points[0].decoupled && !sweep.points[1].decoupled);
+    assert!(sweep.points[2].decoupled && sweep.points[3].decoupled);
+}
+
+#[test]
+fn e43_traffic_analysis_tradeoff() {
+    // Batching degrades the attacker (averaged over seeds) and costs
+    // latency — the anonymity-trilemma shape.
+    let mean = |batch: usize| {
+        let runs = 4;
+        let mut acc = 0.0;
+        let mut lat = 0.0;
+        for s in 0..runs {
+            let r = decoupling::mixnet::scenario::run(decoupling::mixnet::scenario::MixnetConfig {
+                senders: 8,
+                mixes: 2,
+                batch_size: batch,
+                window_us: 300_000,
+                shuffle: true,
+                chaff_per_sender: 0,
+                mix_max_wait_us: None,
+                seed: 500 + s,
+            });
+            acc += r.attack.accuracy;
+            lat += r.mean_latency_us;
+        }
+        (acc / runs as f64, lat / runs as f64)
+    };
+    let (acc1, lat1) = mean(1);
+    let (acc8, lat8) = mean(8);
+    assert!(
+        acc1 > acc8 + 0.15,
+        "batching must hurt the attacker: {acc1} vs {acc8}"
+    );
+    assert!(lat8 > lat1, "and cost latency: {lat8} vs {lat1}");
+}
+
+#[test]
+fn e51_striping_fraction_falls_with_resolver_count() {
+    let frac = |r: usize| {
+        let rep = decoupling::odns::scenario::run_direct(3, 30, r, 501);
+        let max_view = *rep.resolver_views.iter().max().unwrap() as f64;
+        max_view / rep.distinct_names as f64
+    };
+    let f1 = frac(1);
+    let f4 = frac(4);
+    let f8 = frac(8);
+    assert!((f1 - 1.0).abs() < 1e-9, "one resolver sees everything");
+    assert!(
+        f4 < 1.0 && f8 < f4,
+        "more resolvers, smaller views: {f4} vs {f8}"
+    );
+}
+
+#[test]
+fn shaping_overhead_is_the_cost_of_uniformity() {
+    use decoupling::transport::shaping;
+    // Constant-size cells hide message sizes at a quantifiable byte cost.
+    let small = shaping::overhead_factor(40, 512);
+    let full = shaping::overhead_factor(508, 512);
+    assert!(small > 10.0 && full < 1.1);
+    // And cells really are indistinguishable by size.
+    let a = shaping::cells_for(b"tiny", 512).unwrap();
+    let b = shaping::cells_for(&[9u8; 400], 512).unwrap();
+    assert_eq!(a[0].len(), b[0].len());
+}

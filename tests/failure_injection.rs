@@ -1,0 +1,122 @@
+//! Failure injection: what breaks when parties misbehave — forged
+//! credentials, double spends, and modeled key compromise (a relay
+//! "colluding" by acquiring another hop's key).
+
+use decoupling::core::{analyze, DataKind, IdentityKind, InfoItem, Label, UserId, World};
+use decoupling::crypto::hpke;
+use rand::SeedableRng;
+
+#[test]
+fn forged_coins_and_double_spends_rejected() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(301);
+    let mut bank = decoupling::blindcash::Bank::new(&mut rng, 512);
+    bank.open_account(UserId(1), 2);
+
+    let w = decoupling::blindcash::bank::Withdrawal::begin(&mut rng, bank.public_key()).unwrap();
+    let bs = bank.withdraw(UserId(1), w.blinded_msg()).unwrap();
+    let coin = w.finish(bank.public_key(), &bs).unwrap();
+    assert!(bank.deposit(UserId(2), &coin).is_ok());
+    assert_eq!(
+        bank.deposit(UserId(2), &coin),
+        Err(decoupling::blindcash::DepositError::DoubleSpend)
+    );
+
+    let forged = decoupling::blindcash::Coin {
+        serial: [7u8; 32],
+        signature: vec![1; bank.public_key().modulus_len()],
+    };
+    assert_eq!(
+        bank.deposit(UserId(2), &forged),
+        Err(decoupling::blindcash::DepositError::BadSignature)
+    );
+}
+
+#[test]
+fn token_forgery_and_cross_issuer_replay_rejected() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(302);
+    let mut issuer_a = decoupling::privacypass::Issuer::new(&mut rng);
+    let mut issuer_b = decoupling::privacypass::Issuer::new(&mut rng);
+    let mut client = decoupling::privacypass::Client::new(issuer_a.public_key());
+    let req = client.request_tokens(&mut rng, 1);
+    let evals = issuer_a.issue(&mut rng, &req.blinded).unwrap();
+    client.accept_issuance(req, &evals).unwrap();
+    let t = client.spend().unwrap();
+    assert!(issuer_b.redeem(&t).is_err(), "wrong issuer");
+    assert!(issuer_a.redeem(&t).is_ok());
+    assert!(issuer_a.redeem(&t).is_err(), "double spend");
+}
+
+#[test]
+fn key_compromise_recouples_the_world() {
+    // Model "Relay 1 obtains the exit's key" (equivalently: both relays
+    // run by one colluding operator sharing key material). The decoupling
+    // verdict must flip as soon as observations resume.
+    let mut world = World::new();
+    let uo = world.add_org("user");
+    let r1o = world.add_org("op1");
+    let r2o = world.add_org("op2");
+    let alice = world.add_user();
+    let _client = world.add_entity("Client", uo, Some(alice));
+    let r1 = world.add_entity("Relay 1", r1o, None);
+    let r2 = world.add_entity("Relay 2", r2o, None);
+    let k2 = world.new_key(&[r2]);
+
+    // A payload whose inner layer only the exit should read.
+    let payload = Label::items([InfoItem::sensitive_identity(alice, IdentityKind::Any)])
+        .and(Label::items([InfoItem::sensitive_data(alice, DataKind::Destination)]).sealed(k2));
+
+    world.observe(r1, &payload);
+    assert!(analyze(&world).decoupled, "honest relay 1 sees only ▲ + ⊙");
+
+    // Compromise: relay 1 acquires the exit key and re-observes traffic.
+    world.grant_key(r1, k2);
+    world.observe(r1, &payload);
+    let verdict = analyze(&world);
+    assert!(!verdict.decoupled);
+    assert_eq!(verdict.offenders(), vec!["Relay 1"]);
+}
+
+#[test]
+fn hpke_tampering_and_truncation_rejected_at_every_layer() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(303);
+    let kp = hpke::Keypair::generate(&mut rng);
+    let msg = hpke::seal(&mut rng, &kp.public, b"ctx", b"aad", b"payload").unwrap();
+    for i in 0..msg.len() {
+        let mut bad = msg.clone();
+        bad[i] ^= 0x01;
+        assert!(hpke::open(&kp, b"ctx", b"aad", &bad).is_err(), "byte {i}");
+    }
+    for cut in [0usize, 16, 31, 32, msg.len() - 1] {
+        assert!(
+            hpke::open(&kp, b"ctx", b"aad", &msg[..cut]).is_err(),
+            "cut {cut}"
+        );
+    }
+}
+
+#[test]
+fn malicious_telemetry_cannot_poison_or_leak() {
+    let report = decoupling::ppm::scenario::run(decoupling::ppm::scenario::PpmConfig {
+        clients: 8,
+        bits: 8,
+        malicious: 3,
+        seed: 304,
+    });
+    // Poison excluded…
+    assert_eq!(report.aggregate, Some(report.expected_sum));
+    assert_eq!(report.rejected, 3);
+    // …and the system stayed decoupled throughout.
+    assert!(analyze(&report.world).decoupled);
+}
+
+#[test]
+fn pgpp_rejects_unauthenticated_attaches() {
+    // A forged (non-issued) token must be refused by the gateway.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(305);
+    let mut issuer = decoupling::privacypass::Issuer::new(&mut rng);
+    let forged = decoupling::privacypass::Token {
+        nonce: [9u8; 32],
+        output: [9u8; 32],
+    };
+    assert!(issuer.redeem(&forged).is_err());
+}

@@ -1,0 +1,170 @@
+//! The headline reproduction: every §3 decoupling table in the paper,
+//! derived from a real protocol run on the simulator, must equal the
+//! table printed in the paper.
+
+use decoupling::core::analyze;
+
+#[test]
+fn t311_blind_signature_cash() {
+    let report = decoupling::blindcash::scenario::run(1, 1, 512, 101);
+    let derived = report.table(0);
+    let paper = decoupling::blindcash::scenario::ScenarioReport::paper_table();
+    assert_eq!(
+        derived,
+        paper,
+        "{}",
+        derived.diff(&paper).unwrap_or_default()
+    );
+    assert!(analyze(&report.world).decoupled);
+}
+
+#[test]
+fn t312_mixnet() {
+    let report = decoupling::mixnet::scenario::run(decoupling::mixnet::scenario::MixnetConfig {
+        senders: 6,
+        mixes: 2,
+        batch_size: 3,
+        window_us: 100_000,
+        shuffle: true,
+        chaff_per_sender: 0,
+        mix_max_wait_us: None,
+        seed: 102,
+    });
+    let derived = report.table(0);
+    let paper = decoupling::mixnet::scenario::MixnetReport::paper_table_two_mixes();
+    assert_eq!(
+        derived,
+        paper,
+        "{}",
+        derived.diff(&paper).unwrap_or_default()
+    );
+    assert!(analyze(&report.world).decoupled);
+    assert_eq!(report.delivered, 6, "all messages actually arrived");
+}
+
+#[test]
+fn t321_privacy_pass() {
+    let report = decoupling::privacypass::scenario::run(1, 2, 103);
+    let derived = report.table(0);
+    let paper = decoupling::privacypass::scenario::ScenarioReport::paper_table();
+    assert_eq!(
+        derived,
+        paper,
+        "{}",
+        derived.diff(&paper).unwrap_or_default()
+    );
+    assert!(analyze(&report.world).decoupled);
+    assert_eq!(report.redeemed, 2);
+}
+
+#[test]
+fn t322_oblivious_dns() {
+    let report = decoupling::odns::scenario::run_odoh(1, 3, 104);
+    let derived = report.table(0);
+    let paper = decoupling::odns::scenario::ScenarioReport::paper_table();
+    assert_eq!(
+        derived,
+        paper,
+        "{}",
+        derived.diff(&paper).unwrap_or_default()
+    );
+    assert!(analyze(&report.world).decoupled);
+    assert_eq!(report.answered, 3);
+}
+
+#[test]
+fn t323_pgpp() {
+    let report = decoupling::pgpp::scenario::run(decoupling::pgpp::scenario::PgppConfig {
+        mode: decoupling::pgpp::scenario::Mode::Pgpp,
+        users: 4,
+        cells: 2,
+        epochs: 2,
+        moves_per_epoch: 2,
+        seed: 105,
+    });
+    let derived = report.table(0);
+    let paper = decoupling::pgpp::scenario::PgppReport::paper_table();
+    assert_eq!(
+        derived,
+        paper,
+        "{}",
+        derived.diff(&paper).unwrap_or_default()
+    );
+    assert!(analyze(&report.world).decoupled);
+}
+
+#[test]
+fn t324_multi_party_relay() {
+    let report = decoupling::mpr::run_chain(decoupling::mpr::ChainConfig {
+        relays: 2,
+        users: 1,
+        fetches_each: 1,
+        geohint: false,
+        seed: 106,
+    });
+    let derived = report.table(0);
+    let paper = decoupling::mpr::ScenarioReport::paper_table();
+    assert_eq!(
+        derived,
+        paper,
+        "{}",
+        derived.diff(&paper).unwrap_or_default()
+    );
+    assert!(analyze(&report.world).decoupled);
+}
+
+#[test]
+fn t325_private_aggregate_statistics() {
+    let report = decoupling::ppm::scenario::run(decoupling::ppm::scenario::PpmConfig {
+        clients: 5,
+        bits: 8,
+        malicious: 0,
+        seed: 107,
+    });
+    let derived = report.table(0);
+    let paper = decoupling::ppm::scenario::PpmReport::paper_table();
+    assert_eq!(
+        derived,
+        paper,
+        "{}",
+        derived.diff(&paper).unwrap_or_default()
+    );
+    assert!(analyze(&report.world).decoupled);
+    assert_eq!(report.aggregate, Some(report.expected_sum));
+}
+
+#[test]
+fn t33_vpn_cautionary_tale() {
+    let report = decoupling::vpn::run_vpn(1, 1, 108);
+    let derived = report.table(0);
+    let paper = decoupling::vpn::VpnReport::paper_table();
+    assert_eq!(
+        derived,
+        paper,
+        "{}",
+        derived.diff(&paper).unwrap_or_default()
+    );
+    // And the point of §3.3: this one is NOT decoupled.
+    let verdict = analyze(&report.world);
+    assert!(!verdict.decoupled);
+    assert_eq!(verdict.offenders(), vec!["VPN Server"]);
+}
+
+#[test]
+fn t33_ech_partial_protection() {
+    let with = decoupling::vpn::run_ech(true, 109);
+    let without = decoupling::vpn::run_ech(false, 109);
+    // ECH removes the network observer's coupling but not the server's.
+    let obs = |r: &decoupling::vpn::EchReport| {
+        r.world
+            .tuple(r.world.entity_by_name("Network Observer").id, r.user)
+            .is_coupled()
+    };
+    let srv = |r: &decoupling::vpn::EchReport| {
+        r.world
+            .tuple(r.world.entity_by_name("TLS Server").id, r.user)
+            .is_coupled()
+    };
+    assert!(obs(&without) && !obs(&with));
+    assert!(srv(&without) && srv(&with));
+}
