@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates every table and figure of the
 //! paper and prints them next to the paper's versions, plus the §4–§5
 //! quantitative sweeps. A JSON record is written to
-//! `experiments_out.json` for EXPERIMENTS.md bookkeeping.
+//! `out/experiments_out.json` for EXPERIMENTS.md bookkeeping.
 //!
 //! Run with: `cargo run --release -p dcp-bench --bin experiments`
 
@@ -123,12 +123,13 @@ fn main() {
         "circuits": circuits,
         "striping": striping,
     });
+    std::fs::create_dir_all("out").expect("create out/");
     std::fs::write(
-        "experiments_out.json",
+        "out/experiments_out.json",
         serde_json::to_string_pretty(&record).expect("json"),
     )
-    .expect("write experiments_out.json");
-    println!("(machine-readable results written to experiments_out.json)");
+    .expect("write out/experiments_out.json");
+    println!("(machine-readable results written to out/experiments_out.json)");
 
     assert!(all_match, "a paper table failed to reproduce");
 }

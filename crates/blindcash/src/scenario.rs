@@ -7,6 +7,7 @@ use std::rc::Rc;
 
 use dcp_core::table::DecouplingTable;
 use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, UserId, World};
+use dcp_faults::{FaultConfig, FaultLog};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
 
 use crate::bank::{Bank, Withdrawal};
@@ -25,6 +26,8 @@ pub struct ScenarioReport {
     pub mean_cycle_us: f64,
     /// The buyer user ids, in order.
     pub buyers: Vec<UserId>,
+    /// Faults injected during the run (empty without fault injection).
+    pub fault_log: FaultLog,
 }
 
 impl ScenarioReport {
@@ -103,10 +106,14 @@ impl Node for BuyerNode {
 
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.signer {
-            // Blind signature came back: unblind and spend.
-            let w = self.pending.take().expect("no pending withdrawal");
+            // Blind signature came back: unblind and spend. A duplicated
+            // reply finds no pending withdrawal and is ignored; a
+            // mangled one fails to unblind and the cycle stalls closed.
+            let Some(w) = self.pending.take() else { return };
             let pk = self.bank.borrow().bank.public_key().clone();
-            let coin = w.finish(&pk, &msg.bytes).expect("unblind");
+            let Ok(coin) = w.finish(&pk, &msg.bytes) else {
+                return;
+            };
             // The seller sees the purchase (●) from an anonymous customer (△).
             let label = Label::items([
                 InfoItem::plain_identity(self.user, IdentityKind::Any),
@@ -138,18 +145,19 @@ impl Node for SignerNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        let user = self
+        let Some(user) = self
             .node_to_user
             .iter()
             .find(|(n, _)| *n == from)
             .map(|(_, u)| *u)
-            .expect("unknown buyer node");
-        let blind_sig = self
-            .bank
-            .borrow_mut()
-            .bank
-            .withdraw(user, &msg.bytes)
-            .expect("withdrawal");
+        else {
+            return;
+        };
+        // An over-drawn account (e.g. a duplicated withdraw request past
+        // the balance) gets no signature: the bank fails closed.
+        let Ok(blind_sig) = self.bank.borrow_mut().bank.withdraw(user, &msg.bytes) else {
+            return;
+        };
         ctx.send(from, Message::new(blind_sig, Label::Public));
     }
 }
@@ -175,12 +183,14 @@ impl Node for SellerNode {
             }
             return;
         }
-        let user = self
+        let Some(user) = self
             .node_to_user
             .iter()
             .find(|(n, _)| *n == from)
             .map(|(_, u)| *u)
-            .expect("unknown customer");
+        else {
+            return;
+        };
         self.outstanding.insert(0, (from, user));
         // The verifier sees a valid coin (limited sensitive content ⊙/●)
         // from an anonymous depositor chain — it learns nothing that names
@@ -205,12 +215,15 @@ impl Node for VerifierNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        let coin = Coin::decode(&msg.bytes, self.sig_len).expect("coin decode");
+        // Truncated coins and double spends (a duplicated deposit) are
+        // rejected without acknowledgment — the verifier fails closed.
+        let Ok(coin) = Coin::decode(&msg.bytes, self.sig_len) else {
+            return;
+        };
         let mut shared = self.bank.borrow_mut();
-        shared
-            .bank
-            .deposit(self.seller_user, &coin)
-            .expect("deposit");
+        if shared.bank.deposit(self.seller_user, &coin).is_err() {
+            return;
+        }
         shared.deposited += 1;
         drop(shared);
         ctx.send(from, Message::public(b"ok".to_vec()));
@@ -221,6 +234,18 @@ impl Node for VerifierNode {
 /// withdraw/spend/deposit cycles. `rsa_bits` sizes the bank key (512 for
 /// tests, 2048 for realistic benches).
 pub fn run(n_buyers: usize, coins_each: usize, rsa_bits: usize, seed: u64) -> ScenarioReport {
+    run_with_faults(n_buyers, coins_each, rsa_bits, seed, &FaultConfig::calm())
+}
+
+/// [`run`], with network fault injection. The run — traffic and fault
+/// schedule both — is a pure function of `(seed, faults)`.
+pub fn run_with_faults(
+    n_buyers: usize,
+    coins_each: usize,
+    rsa_bits: usize,
+    seed: u64,
+    faults: &FaultConfig,
+) -> ScenarioReport {
     use rand::SeedableRng;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xb1bd);
 
@@ -261,6 +286,7 @@ pub fn run(n_buyers: usize, coins_each: usize, rsa_bits: usize, seed: u64) -> Sc
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(10));
+    net.enable_faults(faults.clone(), seed);
 
     // Reserve ids: signer=0, verifier=1, seller=2, buyers=3..
     let signer_id = NodeId(0);
@@ -305,6 +331,7 @@ pub fn run(n_buyers: usize, coins_each: usize, rsa_bits: usize, seed: u64) -> Sc
     }
 
     net.run();
+    let fault_log = net.fault_log();
     let (world, trace) = net.into_parts();
     let shared = Rc::try_unwrap(shared)
         .map_err(|_| ())
@@ -321,6 +348,7 @@ pub fn run(n_buyers: usize, coins_each: usize, rsa_bits: usize, seed: u64) -> Sc
         deposited: shared.deposited,
         mean_cycle_us: mean,
         buyers,
+        fault_log,
     }
 }
 

@@ -91,6 +91,15 @@ impl World {
         self.keys.get(&entity).is_some_and(|s| s.contains(&key))
     }
 
+    /// Every key `entity` currently holds (e.g. to model a compromise
+    /// that leaks a victim's whole keyring).
+    pub fn keys_of(&self, entity: EntityId) -> Vec<KeyId> {
+        self.keys
+            .get(&entity)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
     /// Record that `entity` observed a payload with the given label:
     /// everything its keys can open is added to its ledger. Returns the
     /// newly-learned items.
@@ -178,6 +187,27 @@ impl World {
     pub fn orgs(&self) -> impl Iterator<Item = OrgId> + '_ {
         self.orgs.keys().copied()
     }
+
+    /// Assert the §2.4 decoupling invariant: no entity outside a user's
+    /// own trust domain holds a coupled `(▲, ●)` tuple about them. Panics
+    /// with the full offender list otherwise — the safety check the DST
+    /// harness runs after every faulted simulation.
+    pub fn assert_decoupled_except_user(&self) {
+        let verdict = crate::analysis::analyze(self);
+        assert!(
+            verdict.decoupled,
+            "decoupling violated: {}",
+            verdict
+                .violations
+                .iter()
+                .map(|v| format!(
+                    "{} knows {} about user {}",
+                    v.entity_name, v.tuple, v.subject.0
+                ))
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +291,46 @@ mod tests {
         assert!(w.observe(a, &label).is_empty());
         w.grant_key(a, key);
         assert_eq!(w.observe(a, &label).len(), 1);
+    }
+
+    #[test]
+    fn keys_of_enumerates_the_keyring() {
+        let mut w = World::new();
+        let org = w.add_org("o");
+        let a = w.add_entity("A", org, None);
+        let b = w.add_entity("B", org, None);
+        let k1 = w.new_key(&[a]);
+        let k2 = w.new_key(&[a, b]);
+        assert_eq!(w.keys_of(a), vec![k1, k2]);
+        assert_eq!(w.keys_of(b), vec![k2]);
+        // A modeled compromise: copy A's keyring to B.
+        for k in w.keys_of(a) {
+            w.grant_key(b, k);
+        }
+        assert_eq!(w.keys_of(b), vec![k1, k2]);
+    }
+
+    #[test]
+    fn assert_decoupled_passes_with_user_exemption() {
+        let mut w = World::new();
+        let org = w.add_org("user-org");
+        let u = w.add_user();
+        let client = w.add_entity("Client", org, Some(u));
+        w.record(client, InfoItem::sensitive_identity(u, IdentityKind::Any));
+        w.record(client, InfoItem::sensitive_data(u, DataKind::Payload));
+        w.assert_decoupled_except_user();
+    }
+
+    #[test]
+    #[should_panic(expected = "decoupling violated")]
+    fn assert_decoupled_panics_on_third_party_coupling() {
+        let mut w = World::new();
+        let org = w.add_org("vpn");
+        let u = w.add_user();
+        let e = w.add_entity("VPN Server", org, None);
+        w.record(e, InfoItem::sensitive_identity(u, IdentityKind::Any));
+        w.record(e, InfoItem::sensitive_data(u, DataKind::Destination));
+        w.assert_decoupled_except_user();
     }
 
     #[test]

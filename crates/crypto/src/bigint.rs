@@ -123,7 +123,7 @@ impl BigUint {
 
     /// Is this even?
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// The least significant limb (0 for zero).
@@ -446,8 +446,8 @@ impl BigUint {
     pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Self) -> Self {
         assert!(!bound.is_zero(), "empty range");
         let bits = bound.bit_len();
-        let bytes = (bits + 7) / 8;
-        let top_mask = if bits % 8 == 0 {
+        let bytes = bits.div_ceil(8);
+        let top_mask = if bits.is_multiple_of(8) {
             0xffu8
         } else {
             (1u8 << (bits % 8)) - 1
@@ -466,7 +466,7 @@ impl BigUint {
     /// Random integer with exactly `bits` bits (top bit set).
     pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Self {
         assert!(bits > 0);
-        let bytes = (bits + 7) / 8;
+        let bytes = bits.div_ceil(8);
         let mut buf = vec![0u8; bytes];
         rng.fill_bytes(&mut buf);
         let extra = bytes * 8 - bits; // unused high bits in the leading byte
@@ -549,7 +549,7 @@ impl BigUint {
 }
 
 fn miller_rabin_u64(n: u64, a: u64) -> bool {
-    if n % a == 0 {
+    if n.is_multiple_of(a) {
         return n == a;
     }
     let d = (n - 1) >> (n - 1).trailing_zeros();

@@ -89,8 +89,8 @@ impl FieldElement {
     /// `self + other` (no carry needed for freshly reduced inputs).
     pub fn add(&self, other: &Self) -> Self {
         let mut out = [0u64; 5];
-        for i in 0..5 {
-            out[i] = self.0[i] + other.0[i];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(&other.0)) {
+            *o = a + b;
         }
         FieldElement(out).weak_reduce()
     }
@@ -172,8 +172,8 @@ impl FieldElement {
     /// Multiply by a small constant (used for ×121666 in the X25519 ladder).
     pub fn mul_small(&self, k: u32) -> Self {
         let mut r = [0u128; 5];
-        for i in 0..5 {
-            r[i] = self.0[i] as u128 * k as u128;
+        for (ri, a) in r.iter_mut().zip(&self.0) {
+            *ri = *a as u128 * k as u128;
         }
         let mut c: u128 = 0;
         let mut out = [0u64; 5];

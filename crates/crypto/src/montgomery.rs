@@ -25,7 +25,7 @@ impl MontgomeryCtx {
         if n.is_zero() || n.is_even() || n.is_one() {
             return None;
         }
-        let k = (n.bit_len() + 31) / 32;
+        let k = n.bit_len().div_ceil(32);
         // n' = -n^{-1} mod 2^32 via Newton–Hensel iteration on the low limb.
         let n0 = n.low_u32();
         let mut inv: u32 = 1;

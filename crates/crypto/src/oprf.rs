@@ -251,7 +251,7 @@ mod tests {
         let mut rng = rng();
         let server = ServerKey::generate(&mut rng);
         let blinding = blind(&mut rng, b"x");
-        let (eval, proof) = server
+        let (_eval, proof) = server
             .evaluate(&mut rng, &blinding.blinded_element())
             .unwrap();
         // Replace the evaluation with a random point but keep the proof.

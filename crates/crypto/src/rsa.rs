@@ -34,7 +34,7 @@ pub struct RsaPrivateKey {
 impl RsaPublicKey {
     /// Modulus length in bytes.
     pub fn modulus_len(&self) -> usize {
-        (self.n.bit_len() + 7) / 8
+        self.n.bit_len().div_ceil(8)
     }
 
     /// Raw RSA public operation `m^e mod n`.
@@ -135,7 +135,7 @@ impl RsaPrivateKey {
     /// least 512 (use ≥ 2048 for anything but tests and benches).
     pub fn generate<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Result<Self> {
         assert!(
-            bits >= 512 && bits % 2 == 0,
+            bits >= 512 && bits.is_multiple_of(2),
             "modulus too small or odd size"
         );
         let e = BigUint::from_u64(65537);

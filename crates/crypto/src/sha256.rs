@@ -87,7 +87,7 @@ impl Sha256 {
             120 - self.buf_len
         };
         pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
-        self.update_no_count(&pad[..pad_len + 8].to_vec());
+        self.update_no_count(&pad[..pad_len + 8]);
         let mut out = [0u8; DIGEST_LEN];
         for (i, w) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());

@@ -10,6 +10,8 @@
 //!   VOPRF) that every system here runs on.
 //! * [`simnet`] — the deterministic discrete-event simulator with
 //!   information-flow tracking.
+//! * [`faults`] — deterministic fault injection (buggify) and the DST
+//!   harness that replays every scenario under seeded fault schedules.
 //! * [`transport`] — framing, encrypted channels, onion tunnels, traffic
 //!   shaping.
 //! * [`dns`] — the DNS substrate (wire codec, zones, resolver, workloads).
@@ -49,6 +51,7 @@ pub use dcp_blindcash as blindcash;
 pub use dcp_core as core;
 pub use dcp_crypto as crypto;
 pub use dcp_dns as dns;
+pub use dcp_faults as faults;
 pub use dcp_mixnet as mixnet;
 pub use dcp_mpr as mpr;
 pub use dcp_odns as odns;

@@ -1,0 +1,243 @@
+//! The DST harness: run a scenario under each fault preset, twice, and
+//! check the two properties the decoupling analysis demands.
+//!
+//! * **Determinism** — the same `(seed, FaultConfig)` must reproduce the
+//!   identical [`FaultLog`] *and* the identical knowledge fingerprint.
+//!   Without this, a safety violation found under chaos cannot be
+//!   replayed and debugged.
+//! * **Safety** — faults must not *create* couplings. The paper's tables
+//!   include one deliberately coupled system (the §3.3 VPN cautionary
+//!   tale), so the invariant is baseline-relative: every `(entity, user)`
+//!   coupling present under faults must already be present in the
+//!   fault-free run of the same scenario. Key compromise is the one
+//!   catalog entry exempted — it *models* §4.2 collusion, and the tests
+//!   assert it is detected rather than prevented.
+//!
+//! Liveness is deliberately weaker: under [`FaultConfig::moderate`] a
+//! scenario must report `completed` (possibly with degraded throughput)
+//! — i.e. fail closed, never fall back to plaintext. Under
+//! [`FaultConfig::chaos`] only safety is promised.
+//!
+//! The harness is generic over a closure `Fn(&FaultConfig, u64) ->`
+//! [`DstOutcome`] because this crate sits below the scenario crates in
+//! the dependency graph: the integration test (`tests/dst_scenarios.rs`)
+//! supplies one closure per §3 system.
+
+use crate::{FaultConfig, FaultLog};
+use dcp_core::{analyze, World};
+use serde::Serialize;
+
+/// A stable, comparable rendering of every entity's knowledge about
+/// every user: the "knowledge table" the determinism check compares
+/// across runs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct KnowledgeFingerprint {
+    /// `(entity name, per-user tuples in the paper's notation)` in
+    /// entity registration order.
+    pub rows: Vec<(String, Vec<String>)>,
+}
+
+impl KnowledgeFingerprint {
+    /// Snapshot a [`World`]'s ledgers.
+    pub fn of(world: &World) -> Self {
+        let rows = world
+            .entities()
+            .iter()
+            .map(|e| {
+                let tuples = world
+                    .users()
+                    .iter()
+                    .map(|&u| world.tuple(e.id, u).render())
+                    .collect();
+                (e.name.clone(), tuples)
+            })
+            .collect();
+        KnowledgeFingerprint { rows }
+    }
+}
+
+/// What one scenario run hands back to the harness.
+pub struct DstOutcome {
+    /// The final knowledge base.
+    pub world: World,
+    /// The fault schedule that was injected.
+    pub fault_log: FaultLog,
+    /// Did the workload make end-to-end progress (scenario-defined:
+    /// coins deposited, queries answered, aggregate released, …)?
+    pub completed: bool,
+}
+
+/// The harness's verdict for one `(scenario, preset)` cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct DstReport {
+    /// Scenario name (e.g. `"odns"`).
+    pub scenario: String,
+    /// Preset name (`"calm"`, `"moderate"`, `"chaos"`).
+    pub preset: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Faults injected (identical across the two replay runs).
+    pub faults_injected: usize,
+    /// Whether the workload completed (see [`DstOutcome::completed`]).
+    pub completed: bool,
+    /// Couplings present under faults but absent from the calm baseline
+    /// — any entry here is a safety violation.
+    pub new_couplings: Vec<String>,
+}
+
+/// Couplings in `faulted` that the fault-free `baseline` does not have,
+/// rendered as `"Entity (user N): (▲, ●)"`. The empty vec is the §2.4
+/// safety pass.
+pub fn new_couplings(baseline: &World, faulted: &World) -> Vec<String> {
+    let base = analyze(baseline);
+    let in_baseline = |name: &str, subject: u64| {
+        base.violations
+            .iter()
+            .any(|v| v.entity_name == name && v.subject.0 == subject)
+    };
+    analyze(faulted)
+        .violations
+        .iter()
+        .filter(|v| !in_baseline(&v.entity_name, v.subject.0))
+        .map(|v| format!("{} (user {}): {}", v.entity_name, v.subject.0, v.tuple))
+        .collect()
+}
+
+/// Run `scenario` under every preset, each twice, asserting determinism
+/// and baseline-relative safety. Panics (with a replay recipe) on any
+/// violation; returns one [`DstReport`] per preset on success.
+///
+/// The closure must be a pure function of `(&FaultConfig, seed)` — it
+/// builds the world, runs the workload, and returns the outcome.
+pub fn run_scenario<F>(scenario: &str, seed: u64, run: F) -> Vec<DstReport>
+where
+    F: Fn(&FaultConfig, u64) -> DstOutcome,
+{
+    let baseline = run(&FaultConfig::calm(), seed);
+    assert!(
+        baseline.fault_log.is_empty(),
+        "{scenario}: calm preset must inject nothing, got {:?}",
+        baseline.fault_log.events()
+    );
+
+    let mut reports = Vec::new();
+    for (preset, config) in FaultConfig::presets() {
+        let a = run(&config, seed);
+        let b = run(&config, seed);
+
+        // Determinism: identical fault schedule and knowledge tables.
+        assert_eq!(
+            a.fault_log, b.fault_log,
+            "{scenario}/{preset}: FaultLog diverged between two runs of \
+             seed {seed} — the run is not a pure function of (seed, config)"
+        );
+        let fp_a = KnowledgeFingerprint::of(&a.world);
+        let fp_b = KnowledgeFingerprint::of(&b.world);
+        assert_eq!(
+            fp_a, fp_b,
+            "{scenario}/{preset}: knowledge tables diverged between two \
+             runs of seed {seed}"
+        );
+
+        // Safety: no coupling the calm run doesn't already have.
+        let fresh = new_couplings(&baseline.world, &a.world);
+        assert!(
+            fresh.is_empty(),
+            "{scenario}/{preset}: faults created new couplings {fresh:?} \
+             — replay with seed {seed} and config {config:?}"
+        );
+
+        reports.push(DstReport {
+            scenario: scenario.to_string(),
+            preset: preset.to_string(),
+            seed,
+            faults_injected: a.fault_log.len(),
+            completed: a.completed,
+            new_couplings: fresh,
+        });
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultKind;
+    use dcp_core::{DataKind, IdentityKind, InfoItem};
+
+    fn toy_world(couple_relay: bool) -> World {
+        let mut w = World::new();
+        let uo = w.add_org("user");
+        let ro = w.add_org("relay-co");
+        let alice = w.add_user();
+        let client = w.add_entity("Client", uo, Some(alice));
+        let relay = w.add_entity("Relay", ro, None);
+        w.record(
+            client,
+            InfoItem::sensitive_identity(alice, IdentityKind::Any),
+        );
+        w.record(client, InfoItem::sensitive_data(alice, DataKind::Payload));
+        w.record(
+            relay,
+            InfoItem::sensitive_identity(alice, IdentityKind::Any),
+        );
+        if couple_relay {
+            w.record(relay, InfoItem::sensitive_data(alice, DataKind::Payload));
+        }
+        w
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = KnowledgeFingerprint::of(&toy_world(false));
+        let b = KnowledgeFingerprint::of(&toy_world(false));
+        assert_eq!(a, b);
+        let c = KnowledgeFingerprint::of(&toy_world(true));
+        assert_ne!(a, c);
+        assert_eq!(a.rows[1].0, "Relay");
+        assert_eq!(a.rows[1].1, vec!["(▲, −)".to_string()]);
+    }
+
+    #[test]
+    fn new_couplings_is_baseline_relative() {
+        // Relay coupled in both → not "new". User's own device never counts.
+        assert!(new_couplings(&toy_world(true), &toy_world(true)).is_empty());
+        assert!(new_couplings(&toy_world(false), &toy_world(false)).is_empty());
+        let fresh = new_couplings(&toy_world(false), &toy_world(true));
+        assert_eq!(fresh.len(), 1);
+        assert!(fresh[0].starts_with("Relay"), "{fresh:?}");
+    }
+
+    #[test]
+    fn harness_passes_a_safe_deterministic_scenario() {
+        let reports = run_scenario("toy", 11, |config, seed| {
+            let mut log = FaultLog::default();
+            if config.enabled {
+                // A deterministic pretend-fault so logs are nonempty.
+                log.events.push(crate::FaultEvent {
+                    at_us: seed,
+                    kind: FaultKind::Drop { src: 0, dst: 1 },
+                });
+            }
+            DstOutcome {
+                world: toy_world(false),
+                fault_log: log,
+                completed: true,
+            }
+        });
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.new_couplings.is_empty()));
+        assert_eq!(reports[0].faults_injected, 0, "calm");
+        assert_eq!(reports[2].faults_injected, 1, "chaos");
+    }
+
+    #[test]
+    #[should_panic(expected = "created new couplings")]
+    fn harness_catches_fault_induced_coupling() {
+        run_scenario("leaky", 12, |config, _seed| DstOutcome {
+            world: toy_world(config.enabled),
+            fault_log: FaultLog::default(),
+            completed: true,
+        });
+    }
+}

@@ -1,0 +1,531 @@
+//! # dcp-faults — deterministic fault injection for the simulator
+//!
+//! Deterministic Simulation Testing (DST) in the FoundationDB/TigerBeetle
+//! mold: every fault the network can suffer — drops, duplicates, delays,
+//! reorderings, partitions, crashes, relay churn, and modeled key
+//! compromise — is drawn from a *seeded* generator behind a single
+//! [`buggify!`]-style decision point, and every injected fault is recorded
+//! in a [`FaultLog`]. The same `(seed, FaultConfig)` pair therefore
+//! replays the exact same failure schedule bit-for-bit, so a failing run
+//! is a reproducible artifact, not an anecdote.
+//!
+//! The decoupling paper's claims are *information-flow* claims, so the
+//! invariant DST checks here is unusual: not "the database stays
+//! consistent" but "no fault short of key compromise hands any non-user
+//! entity a coupled `(▲, ●)` knowledge tuple" (§2.4). Packet chaos may
+//! degrade liveness; it must never degrade decoupling — decoupled systems
+//! have to *fail closed*.
+//!
+//! The crate deliberately depends only on `dcp-core` (for the key-
+//! compromise fault and the safety verdict) and `rand`: the simulator
+//! (`dcp-simnet`) depends on *us* and wires [`Injector`] into its
+//! dispatch loop, scenarios pass a [`FaultConfig`] through their
+//! builders, and the [`dst`] module gives integration tests a harness to
+//! run a scenario under each preset and compare runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dst;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Probabilities and parameters for every fault the injector can draw.
+///
+/// All probabilities are per-opportunity (per packet send, per node
+/// dispatch, …) in `[0, 1]`. The three presets — [`FaultConfig::calm`],
+/// [`FaultConfig::moderate`], [`FaultConfig::chaos`] — are the tiers the
+/// DST harness sweeps; hand-tuned configs are fine too.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Master switch. `false` means the injector is never even
+    /// constructed, so the disabled-faults overhead inside the simulator
+    /// is a single `Option` branch.
+    pub enabled: bool,
+    /// P(drop a packet on the wire).
+    pub p_drop: f64,
+    /// P(deliver a packet twice).
+    pub p_duplicate: f64,
+    /// P(add extra queueing delay to a delivery).
+    pub p_extra_delay: f64,
+    /// Upper bound on the extra delay, in µs.
+    pub max_extra_delay_us: u64,
+    /// P(reorder: hold a packet long enough that later traffic on the
+    /// same link overtakes it).
+    pub p_reorder: f64,
+    /// P(open a bidirectional partition between the endpoints of the
+    /// packet being sent). While a partition window is open, everything
+    /// between the pair is silently dropped.
+    pub p_partition: f64,
+    /// How long a partition window stays open, in µs.
+    pub partition_window_us: u64,
+    /// P(a node crashes when an event is dispatched to it). The node
+    /// loses every message and timer that arrives while it is down, then
+    /// restarts with its state intact.
+    pub p_crash: f64,
+    /// How long a crashed node stays down, in µs.
+    pub crash_down_us: u64,
+    /// P(crash) for nodes marked as *relays* — the mid-circuit churn the
+    /// multi-hop systems (mix-nets, MPR, ODoH proxies) must survive.
+    pub p_relay_churn: f64,
+    /// Hard cap on injected faults per run: a liveness backstop so chaos
+    /// tiers cannot starve a protocol forever (TigerBeetle caps its
+    /// storage faults the same way).
+    pub max_faults: u64,
+}
+
+impl FaultConfig {
+    /// No faults at all — the baseline every DST comparison is made
+    /// against.
+    pub fn calm() -> Self {
+        FaultConfig {
+            enabled: false,
+            p_drop: 0.0,
+            p_duplicate: 0.0,
+            p_extra_delay: 0.0,
+            max_extra_delay_us: 0,
+            p_reorder: 0.0,
+            p_partition: 0.0,
+            partition_window_us: 0,
+            p_crash: 0.0,
+            crash_down_us: 0,
+            p_relay_churn: 0.0,
+            max_faults: 0,
+        }
+    }
+
+    /// Realistic bad-day network: a few percent of packets misbehave,
+    /// relays occasionally blip. Scenarios are expected to *complete or
+    /// fail closed* under this tier.
+    pub fn moderate() -> Self {
+        FaultConfig {
+            enabled: true,
+            p_drop: 0.01,
+            p_duplicate: 0.02,
+            p_extra_delay: 0.05,
+            max_extra_delay_us: 20_000,
+            p_reorder: 0.03,
+            p_partition: 0.002,
+            partition_window_us: 30_000,
+            p_crash: 0.0,
+            crash_down_us: 20_000,
+            p_relay_churn: 0.002,
+            max_faults: 200,
+        }
+    }
+
+    /// Hostile network: heavy loss, duplication, partitions, and node
+    /// crashes. Liveness is *not* promised here — only safety (the
+    /// knowledge ledgers stay decoupled).
+    pub fn chaos() -> Self {
+        FaultConfig {
+            enabled: true,
+            p_drop: 0.08,
+            p_duplicate: 0.08,
+            p_extra_delay: 0.15,
+            max_extra_delay_us: 100_000,
+            p_reorder: 0.10,
+            p_partition: 0.01,
+            partition_window_us: 80_000,
+            p_crash: 0.005,
+            crash_down_us: 50_000,
+            p_relay_churn: 0.01,
+            max_faults: 2_000,
+        }
+    }
+
+    /// The three presets with their names, in escalating order — what the
+    /// DST harness sweeps.
+    pub fn presets() -> [(&'static str, FaultConfig); 3] {
+        [
+            ("calm", FaultConfig::calm()),
+            ("moderate", FaultConfig::moderate()),
+            ("chaos", FaultConfig::chaos()),
+        ]
+    }
+}
+
+/// One injected fault, as recorded in the [`FaultLog`].
+///
+/// Node ids are raw `usize` indices (the simulator's `NodeId` payload):
+/// this crate sits *below* `dcp-simnet` in the dependency graph, so it
+/// speaks indices, and the log still replays and compares exactly.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A packet from `src` to `dst` vanished on the wire.
+    Drop {
+        /// Sending node index.
+        src: usize,
+        /// Receiving node index.
+        dst: usize,
+    },
+    /// A packet was delivered `copies` times instead of once.
+    Duplicate {
+        /// Sending node index.
+        src: usize,
+        /// Receiving node index.
+        dst: usize,
+        /// Total deliveries (≥ 2).
+        copies: u32,
+    },
+    /// A delivery was held back by `delay_us` extra microseconds.
+    ExtraDelay {
+        /// Sending node index.
+        src: usize,
+        /// Receiving node index.
+        dst: usize,
+        /// Extra queueing delay in µs.
+        delay_us: u64,
+    },
+    /// A delivery was held back far enough for later same-link traffic to
+    /// overtake it (distinct from [`FaultKind::ExtraDelay`] so logs show
+    /// *intent*).
+    Reorder {
+        /// Sending node index.
+        src: usize,
+        /// Receiving node index.
+        dst: usize,
+        /// The hold-back applied, in µs.
+        delay_us: u64,
+    },
+    /// A bidirectional partition opened between `a` and `b`.
+    Partition {
+        /// One endpoint (lower index).
+        a: usize,
+        /// Other endpoint.
+        b: usize,
+        /// Absolute µs timestamp at which the window closes.
+        until_us: u64,
+    },
+    /// Node `node` crashed; it restarts (state intact) at `until_us`.
+    Crash {
+        /// The crashed node.
+        node: usize,
+        /// Absolute µs timestamp of the restart.
+        until_us: u64,
+    },
+    /// A relay node churned mid-circuit (a crash drawn from
+    /// `p_relay_churn` rather than `p_crash`).
+    RelayChurn {
+        /// The churned relay.
+        node: usize,
+        /// Absolute µs timestamp of the restart.
+        until_us: u64,
+    },
+    /// A message or timer arrived at a node while it was down and was
+    /// lost.
+    CrashLoss {
+        /// The down node that missed the event.
+        node: usize,
+    },
+    /// `beneficiary` acquired one of `victim`'s decryption capabilities —
+    /// the §4.2 collusion model. The only catalog entry allowed to break
+    /// decoupling.
+    KeyCompromise {
+        /// Entity whose key leaked (raw `EntityId` payload).
+        victim: u64,
+        /// Entity that gained the key.
+        beneficiary: u64,
+        /// The leaked key (raw `KeyId` payload).
+        key: u64,
+    },
+}
+
+/// One timestamped entry of the [`FaultLog`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulated time of injection, µs.
+    pub at_us: u64,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// The replay artifact: every fault injected during one run, in
+/// injection order. Two runs from the same `(seed, FaultConfig)` must
+/// produce `==` logs — the DST harness asserts exactly that.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultLog {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultLog {
+    /// All events, in injection order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of injected faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Were any faults injected?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count events matching a predicate (e.g. "how many drops?").
+    pub fn count(&self, pred: impl Fn(&FaultKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+
+    /// Packets lost on the directed link `src → dst`: wire drops plus
+    /// deliveries swallowed by a down receiver. The trace property tests
+    /// reconcile `Trace::on_link` against this.
+    pub fn drops_on_link(&self, src: usize, dst: usize) -> usize {
+        self.count(|k| matches!(k, FaultKind::Drop { src: s, dst: d } if *s == src && *d == dst))
+    }
+
+    /// Extra copies delivered on the directed link `src → dst`.
+    pub fn duplicates_on_link(&self, src: usize, dst: usize) -> usize {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                FaultKind::Duplicate {
+                    src: s,
+                    dst: d,
+                    copies,
+                } if *s == src && *d == dst => Some(*copies as usize - 1),
+                _ => None,
+            })
+            .sum()
+    }
+
+    fn push(&mut self, at_us: u64, kind: FaultKind) {
+        self.events.push(FaultEvent { at_us, kind });
+    }
+}
+
+/// The seeded fault generator the simulator consults at each injection
+/// point.
+///
+/// The injector owns its *own* `StdRng`, separate from the simulator's
+/// traffic RNG: enabling faults must not perturb link jitter or protocol
+/// randomness, so a calm-preset run and a faults-disabled run see
+/// identical traffic.
+#[derive(Clone, Debug)]
+pub struct Injector {
+    /// The active configuration (public so [`buggify!`] can read
+    /// probabilities without a borrow dance).
+    pub config: FaultConfig,
+    rng: StdRng,
+    log: FaultLog,
+    injected: u64,
+    /// Open partition windows: canonical (min, max) node pair → absolute
+    /// closing time in µs.
+    partitions: BTreeMap<(usize, usize), u64>,
+}
+
+impl Injector {
+    /// A fresh injector for one run. `seed` should be derived from the
+    /// scenario seed so the whole run stays a pure function of
+    /// `(seed, config)`.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        Injector {
+            config,
+            rng: StdRng::seed_from_u64(seed ^ 0xb166_01f5_u64),
+            log: FaultLog::default(),
+            injected: 0,
+            partitions: BTreeMap::new(),
+        }
+    }
+
+    /// The log so far.
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Consume the injector, returning the final log.
+    pub fn into_log(self) -> FaultLog {
+        self.log
+    }
+
+    /// The single probabilistic decision point ([`buggify!`] expands to
+    /// this): `true` with probability `p`, but never once the
+    /// `max_faults` budget is spent. Every `true` consumes budget.
+    pub fn roll(&mut self, p: f64) -> bool {
+        if p <= 0.0 || self.injected >= self.config.max_faults {
+            return false;
+        }
+        let hit = self.rng.gen_bool(p);
+        if hit {
+            self.injected += 1;
+        }
+        hit
+    }
+
+    /// A uniform draw in `1..=max` (0 if `max` is 0) for fault
+    /// parameters like delays.
+    pub fn amount(&mut self, max: u64) -> u64 {
+        if max == 0 {
+            0
+        } else {
+            self.rng.gen_range(1..=max)
+        }
+    }
+
+    /// Record an injected fault.
+    pub fn record(&mut self, at_us: u64, kind: FaultKind) {
+        self.log.push(at_us, kind);
+    }
+
+    /// Is the pair `(a, b)` inside an open partition window at `now_us`?
+    /// Expired windows are purged as a side effect.
+    pub fn partitioned(&mut self, now_us: u64, a: usize, b: usize) -> bool {
+        self.partitions.retain(|_, &mut until| until > now_us);
+        let key = (a.min(b), a.max(b));
+        self.partitions.contains_key(&key)
+    }
+
+    /// Open a partition between `a` and `b` lasting
+    /// `config.partition_window_us`, and log it.
+    pub fn open_partition(&mut self, now_us: u64, a: usize, b: usize) {
+        let key = (a.min(b), a.max(b));
+        let until_us = now_us + self.config.partition_window_us;
+        self.partitions.insert(key, until_us);
+        self.record(
+            now_us,
+            FaultKind::Partition {
+                a: key.0,
+                b: key.1,
+                until_us,
+            },
+        );
+    }
+}
+
+/// FoundationDB-style fault decision point.
+///
+/// `buggify!(faults, p_drop)` reads the named probability field off an
+/// `Option<Injector>` and rolls it: `false` (one branch, no RNG draw)
+/// when faults are disabled, a logged-budget draw when enabled. Keeping
+/// every probabilistic decision behind this macro is what makes runs
+/// replayable — there is exactly one fault RNG and one place it is
+/// consulted.
+///
+/// ```
+/// use dcp_faults::{buggify, FaultConfig, Injector};
+/// let mut faults: Option<Injector> = Some(Injector::new(FaultConfig::chaos(), 7));
+/// if buggify!(faults, p_drop) {
+///     // drop the packet
+/// }
+/// let mut off: Option<Injector> = None;
+/// assert!(!buggify!(off, p_drop));
+/// ```
+#[macro_export]
+macro_rules! buggify {
+    ($faults:expr, $field:ident) => {
+        match $faults.as_mut() {
+            Some(inj) => {
+                let p = inj.config.$field;
+                inj.roll(p)
+            }
+            None => false,
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_escalate() {
+        let calm = FaultConfig::calm();
+        let moderate = FaultConfig::moderate();
+        let chaos = FaultConfig::chaos();
+        assert!(!calm.enabled);
+        assert!(moderate.enabled && chaos.enabled);
+        assert!(calm.p_drop == 0.0);
+        assert!(moderate.p_drop < chaos.p_drop);
+        assert!(moderate.max_faults < chaos.max_faults);
+        assert_eq!(FaultConfig::presets().len(), 3);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let run = |seed: u64| {
+            let mut inj = Injector::new(FaultConfig::chaos(), seed);
+            (0..200).map(|_| inj.roll(0.3)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds should diverge");
+    }
+
+    #[test]
+    fn max_faults_budget_is_a_hard_cap() {
+        let mut cfg = FaultConfig::chaos();
+        cfg.max_faults = 3;
+        let mut inj = Injector::new(cfg, 1);
+        let hits = (0..10_000).filter(|_| inj.roll(0.9)).count();
+        assert_eq!(hits, 3);
+    }
+
+    #[test]
+    fn partitions_open_and_expire() {
+        let mut cfg = FaultConfig::moderate();
+        cfg.partition_window_us = 100;
+        let mut inj = Injector::new(cfg, 2);
+        assert!(!inj.partitioned(0, 1, 2));
+        inj.open_partition(10, 2, 1);
+        assert!(inj.partitioned(50, 1, 2), "symmetric and open");
+        assert!(inj.partitioned(50, 2, 1));
+        assert!(!inj.partitioned(111, 1, 2), "expired");
+        assert_eq!(inj.log().len(), 1);
+        assert!(matches!(
+            inj.log().events()[0].kind,
+            FaultKind::Partition {
+                a: 1,
+                b: 2,
+                until_us: 110
+            }
+        ));
+    }
+
+    #[test]
+    fn buggify_disabled_is_inert() {
+        let mut off: Option<Injector> = None;
+        for _ in 0..100 {
+            assert!(!buggify!(off, p_drop));
+        }
+    }
+
+    #[test]
+    fn log_link_accounting() {
+        let mut log = FaultLog::default();
+        log.push(1, FaultKind::Drop { src: 0, dst: 1 });
+        log.push(
+            2,
+            FaultKind::Duplicate {
+                src: 0,
+                dst: 1,
+                copies: 3,
+            },
+        );
+        log.push(3, FaultKind::Drop { src: 1, dst: 0 });
+        assert_eq!(log.drops_on_link(0, 1), 1);
+        assert_eq!(log.drops_on_link(1, 0), 1);
+        assert_eq!(log.duplicates_on_link(0, 1), 2);
+        assert_eq!(log.duplicates_on_link(1, 0), 0);
+        assert_eq!(log.count(|k| matches!(k, FaultKind::Drop { .. })), 2);
+    }
+
+    #[test]
+    fn fault_log_serializes() {
+        let mut log = FaultLog::default();
+        log.push(
+            7,
+            FaultKind::KeyCompromise {
+                victim: 1,
+                beneficiary: 2,
+                key: 9,
+            },
+        );
+        let json = serde_json::to_string(&serde_json::to_value(&log)).unwrap();
+        assert!(json.contains("KeyCompromise"), "{json}");
+        assert!(json.contains("beneficiary"), "{json}");
+    }
+}

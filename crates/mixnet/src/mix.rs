@@ -72,12 +72,16 @@ impl MixNode {
             batch.shuffle(ctx.rng);
         }
         for (next_addr, msg) in batch {
-            let node = self
+            // An unroutable next hop (malformed or misdirected under
+            // faults) is dropped, never misdelivered.
+            let Some(node) = self
                 .addr_map
                 .iter()
                 .find(|(a, _)| *a == next_addr)
                 .map(|(_, n)| *n)
-                .expect("unknown next hop");
+            else {
+                continue;
+            };
             ctx.send(node, msg);
         }
     }
@@ -89,8 +93,12 @@ impl Node for MixNode {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        // Peel one layer of bytes and label.
-        let unwrapped = onion::unwrap_layer(&self.kp, &msg.bytes).expect("mix peel");
+        // Peel one layer of bytes and label. Anything that fails to peel
+        // (tampered, truncated, or not for us) is dropped: a mix fails
+        // closed rather than forwarding plaintext it cannot vouch for.
+        let Ok(unwrapped) = onion::unwrap_layer(&self.kp, &msg.bytes) else {
+            return;
+        };
         let outer_label = match &msg.label {
             Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
             other => other.clone(),
@@ -98,9 +106,9 @@ impl Node for MixNode {
         let inner_label = onion::unwrap_label(&outer_label, self.key_id);
         let (next, bytes) = match unwrapped {
             Unwrapped::Forward { next, bytes } => (next, bytes),
-            Unwrapped::Deliver { .. } => {
-                panic!("mix is never the final destination in this topology")
-            }
+            // A terminal layer addressed to a mix is a protocol error;
+            // drop it rather than guessing a destination.
+            Unwrapped::Deliver { .. } => return,
         };
         let mut fwd = Message::new(bytes, inner_label);
         fwd.flow = msg.flow;
@@ -133,9 +141,11 @@ mod tests {
     use dcp_transport::onion::Hop;
     use rand::SeedableRng;
 
+    type Received = std::rc::Rc<std::cell::RefCell<Vec<(u64, Vec<u8>)>>>;
+
     struct Sink {
         entity: EntityId,
-        received: std::rc::Rc<std::cell::RefCell<Vec<(u64, Vec<u8>)>>>,
+        received: Received,
     }
     impl Node for Sink {
         fn entity(&self) -> EntityId {

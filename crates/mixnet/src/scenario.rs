@@ -6,6 +6,7 @@ use std::rc::Rc;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, UserId, World};
 use dcp_crypto::hpke;
+use dcp_faults::{FaultConfig, FaultLog};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
 use dcp_transport::onion::{self, Hop, Unwrapped};
 use rand::Rng as _;
@@ -72,6 +73,8 @@ pub struct MixnetReport {
     pub mix_names: Vec<String>,
     /// Receiver entity name for each sender (post-shuffle).
     pub receiver_of: Vec<String>,
+    /// Faults injected during the run (empty when faults are disabled).
+    pub fault_log: FaultLog,
 }
 
 impl MixnetReport {
@@ -237,10 +240,13 @@ impl Node for ReceiverNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        // Final onion layer: the receiver peels its own seal.
-        let unwrapped = onion::unwrap_layer(&self.kp, &msg.bytes).expect("receiver peel");
+        // Final onion layer: the receiver peels its own seal. Undecodable
+        // or misrouted deliveries are dropped — fail closed.
+        let Ok(unwrapped) = onion::unwrap_layer(&self.kp, &msg.bytes) else {
+            return;
+        };
         let Unwrapped::Deliver { payload } = unwrapped else {
-            panic!("receiver expected delivery");
+            return;
         };
         let _ = onion::unwrap_label(
             match &msg.label {
@@ -249,8 +255,8 @@ impl Node for ReceiverNode {
             },
             self.key_id,
         );
-        if payload[0] == BODY_CHAFF {
-            return; // decoy: drop silently
+        if payload.len() < 9 || payload[0] == BODY_CHAFF {
+            return; // decoy (or truncated): drop silently
         }
         let sent_at = u64::from_be_bytes(payload[1..9].try_into().unwrap());
         let mut stats = self.stats.borrow_mut();
@@ -259,8 +265,13 @@ impl Node for ReceiverNode {
     }
 }
 
-/// Run the mix-net per `config`.
+/// Run the mix-net per `config` with faults disabled.
 pub fn run(config: MixnetConfig) -> MixnetReport {
+    run_with_faults(config, &FaultConfig::calm())
+}
+
+/// Run the mix-net per `config` under a fault schedule.
+pub fn run_with_faults(config: MixnetConfig, faults: &FaultConfig) -> MixnetReport {
     use rand::SeedableRng;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x317);
     assert!(config.mixes >= 1 && config.senders >= 1);
@@ -315,6 +326,7 @@ pub fn run(config: MixnetConfig) -> MixnetReport {
 
     let mut net = Network::new(world, config.seed);
     net.set_default_link(LinkParams::wan_ms(5));
+    net.enable_faults(faults.clone(), config.seed);
 
     // Node layout: mixes 0..M, receivers M..M+S, senders after.
     let mix_ids: Vec<NodeId> = (0..config.mixes).map(NodeId).collect();
@@ -344,7 +356,8 @@ pub fn run(config: MixnetConfig) -> MixnetReport {
         if !config.shuffle {
             mix = mix.without_shuffle();
         }
-        net.add_node(Box::new(mix));
+        let id = net.add_node(Box::new(mix));
+        net.mark_relay(id);
     }
     let stats = Rc::new(RefCell::new(Stats {
         delivered: 0,
@@ -422,6 +435,7 @@ pub fn run(config: MixnetConfig) -> MixnetReport {
     }
 
     net.run();
+    let fault_log = net.fault_log();
     let (world, trace) = net.into_parts();
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
     let attack = adversary::timing_correlation(&trace, mix_ids[0], &[*mix_ids.last().unwrap()]);
@@ -441,6 +455,7 @@ pub fn run(config: MixnetConfig) -> MixnetReport {
         users,
         mix_names,
         receiver_of,
+        fault_log,
     }
 }
 

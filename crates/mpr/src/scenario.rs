@@ -6,6 +6,7 @@ use std::rc::Rc;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, UserId, World};
 use dcp_crypto::hpke;
+use dcp_faults::{FaultConfig, FaultLog};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
 use dcp_transport::onion::{self, Hop, Unwrapped};
 
@@ -52,6 +53,8 @@ pub struct ScenarioReport {
     pub users: Vec<UserId>,
     /// Relay entity names in chain order (for table derivation).
     pub relay_names: Vec<String>,
+    /// Faults injected during the run (empty when faults are disabled).
+    pub fault_log: FaultLog,
 }
 
 impl ScenarioReport {
@@ -211,13 +214,19 @@ impl Node for RelayNode {
             .filter(|_| !self.back.is_empty())
         {
             let _ = pos;
-            let prev = self.back.pop().expect("no back route");
+            let Some(prev) = self.back.pop() else {
+                return; // duplicated response: no back-route left
+            };
             ctx.send(prev, msg);
             return;
         }
 
-        // Forward direction: peel one onion layer (bytes and label).
-        let unwrapped = onion::unwrap_layer(&self.kp, &msg.bytes).expect("peel");
+        // Forward direction: peel one onion layer (bytes and label). A
+        // layer that fails to peel is dropped — a relay never forwards
+        // traffic it cannot vouch for.
+        let Ok(unwrapped) = onion::unwrap_layer(&self.kp, &msg.bytes) else {
+            return;
+        };
         let outer_label = match &msg.label {
             Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
             other => other.clone(),
@@ -225,12 +234,14 @@ impl Node for RelayNode {
         let inner_label = onion::unwrap_label(&outer_label, self.key_id);
         match unwrapped {
             Unwrapped::Forward { next, bytes } => {
-                let next_node = self
+                let Some(next_node) = self
                     .addr_map
                     .iter()
                     .find(|(a, _)| *a == next)
                     .map(|(_, n)| *n)
-                    .expect("unknown next hop");
+                else {
+                    return; // unroutable hop: drop, never misdeliver
+                };
                 self.back.insert(0, from);
                 ctx.send(
                     next_node,
@@ -239,13 +250,18 @@ impl Node for RelayNode {
             }
             Unwrapped::Deliver { payload } => {
                 // Exit relay: payload = origin_addr ‖ e2e-sealed request.
+                if payload.len() < 2 {
+                    return; // truncated exit payload: drop
+                }
                 let addr = u16::from_be_bytes([payload[0], payload[1]]);
-                let next_node = self
+                let Some(next_node) = self
                     .addr_map
                     .iter()
                     .find(|(a, _)| *a == addr)
                     .map(|(_, n)| *n)
-                    .expect("unknown origin addr");
+                else {
+                    return; // unroutable origin: drop, never misdeliver
+                };
                 self.back.insert(0, from);
                 // Forward only the sealed part of the label bundle.
                 let fwd_label = match &inner_label {
@@ -274,13 +290,21 @@ impl Node for OriginNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        let req = hpke::open(&self.kp, b"e2e", b"", &msg.bytes).expect("open e2e");
-        assert_eq!(req, REQUEST);
-        let user = msg
+        // Fail closed: an undecryptable or unattributable request gets no
+        // response at all.
+        let Ok(req) = hpke::open(&self.kp, b"e2e", b"", &msg.bytes) else {
+            return;
+        };
+        if req != REQUEST {
+            return;
+        }
+        let Some(user) = msg
             .flow
             .and_then(|f| self.flow_user.iter().find(|(id, _)| *id == f))
             .map(|(_, u)| *u)
-            .expect("flow subject");
+        else {
+            return;
+        };
         // Response content is the user's sensitive data, sealed end-to-end
         // back to them.
         let resp_label = Label::items([InfoItem::sensitive_data(user, DataKind::Destination)])
@@ -303,8 +327,13 @@ impl WithFlowOpt for Message {
     }
 }
 
-/// Run a k-relay chain per `config`.
+/// Run a k-relay chain per `config` with faults disabled.
 pub fn run_chain(config: ChainConfig) -> ScenarioReport {
+    run_chain_with_faults(config, &FaultConfig::calm())
+}
+
+/// Run a k-relay chain under a fault schedule.
+pub fn run_chain_with_faults(config: ChainConfig, faults: &FaultConfig) -> ScenarioReport {
     use rand::SeedableRng;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x33bb);
 
@@ -352,6 +381,7 @@ pub fn run_chain(config: ChainConfig) -> ScenarioReport {
 
     let mut net = Network::new(world, config.seed);
     net.set_default_link(LinkParams::wan_ms(10));
+    net.enable_faults(faults.clone(), config.seed);
 
     // Topology: origin = node 0, relays 1..=k, users after.
     let origin_id = NodeId(0);
@@ -380,13 +410,14 @@ pub fn run_chain(config: ChainConfig) -> ScenarioReport {
         if i + 1 < config.relays {
             addr_map.push((relay_addrs[i + 1], relay_ids[i + 1]));
         }
-        net.add_node(Box::new(RelayNode {
+        let id = net.add_node(Box::new(RelayNode {
             entity: relay_entities[i],
             kp: relay_kps[i].clone(),
             key_id: relay_keys[i],
             addr_map,
             back: Vec::new(),
         }));
+        net.mark_relay(id);
     }
     let stats = Rc::new(RefCell::new(Stats {
         completed: 0,
@@ -415,6 +446,7 @@ pub fn run_chain(config: ChainConfig) -> ScenarioReport {
     }
 
     net.run();
+    let fault_log = net.fault_log();
     let (world, trace) = net.into_parts();
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
     let mean = if stats.latencies.is_empty() {
@@ -435,6 +467,7 @@ pub fn run_chain(config: ChainConfig) -> ScenarioReport {
         bytes_factor,
         users,
         relay_names,
+        fault_log,
     }
 }
 

@@ -10,6 +10,7 @@ use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, UserId, World}
 use dcp_crypto::hpke;
 use dcp_dns::workload::ZipfWorkload;
 use dcp_dns::{DnsName, Message as DnsMessage, RecordData, RrType, Zone};
+use dcp_faults::{FaultConfig, FaultLog};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
 
 use crate::odoh;
@@ -32,6 +33,8 @@ pub struct ScenarioReport {
     pub resolver_views: Vec<usize>,
     /// Total distinct names queried.
     pub distinct_names: usize,
+    /// Faults injected during the run (empty when faults are disabled).
+    pub fault_log: FaultLog,
 }
 
 impl ScenarioReport {
@@ -171,9 +174,19 @@ impl Node for OdohClient {
         self.send_next(ctx);
     }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        let state = self.state.take().expect("no query in flight");
-        let resp = odoh::open_response(&state, &msg.bytes).expect("response");
-        assert!(resp.is_response);
+        // Only consume the in-flight state once a response actually opens
+        // against it — duplicated or stale deliveries must not clobber a
+        // newer query's state.
+        let Some(state) = self.state.as_ref() else {
+            return;
+        };
+        let Ok(resp) = odoh::open_response(state, &msg.bytes) else {
+            return;
+        };
+        if !resp.is_response {
+            return;
+        }
+        self.state = None;
         let mut stats = self.stats.borrow_mut();
         stats.answered += 1;
         stats.latencies.push(ctx.now - self.sent_at);
@@ -195,8 +208,11 @@ impl Node for ProxyNode {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.target {
-            // Response going back: forward to the waiting client.
-            let client = self.pending.pop().expect("no pending client");
+            // Response going back: forward to the waiting client. A
+            // duplicated response with no waiter is dropped.
+            let Some(client) = self.pending.pop() else {
+                return;
+            };
             ctx.send(client, msg);
         } else {
             self.pending.insert(0, from);
@@ -230,9 +246,15 @@ impl Node for TargetNode {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.origin {
-            let resp = DnsMessage::decode(&msg.bytes).expect("origin resp");
-            let (proxy, resp_pk, user) = self.pending.pop().expect("no pending");
-            let sealed = odoh::seal_response(ctx.rng, &resp_pk, &resp).expect("seal resp");
+            let Ok(resp) = DnsMessage::decode(&msg.bytes) else {
+                return;
+            };
+            let Some((proxy, resp_pk, user)) = self.pending.pop() else {
+                return; // duplicated origin answer: nothing awaits it
+            };
+            let Ok(sealed) = odoh::seal_response(ctx.rng, &resp_pk, &resp) else {
+                return; // cannot seal: never answer in plaintext
+            };
             // Sealed to the client's ephemeral key: intermediaries learn
             // nothing; the client learns its own answer (●, which it is
             // entitled to).
@@ -241,13 +263,18 @@ impl Node for TargetNode {
             ctx.send(proxy, Message::new(sealed, label));
             return;
         }
-        // Encapsulated query from the proxy.
-        let (query, resp_pk) = odoh::open_query(&self.kp, &msg.bytes).expect("open query");
-        let qname = query.questions[0].qname.to_string();
-        let user = *self
-            .subject_of_query
-            .get(&qname)
-            .expect("workload name has a subject");
+        // Encapsulated query from the proxy. Undecryptable (tampered or
+        // duplicated-and-replayed) queries are dropped, never answered.
+        let Ok((query, resp_pk)) = odoh::open_query(&self.kp, &msg.bytes) else {
+            return;
+        };
+        let Some(q0) = query.questions.first() else {
+            return;
+        };
+        let qname = q0.qname.to_string();
+        let Some(&user) = self.subject_of_query.get(&qname) else {
+            return;
+        };
         self.pending.insert(0, (from, resp_pk, user));
         // Plaintext recursive query to the authoritative origin: the
         // origin sees the query (●) from the resolver's address (△).
@@ -269,7 +296,9 @@ impl Node for OriginNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        let query = DnsMessage::decode(&msg.bytes).expect("query");
+        let Ok(query) = DnsMessage::decode(&msg.bytes) else {
+            return;
+        };
         let resp = self.zone.answer(&query);
         // The response repeats the query content back to the asker; it
         // carries no *new* subject information beyond what the query
@@ -302,6 +331,16 @@ impl TargetNode {
 /// Run the ODoH scenario: `n_clients` clients issue `queries_each`
 /// Zipf-sampled queries through proxy → target → origin.
 pub fn run_odoh(n_clients: usize, queries_each: usize, seed: u64) -> ScenarioReport {
+    run_odoh_with_faults(n_clients, queries_each, seed, &FaultConfig::calm())
+}
+
+/// Run the ODoH scenario under a fault schedule.
+pub fn run_odoh_with_faults(
+    n_clients: usize,
+    queries_each: usize,
+    seed: u64,
+    faults: &FaultConfig,
+) -> ScenarioReport {
     use rand::SeedableRng;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0d0a);
     let workload = ZipfWorkload::new(200, 1.0, SUFFIX);
@@ -359,6 +398,7 @@ pub fn run_odoh(n_clients: usize, queries_each: usize, seed: u64) -> ScenarioRep
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(8));
+    net.enable_faults(faults.clone(), seed);
 
     let proxy_id = NodeId(0);
     let target_id = NodeId(1);
@@ -368,6 +408,7 @@ pub fn run_odoh(n_clients: usize, queries_each: usize, seed: u64) -> ScenarioRep
         target: target_id,
         pending: Vec::new(),
     }));
+    net.mark_relay(proxy_id);
     net.add_node(Box::new(TargetNode::new(
         target_e,
         target_kp.clone(),
@@ -382,7 +423,7 @@ pub fn run_odoh(n_clients: usize, queries_each: usize, seed: u64) -> ScenarioRep
     for ((&u, &e), queries) in users
         .iter()
         .zip(client_entities.iter())
-        .zip(per_client_queries.into_iter())
+        .zip(per_client_queries)
     {
         net.add_node(Box::new(OdohClient::new(
             e,
@@ -400,9 +441,17 @@ pub fn run_odoh(n_clients: usize, queries_each: usize, seed: u64) -> ScenarioRep
     }
 
     net.run();
+    let fault_log = net.fault_log();
     let (world, trace) = net.into_parts();
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
-    finish_report(world, trace, stats, users, n_clients * queries_each)
+    finish_report(
+        world,
+        trace,
+        stats,
+        users,
+        n_clients * queries_each,
+        fault_log,
+    )
 }
 
 // -------------------------------------------------- direct & striping --
@@ -572,7 +621,14 @@ pub fn run_direct(
     net.run();
     let (world, trace) = net.into_parts();
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
-    finish_report(world, trace, stats, users, n_clients * queries_each)
+    finish_report(
+        world,
+        trace,
+        stats,
+        users,
+        n_clients * queries_each,
+        FaultLog::default(),
+    )
 }
 
 fn finish_report(
@@ -581,6 +637,7 @@ fn finish_report(
     stats: Stats,
     users: Vec<UserId>,
     expected_queries: usize,
+    fault_log: FaultLog,
 ) -> ScenarioReport {
     let mean = if stats.latencies.is_empty() {
         0.0
@@ -600,6 +657,7 @@ fn finish_report(
         users,
         resolver_views: stats.resolver_views.iter().map(HashSet::len).collect(),
         distinct_names: all_names.len(),
+        fault_log,
     }
 }
 
@@ -928,7 +986,7 @@ pub fn run_odns_legacy(n_clients: usize, queries_each: usize, seed: u64) -> Scen
     for ((&u, &e), queries) in users
         .iter()
         .zip(client_entities.iter())
-        .zip(per_client_queries.into_iter())
+        .zip(per_client_queries)
     {
         net.add_node(Box::new(OdnsClient {
             entity: e,
@@ -950,7 +1008,14 @@ pub fn run_odns_legacy(n_clients: usize, queries_each: usize, seed: u64) -> Scen
     net.run();
     let (world, trace) = net.into_parts();
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
-    finish_report(world, trace, stats, users, n_clients * queries_each)
+    finish_report(
+        world,
+        trace,
+        stats,
+        users,
+        n_clients * queries_each,
+        FaultLog::default(),
+    )
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use std::rc::Rc;
 
 use dcp_core::table::DecouplingTable;
 use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, UserId, World};
+use dcp_faults::{FaultConfig, FaultLog};
 use dcp_privacypass::protocol::{Client as TokenClient, Issuer, Token};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
 use rand::Rng as _;
@@ -65,6 +66,8 @@ pub struct PgppReport {
     pub distinct_imsis: usize,
     /// The subscribers.
     pub users: Vec<UserId>,
+    /// Faults injected during the run (empty when faults are disabled).
+    pub fault_log: FaultLog,
 }
 
 impl PgppReport {
@@ -142,7 +145,11 @@ impl PhoneNode {
         payload.extend_from_slice(&cell.0.to_be_bytes());
         payload.extend_from_slice(&epoch.to_be_bytes());
         let token = if self.mode == Mode::Pgpp {
-            let t = self.wallet.spend().expect("token wallet empty");
+            // No token (issuance lost under faults): skip the attach
+            // entirely rather than attach unauthenticated.
+            let Some(t) = self.wallet.spend() else {
+                return;
+            };
             t.encode()
         } else {
             Vec::new()
@@ -238,8 +245,12 @@ impl Node for PhoneNode {
                     dcp_crypto::oprf::DleqProof { c, s },
                 ));
             }
-            let req = self.pending_issuance.take().expect("issuance in flight");
-            self.wallet.accept_issuance(req, &evals).expect("tokens");
+            let Some(req) = self.pending_issuance.take() else {
+                return; // duplicate issuance response: already consumed
+            };
+            if self.wallet.accept_issuance(req, &evals).is_err() {
+                return; // bad proof: refuse the batch, attach nothing
+            }
             self.schedule_all_moves(ctx);
         }
         // Attach acks need no action.
@@ -267,7 +278,9 @@ impl Node for NgcNode {
         if from == self.gw {
             // Verification verdict for the oldest awaiting attach.
             let ok = msg.bytes == [1u8];
-            let (t, imsi, cell, epoch) = self.awaiting.pop().expect("no awaiting attach");
+            let Some((t, imsi, cell, epoch)) = self.awaiting.pop() else {
+                return; // duplicated verdict: nothing awaits it
+            };
             let mut shared = self.shared.borrow_mut();
             if ok {
                 shared.core.record_attach(t, imsi, cell, epoch);
@@ -275,6 +288,9 @@ impl Node for NgcNode {
                 shared.core.rejected += 1;
             }
             return;
+        }
+        if msg.bytes.len() < 16 {
+            return; // truncated attach: reject
         }
         let imsi = Imsi(u64::from_be_bytes(msg.bytes[..8].try_into().unwrap()));
         let cell = CellId(u32::from_be_bytes(msg.bytes[8..12].try_into().unwrap()));
@@ -311,10 +327,16 @@ impl Node for GwNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if msg.bytes[0] == 0x02 {
-            // Token verification from the NGC.
-            let token = Token::decode(&msg.bytes[1..]).expect("token");
-            let ok = self.shared.borrow_mut().issuer.redeem(&token).is_ok();
+        let Some(&tag) = msg.bytes.first() else {
+            return;
+        };
+        if tag == 0x02 {
+            // Token verification from the NGC. A token that fails to even
+            // decode is refused — the reply keeps the NGC queue in sync.
+            let ok = match Token::decode(&msg.bytes[1..]) {
+                Ok(token) => self.shared.borrow_mut().issuer.redeem(&token).is_ok(),
+                Err(_) => false,
+            };
             ctx.send(from, Message::new(vec![u8::from(ok)], Label::Public));
         } else {
             // Issuance request from a phone (batch of 32-byte blinded
@@ -327,12 +349,9 @@ impl Node for GwNode {
                     dcp_crypto::oprf::BlindedElement(b)
                 })
                 .collect();
-            let evals = self
-                .shared
-                .borrow_mut()
-                .issuer
-                .issue(ctx.rng, &blinded)
-                .expect("issue");
+            let Ok(evals) = self.shared.borrow_mut().issuer.issue(ctx.rng, &blinded) else {
+                return; // malformed batch: refuse to issue
+            };
             let mut bytes = Vec::new();
             for (e, p) in &evals {
                 bytes.extend_from_slice(&e.0);
@@ -344,8 +363,13 @@ impl Node for GwNode {
     }
 }
 
-/// Run the cellular scenario per `config`.
+/// Run the cellular scenario per `config` with faults disabled.
 pub fn run(config: PgppConfig) -> PgppReport {
+    run_with_faults(config, &FaultConfig::calm())
+}
+
+/// Run the cellular scenario under a fault schedule.
+pub fn run_with_faults(config: PgppConfig, faults: &FaultConfig) -> PgppReport {
     use rand::SeedableRng;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x9699);
     assert!(config.epochs >= 1);
@@ -389,6 +413,7 @@ pub fn run(config: PgppConfig) -> PgppReport {
 
     let mut net = Network::new(world, config.seed);
     net.set_default_link(LinkParams::wan_ms(5));
+    net.enable_faults(faults.clone(), config.seed);
     let gw_id = NodeId(0);
     let ngc_id = NodeId(1);
     net.add_node(Box::new(GwNode {
@@ -423,6 +448,7 @@ pub fn run(config: PgppConfig) -> PgppReport {
     }
 
     net.run();
+    let fault_log = net.fault_log();
     let (world, trace) = net.into_parts();
     let shared = Rc::try_unwrap(shared).map_err(|_| ()).unwrap().into_inner();
     let linkage = trajectory_linkage(&shared.core.log, &shared.truth);
@@ -433,6 +459,7 @@ pub fn run(config: PgppConfig) -> PgppReport {
         linkage,
         distinct_imsis: shared.core.distinct_imsis(),
         users,
+        fault_log,
     }
 }
 

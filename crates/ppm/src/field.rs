@@ -7,6 +7,9 @@ pub const P: u64 = (1u64 << 61) - 1;
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Fe(u64);
 
+// Inherent `add`/`sub`/`neg`/`mul` are deliberate: the share pipeline
+// passes `Fe` by value and never wants operator sugar hiding reductions.
+#[allow(clippy::should_implement_trait)]
 impl Fe {
     /// Zero.
     pub const ZERO: Fe = Fe(0);

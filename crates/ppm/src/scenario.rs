@@ -6,6 +6,7 @@ use std::rc::Rc;
 
 use dcp_core::table::DecouplingTable;
 use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, UserId, World};
+use dcp_faults::{FaultConfig, FaultLog};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
 use rand::Rng as _;
 
@@ -59,6 +60,8 @@ pub struct PpmReport {
     pub rejected: usize,
     /// The client users.
     pub users: Vec<UserId>,
+    /// Faults injected during the run (empty when faults are disabled).
+    pub fault_log: FaultLog,
 }
 
 impl PpmReport {
@@ -247,9 +250,15 @@ impl Node for LeaderNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        match msg.bytes[0] {
+        let Some(&tag) = msg.bytes.first() else {
+            return;
+        };
+        match tag {
             TAG_SUBMIT => {
                 let (id, sub) = decode_submission(&msg.bytes);
+                if self.pending.contains_key(&id) {
+                    return; // duplicated submission: first copy wins
+                }
                 let my_r1 = self.agg.verify_round1(&sub);
                 ctx.send(
                     self.helper,
@@ -278,7 +287,7 @@ impl Node for LeaderNode {
                     self.early_r1.insert(id, (their_r1, their_z));
                 }
             }
-            other => panic!("leader got unexpected tag {other}"),
+            _ => {} // unexpected tag: ignore
         }
     }
 }
@@ -291,7 +300,12 @@ impl LeaderNode {
         their_r1: VerifyMsg,
         their_z: Vec<Fe>,
     ) {
-        let p = self.pending.get_mut(&id).expect("pending submission");
+        let Some(p) = self.pending.get_mut(&id) else {
+            return;
+        };
+        if p.my_z.is_some() {
+            return; // duplicated round-1: this submission already finished
+        }
         let my_z = self.agg.verify_round2(&p.sub, &p.my_r1, &their_r1);
         let sub = p.sub.clone();
         p.my_z = Some(my_z.clone());
@@ -315,6 +329,8 @@ struct HelperNode {
     collector: NodeId,
     agg: Aggregator,
     pending: HashMap<u64, Pending>,
+    /// Submission ids ever accepted (dedup under duplicated deliveries).
+    seen: std::collections::HashSet<u64>,
     early_r1: HashMap<u64, VerifyMsg>,
     early_z: HashMap<u64, Vec<Fe>>,
     expected: usize,
@@ -386,9 +402,15 @@ impl Node for HelperNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        match msg.bytes[0] {
+        let Some(&tag) = msg.bytes.first() else {
+            return;
+        };
+        match tag {
             TAG_SUBMIT => {
                 let (id, sub) = decode_submission(&msg.bytes);
+                if !self.seen.insert(id) {
+                    return; // duplicated submission: first copy wins
+                }
                 let my_r1 = self.agg.verify_round1(&sub);
                 self.pending.insert(
                     id,
@@ -410,14 +432,15 @@ impl Node for HelperNode {
                 self.early_z.insert(id, leader_z);
                 self.try_finish(ctx, id);
             }
-            other => panic!("helper got unexpected tag {other}"),
+            _ => {} // unexpected tag: ignore
         }
     }
 }
 
 struct CollectorNode {
     entity: EntityId,
-    shares: Vec<Fe>,
+    /// One accumulator share per aggregator node (dedup by sender).
+    shares: Vec<(NodeId, Fe)>,
     result: Rc<RefCell<Option<u64>>>,
 }
 
@@ -425,19 +448,33 @@ impl Node for CollectorNode {
     fn entity(&self) -> EntityId {
         self.entity
     }
-    fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        assert_eq!(msg.bytes[0], TAG_ACCUM);
+    fn on_message(&mut self, _ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if msg.bytes.first() != Some(&TAG_ACCUM) || msg.bytes.len() < 9 {
+            return;
+        }
+        if self.shares.iter().any(|(n, _)| *n == from) {
+            return; // duplicated accumulator share from the same node
+        }
         let mut b = [0u8; 8];
         b.copy_from_slice(&msg.bytes[1..9]);
-        self.shares.push(Fe::from_bytes(&b).expect("share"));
+        let Some(share) = Fe::from_bytes(&b) else {
+            return;
+        };
+        self.shares.push((from, share));
         if self.shares.len() == 2 {
-            *self.result.borrow_mut() = Some(crate::prio::collect(self.shares[0], self.shares[1]));
+            *self.result.borrow_mut() =
+                Some(crate::prio::collect(self.shares[0].1, self.shares[1].1));
         }
     }
 }
 
-/// Run the scenario.
+/// Run the scenario with faults disabled.
 pub fn run(config: PpmConfig) -> PpmReport {
+    run_with_faults(config, &FaultConfig::calm())
+}
+
+/// Run the scenario under a fault schedule.
+pub fn run_with_faults(config: PpmConfig, faults: &FaultConfig) -> PpmReport {
     use rand::SeedableRng;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x99a1);
 
@@ -473,6 +510,7 @@ pub fn run(config: PpmConfig) -> PpmReport {
 
     let mut net = Network::new(world, config.seed);
     net.set_default_link(LinkParams::wan_ms(10));
+    net.enable_faults(faults.clone(), config.seed);
     let leader_id = NodeId(0);
     let helper_id = NodeId(1);
     let collector_id = NodeId(2);
@@ -496,6 +534,7 @@ pub fn run(config: PpmConfig) -> PpmReport {
         collector: collector_id,
         agg: Aggregator::new(1),
         pending: HashMap::new(),
+        seen: std::collections::HashSet::new(),
         early_r1: HashMap::new(),
         early_z: HashMap::new(),
         expected: config.clients,
@@ -527,6 +566,7 @@ pub fn run(config: PpmConfig) -> PpmReport {
     }
 
     net.run();
+    let fault_log = net.fault_log();
     let (world, trace) = net.into_parts();
     let aggregate = *result.borrow();
 
@@ -542,6 +582,7 @@ pub fn run(config: PpmConfig) -> PpmReport {
         accepted,
         rejected,
         users,
+        fault_log,
     }
 }
 

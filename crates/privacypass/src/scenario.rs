@@ -6,6 +6,7 @@ use std::rc::Rc;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, UserId, World};
 use dcp_crypto::oprf::{BlindedElement, DleqProof, EvaluatedElement};
+use dcp_faults::{FaultConfig, FaultLog};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
 use dcp_transport::frame::{Frame, FrameType};
 
@@ -25,6 +26,8 @@ pub struct ScenarioReport {
     pub mean_fetch_us: f64,
     /// The client users.
     pub users: Vec<UserId>,
+    /// Faults injected during the run (empty when faults are disabled).
+    pub fault_log: FaultLog,
 }
 
 impl ScenarioReport {
@@ -99,7 +102,11 @@ impl Node for ClientNode {
 
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.issuer {
-            let frame = Frame::decode(&msg.bytes).expect("issuer frame");
+            // Fail closed: a malformed or duplicated issuance response is
+            // ignored — the client never falls back to unblinded tokens.
+            let Ok(frame) = Frame::decode(&msg.bytes) else {
+                return;
+            };
             let mut evals = Vec::new();
             for chunk in frame.payload.chunks_exact(32 + 64) {
                 let mut e = [0u8; 32];
@@ -110,8 +117,12 @@ impl Node for ClientNode {
                 s.copy_from_slice(&chunk[64..96]);
                 evals.push((EvaluatedElement(e), DleqProof { c, s }));
             }
-            let req = self.state.take().expect("no issuance in flight");
-            self.client.accept_issuance(req, &evals).expect("issuance");
+            let Some(req) = self.state.take() else {
+                return; // duplicate response: issuance already consumed
+            };
+            if self.client.accept_issuance(req, &evals).is_err() {
+                return; // bad DLEQ proof: refuse the batch
+            }
             self.fetch(ctx);
         } else if from == self.origin {
             self.shared
@@ -129,7 +140,11 @@ impl Node for ClientNode {
 
 impl ClientNode {
     fn fetch(&mut self, ctx: &mut Ctx) {
-        let token = self.client.spend().expect("wallet empty");
+        // An empty wallet (possible when responses are duplicated under
+        // faults) simply means no further fetches — never unauthenticated.
+        let Some(token) = self.client.spend() else {
+            return;
+        };
         let mut payload = token.encode();
         payload.extend_from_slice(b"GET /private-resource");
         // The origin sees the request content (●) from an anonymous but
@@ -155,7 +170,9 @@ impl Node for IssuerNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        let frame = Frame::decode(&msg.bytes).expect("client frame");
+        let Ok(frame) = Frame::decode(&msg.bytes) else {
+            return;
+        };
         match frame.ftype {
             FrameType::Token => {
                 // Issuance request: batch of blinded elements.
@@ -168,12 +185,9 @@ impl Node for IssuerNode {
                         BlindedElement(b)
                     })
                     .collect();
-                let evals = self
-                    .shared
-                    .borrow_mut()
-                    .issuer
-                    .issue(ctx.rng, &blinded)
-                    .expect("issue");
+                let Ok(evals) = self.shared.borrow_mut().issuer.issue(ctx.rng, &blinded) else {
+                    return; // malformed batch: refuse to issue
+                };
                 let mut bytes = Vec::new();
                 for (e, p) in &evals {
                     bytes.extend_from_slice(&e.0);
@@ -193,8 +207,12 @@ impl Node for IssuerNode {
                 // unlinkable: the issuer learns that *some* token was
                 // redeemed — attributable to no one (Label::Public on the
                 // way in).
-                let token = Token::decode(&frame.payload).expect("token bytes");
-                let ok = self.shared.borrow_mut().issuer.redeem(&token).is_ok();
+                // A token that fails to even decode is refused outright —
+                // the reply keeps the origin's pending queue in sync.
+                let ok = match Token::decode(&frame.payload) {
+                    Ok(token) => self.shared.borrow_mut().issuer.redeem(&token).is_ok(),
+                    Err(_) => false,
+                };
                 ctx.send(
                     from,
                     Message::new(
@@ -203,7 +221,7 @@ impl Node for IssuerNode {
                     ),
                 );
             }
-            _ => panic!("unexpected frame at issuer"),
+            _ => {} // unexpected frame type: ignore
         }
     }
 }
@@ -222,9 +240,13 @@ impl Node for OriginNode {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.issuer {
-            let frame = Frame::decode(&msg.bytes).expect("issuer frame");
+            let Ok(frame) = Frame::decode(&msg.bytes) else {
+                return;
+            };
             let ok = frame.payload == [1u8];
-            let (client, _label) = self.pending.pop().expect("no pending request");
+            let Some((client, _label)) = self.pending.pop() else {
+                return; // duplicated verdict: no request left to answer
+            };
             let mut shared = self.shared.borrow_mut();
             if ok {
                 shared.redeemed += 1;
@@ -238,7 +260,12 @@ impl Node for OriginNode {
             return;
         }
         // Client request: token (64 bytes) + request body.
-        let frame = Frame::decode(&msg.bytes).expect("client frame");
+        let Ok(frame) = Frame::decode(&msg.bytes) else {
+            return;
+        };
+        if frame.payload.len() < 64 {
+            return; // truncated request: fail closed, no content served
+        }
         let token_bytes = &frame.payload[..64];
         self.pending.insert(0, (from, msg.label.clone()));
         // Forward only the token to the issuer — carries no user-
@@ -256,6 +283,16 @@ impl Node for OriginNode {
 /// Run the scenario: `n_clients` clients each redeem `fetches_each` tokens
 /// (one issuance batch covers them; `fetches_each ≤ 4`).
 pub fn run(n_clients: usize, fetches_each: usize, seed: u64) -> ScenarioReport {
+    run_with_faults(n_clients, fetches_each, seed, &FaultConfig::calm())
+}
+
+/// Run the scenario under a fault schedule.
+pub fn run_with_faults(
+    n_clients: usize,
+    fetches_each: usize,
+    seed: u64,
+    faults: &FaultConfig,
+) -> ScenarioReport {
     use rand::SeedableRng;
     assert!(fetches_each <= TOKENS_PER_BATCH);
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9a55);
@@ -292,6 +329,7 @@ pub fn run(n_clients: usize, fetches_each: usize, seed: u64) -> ScenarioReport {
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(15));
+    net.enable_faults(faults.clone(), seed);
 
     let issuer_id = NodeId(0);
     let origin_id = NodeId(1);
@@ -320,6 +358,7 @@ pub fn run(n_clients: usize, fetches_each: usize, seed: u64) -> ScenarioReport {
     }
 
     net.run();
+    let fault_log = net.fault_log();
     let (world, trace) = net.into_parts();
     let shared = Rc::try_unwrap(shared)
         .map_err(|_| ())
@@ -337,6 +376,7 @@ pub fn run(n_clients: usize, fetches_each: usize, seed: u64) -> ScenarioReport {
         refused: shared.refused,
         mean_fetch_us: mean,
         users,
+        fault_log,
     }
 }
 

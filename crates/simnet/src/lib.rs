@@ -70,7 +70,30 @@ impl SimTime {
 
 impl core::ops::Sub for SimTime {
     type Output = u64;
+    /// Saturating difference: fault injection can reorder deliveries so a
+    /// jittered `deliver_time` may precede a later `send_time`; a
+    /// subtraction that panics in debug builds would turn an injected
+    /// reorder into a crash instead of a measurement.
     fn sub(self, rhs: SimTime) -> u64 {
-        self.0 - rhs.0
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SimTime;
+
+    #[test]
+    fn sub_saturates_instead_of_panicking() {
+        assert_eq!(SimTime(500) - SimTime(200), 300);
+        assert_eq!(SimTime(200) - SimTime(500), 0, "negative gap saturates");
+        assert_eq!(SimTime::ZERO - SimTime(1), 0);
+    }
+
+    #[test]
+    fn after_and_accessors() {
+        let t = SimTime::ZERO.after(1500);
+        assert_eq!(t.as_us(), 1500);
+        assert!((t.as_ms() - 1.5).abs() < 1e-9);
     }
 }

@@ -4,6 +4,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use dcp_core::{EntityId, World};
+use dcp_faults::{buggify, FaultConfig, FaultKind, FaultLog, Injector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -119,6 +120,16 @@ pub struct Network {
     trace: Trace,
     rng: StdRng,
     started: bool,
+    /// The fault injector, when enabled. It owns its own RNG so that a
+    /// disabled-faults run and a calm-preset run draw identical traffic
+    /// randomness, and the disabled cost is one `Option` branch per
+    /// injection point.
+    faults: Option<Injector>,
+    /// Per-node restart time; a node is down while `now < down_until`.
+    down_until: Vec<SimTime>,
+    /// Nodes marked as relays: the churn fault (`p_relay_churn`) targets
+    /// only these.
+    relays: Vec<bool>,
 }
 
 impl Network {
@@ -138,6 +149,9 @@ impl Network {
             trace: Trace::default(),
             rng: StdRng::seed_from_u64(seed),
             started: false,
+            faults: None,
+            down_until: Vec::new(),
+            relays: Vec::new(),
         }
     }
 
@@ -146,7 +160,59 @@ impl Network {
         let id = NodeId(self.nodes.len());
         self.node_entities.push(node.entity());
         self.nodes.push(Some(node));
+        self.down_until.push(SimTime::ZERO);
+        self.relays.push(false);
         id
+    }
+
+    /// Enable fault injection for this run. `seed` should be derived from
+    /// the scenario seed so the whole run — traffic *and* faults — is a
+    /// pure function of `(seed, config)`. A config with `enabled: false`
+    /// (e.g. [`FaultConfig::calm`]) installs nothing.
+    pub fn enable_faults(&mut self, config: FaultConfig, seed: u64) {
+        self.faults = config.enabled.then(|| Injector::new(config, seed));
+    }
+
+    /// Mark `id` as a relay: a churn target for `p_relay_churn` (mid-
+    /// circuit mixes, MPR hops, ODoH proxies, …).
+    pub fn mark_relay(&mut self, id: NodeId) {
+        self.relays[id.0] = true;
+    }
+
+    /// The fault schedule injected so far (empty when faults are
+    /// disabled). Two runs with the same `(seed, FaultConfig)` return
+    /// identical logs.
+    pub fn fault_log(&self) -> FaultLog {
+        self.faults
+            .as_ref()
+            .map(|inj| inj.log().clone())
+            .unwrap_or_default()
+    }
+
+    /// Is `id` currently crashed?
+    pub fn is_down(&self, id: NodeId) -> bool {
+        self.now < self.down_until[id.0]
+    }
+
+    /// Inject the key-compromise fault: `beneficiary` acquires every
+    /// decryption capability `victim` holds (the §4.2 collusion model —
+    /// the one fault allowed to break decoupling, which the analysis must
+    /// then *detect*). Each leaked key is recorded in the fault log.
+    pub fn inject_key_compromise(&mut self, victim: EntityId, beneficiary: EntityId) {
+        let now_us = self.now.as_us();
+        for key in self.world.keys_of(victim) {
+            self.world.grant_key(beneficiary, key);
+            if let Some(inj) = self.faults.as_mut() {
+                inj.record(
+                    now_us,
+                    FaultKind::KeyCompromise {
+                        victim: victim.0,
+                        beneficiary: beneficiary.0,
+                        key: key.0,
+                    },
+                );
+            }
+        }
     }
 
     /// Set parameters for the directed link `a → b` (and `b → a` if
@@ -244,15 +310,52 @@ impl Network {
     pub fn run_until(&mut self, deadline: SimTime) -> usize {
         self.start_if_needed();
         let mut processed = 0;
-        loop {
-            let Some(time) = self.queue.peek().map(|Reverse(e)| e.time) else {
-                break;
-            };
+        while let Some(time) = self.queue.peek().map(|Reverse(e)| e.time) {
             if time > deadline {
                 break;
             }
             let Reverse(event) = self.queue.pop().unwrap();
             self.now = event.time;
+
+            // Crash faults. A down node loses every message and timer
+            // that arrives before its restart; a crash triggered *by*
+            // this event loses the event itself (the node died holding
+            // it). State is preserved across the restart.
+            let target = event.target;
+            if self.is_down(target) {
+                if let Some(inj) = self.faults.as_mut() {
+                    inj.record(self.now.as_us(), FaultKind::CrashLoss { node: target.0 });
+                }
+                processed += 1;
+                continue;
+            }
+            if matches!(event.kind, EventKind::Deliver { .. }) {
+                let crashed = if self.relays[target.0] {
+                    buggify!(self.faults, p_relay_churn)
+                } else {
+                    buggify!(self.faults, p_crash)
+                };
+                if crashed {
+                    let inj = self.faults.as_mut().expect("buggify hit without injector");
+                    let until_us = self.now.as_us() + inj.config.crash_down_us;
+                    let kind = if self.relays[target.0] {
+                        FaultKind::RelayChurn {
+                            node: target.0,
+                            until_us,
+                        }
+                    } else {
+                        FaultKind::Crash {
+                            node: target.0,
+                            until_us,
+                        }
+                    };
+                    inj.record(self.now.as_us(), kind);
+                    self.down_until[target.0] = SimTime(until_us);
+                    processed += 1;
+                    continue;
+                }
+            }
+
             match event.kind {
                 EventKind::Deliver { from, msg } => {
                     self.deliver(event.target, from, msg);
@@ -329,9 +432,51 @@ impl Network {
 
     fn flush(&mut self, from: NodeId, outbox: Vec<(NodeId, Message)>, timers: Vec<(SimTime, u64)>) {
         for (to, msg) in outbox {
+            let now_us = self.now.as_us();
+
+            // --- fault injection (buggify): the wire catalog ----------
+            // Every probabilistic decision goes through `buggify!` against
+            // the injector's own seeded RNG, so the whole fault schedule
+            // replays from (seed, FaultConfig).
+            if let Some(inj) = self.faults.as_mut() {
+                if inj.partitioned(now_us, from.0, to.0) {
+                    // Inside an open partition window: silently dropped
+                    // (the window itself was logged when it opened).
+                    continue;
+                }
+            }
+            if buggify!(self.faults, p_partition) {
+                let inj = self.faults.as_mut().expect("buggify hit without injector");
+                inj.open_partition(now_us, from.0, to.0);
+                continue; // the triggering packet is the first casualty
+            }
+            if buggify!(self.faults, p_drop) {
+                let inj = self.faults.as_mut().expect("buggify hit without injector");
+                inj.record(
+                    now_us,
+                    FaultKind::Drop {
+                        src: from.0,
+                        dst: to.0,
+                    },
+                );
+                continue;
+            }
+            let copies = if buggify!(self.faults, p_duplicate) {
+                let inj = self.faults.as_mut().expect("buggify hit without injector");
+                inj.record(
+                    now_us,
+                    FaultKind::Duplicate {
+                        src: from.0,
+                        dst: to.0,
+                        copies: 2,
+                    },
+                );
+                2
+            } else {
+                1
+            };
+
             let params = self.link(from, to);
-            let delay = params.delivery_delay(msg.size(), &mut self.rng);
-            let deliver_time = self.now.after(delay);
 
             // Wiretaps observe the label (without keys → envelope only).
             for tap in &self.taps {
@@ -344,22 +489,68 @@ impl Network {
                 }
             }
 
-            self.trace.push(PacketRecord {
-                send_time: self.now,
-                deliver_time,
-                src: from,
-                dst: to,
-                size: msg.size(),
-                true_flow: msg.flow,
-            });
+            let (size, flow) = (msg.size(), msg.flow);
+            let mut msg = Some(msg);
+            for copy in 0..copies {
+                let delay = params.delivery_delay(size, &mut self.rng);
 
-            let seq = self.bump_seq();
-            self.queue.push(Reverse(Event {
-                time: deliver_time,
-                seq,
-                target: to,
-                kind: EventKind::Deliver { from, msg },
-            }));
+                // Congestion faults: extra queueing delay, or a hold-back
+                // long enough that later same-link traffic overtakes this
+                // packet (a genuine reorder, since the event queue orders
+                // by delivery time).
+                let extra_us = if buggify!(self.faults, p_extra_delay) {
+                    let inj = self.faults.as_mut().expect("buggify hit without injector");
+                    let d = inj.amount(inj.config.max_extra_delay_us);
+                    inj.record(
+                        now_us,
+                        FaultKind::ExtraDelay {
+                            src: from.0,
+                            dst: to.0,
+                            delay_us: d,
+                        },
+                    );
+                    d
+                } else if buggify!(self.faults, p_reorder) {
+                    let inj = self.faults.as_mut().expect("buggify hit without injector");
+                    let d = 2 * params.latency_us + inj.amount(params.latency_us.max(1));
+                    inj.record(
+                        now_us,
+                        FaultKind::Reorder {
+                            src: from.0,
+                            dst: to.0,
+                            delay_us: d,
+                        },
+                    );
+                    d
+                } else {
+                    0
+                };
+
+                let deliver_time = self.now.after(delay + extra_us);
+                self.trace.push(PacketRecord {
+                    send_time: self.now,
+                    deliver_time,
+                    src: from,
+                    dst: to,
+                    size,
+                    true_flow: flow,
+                });
+
+                // Move the message into the last copy; clone only when a
+                // duplicate fault actually fired.
+                let payload = if copy + 1 == copies {
+                    msg.take().expect("message already sent")
+                } else {
+                    msg.as_ref().expect("message already sent").clone()
+                };
+                let seq = self.bump_seq();
+                self.queue.push(Reverse(Event {
+                    time: deliver_time,
+                    seq,
+                    target: to,
+                    kind: EventKind::Deliver { from, msg: payload },
+                }));
+            }
         }
         for (at, token) in timers {
             let seq = self.bump_seq();
@@ -376,7 +567,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_core::{DataKind, InfoItem, Label, UserId};
+    use dcp_core::{DataKind, InfoItem, Label};
 
     /// Echoes every message back to its sender, once.
     struct Echo {
@@ -592,6 +783,189 @@ mod tests {
         // Inspect through a second run — instead pull the node back out:
         // the simplest check is event count and quiescence.
         assert_eq!(net.now().as_us(), 300);
+    }
+
+    #[test]
+    fn disabled_faults_change_nothing() {
+        // Wiring the injector in must not perturb a run that never
+        // enables it — nor one that enables the calm (no-op) preset.
+        let run = |calm: bool| {
+            let (world, ea, eb) = two_entity_world();
+            let mut net = Network::new(world, 42);
+            if calm {
+                net.enable_faults(FaultConfig::calm(), 42);
+            }
+            let echo = net.add_node(Box::new(Echo {
+                entity: eb,
+                echoed: 0,
+            }));
+            let _p = net.add_node(Box::new(Pinger {
+                entity: ea,
+                peer: echo,
+                replies: 0,
+                sent_at: None,
+                rtt: None,
+            }));
+            net.run();
+            assert!(net.fault_log().is_empty());
+            net.trace()
+                .records()
+                .iter()
+                .map(|r| (r.send_time, r.deliver_time))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn fault_schedule_replays_bit_for_bit() {
+        let run = || {
+            let (world, ea, eb) = two_entity_world();
+            let mut net = Network::new(world, 13);
+            net.enable_faults(FaultConfig::chaos(), 13);
+            let echo = net.add_node(Box::new(Echo {
+                entity: eb,
+                echoed: 0,
+            }));
+            let ping = net.add_node(Box::new(Pinger {
+                entity: ea,
+                peer: echo,
+                replies: 0,
+                sent_at: None,
+                rtt: None,
+            }));
+            // Plenty of traffic so some faults actually fire.
+            for i in 0..200 {
+                net.post_at(ping, Message::public(vec![0; 64]), SimTime(i * 1000));
+            }
+            net.run();
+            (net.fault_log(), net.trace().len())
+        };
+        let (log_a, len_a) = run();
+        let (log_b, len_b) = run();
+        assert_eq!(log_a, log_b, "same (seed, config) → same FaultLog");
+        assert_eq!(len_a, len_b);
+        assert!(!log_a.is_empty(), "chaos over 200 packets injects faults");
+    }
+
+    #[test]
+    fn dropped_packets_never_deliver() {
+        let (world, ea, eb) = two_entity_world();
+        let mut net = Network::new(world, 99);
+        let mut config = FaultConfig::calm();
+        config.enabled = true;
+        config.p_drop = 1.0;
+        config.max_faults = u64::MAX;
+        net.enable_faults(config, 99);
+        let echo = net.add_node(Box::new(Echo {
+            entity: eb,
+            echoed: 0,
+        }));
+        let _p = net.add_node(Box::new(Pinger {
+            entity: ea,
+            peer: echo,
+            replies: 0,
+            sent_at: None,
+            rtt: None,
+        }));
+        net.run();
+        assert_eq!(net.trace().len(), 0, "every send dropped on the wire");
+        assert!(net
+            .fault_log()
+            .events()
+            .iter()
+            .all(|e| matches!(e.kind, dcp_faults::FaultKind::Drop { .. })));
+        assert_eq!(net.fault_log().len(), 1, "the one ping");
+    }
+
+    #[test]
+    fn duplicates_double_deliver() {
+        let (world, ea, eb) = two_entity_world();
+        let mut net = Network::new(world, 5);
+        let mut config = FaultConfig::calm();
+        config.enabled = true;
+        config.p_duplicate = 1.0;
+        config.max_faults = 1; // only the first send duplicates
+        net.enable_faults(config, 5);
+        let echo = net.add_node(Box::new(Echo {
+            entity: eb,
+            echoed: 0,
+        }));
+        let _p = net.add_node(Box::new(Pinger {
+            entity: ea,
+            peer: echo,
+            replies: 0,
+            sent_at: None,
+            rtt: None,
+        }));
+        net.run();
+        // Ping duplicated (2 wire records) + 2 echo replies = 4.
+        assert_eq!(net.trace().len(), 4);
+        assert_eq!(net.fault_log().duplicates_on_link(1, 0), 1);
+    }
+
+    #[test]
+    fn crashed_node_loses_messages_then_restarts() {
+        let (world, _ea, eb) = two_entity_world();
+        let mut net = Network::new(world, 8);
+        let mut config = FaultConfig::calm();
+        config.enabled = true;
+        config.p_relay_churn = 1.0;
+        config.crash_down_us = 50_000;
+        config.max_faults = 1;
+        net.enable_faults(config, 8);
+        let echo = net.add_node(Box::new(Echo {
+            entity: eb,
+            echoed: 0,
+        }));
+        net.mark_relay(echo);
+        // The first message triggers the crash and dies with it; the
+        // second arrives inside the down window and is lost; the third
+        // arrives after the restart and is processed normally.
+        net.post_at(echo, Message::public(vec![1]), SimTime(0));
+        net.post_at(echo, Message::public(vec![2]), SimTime(10_000));
+        net.post_at(echo, Message::public(vec![3]), SimTime(60_000));
+        net.run();
+        let log = net.fault_log();
+        use dcp_faults::FaultKind;
+        assert_eq!(
+            log.count(|k| matches!(k, FaultKind::RelayChurn { .. })),
+            1,
+            "{log:?}"
+        );
+        assert_eq!(
+            log.count(|k| matches!(k, FaultKind::CrashLoss { .. })),
+            1,
+            "second message lost while down: {log:?}"
+        );
+        assert!(!net.is_down(echo), "restarted after the window");
+    }
+
+    #[test]
+    fn key_compromise_is_logged_and_grants_capability() {
+        let (mut world, ea, eb) = two_entity_world();
+        let user = world.add_user();
+        let key = world.new_key(&[eb]);
+        let item = InfoItem::sensitive_data(user, DataKind::Payload);
+        let mut net = Network::new(world, 4);
+        let mut config = FaultConfig::calm();
+        config.enabled = true;
+        net.enable_faults(config, 4);
+        let _a = net.add_node(Box::new(Echo {
+            entity: ea,
+            echoed: 0,
+        }));
+        net.inject_key_compromise(eb, ea);
+        assert!(net.world().has_key(ea, key));
+        let log = net.fault_log();
+        assert_eq!(
+            log.count(|k| matches!(k, dcp_faults::FaultKind::KeyCompromise { .. })),
+            1
+        );
+        // And the capability is live: ea now opens eb-sealed payloads.
+        net.world_mut()
+            .observe(ea, &dcp_core::Label::item(item.clone()).sealed(key));
+        assert!(net.world().ledger(ea).contains(&item));
     }
 
     #[test]

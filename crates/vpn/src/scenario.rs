@@ -6,6 +6,7 @@ use std::rc::Rc;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, UserId, World};
 use dcp_crypto::hpke;
+use dcp_faults::{FaultConfig, FaultLog};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Tap, Trace};
 
 const REQUEST: &[u8] = b"GET /account/medical-records HTTP/1.1";
@@ -24,6 +25,8 @@ pub struct VpnReport {
     pub mean_fetch_us: f64,
     /// The users.
     pub users: Vec<UserId>,
+    /// Faults injected during the run (empty when faults are disabled).
+    pub fault_log: FaultLog,
 }
 
 impl VpnReport {
@@ -118,17 +121,25 @@ impl Node for VpnServer {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.origin {
-            let (client, _) = self.back.pop().expect("no back route");
+            let Some((client, _)) = self.back.pop() else {
+                return; // duplicated response: no back-route left
+            };
             ctx.send(client, msg);
             return;
         }
-        let req = hpke::open(&self.kp, b"vpn", b"", &msg.bytes).expect("tunnel open");
-        let user = self
+        // Fail closed: traffic that does not decrypt under the tunnel key,
+        // or from an unknown peer, is dropped — never proxied onward.
+        let Ok(req) = hpke::open(&self.kp, b"vpn", b"", &msg.bytes) else {
+            return;
+        };
+        let Some(user) = self
             .node_user
             .iter()
             .find(|(n, _)| *n == from)
             .map(|(_, u)| *u)
-            .expect("unknown subscriber");
+        else {
+            return;
+        };
         self.back.insert(0, (from, user));
         // Proxied onward in the clear (from the origin's view, the client
         // is the VPN's address).
@@ -153,8 +164,18 @@ impl Node for PlainOrigin {
     }
 }
 
-/// Run the VPN scenario.
+/// Run the VPN scenario with faults disabled.
 pub fn run_vpn(n_users: usize, fetches_each: usize, seed: u64) -> VpnReport {
+    run_vpn_with_faults(n_users, fetches_each, seed, &FaultConfig::calm())
+}
+
+/// Run the VPN scenario under a fault schedule.
+pub fn run_vpn_with_faults(
+    n_users: usize,
+    fetches_each: usize,
+    seed: u64,
+    faults: &FaultConfig,
+) -> VpnReport {
     use rand::SeedableRng;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1f);
     let mut world = World::new();
@@ -184,6 +205,7 @@ pub fn run_vpn(n_users: usize, fetches_each: usize, seed: u64) -> VpnReport {
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(10));
+    net.enable_faults(faults.clone(), seed);
     let vpn_id = NodeId(0);
     let origin_id = NodeId(1);
 
@@ -199,6 +221,7 @@ pub fn run_vpn(n_users: usize, fetches_each: usize, seed: u64) -> VpnReport {
         back: Vec::new(),
         node_user,
     }));
+    net.mark_relay(vpn_id);
     net.add_node(Box::new(PlainOrigin { entity: origin_e }));
     let stats = Rc::new(RefCell::new(VpnStats {
         completed: 0,
@@ -227,6 +250,7 @@ pub fn run_vpn(n_users: usize, fetches_each: usize, seed: u64) -> VpnReport {
     });
 
     net.run();
+    let fault_log = net.fault_log();
     let (world, trace) = net.into_parts();
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
     let mean = if stats.latencies.is_empty() {
@@ -240,6 +264,7 @@ pub fn run_vpn(n_users: usize, fetches_each: usize, seed: u64) -> VpnReport {
         completed: stats.completed,
         mean_fetch_us: mean,
         users,
+        fault_log,
     }
 }
 

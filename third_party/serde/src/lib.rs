@@ -1,0 +1,255 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde's visitor architecture is far more than this workspace
+//! needs: the only consumer of serialization here is `serde_json`
+//! (itself vendored) writing experiment records. So the shim collapses
+//! serialization to a single method producing a JSON-ish [`Value`] tree,
+//! and the derive macros (see the sibling `serde_derive` shim) generate
+//! that method for structs and enums following serde_json's encoding
+//! conventions (newtype structs unwrap, unit enum variants become
+//! strings, data-carrying variants become single-key objects).
+//!
+//! `Deserialize` exists so `#[derive(Deserialize)]` and trait imports
+//! compile; nothing in the workspace deserializes.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value tree (the shim's wire-neutral intermediate form).
+///
+/// Object keys keep insertion order, matching what serde_json's
+/// `preserve_order` feature would give.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (ordered key → value pairs).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Render this value as a map key, the way serde_json coerces
+    /// non-string keys (integers and unit variants stringify; anything
+    /// else is rejected there, rendered best-effort here).
+    pub fn into_key(self) -> String {
+        match self {
+            Value::String(s) => s,
+            Value::U64(n) => n.to_string(),
+            Value::I64(n) => n.to_string(),
+            Value::F64(n) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Null => "null".to_string(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Serialization to a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into the intermediate value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Present so `#[derive(Deserialize)]` and `use serde::Deserialize`
+/// compile; the shim generates no deserialization code.
+pub trait Deserialize<'de>: Sized {}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn serialize_value(&self) -> Value {
+        // JSON numbers can't hold u128; serde_json uses arbitrary
+        // precision, the shim stringifies past u64::MAX.
+        u64::try_from(*self)
+            .map(Value::U64)
+            .unwrap_or_else(|_| Value::String(self.to_string()))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for () {
+    fn serialize_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.serialize_value().into_key(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.serialize_value().into_key(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containers_serialize_structurally() {
+        let v = vec![1u32, 2, 3].serialize_value();
+        assert_eq!(
+            v,
+            Value::Array(vec![Value::U64(1), Value::U64(2), Value::U64(3)])
+        );
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u8);
+        assert_eq!(
+            m.serialize_value(),
+            Value::Object(vec![("a".to_string(), Value::U64(1))])
+        );
+        assert_eq!(None::<u8>.serialize_value(), Value::Null);
+        assert!(!(1u8, "x").serialize_value().into_key().is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! No `syn`/`quote` (the build environment is offline), so this is a
+//! hand-rolled token walker. It supports exactly the shapes the
+//! workspace derives on: non-generic named-field structs, tuple structs,
+//! and enums whose variants are unit, tuple, or struct-like. Output
+//! follows serde_json's conventions (newtype structs unwrap, unit
+//! variants serialize as their name, data variants as `{ "Name": ... }`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum TypeDef {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skip `#[...]` attributes (including doc comments) at the cursor.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` at the cursor.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past one type (or expression) until a top-level comma,
+/// tracking `<...>` nesting so `Map<K, V>` doesn't split early.
+fn skip_until_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle: i32 = 0;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(body: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1; // field name
+        i += 1; // ':'
+        i = skip_until_comma(&tokens, i);
+        i += 1; // ','
+    }
+    fields
+}
+
+fn count_tuple_fields(body: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        count += 1;
+        i = skip_until_comma(&tokens, i);
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(body: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(&g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional discriminant, then the trailing comma.
+        i = skip_until_comma(&tokens, i);
+        i += 1;
+    }
+    variants
+}
+
+fn parse_type_def(input: TokenStream) -> TypeDef {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (add an impl by hand)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(&g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(&g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            TypeDef::Struct { name, fields }
+        }
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => TypeDef::Enum {
+                name,
+                variants: parse_variants(&g.stream()),
+            },
+            _ => panic!("serde shim derive: malformed enum {name}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind {other}"),
+    }
+}
+
+fn object_expr(pairs: &[(String, String)]) -> String {
+    let entries: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn generate_serialize(def: &TypeDef) -> String {
+    let (name, body) = match def {
+        TypeDef::Struct { name, fields } => {
+            let expr = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                // Newtype structs unwrap to their inner value.
+                Fields::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Named(fs) => {
+                    let pairs: Vec<(String, String)> = fs
+                        .iter()
+                        .map(|f| {
+                            (
+                                f.clone(),
+                                format!("::serde::Serialize::serialize_value(&self.{f})"),
+                            )
+                        })
+                        .collect();
+                    object_expr(&pairs)
+                }
+            };
+            (name, expr)
+        }
+        TypeDef::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                let arm = match &v.fields {
+                    Fields::Unit => format!(
+                        "{name}::{vn} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vn}({}) => {},",
+                            binds.join(", "),
+                            object_expr(&[(vn.clone(), inner)])
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let pairs: Vec<(String, String)> = fs
+                            .iter()
+                            .map(|f| {
+                                (
+                                    f.clone(),
+                                    format!("::serde::Serialize::serialize_value({f})"),
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {} }} => {},",
+                            fs.join(", "),
+                            object_expr(&[(vn.clone(), object_expr(&pairs))])
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            (name, format!("match self {{ {} }}", arms.join("\n")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Derive `serde::Serialize` (shim: a `Value`-tree builder).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input);
+    generate_serialize(&def)
+        .parse()
+        .expect("serde shim derive: generated impl failed to parse")
+}
+
+/// Derive `serde::Deserialize` (shim: marker impl only).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type_def(input);
+    let name = match &def {
+        TypeDef::Struct { name, .. } | TypeDef::Enum { name, .. } => name,
+    };
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde shim derive: generated impl failed to parse")
+}
