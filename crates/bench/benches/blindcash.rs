@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dcp_core::UserId;
 use decoupling::blindcash::bank::{Bank, Withdrawal};
+use decoupling::Scenario as _;
 use rand::SeedableRng;
 
 fn bench_cash_ops(c: &mut Criterion) {
@@ -37,7 +38,7 @@ fn bench_full_scenario(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            decoupling::blindcash::scenario::run(1, 1, 512, seed)
+            decoupling::Blindcash::run(&decoupling::BlindcashConfig::new(1, 1, 512), seed)
         })
     });
     g.finish();

@@ -2,7 +2,8 @@
 //! (the quantitative version of §4.2's cost/benefit discussion).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use decoupling::mpr::{run_chain, ChainConfig};
+use decoupling::Scenario as _;
+use decoupling::{ChainConfig, Mpr};
 
 fn bench_chain_depth(c: &mut Criterion) {
     let mut g = c.benchmark_group("degrees");
@@ -12,13 +13,14 @@ fn bench_chain_depth(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("fetch-via", relays), &relays, |b, &k| {
             b.iter(|| {
                 seed += 1;
-                run_chain(ChainConfig {
+                let config = ChainConfig {
                     relays: k,
                     users: 1,
                     fetches_each: 2,
                     geohint: false,
                     seed,
-                })
+                };
+                Mpr::run(&config, seed)
             })
         });
     }

@@ -7,8 +7,16 @@
 //! are benchmarked alongside for scale.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use decoupling::faults::FaultConfig;
-use decoupling::mixnet::scenario::{run, run_with_faults, MixnetConfig};
+use decoupling::Scenario as _;
+use decoupling::{FaultConfig, Mixnet, MixnetConfig};
+
+fn run(config: MixnetConfig) -> decoupling::mixnet::MixnetReport {
+    Mixnet::run(&config, config.seed)
+}
+
+fn run_with_faults(config: MixnetConfig, faults: &FaultConfig) -> decoupling::mixnet::MixnetReport {
+    Mixnet::run_with_faults(&config, config.seed, faults)
+}
 
 fn config(seed: u64) -> MixnetConfig {
     MixnetConfig {

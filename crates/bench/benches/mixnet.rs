@@ -4,6 +4,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dcp_core::{KeyId, Label};
 use dcp_crypto::hpke;
 use decoupling::transport::onion::{self, Hop};
+use decoupling::Scenario as _;
 use rand::SeedableRng;
 
 fn bench_onion(c: &mut Criterion) {
@@ -44,7 +45,7 @@ fn bench_mixnet_sweep(c: &mut Criterion) {
             |b, &bs| {
                 b.iter(|| {
                     seed += 1;
-                    decoupling::mixnet::scenario::run(decoupling::mixnet::scenario::MixnetConfig {
+                    let config = decoupling::MixnetConfig {
                         senders: 8,
                         mixes: 2,
                         batch_size: bs,
@@ -53,7 +54,8 @@ fn bench_mixnet_sweep(c: &mut Criterion) {
                         chaff_per_sender: 0,
                         mix_max_wait_us: None,
                         seed,
-                    })
+                    };
+                    decoupling::Mixnet::run(&config, seed)
                 })
             },
         );

@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dcp_crypto::hpke;
 use decoupling::dns::{DnsName, Message, RrType};
 use decoupling::odns::odoh;
+use decoupling::Scenario as _;
 use rand::SeedableRng;
 
 fn bench_encapsulation(c: &mut Criterion) {
@@ -32,13 +33,13 @@ fn bench_simulated_resolution(c: &mut Criterion) {
     g.bench_function("odoh-5-queries", |b| {
         b.iter(|| {
             seed += 1;
-            decoupling::odns::scenario::run_odoh(1, 5, seed)
+            decoupling::Odoh::run(&decoupling::OdohConfig::new(1, 5), seed)
         })
     });
     g.bench_function("direct-5-queries", |b| {
         b.iter(|| {
             seed += 1;
-            decoupling::odns::scenario::run_direct(1, 5, 1, seed)
+            decoupling::DirectDns::run(&decoupling::DirectDnsConfig::new(1, 5, 1), seed)
         })
     });
     g.finish();

@@ -2,6 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use decoupling::ppm::prio::{process_locally, submit, Aggregator};
+use decoupling::Scenario as _;
 use rand::SeedableRng;
 
 fn bench_prio_ops(c: &mut Criterion) {
@@ -36,12 +37,13 @@ fn bench_population(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("aggregate", clients), &clients, |b, &n| {
             b.iter(|| {
                 seed += 1;
-                decoupling::ppm::scenario::run(decoupling::ppm::scenario::PpmConfig {
+                let config = decoupling::PpmConfig {
                     clients: n,
                     bits: 8,
                     malicious: 0,
                     seed,
-                })
+                };
+                decoupling::Ppm::run(&config, seed)
             })
         });
     }

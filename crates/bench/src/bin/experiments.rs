@@ -5,7 +5,10 @@
 //!
 //! Run with: `cargo run --release -p dcp-bench --bin experiments`
 
-use dcp_bench::{all_tables, exp_chaff, exp_circuits, exp_degrees, exp_striping, exp_traffic};
+use dcp_bench::{
+    all_tables, exp_chaff, exp_circuits, exp_degrees, exp_metrics, exp_padding_cost,
+    exp_relay_latency, exp_striping, exp_traffic,
+};
 
 fn main() {
     let seed = 20221114; // HotNets '22 opening day
@@ -113,6 +116,59 @@ fn main() {
     }
     println!(">>> per-resolver visibility falls roughly as 1/r ✓\n");
 
+    // -------------------------------------------- E-OBS metrics layer --
+    println!("## Part 5: E-OBS — instrumented runs (metrics layer)\n");
+    let metrics = exp_metrics(seed);
+    println!("scenario      msgs  delivered      bytes  crypto-ops  sim-end(ms)");
+    for m in &metrics {
+        println!(
+            "{:<12} {:>5}  {:>9}  {:>9}  {:>10}  {:>11.1}",
+            m.scenario,
+            m.messages_sent,
+            m.messages_delivered,
+            m.bytes_sent,
+            m.crypto_total(),
+            m.sim_end_us as f64 / 1000.0
+        );
+        assert!(
+            m.wire_accounting_holds(),
+            "{}: sent != delivered + dropped + lost + unserviced",
+            m.scenario
+        );
+        dcp_obs::write_json(m, format!("out/metrics/{}.json", m.scenario))
+            .expect("write per-scenario metrics artifact");
+    }
+    println!(">>> wire accounting holds for all eight; artifacts in out/metrics/ ✓\n");
+
+    println!("## Part 5b: E-OBS-1 — relays vs latency (from span records)\n");
+    let relay_latency = exp_relay_latency(4, seed);
+    println!("scenario  hops  mean-latency(ms)  msgs  crypto-ops");
+    for row in &relay_latency {
+        println!(
+            "{:<8}  {:>4}  {:>16.1}  {:>4}  {:>10}",
+            row.scenario,
+            row.relays,
+            row.mean_latency_us / 1000.0,
+            row.messages_sent,
+            row.crypto_ops
+        );
+    }
+    println!(">>> every added hop costs propagation + crypto, as §4.2 prices it ✓\n");
+
+    println!("## Part 5c: E-OBS-2 — padding cost at the wire\n");
+    let padding = exp_padding_cost(&[0, 1, 3, 5], seed);
+    println!("chaff/sender  bytes-sent  bytes-factor  real-e2e(ms)");
+    for row in &padding {
+        println!(
+            "{:>12}  {:>10}  {:>12.2}  {:>12.1}",
+            row.chaff_per_sender,
+            row.bytes_sent,
+            row.bytes_factor,
+            row.mean_e2e_us / 1000.0
+        );
+    }
+    println!(">>> cover traffic multiplies bytes, not latency — the §4.3 bill ✓\n");
+
     // ----------------------------------------------------- JSON record --
     let record = serde_json::json!({
         "seed": seed,
@@ -122,6 +178,8 @@ fn main() {
         "chaff": chaff,
         "circuits": circuits,
         "striping": striping,
+        "relay_latency": relay_latency,
+        "padding_cost": padding,
     });
     std::fs::create_dir_all("out").expect("create out/");
     std::fs::write(

@@ -8,6 +8,7 @@
 use dcp_core::degrees::{DegreePoint, DegreeSweep};
 use dcp_core::table::DecouplingTable;
 use dcp_core::{analyze, collusion::entity_collusion};
+use decoupling::Scenario as _;
 use serde::Serialize;
 
 /// One reproduced table: experiment id, measured and paper versions.
@@ -55,7 +56,7 @@ fn table_result(
 
 /// T-3.1.1 — blind-signature digital cash.
 pub fn exp_blindcash(seed: u64) -> TableResult {
-    let r = decoupling::blindcash::scenario::run(1, 2, 512, seed);
+    let r = decoupling::Blindcash::run(&decoupling::BlindcashConfig::new(1, 2, 512), seed);
     let coll = entity_collusion(&r.world, r.buyers[0], 3);
     table_result(
         "T-3.1.1",
@@ -70,7 +71,7 @@ pub fn exp_blindcash(seed: u64) -> TableResult {
 
 /// F-1 / T-3.1.2 — mix-net.
 pub fn exp_mixnet(seed: u64) -> TableResult {
-    let r = decoupling::mixnet::scenario::run(decoupling::mixnet::scenario::MixnetConfig {
+    let config = decoupling::MixnetConfig {
         senders: 8,
         mixes: 2,
         batch_size: 4,
@@ -79,7 +80,8 @@ pub fn exp_mixnet(seed: u64) -> TableResult {
         chaff_per_sender: 0,
         mix_max_wait_us: None,
         seed,
-    });
+    };
+    let r = decoupling::Mixnet::run(&config, seed);
     let coll = entity_collusion(&r.world, r.users[0], 3);
     table_result(
         "F-1/T-3.1.2",
@@ -94,7 +96,7 @@ pub fn exp_mixnet(seed: u64) -> TableResult {
 
 /// F-2 / T-3.2.1 — Privacy Pass.
 pub fn exp_privacypass(seed: u64) -> TableResult {
-    let r = decoupling::privacypass::scenario::run(1, 2, seed);
+    let r = decoupling::Privacypass::run(&decoupling::PrivacypassConfig::new(1, 2), seed);
     let coll = entity_collusion(&r.world, r.users[0], 3);
     table_result(
         "F-2/T-3.2.1",
@@ -109,7 +111,7 @@ pub fn exp_privacypass(seed: u64) -> TableResult {
 
 /// T-3.2.2 — Oblivious DNS.
 pub fn exp_odns(seed: u64) -> TableResult {
-    let r = decoupling::odns::scenario::run_odoh(1, 5, seed);
+    let r = decoupling::Odoh::run(&decoupling::OdohConfig::new(1, 5), seed);
     let coll = entity_collusion(&r.world, r.users[0], 3);
     table_result(
         "T-3.2.2",
@@ -124,14 +126,15 @@ pub fn exp_odns(seed: u64) -> TableResult {
 
 /// T-3.2.3 — PGPP.
 pub fn exp_pgpp(seed: u64) -> TableResult {
-    let r = decoupling::pgpp::scenario::run(decoupling::pgpp::scenario::PgppConfig {
-        mode: decoupling::pgpp::scenario::Mode::Pgpp,
+    let config = decoupling::PgppConfig {
+        mode: decoupling::pgpp::Mode::Pgpp,
         users: 6,
         cells: 3,
         epochs: 3,
         moves_per_epoch: 2,
         seed,
-    });
+    };
+    let r = decoupling::Pgpp::run(&config, seed);
     let coll = entity_collusion(&r.world, r.users[0], 3);
     table_result(
         "T-3.2.3",
@@ -146,13 +149,14 @@ pub fn exp_pgpp(seed: u64) -> TableResult {
 
 /// T-3.2.4 — Multi-Party Relay.
 pub fn exp_mpr(seed: u64) -> TableResult {
-    let r = decoupling::mpr::run_chain(decoupling::mpr::ChainConfig {
+    let config = decoupling::ChainConfig {
         relays: 2,
         users: 1,
         fetches_each: 3,
         geohint: false,
         seed,
-    });
+    };
+    let r = decoupling::Mpr::run(&config, seed);
     let coll = entity_collusion(&r.world, r.users[0], 4);
     table_result(
         "T-3.2.4",
@@ -167,12 +171,13 @@ pub fn exp_mpr(seed: u64) -> TableResult {
 
 /// T-3.2.5 — Private aggregate statistics.
 pub fn exp_ppm(seed: u64) -> TableResult {
-    let r = decoupling::ppm::scenario::run(decoupling::ppm::scenario::PpmConfig {
+    let config = decoupling::PpmConfig {
         clients: 10,
         bits: 8,
         malicious: 0,
         seed,
-    });
+    };
+    let r = decoupling::Ppm::run(&config, seed);
     let coll = entity_collusion(&r.world, r.users[0], 3);
     table_result(
         "T-3.2.5",
@@ -187,7 +192,7 @@ pub fn exp_ppm(seed: u64) -> TableResult {
 
 /// T-3.3 — VPN cautionary tale.
 pub fn exp_vpn(seed: u64) -> TableResult {
-    let r = decoupling::vpn::run_vpn(1, 2, seed);
+    let r = decoupling::Vpn::run(&decoupling::VpnConfig::new(1, 2), seed);
     let coll = entity_collusion(&r.world, r.users[0], 3);
     table_result(
         "T-3.3",
@@ -225,13 +230,14 @@ pub fn exp_degrees(max_relays: usize, seed: u64) -> DegreeSweep {
             2 => "mpr-2".to_string(),
             n => format!("chain-{n}"),
         };
-        let r = decoupling::mpr::run_chain(decoupling::mpr::ChainConfig {
+        let chain = decoupling::ChainConfig {
             relays: k,
             users: 2,
             fetches_each: 3,
             geohint: false,
             seed,
-        });
+        };
+        let r = decoupling::Mpr::run(&chain, seed);
         let verdict = analyze(&r.world);
         let coll = entity_collusion(&r.world, r.users[0], k.max(1) + 1);
         sweep.push(DegreePoint {
@@ -276,17 +282,17 @@ pub fn exp_traffic(batch_sizes: &[usize], seeds: u64, base_seed: u64) -> Vec<Tra
             let mut anon = 0.0;
             let mut lat = 0.0;
             for s in 0..seeds {
-                let r =
-                    decoupling::mixnet::scenario::run(decoupling::mixnet::scenario::MixnetConfig {
-                        senders: 10,
-                        mixes: 2,
-                        batch_size,
-                        window_us: 400_000,
-                        shuffle: true,
-                        chaff_per_sender: 0,
-                        mix_max_wait_us: None,
-                        seed: base_seed + s,
-                    });
+                let config = decoupling::MixnetConfig {
+                    senders: 10,
+                    mixes: 2,
+                    batch_size,
+                    window_us: 400_000,
+                    shuffle: true,
+                    chaff_per_sender: 0,
+                    mix_max_wait_us: None,
+                    seed: base_seed + s,
+                };
+                let r = decoupling::Mixnet::run(&config, base_seed + s);
                 acc += r.attack.accuracy;
                 base += r.attack.random_baseline;
                 anon += r.mean_anonymity_set;
@@ -321,7 +327,7 @@ pub fn exp_chaff(levels: &[usize], seeds: u64, base_seed: u64) -> Vec<ChaffRow> 
     // flush round carries whatever arrived in the last 40 ms — chaff's
     // natural pairing.
     let run_cfg = |chaff: usize, seed: u64| {
-        decoupling::mixnet::scenario::run(decoupling::mixnet::scenario::MixnetConfig {
+        let config = decoupling::MixnetConfig {
             senders: 8,
             mixes: 2,
             batch_size: 1000,
@@ -330,7 +336,8 @@ pub fn exp_chaff(levels: &[usize], seeds: u64, base_seed: u64) -> Vec<ChaffRow> 
             chaff_per_sender: chaff,
             mix_max_wait_us: Some(40_000),
             seed,
-        })
+        };
+        decoupling::Mixnet::run(&config, seed)
     };
     let base_bytes: usize = (0..seeds)
         .map(|s| run_cfg(0, base_seed + s).trace.total_bytes())
@@ -395,7 +402,7 @@ pub fn exp_striping(resolver_counts: &[usize], seed: u64) -> Vec<StripingRow> {
     resolver_counts
         .iter()
         .map(|&r| {
-            let rep = decoupling::odns::scenario::run_direct(4, 50, r, seed);
+            let rep = decoupling::DirectDns::run(&decoupling::DirectDnsConfig::new(4, 50, r), seed);
             let total = rep.distinct_names.max(1) as f64;
             let max = *rep.resolver_views.iter().max().unwrap_or(&0) as f64;
             let mean =
@@ -425,4 +432,187 @@ mod tests {
         let sweep = exp_degrees(4, 9100);
         sweep.check_shape().expect("shape");
     }
+}
+
+// ------------------------------------------------------------- E-OBS ----
+
+/// One instrumented (calm) run of every §3 scenario, yielding the
+/// per-scenario [`dcp_core::MetricsReport`] artifacts that the
+/// `experiments` binary drops under `out/metrics/`.
+pub fn exp_metrics(seed: u64) -> Vec<dcp_core::MetricsReport> {
+    use decoupling::ScenarioReport as _;
+    let mixnet = decoupling::MixnetConfig {
+        senders: 8,
+        mixes: 2,
+        batch_size: 4,
+        window_us: 200_000,
+        shuffle: true,
+        chaff_per_sender: 0,
+        mix_max_wait_us: None,
+        seed,
+    };
+    let pgpp = decoupling::PgppConfig {
+        mode: decoupling::pgpp::Mode::Pgpp,
+        users: 4,
+        cells: 2,
+        epochs: 2,
+        moves_per_epoch: 2,
+        seed,
+    };
+    let mpr = decoupling::ChainConfig {
+        relays: 2,
+        users: 2,
+        fetches_each: 2,
+        geohint: false,
+        seed,
+    };
+    let ppm = decoupling::PpmConfig {
+        clients: 4,
+        bits: 8,
+        malicious: 0,
+        seed,
+    };
+    vec![
+        decoupling::Blindcash::run_instrumented(&decoupling::BlindcashConfig::new(1, 2, 512), seed)
+            .metrics()
+            .clone(),
+        decoupling::Mixnet::run_instrumented(&mixnet, seed)
+            .metrics()
+            .clone(),
+        decoupling::Privacypass::run_instrumented(&decoupling::PrivacypassConfig::new(1, 2), seed)
+            .metrics()
+            .clone(),
+        decoupling::Odoh::run_instrumented(&decoupling::OdohConfig::new(1, 5), seed)
+            .metrics()
+            .clone(),
+        decoupling::Pgpp::run_instrumented(&pgpp, seed)
+            .metrics()
+            .clone(),
+        decoupling::Mpr::run_instrumented(&mpr, seed)
+            .metrics()
+            .clone(),
+        decoupling::Ppm::run_instrumented(&ppm, seed)
+            .metrics()
+            .clone(),
+        decoupling::Vpn::run_instrumented(&decoupling::VpnConfig::new(1, 2), seed)
+            .metrics()
+            .clone(),
+    ]
+}
+
+/// One point on the relays-vs-latency curve, measured from span records
+/// rather than scenario-internal bookkeeping.
+#[derive(Clone, Debug, Serialize)]
+pub struct RelayLatencyRow {
+    /// Which chain is being lengthened ("mpr" or "mixnet").
+    pub scenario: String,
+    /// Hop count: MPR relays or mix-net mixes.
+    pub relays: usize,
+    /// Mean end-to-end span duration (µs) at this hop count.
+    pub mean_latency_us: f64,
+    /// Wire load at this hop count.
+    pub messages_sent: u64,
+    /// Bytes offered to the wire at this hop count.
+    pub bytes_sent: u64,
+    /// Total crypto operations (seals, opens, blinds, …).
+    pub crypto_ops: u64,
+}
+
+/// E-OBS-1 — relays vs latency, from the metrics layer: each added hop
+/// buys decoupling (§4.2) and costs propagation plus crypto. Sweeps the
+/// MPR chain over `0..=max_relays` and the mix-net over 1–3 mixes.
+pub fn exp_relay_latency(max_relays: usize, seed: u64) -> Vec<RelayLatencyRow> {
+    use decoupling::ScenarioReport as _;
+    let mut rows = Vec::new();
+    for relays in 0..=max_relays {
+        let chain = decoupling::ChainConfig {
+            relays,
+            users: 2,
+            fetches_each: 2,
+            geohint: false,
+            seed,
+        };
+        let m = decoupling::Mpr::run_instrumented(&chain, seed)
+            .metrics()
+            .clone();
+        rows.push(RelayLatencyRow {
+            scenario: "mpr".into(),
+            relays,
+            mean_latency_us: m.mean_span_us("fetch").unwrap_or(0.0),
+            messages_sent: m.messages_sent,
+            bytes_sent: m.bytes_sent,
+            crypto_ops: m.crypto_total(),
+        });
+    }
+    for mixes in 1..=3 {
+        let config = decoupling::MixnetConfig {
+            senders: 6,
+            mixes,
+            batch_size: 3,
+            window_us: 100_000,
+            shuffle: true,
+            chaff_per_sender: 0,
+            mix_max_wait_us: None,
+            seed,
+        };
+        let m = decoupling::Mixnet::run_instrumented(&config, seed)
+            .metrics()
+            .clone();
+        rows.push(RelayLatencyRow {
+            scenario: "mixnet".into(),
+            relays: mixes,
+            mean_latency_us: m.mean_span_us("e2e").unwrap_or(0.0),
+            messages_sent: m.messages_sent,
+            bytes_sent: m.bytes_sent,
+            crypto_ops: m.crypto_total(),
+        });
+    }
+    rows
+}
+
+/// One point on the padding-cost curve: chaff level vs measured wire
+/// bytes, from the simulator's own accounting.
+#[derive(Clone, Debug, Serialize)]
+pub struct PaddingCostRow {
+    /// Decoy messages injected per real sender.
+    pub chaff_per_sender: usize,
+    /// Bytes offered to the wire (real + chaff).
+    pub bytes_sent: u64,
+    /// Messages offered to the wire.
+    pub messages_sent: u64,
+    /// Bytes relative to the zero-chaff baseline.
+    pub bytes_factor: f64,
+    /// Mean end-to-end latency for *real* traffic (µs).
+    pub mean_e2e_us: f64,
+}
+
+/// E-OBS-2 — the §4.3 padding cost, measured at the wire: cover traffic
+/// multiplies bytes sent while real-traffic latency stays flat.
+pub fn exp_padding_cost(levels: &[usize], seed: u64) -> Vec<PaddingCostRow> {
+    use decoupling::ScenarioReport as _;
+    let mut rows: Vec<PaddingCostRow> = Vec::new();
+    for &chaff in levels {
+        let config = decoupling::MixnetConfig {
+            senders: 6,
+            mixes: 2,
+            batch_size: 3,
+            window_us: 100_000,
+            shuffle: true,
+            chaff_per_sender: chaff,
+            mix_max_wait_us: None,
+            seed,
+        };
+        let m = decoupling::Mixnet::run_instrumented(&config, seed)
+            .metrics()
+            .clone();
+        let base = rows.first().map_or(m.bytes_sent, |r| r.bytes_sent);
+        rows.push(PaddingCostRow {
+            chaff_per_sender: chaff,
+            bytes_sent: m.bytes_sent,
+            messages_sent: m.messages_sent,
+            bytes_factor: m.bytes_sent as f64 / base.max(1) as f64,
+            mean_e2e_us: m.mean_span_us("e2e").unwrap_or(0.0),
+        });
+    }
+    rows
 }

@@ -25,6 +25,8 @@ pub mod bank;
 pub mod coin;
 pub mod scenario;
 
+pub use scenario::{Blindcash, BlindcashConfig, ScenarioReport};
+
 pub use bank::{Bank, DepositError};
 pub use coin::Coin;
 

@@ -6,8 +6,12 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dcp_core::table::DecouplingTable;
-use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, UserId, World};
+use dcp_core::{
+    DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
+    World,
+};
 use dcp_faults::{FaultConfig, FaultLog};
+use dcp_obs::MetricsHandle;
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
 
 use crate::bank::{Bank, Withdrawal};
@@ -28,6 +32,86 @@ pub struct ScenarioReport {
     pub buyers: Vec<UserId>,
     /// Faults injected during the run (empty without fault injection).
     pub fault_log: FaultLog,
+    /// Run metrics (populated on instrumented runs).
+    pub metrics: MetricsReport,
+}
+
+impl dcp_core::ScenarioReport for ScenarioReport {
+    fn world(&self) -> &World {
+        &self.world
+    }
+    fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+    fn metrics(&self) -> &MetricsReport {
+        &self.metrics
+    }
+    fn completed_units(&self) -> u64 {
+        self.deposited as u64
+    }
+}
+
+/// Config for the [`Blindcash`] scenario.
+#[derive(Clone, Debug)]
+pub struct BlindcashConfig {
+    /// Number of buyers.
+    pub buyers: usize,
+    /// Withdraw/spend/deposit cycles per buyer.
+    pub coins_each: usize,
+    /// Bank RSA modulus size (512 for tests, 2048 for realistic benches).
+    pub rsa_bits: usize,
+}
+
+impl Default for BlindcashConfig {
+    fn default() -> Self {
+        BlindcashConfig {
+            buyers: 1,
+            coins_each: 1,
+            rsa_bits: 512,
+        }
+    }
+}
+
+impl BlindcashConfig {
+    /// `buyers` buyers completing `coins_each` cycles on an `rsa_bits` key.
+    pub fn new(buyers: usize, coins_each: usize, rsa_bits: usize) -> Self {
+        BlindcashConfig {
+            buyers,
+            coins_each,
+            rsa_bits,
+        }
+    }
+
+    /// Set the buyer count.
+    pub fn buyers(mut self, buyers: usize) -> Self {
+        self.buyers = buyers;
+        self
+    }
+
+    /// Set the per-buyer cycle count.
+    pub fn coins_each(mut self, coins_each: usize) -> Self {
+        self.coins_each = coins_each;
+        self
+    }
+
+    /// Set the bank key size.
+    pub fn rsa_bits(mut self, rsa_bits: usize) -> Self {
+        self.rsa_bits = rsa_bits;
+        self
+    }
+}
+
+/// §3.1.1 blind-signature e-cash: withdraw, spend, deposit.
+pub struct Blindcash;
+
+impl Scenario for Blindcash {
+    type Config = BlindcashConfig;
+    type Report = ScenarioReport;
+    const NAME: &'static str = "blindcash";
+
+    fn run_with(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
+        run_impl(cfg, seed, opts)
+    }
 }
 
 impl ScenarioReport {
@@ -71,6 +155,7 @@ struct BuyerNode {
 impl BuyerNode {
     fn start_withdrawal(&mut self, ctx: &mut Ctx) {
         let shared = self.bank.borrow();
+        ctx.world.crypto_op("rsa_blind");
         let w = Withdrawal::begin(ctx.rng, shared.bank.public_key()).expect("blind");
         drop(shared);
         let bytes = w.blinded_msg().to_vec();
@@ -111,6 +196,7 @@ impl Node for BuyerNode {
             // mangled one fails to unblind and the cycle stalls closed.
             let Some(w) = self.pending.take() else { return };
             let pk = self.bank.borrow().bank.public_key().clone();
+            ctx.world.crypto_op("rsa_unblind");
             let Ok(coin) = w.finish(&pk, &msg.bytes) else {
                 return;
             };
@@ -122,6 +208,8 @@ impl Node for BuyerNode {
             ctx.send(self.seller, Message::new(coin.encode(), label));
         } else if from == self.seller {
             // Receipt. Start the next cycle if any remain.
+            ctx.world
+                .span("cycle", self.started_at.as_us(), ctx.now.as_us());
             self.bank
                 .borrow_mut()
                 .cycle_times
@@ -155,6 +243,7 @@ impl Node for SignerNode {
         };
         // An over-drawn account (e.g. a duplicated withdraw request past
         // the balance) gets no signature: the bank fails closed.
+        ctx.world.crypto_op("rsa_sign");
         let Ok(blind_sig) = self.bank.borrow_mut().bank.withdraw(user, &msg.bytes) else {
             return;
         };
@@ -220,6 +309,7 @@ impl Node for VerifierNode {
         let Ok(coin) = Coin::decode(&msg.bytes, self.sig_len) else {
             return;
         };
+        ctx.world.crypto_op("rsa_verify");
         let mut shared = self.bank.borrow_mut();
         if shared.bank.deposit(self.seller_user, &coin).is_err() {
             return;
@@ -233,12 +323,18 @@ impl Node for VerifierNode {
 /// Run the scenario: `n_buyers` buyers each complete `coins_each`
 /// withdraw/spend/deposit cycles. `rsa_bits` sizes the bank key (512 for
 /// tests, 2048 for realistic benches).
+#[deprecated(
+    note = "use the unified Scenario API: `Blindcash::run(&BlindcashConfig::new(buyers, coins_each, rsa_bits), seed)`"
+)]
 pub fn run(n_buyers: usize, coins_each: usize, rsa_bits: usize, seed: u64) -> ScenarioReport {
-    run_with_faults(n_buyers, coins_each, rsa_bits, seed, &FaultConfig::calm())
+    Blindcash::run(&BlindcashConfig::new(n_buyers, coins_each, rsa_bits), seed)
 }
 
 /// [`run`], with network fault injection. The run — traffic and fault
 /// schedule both — is a pure function of `(seed, faults)`.
+#[deprecated(
+    note = "use the unified Scenario API: `Blindcash::run_with_faults(&cfg, seed, faults)`"
+)]
 pub fn run_with_faults(
     n_buyers: usize,
     coins_each: usize,
@@ -246,10 +342,20 @@ pub fn run_with_faults(
     seed: u64,
     faults: &FaultConfig,
 ) -> ScenarioReport {
+    Blindcash::run_with_faults(
+        &BlindcashConfig::new(n_buyers, coins_each, rsa_bits),
+        seed,
+        faults,
+    )
+}
+
+fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
     use rand::SeedableRng;
+    let (n_buyers, coins_each, rsa_bits) = (cfg.buyers, cfg.coins_each, cfg.rsa_bits);
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xb1bd);
 
     let mut world = World::new();
+    let obs = MetricsHandle::install_if(&mut world, opts.observe, Blindcash::NAME, seed);
     let bank_org = world.add_org("bank");
     let seller_org = world.add_org("seller");
     let user_org = world.add_org("users");
@@ -286,7 +392,7 @@ pub fn run_with_faults(
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(10));
-    net.enable_faults(faults.clone(), seed);
+    net.enable_faults(opts.faults.clone(), seed);
 
     // Reserve ids: signer=0, verifier=1, seller=2, buyers=3..
     let signer_id = NodeId(0);
@@ -332,7 +438,8 @@ pub fn run_with_faults(
 
     net.run();
     let fault_log = net.fault_log();
-    let (world, trace) = net.into_parts();
+    let (mut world, trace) = net.into_parts();
+    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
     let shared = Rc::try_unwrap(shared)
         .map_err(|_| ())
         .expect("sim still holds bank")
@@ -349,6 +456,7 @@ pub fn run_with_faults(
         mean_cycle_us: mean,
         buyers,
         fault_log,
+        metrics,
     }
 }
 
@@ -356,6 +464,23 @@ pub fn run_with_faults(
 mod tests {
     use super::*;
     use dcp_core::analyze;
+
+    fn run(buyers: usize, coins_each: usize, rsa_bits: usize, seed: u64) -> ScenarioReport {
+        Blindcash::run(&BlindcashConfig::new(buyers, coins_each, rsa_bits), seed)
+    }
+
+    #[test]
+    fn instrumented_run_counts_rsa_ops() {
+        let report = Blindcash::run_instrumented(&BlindcashConfig::new(1, 2, 512), 7);
+        assert_eq!(report.deposited, 2);
+        assert!(report.metrics.wire_accounting_holds());
+        assert_eq!(report.metrics.span_count("cycle"), 2);
+        // Per cycle: buyer blinds + bank signs + buyer unblinds +
+        // verifier verifies the deposit.
+        for op in ["rsa_blind", "rsa_sign", "rsa_unblind", "rsa_verify"] {
+            assert_eq!(report.metrics.crypto_ops[op], 2, "{op}");
+        }
+    }
 
     #[test]
     fn scenario_reproduces_paper_table() {

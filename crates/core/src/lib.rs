@@ -52,7 +52,10 @@ pub mod analysis;
 pub mod collusion;
 pub mod degrees;
 pub mod entity;
+pub mod faults;
 pub mod label;
+pub mod obs;
+pub mod scenario;
 pub mod table;
 pub mod tee;
 pub mod tuple;
@@ -60,6 +63,9 @@ pub mod world;
 
 pub use analysis::{analyze, DecouplingVerdict, Violation};
 pub use entity::{EntityId, OrgId, UserId};
+pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultLog};
 pub use label::{Aspect, DataKind, IdentityKind, InfoItem, InfoSet, KeyId, Label, Sensitivity};
+pub use obs::{KnowledgeRecord, MetricsReport, ObsEvent, ObsHandle, ObsSink, SpanRecord};
+pub use scenario::{RunOptions, Scenario, ScenarioReport};
 pub use tuple::{DataVis, IdVis, KnowledgeTuple};
 pub use world::World;

@@ -1,0 +1,197 @@
+//! The unified [`Scenario`] API: one way to run every §3 system.
+//!
+//! Historically the eight scenario crates grew divergent entrypoints —
+//! `blindcash::run(n_buyers, coins_each, rsa_bits, seed)` took positional
+//! arguments while `mixnet::run(MixnetConfig)` took a config struct, and
+//! only some offered a fault-injecting variant. This module replaces all
+//! of them with one trait:
+//!
+//! ```ignore
+//! use dcp_core::{FaultConfig, Scenario, ScenarioReport};
+//! use dcp_odns::{Odoh, OdohConfig};
+//!
+//! let report = Odoh::run(&OdohConfig::new().clients(3).queries_each(4), 42);
+//! assert!(report.completed());
+//! let chaotic = Odoh::run_with_faults(&OdohConfig::default(), 42, &FaultConfig::chaos());
+//! chaotic.world().assert_decoupled_except_user();
+//! ```
+//!
+//! Every implementor keeps its rich, scenario-specific report struct; the
+//! [`ScenarioReport`] trait is the common lens (world, fault log,
+//! metrics, liveness) generic harnesses like DST and the obs property
+//! tests need. The old free-function entrypoints survive as
+//! `#[deprecated]` shims over this trait.
+
+use crate::faults::{FaultConfig, FaultLog};
+use crate::obs::MetricsReport;
+use crate::world::World;
+
+/// How to run a scenario: fault preset + whether to install the metrics
+/// sink. `Default` is calm and uninstrumented — the zero-overhead path.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Fault-injection configuration ([`FaultConfig::calm`] = none).
+    pub faults: FaultConfig,
+    /// Install a metrics sink so the report's
+    /// [`metrics`](ScenarioReport::metrics) is populated.
+    pub observe: bool,
+}
+
+impl RunOptions {
+    /// Calm, uninstrumented (same as `Default`).
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Calm, with the metrics sink installed.
+    pub fn observed() -> Self {
+        RunOptions {
+            observe: true,
+            ..RunOptions::default()
+        }
+    }
+
+    /// Faulted, uninstrumented.
+    pub fn with_faults(faults: &FaultConfig) -> Self {
+        RunOptions {
+            faults: faults.clone(),
+            observe: false,
+        }
+    }
+
+    /// Faulted *and* instrumented.
+    pub fn observed_with_faults(faults: &FaultConfig) -> Self {
+        RunOptions {
+            faults: faults.clone(),
+            observe: true,
+        }
+    }
+}
+
+/// The common lens over every scenario's report: enough for generic
+/// harnesses (DST determinism/safety, metrics reconciliation, the
+/// experiments driver) without flattening away scenario-specific fields.
+pub trait ScenarioReport {
+    /// The final knowledge base.
+    fn world(&self) -> &World;
+    /// The fault schedule injected during the run (empty when faults
+    /// were disabled).
+    fn fault_log(&self) -> &FaultLog;
+    /// Run metrics (disabled/empty unless the run was observed).
+    fn metrics(&self) -> &MetricsReport;
+    /// How many end-to-end work units finished (coins deposited, queries
+    /// answered, reports aggregated, …) — the scenario's liveness
+    /// measure.
+    fn completed_units(&self) -> u64;
+    /// Did the workload make any end-to-end progress?
+    fn completed(&self) -> bool {
+        self.completed_units() > 0
+    }
+}
+
+/// One uniform way to run a §3 scenario.
+///
+/// Implementors supply [`Scenario::run_with`]; the convenience
+/// entrypoints ([`run`](Scenario::run),
+/// [`run_with_faults`](Scenario::run_with_faults),
+/// [`run_instrumented`](Scenario::run_instrumented)) are provided. A run
+/// must be a pure function of `(config, seed, options)` — the DST
+/// harness replays it and compares.
+pub trait Scenario {
+    /// Scenario parameters. `Default` must be a small, fast workload.
+    type Config: Default + Clone;
+    /// The scenario's rich report type.
+    type Report: ScenarioReport;
+    /// Stable scenario name (used in DST reports and metrics artifacts).
+    const NAME: &'static str;
+
+    /// Run with explicit [`RunOptions`].
+    fn run_with(cfg: &Self::Config, seed: u64, opts: &RunOptions) -> Self::Report;
+
+    /// Run fault-free and uninstrumented.
+    fn run(cfg: &Self::Config, seed: u64) -> Self::Report {
+        Self::run_with(cfg, seed, &RunOptions::default())
+    }
+
+    /// Run under a fault configuration.
+    fn run_with_faults(cfg: &Self::Config, seed: u64, faults: &FaultConfig) -> Self::Report {
+        Self::run_with(cfg, seed, &RunOptions::with_faults(faults))
+    }
+
+    /// Run fault-free with the metrics sink installed.
+    fn run_instrumented(cfg: &Self::Config, seed: u64) -> Self::Report {
+        Self::run_with(cfg, seed, &RunOptions::observed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ToyReport {
+        world: World,
+        log: FaultLog,
+        metrics: MetricsReport,
+        done: u64,
+    }
+
+    impl ScenarioReport for ToyReport {
+        fn world(&self) -> &World {
+            &self.world
+        }
+        fn fault_log(&self) -> &FaultLog {
+            &self.log
+        }
+        fn metrics(&self) -> &MetricsReport {
+            &self.metrics
+        }
+        fn completed_units(&self) -> u64 {
+            self.done
+        }
+    }
+
+    struct Toy;
+
+    impl Scenario for Toy {
+        type Config = u64;
+        type Report = ToyReport;
+        const NAME: &'static str = "toy";
+
+        fn run_with(cfg: &u64, seed: u64, opts: &RunOptions) -> ToyReport {
+            ToyReport {
+                world: World::new(),
+                log: FaultLog::default(),
+                metrics: MetricsReport {
+                    enabled: opts.observe,
+                    ..MetricsReport::default()
+                },
+                done: cfg + seed,
+            }
+        }
+    }
+
+    #[test]
+    fn provided_entrypoints_delegate() {
+        let r = Toy::run(&2, 3);
+        assert_eq!(r.completed_units(), 5);
+        assert!(r.completed());
+        assert!(!r.metrics().enabled);
+        assert!(Toy::run_instrumented(&0, 0).metrics().enabled);
+        assert!(
+            !Toy::run_with_faults(&0, 0, &FaultConfig::chaos())
+                .metrics()
+                .enabled
+        );
+        assert!(!Toy::run(&0, 0).completed());
+    }
+
+    #[test]
+    fn run_options_builders() {
+        assert!(!RunOptions::new().observe);
+        assert!(RunOptions::observed().observe);
+        let chaos = FaultConfig::chaos();
+        assert_eq!(RunOptions::with_faults(&chaos).faults, chaos);
+        let both = RunOptions::observed_with_faults(&chaos);
+        assert!(both.observe && both.faults.enabled);
+    }
+}

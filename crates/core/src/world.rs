@@ -6,10 +6,13 @@
 //! entity sees a payload. The ledger then answers "what does entity X know
 //! about user S" — the raw material for every table in the paper.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 use crate::entity::{Entity, EntityId, OrgId, UserId};
 use crate::label::{InfoItem, InfoSet, KeyId, Label};
+use crate::obs::{ObsEvent, ObsHandle, ObsSink};
 use crate::tuple::KnowledgeTuple;
 
 /// The knowledge base for one simulated system.
@@ -24,6 +27,12 @@ pub struct World {
     next_org: u64,
     next_user: u64,
     next_key: u64,
+    /// The installed observability sink (shared across clones; `None` —
+    /// the default — makes every emission point a single branch).
+    obs: ObsHandle,
+    /// Sim-time clock for observability timestamps, advanced by the
+    /// simulator's dispatch loop.
+    obs_now_us: u64,
 }
 
 impl World {
@@ -109,16 +118,99 @@ impl World {
         let ledger = self.ledgers.get_mut(&entity).expect("unknown entity");
         let fresh: InfoSet = learned.difference(ledger).cloned().collect();
         ledger.extend(learned);
+        if self.obs.is_enabled() {
+            for item in &fresh {
+                self.obs.emit(
+                    self.obs_now_us,
+                    &ObsEvent::Knowledge {
+                        entity,
+                        item: item.clone(),
+                    },
+                );
+            }
+        }
         fresh
     }
 
     /// Record an out-of-band fact (e.g. "the ISP knows the subscriber's
     /// name from the billing relationship").
     pub fn record(&mut self, entity: EntityId, item: InfoItem) {
-        self.ledgers
+        let fresh = self
+            .ledgers
             .get_mut(&entity)
             .expect("unknown entity")
-            .insert(item);
+            .insert(item.clone());
+        if fresh && self.obs.is_enabled() {
+            self.obs
+                .emit(self.obs_now_us, &ObsEvent::Knowledge { entity, item });
+        }
+    }
+
+    /// Install an observability sink; every subsequent ledger accrual,
+    /// simulator wire event, and protocol emission flows through it.
+    pub fn install_obs(&mut self, sink: Rc<RefCell<dyn ObsSink>>) {
+        self.obs = ObsHandle::new(sink);
+    }
+
+    /// Remove the installed sink (retained `World`s stop emitting).
+    pub fn clear_obs(&mut self) {
+        self.obs.clear();
+    }
+
+    /// Is an observability sink installed?
+    #[inline]
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_enabled()
+    }
+
+    /// Advance the observability clock (the simulator calls this as its
+    /// event loop advances sim-time).
+    #[inline]
+    pub fn set_obs_now(&mut self, us: u64) {
+        self.obs_now_us = us;
+    }
+
+    /// Current observability clock, µs of sim-time.
+    #[inline]
+    pub fn obs_now(&self) -> u64 {
+        self.obs_now_us
+    }
+
+    /// Emit an event at the current observability clock. One branch when
+    /// no sink is installed.
+    #[inline]
+    pub fn emit(&self, event: &ObsEvent) {
+        self.obs.emit(self.obs_now_us, event);
+    }
+
+    /// Emit an event at an explicit sim-time.
+    #[inline]
+    pub fn emit_at(&self, at_us: u64, event: &ObsEvent) {
+        self.obs.emit(at_us, event);
+    }
+
+    /// Count one cryptographic operation (protocol code calls this next
+    /// to the real crypto invocation).
+    #[inline]
+    pub fn crypto_op(&self, op: &'static str) {
+        if self.obs.is_enabled() {
+            self.obs.emit(self.obs_now_us, &ObsEvent::CryptoOp { op });
+        }
+    }
+
+    /// Record a completed protocol-phase span `[start_us, end_us]`.
+    #[inline]
+    pub fn span(&self, name: &'static str, start_us: u64, end_us: u64) {
+        if self.obs.is_enabled() {
+            self.obs.emit(
+                end_us,
+                &ObsEvent::Span {
+                    name,
+                    start_us,
+                    end_us,
+                },
+            );
+        }
     }
 
     /// The full ledger of `entity`.

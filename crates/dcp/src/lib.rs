@@ -54,6 +54,7 @@ pub use dcp_dns as dns;
 pub use dcp_faults as faults;
 pub use dcp_mixnet as mixnet;
 pub use dcp_mpr as mpr;
+pub use dcp_obs as obs;
 pub use dcp_odns as odns;
 pub use dcp_pgpp as pgpp;
 pub use dcp_ppm as ppm;
@@ -61,3 +62,19 @@ pub use dcp_privacypass as privacypass;
 pub use dcp_simnet as simnet;
 pub use dcp_transport as transport;
 pub use dcp_vpn as vpn;
+
+// The unified Scenario API, flattened: everything a driver needs to run,
+// fault, and observe any §3 scenario without reaching into sub-crates.
+pub use dcp_core::{MetricsReport, ObsEvent, ObsSink, RunOptions, Scenario, ScenarioReport};
+pub use dcp_faults::dst::{run_scenario_for, DstReport};
+pub use dcp_faults::{FaultConfig, FaultLog};
+pub use dcp_obs::MetricsHandle;
+
+pub use dcp_blindcash::{Blindcash, BlindcashConfig};
+pub use dcp_mixnet::{Mixnet, MixnetConfig};
+pub use dcp_mpr::{ChainConfig, Mpr};
+pub use dcp_odns::{DirectDns, DirectDnsConfig, Odoh, OdohConfig};
+pub use dcp_pgpp::{Pgpp, PgppConfig};
+pub use dcp_ppm::{Ppm, PpmConfig};
+pub use dcp_privacypass::{Privacypass, PrivacypassConfig};
+pub use dcp_vpn::{Ech, EchConfig, Vpn, VpnConfig};

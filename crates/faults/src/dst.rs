@@ -24,7 +24,7 @@
 //! supplies one closure per §3 system.
 
 use crate::{FaultConfig, FaultLog};
-use dcp_core::{analyze, World};
+use dcp_core::{analyze, Scenario, ScenarioReport, World};
 use serde::Serialize;
 
 /// A stable, comparable rendering of every entity's knowledge about
@@ -159,6 +159,20 @@ where
     reports
 }
 
+/// [`run_scenario`] specialized to the unified [`Scenario`] trait: runs
+/// `S` on `cfg` under every preset (twice each) and checks determinism
+/// and baseline-relative safety. The canonical way to DST a §3 system.
+pub fn run_scenario_for<S: Scenario>(seed: u64, cfg: &S::Config) -> Vec<DstReport> {
+    run_scenario(S::NAME, seed, |config, seed| {
+        let report = S::run_with_faults(cfg, seed, config);
+        DstOutcome {
+            world: report.world().clone(),
+            fault_log: report.fault_log().clone(),
+            completed: report.completed(),
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,10 +228,7 @@ mod tests {
             let mut log = FaultLog::default();
             if config.enabled {
                 // A deterministic pretend-fault so logs are nonempty.
-                log.events.push(crate::FaultEvent {
-                    at_us: seed,
-                    kind: FaultKind::Drop { src: 0, dst: 1 },
-                });
+                log.push(seed, FaultKind::Drop { src: 0, dst: 1 });
             }
             DstOutcome {
                 world: toy_world(false),

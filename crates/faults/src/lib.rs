@@ -30,274 +30,12 @@ pub mod dst;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// Probabilities and parameters for every fault the injector can draw.
-///
-/// All probabilities are per-opportunity (per packet send, per node
-/// dispatch, …) in `[0, 1]`. The three presets — [`FaultConfig::calm`],
-/// [`FaultConfig::moderate`], [`FaultConfig::chaos`] — are the tiers the
-/// DST harness sweeps; hand-tuned configs are fine too.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-pub struct FaultConfig {
-    /// Master switch. `false` means the injector is never even
-    /// constructed, so the disabled-faults overhead inside the simulator
-    /// is a single `Option` branch.
-    pub enabled: bool,
-    /// P(drop a packet on the wire).
-    pub p_drop: f64,
-    /// P(deliver a packet twice).
-    pub p_duplicate: f64,
-    /// P(add extra queueing delay to a delivery).
-    pub p_extra_delay: f64,
-    /// Upper bound on the extra delay, in µs.
-    pub max_extra_delay_us: u64,
-    /// P(reorder: hold a packet long enough that later traffic on the
-    /// same link overtakes it).
-    pub p_reorder: f64,
-    /// P(open a bidirectional partition between the endpoints of the
-    /// packet being sent). While a partition window is open, everything
-    /// between the pair is silently dropped.
-    pub p_partition: f64,
-    /// How long a partition window stays open, in µs.
-    pub partition_window_us: u64,
-    /// P(a node crashes when an event is dispatched to it). The node
-    /// loses every message and timer that arrives while it is down, then
-    /// restarts with its state intact.
-    pub p_crash: f64,
-    /// How long a crashed node stays down, in µs.
-    pub crash_down_us: u64,
-    /// P(crash) for nodes marked as *relays* — the mid-circuit churn the
-    /// multi-hop systems (mix-nets, MPR, ODoH proxies) must survive.
-    pub p_relay_churn: f64,
-    /// Hard cap on injected faults per run: a liveness backstop so chaos
-    /// tiers cannot starve a protocol forever (TigerBeetle caps its
-    /// storage faults the same way).
-    pub max_faults: u64,
-}
-
-impl FaultConfig {
-    /// No faults at all — the baseline every DST comparison is made
-    /// against.
-    pub fn calm() -> Self {
-        FaultConfig {
-            enabled: false,
-            p_drop: 0.0,
-            p_duplicate: 0.0,
-            p_extra_delay: 0.0,
-            max_extra_delay_us: 0,
-            p_reorder: 0.0,
-            p_partition: 0.0,
-            partition_window_us: 0,
-            p_crash: 0.0,
-            crash_down_us: 0,
-            p_relay_churn: 0.0,
-            max_faults: 0,
-        }
-    }
-
-    /// Realistic bad-day network: a few percent of packets misbehave,
-    /// relays occasionally blip. Scenarios are expected to *complete or
-    /// fail closed* under this tier.
-    pub fn moderate() -> Self {
-        FaultConfig {
-            enabled: true,
-            p_drop: 0.01,
-            p_duplicate: 0.02,
-            p_extra_delay: 0.05,
-            max_extra_delay_us: 20_000,
-            p_reorder: 0.03,
-            p_partition: 0.002,
-            partition_window_us: 30_000,
-            p_crash: 0.0,
-            crash_down_us: 20_000,
-            p_relay_churn: 0.002,
-            max_faults: 200,
-        }
-    }
-
-    /// Hostile network: heavy loss, duplication, partitions, and node
-    /// crashes. Liveness is *not* promised here — only safety (the
-    /// knowledge ledgers stay decoupled).
-    pub fn chaos() -> Self {
-        FaultConfig {
-            enabled: true,
-            p_drop: 0.08,
-            p_duplicate: 0.08,
-            p_extra_delay: 0.15,
-            max_extra_delay_us: 100_000,
-            p_reorder: 0.10,
-            p_partition: 0.01,
-            partition_window_us: 80_000,
-            p_crash: 0.005,
-            crash_down_us: 50_000,
-            p_relay_churn: 0.01,
-            max_faults: 2_000,
-        }
-    }
-
-    /// The three presets with their names, in escalating order — what the
-    /// DST harness sweeps.
-    pub fn presets() -> [(&'static str, FaultConfig); 3] {
-        [
-            ("calm", FaultConfig::calm()),
-            ("moderate", FaultConfig::moderate()),
-            ("chaos", FaultConfig::chaos()),
-        ]
-    }
-}
-
-/// One injected fault, as recorded in the [`FaultLog`].
-///
-/// Node ids are raw `usize` indices (the simulator's `NodeId` payload):
-/// this crate sits *below* `dcp-simnet` in the dependency graph, so it
-/// speaks indices, and the log still replays and compares exactly.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum FaultKind {
-    /// A packet from `src` to `dst` vanished on the wire.
-    Drop {
-        /// Sending node index.
-        src: usize,
-        /// Receiving node index.
-        dst: usize,
-    },
-    /// A packet was delivered `copies` times instead of once.
-    Duplicate {
-        /// Sending node index.
-        src: usize,
-        /// Receiving node index.
-        dst: usize,
-        /// Total deliveries (≥ 2).
-        copies: u32,
-    },
-    /// A delivery was held back by `delay_us` extra microseconds.
-    ExtraDelay {
-        /// Sending node index.
-        src: usize,
-        /// Receiving node index.
-        dst: usize,
-        /// Extra queueing delay in µs.
-        delay_us: u64,
-    },
-    /// A delivery was held back far enough for later same-link traffic to
-    /// overtake it (distinct from [`FaultKind::ExtraDelay`] so logs show
-    /// *intent*).
-    Reorder {
-        /// Sending node index.
-        src: usize,
-        /// Receiving node index.
-        dst: usize,
-        /// The hold-back applied, in µs.
-        delay_us: u64,
-    },
-    /// A bidirectional partition opened between `a` and `b`.
-    Partition {
-        /// One endpoint (lower index).
-        a: usize,
-        /// Other endpoint.
-        b: usize,
-        /// Absolute µs timestamp at which the window closes.
-        until_us: u64,
-    },
-    /// Node `node` crashed; it restarts (state intact) at `until_us`.
-    Crash {
-        /// The crashed node.
-        node: usize,
-        /// Absolute µs timestamp of the restart.
-        until_us: u64,
-    },
-    /// A relay node churned mid-circuit (a crash drawn from
-    /// `p_relay_churn` rather than `p_crash`).
-    RelayChurn {
-        /// The churned relay.
-        node: usize,
-        /// Absolute µs timestamp of the restart.
-        until_us: u64,
-    },
-    /// A message or timer arrived at a node while it was down and was
-    /// lost.
-    CrashLoss {
-        /// The down node that missed the event.
-        node: usize,
-    },
-    /// `beneficiary` acquired one of `victim`'s decryption capabilities —
-    /// the §4.2 collusion model. The only catalog entry allowed to break
-    /// decoupling.
-    KeyCompromise {
-        /// Entity whose key leaked (raw `EntityId` payload).
-        victim: u64,
-        /// Entity that gained the key.
-        beneficiary: u64,
-        /// The leaked key (raw `KeyId` payload).
-        key: u64,
-    },
-}
-
-/// One timestamped entry of the [`FaultLog`].
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FaultEvent {
-    /// Simulated time of injection, µs.
-    pub at_us: u64,
-    /// What was injected.
-    pub kind: FaultKind,
-}
-
-/// The replay artifact: every fault injected during one run, in
-/// injection order. Two runs from the same `(seed, FaultConfig)` must
-/// produce `==` logs — the DST harness asserts exactly that.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FaultLog {
-    events: Vec<FaultEvent>,
-}
-
-impl FaultLog {
-    /// All events, in injection order.
-    pub fn events(&self) -> &[FaultEvent] {
-        &self.events
-    }
-
-    /// Number of injected faults.
-    pub fn len(&self) -> usize {
-        self.events.len()
-    }
-
-    /// Were any faults injected?
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
-    }
-
-    /// Count events matching a predicate (e.g. "how many drops?").
-    pub fn count(&self, pred: impl Fn(&FaultKind) -> bool) -> usize {
-        self.events.iter().filter(|e| pred(&e.kind)).count()
-    }
-
-    /// Packets lost on the directed link `src → dst`: wire drops plus
-    /// deliveries swallowed by a down receiver. The trace property tests
-    /// reconcile `Trace::on_link` against this.
-    pub fn drops_on_link(&self, src: usize, dst: usize) -> usize {
-        self.count(|k| matches!(k, FaultKind::Drop { src: s, dst: d } if *s == src && *d == dst))
-    }
-
-    /// Extra copies delivered on the directed link `src → dst`.
-    pub fn duplicates_on_link(&self, src: usize, dst: usize) -> usize {
-        self.events
-            .iter()
-            .filter_map(|e| match &e.kind {
-                FaultKind::Duplicate {
-                    src: s,
-                    dst: d,
-                    copies,
-                } if *s == src && *d == dst => Some(*copies as usize - 1),
-                _ => None,
-            })
-            .sum()
-    }
-
-    fn push(&mut self, at_us: u64, kind: FaultKind) {
-        self.events.push(FaultEvent { at_us, kind });
-    }
-}
+// The fault *data* types (config, catalog, log) moved to `dcp-core` so
+// the unified `Scenario` trait can speak them; they are re-exported here
+// at their original paths. This crate keeps the seeded generator.
+pub use dcp_core::faults::{FaultConfig, FaultEvent, FaultKind, FaultLog};
 
 /// The seeded fault generator the simulator consults at each injection
 /// point.

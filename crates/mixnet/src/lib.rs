@@ -27,3 +27,5 @@ pub mod circuit;
 pub mod circuit_scenario;
 pub mod mix;
 pub mod scenario;
+
+pub use scenario::{Mixnet, MixnetConfig, MixnetReport};

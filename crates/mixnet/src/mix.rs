@@ -96,6 +96,7 @@ impl Node for MixNode {
         // Peel one layer of bytes and label. Anything that fails to peel
         // (tampered, truncated, or not for us) is dropped: a mix fails
         // closed rather than forwarding plaintext it cannot vouch for.
+        ctx.world.crypto_op("hpke_open");
         let Ok(unwrapped) = onion::unwrap_layer(&self.kp, &msg.bytes) else {
             return;
         };

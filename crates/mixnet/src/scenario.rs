@@ -4,9 +4,13 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dcp_core::table::DecouplingTable;
-use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, UserId, World};
+use dcp_core::{
+    DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RunOptions, Scenario,
+    UserId, World,
+};
 use dcp_crypto::hpke;
 use dcp_faults::{FaultConfig, FaultLog};
+use dcp_obs::MetricsHandle;
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
 use dcp_transport::onion::{self, Hop, Unwrapped};
 use rand::Rng as _;
@@ -75,6 +79,37 @@ pub struct MixnetReport {
     pub receiver_of: Vec<String>,
     /// Faults injected during the run (empty when faults are disabled).
     pub fault_log: FaultLog,
+    /// Run metrics (populated on instrumented runs).
+    pub metrics: MetricsReport,
+}
+
+impl dcp_core::ScenarioReport for MixnetReport {
+    fn world(&self) -> &World {
+        &self.world
+    }
+    fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+    fn metrics(&self) -> &MetricsReport {
+        &self.metrics
+    }
+    fn completed_units(&self) -> u64 {
+        self.delivered as u64
+    }
+}
+
+/// §3.1.2 mix chain: Fig. 1's topology with measurable anonymity.
+pub struct Mixnet;
+
+impl Scenario for Mixnet {
+    type Config = MixnetConfig;
+    type Report = MixnetReport;
+    const NAME: &'static str = "mixnet";
+
+    fn run_with(cfg: &MixnetConfig, seed: u64, opts: &RunOptions) -> MixnetReport {
+        let config = MixnetConfig { seed, ..*cfg };
+        run_impl(&config, opts)
+    }
 }
 
 impl MixnetReport {
@@ -143,6 +178,9 @@ impl SenderNode {
         let mut body = vec![BODY_CHAFF];
         body.extend_from_slice(&[0u8; 8]);
         body.extend_from_slice(format!("dear receiver, love sender {}", self.user.0).as_bytes());
+        for _ in 0..hops.len() {
+            ctx.world.crypto_op("hpke_seal");
+        }
         let (bytes, _) = onion::wrap(ctx.rng, &hops, &body, Label::Public).expect("chaff onion");
         // Chaff reveals the same envelope facts (someone at this address is
         // sending into the mix-net) but protects nothing further: every
@@ -194,6 +232,9 @@ impl Node for SenderNode {
         let mut body = vec![BODY_REAL];
         body.extend_from_slice(&ctx.now.as_us().to_be_bytes());
         body.extend_from_slice(payload.as_bytes());
+        for _ in 0..self.hops.len() {
+            ctx.world.crypto_op("hpke_seal");
+        }
         let (bytes, _auto_label) =
             onion::wrap(ctx.rng, &self.hops, &body, Label::Public).expect("onion");
 
@@ -242,6 +283,7 @@ impl Node for ReceiverNode {
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
         // Final onion layer: the receiver peels its own seal. Undecodable
         // or misrouted deliveries are dropped — fail closed.
+        ctx.world.crypto_op("hpke_open");
         let Ok(unwrapped) = onion::unwrap_layer(&self.kp, &msg.bytes) else {
             return;
         };
@@ -259,6 +301,7 @@ impl Node for ReceiverNode {
             return; // decoy (or truncated): drop silently
         }
         let sent_at = u64::from_be_bytes(payload[1..9].try_into().unwrap());
+        ctx.world.span("e2e", sent_at, ctx.now.as_us());
         let mut stats = self.stats.borrow_mut();
         stats.delivered += 1;
         stats.latencies.push(ctx.now.as_us() - sent_at);
@@ -266,17 +309,27 @@ impl Node for ReceiverNode {
 }
 
 /// Run the mix-net per `config` with faults disabled.
+#[deprecated(note = "use the unified Scenario API: `Mixnet::run(&config, seed)`")]
 pub fn run(config: MixnetConfig) -> MixnetReport {
-    run_with_faults(config, &FaultConfig::calm())
+    Mixnet::run(&config, config.seed)
 }
 
 /// Run the mix-net per `config` under a fault schedule.
+#[deprecated(
+    note = "use the unified Scenario API: `Mixnet::run_with_faults(&config, seed, faults)`"
+)]
 pub fn run_with_faults(config: MixnetConfig, faults: &FaultConfig) -> MixnetReport {
+    Mixnet::run_with_faults(&config, config.seed, faults)
+}
+
+fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
     use rand::SeedableRng;
+    let config = *config;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x317);
     assert!(config.mixes >= 1 && config.senders >= 1);
 
     let mut world = World::new();
+    let obs = MetricsHandle::install_if(&mut world, opts.observe, Mixnet::NAME, config.seed);
     let user_org = world.add_org("senders");
     let recv_org = world.add_org("receivers");
 
@@ -326,7 +379,7 @@ pub fn run_with_faults(config: MixnetConfig, faults: &FaultConfig) -> MixnetRepo
 
     let mut net = Network::new(world, config.seed);
     net.set_default_link(LinkParams::wan_ms(5));
-    net.enable_faults(faults.clone(), config.seed);
+    net.enable_faults(opts.faults.clone(), config.seed);
 
     // Node layout: mixes 0..M, receivers M..M+S, senders after.
     let mix_ids: Vec<NodeId> = (0..config.mixes).map(NodeId).collect();
@@ -436,7 +489,8 @@ pub fn run_with_faults(config: MixnetConfig, faults: &FaultConfig) -> MixnetRepo
 
     net.run();
     let fault_log = net.fault_log();
-    let (world, trace) = net.into_parts();
+    let (mut world, trace) = net.into_parts();
+    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
     let attack = adversary::timing_correlation(&trace, mix_ids[0], &[*mix_ids.last().unwrap()]);
     let anon = adversary::mean_anonymity_set(&trace, &[*mix_ids.last().unwrap()]);
@@ -456,6 +510,7 @@ pub fn run_with_faults(config: MixnetConfig, faults: &FaultConfig) -> MixnetRepo
         mix_names,
         receiver_of,
         fault_log,
+        metrics,
     }
 }
 
@@ -463,6 +518,22 @@ pub fn run_with_faults(config: MixnetConfig, faults: &FaultConfig) -> MixnetRepo
 mod tests {
     use super::*;
     use dcp_core::{analyze, collusion::entity_collusion};
+
+    fn run(config: MixnetConfig) -> MixnetReport {
+        Mixnet::run(&config, config.seed)
+    }
+
+    #[test]
+    fn instrumented_run_counts_onion_layers() {
+        let report = Mixnet::run_instrumented(&cfg(), 77);
+        assert_eq!(report.delivered, 6);
+        assert!(report.metrics.wire_accounting_holds());
+        assert_eq!(report.metrics.span_count("e2e"), 6);
+        // Each sender wraps mixes+1 layers; each layer is opened exactly
+        // once along the chain (2 mixes + receiver here).
+        assert_eq!(report.metrics.crypto_ops["hpke_seal"], 6 * 3);
+        assert_eq!(report.metrics.crypto_ops["hpke_open"], 6 * 3);
+    }
 
     fn cfg() -> MixnetConfig {
         MixnetConfig {

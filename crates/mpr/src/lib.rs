@@ -30,4 +30,7 @@
 
 pub mod scenario;
 
-pub use scenario::{run_chain, ChainConfig, ScenarioReport};
+pub use scenario::{ChainConfig, Mpr, ScenarioReport};
+
+#[allow(deprecated)]
+pub use scenario::run_chain;

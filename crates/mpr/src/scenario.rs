@@ -4,9 +4,13 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dcp_core::table::DecouplingTable;
-use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, UserId, World};
+use dcp_core::{
+    DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RunOptions, Scenario,
+    UserId, World,
+};
 use dcp_crypto::hpke;
 use dcp_faults::{FaultConfig, FaultLog};
+use dcp_obs::MetricsHandle;
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
 use dcp_transport::onion::{self, Hop, Unwrapped};
 
@@ -55,6 +59,37 @@ pub struct ScenarioReport {
     pub relay_names: Vec<String>,
     /// Faults injected during the run (empty when faults are disabled).
     pub fault_log: FaultLog,
+    /// Run metrics (populated on instrumented runs).
+    pub metrics: MetricsReport,
+}
+
+impl dcp_core::ScenarioReport for ScenarioReport {
+    fn world(&self) -> &World {
+        &self.world
+    }
+    fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+    fn metrics(&self) -> &MetricsReport {
+        &self.metrics
+    }
+    fn completed_units(&self) -> u64 {
+        self.completed as u64
+    }
+}
+
+/// §3.2.4 multi-party relay: a k-relay chain over nested tunnels.
+pub struct Mpr;
+
+impl Scenario for Mpr {
+    type Config = ChainConfig;
+    type Report = ScenarioReport;
+    const NAME: &'static str = "mpr";
+
+    fn run_with(cfg: &ChainConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
+        let config = ChainConfig { seed, ..*cfg };
+        run_impl(&config, opts)
+    }
 }
 
 impl ScenarioReport {
@@ -116,6 +151,7 @@ impl UserNode {
         if self.geohint {
             origin_items.push(InfoItem::partial_data(self.user, DataKind::Location));
         }
+        ctx.world.crypto_op("hpke_seal");
         let e2e =
             hpke::seal(ctx.rng, &self.origin_pk, b"e2e", b"", REQUEST).expect("seal to origin");
         let e2e_label = Label::items(origin_items).sealed(self.origin_key);
@@ -144,6 +180,9 @@ impl UserNode {
         ])
         .and(e2e_label);
 
+        for _ in 0..self.hops.len() {
+            ctx.world.crypto_op("hpke_seal");
+        }
         let (bytes, onion_label) =
             onion::wrap(ctx.rng, &self.hops, &exit_plain, exit_label).expect("onion");
         // Envelope: relay 1 sees the user's network identity (▲) and that
@@ -178,6 +217,8 @@ impl Node for UserNode {
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
         // Response sealed to our resp key.
         let _ = msg;
+        ctx.world
+            .span("fetch", self.sent_at.as_us(), ctx.now.as_us());
         let mut stats = self.stats.borrow_mut();
         stats.completed += 1;
         stats.latencies.push(ctx.now - self.sent_at);
@@ -224,6 +265,7 @@ impl Node for RelayNode {
         // Forward direction: peel one onion layer (bytes and label). A
         // layer that fails to peel is dropped — a relay never forwards
         // traffic it cannot vouch for.
+        ctx.world.crypto_op("hpke_open");
         let Ok(unwrapped) = onion::unwrap_layer(&self.kp, &msg.bytes) else {
             return;
         };
@@ -292,6 +334,7 @@ impl Node for OriginNode {
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         // Fail closed: an undecryptable or unattributable request gets no
         // response at all.
+        ctx.world.crypto_op("hpke_open");
         let Ok(req) = hpke::open(&self.kp, b"e2e", b"", &msg.bytes) else {
             return;
         };
@@ -328,16 +371,24 @@ impl WithFlowOpt for Message {
 }
 
 /// Run a k-relay chain per `config` with faults disabled.
+#[deprecated(note = "use the unified Scenario API: `Mpr::run(&config, seed)`")]
 pub fn run_chain(config: ChainConfig) -> ScenarioReport {
-    run_chain_with_faults(config, &FaultConfig::calm())
+    Mpr::run(&config, config.seed)
 }
 
 /// Run a k-relay chain under a fault schedule.
+#[deprecated(note = "use the unified Scenario API: `Mpr::run_with_faults(&config, seed, faults)`")]
 pub fn run_chain_with_faults(config: ChainConfig, faults: &FaultConfig) -> ScenarioReport {
+    Mpr::run_with_faults(&config, config.seed, faults)
+}
+
+fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
     use rand::SeedableRng;
+    let config = *config;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x33bb);
 
     let mut world = World::new();
+    let obs = MetricsHandle::install_if(&mut world, opts.observe, Mpr::NAME, config.seed);
     let user_org = world.add_org("users");
     let origin_org = world.add_org("origin-co");
     let origin_e = world.add_entity("Origin", origin_org, None);
@@ -381,7 +432,7 @@ pub fn run_chain_with_faults(config: ChainConfig, faults: &FaultConfig) -> Scena
 
     let mut net = Network::new(world, config.seed);
     net.set_default_link(LinkParams::wan_ms(10));
-    net.enable_faults(faults.clone(), config.seed);
+    net.enable_faults(opts.faults.clone(), config.seed);
 
     // Topology: origin = node 0, relays 1..=k, users after.
     let origin_id = NodeId(0);
@@ -447,7 +498,8 @@ pub fn run_chain_with_faults(config: ChainConfig, faults: &FaultConfig) -> Scena
 
     net.run();
     let fault_log = net.fault_log();
-    let (world, trace) = net.into_parts();
+    let (mut world, trace) = net.into_parts();
+    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
     let mean = if stats.latencies.is_empty() {
         0.0
@@ -468,6 +520,7 @@ pub fn run_chain_with_faults(config: ChainConfig, faults: &FaultConfig) -> Scena
         users,
         relay_names,
         fault_log,
+        metrics,
     }
 }
 
@@ -475,6 +528,29 @@ pub fn run_chain_with_faults(config: ChainConfig, faults: &FaultConfig) -> Scena
 mod tests {
     use super::*;
     use dcp_core::{analyze, collusion::entity_collusion};
+
+    fn run_chain(config: ChainConfig) -> ScenarioReport {
+        Mpr::run(&config, config.seed)
+    }
+
+    #[test]
+    fn instrumented_run_scales_crypto_with_relays() {
+        let r2 = Mpr::run_instrumented(&cfg(2), 5);
+        let r3 = Mpr::run_instrumented(&cfg(3), 5);
+        assert!(r2.metrics.wire_accounting_holds());
+        assert_eq!(r2.metrics.span_count("fetch"), r2.completed);
+        // Each extra relay adds one seal and one open per fetch.
+        assert!(
+            r3.metrics.crypto_total() > r2.metrics.crypto_total(),
+            "{} vs {}",
+            r3.metrics.crypto_total(),
+            r2.metrics.crypto_total()
+        );
+        assert!(
+            r3.metrics.mean_span_us("fetch").unwrap() > r2.metrics.mean_span_us("fetch").unwrap(),
+            "relays cost latency in the span data too"
+        );
+    }
 
     fn cfg(relays: usize) -> ChainConfig {
         ChainConfig {

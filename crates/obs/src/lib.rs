@@ -1,0 +1,282 @@
+//! # dcp-obs — the standard observability collector
+//!
+//! `dcp-core` defines the hook ([`ObsSink`]) and the data model
+//! ([`MetricsReport`]); this crate provides the standard implementation:
+//!
+//! * [`MetricsSink`] folds the event stream — wire accounting from the
+//!   simulator, fault injections, crypto ops, protocol-phase spans, and
+//!   per-entity knowledge accrual — into a [`MetricsReport`];
+//! * [`MetricsHandle`] is what a scenario keeps while the `World` (and
+//!   the sink inside it) is away inside the simulator, and what it
+//!   finalizes the report from afterwards;
+//! * [`write_json`] / [`to_json`] export reports as the artifacts
+//!   `experiments.rs` drops under `out/`.
+//!
+//! The intended wiring, used identically by all eight scenario crates:
+//!
+//! ```
+//! use dcp_core::World;
+//! use dcp_obs::MetricsHandle;
+//!
+//! let mut world = World::new();
+//! let handle = MetricsHandle::install(&mut world, "demo", 42);
+//! world.crypto_op("hpke_seal");
+//! world.span("fetch", 0, 250);
+//! // … run the simulation, get `world` back …
+//! let report = handle.finish(&mut world);
+//! assert_eq!(report.crypto_ops["hpke_seal"], 1);
+//! assert_eq!(report.span_count("fetch"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::path::Path;
+use std::rc::Rc;
+
+use dcp_core::obs::{KnowledgeRecord, MetricsReport, ObsEvent, ObsSink, SpanRecord};
+use dcp_core::World;
+
+/// The standard collector: aggregates every [`ObsEvent`] into a
+/// [`MetricsReport`].
+#[derive(Debug, Default)]
+pub struct MetricsSink {
+    report: MetricsReport,
+}
+
+impl MetricsSink {
+    /// A fresh collector tagged with the scenario name and seed.
+    pub fn new(scenario: &str, seed: u64) -> Self {
+        MetricsSink {
+            report: MetricsReport {
+                enabled: true,
+                scenario: scenario.to_string(),
+                seed,
+                ..MetricsReport::default()
+            },
+        }
+    }
+
+    /// The report accumulated so far.
+    pub fn report(&self) -> &MetricsReport {
+        &self.report
+    }
+
+    /// Take the accumulated report, leaving a fresh (still-enabled) one.
+    pub fn take_report(&mut self) -> MetricsReport {
+        let scenario = self.report.scenario.clone();
+        let seed = self.report.seed;
+        std::mem::replace(&mut self.report, MetricsSink::new(&scenario, seed).report)
+    }
+}
+
+impl ObsSink for MetricsSink {
+    fn on_event(&mut self, at_us: u64, event: &ObsEvent) {
+        let r = &mut self.report;
+        r.sim_end_us = r.sim_end_us.max(at_us);
+        match event {
+            ObsEvent::MessageSent { bytes, .. } => {
+                r.messages_sent += 1;
+                r.bytes_sent += *bytes as u64;
+            }
+            ObsEvent::MessageDelivered { bytes, .. } => {
+                r.messages_delivered += 1;
+                r.bytes_delivered += *bytes as u64;
+            }
+            ObsEvent::MessageDropped { .. } => {
+                r.messages_dropped += 1;
+            }
+            ObsEvent::MessageLostToCrash { .. } => {
+                r.messages_lost_to_crash += 1;
+            }
+            ObsEvent::MessageUnserviced { .. } => {
+                r.messages_unserviced += 1;
+            }
+            ObsEvent::FaultInjected { kind } => {
+                *r.faults.entry((*kind).to_string()).or_insert(0) += 1;
+            }
+            ObsEvent::CryptoOp { op } => {
+                *r.crypto_ops.entry((*op).to_string()).or_insert(0) += 1;
+            }
+            ObsEvent::Span {
+                name,
+                start_us,
+                end_us,
+            } => {
+                r.spans.push(SpanRecord {
+                    name: (*name).to_string(),
+                    start_us: *start_us,
+                    end_us: *end_us,
+                });
+            }
+            ObsEvent::Knowledge { entity, item } => {
+                r.knowledge.push(KnowledgeRecord {
+                    at_us,
+                    entity_id: entity.0,
+                    entity: String::new(),
+                    item: item.clone(),
+                });
+            }
+        }
+    }
+}
+
+/// The scenario's grip on an installed [`MetricsSink`]. The `World`
+/// shares the same `Rc`, so events emitted while the world is inside the
+/// simulator land here.
+#[derive(Clone)]
+pub struct MetricsHandle {
+    sink: Rc<RefCell<MetricsSink>>,
+}
+
+impl MetricsHandle {
+    /// Create a collector and install it into `world`.
+    pub fn install(world: &mut World, scenario: &str, seed: u64) -> Self {
+        let sink = Rc::new(RefCell::new(MetricsSink::new(scenario, seed)));
+        world.install_obs(sink.clone());
+        MetricsHandle { sink }
+    }
+
+    /// Install only if `observe` is set — the standard one-liner at the
+    /// top of every `Scenario::run_with`.
+    pub fn install_if(world: &mut World, observe: bool, scenario: &str, seed: u64) -> Option<Self> {
+        observe.then(|| MetricsHandle::install(world, scenario, seed))
+    }
+
+    /// Finalize: detach the sink from `world`, resolve entity names in
+    /// the knowledge timeline, and return the report.
+    pub fn finish(&self, world: &mut World) -> MetricsReport {
+        world.clear_obs();
+        let mut report = self.sink.borrow_mut().take_report();
+        for rec in &mut report.knowledge {
+            let name = world
+                .entities()
+                .iter()
+                .find(|e| e.id.0 == rec.entity_id)
+                .map(|e| e.name.clone())
+                .unwrap_or_else(|| format!("entity-{}", rec.entity_id));
+            *report.knowledge_by_entity.entry(name.clone()).or_insert(0) += 1;
+            rec.entity = name;
+        }
+        report
+    }
+
+    /// [`finish`](MetricsHandle::finish) an optional handle (from
+    /// [`install_if`](MetricsHandle::install_if)), yielding a disabled
+    /// report when no sink was installed.
+    pub fn finish_opt(handle: Option<&MetricsHandle>, world: &mut World) -> MetricsReport {
+        match handle {
+            Some(h) => h.finish(world),
+            None => MetricsReport::disabled(),
+        }
+    }
+}
+
+/// Render a report as pretty-printed JSON.
+pub fn to_json(report: &MetricsReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serializes")
+}
+
+/// Write a report to `path` as JSON, creating parent directories.
+pub fn write_json(report: &MetricsReport, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json(report).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcp_core::{DataKind, InfoItem, Label};
+
+    fn demo_world() -> World {
+        let mut w = World::new();
+        let org = w.add_org("o");
+        let user = w.add_user();
+        let e = w.add_entity("Resolver", org, None);
+        let _ = (user, e);
+        w
+    }
+
+    #[test]
+    fn install_collect_finish() {
+        let mut world = demo_world();
+        let handle = MetricsHandle::install(&mut world, "demo", 7);
+        assert!(world.obs_enabled());
+
+        world.set_obs_now(40);
+        world.crypto_op("rsa_sign");
+        world.crypto_op("rsa_sign");
+        world.span("issue", 10, 40);
+        let user = world.users()[0];
+        let e = world.entity_by_name("Resolver").id;
+        world.observe(
+            e,
+            &Label::item(InfoItem::plain_data(user, DataKind::DnsQuery)),
+        );
+
+        let report = handle.finish(&mut world);
+        assert!(!world.obs_enabled(), "finish detaches the sink");
+        assert!(report.enabled);
+        assert_eq!(report.scenario, "demo");
+        assert_eq!(report.seed, 7);
+        assert_eq!(report.crypto_ops["rsa_sign"], 2);
+        assert_eq!(report.span_count("issue"), 1);
+        assert_eq!(report.knowledge.len(), 1);
+        assert_eq!(report.knowledge[0].entity, "Resolver");
+        assert_eq!(report.knowledge[0].at_us, 40);
+        assert_eq!(report.knowledge_by_entity["Resolver"], 1);
+        assert_eq!(report.sim_end_us, 40);
+    }
+
+    #[test]
+    fn install_if_and_finish_opt() {
+        let mut world = demo_world();
+        let none = MetricsHandle::install_if(&mut world, false, "demo", 1);
+        assert!(none.is_none() && !world.obs_enabled());
+        let report = MetricsHandle::finish_opt(none.as_ref(), &mut world);
+        assert!(!report.enabled);
+
+        let some = MetricsHandle::install_if(&mut world, true, "demo", 1);
+        assert!(some.is_some() && world.obs_enabled());
+        let report = MetricsHandle::finish_opt(some.as_ref(), &mut world);
+        assert!(report.enabled);
+    }
+
+    #[test]
+    fn json_export_carries_the_catalog() {
+        let mut world = demo_world();
+        let handle = MetricsHandle::install(&mut world, "demo", 3);
+        world.crypto_op("hpke_open");
+        world.span("fetch", 5, 25);
+        let report = handle.finish(&mut world);
+        let json = to_json(&report);
+        for needle in [
+            "hpke_open",
+            "\"scenario\": \"demo\"",
+            "messages_sent",
+            "knowledge",
+            "\"name\": \"fetch\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn record_emits_knowledge_once() {
+        let mut world = demo_world();
+        let handle = MetricsHandle::install(&mut world, "demo", 3);
+        let user = world.users()[0];
+        let e = world.entity_by_name("Resolver").id;
+        let item = InfoItem::sensitive_data(user, DataKind::Payload);
+        world.record(e, item.clone());
+        world.record(e, item); // already known → no second event
+        let report = handle.finish(&mut world);
+        assert_eq!(report.knowledge.len(), 1);
+    }
+}

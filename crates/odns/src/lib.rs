@@ -28,3 +28,7 @@
 pub mod odns_name;
 pub mod odoh;
 pub mod scenario;
+
+pub use scenario::{
+    DirectDns, DirectDnsConfig, OdnsLegacy, OdnsLegacyConfig, Odoh, OdohConfig, ScenarioReport,
+};

@@ -6,11 +6,15 @@ use std::collections::HashSet;
 use std::rc::Rc;
 
 use dcp_core::table::DecouplingTable;
-use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, UserId, World};
+use dcp_core::{
+    DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
+    World,
+};
 use dcp_crypto::hpke;
 use dcp_dns::workload::ZipfWorkload;
 use dcp_dns::{DnsName, Message as DnsMessage, RecordData, RrType, Zone};
 use dcp_faults::{FaultConfig, FaultLog};
+use dcp_obs::MetricsHandle;
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
 
 use crate::odoh;
@@ -35,6 +39,23 @@ pub struct ScenarioReport {
     pub distinct_names: usize,
     /// Faults injected during the run (empty when faults are disabled).
     pub fault_log: FaultLog,
+    /// Run metrics (populated on instrumented runs).
+    pub metrics: MetricsReport,
+}
+
+impl dcp_core::ScenarioReport for ScenarioReport {
+    fn world(&self) -> &World {
+        &self.world
+    }
+    fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+    fn metrics(&self) -> &MetricsReport {
+        &self.metrics
+    }
+    fn completed_units(&self) -> u64 {
+        self.answered as u64
+    }
 }
 
 impl ScenarioReport {
@@ -55,6 +76,180 @@ impl ScenarioReport {
             ("Oblivious Resolver", "(△, ⊙/●)"),
             ("Origin", "(△, ●)"),
         ])
+    }
+}
+
+// ------------------------------------------------------ unified Scenario --
+
+/// Config for the [`Odoh`] scenario.
+#[derive(Clone, Debug)]
+pub struct OdohConfig {
+    /// Number of clients.
+    pub clients: usize,
+    /// Queries each client issues.
+    pub queries_each: usize,
+}
+
+impl Default for OdohConfig {
+    fn default() -> Self {
+        OdohConfig {
+            clients: 1,
+            queries_each: 4,
+        }
+    }
+}
+
+impl OdohConfig {
+    /// `clients` clients issuing `queries_each` queries each.
+    pub fn new(clients: usize, queries_each: usize) -> Self {
+        OdohConfig {
+            clients,
+            queries_each,
+        }
+    }
+
+    /// Set the client count.
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Set the per-client query count.
+    pub fn queries_each(mut self, queries_each: usize) -> Self {
+        self.queries_each = queries_each;
+        self
+    }
+}
+
+/// Config for the [`DirectDns`] scenario.
+#[derive(Clone, Debug)]
+pub struct DirectDnsConfig {
+    /// Number of clients.
+    pub clients: usize,
+    /// Queries each client issues.
+    pub queries_each: usize,
+    /// Resolvers to stripe across (`1` = the coupled direct baseline).
+    pub resolvers: usize,
+}
+
+impl Default for DirectDnsConfig {
+    fn default() -> Self {
+        DirectDnsConfig {
+            clients: 1,
+            queries_each: 4,
+            resolvers: 1,
+        }
+    }
+}
+
+impl DirectDnsConfig {
+    /// `clients` clients, `queries_each` queries each, striped across
+    /// `resolvers` resolvers.
+    pub fn new(clients: usize, queries_each: usize, resolvers: usize) -> Self {
+        DirectDnsConfig {
+            clients,
+            queries_each,
+            resolvers,
+        }
+    }
+
+    /// Set the client count.
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Set the per-client query count.
+    pub fn queries_each(mut self, queries_each: usize) -> Self {
+        self.queries_each = queries_each;
+        self
+    }
+
+    /// Set the resolver count.
+    pub fn resolvers(mut self, resolvers: usize) -> Self {
+        self.resolvers = resolvers;
+        self
+    }
+}
+
+/// Config for the [`OdnsLegacy`] scenario.
+#[derive(Clone, Debug)]
+pub struct OdnsLegacyConfig {
+    /// Number of clients.
+    pub clients: usize,
+    /// Queries each client issues.
+    pub queries_each: usize,
+}
+
+impl Default for OdnsLegacyConfig {
+    fn default() -> Self {
+        OdnsLegacyConfig {
+            clients: 1,
+            queries_each: 4,
+        }
+    }
+}
+
+impl OdnsLegacyConfig {
+    /// `clients` clients issuing `queries_each` queries each.
+    pub fn new(clients: usize, queries_each: usize) -> Self {
+        OdnsLegacyConfig {
+            clients,
+            queries_each,
+        }
+    }
+
+    /// Set the client count.
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Set the per-client query count.
+    pub fn queries_each(mut self, queries_each: usize) -> Self {
+        self.queries_each = queries_each;
+        self
+    }
+}
+
+/// §3.2.2 ODoH: clients query through proxy → target → origin.
+pub struct Odoh;
+
+impl Scenario for Odoh {
+    type Config = OdohConfig;
+    type Report = ScenarioReport;
+    const NAME: &'static str = "odns";
+
+    fn run_with(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
+        odoh_impl(cfg, seed, opts)
+    }
+}
+
+/// Plain DNS (the coupled baseline), optionally striped across several
+/// resolvers (§5.1).
+pub struct DirectDns;
+
+impl Scenario for DirectDns {
+    type Config = DirectDnsConfig;
+    type Report = ScenarioReport;
+    const NAME: &'static str = "dns_direct";
+
+    fn run_with(cfg: &DirectDnsConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
+        direct_impl(cfg, seed, opts)
+    }
+}
+
+/// The original ODNS (2019): obfuscated names through an unmodified
+/// recursive resolver to the oblivious authority.
+pub struct OdnsLegacy;
+
+impl Scenario for OdnsLegacy {
+    type Config = OdnsLegacyConfig;
+    type Report = ScenarioReport;
+    const NAME: &'static str = "odns_legacy";
+
+    fn run_with(cfg: &OdnsLegacyConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
+        legacy_impl(cfg, seed, opts)
     }
 }
 
@@ -110,6 +305,7 @@ impl OdohClient {
         };
         let q = DnsMessage::query(self.next_id, name, RrType::A);
         self.next_id = self.next_id.wrapping_add(1);
+        ctx.world.crypto_op("hpke_seal");
         let (sealed, state) = odoh::seal_query(ctx.rng, &self.target_pk, &q).expect("seal");
         self.state = Some(state);
         self.sent_at = ctx.now;
@@ -180,6 +376,7 @@ impl Node for OdohClient {
         let Some(state) = self.state.as_ref() else {
             return;
         };
+        ctx.world.crypto_op("hpke_open");
         let Ok(resp) = odoh::open_response(state, &msg.bytes) else {
             return;
         };
@@ -187,6 +384,8 @@ impl Node for OdohClient {
             return;
         }
         self.state = None;
+        ctx.world
+            .span("query", self.sent_at.as_us(), ctx.now.as_us());
         let mut stats = self.stats.borrow_mut();
         stats.answered += 1;
         stats.latencies.push(ctx.now - self.sent_at);
@@ -252,6 +451,7 @@ impl Node for TargetNode {
             let Some((proxy, resp_pk, user)) = self.pending.pop() else {
                 return; // duplicated origin answer: nothing awaits it
             };
+            ctx.world.crypto_op("hpke_seal");
             let Ok(sealed) = odoh::seal_response(ctx.rng, &resp_pk, &resp) else {
                 return; // cannot seal: never answer in plaintext
             };
@@ -265,6 +465,7 @@ impl Node for TargetNode {
         }
         // Encapsulated query from the proxy. Undecryptable (tampered or
         // duplicated-and-replayed) queries are dropped, never answered.
+        ctx.world.crypto_op("hpke_open");
         let Ok((query, resp_pk)) = odoh::open_query(&self.kp, &msg.bytes) else {
             return;
         };
@@ -330,23 +531,33 @@ impl TargetNode {
 
 /// Run the ODoH scenario: `n_clients` clients issue `queries_each`
 /// Zipf-sampled queries through proxy → target → origin.
+#[deprecated(
+    note = "use the unified Scenario API: `Odoh::run(&OdohConfig::new(clients, queries_each), seed)`"
+)]
 pub fn run_odoh(n_clients: usize, queries_each: usize, seed: u64) -> ScenarioReport {
-    run_odoh_with_faults(n_clients, queries_each, seed, &FaultConfig::calm())
+    Odoh::run(&OdohConfig::new(n_clients, queries_each), seed)
 }
 
 /// Run the ODoH scenario under a fault schedule.
+#[deprecated(note = "use the unified Scenario API: `Odoh::run_with_faults(&cfg, seed, faults)`")]
 pub fn run_odoh_with_faults(
     n_clients: usize,
     queries_each: usize,
     seed: u64,
     faults: &FaultConfig,
 ) -> ScenarioReport {
+    Odoh::run_with_faults(&OdohConfig::new(n_clients, queries_each), seed, faults)
+}
+
+fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
     use rand::SeedableRng;
+    let (n_clients, queries_each) = (cfg.clients, cfg.queries_each);
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0d0a);
     let workload = ZipfWorkload::new(200, 1.0, SUFFIX);
     let zone = build_zone(&workload);
 
     let mut world = World::new();
+    let obs = MetricsHandle::install_if(&mut world, opts.observe, Odoh::NAME, seed);
     let isp_org = world.add_org("isp");
     let odns_org = world.add_org("oblivious-operator");
     let auth_org = world.add_org("authoritative");
@@ -398,7 +609,7 @@ pub fn run_odoh_with_faults(
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(8));
-    net.enable_faults(faults.clone(), seed);
+    net.enable_faults(opts.faults.clone(), seed);
 
     let proxy_id = NodeId(0);
     let target_id = NodeId(1);
@@ -440,18 +651,7 @@ pub fn run_odoh_with_faults(
         net.world_mut().grant_key(e, client_resp_key);
     }
 
-    net.run();
-    let fault_log = net.fault_log();
-    let (world, trace) = net.into_parts();
-    let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
-    finish_report(
-        world,
-        trace,
-        stats,
-        users,
-        n_clients * queries_each,
-        fault_log,
-    )
+    assemble(net, stats, users, n_clients * queries_each, obs)
 }
 
 // -------------------------------------------------- direct & striping --
@@ -501,8 +701,16 @@ impl Node for DirectClient {
         self.send_next(ctx);
     }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        let resp = DnsMessage::decode(&msg.bytes).expect("resp");
-        assert!(resp.is_response);
+        // Undecodable or non-response deliveries (duplication faults) are
+        // ignored rather than crashing the client.
+        let Ok(resp) = DnsMessage::decode(&msg.bytes) else {
+            return;
+        };
+        if !resp.is_response {
+            return;
+        }
+        ctx.world
+            .span("query", self.sent_at.as_us(), ctx.now.as_us());
         let mut stats = self.stats.borrow_mut();
         stats.answered += 1;
         stats.latencies.push(ctx.now - self.sent_at);
@@ -525,13 +733,20 @@ impl Node for PlainResolver {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.origin {
-            let client = self.pending.pop().expect("no pending");
+            // A duplicated origin answer with no waiter is dropped.
+            let Some(client) = self.pending.pop() else {
+                return;
+            };
             ctx.send(client, msg);
             return;
         }
-        let query = DnsMessage::decode(&msg.bytes).expect("query");
-        self.stats.borrow_mut().resolver_views[self.slot]
-            .insert(query.questions[0].qname.to_string());
+        let Ok(query) = DnsMessage::decode(&msg.bytes) else {
+            return;
+        };
+        let Some(q0) = query.questions.first() else {
+            return;
+        };
+        self.stats.borrow_mut().resolver_views[self.slot].insert(q0.qname.to_string());
         self.pending.insert(0, from);
         // Forward upstream; the label travels as-is (the resolver already
         // saw everything — plain DNS hides nothing).
@@ -542,18 +757,30 @@ impl Node for PlainResolver {
 /// Run plain DNS through `n_resolvers` resolvers with queries striped
 /// uniformly across them. `n_resolvers = 1` is the coupled direct
 /// baseline.
+#[deprecated(
+    note = "use the unified Scenario API: `DirectDns::run(&DirectDnsConfig::new(clients, queries_each, resolvers), seed)`"
+)]
 pub fn run_direct(
     n_clients: usize,
     queries_each: usize,
     n_resolvers: usize,
     seed: u64,
 ) -> ScenarioReport {
+    DirectDns::run(
+        &DirectDnsConfig::new(n_clients, queries_each, n_resolvers),
+        seed,
+    )
+}
+
+fn direct_impl(cfg: &DirectDnsConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
     use rand::SeedableRng;
+    let (n_clients, queries_each, n_resolvers) = (cfg.clients, cfg.queries_each, cfg.resolvers);
     let mut wl_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xd1e7);
     let workload = ZipfWorkload::new(200, 1.0, SUFFIX);
     let zone = build_zone(&workload);
 
     let mut world = World::new();
+    let obs = MetricsHandle::install_if(&mut world, opts.observe, DirectDns::NAME, seed);
     let auth_org = world.add_org("authoritative");
     let user_org = world.add_org("users");
     let origin_e = world.add_entity("Origin", auth_org, None);
@@ -589,6 +816,7 @@ pub fn run_direct(
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(8));
+    net.enable_faults(opts.faults.clone(), seed);
 
     let origin_id = NodeId(0);
     net.add_node(Box::new(OriginNode {
@@ -618,19 +846,38 @@ pub fn run_direct(
         }));
     }
 
+    assemble(net, stats, users, n_clients * queries_each, obs)
+}
+
+/// The shared run tail for every DNS variant: run the network to
+/// quiescence, harvest the fault log, finalize metrics, and fold the
+/// stats into a [`ScenarioReport`]. Factoring this out keeps the direct
+/// and legacy paths on the same fail-closed harvesting as ODoH (they
+/// previously returned an empty `FaultLog` regardless of injections).
+fn assemble(
+    mut net: Network,
+    stats: Rc<RefCell<Stats>>,
+    users: Vec<UserId>,
+    expected_queries: usize,
+    obs: Option<MetricsHandle>,
+) -> ScenarioReport {
     net.run();
-    let (world, trace) = net.into_parts();
+    let fault_log = net.fault_log();
+    let (mut world, trace) = net.into_parts();
+    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
     finish_report(
         world,
         trace,
         stats,
         users,
-        n_clients * queries_each,
-        FaultLog::default(),
+        expected_queries,
+        fault_log,
+        metrics,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish_report(
     world: World,
     trace: Trace,
@@ -638,6 +885,7 @@ fn finish_report(
     users: Vec<UserId>,
     expected_queries: usize,
     fault_log: FaultLog,
+    metrics: MetricsReport,
 ) -> ScenarioReport {
     let mean = if stats.latencies.is_empty() {
         0.0
@@ -658,6 +906,7 @@ fn finish_report(
         resolver_views: stats.resolver_views.iter().map(HashSet::len).collect(),
         distinct_names: all_names.len(),
         fault_log,
+        metrics,
     }
 }
 
@@ -665,6 +914,22 @@ fn finish_report(
 mod tests {
     use super::*;
     use dcp_core::{analyze, collusion::entity_collusion};
+
+    fn run_odoh(clients: usize, queries_each: usize, seed: u64) -> ScenarioReport {
+        Odoh::run(&OdohConfig::new(clients, queries_each), seed)
+    }
+
+    fn run_direct(
+        clients: usize,
+        queries_each: usize,
+        resolvers: usize,
+        seed: u64,
+    ) -> ScenarioReport {
+        DirectDns::run(
+            &DirectDnsConfig::new(clients, queries_each, resolvers),
+            seed,
+        )
+    }
 
     #[test]
     fn odoh_reproduces_paper_table() {
@@ -728,6 +993,65 @@ mod tests {
             assert!(v > 0, "uniform striping uses every resolver");
         }
     }
+
+    #[test]
+    fn plain_run_leaves_metrics_disabled() {
+        let report = run_odoh(1, 2, 26);
+        assert!(!report.metrics.enabled);
+        assert_eq!(report.metrics.messages_sent, 0);
+    }
+
+    #[test]
+    fn instrumented_run_collects_metrics() {
+        let report = Odoh::run_instrumented(&OdohConfig::new(1, 3), 21);
+        assert_eq!(report.answered, 3);
+        assert!(report.metrics.enabled);
+        assert_eq!(report.metrics.scenario, "odns");
+        assert!(
+            report.metrics.wire_accounting_holds(),
+            "{:?}",
+            report.metrics
+        );
+        assert_eq!(
+            report.metrics.span_count("query"),
+            report.answered,
+            "one query span per answered query"
+        );
+        // Client seal + target open per query, plus target seal + client
+        // open per answer.
+        assert_eq!(report.metrics.crypto_ops["hpke_seal"], 6);
+        assert_eq!(report.metrics.crypto_ops["hpke_open"], 6);
+        assert!(report.metrics.knowledge_by_entity.contains_key("Resolver"));
+        assert_eq!(
+            report.metrics.messages_delivered as usize,
+            report.trace.len(),
+            "trace and metrics agree on delivered wire messages"
+        );
+    }
+
+    #[test]
+    fn instrumentation_does_not_change_outcomes() {
+        let plain = run_odoh(1, 3, 27);
+        let inst = Odoh::run_instrumented(&OdohConfig::new(1, 3), 27);
+        assert_eq!(plain.answered, inst.answered);
+        assert_eq!(plain.mean_query_us, inst.mean_query_us);
+        assert_eq!(plain.trace.len(), inst.trace.len());
+        assert_eq!(plain.table(0), inst.table(0));
+    }
+
+    #[test]
+    fn direct_runs_support_faults_now() {
+        use dcp_faults::FaultConfig;
+        let report = DirectDns::run_with_faults(
+            &DirectDnsConfig::new(2, 10, 2),
+            29,
+            &FaultConfig::moderate(),
+        );
+        assert!(
+            !report.fault_log.is_empty(),
+            "moderate preset injects faults on the direct path"
+        );
+    }
 }
 
 // ------------------------------------------------- original ODNS (2019) --
@@ -754,6 +1078,7 @@ impl OdnsClient {
             return;
         };
         let zone = DnsName::parse(ODNS_ZONE).unwrap();
+        ctx.world.crypto_op("hpke_seal");
         let (obfuscated, resp_kp) =
             crate::odns_name::obfuscate_query(ctx.rng, &self.target_pk, &name, &zone)
                 .expect("obfuscate");
@@ -795,15 +1120,30 @@ impl Node for OdnsClient {
         self.send_next(ctx);
     }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        // TXT response carrying the sealed answer.
-        let resp = DnsMessage::decode(&msg.bytes).expect("response");
-        let dcp_dns::RecordData::Txt(strings) = &resp.answers[0].data else {
-            panic!("expected TXT answer");
+        // TXT response carrying the sealed answer. Only consume the
+        // in-flight response key once an answer actually opens against it
+        // — tampered, duplicated, or stale deliveries must fail closed.
+        let Ok(resp) = DnsMessage::decode(&msg.bytes) else {
+            return;
+        };
+        let Some(dcp_dns::RecordData::Txt(strings)) = resp.answers.first().map(|rr| &rr.data)
+        else {
+            return;
         };
         let sealed: Vec<u8> = strings.concat();
-        let kp = self.resp_kp.take().expect("response key");
-        let answer = hpke::open(&kp, b"odns answer", b"", &sealed).expect("open answer");
-        assert_eq!(answer.len(), 4, "an IPv4 address came back");
+        let Some(kp) = self.resp_kp.as_ref() else {
+            return;
+        };
+        ctx.world.crypto_op("hpke_open");
+        let Ok(answer) = hpke::open(kp, b"odns answer", b"", &sealed) else {
+            return;
+        };
+        if answer.len() != 4 {
+            return; // not an IPv4 answer: ignore rather than trust it
+        }
+        self.resp_kp = None;
+        ctx.world
+            .span("query", self.sent_at.as_us(), ctx.now.as_us());
         let mut stats = self.stats.borrow_mut();
         stats.answered += 1;
         stats.latencies.push(ctx.now - self.sent_at);
@@ -827,7 +1167,10 @@ impl Node for OdnsRecursive {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.odns_authority {
-            let client = self.pending.pop().expect("no pending");
+            // A duplicated authority answer with no waiter is dropped.
+            let Some(client) = self.pending.pop() else {
+                return;
+            };
             ctx.send(client, msg);
             return;
         }
@@ -860,19 +1203,24 @@ impl Node for OdnsAuthority {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.origin {
-            let resp = DnsMessage::decode(&msg.bytes).expect("origin resp");
-            let (recursive, qid, resp_pk, user, obf_name) = self.pending.pop().expect("no pending");
-            // Seal the first A answer back to the client.
-            let addr = resp
-                .answers
-                .iter()
-                .find_map(|rr| match &rr.data {
-                    dcp_dns::RecordData::A(a) => Some(*a),
-                    _ => None,
-                })
-                .expect("A answer");
-            let sealed =
-                hpke::seal(ctx.rng, &resp_pk, b"odns answer", b"", &addr).expect("seal answer");
+            let Ok(resp) = DnsMessage::decode(&msg.bytes) else {
+                return;
+            };
+            let Some((recursive, qid, resp_pk, user, obf_name)) = self.pending.pop() else {
+                return; // duplicated origin answer: nothing awaits it
+            };
+            // Seal the first A answer back to the client; an answerless
+            // response is dropped — never answered in plaintext.
+            let Some(addr) = resp.answers.iter().find_map(|rr| match &rr.data {
+                dcp_dns::RecordData::A(a) => Some(*a),
+                _ => None,
+            }) else {
+                return;
+            };
+            ctx.world.crypto_op("hpke_seal");
+            let Ok(sealed) = hpke::seal(ctx.rng, &resp_pk, b"odns answer", b"", &addr) else {
+                return; // cannot seal: fail closed
+            };
             // Wrap the sealed answer in TXT strings (≤255 bytes each).
             let strings: Vec<Vec<u8>> = sealed.chunks(255).map(<[u8]>::to_vec).collect();
             let query_echo = DnsMessage::query(qid, obf_name.clone(), RrType::Txt);
@@ -888,16 +1236,24 @@ impl Node for OdnsAuthority {
             ctx.send(recursive, Message::new(txt_resp.encode(), label));
             return;
         }
-        // Obfuscated query arriving via the recursive.
-        let query = DnsMessage::decode(&msg.bytes).expect("query");
-        let obf_name = query.questions[0].qname.clone();
+        // Obfuscated query arriving via the recursive. Undecodable or
+        // undeobfuscatable (tampered) names are dropped, never answered.
+        let Ok(query) = DnsMessage::decode(&msg.bytes) else {
+            return;
+        };
+        let Some(q0) = query.questions.first() else {
+            return;
+        };
+        let obf_name = q0.qname.clone();
         let zone = DnsName::parse(ODNS_ZONE).unwrap();
-        let (qname, resp_pk) =
-            crate::odns_name::deobfuscate_query(&self.kp, &obf_name, &zone).expect("deobfuscate");
-        let user = *self
-            .subject_of_query
-            .get(&qname.to_string())
-            .expect("subject bookkeeping");
+        ctx.world.crypto_op("hpke_open");
+        let Ok((qname, resp_pk)) = crate::odns_name::deobfuscate_query(&self.kp, &obf_name, &zone)
+        else {
+            return;
+        };
+        let Some(&user) = self.subject_of_query.get(&qname.to_string()) else {
+            return;
+        };
         self.pending
             .insert(0, (from, query.id, resp_pk, user, obf_name));
         let plain_q = DnsMessage::query(query.id, qname, RrType::A);
@@ -911,13 +1267,22 @@ impl Node for OdnsAuthority {
 
 /// Run the original-ODNS scenario: obfuscated queries through an
 /// unmodified recursive resolver to the oblivious authority.
+#[deprecated(
+    note = "use the unified Scenario API: `OdnsLegacy::run(&OdnsLegacyConfig::new(clients, queries_each), seed)`"
+)]
 pub fn run_odns_legacy(n_clients: usize, queries_each: usize, seed: u64) -> ScenarioReport {
+    OdnsLegacy::run(&OdnsLegacyConfig::new(n_clients, queries_each), seed)
+}
+
+fn legacy_impl(cfg: &OdnsLegacyConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
     use rand::SeedableRng;
+    let (n_clients, queries_each) = (cfg.clients, cfg.queries_each);
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0d15);
     let workload = ZipfWorkload::new(200, 1.0, SUFFIX);
     let zone = build_zone(&workload);
 
     let mut world = World::new();
+    let obs = MetricsHandle::install_if(&mut world, opts.observe, OdnsLegacy::NAME, seed);
     let isp_org = world.add_org("isp");
     let odns_org = world.add_org("oblivious-operator");
     let auth_org = world.add_org("authoritative");
@@ -963,6 +1328,7 @@ pub fn run_odns_legacy(n_clients: usize, queries_each: usize, seed: u64) -> Scen
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(8));
+    net.enable_faults(opts.faults.clone(), seed);
     let recursive_id = NodeId(0);
     let authority_id = NodeId(1);
     let origin_id = NodeId(2);
@@ -1005,23 +1371,21 @@ pub fn run_odns_legacy(n_clients: usize, queries_each: usize, seed: u64) -> Scen
         net.world_mut().grant_key(e, client_resp_key);
     }
 
-    net.run();
-    let (world, trace) = net.into_parts();
-    let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
-    finish_report(
-        world,
-        trace,
-        stats,
-        users,
-        n_clients * queries_each,
-        FaultLog::default(),
-    )
+    assemble(net, stats, users, n_clients * queries_each, obs)
 }
 
 #[cfg(test)]
 mod odns_legacy_tests {
     use super::*;
     use dcp_core::analyze;
+
+    fn run_odns_legacy(clients: usize, queries_each: usize, seed: u64) -> ScenarioReport {
+        OdnsLegacy::run(&OdnsLegacyConfig::new(clients, queries_each), seed)
+    }
+
+    fn run_odoh(clients: usize, queries_each: usize, seed: u64) -> ScenarioReport {
+        Odoh::run(&OdohConfig::new(clients, queries_each), seed)
+    }
 
     #[test]
     fn odns_legacy_reproduces_paper_table() {

@@ -25,3 +25,5 @@
 
 pub mod cellular;
 pub mod scenario;
+
+pub use scenario::{Mode, Pgpp, PgppConfig, PgppReport};

@@ -5,8 +5,12 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use dcp_core::table::DecouplingTable;
-use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, UserId, World};
+use dcp_core::{
+    DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
+    World,
+};
 use dcp_faults::{FaultConfig, FaultLog};
+use dcp_obs::MetricsHandle;
 use dcp_privacypass::protocol::{Client as TokenClient, Issuer, Token};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
 use rand::Rng as _;
@@ -68,6 +72,38 @@ pub struct PgppReport {
     pub users: Vec<UserId>,
     /// Faults injected during the run (empty when faults are disabled).
     pub fault_log: FaultLog,
+    /// Run metrics (populated on instrumented runs).
+    pub metrics: MetricsReport,
+}
+
+impl dcp_core::ScenarioReport for PgppReport {
+    fn world(&self) -> &World {
+        &self.world
+    }
+    fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+    fn metrics(&self) -> &MetricsReport {
+        &self.metrics
+    }
+    fn completed_units(&self) -> u64 {
+        self.attaches as u64
+    }
+}
+
+/// §3.2.3 PGPP cellular: epoch-shuffled IMSIs with blind-token attach
+/// auth (or the coupled legacy mode, per config).
+pub struct Pgpp;
+
+impl Scenario for Pgpp {
+    type Config = PgppConfig;
+    type Report = PgppReport;
+    const NAME: &'static str = "pgpp";
+
+    fn run_with(cfg: &PgppConfig, seed: u64, opts: &RunOptions) -> PgppReport {
+        let config = PgppConfig { seed, ..*cfg };
+        run_impl(&config, opts)
+    }
 }
 
 impl PgppReport {
@@ -213,6 +249,9 @@ impl Node for PhoneNode {
             // Buy service: authenticate to the gateway with the billing
             // identity (▲_H) and obtain blinded attach tokens (⊙).
             let need = (self.epochs as usize) * self.moves_per_epoch;
+            for _ in 0..need {
+                ctx.world.crypto_op("voprf_blind");
+            }
             let req = self.wallet.request_tokens(ctx.rng, need);
             let mut bytes = vec![0x01u8]; // tag: issuance request
             for b in &req.blinded {
@@ -248,9 +287,13 @@ impl Node for PhoneNode {
             let Some(req) = self.pending_issuance.take() else {
                 return; // duplicate issuance response: already consumed
             };
+            for _ in 0..evals.len() {
+                ctx.world.crypto_op("voprf_finalize");
+            }
             if self.wallet.accept_issuance(req, &evals).is_err() {
                 return; // bad proof: refuse the batch, attach nothing
             }
+            ctx.world.span("issuance", 0, ctx.now.as_us());
             self.schedule_all_moves(ctx);
         }
         // Attach acks need no action.
@@ -333,6 +376,7 @@ impl Node for GwNode {
         if tag == 0x02 {
             // Token verification from the NGC. A token that fails to even
             // decode is refused — the reply keeps the NGC queue in sync.
+            ctx.world.crypto_op("voprf_redeem");
             let ok = match Token::decode(&msg.bytes[1..]) {
                 Ok(token) => self.shared.borrow_mut().issuer.redeem(&token).is_ok(),
                 Err(_) => false,
@@ -349,6 +393,9 @@ impl Node for GwNode {
                     dcp_crypto::oprf::BlindedElement(b)
                 })
                 .collect();
+            for _ in 0..blinded.len() {
+                ctx.world.crypto_op("voprf_evaluate");
+            }
             let Ok(evals) = self.shared.borrow_mut().issuer.issue(ctx.rng, &blinded) else {
                 return; // malformed batch: refuse to issue
             };
@@ -364,17 +411,25 @@ impl Node for GwNode {
 }
 
 /// Run the cellular scenario per `config` with faults disabled.
+#[deprecated(note = "use the unified Scenario API: `Pgpp::run(&config, seed)`")]
 pub fn run(config: PgppConfig) -> PgppReport {
-    run_with_faults(config, &FaultConfig::calm())
+    Pgpp::run(&config, config.seed)
 }
 
 /// Run the cellular scenario under a fault schedule.
+#[deprecated(note = "use the unified Scenario API: `Pgpp::run_with_faults(&config, seed, faults)`")]
 pub fn run_with_faults(config: PgppConfig, faults: &FaultConfig) -> PgppReport {
+    Pgpp::run_with_faults(&config, config.seed, faults)
+}
+
+fn run_impl(config: &PgppConfig, opts: &RunOptions) -> PgppReport {
     use rand::SeedableRng;
+    let config = *config;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x9699);
     assert!(config.epochs >= 1);
 
     let mut world = World::new();
+    let obs = MetricsHandle::install_if(&mut world, opts.observe, Pgpp::NAME, config.seed);
     let user_org = world.add_org("subscribers");
     let core_org = world.add_org("mobile-operator");
     let gw_org = world.add_org("pgpp-operator");
@@ -413,7 +468,7 @@ pub fn run_with_faults(config: PgppConfig, faults: &FaultConfig) -> PgppReport {
 
     let mut net = Network::new(world, config.seed);
     net.set_default_link(LinkParams::wan_ms(5));
-    net.enable_faults(faults.clone(), config.seed);
+    net.enable_faults(opts.faults.clone(), config.seed);
     let gw_id = NodeId(0);
     let ngc_id = NodeId(1);
     net.add_node(Box::new(GwNode {
@@ -449,7 +504,8 @@ pub fn run_with_faults(config: PgppConfig, faults: &FaultConfig) -> PgppReport {
 
     net.run();
     let fault_log = net.fault_log();
-    let (world, trace) = net.into_parts();
+    let (mut world, trace) = net.into_parts();
+    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
     let shared = Rc::try_unwrap(shared).map_err(|_| ()).unwrap().into_inner();
     let linkage = trajectory_linkage(&shared.core.log, &shared.truth);
     PgppReport {
@@ -460,6 +516,7 @@ pub fn run_with_faults(config: PgppConfig, faults: &FaultConfig) -> PgppReport {
         distinct_imsis: shared.core.distinct_imsis(),
         users,
         fault_log,
+        metrics,
     }
 }
 
@@ -467,6 +524,29 @@ pub fn run_with_faults(config: PgppConfig, faults: &FaultConfig) -> PgppReport {
 mod tests {
     use super::*;
     use dcp_core::analyze;
+
+    fn run(config: PgppConfig) -> PgppReport {
+        Pgpp::run(&config, config.seed)
+    }
+
+    #[test]
+    fn instrumented_run_counts_voprf_ops() {
+        let report = Pgpp::run_instrumented(&cfg(Mode::Pgpp), 11);
+        assert!(report.metrics.wire_accounting_holds());
+        // 6 users × 6 tokens: blinded, evaluated, finalized once each;
+        // redeemed once per attach.
+        assert_eq!(report.metrics.crypto_ops["voprf_blind"], 36);
+        assert_eq!(report.metrics.crypto_ops["voprf_evaluate"], 36);
+        assert_eq!(report.metrics.crypto_ops["voprf_finalize"], 36);
+        assert_eq!(
+            report.metrics.crypto_ops["voprf_redeem"] as usize,
+            report.attaches
+        );
+        assert_eq!(report.metrics.span_count("issuance"), 6);
+        // Legacy mode does no token crypto at all.
+        let legacy = Pgpp::run_instrumented(&cfg(Mode::Legacy), 11);
+        assert_eq!(legacy.metrics.crypto_total(), 0);
+    }
 
     fn cfg(mode: Mode) -> PgppConfig {
         PgppConfig {

@@ -27,4 +27,6 @@
 pub mod field;
 pub mod prio;
 pub mod scenario;
+
+pub use scenario::{Ppm, PpmConfig, PpmReport};
 pub mod share;

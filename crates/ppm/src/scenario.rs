@@ -5,8 +5,12 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use dcp_core::table::DecouplingTable;
-use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, UserId, World};
+use dcp_core::{
+    DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
+    World,
+};
 use dcp_faults::{FaultConfig, FaultLog};
+use dcp_obs::MetricsHandle;
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
 use rand::Rng as _;
 
@@ -44,6 +48,26 @@ impl Default for PpmConfig {
     }
 }
 
+impl PpmConfig {
+    /// Set the client count.
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Set the contribution bit width.
+    pub fn bits(mut self, bits: usize) -> Self {
+        self.bits = bits;
+        self
+    }
+
+    /// Set the number of malicious clients.
+    pub fn malicious(mut self, malicious: usize) -> Self {
+        self.malicious = malicious;
+        self
+    }
+}
+
 /// Report.
 pub struct PpmReport {
     /// Knowledge base.
@@ -62,6 +86,43 @@ pub struct PpmReport {
     pub users: Vec<UserId>,
     /// Faults injected during the run (empty when faults are disabled).
     pub fault_log: FaultLog,
+    /// Run metrics (populated on instrumented runs).
+    pub metrics: MetricsReport,
+}
+
+impl dcp_core::ScenarioReport for PpmReport {
+    fn world(&self) -> &World {
+        &self.world
+    }
+    fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+    fn metrics(&self) -> &MetricsReport {
+        &self.metrics
+    }
+    fn completed_units(&self) -> u64 {
+        // `accepted` is the static expectation; the aggregate only
+        // releases when every share actually survived the network.
+        if self.aggregate.is_some() {
+            self.accepted as u64
+        } else {
+            0
+        }
+    }
+}
+
+/// §3.2.5 privacy-preserving measurement (Prio-style split aggregation).
+pub struct Ppm;
+
+impl Scenario for Ppm {
+    type Config = PpmConfig;
+    type Report = PpmReport;
+    const NAME: &'static str = "ppm";
+
+    fn run_with(cfg: &PpmConfig, seed: u64, opts: &RunOptions) -> PpmReport {
+        let config = PpmConfig { seed, ..*cfg };
+        run_impl(&config, opts)
+    }
 }
 
 impl PpmReport {
@@ -176,6 +237,7 @@ impl Node for ClientNode {
             self.entity,
             InfoItem::sensitive_data(self.user, DataKind::Measurement),
         );
+        ctx.world.crypto_op("prio_share");
         let shares = if self.malicious {
             crate::prio::submit_malicious(ctx.rng, self.bits)
         } else {
@@ -259,6 +321,7 @@ impl Node for LeaderNode {
                 if self.pending.contains_key(&id) {
                     return; // duplicated submission: first copy wins
                 }
+                ctx.world.crypto_op("prio_verify_r1");
                 let my_r1 = self.agg.verify_round1(&sub);
                 ctx.send(
                     self.helper,
@@ -306,6 +369,7 @@ impl LeaderNode {
         if p.my_z.is_some() {
             return; // duplicated round-1: this submission already finished
         }
+        ctx.world.crypto_op("prio_verify_r2");
         let my_z = self.agg.verify_round2(&p.sub, &p.my_r1, &their_r1);
         let sub = p.sub.clone();
         p.my_z = Some(my_z.clone());
@@ -350,6 +414,7 @@ impl HelperNode {
         let Some(their_r1) = self.early_r1.get(&id) else {
             return;
         };
+        ctx.world.crypto_op("prio_verify_r2");
         let my_z = self.agg.verify_round2(&p.sub, &p.my_r1, their_r1);
         // Send round1 + z to the leader.
         let my_r1 = p.my_r1.clone();
@@ -411,6 +476,7 @@ impl Node for HelperNode {
                 if !self.seen.insert(id) {
                     return; // duplicated submission: first copy wins
                 }
+                ctx.world.crypto_op("prio_verify_r1");
                 let my_r1 = self.agg.verify_round1(&sub);
                 self.pending.insert(
                     id,
@@ -448,7 +514,7 @@ impl Node for CollectorNode {
     fn entity(&self) -> EntityId {
         self.entity
     }
-    fn on_message(&mut self, _ctx: &mut Ctx, from: NodeId, msg: Message) {
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if msg.bytes.first() != Some(&TAG_ACCUM) || msg.bytes.len() < 9 {
             return;
         }
@@ -464,21 +530,30 @@ impl Node for CollectorNode {
         if self.shares.len() == 2 {
             *self.result.borrow_mut() =
                 Some(crate::prio::collect(self.shares[0].1, self.shares[1].1));
+            // The whole aggregation round, submission through reconstruction.
+            ctx.world.span("aggregate", 0, ctx.now.as_us());
         }
     }
 }
 
 /// Run the scenario with faults disabled.
+#[deprecated(note = "use the unified Scenario API: `Ppm::run(&config, config.seed)`")]
 pub fn run(config: PpmConfig) -> PpmReport {
-    run_with_faults(config, &FaultConfig::calm())
+    Ppm::run(&config, config.seed)
 }
 
 /// Run the scenario under a fault schedule.
+#[deprecated(note = "use the unified Scenario API: `Ppm::run_with_faults(&cfg, seed, faults)`")]
 pub fn run_with_faults(config: PpmConfig, faults: &FaultConfig) -> PpmReport {
+    Ppm::run_with_faults(&config, config.seed, faults)
+}
+
+fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
     use rand::SeedableRng;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x99a1);
 
     let mut world = World::new();
+    let obs = MetricsHandle::install_if(&mut world, opts.observe, Ppm::NAME, config.seed);
     let user_org = world.add_org("users");
     let leader_org = world.add_org("aggregator-a");
     let helper_org = world.add_org("aggregator-b");
@@ -510,7 +585,7 @@ pub fn run_with_faults(config: PpmConfig, faults: &FaultConfig) -> PpmReport {
 
     let mut net = Network::new(world, config.seed);
     net.set_default_link(LinkParams::wan_ms(10));
-    net.enable_faults(faults.clone(), config.seed);
+    net.enable_faults(opts.faults.clone(), config.seed);
     let leader_id = NodeId(0);
     let helper_id = NodeId(1);
     let collector_id = NodeId(2);
@@ -567,7 +642,8 @@ pub fn run_with_faults(config: PpmConfig, faults: &FaultConfig) -> PpmReport {
 
     net.run();
     let fault_log = net.fault_log();
-    let (world, trace) = net.into_parts();
+    let (mut world, trace) = net.into_parts();
+    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
     let aggregate = *result.borrow();
 
     // Accepted/rejected counts are symmetric; read them from the trace-
@@ -583,6 +659,7 @@ pub fn run_with_faults(config: PpmConfig, faults: &FaultConfig) -> PpmReport {
         rejected,
         users,
         fault_log,
+        metrics,
     }
 }
 
@@ -590,6 +667,35 @@ pub fn run_with_faults(config: PpmConfig, faults: &FaultConfig) -> PpmReport {
 mod tests {
     use super::*;
     use dcp_core::{analyze, collusion::entity_collusion};
+
+    fn run(config: PpmConfig) -> PpmReport {
+        Ppm::run(&config, config.seed)
+    }
+
+    #[test]
+    fn instrumented_run_counts_prio_ops() {
+        let config = PpmConfig {
+            clients: 4,
+            bits: 8,
+            malicious: 0,
+            seed: 11,
+        };
+        let report = Ppm::run_instrumented(&config, config.seed);
+        let m = &report.metrics;
+        // One share split per client; each of the two aggregators runs
+        // round 1 and round 2 once per submission.
+        assert_eq!(m.crypto_ops["prio_share"], 4, "{m:?}");
+        assert_eq!(m.crypto_ops["prio_verify_r1"], 8, "{m:?}");
+        assert_eq!(m.crypto_ops["prio_verify_r2"], 8, "{m:?}");
+        assert_eq!(m.span_count("aggregate"), 1, "{m:?}");
+        assert!(m.messages_delivered > 0);
+        assert_eq!(report.aggregate, Some(report.expected_sum));
+
+        // The plain path stays dark.
+        let plain = run(config);
+        assert_eq!(plain.metrics.crypto_total(), 0);
+        assert_eq!(plain.aggregate, Some(plain.expected_sum));
+    }
 
     #[test]
     fn reproduces_paper_table() {

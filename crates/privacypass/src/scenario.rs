@@ -4,9 +4,13 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dcp_core::table::DecouplingTable;
-use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, UserId, World};
+use dcp_core::{
+    DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
+    World,
+};
 use dcp_crypto::oprf::{BlindedElement, DleqProof, EvaluatedElement};
 use dcp_faults::{FaultConfig, FaultLog};
+use dcp_obs::MetricsHandle;
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
 use dcp_transport::frame::{Frame, FrameType};
 
@@ -28,6 +32,77 @@ pub struct ScenarioReport {
     pub users: Vec<UserId>,
     /// Faults injected during the run (empty when faults are disabled).
     pub fault_log: FaultLog,
+    /// Run metrics (populated on instrumented runs).
+    pub metrics: MetricsReport,
+}
+
+impl dcp_core::ScenarioReport for ScenarioReport {
+    fn world(&self) -> &World {
+        &self.world
+    }
+    fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+    fn metrics(&self) -> &MetricsReport {
+        &self.metrics
+    }
+    fn completed_units(&self) -> u64 {
+        self.redeemed as u64
+    }
+}
+
+/// Config for the [`Privacypass`] scenario.
+#[derive(Clone, Debug)]
+pub struct PrivacypassConfig {
+    /// Number of clients.
+    pub clients: usize,
+    /// Token redemptions per client (one issuance batch covers them;
+    /// must be ≤ 4).
+    pub fetches_each: usize,
+}
+
+impl Default for PrivacypassConfig {
+    fn default() -> Self {
+        PrivacypassConfig {
+            clients: 1,
+            fetches_each: 2,
+        }
+    }
+}
+
+impl PrivacypassConfig {
+    /// `clients` clients redeeming `fetches_each` tokens each.
+    pub fn new(clients: usize, fetches_each: usize) -> Self {
+        PrivacypassConfig {
+            clients,
+            fetches_each,
+        }
+    }
+
+    /// Set the client count.
+    pub fn clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Set the per-client redemption count.
+    pub fn fetches_each(mut self, fetches_each: usize) -> Self {
+        self.fetches_each = fetches_each;
+        self
+    }
+}
+
+/// §3.2.1 Privacy Pass: blind-token issuance and unlinkable redemption.
+pub struct Privacypass;
+
+impl Scenario for Privacypass {
+    type Config = PrivacypassConfig;
+    type Report = ScenarioReport;
+    const NAME: &'static str = "privacypass";
+
+    fn run_with(cfg: &PrivacypassConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
+        run_impl(cfg, seed, opts)
+    }
 }
 
 impl ScenarioReport {
@@ -84,6 +159,9 @@ impl Node for ClientNode {
         self.started_at = ctx.now;
         // Issuance: the client authenticates (solves the issuer's
         // challenge) — the issuer learns ▲ but only blinded elements ⊙.
+        for _ in 0..TOKENS_PER_BATCH {
+            ctx.world.crypto_op("voprf_blind");
+        }
         let req = self.client.request_tokens(ctx.rng, TOKENS_PER_BATCH);
         let mut bytes = Vec::new();
         for b in &req.blinded {
@@ -120,11 +198,16 @@ impl Node for ClientNode {
             let Some(req) = self.state.take() else {
                 return; // duplicate response: issuance already consumed
             };
+            for _ in 0..evals.len() {
+                ctx.world.crypto_op("voprf_finalize");
+            }
             if self.client.accept_issuance(req, &evals).is_err() {
                 return; // bad DLEQ proof: refuse the batch
             }
             self.fetch(ctx);
         } else if from == self.origin {
+            ctx.world
+                .span("fetch", self.started_at.as_us(), ctx.now.as_us());
             self.shared
                 .borrow_mut()
                 .fetch_times
@@ -185,6 +268,9 @@ impl Node for IssuerNode {
                         BlindedElement(b)
                     })
                     .collect();
+                for _ in 0..blinded.len() {
+                    ctx.world.crypto_op("voprf_evaluate");
+                }
                 let Ok(evals) = self.shared.borrow_mut().issuer.issue(ctx.rng, &blinded) else {
                     return; // malformed batch: refuse to issue
                 };
@@ -210,7 +296,10 @@ impl Node for IssuerNode {
                 // A token that fails to even decode is refused outright —
                 // the reply keeps the origin's pending queue in sync.
                 let ok = match Token::decode(&frame.payload) {
-                    Ok(token) => self.shared.borrow_mut().issuer.redeem(&token).is_ok(),
+                    Ok(token) => {
+                        ctx.world.crypto_op("voprf_redeem");
+                        self.shared.borrow_mut().issuer.redeem(&token).is_ok()
+                    }
                     Err(_) => false,
                 };
                 ctx.send(
@@ -282,22 +371,38 @@ impl Node for OriginNode {
 
 /// Run the scenario: `n_clients` clients each redeem `fetches_each` tokens
 /// (one issuance batch covers them; `fetches_each ≤ 4`).
+#[deprecated(
+    note = "use the unified Scenario API: `Privacypass::run(&PrivacypassConfig::new(clients, fetches_each), seed)`"
+)]
 pub fn run(n_clients: usize, fetches_each: usize, seed: u64) -> ScenarioReport {
-    run_with_faults(n_clients, fetches_each, seed, &FaultConfig::calm())
+    Privacypass::run(&PrivacypassConfig::new(n_clients, fetches_each), seed)
 }
 
 /// Run the scenario under a fault schedule.
+#[deprecated(
+    note = "use the unified Scenario API: `Privacypass::run_with_faults(&cfg, seed, faults)`"
+)]
 pub fn run_with_faults(
     n_clients: usize,
     fetches_each: usize,
     seed: u64,
     faults: &FaultConfig,
 ) -> ScenarioReport {
+    Privacypass::run_with_faults(
+        &PrivacypassConfig::new(n_clients, fetches_each),
+        seed,
+        faults,
+    )
+}
+
+fn run_impl(cfg: &PrivacypassConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
     use rand::SeedableRng;
+    let (n_clients, fetches_each) = (cfg.clients, cfg.fetches_each);
     assert!(fetches_each <= TOKENS_PER_BATCH);
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9a55);
 
     let mut world = World::new();
+    let obs = MetricsHandle::install_if(&mut world, opts.observe, Privacypass::NAME, seed);
     let issuer_org = world.add_org("issuer-co");
     let origin_org = world.add_org("origin-co");
     let user_org = world.add_org("users");
@@ -329,7 +434,7 @@ pub fn run_with_faults(
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(15));
-    net.enable_faults(faults.clone(), seed);
+    net.enable_faults(opts.faults.clone(), seed);
 
     let issuer_id = NodeId(0);
     let origin_id = NodeId(1);
@@ -359,7 +464,8 @@ pub fn run_with_faults(
 
     net.run();
     let fault_log = net.fault_log();
-    let (world, trace) = net.into_parts();
+    let (mut world, trace) = net.into_parts();
+    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
     let shared = Rc::try_unwrap(shared)
         .map_err(|_| ())
         .expect("sim released")
@@ -377,6 +483,7 @@ pub fn run_with_faults(
         mean_fetch_us: mean,
         users,
         fault_log,
+        metrics,
     }
 }
 
@@ -385,6 +492,31 @@ mod tests {
     use super::*;
     use dcp_core::analyze;
     use dcp_core::collusion::entity_collusion;
+
+    fn run(n_clients: usize, fetches_each: usize, seed: u64) -> ScenarioReport {
+        Privacypass::run(&PrivacypassConfig::new(n_clients, fetches_each), seed)
+    }
+
+    #[test]
+    fn instrumented_run_counts_voprf_ops() {
+        let report = Privacypass::run_instrumented(&PrivacypassConfig::new(2, 2), 7);
+        let m = &report.metrics;
+        // Each client blinds a full batch; the issuer evaluates every
+        // blinded element; the client finalizes each evaluation; one
+        // redemption check per fetch.
+        assert_eq!(m.crypto_ops["voprf_blind"], 2 * TOKENS_PER_BATCH as u64);
+        assert_eq!(m.crypto_ops["voprf_evaluate"], 2 * TOKENS_PER_BATCH as u64);
+        assert_eq!(m.crypto_ops["voprf_finalize"], 2 * TOKENS_PER_BATCH as u64);
+        assert_eq!(m.crypto_ops["voprf_redeem"], 4);
+        assert_eq!(m.span_count("fetch"), 4);
+        assert!(m.wire_accounting_holds(), "{m:?}");
+        assert_eq!(report.redeemed, 4);
+
+        // The plain path stays dark and behaves identically.
+        let plain = run(2, 2, 7);
+        assert_eq!(plain.metrics.crypto_total(), 0);
+        assert_eq!(plain.redeemed, 4);
+    }
 
     #[test]
     fn scenario_reproduces_paper_table() {

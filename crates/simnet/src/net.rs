@@ -3,6 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+use dcp_core::obs::ObsEvent;
 use dcp_core::{EntityId, World};
 use dcp_faults::{buggify, FaultConfig, FaultKind, FaultLog, Injector};
 use rand::rngs::StdRng;
@@ -212,6 +213,14 @@ impl Network {
                     },
                 );
             }
+            if self.world.obs_enabled() {
+                self.world.emit_at(
+                    now_us,
+                    &ObsEvent::FaultInjected {
+                        kind: "key_compromise",
+                    },
+                );
+            }
         }
     }
 
@@ -255,13 +264,38 @@ impl Network {
     }
 
     /// Consume the network, returning world and trace for analysis.
-    pub fn into_parts(self) -> (World, Trace) {
+    /// Deliveries still queued (a deadline run torn down before
+    /// quiescence) are counted as unserviced so the wire accounting
+    /// stays exact.
+    pub fn into_parts(mut self) -> (World, Trace) {
+        if self.world.obs_enabled() {
+            while let Some(Reverse(event)) = self.queue.pop() {
+                if let EventKind::Deliver { ref msg, .. } = event.kind {
+                    self.world.emit_at(
+                        event.time.as_us(),
+                        &ObsEvent::MessageUnserviced { bytes: msg.size() },
+                    );
+                }
+            }
+        }
         (self.world, self.trace)
     }
 
     /// Inject a message from "the environment" (no source node, no link
     /// delay) at time `at`. Useful to kick off workloads.
     pub fn post_at(&mut self, target: NodeId, msg: Message, at: SimTime) {
+        if self.world.obs_enabled() {
+            // Environment injections count as sent so every queued
+            // delivery has a matching send in the wire accounting.
+            self.world.emit_at(
+                at.as_us(),
+                &ObsEvent::MessageSent {
+                    src: target.0,
+                    dst: target.0,
+                    bytes: msg.size(),
+                },
+            );
+        }
         let seq = self.bump_seq();
         self.queue.push(Reverse(Event {
             time: at,
@@ -269,6 +303,24 @@ impl Network {
             target,
             kind: EventKind::Deliver { from: target, msg },
         }));
+    }
+
+    /// Wire-drop accounting: the copy was offered to the wire and lost,
+    /// so it counts both sent and dropped.
+    fn obs_drop(&self, from: NodeId, to: NodeId, bytes: usize, reason: &'static str) {
+        if self.world.obs_enabled() {
+            self.world.emit(&ObsEvent::MessageSent {
+                src: from.0,
+                dst: to.0,
+                bytes,
+            });
+            self.world.emit(&ObsEvent::MessageDropped {
+                src: from.0,
+                dst: to.0,
+                bytes,
+                reason,
+            });
+        }
     }
 
     /// Schedule a timer for `target` at absolute time `at`.
@@ -316,6 +368,7 @@ impl Network {
             }
             let Reverse(event) = self.queue.pop().unwrap();
             self.now = event.time;
+            self.world.set_obs_now(self.now.as_us());
 
             // Crash faults. A down node loses every message and timer
             // that arrives before its restart; a crash triggered *by*
@@ -325,6 +378,16 @@ impl Network {
             if self.is_down(target) {
                 if let Some(inj) = self.faults.as_mut() {
                     inj.record(self.now.as_us(), FaultKind::CrashLoss { node: target.0 });
+                }
+                if self.world.obs_enabled() {
+                    self.world
+                        .emit(&ObsEvent::FaultInjected { kind: "crash_loss" });
+                    if let EventKind::Deliver { ref msg, .. } = event.kind {
+                        self.world.emit(&ObsEvent::MessageLostToCrash {
+                            node: target.0,
+                            bytes: msg.size(),
+                        });
+                    }
                 }
                 processed += 1;
                 continue;
@@ -338,19 +401,35 @@ impl Network {
                 if crashed {
                     let inj = self.faults.as_mut().expect("buggify hit without injector");
                     let until_us = self.now.as_us() + inj.config.crash_down_us;
-                    let kind = if self.relays[target.0] {
-                        FaultKind::RelayChurn {
-                            node: target.0,
-                            until_us,
-                        }
+                    let (kind, kind_name) = if self.relays[target.0] {
+                        (
+                            FaultKind::RelayChurn {
+                                node: target.0,
+                                until_us,
+                            },
+                            "relay_churn",
+                        )
                     } else {
-                        FaultKind::Crash {
-                            node: target.0,
-                            until_us,
-                        }
+                        (
+                            FaultKind::Crash {
+                                node: target.0,
+                                until_us,
+                            },
+                            "crash",
+                        )
                     };
                     inj.record(self.now.as_us(), kind);
                     self.down_until[target.0] = SimTime(until_us);
+                    if self.world.obs_enabled() {
+                        self.world
+                            .emit(&ObsEvent::FaultInjected { kind: kind_name });
+                        if let EventKind::Deliver { ref msg, .. } = event.kind {
+                            self.world.emit(&ObsEvent::MessageLostToCrash {
+                                node: target.0,
+                                bytes: msg.size(),
+                            });
+                        }
+                    }
                     processed += 1;
                     continue;
                 }
@@ -375,6 +454,13 @@ impl Network {
     }
 
     fn deliver(&mut self, target: NodeId, from: NodeId, msg: Message) {
+        if self.world.obs_enabled() {
+            self.world.emit(&ObsEvent::MessageDelivered {
+                src: from.0,
+                dst: target.0,
+                bytes: msg.size(),
+            });
+        }
         // Observation happens before protocol processing: the receiving
         // entity sees whatever its keys open.
         let entity = self.node_entities[target.0];
@@ -442,12 +528,18 @@ impl Network {
                 if inj.partitioned(now_us, from.0, to.0) {
                     // Inside an open partition window: silently dropped
                     // (the window itself was logged when it opened).
+                    self.obs_drop(from, to, msg.size(), "partition");
                     continue;
                 }
             }
             if buggify!(self.faults, p_partition) {
                 let inj = self.faults.as_mut().expect("buggify hit without injector");
                 inj.open_partition(now_us, from.0, to.0);
+                if self.world.obs_enabled() {
+                    self.world
+                        .emit(&ObsEvent::FaultInjected { kind: "partition" });
+                }
+                self.obs_drop(from, to, msg.size(), "partition");
                 continue; // the triggering packet is the first casualty
             }
             if buggify!(self.faults, p_drop) {
@@ -459,6 +551,10 @@ impl Network {
                         dst: to.0,
                     },
                 );
+                if self.world.obs_enabled() {
+                    self.world.emit(&ObsEvent::FaultInjected { kind: "drop" });
+                }
+                self.obs_drop(from, to, msg.size(), "drop");
                 continue;
             }
             let copies = if buggify!(self.faults, p_duplicate) {
@@ -471,6 +567,10 @@ impl Network {
                         copies: 2,
                     },
                 );
+                if self.world.obs_enabled() {
+                    self.world
+                        .emit(&ObsEvent::FaultInjected { kind: "duplicate" });
+                }
                 2
             } else {
                 1
@@ -509,6 +609,11 @@ impl Network {
                             delay_us: d,
                         },
                     );
+                    if self.world.obs_enabled() {
+                        self.world.emit(&ObsEvent::FaultInjected {
+                            kind: "extra_delay",
+                        });
+                    }
                     d
                 } else if buggify!(self.faults, p_reorder) {
                     let inj = self.faults.as_mut().expect("buggify hit without injector");
@@ -521,12 +626,23 @@ impl Network {
                             delay_us: d,
                         },
                     );
+                    if self.world.obs_enabled() {
+                        self.world
+                            .emit(&ObsEvent::FaultInjected { kind: "reorder" });
+                    }
                     d
                 } else {
                     0
                 };
 
                 let deliver_time = self.now.after(delay + extra_us);
+                if self.world.obs_enabled() {
+                    self.world.emit(&ObsEvent::MessageSent {
+                        src: from.0,
+                        dst: to.0,
+                        bytes: size,
+                    });
+                }
                 self.trace.push(PacketRecord {
                     send_time: self.now,
                     deliver_time,

@@ -23,4 +23,7 @@
 
 pub mod scenario;
 
-pub use scenario::{run_ech, run_vpn, EchReport, VpnReport};
+pub use scenario::{Ech, EchConfig, EchReport, Vpn, VpnConfig, VpnReport};
+
+#[allow(deprecated)]
+pub use scenario::{run_ech, run_vpn};

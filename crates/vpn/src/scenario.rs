@@ -4,9 +4,13 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use dcp_core::table::DecouplingTable;
-use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, UserId, World};
+use dcp_core::{
+    DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RunOptions, Scenario,
+    UserId, World,
+};
 use dcp_crypto::hpke;
 use dcp_faults::{FaultConfig, FaultLog};
+use dcp_obs::MetricsHandle;
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Tap, Trace};
 
 const REQUEST: &[u8] = b"GET /account/medical-records HTTP/1.1";
@@ -27,6 +31,77 @@ pub struct VpnReport {
     pub users: Vec<UserId>,
     /// Faults injected during the run (empty when faults are disabled).
     pub fault_log: FaultLog,
+    /// Run metrics (populated on instrumented runs).
+    pub metrics: MetricsReport,
+}
+
+impl dcp_core::ScenarioReport for VpnReport {
+    fn world(&self) -> &World {
+        &self.world
+    }
+    fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+    fn metrics(&self) -> &MetricsReport {
+        &self.metrics
+    }
+    fn completed_units(&self) -> u64 {
+        self.completed as u64
+    }
+}
+
+/// Config for the [`Vpn`] scenario.
+#[derive(Clone, Debug)]
+pub struct VpnConfig {
+    /// Number of subscriber clients.
+    pub users: usize,
+    /// Fetches per client.
+    pub fetches_each: usize,
+}
+
+impl Default for VpnConfig {
+    fn default() -> Self {
+        VpnConfig {
+            users: 1,
+            fetches_each: 2,
+        }
+    }
+}
+
+impl VpnConfig {
+    /// `users` clients completing `fetches_each` fetches each.
+    pub fn new(users: usize, fetches_each: usize) -> Self {
+        VpnConfig {
+            users,
+            fetches_each,
+        }
+    }
+
+    /// Set the client count.
+    pub fn users(mut self, users: usize) -> Self {
+        self.users = users;
+        self
+    }
+
+    /// Set the per-client fetch count.
+    pub fn fetches_each(mut self, fetches_each: usize) -> Self {
+        self.fetches_each = fetches_each;
+        self
+    }
+}
+
+/// §3.3 trusted-intermediary VPN: the tunnel hides traffic from the
+/// network but the server itself re-couples identity and destination.
+pub struct Vpn;
+
+impl Scenario for Vpn {
+    type Config = VpnConfig;
+    type Report = VpnReport;
+    const NAME: &'static str = "vpn";
+
+    fn run_with(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
+        run_vpn_impl(cfg, seed, opts)
+    }
 }
 
 impl VpnReport {
@@ -68,6 +143,7 @@ struct VpnClient {
 impl VpnClient {
     fn fetch(&mut self, ctx: &mut Ctx) {
         self.sent_at = ctx.now;
+        ctx.world.crypto_op("hpke_seal");
         let sealed = hpke::seal(ctx.rng, &self.vpn_pk, b"vpn", b"", REQUEST).expect("seal");
         // The tunnel protects the request from the *network*, but the VPN
         // terminates it: the server decrypts and sees destination + content
@@ -96,6 +172,8 @@ impl Node for VpnClient {
         self.fetch(ctx);
     }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, _msg: Message) {
+        ctx.world
+            .span("fetch", self.sent_at.as_us(), ctx.now.as_us());
         let mut s = self.stats.borrow_mut();
         s.completed += 1;
         s.latencies.push(ctx.now - self.sent_at);
@@ -129,6 +207,7 @@ impl Node for VpnServer {
         }
         // Fail closed: traffic that does not decrypt under the tunnel key,
         // or from an unknown peer, is dropped — never proxied onward.
+        ctx.world.crypto_op("hpke_open");
         let Ok(req) = hpke::open(&self.kp, b"vpn", b"", &msg.bytes) else {
             return;
         };
@@ -165,20 +244,30 @@ impl Node for PlainOrigin {
 }
 
 /// Run the VPN scenario with faults disabled.
+#[deprecated(
+    note = "use the unified Scenario API: `Vpn::run(&VpnConfig::new(users, fetches_each), seed)`"
+)]
 pub fn run_vpn(n_users: usize, fetches_each: usize, seed: u64) -> VpnReport {
-    run_vpn_with_faults(n_users, fetches_each, seed, &FaultConfig::calm())
+    Vpn::run(&VpnConfig::new(n_users, fetches_each), seed)
 }
 
 /// Run the VPN scenario under a fault schedule.
+#[deprecated(note = "use the unified Scenario API: `Vpn::run_with_faults(&cfg, seed, faults)`")]
 pub fn run_vpn_with_faults(
     n_users: usize,
     fetches_each: usize,
     seed: u64,
     faults: &FaultConfig,
 ) -> VpnReport {
+    Vpn::run_with_faults(&VpnConfig::new(n_users, fetches_each), seed, faults)
+}
+
+fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
     use rand::SeedableRng;
+    let (n_users, fetches_each) = (cfg.users, cfg.fetches_each);
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1f);
     let mut world = World::new();
+    let obs = MetricsHandle::install_if(&mut world, opts.observe, Vpn::NAME, seed);
     let user_org = world.add_org("users");
     let vpn_org = world.add_org("vpn-co");
     let origin_org = world.add_org("origin-co");
@@ -205,7 +294,7 @@ pub fn run_vpn_with_faults(
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(10));
-    net.enable_faults(faults.clone(), seed);
+    net.enable_faults(opts.faults.clone(), seed);
     let vpn_id = NodeId(0);
     let origin_id = NodeId(1);
 
@@ -251,7 +340,8 @@ pub fn run_vpn_with_faults(
 
     net.run();
     let fault_log = net.fault_log();
-    let (world, trace) = net.into_parts();
+    let (mut world, trace) = net.into_parts();
+    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
     let mean = if stats.latencies.is_empty() {
         0.0
@@ -265,6 +355,7 @@ pub fn run_vpn_with_faults(
         mean_fetch_us: mean,
         users,
         fault_log,
+        metrics,
     }
 }
 
@@ -278,6 +369,56 @@ pub struct EchReport {
     pub ech: bool,
     /// The user.
     pub user: UserId,
+    /// Completed handshakes.
+    pub completed: usize,
+    /// Faults injected during the run (empty when faults are disabled).
+    pub fault_log: FaultLog,
+    /// Run metrics (populated on instrumented runs).
+    pub metrics: MetricsReport,
+}
+
+impl dcp_core::ScenarioReport for EchReport {
+    fn world(&self) -> &World {
+        &self.world
+    }
+    fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+    fn metrics(&self) -> &MetricsReport {
+        &self.metrics
+    }
+    fn completed_units(&self) -> u64 {
+        self.completed as u64
+    }
+}
+
+/// Config for the [`Ech`] scenario.
+#[derive(Clone, Debug, Default)]
+pub struct EchConfig {
+    /// Seal the SNI to the server's ECH key (the §4.1 ablation runs both).
+    pub ech: bool,
+}
+
+impl EchConfig {
+    /// Enable or disable the encrypted ClientHello.
+    pub fn ech(mut self, ech: bool) -> Self {
+        self.ech = ech;
+        self
+    }
+}
+
+/// §4.1 encrypted ClientHello: hides the SNI from the network observer
+/// but leaves the server's coupled view unchanged.
+pub struct Ech;
+
+impl Scenario for Ech {
+    type Config = EchConfig;
+    type Report = EchReport;
+    const NAME: &'static str = "ech";
+
+    fn run_with(cfg: &EchConfig, seed: u64, opts: &RunOptions) -> EchReport {
+        run_ech_impl(cfg, seed, opts)
+    }
 }
 
 impl EchReport {
@@ -298,6 +439,7 @@ struct EchClient {
     server_pk: [u8; 32],
     server_key: KeyId,
     ech: bool,
+    completed: Rc<RefCell<usize>>,
 }
 
 impl Node for EchClient {
@@ -319,6 +461,7 @@ impl Node for EchClient {
         let sni_item = InfoItem::sensitive_data(self.user, DataKind::Destination);
         let envelope = InfoItem::sensitive_identity(self.user, IdentityKind::Any);
         let (bytes, label) = if self.ech {
+            ctx.world.crypto_op("hpke_seal");
             let sealed = hpke::seal(ctx.rng, &self.server_pk, b"ech", b"", &sni).expect("ech seal");
             (
                 sealed,
@@ -329,7 +472,10 @@ impl Node for EchClient {
         };
         ctx.send(self.server, Message::new(bytes, label));
     }
-    fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Message) {}
+    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, _msg: Message) {
+        ctx.world.span("handshake", 0, ctx.now.as_us());
+        *self.completed.borrow_mut() += 1;
+    }
 }
 
 struct TlsServer {
@@ -343,22 +489,39 @@ impl Node for TlsServer {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        // Fail closed: a ClientHello that does not decrypt, or names an
+        // unknown site, is dropped rather than answered.
         let sni = if self.ech {
-            hpke::open(&self.kp, b"ech", b"", &msg.bytes).expect("ech open")
+            ctx.world.crypto_op("hpke_open");
+            let Ok(sni) = hpke::open(&self.kp, b"ech", b"", &msg.bytes) else {
+                return;
+            };
+            sni
         } else {
             msg.bytes
         };
-        assert_eq!(&sni, b"very-private-site.example");
+        if sni != b"very-private-site.example" {
+            return;
+        }
         ctx.send(from, Message::public(b"ServerHello".to_vec()));
     }
 }
 
 /// Run the ECH handshake model. With `ech = true` the network observer
 /// loses the SNI; the server's view is unchanged either way.
+#[deprecated(
+    note = "use the unified Scenario API: `Ech::run(&EchConfig::default().ech(ech), seed)`"
+)]
 pub fn run_ech(ech: bool, seed: u64) -> EchReport {
+    Ech::run(&EchConfig { ech }, seed)
+}
+
+fn run_ech_impl(cfg: &EchConfig, seed: u64, opts: &RunOptions) -> EchReport {
     use rand::SeedableRng;
+    let ech = cfg.ech;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xec4);
     let mut world = World::new();
+    let obs = MetricsHandle::install_if(&mut world, opts.observe, Ech::NAME, seed);
     let user_org = world.add_org("users");
     let site_org = world.add_org("site-co");
     let net_org = world.add_org("network");
@@ -372,7 +535,9 @@ pub fn run_ech(ech: bool, seed: u64) -> EchReport {
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(10));
+    net.enable_faults(opts.faults.clone(), seed);
     let server_id = NodeId(0);
+    let completed = Rc::new(RefCell::new(0usize));
     net.add_node(Box::new(TlsServer {
         entity: server_e,
         kp: kp.clone(),
@@ -385,20 +550,70 @@ pub fn run_ech(ech: bool, seed: u64) -> EchReport {
         server_pk: kp.public,
         server_key,
         ech,
+        completed: completed.clone(),
     }));
     net.add_tap(Tap {
         observer: observer_e,
         links: None,
     });
     net.run();
-    let (world, _) = net.into_parts();
-    EchReport { world, ech, user }
+    let fault_log = net.fault_log();
+    let (mut world, _) = net.into_parts();
+    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
+    let completed = *completed.borrow();
+    EchReport {
+        world,
+        ech,
+        user,
+        completed,
+        fault_log,
+        metrics,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dcp_core::{analyze, collusion::entity_collusion};
+
+    fn run_vpn(n_users: usize, fetches_each: usize, seed: u64) -> VpnReport {
+        Vpn::run(&VpnConfig::new(n_users, fetches_each), seed)
+    }
+
+    fn run_ech(ech: bool, seed: u64) -> EchReport {
+        Ech::run(&EchConfig { ech }, seed)
+    }
+
+    #[test]
+    fn instrumented_vpn_counts_tunnel_crypto() {
+        let report = Vpn::run_instrumented(&VpnConfig::new(2, 3), 5);
+        let m = &report.metrics;
+        // One seal per fetch at the clients, one open per fetch at the
+        // VPN's tunnel terminator.
+        assert_eq!(m.crypto_ops["hpke_seal"], 6);
+        assert_eq!(m.crypto_ops["hpke_open"], 6);
+        assert_eq!(m.span_count("fetch"), 6);
+        assert!(m.wire_accounting_holds(), "{m:?}");
+        assert_eq!(report.completed, 6);
+
+        let plain = run_vpn(2, 3, 5);
+        assert_eq!(plain.metrics.crypto_total(), 0);
+        assert_eq!(plain.completed, 6);
+    }
+
+    #[test]
+    fn instrumented_ech_counts_handshake_crypto() {
+        let with = Ech::run_instrumented(&EchConfig { ech: true }, 8);
+        assert_eq!(with.metrics.crypto_ops["hpke_seal"], 1);
+        assert_eq!(with.metrics.crypto_ops["hpke_open"], 1);
+        assert_eq!(with.metrics.span_count("handshake"), 1);
+        assert_eq!(with.completed, 1);
+
+        // Without ECH the handshake does no tunnel crypto at all.
+        let without = Ech::run_instrumented(&EchConfig { ech: false }, 8);
+        assert_eq!(without.metrics.crypto_total(), 0);
+        assert_eq!(without.completed, 1);
+    }
 
     #[test]
     fn vpn_reproduces_paper_table_and_fails_verdict() {

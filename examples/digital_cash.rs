@@ -4,9 +4,11 @@
 //! Run with: `cargo run --example digital_cash`
 
 use decoupling::blindcash::bank::{Bank, Withdrawal};
-use decoupling::blindcash::scenario::{self, ScenarioReport};
+use decoupling::blindcash::ScenarioReport;
 use decoupling::core::analyze;
 use decoupling::core::UserId;
+use decoupling::Scenario as _;
+use decoupling::{Blindcash, BlindcashConfig};
 use rand::SeedableRng;
 
 fn main() {
@@ -44,7 +46,7 @@ fn main() {
 
     // ------------------------------------------ simulated system + table --
     println!("\n== Full system on the simulator (2 buyers × 2 coins) ==");
-    let report = scenario::run(2, 2, 512, 7);
+    let report = Blindcash::run(&BlindcashConfig::new(2, 2, 512), 7);
     println!("{}", report.table(0));
     println!(
         "coins deposited: {} | mean cycle: {:.1} ms | decoupled: {}",

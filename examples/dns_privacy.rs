@@ -4,7 +4,20 @@
 //! Run with: `cargo run --example dns_privacy`
 
 use decoupling::core::analyze;
-use decoupling::odns::scenario::{run_direct, run_odoh};
+use decoupling::Scenario as _;
+use decoupling::{DirectDns, DirectDnsConfig, Odoh, OdohConfig};
+
+fn run_direct(
+    clients: usize,
+    queries_each: usize,
+    resolvers: usize,
+    seed: u64,
+) -> decoupling::odns::ScenarioReport {
+    DirectDns::run(
+        &DirectDnsConfig::new(clients, queries_each, resolvers),
+        seed,
+    )
+}
 
 fn main() {
     println!("== Plain DNS: your resolver is a browsing-history service ==");
@@ -19,7 +32,7 @@ fn main() {
     );
 
     println!("== Oblivious DoH: proxy knows who, target knows what ==");
-    let odoh = run_odoh(2, 10, 7);
+    let odoh = Odoh::run(&OdohConfig::new(2, 10), 7);
     println!("{}", odoh.table(0));
     let v = analyze(&odoh.world);
     println!(

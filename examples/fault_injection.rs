@@ -9,7 +9,9 @@
 //! vanishes. The scenario makes no progress, but it *fails closed*: no
 //! plaintext fallback, no new coupling, no panic.
 
-use decoupling::faults::{dst, FaultConfig};
+use decoupling::faults::dst;
+use decoupling::Scenario as _;
+use decoupling::{FaultConfig, Odoh, OdohConfig};
 
 fn main() {
     let preset = std::env::args().nth(1).unwrap_or_else(|| "chaos".into());
@@ -30,8 +32,9 @@ fn main() {
     };
 
     let seed = 42;
-    let calm = decoupling::odns::scenario::run_odoh_with_faults(3, 4, seed, &FaultConfig::calm());
-    let run = decoupling::odns::scenario::run_odoh_with_faults(3, 4, seed, &faults);
+    let cfg = OdohConfig::new(3, 4);
+    let calm = Odoh::run_with_faults(&cfg, seed, &FaultConfig::calm());
+    let run = Odoh::run_with_faults(&cfg, seed, &faults);
 
     println!("ODoH under {preset:?} (seed {seed}):");
     println!("  queries answered : {}/{}", run.answered, 3 * 4);

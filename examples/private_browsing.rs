@@ -4,8 +4,12 @@
 //! Run with: `cargo run --example private_browsing`
 
 use decoupling::core::{analyze, collusion::entity_collusion};
-use decoupling::mpr::{run_chain, ChainConfig};
-use decoupling::vpn::run_vpn;
+use decoupling::Scenario as _;
+use decoupling::{ChainConfig, Mpr, Vpn, VpnConfig};
+
+fn run_chain(config: ChainConfig) -> decoupling::mpr::ScenarioReport {
+    Mpr::run(&config, config.seed)
+}
 
 fn main() {
     println!("== Direct connection (no privacy layer) ==");
@@ -26,7 +30,7 @@ fn main() {
     );
 
     println!("== Centralized VPN (§3.3 cautionary tale) ==");
-    let vpn = run_vpn(1, 3, 1);
+    let vpn = Vpn::run(&VpnConfig::new(1, 3), 1);
     println!("{}", vpn.table(0));
     let v = analyze(&vpn.world);
     let coll = entity_collusion(&vpn.world, vpn.users[0], 2);

@@ -5,7 +5,12 @@
 //! Run with: `cargo run --example telemetry`
 
 use decoupling::core::{analyze, collusion::entity_collusion};
-use decoupling::ppm::scenario::{run, PpmConfig};
+use decoupling::Scenario as _;
+use decoupling::{Ppm, PpmConfig};
+
+fn run(config: PpmConfig) -> decoupling::ppm::PpmReport {
+    Ppm::run(&config, config.seed)
+}
 
 fn main() {
     println!("== Honest population ==");

@@ -2,23 +2,25 @@
 //! knowledge to re-couple a user, across every system in the paper.
 
 use decoupling::core::collusion::{entity_collusion, org_collusion};
+use decoupling::Scenario as _;
 
 #[test]
 fn collusion_bars_ordered_by_architecture() {
     // VPN: 1 (no collusion needed). MPR-2: 2. Deeper chains: >= 2 with
     // more two-party combinations required to include the entry relay.
-    let vpn = decoupling::vpn::run_vpn(1, 1, 201);
+    let vpn = decoupling::Vpn::run(&decoupling::VpnConfig::new(1, 1), 201);
     let vpn_bar = entity_collusion(&vpn.world, vpn.users[0], 3)
         .min_coalition_size
         .unwrap();
 
-    let mpr = decoupling::mpr::run_chain(decoupling::mpr::ChainConfig {
+    let config = decoupling::ChainConfig {
         relays: 2,
         users: 1,
         fetches_each: 1,
         geohint: false,
         seed: 202,
-    });
+    };
+    let mpr = decoupling::Mpr::run(&config, 202);
     let mpr_bar = entity_collusion(&mpr.world, mpr.users[0], 4)
         .min_coalition_size
         .unwrap();
@@ -29,7 +31,7 @@ fn collusion_bars_ordered_by_architecture() {
 
 #[test]
 fn mixnet_minimal_coalitions_always_include_entry() {
-    let report = decoupling::mixnet::scenario::run(decoupling::mixnet::scenario::MixnetConfig {
+    let config = decoupling::MixnetConfig {
         senders: 4,
         mixes: 3,
         batch_size: 2,
@@ -38,7 +40,8 @@ fn mixnet_minimal_coalitions_always_include_entry() {
         chaff_per_sender: 0,
         mix_max_wait_us: None,
         seed: 203,
-    });
+    };
+    let report = decoupling::Mixnet::run(&config, 203);
     let rep = entity_collusion(&report.world, report.users[0], 4);
     // The only entity holding ▲ is Mix 1 — every coalition needs it.
     for coalition in &rep.minimal_coalitions {
@@ -53,13 +56,14 @@ fn mixnet_minimal_coalitions_always_include_entry() {
 fn org_granularity_collapses_same_operator_relays() {
     // If one org ran both MPR relays, institutional decoupling is gone
     // even though the architecture is unchanged.
-    let report = decoupling::mpr::run_chain(decoupling::mpr::ChainConfig {
+    let config = decoupling::ChainConfig {
         relays: 2,
         users: 1,
         fetches_each: 1,
         geohint: false,
         seed: 204,
-    });
+    };
+    let report = decoupling::Mpr::run(&config, 204);
     // Entity-level: bar of 2. Org-level: also 2 here because each relay
     // has its own org in the scenario.
     let ents = entity_collusion(&report.world, report.users[0], 3);
@@ -72,12 +76,13 @@ fn org_granularity_collapses_same_operator_relays() {
 fn ppm_is_uncouplable_even_under_full_collusion() {
     // Secret sharing means nobody but the client ever holds the raw value:
     // the ledger union of every party still lacks ● for the subject.
-    let report = decoupling::ppm::scenario::run(decoupling::ppm::scenario::PpmConfig {
+    let config = decoupling::PpmConfig {
         clients: 4,
         bits: 8,
         malicious: 0,
         seed: 205,
-    });
+    };
+    let report = decoupling::Ppm::run(&config, 205);
     let rep = entity_collusion(&report.world, report.users[0], 4);
     assert_eq!(rep.min_coalition_size, None);
     assert_eq!(rep.collusion_resistance(), usize::MAX);
@@ -85,7 +90,7 @@ fn ppm_is_uncouplable_even_under_full_collusion() {
 
 #[test]
 fn privacy_pass_issuer_origin_pair_is_the_threat() {
-    let report = decoupling::privacypass::scenario::run(1, 1, 206);
+    let report = decoupling::Privacypass::run(&decoupling::PrivacypassConfig::new(1, 1), 206);
     let rep = entity_collusion(&report.world, report.users[0], 3);
     assert_eq!(rep.min_coalition_size, Some(2));
     assert!(rep
@@ -95,14 +100,15 @@ fn privacy_pass_issuer_origin_pair_is_the_threat() {
 
 #[test]
 fn pgpp_gateway_and_core_must_both_defect() {
-    let report = decoupling::pgpp::scenario::run(decoupling::pgpp::scenario::PgppConfig {
-        mode: decoupling::pgpp::scenario::Mode::Pgpp,
+    let config = decoupling::PgppConfig {
+        mode: decoupling::pgpp::Mode::Pgpp,
         users: 3,
         cells: 2,
         epochs: 2,
         moves_per_epoch: 1,
         seed: 207,
-    });
+    };
+    let report = decoupling::Pgpp::run(&config, 207);
     let rep = entity_collusion(&report.world, report.users[0], 3);
     assert_eq!(
         rep.min_coalition_size,

@@ -1,8 +1,8 @@
 //! DST sweep: every §3 scenario under every fault preset.
 //!
-//! For each scenario the closure builds the full simulation from
-//! `(FaultConfig, seed)` and the harness ([`dcp_faults::dst::run_scenario`])
-//! runs it twice per preset, asserting:
+//! Each test drives the unified [`decoupling::Scenario`] API through
+//! [`decoupling::run_scenario_for`], which builds the full simulation from
+//! `(FaultConfig, seed)` and runs it twice per preset, asserting:
 //!
 //! * **determinism** — identical [`FaultLog`] and knowledge fingerprint
 //!   across the two runs;
@@ -13,7 +13,7 @@
 //!   makes end-to-end progress for these seeds; under `chaos()` only
 //!   safety is promised.
 
-use decoupling::faults::dst::{run_scenario, DstOutcome, DstReport};
+use decoupling::{run_scenario_for, DstReport};
 
 /// Every preset report for one scenario, with the moderate-liveness check.
 fn check(reports: &[DstReport]) {
@@ -48,126 +48,73 @@ fn check(reports: &[DstReport]) {
 
 #[test]
 fn dst_blindcash() {
-    let reports = run_scenario("blindcash", 1001, |faults, seed| {
-        let r = decoupling::blindcash::scenario::run_with_faults(2, 2, 512, seed, faults);
-        DstOutcome {
-            completed: r.deposited > 0,
-            fault_log: r.fault_log,
-            world: r.world,
-        }
-    });
-    check(&reports);
+    let cfg = decoupling::BlindcashConfig::new(2, 2, 512);
+    check(&run_scenario_for::<decoupling::Blindcash>(1001, &cfg));
 }
 
 #[test]
 fn dst_mixnet() {
-    let reports = run_scenario("mixnet", 1002, |faults, seed| {
-        let config = decoupling::mixnet::scenario::MixnetConfig {
-            senders: 6,
-            mixes: 2,
-            batch_size: 3,
-            window_us: 100_000,
-            shuffle: true,
-            chaff_per_sender: 0,
-            mix_max_wait_us: None,
-            seed,
-        };
-        let r = decoupling::mixnet::scenario::run_with_faults(config, faults);
-        DstOutcome {
-            completed: r.delivered > 0,
-            fault_log: r.fault_log,
-            world: r.world,
-        }
-    });
-    check(&reports);
+    let cfg = decoupling::MixnetConfig {
+        senders: 6,
+        mixes: 2,
+        batch_size: 3,
+        window_us: 100_000,
+        shuffle: true,
+        chaff_per_sender: 0,
+        mix_max_wait_us: None,
+        seed: 0, // overridden by the harness seed
+    };
+    check(&run_scenario_for::<decoupling::Mixnet>(1002, &cfg));
 }
 
 #[test]
 fn dst_privacypass() {
-    let reports = run_scenario("privacypass", 1003, |faults, seed| {
-        let r = decoupling::privacypass::scenario::run_with_faults(3, 2, seed, faults);
-        DstOutcome {
-            completed: r.redeemed > 0,
-            fault_log: r.fault_log,
-            world: r.world,
-        }
-    });
-    check(&reports);
+    let cfg = decoupling::PrivacypassConfig::new(3, 2);
+    check(&run_scenario_for::<decoupling::Privacypass>(1003, &cfg));
 }
 
 #[test]
 fn dst_odns() {
-    let reports = run_scenario("odns", 1004, |faults, seed| {
-        let r = decoupling::odns::scenario::run_odoh_with_faults(3, 4, seed, faults);
-        DstOutcome {
-            completed: r.answered > 0,
-            fault_log: r.fault_log,
-            world: r.world,
-        }
-    });
-    check(&reports);
+    let cfg = decoupling::OdohConfig::new(3, 4);
+    check(&run_scenario_for::<decoupling::Odoh>(1004, &cfg));
 }
 
 #[test]
 fn dst_pgpp() {
-    let reports = run_scenario("pgpp", 1005, |faults, seed| {
-        let config = decoupling::pgpp::scenario::PgppConfig {
-            mode: decoupling::pgpp::scenario::Mode::Pgpp,
-            users: 5,
-            cells: 2,
-            epochs: 2,
-            moves_per_epoch: 2,
-            seed,
-        };
-        let r = decoupling::pgpp::scenario::run_with_faults(config, faults);
-        DstOutcome {
-            completed: r.attaches > 0,
-            fault_log: r.fault_log,
-            world: r.world,
-        }
-    });
-    check(&reports);
+    let cfg = decoupling::PgppConfig {
+        mode: decoupling::pgpp::Mode::Pgpp,
+        users: 5,
+        cells: 2,
+        epochs: 2,
+        moves_per_epoch: 2,
+        seed: 0, // overridden by the harness seed
+    };
+    check(&run_scenario_for::<decoupling::Pgpp>(1005, &cfg));
 }
 
 #[test]
 fn dst_mpr() {
-    let reports = run_scenario("mpr", 1006, |faults, seed| {
-        let config = decoupling::mpr::scenario::ChainConfig {
-            relays: 2,
-            users: 3,
-            fetches_each: 2,
-            geohint: false,
-            seed,
-        };
-        let r = decoupling::mpr::scenario::run_chain_with_faults(config, faults);
-        DstOutcome {
-            completed: r.completed > 0,
-            fault_log: r.fault_log,
-            world: r.world,
-        }
-    });
-    check(&reports);
+    let cfg = decoupling::ChainConfig {
+        relays: 2,
+        users: 3,
+        fetches_each: 2,
+        geohint: false,
+        seed: 0, // overridden by the harness seed
+    };
+    check(&run_scenario_for::<decoupling::Mpr>(1006, &cfg));
 }
 
 #[test]
 fn dst_ppm() {
-    let reports = run_scenario("ppm", 1007, |faults, seed| {
-        let config = decoupling::ppm::scenario::PpmConfig {
-            clients: 5,
-            bits: 4,
-            malicious: 0,
-            seed,
-        };
-        let r = decoupling::ppm::scenario::run_with_faults(config, faults);
-        DstOutcome {
-            // The aggregate only releases if every share survived; any
-            // verified submission reaching both aggregators is progress.
-            completed: r.aggregate.is_some(),
-            fault_log: r.fault_log,
-            world: r.world,
-        }
-    });
-    check(&reports);
+    // The aggregate only releases if every share survived; any verified
+    // submission reaching both aggregators is progress.
+    let cfg = decoupling::PpmConfig {
+        clients: 5,
+        bits: 4,
+        malicious: 0,
+        seed: 0, // overridden by the harness seed
+    };
+    check(&run_scenario_for::<decoupling::Ppm>(1007, &cfg));
 }
 
 #[test]
@@ -177,15 +124,8 @@ fn dst_vpn() {
     // lets this scenario participate — faults must not couple anyone new
     // (e.g. the network observer), while the VPN server's pre-existing
     // coupling is not charged to the fault injector.
-    let reports = run_scenario("vpn", 1008, |faults, seed| {
-        let r = decoupling::vpn::scenario::run_vpn_with_faults(3, 2, seed, faults);
-        DstOutcome {
-            completed: r.completed > 0,
-            fault_log: r.fault_log,
-            world: r.world,
-        }
-    });
-    check(&reports);
+    let cfg = decoupling::VpnConfig::new(3, 2);
+    check(&run_scenario_for::<decoupling::Vpn>(1008, &cfg));
 }
 
 /// §4.2: key compromise is the one fault the framework *detects* rather
@@ -237,7 +177,7 @@ fn dst_key_compromise_is_detected() {
         net.set_default_link(LinkParams::wan_ms(5));
         // Zero-probability config: no random faults, but the injector is
         // live so the key compromise below lands in the replay log.
-        let mut quiet = decoupling::faults::FaultConfig::calm();
+        let mut quiet = decoupling::FaultConfig::calm();
         quiet.enabled = true;
         net.enable_faults(quiet, 77);
         let relay = net.add_node(Box::new(Fwd {
@@ -281,8 +221,12 @@ fn dst_key_compromise_is_detected() {
         "key compromise must surface as a Relay coupling, got {fresh:?}"
     );
     // And the World-level assertion trips on the compromised run.
-    let err = std::panic::catch_unwind(|| compromised.assert_decoupled_except_user())
-        .expect_err("assert_decoupled_except_user must panic");
+    // `World` holds an `Rc<RefCell<…>>` observability hook, so it is not
+    // `RefUnwindSafe`; the closure only reads the knowledge ledger.
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        compromised.assert_decoupled_except_user()
+    }))
+    .expect_err("assert_decoupled_except_user must panic");
     let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("decoupling violated"), "{msg}");
 }

@@ -3,18 +3,20 @@
 
 use decoupling::core::degrees::{DegreePoint, DegreeSweep};
 use decoupling::core::{analyze, collusion::entity_collusion};
+use decoupling::Scenario as _;
 
 #[test]
 fn e42_degrees_of_decoupling_curve() {
     let mut sweep = DegreeSweep::default();
     for (config, relays) in [("direct", 0usize), ("vpn", 1), ("mpr-2", 2), ("chain-3", 3)] {
-        let r = decoupling::mpr::run_chain(decoupling::mpr::ChainConfig {
+        let chain = decoupling::ChainConfig {
             relays,
             users: 1,
             fetches_each: 2,
             geohint: false,
             seed: 401,
-        });
+        };
+        let r = decoupling::Mpr::run(&chain, 401);
         let verdict = analyze(&r.world);
         let coll = entity_collusion(&r.world, r.users[0], relays.max(1) + 1);
         sweep.push(DegreePoint {
@@ -48,7 +50,7 @@ fn e43_traffic_analysis_tradeoff() {
         let mut acc = 0.0;
         let mut lat = 0.0;
         for s in 0..runs {
-            let r = decoupling::mixnet::scenario::run(decoupling::mixnet::scenario::MixnetConfig {
+            let config = decoupling::MixnetConfig {
                 senders: 8,
                 mixes: 2,
                 batch_size: batch,
@@ -57,7 +59,8 @@ fn e43_traffic_analysis_tradeoff() {
                 chaff_per_sender: 0,
                 mix_max_wait_us: None,
                 seed: 500 + s,
-            });
+            };
+            let r = decoupling::Mixnet::run(&config, 500 + s);
             acc += r.attack.accuracy;
             lat += r.mean_latency_us;
         }
@@ -75,7 +78,7 @@ fn e43_traffic_analysis_tradeoff() {
 #[test]
 fn e51_striping_fraction_falls_with_resolver_count() {
     let frac = |r: usize| {
-        let rep = decoupling::odns::scenario::run_direct(3, 30, r, 501);
+        let rep = decoupling::DirectDns::run(&decoupling::DirectDnsConfig::new(3, 30, r), 501);
         let max_view = *rep.resolver_views.iter().max().unwrap() as f64;
         max_view / rep.distinct_names as f64
     };

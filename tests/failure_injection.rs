@@ -96,12 +96,14 @@ fn hpke_tampering_and_truncation_rejected_at_every_layer() {
 
 #[test]
 fn malicious_telemetry_cannot_poison_or_leak() {
-    let report = decoupling::ppm::scenario::run(decoupling::ppm::scenario::PpmConfig {
+    use decoupling::Scenario as _;
+    let config = decoupling::PpmConfig {
         clients: 8,
         bits: 8,
         malicious: 3,
         seed: 304,
-    });
+    };
+    let report = decoupling::Ppm::run(&config, 304);
     // Poison excluded…
     assert_eq!(report.aggregate, Some(report.expected_sum));
     assert_eq!(report.rejected, 3);

@@ -1,0 +1,269 @@
+//! Property tests: the metrics layer stays honest under injected faults.
+//!
+//! Every §3 scenario is run through the unified [`decoupling::Scenario`]
+//! API with the sink installed, and the resulting
+//! [`decoupling::MetricsReport`] is reconciled against the two other
+//! sources of ground truth the simulator produces:
+//!
+//! * the [`decoupling::FaultLog`] — each per-kind counter in
+//!   `metrics.faults` must equal the number of matching replay-log
+//!   entries, for every preset;
+//! * the wire [`Trace`](decoupling::simnet::Trace) — every send the
+//!   metrics count that is neither an environment injection nor a wire
+//!   drop must appear as exactly one packet record;
+//!
+//! plus the internal wire-accounting identity (sent = delivered +
+//! dropped + lost-to-crash + unserviced) and determinism of the whole
+//! report as a pure function of `(config, seed, preset)`.
+
+use decoupling::Scenario as _;
+use decoupling::ScenarioReport as _;
+use decoupling::{FaultConfig, FaultLog, MetricsReport, RunOptions};
+use proptest::prelude::*;
+
+/// What every scenario hands the reconciliation checks: the metrics
+/// report plus the two ground-truth artifacts it must agree with.
+struct Observed {
+    metrics: MetricsReport,
+    log: FaultLog,
+    trace_len: usize,
+    completed: bool,
+}
+
+/// Run one scenario observed under `faults`, capturing the trace length
+/// from the rich report (the `ScenarioReport` trait deliberately does
+/// not expose the trace, so each closure reads its concrete field).
+macro_rules! observed_runner {
+    ($ty:ty, $cfg:expr) => {
+        Box::new(move |seed: u64, faults: &FaultConfig| {
+            let r = <$ty>::run_with(&$cfg, seed, &RunOptions::observed_with_faults(faults));
+            Observed {
+                metrics: r.metrics().clone(),
+                log: r.fault_log().clone(),
+                trace_len: r.trace.len(),
+                completed: r.completed(),
+            }
+        }) as Box<dyn Fn(u64, &FaultConfig) -> Observed>
+    };
+}
+
+/// A boxed "run this scenario observed" closure.
+type Runner = Box<dyn Fn(u64, &FaultConfig) -> Observed>;
+
+/// All eight §3 scenarios, small enough to run many cases.
+fn scenarios() -> Vec<(&'static str, Runner)> {
+    let mixnet = decoupling::MixnetConfig {
+        senders: 4,
+        mixes: 2,
+        batch_size: 2,
+        window_us: 100_000,
+        shuffle: true,
+        chaff_per_sender: 0,
+        mix_max_wait_us: None,
+        seed: 0, // overridden by the harness seed
+    };
+    let pgpp = decoupling::PgppConfig {
+        mode: decoupling::pgpp::Mode::Pgpp,
+        users: 3,
+        cells: 2,
+        epochs: 1,
+        moves_per_epoch: 2,
+        seed: 0, // overridden by the harness seed
+    };
+    let mpr = decoupling::ChainConfig {
+        relays: 2,
+        users: 2,
+        fetches_each: 2,
+        geohint: false,
+        seed: 0, // overridden by the harness seed
+    };
+    let ppm = decoupling::PpmConfig {
+        clients: 3,
+        bits: 4,
+        malicious: 0,
+        seed: 0, // overridden by the harness seed
+    };
+    vec![
+        (
+            "blindcash",
+            observed_runner!(
+                decoupling::Blindcash,
+                decoupling::BlindcashConfig::new(1, 2, 512)
+            ),
+        ),
+        ("mixnet", observed_runner!(decoupling::Mixnet, mixnet)),
+        (
+            "privacypass",
+            observed_runner!(
+                decoupling::Privacypass,
+                decoupling::PrivacypassConfig::new(2, 2)
+            ),
+        ),
+        (
+            "odns",
+            observed_runner!(decoupling::Odoh, decoupling::OdohConfig::new(2, 3)),
+        ),
+        ("pgpp", observed_runner!(decoupling::Pgpp, pgpp)),
+        ("mpr", observed_runner!(decoupling::Mpr, mpr)),
+        ("ppm", observed_runner!(decoupling::Ppm, ppm)),
+        (
+            "vpn",
+            observed_runner!(decoupling::Vpn, decoupling::VpnConfig::new(2, 2)),
+        ),
+    ]
+}
+
+/// The metrics-side name of each replay-log fault kind. Every injection
+/// site in the dispatch loop records into the log and emits the obs
+/// event at the same point, so the counts must match exactly.
+fn log_count_by_kind(log: &FaultLog, kind: &str) -> u64 {
+    use decoupling::faults::FaultKind as K;
+    log.count(|k| {
+        matches!(
+            (kind, k),
+            ("drop", K::Drop { .. })
+                | ("duplicate", K::Duplicate { .. })
+                | ("extra_delay", K::ExtraDelay { .. })
+                | ("reorder", K::Reorder { .. })
+                | ("partition", K::Partition { .. })
+                | ("crash", K::Crash { .. })
+                | ("relay_churn", K::RelayChurn { .. })
+                | ("crash_loss", K::CrashLoss { .. })
+                | ("key_compromise", K::KeyCompromise { .. })
+        )
+    }) as u64
+}
+
+const FAULT_KINDS: &[&str] = &[
+    "drop",
+    "duplicate",
+    "extra_delay",
+    "reorder",
+    "partition",
+    "crash",
+    "relay_churn",
+    "crash_loss",
+    "key_compromise",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Per-kind fault counters reconcile with the replay log, the wire
+    /// accounting identity holds, and span/knowledge bookkeeping is
+    /// internally consistent — for every scenario under every preset.
+    #[test]
+    fn metrics_reconcile_with_fault_log(
+        scenario_idx in 0usize..8,
+        preset in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let (name, run) = &scenarios()[scenario_idx];
+        let faults = FaultConfig::presets()[preset].1.clone();
+        let obs = run(seed, &faults);
+        let m = &obs.metrics;
+
+        prop_assert!(m.enabled);
+        prop_assert_eq!(&m.scenario, name);
+        prop_assert_eq!(m.seed, seed);
+        prop_assert!(m.wire_accounting_holds(),
+            "{}: sent {} != delivered {} + dropped {} + lost {} + unserviced {}",
+            name, m.messages_sent, m.messages_delivered, m.messages_dropped,
+            m.messages_lost_to_crash, m.messages_unserviced);
+
+        // Every fault the metrics saw is in the log, kind by kind …
+        for kind in FAULT_KINDS {
+            prop_assert_eq!(
+                m.faults.get(*kind).copied().unwrap_or(0),
+                log_count_by_kind(&obs.log, kind),
+                "{}: counter/log mismatch for {}", name, kind
+            );
+        }
+        // … and the metrics invented no kinds of their own.
+        for kind in m.faults.keys() {
+            prop_assert!(FAULT_KINDS.contains(&kind.as_str()),
+                "{}: unknown fault kind {}", name, kind);
+        }
+
+        // A wire drop is either a drop fault or a partition casualty, so
+        // the drop counter is bounded below by the logged drop faults.
+        prop_assert!(m.messages_dropped >= m.faults.get("drop").copied().unwrap_or(0));
+
+        // Spans close after they open, inside simulated time; the
+        // per-entity knowledge rollup covers the timeline exactly.
+        for s in &m.spans {
+            prop_assert!(s.start_us <= s.end_us);
+            prop_assert!(s.end_us <= m.sim_end_us);
+        }
+        prop_assert_eq!(
+            m.knowledge_by_entity.values().sum::<u64>(),
+            m.knowledge.len() as u64
+        );
+    }
+
+    /// Calm observed runs are fault-free in every ledger at once: empty
+    /// replay log, empty fault counters, loss-free wire accounting, and
+    /// the workload completes.
+    #[test]
+    fn calm_runs_are_loss_free(
+        scenario_idx in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let (name, run) = &scenarios()[scenario_idx];
+        let obs = run(seed, &FaultConfig::calm());
+        let m = &obs.metrics;
+
+        prop_assert!(obs.log.is_empty(), "{}: calm run logged faults", name);
+        prop_assert!(m.faults.is_empty());
+        prop_assert_eq!(m.messages_dropped, 0);
+        prop_assert_eq!(m.messages_lost_to_crash, 0);
+        prop_assert_eq!(m.messages_unserviced, 0);
+        prop_assert_eq!(m.messages_sent, m.messages_delivered);
+        prop_assert_eq!(m.bytes_sent, m.bytes_delivered);
+        prop_assert!(obs.completed, "{}: calm run made no progress", name);
+        prop_assert!(m.crypto_total() > 0, "{}: no crypto ops recorded", name);
+    }
+
+    /// Trace/metrics reconciliation across presets: a metrics-counted
+    /// send is an environment injection, a wire drop, or exactly one
+    /// packet record. Environment injections are a pure function of the
+    /// config, so the calm run measures them and the faulted run must
+    /// agree: sent − dropped − trace = the same constant.
+    #[test]
+    fn trace_reconciles_across_presets(
+        scenario_idx in 0usize..8,
+        preset in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let (name, run) = &scenarios()[scenario_idx];
+        let calm = run(seed, &FaultConfig::calm());
+        let env_posts = calm.metrics.messages_sent - calm.trace_len as u64;
+
+        let faults = FaultConfig::presets()[preset].1.clone();
+        let obs = run(seed, &faults);
+        prop_assert_eq!(
+            obs.metrics.messages_sent - obs.metrics.messages_dropped
+                - obs.trace_len as u64,
+            env_posts,
+            "{}: sends unaccounted for between trace and metrics", name
+        );
+    }
+
+    /// The whole report is a pure function of `(config, seed, preset)` —
+    /// the metrics layer must not perturb or depend on anything outside
+    /// the simulation.
+    #[test]
+    fn metrics_replay_from_seed(
+        scenario_idx in 0usize..8,
+        preset in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let (_, run) = &scenarios()[scenario_idx];
+        let faults = FaultConfig::presets()[preset].1.clone();
+        let a = run(seed, &faults);
+        let b = run(seed, &faults);
+        prop_assert_eq!(a.metrics, b.metrics);
+        prop_assert_eq!(a.log, b.log);
+        prop_assert_eq!(a.trace_len, b.trace_len);
+    }
+}

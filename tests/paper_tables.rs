@@ -3,10 +3,11 @@
 //! table printed in the paper.
 
 use decoupling::core::analyze;
+use decoupling::Scenario as _;
 
 #[test]
 fn t311_blind_signature_cash() {
-    let report = decoupling::blindcash::scenario::run(1, 1, 512, 101);
+    let report = decoupling::Blindcash::run(&decoupling::BlindcashConfig::new(1, 1, 512), 101);
     let derived = report.table(0);
     let paper = decoupling::blindcash::scenario::ScenarioReport::paper_table();
     assert_eq!(
@@ -20,7 +21,7 @@ fn t311_blind_signature_cash() {
 
 #[test]
 fn t312_mixnet() {
-    let report = decoupling::mixnet::scenario::run(decoupling::mixnet::scenario::MixnetConfig {
+    let config = decoupling::MixnetConfig {
         senders: 6,
         mixes: 2,
         batch_size: 3,
@@ -29,7 +30,8 @@ fn t312_mixnet() {
         chaff_per_sender: 0,
         mix_max_wait_us: None,
         seed: 102,
-    });
+    };
+    let report = decoupling::Mixnet::run(&config, 102);
     let derived = report.table(0);
     let paper = decoupling::mixnet::scenario::MixnetReport::paper_table_two_mixes();
     assert_eq!(
@@ -44,7 +46,7 @@ fn t312_mixnet() {
 
 #[test]
 fn t321_privacy_pass() {
-    let report = decoupling::privacypass::scenario::run(1, 2, 103);
+    let report = decoupling::Privacypass::run(&decoupling::PrivacypassConfig::new(1, 2), 103);
     let derived = report.table(0);
     let paper = decoupling::privacypass::scenario::ScenarioReport::paper_table();
     assert_eq!(
@@ -59,7 +61,7 @@ fn t321_privacy_pass() {
 
 #[test]
 fn t322_oblivious_dns() {
-    let report = decoupling::odns::scenario::run_odoh(1, 3, 104);
+    let report = decoupling::Odoh::run(&decoupling::OdohConfig::new(1, 3), 104);
     let derived = report.table(0);
     let paper = decoupling::odns::scenario::ScenarioReport::paper_table();
     assert_eq!(
@@ -74,14 +76,15 @@ fn t322_oblivious_dns() {
 
 #[test]
 fn t323_pgpp() {
-    let report = decoupling::pgpp::scenario::run(decoupling::pgpp::scenario::PgppConfig {
-        mode: decoupling::pgpp::scenario::Mode::Pgpp,
+    let config = decoupling::PgppConfig {
+        mode: decoupling::pgpp::Mode::Pgpp,
         users: 4,
         cells: 2,
         epochs: 2,
         moves_per_epoch: 2,
         seed: 105,
-    });
+    };
+    let report = decoupling::Pgpp::run(&config, 105);
     let derived = report.table(0);
     let paper = decoupling::pgpp::scenario::PgppReport::paper_table();
     assert_eq!(
@@ -95,13 +98,14 @@ fn t323_pgpp() {
 
 #[test]
 fn t324_multi_party_relay() {
-    let report = decoupling::mpr::run_chain(decoupling::mpr::ChainConfig {
+    let config = decoupling::ChainConfig {
         relays: 2,
         users: 1,
         fetches_each: 1,
         geohint: false,
         seed: 106,
-    });
+    };
+    let report = decoupling::Mpr::run(&config, 106);
     let derived = report.table(0);
     let paper = decoupling::mpr::ScenarioReport::paper_table();
     assert_eq!(
@@ -115,12 +119,13 @@ fn t324_multi_party_relay() {
 
 #[test]
 fn t325_private_aggregate_statistics() {
-    let report = decoupling::ppm::scenario::run(decoupling::ppm::scenario::PpmConfig {
+    let config = decoupling::PpmConfig {
         clients: 5,
         bits: 8,
         malicious: 0,
         seed: 107,
-    });
+    };
+    let report = decoupling::Ppm::run(&config, 107);
     let derived = report.table(0);
     let paper = decoupling::ppm::scenario::PpmReport::paper_table();
     assert_eq!(
@@ -135,7 +140,7 @@ fn t325_private_aggregate_statistics() {
 
 #[test]
 fn t33_vpn_cautionary_tale() {
-    let report = decoupling::vpn::run_vpn(1, 1, 108);
+    let report = decoupling::Vpn::run(&decoupling::VpnConfig::new(1, 1), 108);
     let derived = report.table(0);
     let paper = decoupling::vpn::VpnReport::paper_table();
     assert_eq!(
@@ -152,8 +157,8 @@ fn t33_vpn_cautionary_tale() {
 
 #[test]
 fn t33_ech_partial_protection() {
-    let with = decoupling::vpn::run_ech(true, 109);
-    let without = decoupling::vpn::run_ech(false, 109);
+    let with = decoupling::Ech::run(&decoupling::EchConfig { ech: true }, 109);
+    let without = decoupling::Ech::run(&decoupling::EchConfig { ech: false }, 109);
     // ECH removes the network observer's coupling but not the server's.
     let obs = |r: &decoupling::vpn::EchReport| {
         r.world
