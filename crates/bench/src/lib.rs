@@ -8,7 +8,8 @@
 use dcp_core::degrees::{DegreePoint, DegreeSweep};
 use dcp_core::table::DecouplingTable;
 use dcp_core::{analyze, collusion::entity_collusion};
-use decoupling::Scenario as _;
+use dcp_core::{SweepBuilder, SweepExecutor};
+use decoupling::{ParallelExecutor, Scenario as _};
 use serde::Serialize;
 
 /// One reproduced table: experiment id, measured and paper versions.
@@ -272,39 +273,58 @@ pub struct TrafficRow {
     pub latency_us: f64,
 }
 
-/// E-4.3 — the batching/anonymity/latency tradeoff.
+/// E-4.3 — the batching/anonymity/latency tradeoff (parallel; see
+/// [`exp_traffic_on`]).
 pub fn exp_traffic(batch_sizes: &[usize], seeds: u64, base_seed: u64) -> Vec<TrafficRow> {
+    exp_traffic_on(batch_sizes, seeds, base_seed, &ParallelExecutor::new())
+}
+
+/// [`exp_traffic`] on an explicit executor: fans the
+/// `batch_sizes.len() × seeds` independent mix-net worlds across `exec`
+/// (per-world seeds derived from `base_seed`), then folds each batch
+/// size's rows in world-index order — the output is identical for any
+/// conforming executor.
+pub fn exp_traffic_on(
+    batch_sizes: &[usize],
+    seeds: u64,
+    base_seed: u64,
+    exec: &impl SweepExecutor,
+) -> Vec<TrafficRow> {
+    let per = seeds.max(1);
+    let builder = SweepBuilder::new(base_seed).worlds(batch_sizes.len() as u64 * per);
+    let run = builder.run_on(exec, |job| {
+        let batch_size = batch_sizes[(job.index / per) as usize];
+        let config = decoupling::MixnetConfig {
+            senders: 10,
+            mixes: 2,
+            batch_size,
+            window_us: 400_000,
+            shuffle: true,
+            chaff_per_sender: 0,
+            mix_max_wait_us: None,
+            seed: job.seed,
+        };
+        let r = decoupling::Mixnet::run(&config, job.seed);
+        (
+            r.attack.accuracy,
+            r.attack.random_baseline,
+            r.mean_anonymity_set,
+            r.mean_latency_us,
+        )
+    });
+    let worlds = run.into_results();
     batch_sizes
         .iter()
-        .map(|&batch_size| {
-            let mut acc = 0.0;
-            let mut base = 0.0;
-            let mut anon = 0.0;
-            let mut lat = 0.0;
-            for s in 0..seeds {
-                let config = decoupling::MixnetConfig {
-                    senders: 10,
-                    mixes: 2,
-                    batch_size,
-                    window_us: 400_000,
-                    shuffle: true,
-                    chaff_per_sender: 0,
-                    mix_max_wait_us: None,
-                    seed: base_seed + s,
-                };
-                let r = decoupling::Mixnet::run(&config, base_seed + s);
-                acc += r.attack.accuracy;
-                base += r.attack.random_baseline;
-                anon += r.mean_anonymity_set;
-                lat += r.mean_latency_us;
-            }
-            let n = seeds as f64;
+        .enumerate()
+        .map(|(bi, &batch_size)| {
+            let chunk = &worlds[bi * per as usize..(bi + 1) * per as usize];
+            let n = per as f64;
             TrafficRow {
                 batch_size,
-                attack_accuracy: acc / n,
-                random_baseline: base / n,
-                anonymity_set: anon / n,
-                latency_us: lat / n,
+                attack_accuracy: chunk.iter().map(|w| w.0).sum::<f64>() / n,
+                random_baseline: chunk.iter().map(|w| w.1).sum::<f64>() / n,
+                anonymity_set: chunk.iter().map(|w| w.2).sum::<f64>() / n,
+                latency_us: chunk.iter().map(|w| w.3).sum::<f64>() / n,
             }
         })
         .collect()
@@ -321,8 +341,22 @@ pub struct ChaffRow {
     pub bandwidth_factor: f64,
 }
 
-/// E-4.3 (chaff axis) — cover traffic vs. the correlation attacker.
+/// E-4.3 (chaff axis) — cover traffic vs. the correlation attacker
+/// (parallel; see [`exp_chaff_on`]).
 pub fn exp_chaff(levels: &[usize], seeds: u64, base_seed: u64) -> Vec<ChaffRow> {
+    exp_chaff_on(levels, seeds, base_seed, &ParallelExecutor::new())
+}
+
+/// [`exp_chaff`] on an explicit executor. World 0‥seeds is the
+/// zero-chaff bandwidth baseline, then `seeds` worlds per level; every
+/// world is independent, and the bandwidth factors are computed in a
+/// final index-ordered fold.
+pub fn exp_chaff_on(
+    levels: &[usize],
+    seeds: u64,
+    base_seed: u64,
+    exec: &impl SweepExecutor,
+) -> Vec<ChaffRow> {
     // Timed-mix configuration: high threshold + short deadline, so each
     // flush round carries whatever arrived in the last 40 ms — chaff's
     // natural pairing.
@@ -339,23 +373,27 @@ pub fn exp_chaff(levels: &[usize], seeds: u64, base_seed: u64) -> Vec<ChaffRow> 
         };
         decoupling::Mixnet::run(&config, seed)
     };
-    let base_bytes: usize = (0..seeds)
-        .map(|s| run_cfg(0, base_seed + s).trace.total_bytes())
-        .sum();
+    // Chunk 0 is the zero-chaff baseline; chunk i+1 is levels[i].
+    let chunks: Vec<usize> = std::iter::once(0).chain(levels.iter().copied()).collect();
+    let per = seeds.max(1);
+    let builder = SweepBuilder::new(base_seed).worlds(chunks.len() as u64 * per);
+    let run = builder.run_on(exec, |job| {
+        let chaff = chunks[(job.index / per) as usize];
+        let r = run_cfg(chaff, job.seed);
+        (r.attack.accuracy, r.trace.total_bytes())
+    });
+    let worlds = run.into_results();
+    let base_bytes: usize = worlds[..per as usize].iter().map(|w| w.1).sum();
     levels
         .iter()
-        .map(|&chaff| {
-            let mut acc = 0.0;
-            let mut bytes = 0usize;
-            for s in 0..seeds {
-                let r = run_cfg(chaff, base_seed + s);
-                acc += r.attack.accuracy;
-                bytes += r.trace.total_bytes();
-            }
+        .enumerate()
+        .map(|(li, &chaff)| {
+            let chunk = &worlds[(li + 1) * per as usize..(li + 2) * per as usize];
             ChaffRow {
                 chaff_per_sender: chaff,
-                attack_accuracy: acc / seeds as f64,
-                bandwidth_factor: bytes as f64 / base_bytes as f64,
+                attack_accuracy: chunk.iter().map(|w| w.0).sum::<f64>() / per as f64,
+                bandwidth_factor: chunk.iter().map(|w| w.1).sum::<usize>() as f64
+                    / base_bytes as f64,
             }
         })
         .collect()
@@ -438,8 +476,17 @@ mod tests {
 
 /// One instrumented (calm) run of every §3 scenario, yielding the
 /// per-scenario [`dcp_core::MetricsReport`] artifacts that the
-/// `experiments` binary drops under `out/metrics/`.
+/// `experiments` binary drops under `out/metrics/` (parallel; see
+/// [`exp_metrics_on`]).
 pub fn exp_metrics(seed: u64) -> Vec<dcp_core::MetricsReport> {
+    exp_metrics_on(seed, &ParallelExecutor::new())
+}
+
+/// [`exp_metrics`] on an explicit executor: the eight instrumented
+/// scenario runs are independent worlds, fanned across `exec` and
+/// gathered in scenario order. Every run keeps the same fixed `seed` the
+/// sequential version used, so the artifacts are unchanged.
+pub fn exp_metrics_on(seed: u64, exec: &impl SweepExecutor) -> Vec<dcp_core::MetricsReport> {
     use decoupling::ScenarioReport as _;
     let mixnet = decoupling::MixnetConfig {
         senders: 8,
@@ -472,32 +519,41 @@ pub fn exp_metrics(seed: u64) -> Vec<dcp_core::MetricsReport> {
         malicious: 0,
         seed,
     };
-    vec![
-        decoupling::Blindcash::run_instrumented(&decoupling::BlindcashConfig::new(1, 2, 512), seed)
+    let builder = SweepBuilder::new(seed).worlds(8);
+    builder
+        .run_on(exec, |job| match job.index {
+            0 => decoupling::Blindcash::run_instrumented(
+                &decoupling::BlindcashConfig::new(1, 2, 512),
+                seed,
+            )
             .metrics()
             .clone(),
-        decoupling::Mixnet::run_instrumented(&mixnet, seed)
+            1 => decoupling::Mixnet::run_instrumented(&mixnet, seed)
+                .metrics()
+                .clone(),
+            2 => decoupling::Privacypass::run_instrumented(
+                &decoupling::PrivacypassConfig::new(1, 2),
+                seed,
+            )
             .metrics()
             .clone(),
-        decoupling::Privacypass::run_instrumented(&decoupling::PrivacypassConfig::new(1, 2), seed)
-            .metrics()
-            .clone(),
-        decoupling::Odoh::run_instrumented(&decoupling::OdohConfig::new(1, 5), seed)
-            .metrics()
-            .clone(),
-        decoupling::Pgpp::run_instrumented(&pgpp, seed)
-            .metrics()
-            .clone(),
-        decoupling::Mpr::run_instrumented(&mpr, seed)
-            .metrics()
-            .clone(),
-        decoupling::Ppm::run_instrumented(&ppm, seed)
-            .metrics()
-            .clone(),
-        decoupling::Vpn::run_instrumented(&decoupling::VpnConfig::new(1, 2), seed)
-            .metrics()
-            .clone(),
-    ]
+            3 => decoupling::Odoh::run_instrumented(&decoupling::OdohConfig::new(1, 5), seed)
+                .metrics()
+                .clone(),
+            4 => decoupling::Pgpp::run_instrumented(&pgpp, seed)
+                .metrics()
+                .clone(),
+            5 => decoupling::Mpr::run_instrumented(&mpr, seed)
+                .metrics()
+                .clone(),
+            6 => decoupling::Ppm::run_instrumented(&ppm, seed)
+                .metrics()
+                .clone(),
+            _ => decoupling::Vpn::run_instrumented(&decoupling::VpnConfig::new(1, 2), seed)
+                .metrics()
+                .clone(),
+        })
+        .into_results()
 }
 
 /// One point on the relays-vs-latency curve, measured from span records
@@ -520,54 +576,71 @@ pub struct RelayLatencyRow {
 
 /// E-OBS-1 — relays vs latency, from the metrics layer: each added hop
 /// buys decoupling (§4.2) and costs propagation plus crypto. Sweeps the
-/// MPR chain over `0..=max_relays` and the mix-net over 1–3 mixes.
+/// MPR chain over `0..=max_relays` and the mix-net over 1–3 mixes
+/// (parallel; see [`exp_relay_latency_on`]).
 pub fn exp_relay_latency(max_relays: usize, seed: u64) -> Vec<RelayLatencyRow> {
+    exp_relay_latency_on(max_relays, seed, &ParallelExecutor::new())
+}
+
+/// [`exp_relay_latency`] on an explicit executor: every curve point is an
+/// independent instrumented world, fanned across `exec` and gathered in
+/// row order at the fixed `seed` the sequential version used.
+pub fn exp_relay_latency_on(
+    max_relays: usize,
+    seed: u64,
+    exec: &impl SweepExecutor,
+) -> Vec<RelayLatencyRow> {
     use decoupling::ScenarioReport as _;
-    let mut rows = Vec::new();
-    for relays in 0..=max_relays {
-        let chain = decoupling::ChainConfig {
-            relays,
-            users: 2,
-            fetches_each: 2,
-            geohint: false,
-            seed,
-        };
-        let m = decoupling::Mpr::run_instrumented(&chain, seed)
-            .metrics()
-            .clone();
-        rows.push(RelayLatencyRow {
-            scenario: "mpr".into(),
-            relays,
-            mean_latency_us: m.mean_span_us("fetch").unwrap_or(0.0),
-            messages_sent: m.messages_sent,
-            bytes_sent: m.bytes_sent,
-            crypto_ops: m.crypto_total(),
-        });
-    }
-    for mixes in 1..=3 {
-        let config = decoupling::MixnetConfig {
-            senders: 6,
-            mixes,
-            batch_size: 3,
-            window_us: 100_000,
-            shuffle: true,
-            chaff_per_sender: 0,
-            mix_max_wait_us: None,
-            seed,
-        };
-        let m = decoupling::Mixnet::run_instrumented(&config, seed)
-            .metrics()
-            .clone();
-        rows.push(RelayLatencyRow {
-            scenario: "mixnet".into(),
-            relays: mixes,
-            mean_latency_us: m.mean_span_us("e2e").unwrap_or(0.0),
-            messages_sent: m.messages_sent,
-            bytes_sent: m.bytes_sent,
-            crypto_ops: m.crypto_total(),
-        });
-    }
-    rows
+    let mpr_rows = max_relays as u64 + 1;
+    let builder = SweepBuilder::new(seed).worlds(mpr_rows + 3);
+    builder
+        .run_on(exec, |job| {
+            if job.index < mpr_rows {
+                let relays = job.index as usize;
+                let chain = decoupling::ChainConfig {
+                    relays,
+                    users: 2,
+                    fetches_each: 2,
+                    geohint: false,
+                    seed,
+                };
+                let m = decoupling::Mpr::run_instrumented(&chain, seed)
+                    .metrics()
+                    .clone();
+                RelayLatencyRow {
+                    scenario: "mpr".into(),
+                    relays,
+                    mean_latency_us: m.mean_span_us("fetch").unwrap_or(0.0),
+                    messages_sent: m.messages_sent,
+                    bytes_sent: m.bytes_sent,
+                    crypto_ops: m.crypto_total(),
+                }
+            } else {
+                let mixes = (job.index - mpr_rows) as usize + 1;
+                let config = decoupling::MixnetConfig {
+                    senders: 6,
+                    mixes,
+                    batch_size: 3,
+                    window_us: 100_000,
+                    shuffle: true,
+                    chaff_per_sender: 0,
+                    mix_max_wait_us: None,
+                    seed,
+                };
+                let m = decoupling::Mixnet::run_instrumented(&config, seed)
+                    .metrics()
+                    .clone();
+                RelayLatencyRow {
+                    scenario: "mixnet".into(),
+                    relays: mixes,
+                    mean_latency_us: m.mean_span_us("e2e").unwrap_or(0.0),
+                    messages_sent: m.messages_sent,
+                    bytes_sent: m.bytes_sent,
+                    crypto_ops: m.crypto_total(),
+                }
+            }
+        })
+        .into_results()
 }
 
 /// One point on the padding-cost curve: chaff level vs measured wire
@@ -587,11 +660,25 @@ pub struct PaddingCostRow {
 }
 
 /// E-OBS-2 — the §4.3 padding cost, measured at the wire: cover traffic
-/// multiplies bytes sent while real-traffic latency stays flat.
+/// multiplies bytes sent while real-traffic latency stays flat
+/// (parallel; see [`exp_padding_cost_on`]).
 pub fn exp_padding_cost(levels: &[usize], seed: u64) -> Vec<PaddingCostRow> {
+    exp_padding_cost_on(levels, seed, &ParallelExecutor::new())
+}
+
+/// [`exp_padding_cost`] on an explicit executor: one independent world
+/// per chaff level at the fixed `seed`, with the baseline-relative
+/// `bytes_factor` computed afterwards in an index-ordered fold (the
+/// baseline is the first level's measured bytes, as before).
+pub fn exp_padding_cost_on(
+    levels: &[usize],
+    seed: u64,
+    exec: &impl SweepExecutor,
+) -> Vec<PaddingCostRow> {
     use decoupling::ScenarioReport as _;
-    let mut rows: Vec<PaddingCostRow> = Vec::new();
-    for &chaff in levels {
+    let builder = SweepBuilder::new(seed).worlds(levels.len() as u64);
+    let run = builder.run_on(exec, |job| {
+        let chaff = levels[job.index as usize];
         let config = decoupling::MixnetConfig {
             senders: 6,
             mixes: 2,
@@ -605,14 +692,18 @@ pub fn exp_padding_cost(levels: &[usize], seed: u64) -> Vec<PaddingCostRow> {
         let m = decoupling::Mixnet::run_instrumented(&config, seed)
             .metrics()
             .clone();
-        let base = rows.first().map_or(m.bytes_sent, |r| r.bytes_sent);
-        rows.push(PaddingCostRow {
+        PaddingCostRow {
             chaff_per_sender: chaff,
             bytes_sent: m.bytes_sent,
             messages_sent: m.messages_sent,
-            bytes_factor: m.bytes_sent as f64 / base.max(1) as f64,
+            bytes_factor: 0.0, // baseline-relative, filled in the fold below
             mean_e2e_us: m.mean_span_us("e2e").unwrap_or(0.0),
-        });
+        }
+    });
+    let mut rows = run.into_results();
+    let base = rows.first().map_or(0, |r: &PaddingCostRow| r.bytes_sent);
+    for row in &mut rows {
+        row.bytes_factor = row.bytes_sent as f64 / base.max(1) as f64;
     }
     rows
 }

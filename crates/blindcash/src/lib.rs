@@ -25,7 +25,7 @@ pub mod bank;
 pub mod coin;
 pub mod scenario;
 
-pub use scenario::{Blindcash, BlindcashConfig, ScenarioReport};
+pub use scenario::{sweep, Blindcash, BlindcashConfig, ScenarioReport};
 
 pub use bank::{Bank, DepositError};
 pub use coin::Coin;

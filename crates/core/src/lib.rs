@@ -56,6 +56,7 @@ pub mod faults;
 pub mod label;
 pub mod obs;
 pub mod scenario;
+pub mod sweep;
 pub mod table;
 pub mod tee;
 pub mod tuple;
@@ -67,5 +68,9 @@ pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultLog};
 pub use label::{Aspect, DataKind, IdentityKind, InfoItem, InfoSet, KeyId, Label, Sensitivity};
 pub use obs::{KnowledgeRecord, MetricsReport, ObsEvent, ObsHandle, ObsSink, SpanRecord};
 pub use scenario::{RunOptions, Scenario, ScenarioReport};
+pub use sweep::{
+    derive_seed, SequentialExecutor, SweepBuilder, SweepEntry, SweepExecutor, SweepJob,
+    SweepReport, SweepRun,
+};
 pub use tuple::{DataVis, IdVis, KnowledgeTuple};
 pub use world::World;

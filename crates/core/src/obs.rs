@@ -24,10 +24,9 @@
 //! the event stream into a [`MetricsReport`]; the report type lives here
 //! because every `ScenarioReport` embeds one.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -110,24 +109,42 @@ pub enum ObsEvent {
         /// What it learned.
         item: InfoItem,
     },
+    /// One world of a multi-seed sweep finished ([`crate::sweep`]). In a
+    /// parallel sweep these arrive in **completion** order, which is not
+    /// deterministic — progress events must never feed a report artifact.
+    SweepProgress {
+        /// Zero-based index of the finished world within the sweep.
+        index: u64,
+        /// The derived per-world seed.
+        seed: u64,
+        /// Worlds finished so far (including this one).
+        done: u64,
+        /// Total worlds in the sweep.
+        total: u64,
+    },
 }
 
 /// The single observability interface: everything in the workspace emits
 /// through one installed sink.
 ///
 /// Implementations must not call back into the `World` that hosts them
-/// (the sink is borrowed mutably during emission).
-pub trait ObsSink {
+/// (the sink is locked during emission). Sinks are `Send` so a `World`
+/// (and every report embedding one) can cross threads — the property the
+/// parallel sweep engine ([`crate::sweep`]) fans worlds out on.
+pub trait ObsSink: Send {
     /// Handle one event at sim-time `at_us`.
     fn on_event(&mut self, at_us: u64, event: &ObsEvent);
 }
 
-/// The `World`'s handle on an installed sink: a shared, optional,
-/// single-threaded reference. `Default` is "no sink", so the disabled
-/// path through [`ObsHandle::emit`] is a single `Option` branch.
+/// The `World`'s handle on an installed sink: a shared, optional
+/// reference. `Default` is "no sink", so the disabled path through
+/// [`ObsHandle::emit`] is a single `Option` branch; the enabled path
+/// takes one uncontended mutex lock per event (a world and its sink live
+/// on one thread — the lock exists so the *types* are `Send` and whole
+/// worlds can be fanned across sweep workers).
 #[derive(Clone, Default)]
 pub struct ObsHandle {
-    sink: Option<Rc<RefCell<dyn ObsSink>>>,
+    sink: Option<Arc<Mutex<dyn ObsSink>>>,
 }
 
 impl fmt::Debug for ObsHandle {
@@ -140,7 +157,7 @@ impl fmt::Debug for ObsHandle {
 
 impl ObsHandle {
     /// Wrap an installed sink.
-    pub fn new(sink: Rc<RefCell<dyn ObsSink>>) -> Self {
+    pub fn new(sink: Arc<Mutex<dyn ObsSink>>) -> Self {
         ObsHandle { sink: Some(sink) }
     }
 
@@ -154,7 +171,9 @@ impl ObsHandle {
     #[inline]
     pub fn emit(&self, at_us: u64, event: &ObsEvent) {
         if let Some(sink) = &self.sink {
-            sink.borrow_mut().on_event(at_us, event);
+            sink.lock()
+                .expect("obs sink poisoned")
+                .on_event(at_us, event);
         }
     }
 
@@ -295,8 +314,6 @@ impl MetricsReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
 
     struct CountingSink {
         events: Vec<(u64, ObsEvent)>,
@@ -317,7 +334,7 @@ mod tests {
 
     #[test]
     fn handle_forwards_events() {
-        let sink = Rc::new(RefCell::new(CountingSink { events: Vec::new() }));
+        let sink = Arc::new(Mutex::new(CountingSink { events: Vec::new() }));
         let h = ObsHandle::new(sink.clone());
         assert!(h.is_enabled());
         h.emit(7, &ObsEvent::CryptoOp { op: "rsa_sign" });
@@ -329,8 +346,8 @@ mod tests {
                 bytes: 32,
             },
         );
-        assert_eq!(sink.borrow().events.len(), 2);
-        assert_eq!(sink.borrow().events[0].0, 7);
+        assert_eq!(sink.lock().unwrap().events.len(), 2);
+        assert_eq!(sink.lock().unwrap().events[0].0, 7);
     }
 
     #[test]

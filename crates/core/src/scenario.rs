@@ -24,6 +24,7 @@
 
 use crate::faults::{FaultConfig, FaultLog};
 use crate::obs::MetricsReport;
+use crate::sweep::{SweepBuilder, SweepExecutor, SweepRun};
 use crate::world::World;
 
 /// How to run a scenario: fault preset + whether to install the metrics
@@ -121,6 +122,27 @@ pub trait Scenario {
     /// Run fault-free with the metrics sink installed.
     fn run_instrumented(cfg: &Self::Config, seed: u64) -> Self::Report {
         Self::run_with(cfg, seed, &RunOptions::observed())
+    }
+
+    /// Run a multi-seed sweep of this scenario on `exec`: one
+    /// independent world per [`SweepBuilder`] job, all sharing `cfg`
+    /// and `opts`. Because [`run_with`](Scenario::run_with) is a pure
+    /// function of `(config, seed, options)` and per-world seeds are
+    /// derived, not chained, the returned [`SweepRun`] is identical for
+    /// every conforming executor — the parallel engine in `dcp-sweep`
+    /// and [`crate::sweep::SequentialExecutor`] produce the same bytes.
+    fn sweep<X>(
+        cfg: &Self::Config,
+        builder: &SweepBuilder,
+        exec: &X,
+        opts: &RunOptions,
+    ) -> SweepRun<Self::Report>
+    where
+        X: SweepExecutor + ?Sized,
+        Self::Config: Sync,
+        Self::Report: Send,
+    {
+        builder.run_on(exec, |job| Self::run_with(cfg, job.seed, opts))
     }
 }
 

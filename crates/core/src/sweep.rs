@@ -1,0 +1,446 @@
+//! The multi-seed sweep model: deterministic seed derivation, the
+//! [`SweepBuilder`] description, the [`SweepExecutor`] execution hook,
+//! and the ordered reduction that makes a parallel sweep's output
+//! **byte-identical** to the sequential run.
+//!
+//! Every empirical claim this workspace makes — the §3 knowledge tables,
+//! the §4.2 degrees-of-decoupling curves, the DST safety sweeps — gets
+//! more convincing with more seeds, and every seed is an independent
+//! world. This module turns "for s in 0..seeds" loops into a first-class
+//! object with three guarantees:
+//!
+//! 1. **Independent streams.** Per-world seeds are derived from the
+//!    master seed by the SplitMix64 output function
+//!    ([`derive_seed`]); worlds never share RNG state, so world *i*'s
+//!    traffic is the same whether worlds run on one thread or sixteen.
+//! 2. **Ordered reduction.** Executors must yield results positionally
+//!    aligned with their jobs; [`SweepRun`] additionally carries each
+//!    world's index and re-sorts before any fold, so aggregation never
+//!    observes completion order.
+//! 3. **Progress is observability, not data.** The optional progress
+//!    callback goes through the standard [`ObsSink`] hook and arrives in
+//!    completion order — deliberately segregated from results so nothing
+//!    nondeterministic can leak into an artifact.
+//!
+//! The actual parallel engine lives in `dcp-sweep` (so scenario crates
+//! never grow a rayon dependency); this module defines the contract plus
+//! the sequential reference executor the engine is compared against.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+
+use crate::obs::{ObsEvent, ObsSink};
+
+/// The SplitMix64 output function (Steele, Lea, Flood 2014): a bijective
+/// avalanche mix over `u64`.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed for world `index` of a sweep from `master_seed`: the
+/// `index`-th output of the SplitMix64 stream seeded at `master_seed`
+/// (closed form, so derivation is O(1) and order-independent). Distinct
+/// indices give statistically independent streams; no world ever
+/// continues another world's RNG.
+#[inline]
+pub fn derive_seed(master_seed: u64, index: u64) -> u64 {
+    splitmix64(master_seed.wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// One unit of sweep work: the `index`-th world and its derived seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct SweepJob {
+    /// Zero-based position in the sweep.
+    pub index: u64,
+    /// [`derive_seed`]`(master_seed, index)`.
+    pub seed: u64,
+}
+
+/// How to execute a batch of independent sweep jobs.
+///
+/// Contract: the returned vector must be positionally aligned with
+/// `jobs` (`out[i]` is `f(&jobs[i])`), and `f` must be called **at most
+/// once per job**. Parallel implementations may run jobs in any order on
+/// any thread; alignment is what keeps the reduction deterministic.
+pub trait SweepExecutor {
+    /// Run `f` over every job, returning outputs aligned with `jobs`.
+    fn execute<T: Send>(&self, jobs: &[SweepJob], f: &(dyn Fn(&SweepJob) -> T + Sync)) -> Vec<T>;
+}
+
+/// The reference executor: runs jobs in index order on the calling
+/// thread. The parallel engine in `dcp-sweep` is required (and tested)
+/// to produce byte-identical results to this.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SequentialExecutor;
+
+impl SweepExecutor for SequentialExecutor {
+    fn execute<T: Send>(&self, jobs: &[SweepJob], f: &(dyn Fn(&SweepJob) -> T + Sync)) -> Vec<T> {
+        jobs.iter().map(f).collect()
+    }
+}
+
+/// Describes a multi-seed sweep: master seed, world count, thread cap,
+/// and an optional completion-progress sink.
+#[derive(Clone, Default)]
+pub struct SweepBuilder {
+    master_seed: u64,
+    worlds: u64,
+    threads: usize,
+    progress: Option<Arc<Mutex<dyn ObsSink>>>,
+}
+
+impl SweepBuilder {
+    /// A sweep of one world from `master_seed`.
+    pub fn new(master_seed: u64) -> Self {
+        SweepBuilder {
+            master_seed,
+            worlds: 1,
+            threads: 0,
+            progress: None,
+        }
+    }
+
+    /// Number of independent worlds to run.
+    pub fn worlds(mut self, n: u64) -> Self {
+        self.worlds = n;
+        self
+    }
+
+    /// Cap parallel executors at `cap` threads (`0`, the default, means
+    /// "let the executor decide" — all cores for the parallel engine).
+    /// Purely an execution hint: results are identical at any cap.
+    pub fn threads(mut self, cap: usize) -> Self {
+        self.threads = cap;
+        self
+    }
+
+    /// Install a progress sink: one [`ObsEvent::SweepProgress`] per
+    /// finished world, in completion order (not deterministic under a
+    /// parallel executor — display only, never data).
+    pub fn progress(mut self, sink: Arc<Mutex<dyn ObsSink>>) -> Self {
+        self.progress = Some(sink);
+        self
+    }
+
+    /// The sweep's master seed.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The number of worlds this sweep will run.
+    pub fn world_count(&self) -> u64 {
+        self.worlds
+    }
+
+    /// The configured thread cap (`0` = executor default).
+    pub fn thread_cap(&self) -> usize {
+        self.threads
+    }
+
+    /// The derived seed for world `index` (see [`derive_seed`]).
+    pub fn seed_at(&self, index: u64) -> u64 {
+        derive_seed(self.master_seed, index)
+    }
+
+    /// Materialize the job list, in index order.
+    pub fn jobs(&self) -> Vec<SweepJob> {
+        (0..self.worlds)
+            .map(|index| SweepJob {
+                index,
+                seed: self.seed_at(index),
+            })
+            .collect()
+    }
+
+    /// Run the sweep on `exec`. `f` must be a pure function of its job
+    /// (the same discipline [`crate::Scenario::run_with`] already
+    /// demands), and the returned [`SweepRun`] is identical for every
+    /// conforming executor.
+    pub fn run_on<T, F, X>(&self, exec: &X, f: F) -> SweepRun<T>
+    where
+        T: Send,
+        F: Fn(&SweepJob) -> T + Sync,
+        X: SweepExecutor + ?Sized,
+    {
+        let jobs = self.jobs();
+        let total = self.worlds;
+        let done = AtomicU64::new(0);
+        let progress = self.progress.clone();
+        let wrapped = |job: &SweepJob| {
+            let out = f(job);
+            if let Some(sink) = &progress {
+                let done = done.fetch_add(1, Ordering::Relaxed) + 1;
+                sink.lock().expect("progress sink poisoned").on_event(
+                    0,
+                    &ObsEvent::SweepProgress {
+                        index: job.index,
+                        seed: job.seed,
+                        done,
+                        total,
+                    },
+                );
+            }
+            out
+        };
+        let results = exec.execute(&jobs, &wrapped);
+        debug_assert_eq!(results.len(), jobs.len(), "executor dropped jobs");
+        let mut entries: Vec<SweepEntry<T>> = jobs
+            .into_iter()
+            .zip(results)
+            .map(|(job, result)| SweepEntry {
+                index: job.index,
+                seed: job.seed,
+                result,
+            })
+            .collect();
+        // Executors are contractually aligned, but the reduction must not
+        // depend on it: order by index before anything folds.
+        entries.sort_by_key(|e| e.index);
+        SweepRun {
+            master_seed: self.master_seed,
+            entries,
+        }
+    }
+
+    /// Run the sweep on the calling thread ([`SequentialExecutor`]).
+    pub fn run_sequential<T, F>(&self, f: F) -> SweepRun<T>
+    where
+        T: Send,
+        F: Fn(&SweepJob) -> T + Sync,
+    {
+        self.run_on(&SequentialExecutor, f)
+    }
+}
+
+impl core::fmt::Debug for SweepBuilder {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SweepBuilder")
+            .field("master_seed", &self.master_seed)
+            .field("worlds", &self.worlds)
+            .field("threads", &self.threads)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+/// One world's slot in a sweep result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepEntry<T> {
+    /// Zero-based world index.
+    pub index: u64,
+    /// The world's derived seed.
+    pub seed: u64,
+    /// What the world produced.
+    pub result: T,
+}
+
+/// The outcome of a sweep: per-world results **in index order**,
+/// independent of which executor ran them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepRun<T> {
+    /// The sweep's master seed.
+    pub master_seed: u64,
+    /// One entry per world, sorted by index.
+    pub entries: Vec<SweepEntry<T>>,
+}
+
+impl<T> SweepRun<T> {
+    /// Per-world results in index order.
+    pub fn results(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter().map(|e| &e.result)
+    }
+
+    /// Consume into the per-world results, in index order.
+    pub fn into_results(self) -> Vec<T> {
+        self.entries.into_iter().map(|e| e.result).collect()
+    }
+
+    /// The derived seeds, in index order.
+    pub fn seeds(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.seed).collect()
+    }
+
+    /// Ordered fold: `f` sees entries strictly in index order, so any
+    /// aggregate built here is executor-independent.
+    pub fn fold<B>(&self, init: B, f: impl FnMut(B, &SweepEntry<T>) -> B) -> B {
+        self.entries.iter().fold(init, f)
+    }
+
+    /// Summarize each world into a serializable [`SweepReport`] (the
+    /// JSON artifact shape: what the CI determinism diff compares).
+    pub fn report<R, F>(&self, mut summarize: F) -> SweepReport<R>
+    where
+        R: Serialize,
+        F: FnMut(&SweepEntry<T>) -> R,
+    {
+        SweepReport {
+            master_seed: self.master_seed,
+            worlds: self.entries.len() as u64,
+            entries: self
+                .entries
+                .iter()
+                .map(|e| SweepEntry {
+                    index: e.index,
+                    seed: e.seed,
+                    result: summarize(e),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The serializable face of a sweep: master seed, world count, and one
+/// summarized entry per world in index order. Byte-identical JSON across
+/// executors and thread counts is the engine's headline guarantee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepReport<R: Serialize> {
+    /// The sweep's master seed.
+    pub master_seed: u64,
+    /// Number of worlds.
+    pub worlds: u64,
+    /// Per-world summaries, in index order.
+    pub entries: Vec<SweepEntry<R>>,
+}
+
+// The vendored serde derive shim doesn't handle generic types, so the
+// serializable sweep containers spell out their `Value` trees by hand
+// (field order here IS the JSON field order the CI diff compares).
+impl<T: Serialize> Serialize for SweepEntry<T> {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("index".to_string(), self.index.serialize_value()),
+            ("seed".to_string(), self.seed.serialize_value()),
+            ("result".to_string(), self.result.serialize_value()),
+        ])
+    }
+}
+
+impl<T: Serialize> Serialize for SweepRun<T> {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "master_seed".to_string(),
+                self.master_seed.serialize_value(),
+            ),
+            ("entries".to_string(), self.entries.serialize_value()),
+        ])
+    }
+}
+
+impl<R: Serialize> Serialize for SweepReport<R> {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "master_seed".to_string(),
+                self.master_seed.serialize_value(),
+            ),
+            ("worlds".to_string(), self.worlds.serialize_value()),
+            ("entries".to_string(), self.entries.serialize_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_is_stable_and_spread() {
+        // Pinned values: changing the derivation silently would invalidate
+        // every recorded sweep artifact, so lock it down.
+        assert_eq!(derive_seed(0, 0), splitmix64(0));
+        assert_eq!(derive_seed(42, 0), splitmix64(42));
+        let seeds: Vec<u64> = (0..64).map(|i| derive_seed(7, i)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "derived seeds collide");
+        // Neighbouring indices differ in roughly half their bits.
+        let close = (derive_seed(7, 0) ^ derive_seed(7, 1)).count_ones();
+        assert!((8..=56).contains(&close), "weak avalanche: {close} bits");
+    }
+
+    #[test]
+    fn builder_jobs_are_indexed_and_derived() {
+        let b = SweepBuilder::new(99).worlds(4);
+        let jobs = b.jobs();
+        assert_eq!(jobs.len(), 4);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.index, i as u64);
+            assert_eq!(j.seed, derive_seed(99, i as u64));
+        }
+    }
+
+    #[test]
+    fn sequential_run_folds_in_order() {
+        let run = SweepBuilder::new(3)
+            .worlds(5)
+            .run_sequential(|job| job.index * 10);
+        assert_eq!(run.into_results(), vec![0, 10, 20, 30, 40]);
+    }
+
+    /// An adversarial executor that reverses job order (but keeps the
+    /// positional alignment contract); the reduction must not care.
+    struct ReversingExecutor;
+
+    impl SweepExecutor for ReversingExecutor {
+        fn execute<T: Send>(
+            &self,
+            jobs: &[SweepJob],
+            f: &(dyn Fn(&SweepJob) -> T + Sync),
+        ) -> Vec<T> {
+            let mut out: Vec<(usize, T)> = jobs
+                .iter()
+                .enumerate()
+                .rev()
+                .map(|(i, job)| (i, f(job)))
+                .collect();
+            out.sort_by_key(|(i, _)| *i);
+            out.into_iter().map(|(_, t)| t).collect()
+        }
+    }
+
+    #[test]
+    fn reduction_is_executor_independent() {
+        let b = SweepBuilder::new(1234).worlds(7);
+        let f = |job: &SweepJob| format!("w{}:{:x}", job.index, job.seed);
+        let seq = b.run_on(&SequentialExecutor, f);
+        let rev = b.run_on(&ReversingExecutor, f);
+        assert_eq!(seq, rev);
+        let report_a = seq.report(|e| e.result.clone());
+        let report_b = rev.report(|e| e.result.clone());
+        assert_eq!(report_a.serialize_value(), report_b.serialize_value());
+    }
+
+    struct CountingSink {
+        events: Vec<ObsEvent>,
+    }
+
+    impl ObsSink for CountingSink {
+        fn on_event(&mut self, _at_us: u64, event: &ObsEvent) {
+            self.events.push(event.clone());
+        }
+    }
+
+    #[test]
+    fn progress_fires_once_per_world() {
+        let sink = Arc::new(Mutex::new(CountingSink { events: Vec::new() }));
+        let run = SweepBuilder::new(5)
+            .worlds(6)
+            .progress(sink.clone())
+            .run_sequential(|job| job.seed);
+        assert_eq!(run.entries.len(), 6);
+        let events = &sink.lock().unwrap().events;
+        assert_eq!(events.len(), 6);
+        let ObsEvent::SweepProgress { done, total, .. } = events[5] else {
+            panic!("wrong event kind");
+        };
+        assert_eq!((done, total), (6, 6));
+    }
+}

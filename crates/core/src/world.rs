@@ -6,9 +6,8 @@
 //! entity sees a payload. The ledger then answers "what does entity X know
 //! about user S" — the raw material for every table in the paper.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::entity::{Entity, EntityId, OrgId, UserId};
 use crate::label::{InfoItem, InfoSet, KeyId, Label};
@@ -148,7 +147,7 @@ impl World {
 
     /// Install an observability sink; every subsequent ledger accrual,
     /// simulator wire event, and protocol emission flows through it.
-    pub fn install_obs(&mut self, sink: Rc<RefCell<dyn ObsSink>>) {
+    pub fn install_obs(&mut self, sink: Arc<Mutex<dyn ObsSink>>) {
         self.obs = ObsHandle::new(sink);
     }
 

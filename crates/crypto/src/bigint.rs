@@ -85,13 +85,26 @@ impl BigUint {
     }
 
     /// Big-endian byte encoding left-padded with zeros to exactly `len`
-    /// bytes. Panics if the value needs more than `len` bytes.
+    /// bytes. Panics if the value needs more than `len` bytes; wire-facing
+    /// code should prefer [`Self::checked_to_bytes_be_padded`].
     pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        self.checked_to_bytes_be_padded(len)
+            .unwrap_or_else(|| panic!("value does not fit in {len} bytes"))
+    }
+
+    /// Big-endian byte encoding left-padded with zeros to exactly `len`
+    /// bytes; `None` if the value needs more than `len` bytes. The
+    /// fail-closed variant for encoding values whose bounds derive from
+    /// untrusted wire data (e.g. an RSA residue mod an attacker-supplied
+    /// modulus).
+    pub fn checked_to_bytes_be_padded(&self, len: usize) -> Option<Vec<u8>> {
         let raw = self.to_bytes_be();
-        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        if raw.len() > len {
+            return None;
+        }
         let mut out = vec![0u8; len - raw.len()];
         out.extend_from_slice(&raw);
-        out
+        Some(out)
     }
 
     /// Number of significant bits (0 for zero).
@@ -723,6 +736,8 @@ mod tests {
     fn padded_encoding() {
         assert_eq!(big(0x0102).to_bytes_be_padded(4), vec![0, 0, 1, 2]);
         assert_eq!(BigUint::zero().to_bytes_be_padded(2), vec![0, 0]);
+        assert_eq!(big(0x0102).checked_to_bytes_be_padded(2), Some(vec![1, 2]));
+        assert_eq!(big(0x010203).checked_to_bytes_be_padded(2), None);
     }
 
     #[test]

@@ -372,5 +372,13 @@ mod tests {
         let mut msg = vec![0u8; 64];
         msg[40] = 1;
         assert!(open(&kp, b"", b"", &msg).is_err());
+        // A message truncated to exactly the encapsulated key (valid curve
+        // point, empty AEAD body) must fail closed, not slice out of range.
+        let other = Keypair::generate(&mut rng);
+        assert!(open(&kp, b"", b"", &other.public).is_err());
+        // Tag-only body (shorter than the Poly1305 tag plus one byte).
+        let mut short = other.public.to_vec();
+        short.extend_from_slice(&[0u8; 15]);
+        assert!(open(&kp, b"", b"", &short).is_err());
     }
 }

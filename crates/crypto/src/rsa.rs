@@ -31,10 +31,34 @@ pub struct RsaPrivateKey {
     d: BigUint,
 }
 
+/// Smallest modulus size this module will operate on, in bits. Matches the
+/// floor [`RsaPrivateKey::generate`] enforces, so any honestly generated key
+/// passes and anything smaller arriving off the wire is rejected as
+/// malformed rather than fed into the arithmetic below.
+const MIN_MODULUS_BITS: usize = 512;
+
 impl RsaPublicKey {
     /// Modulus length in bytes.
     pub fn modulus_len(&self) -> usize {
         self.n.bit_len().div_ceil(8)
+    }
+
+    /// Reject parameter combinations no honest keypair can produce, so the
+    /// raw/blind operations below never run on degenerate inputs (`n = 0`
+    /// would turn [`BigUint::random_below`] into a panic, `e < 3` makes
+    /// every byte string a valid signature, an even `n` cannot be a product
+    /// of two odd primes).
+    fn validate(&self) -> Result<()> {
+        let ok = self.n.bit_len() >= MIN_MODULUS_BITS
+            && !self.n.is_even()
+            && !self.e.is_even() // an even e is never invertible mod φ(n); also rejects e = 0
+            && !self.e.is_one()
+            && self.e < self.n;
+        if ok {
+            Ok(())
+        } else {
+            Err(CryptoError::Malformed)
+        }
     }
 
     /// Raw RSA public operation `m^e mod n`.
@@ -50,10 +74,14 @@ impl RsaPublicKey {
         if sig.len() != self.modulus_len() {
             return Err(CryptoError::BadSignature);
         }
+        self.validate().map_err(|_| CryptoError::BadSignature)?;
         let s = BigUint::from_bytes_be(sig);
         let em = self.raw(&s).map_err(|_| CryptoError::BadSignature)?;
         let expect = emsa_pkcs1_v15(msg, self.modulus_len())?;
-        if em.to_bytes_be_padded(self.modulus_len()) == expect {
+        let em_bytes = em
+            .checked_to_bytes_be_padded(self.modulus_len())
+            .ok_or(CryptoError::BadSignature)?;
+        if em_bytes == expect {
             Ok(())
         } else {
             Err(CryptoError::BadSignature)
@@ -65,6 +93,10 @@ impl RsaPublicKey {
     /// The blinded element reveals nothing about `msg` to the signer
     /// (it is `em · r^e mod n` for uniformly random `r`).
     pub fn blind<R: Rng + ?Sized>(&self, rng: &mut R, msg: &[u8]) -> Result<BlindingResult> {
+        // An attacker-chosen key must not be able to panic the client
+        // (`random_below` on `n = 0`) or spin the retry loop forever
+        // (an `n` with tiny odd part makes coprime residues scarce).
+        self.validate()?;
         let k = self.modulus_len();
         let em = BigUint::from_bytes_be(&emsa_pkcs1_v15(msg, k)?);
         loop {
@@ -76,8 +108,11 @@ impl RsaPublicKey {
                 continue; // gcd(r, n) != 1 — astronomically rare
             };
             let blinded = em.mulmod(&self.raw(&r)?, &self.n);
+            let blinded_msg = blinded
+                .checked_to_bytes_be_padded(k)
+                .ok_or(CryptoError::Malformed)?;
             return Ok(BlindingResult {
-                blinded_msg: blinded.to_bytes_be_padded(k),
+                blinded_msg,
                 unblinder: r_inv,
             });
         }
@@ -89,8 +124,11 @@ impl RsaPublicKey {
         if blind_sig.len() != k {
             return Err(CryptoError::BadSignature);
         }
+        self.validate().map_err(|_| CryptoError::BadSignature)?;
         let s = BigUint::from_bytes_be(blind_sig).mulmod(unblinder, &self.n);
-        let sig = s.to_bytes_be_padded(k);
+        let sig = s
+            .checked_to_bytes_be_padded(k)
+            .ok_or(CryptoError::BadSignature)?;
         self.verify(msg, &sig)?;
         Ok(sig)
     }
@@ -106,7 +144,10 @@ impl RsaPublicKey {
         out
     }
 
-    /// Inverse of [`Self::to_bytes`].
+    /// Inverse of [`Self::to_bytes`]. Fails closed: the parsed key must
+    /// re-encode to the exact input bytes (one key, one encoding) and pass
+    /// the same sanity checks every other operation enforces, so a
+    /// deserialized key is as usable as a generated one.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         if bytes.len() < 4 {
             return Err(CryptoError::Malformed);
@@ -115,10 +156,17 @@ impl RsaPublicKey {
         if bytes.len() < 4 + n_len + 1 {
             return Err(CryptoError::Malformed);
         }
-        Ok(RsaPublicKey {
+        let key = RsaPublicKey {
             n: BigUint::from_bytes_be(&bytes[4..4 + n_len]),
             e: BigUint::from_bytes_be(&bytes[4 + n_len..]),
-        })
+        };
+        key.validate()?;
+        // Rejecting non-minimal encodings (leading zero bytes in n or e)
+        // keeps the serialization injective.
+        if key.to_bytes() != bytes {
+            return Err(CryptoError::Malformed);
+        }
+        Ok(key)
     }
 }
 
@@ -281,6 +329,67 @@ mod tests {
         let bytes = pk.to_bytes();
         assert_eq!(RsaPublicKey::from_bytes(&bytes).unwrap(), pk);
         assert!(RsaPublicKey::from_bytes(&bytes[..2]).is_err());
+    }
+
+    #[test]
+    fn from_bytes_rejects_degenerate_keys() {
+        let good = test_key().public_key().clone();
+
+        // Truncated, empty, and zero-length-n encodings.
+        assert!(RsaPublicKey::from_bytes(&[]).is_err());
+        assert!(RsaPublicKey::from_bytes(&good.to_bytes()[..6]).is_err());
+        let mut zero_n = Vec::from(0u32.to_be_bytes());
+        zero_n.push(3); // e = 3, n absent
+        assert!(RsaPublicKey::from_bytes(&zero_n).is_err());
+
+        let encode = |n: &BigUint, e: &BigUint| {
+            RsaPublicKey {
+                n: n.clone(),
+                e: e.clone(),
+            }
+            .to_bytes()
+        };
+        let n = good.n.clone();
+        let e = good.e.clone();
+
+        // Even n cannot be a product of two odd primes.
+        let even_n = n.add(&BigUint::one());
+        let candidate = if even_n.is_even() {
+            even_n
+        } else {
+            n.add(&BigUint::from_u64(3))
+        };
+        assert!(RsaPublicKey::from_bytes(&encode(&candidate, &e)).is_err());
+        // e ∈ {0, 1, even, ≥ n} are all unusable or insecure.
+        for bad_e in [BigUint::zero(), BigUint::one(), BigUint::from_u64(4)] {
+            assert!(RsaPublicKey::from_bytes(&encode(&n, &bad_e)).is_err());
+        }
+        assert!(RsaPublicKey::from_bytes(&encode(&n, &n)).is_err());
+        // Undersized modulus.
+        assert!(RsaPublicKey::from_bytes(&encode(&BigUint::from_u64(0xffff_ffff), &e)).is_err());
+
+        // Non-minimal encoding: same key, n left-padded with a zero byte.
+        let mut padded = Vec::new();
+        let n_bytes = n.to_bytes_be();
+        padded.extend_from_slice(&((n_bytes.len() as u32 + 1).to_be_bytes()));
+        padded.push(0);
+        padded.extend_from_slice(&n_bytes);
+        padded.extend_from_slice(&e.to_bytes_be());
+        assert!(RsaPublicKey::from_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn degenerate_key_fails_closed_not_panicking() {
+        // A hand-built hostile key (n = 0) must error out of every public
+        // operation instead of panicking inside the bignum layer.
+        let evil = RsaPublicKey {
+            n: BigUint::zero(),
+            e: BigUint::from_u64(65537),
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        assert!(evil.blind(&mut rng, b"msg").is_err());
+        assert!(evil.verify(b"msg", &[]).is_err());
+        assert!(evil.finalize(b"msg", &[], &BigUint::one()).is_err());
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //!   information-flow tracking.
 //! * [`faults`] — deterministic fault injection (buggify) and the DST
 //!   harness that replays every scenario under seeded fault schedules.
+//! * [`sweep`] — the rayon-backed parallel sweep engine: fan independent
+//!   `(scenario, config, seed)` worlds across cores with results
+//!   bit-for-bit identical to a sequential run.
 //! * [`transport`] — framing, encrypted channels, onion tunnels, traffic
 //!   shaping.
 //! * [`dns`] — the DNS substrate (wire codec, zones, resolver, workloads).
@@ -60,15 +63,20 @@ pub use dcp_pgpp as pgpp;
 pub use dcp_ppm as ppm;
 pub use dcp_privacypass as privacypass;
 pub use dcp_simnet as simnet;
+pub use dcp_sweep as sweep;
 pub use dcp_transport as transport;
 pub use dcp_vpn as vpn;
 
 // The unified Scenario API, flattened: everything a driver needs to run,
 // fault, and observe any §3 scenario without reaching into sub-crates.
-pub use dcp_core::{MetricsReport, ObsEvent, ObsSink, RunOptions, Scenario, ScenarioReport};
-pub use dcp_faults::dst::{run_scenario_for, DstReport};
+pub use dcp_core::{
+    derive_seed, MetricsReport, ObsEvent, ObsSink, RunOptions, Scenario, ScenarioReport,
+    SequentialExecutor, SweepBuilder, SweepExecutor, SweepRun,
+};
+pub use dcp_faults::dst::{run_scenario_for, sweep_scenario_for, DstReport, DstSweepReport};
 pub use dcp_faults::{FaultConfig, FaultLog};
 pub use dcp_obs::MetricsHandle;
+pub use dcp_sweep::{run_sweep, run_sweep_sequential, ParallelExecutor};
 
 pub use dcp_blindcash::{Blindcash, BlindcashConfig};
 pub use dcp_mixnet::{Mixnet, MixnetConfig};

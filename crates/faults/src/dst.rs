@@ -24,6 +24,7 @@
 //! supplies one closure per §3 system.
 
 use crate::{FaultConfig, FaultLog};
+use dcp_core::sweep::{SweepBuilder, SweepExecutor};
 use dcp_core::{analyze, Scenario, ScenarioReport, World};
 use serde::Serialize;
 
@@ -68,7 +69,7 @@ pub struct DstOutcome {
 }
 
 /// The harness's verdict for one `(scenario, preset)` cell.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct DstReport {
     /// Scenario name (e.g. `"odns"`).
     pub scenario: String,
@@ -171,6 +172,79 @@ pub fn run_scenario_for<S: Scenario>(seed: u64, cfg: &S::Config) -> Vec<DstRepor
             completed: report.completed(),
         }
     })
+}
+
+/// One world of a multi-seed DST sweep: the full preset battery run at
+/// one derived seed.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct DstSweepEntry {
+    /// Zero-based world index.
+    pub index: u64,
+    /// The world's derived seed ([`dcp_core::sweep::derive_seed`]).
+    pub seed: u64,
+    /// One [`DstReport`] per fault preset, in preset order.
+    pub reports: Vec<DstReport>,
+}
+
+/// The aggregate of a multi-seed DST sweep for one scenario. Built by an
+/// ordered fold over world index, so the same bytes come out of the
+/// parallel and sequential executors — the artifact the CI determinism
+/// diff compares.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct DstSweepReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// The sweep's master seed (per-world seeds are derived from it).
+    pub master_seed: u64,
+    /// Number of independent worlds.
+    pub worlds: u64,
+    /// Total faults injected across all worlds and presets.
+    pub total_faults: u64,
+    /// Worlds whose workload completed under the `moderate` preset (the
+    /// liveness bar; `chaos` only promises safety).
+    pub completed_moderate: u64,
+    /// Total fault-created couplings across the sweep — always zero when
+    /// the harness returns (any violation panics with a replay recipe).
+    pub new_couplings: u64,
+    /// Per-world results, in index order.
+    pub entries: Vec<DstSweepEntry>,
+}
+
+/// Run the full DST battery ([`run_scenario_for`]) at every seed of
+/// `builder`'s sweep, on `exec`. Each world independently asserts
+/// determinism and baseline-relative safety; the returned aggregate is
+/// identical for every conforming executor.
+pub fn sweep_scenario_for<S, X>(cfg: &S::Config, builder: &SweepBuilder, exec: &X) -> DstSweepReport
+where
+    S: Scenario,
+    S::Config: Sync,
+    X: SweepExecutor + ?Sized,
+{
+    let run = builder.run_on(exec, |job| run_scenario_for::<S>(job.seed, cfg));
+    let mut report = DstSweepReport {
+        scenario: S::NAME.to_string(),
+        master_seed: builder.master_seed(),
+        worlds: builder.world_count(),
+        total_faults: 0,
+        completed_moderate: 0,
+        new_couplings: 0,
+        entries: Vec::with_capacity(run.entries.len()),
+    };
+    for entry in &run.entries {
+        for r in &entry.result {
+            report.total_faults += r.faults_injected as u64;
+            report.new_couplings += r.new_couplings.len() as u64;
+            if r.preset == "moderate" && r.completed {
+                report.completed_moderate += 1;
+            }
+        }
+        report.entries.push(DstSweepEntry {
+            index: entry.index,
+            seed: entry.seed,
+            reports: entry.result.clone(),
+        });
+    }
+    report
 }
 
 #[cfg(test)]

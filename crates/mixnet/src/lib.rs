@@ -28,4 +28,4 @@ pub mod circuit_scenario;
 pub mod mix;
 pub mod scenario;
 
-pub use scenario::{Mixnet, MixnetConfig, MixnetReport};
+pub use scenario::{sweep, Mixnet, MixnetConfig, MixnetReport};

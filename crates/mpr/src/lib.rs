@@ -30,7 +30,7 @@
 
 pub mod scenario;
 
-pub use scenario::{ChainConfig, Mpr, ScenarioReport};
+pub use scenario::{sweep, ChainConfig, Mpr, ScenarioReport};
 
 #[allow(deprecated)]
 pub use scenario::run_chain;

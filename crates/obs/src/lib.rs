@@ -31,10 +31,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::cell::RefCell;
 use std::io::Write as _;
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use dcp_core::obs::{KnowledgeRecord, MetricsReport, ObsEvent, ObsSink, SpanRecord};
 use dcp_core::World;
@@ -119,22 +118,29 @@ impl ObsSink for MetricsSink {
                     item: item.clone(),
                 });
             }
+            // Sweep progress arrives in completion order, which is not
+            // deterministic under parallel execution — it must never fold
+            // into a report.
+            ObsEvent::SweepProgress { .. } => {}
         }
     }
 }
 
 /// The scenario's grip on an installed [`MetricsSink`]. The `World`
-/// shares the same `Rc`, so events emitted while the world is inside the
-/// simulator land here.
+/// shares the same `Arc`, so events emitted while the world is inside the
+/// simulator land here. (`Arc<Mutex<…>>` rather than `Rc<RefCell<…>>` so
+/// a `World` — and every report embedding one — is `Send`, which the
+/// parallel sweep engine relies on; a world and its sink still live on
+/// one thread, so the lock is always uncontended.)
 #[derive(Clone)]
 pub struct MetricsHandle {
-    sink: Rc<RefCell<MetricsSink>>,
+    sink: Arc<Mutex<MetricsSink>>,
 }
 
 impl MetricsHandle {
     /// Create a collector and install it into `world`.
     pub fn install(world: &mut World, scenario: &str, seed: u64) -> Self {
-        let sink = Rc::new(RefCell::new(MetricsSink::new(scenario, seed)));
+        let sink = Arc::new(Mutex::new(MetricsSink::new(scenario, seed)));
         world.install_obs(sink.clone());
         MetricsHandle { sink }
     }
@@ -149,7 +155,11 @@ impl MetricsHandle {
     /// the knowledge timeline, and return the report.
     pub fn finish(&self, world: &mut World) -> MetricsReport {
         world.clear_obs();
-        let mut report = self.sink.borrow_mut().take_report();
+        let mut report = self
+            .sink
+            .lock()
+            .expect("metrics sink poisoned")
+            .take_report();
         for rec in &mut report.knowledge {
             let name = world
                 .entities()

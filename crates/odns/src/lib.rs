@@ -30,5 +30,6 @@ pub mod odoh;
 pub mod scenario;
 
 pub use scenario::{
-    DirectDns, DirectDnsConfig, OdnsLegacy, OdnsLegacyConfig, Odoh, OdohConfig, ScenarioReport,
+    sweep, sweep_direct, DirectDns, DirectDnsConfig, OdnsLegacy, OdnsLegacyConfig, Odoh,
+    OdohConfig, ScenarioReport,
 };

@@ -77,8 +77,12 @@ pub fn trajectory_linkage(
     let mut total = 0usize;
 
     for epoch in 0..max_epoch {
-        // Last sighting of each IMSI in `epoch`.
-        let mut last_seen: HashMap<Imsi, (u64, CellId)> = HashMap::new();
+        // Last sighting of each IMSI in `epoch`. A BTreeMap so the guess
+        // loop below walks subscribers in a fixed order — the accuracy
+        // sums feeding the report must not depend on hash-seed iteration
+        // order.
+        let mut last_seen: std::collections::BTreeMap<Imsi, (u64, CellId)> =
+            std::collections::BTreeMap::new();
         for e in log.iter().filter(|e| e.epoch == epoch) {
             let slot = last_seen.entry(e.imsi).or_insert((e.time_us, e.cell));
             if e.time_us >= slot.0 {

@@ -26,4 +26,4 @@
 pub mod cellular;
 pub mod scenario;
 
-pub use scenario::{Mode, Pgpp, PgppConfig, PgppReport};
+pub use scenario::{sweep, Mode, Pgpp, PgppConfig, PgppReport};

@@ -28,5 +28,5 @@ pub mod field;
 pub mod prio;
 pub mod scenario;
 
-pub use scenario::{Ppm, PpmConfig, PpmReport};
+pub use scenario::{sweep, Ppm, PpmConfig, PpmReport};
 pub mod share;

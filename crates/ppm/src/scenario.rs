@@ -125,6 +125,18 @@ impl Scenario for Ppm {
     }
 }
 
+/// Multi-seed sweep of [`Ppm`] on `exec`: one independent world per
+/// derived seed, results identical for any conforming executor (pass
+/// `dcp_sweep::ParallelExecutor` to fan across cores).
+pub fn sweep(
+    cfg: &PpmConfig,
+    builder: &dcp_core::SweepBuilder,
+    exec: &impl dcp_core::SweepExecutor,
+    opts: &RunOptions,
+) -> dcp_core::SweepRun<PpmReport> {
+    Ppm::sweep(cfg, builder, exec, opts)
+}
+
 impl PpmReport {
     /// Derive the §3.2.5 table for user `i`.
     pub fn table(&self, i: usize) -> DecouplingTable {

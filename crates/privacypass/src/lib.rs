@@ -23,6 +23,6 @@ pub mod cacti;
 pub mod protocol;
 pub mod scenario;
 
-pub use scenario::{Privacypass, PrivacypassConfig, ScenarioReport};
+pub use scenario::{sweep, Privacypass, PrivacypassConfig, ScenarioReport};
 
 pub use protocol::{Client, Issuer, RedeemError, Token};

@@ -105,6 +105,18 @@ impl Scenario for Privacypass {
     }
 }
 
+/// Multi-seed sweep of [`Privacypass`] on `exec`: one independent world
+/// per derived seed, results identical for any conforming executor (pass
+/// `dcp_sweep::ParallelExecutor` to fan across cores).
+pub fn sweep(
+    cfg: &PrivacypassConfig,
+    builder: &dcp_core::SweepBuilder,
+    exec: &impl dcp_core::SweepExecutor,
+    opts: &RunOptions,
+) -> dcp_core::SweepRun<ScenarioReport> {
+    Privacypass::sweep(cfg, builder, exec, opts)
+}
+
 impl ScenarioReport {
     /// Derive the §3.2.1 table for user `i`.
     pub fn table(&self, i: usize) -> DecouplingTable {

@@ -23,7 +23,7 @@
 
 pub mod scenario;
 
-pub use scenario::{Ech, EchConfig, EchReport, Vpn, VpnConfig, VpnReport};
+pub use scenario::{sweep, sweep_ech, Ech, EchConfig, EchReport, Vpn, VpnConfig, VpnReport};
 
 #[allow(deprecated)]
 pub use scenario::{run_ech, run_vpn};

@@ -221,8 +221,9 @@ fn dst_key_compromise_is_detected() {
         "key compromise must surface as a Relay coupling, got {fresh:?}"
     );
     // And the World-level assertion trips on the compromised run.
-    // `World` holds an `Rc<RefCell<…>>` observability hook, so it is not
-    // `RefUnwindSafe`; the closure only reads the knowledge ledger.
+    // `World` holds an `Arc<Mutex<dyn ObsSink>>` observability hook whose
+    // trait object is not `RefUnwindSafe`; the closure only reads the
+    // knowledge ledger.
     let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         compromised.assert_decoupled_except_user()
     }))

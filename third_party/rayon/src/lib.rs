@@ -1,0 +1,384 @@
+//! Offline vendored stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! Reimplements exactly the API subset this workspace uses — a
+//! configurable thread pool plus order-preserving `par_iter`-style
+//! `map`/`for_each`/`collect` — over `std::thread::scope` with an atomic
+//! work cursor. No work stealing: items are claimed one at a time from a
+//! shared cursor, which is the right shape for this workspace's coarse
+//! jobs (each item is an entire simulated world, milliseconds of work, so
+//! per-item synchronization cost is noise).
+//!
+//! Semantics preserved from real rayon where they matter to callers:
+//!
+//! * `collect::<Vec<_>>()` returns results **in input order** regardless
+//!   of which thread computed what (rayon's indexed collect does too) —
+//!   the property the workspace's deterministic sweep reduction relies on.
+//! * The default thread count honors the `RAYON_NUM_THREADS` environment
+//!   variable, falling back to `std::thread::available_parallelism`.
+//! * `ThreadPool::install` makes the pool's thread count the ambient
+//!   default for parallel iterators run inside the closure.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! The traits you need in scope to call `into_par_iter` and friends.
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+pub use iter::{IntoParallelIterator, ParallelIterator};
+
+std::thread_local! {
+    /// Thread count installed by [`ThreadPool::install`] for the dynamic
+    /// extent of the closure; `0` means "no pool installed, use the
+    /// global default".
+    static INSTALLED_THREADS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// The number of threads parallel iterators will use right now: the
+/// installed pool's size inside [`ThreadPool::install`], otherwise
+/// `RAYON_NUM_THREADS`, otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|t| t.get());
+    if installed > 0 {
+        return installed;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Error building a [`ThreadPool`] (the stand-in never actually fails;
+/// the type exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (thread count resolved at build
+    /// time from the environment).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Cap the pool at `num_threads` threads (`0` = resolve from the
+    /// environment, like real rayon).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A thread pool: in this stand-in, a recorded thread count that
+/// [`install`](ThreadPool::install) makes ambient. Threads are spawned
+/// scoped per parallel call rather than kept warm; at this workspace's
+/// job granularity (whole simulated worlds) spawn cost is noise.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `op` with this pool's thread count as the ambient default for
+    /// parallel iterators.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let prev = INSTALLED_THREADS.with(|t| t.replace(self.threads));
+        let out = op();
+        INSTALLED_THREADS.with(|t| t.set(prev));
+        out
+    }
+}
+
+/// Apply `f` to every item, in parallel, returning outputs in input
+/// order. The engine behind every parallel iterator in this stand-in.
+fn drive<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let len = items.len();
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let item = inputs[i]
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("input slot claimed twice");
+                let out = f(item);
+                *outputs[i].lock().expect("output slot poisoned") = Some(out);
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("output slot poisoned")
+                .expect("worker skipped a slot")
+        })
+        .collect()
+}
+
+pub mod iter {
+    //! The parallel-iterator subset: sources, `map`, `for_each`,
+    //! order-preserving `collect`.
+
+    use super::drive;
+
+    /// Types convertible into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Concrete iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Convert.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// A parallel iterator. `run` is the internal driver: it executes the
+    /// whole chain and returns all items **in input order**.
+    pub trait ParallelIterator: Sized + Send {
+        /// Element type.
+        type Item: Send;
+
+        /// Execute the chain, yielding every item in input order.
+        fn run(self) -> Vec<Self::Item>;
+
+        /// Map each item through `f` in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Apply `f` to each item in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send,
+        {
+            self.map(f).run();
+        }
+
+        /// Execute and collect (into `Vec<Item>`, preserving input order).
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_ordered_vec(self.run())
+        }
+
+        /// Number of items produced.
+        fn count(self) -> usize {
+            self.run().len()
+        }
+    }
+
+    /// Collection types `ParallelIterator::collect` can target.
+    pub trait FromParallelIterator<T: Send> {
+        /// Build from the executed, input-ordered item vector.
+        fn from_ordered_vec(items: Vec<T>) -> Self;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered_vec(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    /// Source iterator over an owned, already-materialized item list.
+    pub struct IntoIter<T: Send> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for IntoIter<T> {
+        type Item = T;
+
+        fn run(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// A `map` stage. Executes its base chain, then applies `f` across
+    /// threads with an order-preserving gather.
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, R, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        R: Send,
+        F: Fn(B::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+
+        fn run(self) -> Vec<R> {
+            drive(self.base.run(), &self.f)
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = IntoIter<T>;
+
+        fn into_par_iter(self) -> IntoIter<T> {
+            IntoIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+        type Item = &'a T;
+        type Iter = IntoIter<&'a T>;
+
+        fn into_par_iter(self) -> IntoIter<&'a T> {
+            IntoIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+        type Item = &'a T;
+        type Iter = IntoIter<&'a T>;
+
+        fn into_par_iter(self) -> IntoIter<&'a T> {
+            self.as_slice().into_par_iter()
+        }
+    }
+
+    macro_rules! range_into_par_iter {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Item = $t;
+                type Iter = IntoIter<$t>;
+
+                fn into_par_iter(self) -> IntoIter<$t> {
+                    IntoIter { items: self.collect() }
+                }
+            }
+        )*};
+    }
+
+    range_into_par_iter!(u32, u64, usize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0u64..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_maps() {
+        let v: Vec<String> = vec![1u32, 2, 3]
+            .into_par_iter()
+            .map(|i| i + 1)
+            .map(|i| format!("#{i}"))
+            .collect();
+        assert_eq!(v, vec!["#2", "#3", "#4"]);
+    }
+
+    #[test]
+    fn slice_source_borrows() {
+        let data = vec![10usize, 20, 30];
+        let v: Vec<usize> = data.as_slice().into_par_iter().map(|&x| x + 1).collect();
+        assert_eq!(v, vec![11, 21, 31]);
+        drop(data);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits = AtomicUsize::new(0);
+        (0usize..137).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 137);
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let (inside, outside_before) = (pool.install(current_num_threads), current_num_threads());
+        assert_eq!(inside, 3);
+        // Restored after install returns.
+        assert_eq!(current_num_threads(), outside_before);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_heavy_closure() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let f = |i: u64| {
+            // A little arithmetic so threads interleave.
+            (0..100).fold(i, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+        };
+        let par: Vec<u64> = pool.install(|| (0u64..64).into_par_iter().map(f).collect());
+        let seq: Vec<u64> = (0u64..64).map(f).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}
