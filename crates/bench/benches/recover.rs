@@ -1,0 +1,79 @@
+//! Cost of the recovery layer, disabled and enabled.
+//!
+//! Two design claims (see docs/RECOVERY.md):
+//!
+//! * **Disabled = free.** With `RecoverConfig::disabled()` (the
+//!   `RunOptions::default()` path) every `ReliableCall` is inert:
+//!   `begin()` returns `None`, messages go out unframed, no timers are
+//!   armed. A run through the full `RunOptions` plumbing must land
+//!   within noise of the plain entry point.
+//! * **Bounded amplification.** With recovery on, cost grows with the
+//!   drop rate only through genuine retransmissions (fresh HPKE per
+//!   attempt); the 0%-drop recovered run prices the framing + ARQ
+//!   bookkeeping alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decoupling::Scenario as _;
+use decoupling::{FaultConfig, Odoh, OdohConfig, RunOptions};
+
+/// A fault schedule that *only* drops deliveries, at rate `p`.
+fn drop_only(p: f64) -> FaultConfig {
+    let mut cfg = FaultConfig::calm();
+    cfg.enabled = true;
+    cfg.p_drop = p;
+    cfg.max_faults = 10_000;
+    cfg
+}
+
+fn bench_recover_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recover-overhead");
+    g.sample_size(20);
+    let cfg = OdohConfig::new(2, 5);
+
+    // Baseline: the plain entry point.
+    let mut seed = 0u64;
+    g.bench_function("odoh-plain", |b| {
+        b.iter(|| {
+            seed += 1;
+            Odoh::run(&cfg, seed)
+        })
+    });
+
+    // Recovery plumbed through but disabled (the default RunOptions):
+    // must match odoh-plain within noise.
+    let mut seed = 0u64;
+    g.bench_function("odoh-recover-disabled", |b| {
+        b.iter(|| {
+            seed += 1;
+            Odoh::run_with(&cfg, seed, &RunOptions::default())
+        })
+    });
+
+    // Recovery enabled, zero faults: framing, sequence bookkeeping, and
+    // deadline timers with no retransmission ever firing.
+    let mut seed = 0u64;
+    g.bench_function("odoh-recovered-0-drop", |b| {
+        b.iter(|| {
+            seed += 1;
+            Odoh::run_with(&cfg, seed, &RunOptions::recovered(&FaultConfig::calm()))
+        })
+    });
+
+    // Retry-amplification curve: recovered runs under increasing
+    // drop-only fault rates. Every retransmission re-runs HPKE, so the
+    // curve prices re-randomization, not just extra sends.
+    for pct in [10u32, 20, 30] {
+        let faults = drop_only(pct as f64 / 100.0);
+        let mut seed = 0u64;
+        g.bench_function(format!("odoh-recovered-{pct}-drop"), |b| {
+            b.iter(|| {
+                seed += 1;
+                Odoh::run_with(&cfg, seed, &RunOptions::recovered(&faults))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_recover_overhead);
+criterion_main!(benches);

@@ -84,6 +84,19 @@ impl Bank {
         Ok(self.key.blind_sign(blinded_msg)?)
     }
 
+    /// Blind-sign without touching the ledger: answers a *retransmitted*
+    /// withdrawal whose debit already happened (the first response was
+    /// lost in flight). The retransmission carries a freshly blinded
+    /// element — re-signing it keeps attempts unlinkable on the wire
+    /// without debiting the account twice.
+    pub fn resign(&mut self, user: UserId, blinded_msg: &[u8]) -> Result<Vec<u8>, CashError> {
+        if !self.accounts.contains_key(&user) {
+            return Err(CashError::NoSuchAccount);
+        }
+        self.signer_log.push((user, blinded_msg.to_vec()));
+        Ok(self.key.blind_sign(blinded_msg)?)
+    }
+
     /// Deposit: verify the coin and check the double-spend ledger. The
     /// depositing party's account is credited.
     pub fn deposit(&mut self, depositor: UserId, coin: &Coin) -> Result<(), DepositError> {
@@ -234,6 +247,24 @@ mod tests {
         }
         assert_eq!(bank.signer_log.len(), 5);
         assert_eq!(bank.verifier_log.len(), 5);
+    }
+
+    #[test]
+    fn resign_signs_without_debiting() {
+        let (mut rng, mut bank) = setup();
+        let buyer = UserId(1);
+        bank.open_account(buyer, 1);
+        let w = Withdrawal::begin(&mut rng, bank.public_key()).unwrap();
+        bank.withdraw(buyer, w.blinded_msg()).unwrap();
+        assert_eq!(bank.balance(buyer), Some(0));
+        // The retransmission re-blinds; resign answers it with no debit
+        // even though the balance is exhausted.
+        let w2 = Withdrawal::begin(&mut rng, bank.public_key()).unwrap();
+        let bs2 = bank.resign(buyer, w2.blinded_msg()).unwrap();
+        let coin = w2.finish(bank.public_key(), &bs2).unwrap();
+        assert_eq!(bank.balance(buyer), Some(0), "no second debit");
+        bank.deposit(UserId(2), &coin).unwrap();
+        assert_eq!(bank.resign(UserId(9), b"x"), Err(CashError::NoSuchAccount));
     }
 
     #[test]

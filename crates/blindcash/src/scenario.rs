@@ -3,8 +3,10 @@
 //! labels that let the framework *derive* the paper's table.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
     DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
@@ -12,6 +14,7 @@ use dcp_core::{
 };
 use dcp_faults::{FaultConfig, FaultLog};
 use dcp_obs::MetricsHandle;
+use dcp_recover::{wire, Attempt, Dedup, ReliableCall, RetryLinkage, TimerVerdict};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
 
 use crate::bank::{Bank, Withdrawal};
@@ -34,6 +37,12 @@ pub struct ScenarioReport {
     pub fault_log: FaultLog,
     /// Run metrics (populated on instrumented runs).
     pub metrics: MetricsReport,
+    /// The workload's target (`buyers × coins_each`).
+    pub expected: u64,
+    /// Retry-linkage violations over the re-blinded withdrawal attempts
+    /// (spending retransmits the *same* one-time coin by design — see
+    /// `docs/RECOVERY.md` on instruments the receiver must dedup).
+    pub retry_linkage: Vec<String>,
 }
 
 impl dcp_core::ScenarioReport for ScenarioReport {
@@ -48,6 +57,12 @@ impl dcp_core::ScenarioReport for ScenarioReport {
     }
     fn completed_units(&self) -> u64 {
         self.deposited as u64
+    }
+    fn expected_units(&self) -> Option<u64> {
+        Some(self.expected)
+    }
+    fn retry_linkage(&self) -> &[String] {
+        &self.retry_linkage
     }
 }
 
@@ -151,6 +166,19 @@ struct Shared {
     bank: Bank,
     deposited: usize,
     cycle_times: Vec<u64>,
+    /// Retry-linkage check fed by every withdrawal attempt's blinded
+    /// element.
+    linkage: RetryLinkage,
+}
+
+/// What reliable call `seq` of one buyer stands for.
+enum BcInflight {
+    /// The withdrawal round (re-blinded fresh on every attempt).
+    Withdraw,
+    /// One spend: the *same* coin is retransmitted verbatim (a fresh coin
+    /// per attempt would be a second withdrawal); the seller and verifier
+    /// dedup instead.
+    Spend { coin: Vec<u8> },
 }
 
 struct BuyerNode {
@@ -162,24 +190,80 @@ struct BuyerNode {
     pending: Option<Withdrawal>,
     coins_to_spend: usize,
     started_at: SimTime,
+    /// Per-request ARQ (inert when the run's recovery is disabled).
+    arq: ReliableCall,
+    flow: u64,
+    inflight: BTreeMap<u64, BcInflight>,
 }
 
 impl BuyerNode {
-    fn start_withdrawal(&mut self, ctx: &mut Ctx) {
+    /// Blind a fresh withdrawal element. Each call re-blinds from scratch
+    /// — exactly what a re-randomized retransmission needs.
+    fn blind_withdrawal(&mut self, ctx: &mut Ctx) -> (Vec<u8>, Label) {
         let shared = self.bank.borrow();
         ctx.world.crypto_op("rsa_blind");
         let w = Withdrawal::begin(ctx.rng, shared.bank.public_key()).expect("blind");
         drop(shared);
         let bytes = w.blinded_msg().to_vec();
         self.pending = Some(w);
-        self.started_at = ctx.now;
         // The signing bank sees who is withdrawing (account auth ▲) but
         // only a blinded element (⊙).
         let label = Label::items([
             InfoItem::sensitive_identity(self.user, IdentityKind::Any),
             InfoItem::plain_data(self.user, DataKind::Purchase),
         ]);
+        (bytes, label)
+    }
+
+    fn start_withdrawal(&mut self, ctx: &mut Ctx) {
+        self.started_at = ctx.now;
+        if self.arq.enabled() {
+            let att = self.arq.begin().expect("enabled ARQ always begins");
+            self.inflight.insert(att.seq, BcInflight::Withdraw);
+            self.transmit_withdrawal(ctx, att);
+            return;
+        }
+        let (bytes, label) = self.blind_withdrawal(ctx);
         ctx.send(self.signer, Message::new(bytes, label));
+    }
+
+    fn transmit_withdrawal(&mut self, ctx: &mut Ctx, att: Attempt) {
+        let (bytes, label) = self.blind_withdrawal(ctx);
+        self.bank
+            .borrow_mut()
+            .linkage
+            .record(self.flow, att.seq, att.attempt, &bytes);
+        ctx.send(
+            self.signer,
+            Message::new(wire::frame(att.seq, &bytes), label),
+        );
+        ctx.set_timer(att.timer_delay_us, att.token);
+    }
+
+    fn spend_label(&self) -> Label {
+        // The seller sees the purchase (●) from an anonymous customer (△).
+        Label::items([
+            InfoItem::plain_identity(self.user, IdentityKind::Any),
+            InfoItem::sensitive_data(self.user, DataKind::Purchase),
+        ])
+    }
+
+    /// Retransmit spend `att.seq`. The coin bytes are deliberately
+    /// identical across attempts — a one-time instrument cannot be
+    /// re-randomized without withdrawing again — so they are *not*
+    /// recorded into the linkage check; the seller dedups by
+    /// `(buyer, seq)`.
+    fn transmit_spend(&mut self, ctx: &mut Ctx, coin: &[u8], att: Attempt) {
+        let label = self.spend_label();
+        ctx.send(self.seller, Message::new(wire::frame(att.seq, coin), label));
+        ctx.set_timer(att.timer_delay_us, att.token);
+    }
+
+    fn cycle_done(&mut self, ctx: &mut Ctx) {
+        if self.coins_to_spend > 1 {
+            self.coins_to_spend -= 1;
+            self.start_withdrawal(ctx);
+        }
     }
 }
 
@@ -201,7 +285,78 @@ impl Node for BuyerNode {
         self.start_withdrawal(ctx);
     }
 
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match self.arq.on_timer(token) {
+            TimerVerdict::NotMine | TimerVerdict::Stale => {}
+            TimerVerdict::Retry(att) => {
+                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
+                match self.inflight.get(&att.seq) {
+                    Some(BcInflight::Withdraw) => self.transmit_withdrawal(ctx, att),
+                    Some(BcInflight::Spend { coin }) => {
+                        let coin = coin.clone();
+                        self.transmit_spend(ctx, &coin, att);
+                    }
+                    None => {}
+                }
+            }
+            TimerVerdict::Exhausted { seq, attempts } => {
+                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
+                match self.inflight.remove(&seq) {
+                    Some(BcInflight::Spend { .. }) => self.cycle_done(ctx),
+                    // An abandoned withdrawal leaves nothing to spend: the
+                    // buyer stops rather than fabricate a coin.
+                    Some(BcInflight::Withdraw) | None => {}
+                }
+            }
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if self.arq.enabled() {
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            match self.inflight.get(&seq) {
+                Some(BcInflight::Withdraw) if from == self.signer => {
+                    let Some(w) = self.pending.take() else { return };
+                    let pk = self.bank.borrow().bank.public_key().clone();
+                    ctx.world.crypto_op("rsa_unblind");
+                    let Ok(coin) = w.finish(&pk, body) else {
+                        // A superseded attempt's signature fails against the
+                        // re-blinded state: drop it, the timer retries.
+                        return;
+                    };
+                    if !self.arq.complete(seq) {
+                        return;
+                    }
+                    self.inflight.remove(&seq);
+                    let encoded = coin.encode();
+                    let att = self.arq.begin().expect("enabled ARQ always begins");
+                    self.inflight.insert(
+                        att.seq,
+                        BcInflight::Spend {
+                            coin: encoded.clone(),
+                        },
+                    );
+                    self.transmit_spend(ctx, &encoded, att);
+                }
+                Some(BcInflight::Spend { .. }) if from == self.seller => {
+                    if !self.arq.complete(seq) {
+                        return; // duplicated receipt: counted exactly once
+                    }
+                    self.inflight.remove(&seq);
+                    ctx.world
+                        .span("cycle", self.started_at.as_us(), ctx.now.as_us());
+                    self.bank
+                        .borrow_mut()
+                        .cycle_times
+                        .push(ctx.now - self.started_at);
+                    self.cycle_done(ctx);
+                }
+                _ => {}
+            }
+            return;
+        }
         if from == self.signer {
             // Blind signature came back: unblind and spend. A duplicated
             // reply finds no pending withdrawal and is ignored; a
@@ -212,11 +367,7 @@ impl Node for BuyerNode {
             let Ok(coin) = w.finish(&pk, &msg.bytes) else {
                 return;
             };
-            // The seller sees the purchase (●) from an anonymous customer (△).
-            let label = Label::items([
-                InfoItem::plain_identity(self.user, IdentityKind::Any),
-                InfoItem::sensitive_data(self.user, DataKind::Purchase),
-            ]);
+            let label = self.spend_label();
             ctx.send(self.seller, Message::new(coin.encode(), label));
         } else if from == self.seller {
             // Receipt. Start the next cycle if any remain.
@@ -238,6 +389,12 @@ struct SignerNode {
     entity: EntityId,
     bank: Rc<RefCell<Shared>>,
     node_to_user: Vec<(NodeId, UserId)>,
+    /// Is the run's recovery layer on?
+    recover: bool,
+    /// Recovery path: debit exactly once per `(buyer, seq)` — a
+    /// retransmitted withdrawal is re-signed (fresh blinded element)
+    /// without a second debit.
+    debited: Dedup,
 }
 
 impl Node for SignerNode {
@@ -253,6 +410,26 @@ impl Node for SignerNode {
         else {
             return;
         };
+        if self.recover {
+            let Some((seq, blinded)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            ctx.world.crypto_op("rsa_sign");
+            let mut shared = self.bank.borrow_mut();
+            let signed = if self.debited.first(from.0 as u64, seq) {
+                shared.bank.withdraw(user, blinded)
+            } else {
+                shared.bank.resign(user, blinded)
+            };
+            drop(shared);
+            // An over-drawn account still gets no signature: fail closed.
+            let Ok(blind_sig) = signed else { return };
+            ctx.send(
+                from,
+                Message::new(wire::frame(seq, &blind_sig), Label::Public),
+            );
+            return;
+        }
         // An over-drawn account (e.g. a duplicated withdraw request past
         // the balance) gets no signature: the bank fails closed.
         ctx.world.crypto_op("rsa_sign");
@@ -263,6 +440,17 @@ impl Node for SignerNode {
     }
 }
 
+/// One deposit the seller is driving (recovery path).
+struct DepositCheck {
+    /// The coin bytes, kept for re-forwarding while the verifier leg is
+    /// still unresolved.
+    coin: Vec<u8>,
+    /// The seller's hop-local sequence on the verifier leg.
+    hopseq: u64,
+    /// Has the verifier acknowledged the deposit?
+    acked: bool,
+}
+
 struct SellerNode {
     entity: EntityId,
     verifier: NodeId,
@@ -270,6 +458,15 @@ struct SellerNode {
     outstanding: Vec<(NodeId, UserId)>,
     /// Subject attached to incoming coins by sender node.
     node_to_user: Vec<(NodeId, UserId)>,
+    /// Is the run's recovery layer on?
+    recover: bool,
+    /// Recovery path: one deposit per `(buyer node, buyer seq)` — the
+    /// buyer's ARQ drives the chain; retransmitted coins are never
+    /// re-deposited.
+    checks: BTreeMap<(usize, u64), DepositCheck>,
+    /// Reverse map: verifier-leg hop sequence → (buyer node, buyer seq).
+    by_hop: BTreeMap<u64, (NodeId, u64)>,
+    next_hop: u64,
 }
 
 impl Node for SellerNode {
@@ -278,6 +475,20 @@ impl Node for SellerNode {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.verifier {
+            if self.recover {
+                let Some((hopseq, _body)) = wire::unframe(&msg.bytes) else {
+                    return;
+                };
+                let Some(&(buyer, cseq)) = self.by_hop.get(&hopseq) else {
+                    return;
+                };
+                let Some(check) = self.checks.get_mut(&(buyer.0, cseq)) else {
+                    return;
+                };
+                check.acked = true;
+                ctx.send(buyer, Message::public(wire::frame(cseq, b"receipt")));
+                return;
+            }
             // Deposit acknowledged: send the buyer their goods/receipt.
             if let Some((buyer, _)) = self.outstanding.pop() {
                 ctx.send(buyer, Message::public(b"receipt".to_vec()));
@@ -292,7 +503,6 @@ impl Node for SellerNode {
         else {
             return;
         };
-        self.outstanding.insert(0, (from, user));
         // The verifier sees a valid coin (limited sensitive content ⊙/●)
         // from an anonymous depositor chain — it learns nothing that names
         // the buyer.
@@ -300,6 +510,42 @@ impl Node for SellerNode {
             InfoItem::plain_identity(user, IdentityKind::Any),
             InfoItem::partial_data(user, DataKind::Purchase),
         ]);
+        if self.recover {
+            let Some((cseq, coin)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            let key = (from.0, cseq);
+            if let Some(check) = self.checks.get(&key) {
+                if check.acked {
+                    // Idempotent replay: the goods ship once, the receipt
+                    // as often as asked.
+                    ctx.send(from, Message::public(wire::frame(cseq, b"receipt")));
+                } else {
+                    // Still depositing: re-nudge the verifier leg under the
+                    // *same* hop sequence (the verifier replays its ack).
+                    let fwd = wire::frame(check.hopseq, &check.coin);
+                    ctx.send(self.verifier, Message::new(fwd, label));
+                }
+                return;
+            }
+            let hopseq = self.next_hop;
+            self.next_hop += 1;
+            self.checks.insert(
+                key,
+                DepositCheck {
+                    coin: coin.to_vec(),
+                    hopseq,
+                    acked: false,
+                },
+            );
+            self.by_hop.insert(hopseq, (from, cseq));
+            ctx.send(
+                self.verifier,
+                Message::new(wire::frame(hopseq, coin), label),
+            );
+            return;
+        }
+        self.outstanding.insert(0, (from, user));
         ctx.send(self.verifier, Message::new(msg.bytes, label));
     }
 }
@@ -309,6 +555,12 @@ struct VerifierNode {
     bank: Rc<RefCell<Shared>>,
     seller_user: UserId,
     sig_len: usize,
+    /// Is the run's recovery layer on?
+    recover: bool,
+    /// Recovery path: acks per seller hop sequence, so a re-forwarded
+    /// deposit replays the ack instead of reading the retransmission as a
+    /// double-spend.
+    acked: BTreeMap<u64, bool>,
 }
 
 impl Node for VerifierNode {
@@ -316,6 +568,34 @@ impl Node for VerifierNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if self.recover {
+            let Some((hopseq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            if let Some(&ok) = self.acked.get(&hopseq) {
+                // Replay: the first deposit's outcome stands — a
+                // retransmitted coin is never a double-spend.
+                if ok {
+                    ctx.send(from, Message::public(wire::frame(hopseq, b"ok")));
+                }
+                return;
+            }
+            let Ok(coin) = Coin::decode(body, self.sig_len) else {
+                return;
+            };
+            ctx.world.crypto_op("rsa_verify");
+            let mut shared = self.bank.borrow_mut();
+            let ok = shared.bank.deposit(self.seller_user, &coin).is_ok();
+            if ok {
+                shared.deposited += 1;
+            }
+            drop(shared);
+            self.acked.insert(hopseq, ok);
+            if ok {
+                ctx.send(from, Message::public(wire::frame(hopseq, b"ok")));
+            }
+            return;
+        }
         // Truncated coins and double spends (a duplicated deposit) are
         // rejected without acknowledgment — the verifier fails closed.
         let Ok(coin) = Coin::decode(&msg.bytes, self.sig_len) else {
@@ -400,6 +680,7 @@ fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioRepo
         bank,
         deposited: 0,
         cycle_times: Vec::new(),
+        linkage: RetryLinkage::new(),
     }));
 
     let mut net = Network::new(world, seed);
@@ -417,22 +698,31 @@ fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioRepo
         .zip(buyers.iter().copied())
         .collect();
 
+    let recover_on = opts.recover.enabled;
     net.add_node(Box::new(SignerNode {
         entity: signer_e,
         bank: shared.clone(),
         node_to_user: node_to_user.clone(),
+        recover: recover_on,
+        debited: Dedup::new(),
     }));
     net.add_node(Box::new(VerifierNode {
         entity: verifier_e,
         bank: shared.clone(),
         seller_user,
         sig_len,
+        recover: recover_on,
+        acked: BTreeMap::new(),
     }));
     net.add_node(Box::new(SellerNode {
         entity: seller_e,
         verifier: verifier_id,
         outstanding: Vec::new(),
         node_to_user: node_to_user.clone(),
+        recover: recover_on,
+        checks: BTreeMap::new(),
+        by_hop: BTreeMap::new(),
+        next_hop: 0,
     }));
     for (i, (&u, &e)) in buyers.iter().zip(buyer_entities.iter()).enumerate() {
         net.add_node(Box::new(BuyerNode {
@@ -444,6 +734,9 @@ fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioRepo
             pending: None,
             coins_to_spend: coins_each,
             started_at: SimTime::ZERO,
+            arq: ReliableCall::new(&opts.recover, derive_seed(seed, 0xb1b0 + i as u64)),
+            flow: i as u64,
+            inflight: BTreeMap::new(),
         }));
         debug_assert_eq!(buyer_ids[i], NodeId(3 + i));
     }
@@ -469,6 +762,8 @@ fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioRepo
         buyers,
         fault_log,
         metrics,
+        expected: (n_buyers * coins_each) as u64,
+        retry_linkage: shared.linkage.violations(),
     }
 }
 
@@ -523,5 +818,44 @@ mod tests {
         let report = run(1, 1, 512, 9);
         assert!(report.mean_cycle_us > 55_000.0, "{}", report.mean_cycle_us);
         assert!(report.mean_cycle_us < 90_000.0, "{}", report.mean_cycle_us);
+    }
+
+    #[test]
+    fn recovered_harsh_run_deposits_every_coin_exactly_once() {
+        use dcp_core::ScenarioReport as _;
+        use dcp_faults::dst::KnowledgeFingerprint;
+        let cfg = BlindcashConfig::new(2, 2, 512);
+        let calm = Blindcash::run_with(&cfg, 31, &RunOptions::recovered(&FaultConfig::calm()));
+        let harsh = Blindcash::run_with(&cfg, 31, &RunOptions::recovered(&FaultConfig::harsh()));
+        assert_eq!(calm.deposited, 4, "calm recovered run deposits everything");
+        assert_eq!(
+            harsh.deposited as u64,
+            harsh.expected_units().unwrap(),
+            "under harsh faults the recovery layer still finishes the workload"
+        );
+        assert!(!harsh.fault_log.is_empty(), "harsh actually injected");
+        assert!(
+            harsh.retry_linkage().is_empty(),
+            "re-blinded withdrawal attempts are never linkable: {:?}",
+            harsh.retry_linkage()
+        );
+        assert_eq!(
+            KnowledgeFingerprint::of(&harsh.world),
+            KnowledgeFingerprint::of(&calm.world),
+            "recovery must not change anyone's knowledge ledger"
+        );
+        assert_eq!(harsh.table(0), calm.table(0));
+    }
+
+    #[test]
+    fn recovered_calm_run_matches_plain_completion() {
+        let plain = run(2, 2, 512, 7);
+        let rec = Blindcash::run_with(
+            &BlindcashConfig::new(2, 2, 512),
+            7,
+            &RunOptions::recovered(&FaultConfig::calm()),
+        );
+        assert_eq!(plain.deposited, rec.deposited);
+        assert_eq!(plain.table(0), rec.table(0));
     }
 }

@@ -1,8 +1,11 @@
-//! The §2.4 decoupling verdict.
+//! The §2.4 decoupling verdict, plus the retry-linkage check the
+//! recovery layer must pass.
 //!
 //! > "A system is decoupled … if *only* the user is `(▲, ●)`. Other
 //! > entities may have at most one of `▲` or `●`, with all other tuple
 //! > entries as `△` or `⊙`."
+
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -71,6 +74,99 @@ pub fn analyze(world: &World) -> DecouplingVerdict {
     DecouplingVerdict {
         decoupled: violations.is_empty(),
         violations,
+    }
+}
+
+/// The retry-linkage check: no network observer may correlate two
+/// *attempts* of the same logical request by ciphertext equality.
+///
+/// A recovery layer that replays the identical bytes on retry hands every
+/// on-path observer a free equality oracle — "these two packets, possibly
+/// on two different relay paths, are the same user request" — exactly the
+/// architectural coupling taint-style privacy analyses flag. The rule in
+/// this workspace is therefore *re-randomized retransmission*: each retry
+/// re-runs the encryption/blinding step (fresh HPKE encapsulation, fresh
+/// blind factor, fresh share split), so attempts are computationally
+/// unlinkable on the wire.
+///
+/// Scenario clients [`record`](RetryLinkage::record) the wire bytes of
+/// every attempt of every re-randomized leg;
+/// [`violations`](RetryLinkage::violations) lists each pair of distinct
+/// attempts of one `(flow, seq)` whose payloads compare byte-equal. The
+/// DST harness asserts the list is empty under every preset.
+///
+/// Legs whose retransmission is *deliberately* byte-stable — a coin being
+/// re-spent at the same seller, a stored share pair being re-offered to
+/// the same aggregator — are not recorded: their receiver must dedup the
+/// instrument anyway, so attempt linkage at that one endpoint is inherent
+/// to the protocol, not a recovery bug (see `docs/RECOVERY.md`).
+#[derive(Clone, Debug, Default)]
+pub struct RetryLinkage {
+    /// `(flow, seq) → [(attempt, payload digest)]` in record order.
+    attempts: BTreeMap<(u64, u64), Vec<(u32, u64)>>,
+    recorded: u64,
+}
+
+impl RetryLinkage {
+    /// An empty check.
+    pub fn new() -> Self {
+        RetryLinkage::default()
+    }
+
+    /// 64-bit FNV-1a over the wire bytes — the equality oracle an
+    /// observer gets for free.
+    fn digest(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Record the wire bytes of `attempt` of request `(flow, seq)`.
+    pub fn record(&mut self, flow: u64, seq: u64, attempt: u32, bytes: &[u8]) {
+        self.recorded += 1;
+        self.attempts
+            .entry((flow, seq))
+            .or_default()
+            .push((attempt, Self::digest(bytes)));
+    }
+
+    /// Total attempts recorded.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Every pair of distinct attempts of one request whose ciphertexts
+    /// compare equal, rendered for assertion messages. Empty is the pass.
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for ((flow, seq), atts) in &self.attempts {
+            for i in 0..atts.len() {
+                for j in (i + 1)..atts.len() {
+                    let (a, da) = atts[i];
+                    let (b, db) = atts[j];
+                    if a != b && da == db {
+                        out.push(format!(
+                            "flow {flow} seq {seq}: attempts {a} and {b} share ciphertext"
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Panic with the full violation list unless every retransmission was
+    /// re-randomized.
+    pub fn assert_unlinkable(&self) {
+        let v = self.violations();
+        assert!(
+            v.is_empty(),
+            "retry linkage: byte-identical retransmissions found: {}",
+            v.join("; ")
+        );
     }
 }
 
@@ -146,6 +242,42 @@ mod tests {
         w.record(e, InfoItem::plain_data(u, DataKind::Activity));
         w.record(e, InfoItem::sensitive_data(u, DataKind::Location));
         assert!(!analyze(&w).decoupled);
+    }
+
+    #[test]
+    fn retry_linkage_flags_byte_identical_attempts() {
+        let mut check = RetryLinkage::new();
+        check.record(1, 0, 0, b"fresh-hpke-enc-aaaa");
+        check.record(1, 0, 1, b"fresh-hpke-enc-bbbb");
+        assert!(check.violations().is_empty(), "re-randomized retries pass");
+        check.assert_unlinkable();
+        check.record(1, 0, 2, b"fresh-hpke-enc-aaaa");
+        let v = check.violations();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("attempts 0 and 2"), "{v:?}");
+        assert_eq!(check.recorded(), 3);
+    }
+
+    #[test]
+    fn retry_linkage_scopes_by_request() {
+        // The same bytes on *different* logical requests are not linkage
+        // (and the same attempt observed twice — a wire duplicate — is
+        // the fault injector's doing, not the retry layer's).
+        let mut check = RetryLinkage::new();
+        check.record(1, 0, 0, b"payload");
+        check.record(1, 1, 0, b"payload");
+        check.record(2, 0, 0, b"payload");
+        check.record(1, 0, 0, b"payload");
+        assert!(check.violations().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "byte-identical retransmissions")]
+    fn retry_linkage_assert_panics_on_replay() {
+        let mut check = RetryLinkage::new();
+        check.record(7, 3, 0, b"same");
+        check.record(7, 3, 1, b"same");
+        check.assert_unlinkable();
     }
 
     #[test]

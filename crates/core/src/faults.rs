@@ -100,6 +100,31 @@ impl FaultConfig {
         }
     }
 
+    /// Hostile *infrastructure*: heavy loss, duplication, reordering,
+    /// partitions, and relay churn — but no client crashes (`p_crash =
+    /// 0`), because the harsh tier carries a **completion** bar: with the
+    /// recovery layer enabled every request must eventually be answered,
+    /// and a scenario whose client dies mid-protocol has no one left to
+    /// retry. The finite [`FaultConfig::max_faults`] budget is the
+    /// liveness lever — once it is exhausted, retransmissions run
+    /// fault-free and the ARQ completes.
+    pub fn harsh() -> Self {
+        FaultConfig {
+            enabled: true,
+            p_drop: 0.10,
+            p_duplicate: 0.08,
+            p_extra_delay: 0.10,
+            max_extra_delay_us: 40_000,
+            p_reorder: 0.06,
+            p_partition: 0.004,
+            partition_window_us: 40_000,
+            p_crash: 0.0,
+            crash_down_us: 30_000,
+            p_relay_churn: 0.006,
+            max_faults: 600,
+        }
+    }
+
     /// Hostile network: heavy loss, duplication, partitions, and node
     /// crashes. Liveness is *not* promised here — only safety (the
     /// knowledge ledgers stay decoupled).
@@ -120,12 +145,16 @@ impl FaultConfig {
         }
     }
 
-    /// The three presets with their names, in escalating order — what the
-    /// DST harness sweeps.
-    pub fn presets() -> [(&'static str, FaultConfig); 3] {
+    /// The four presets with their names, in escalating order — what the
+    /// DST harness sweeps. `harsh` sits between `moderate` and `chaos`:
+    /// heavier wire faults than `moderate`, but no client crashes, so the
+    /// harness can demand full completion (every query answered, every
+    /// token redeemed) when the recovery layer is on.
+    pub fn presets() -> [(&'static str, FaultConfig); 4] {
         [
             ("calm", FaultConfig::calm()),
             ("moderate", FaultConfig::moderate()),
+            ("harsh", FaultConfig::harsh()),
             ("chaos", FaultConfig::chaos()),
         ]
     }

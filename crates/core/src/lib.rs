@@ -55,6 +55,7 @@ pub mod entity;
 pub mod faults;
 pub mod label;
 pub mod obs;
+pub mod recover;
 pub mod scenario;
 pub mod sweep;
 pub mod table;
@@ -62,11 +63,13 @@ pub mod tee;
 pub mod tuple;
 pub mod world;
 
+pub use analysis::RetryLinkage;
 pub use analysis::{analyze, DecouplingVerdict, Violation};
 pub use entity::{EntityId, OrgId, UserId};
 pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultLog};
 pub use label::{Aspect, DataKind, IdentityKind, InfoItem, InfoSet, KeyId, Label, Sensitivity};
 pub use obs::{KnowledgeRecord, MetricsReport, ObsEvent, ObsHandle, ObsSink, SpanRecord};
+pub use recover::RecoverConfig;
 pub use scenario::{RunOptions, Scenario, ScenarioReport};
 pub use sweep::{
     derive_seed, SequentialExecutor, SweepBuilder, SweepEntry, SweepExecutor, SweepJob,

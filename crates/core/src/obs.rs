@@ -109,6 +109,50 @@ pub enum ObsEvent {
         /// What it learned.
         item: InfoItem,
     },
+    /// The recovery layer re-sent a logical request: `attempt` (1-based
+    /// for the first *retry*) of sequence number `seq` at `node`. The
+    /// retransmission is re-randomized (fresh HPKE enc / blind factor /
+    /// shares), never a byte replay — see `dcp-recover`.
+    RecoveryRetry {
+        /// The retrying node index.
+        node: usize,
+        /// ARQ sequence number of the logical request.
+        seq: u64,
+        /// Attempt number just sent (0 = first transmission).
+        attempt: u32,
+    },
+    /// The recovery layer routed an attempt to a backup relay.
+    RecoveryFailover {
+        /// The failing-over node index.
+        node: usize,
+        /// ARQ sequence number of the logical request.
+        seq: u64,
+        /// Ordinal of the route the attempt left.
+        from_route: usize,
+        /// Ordinal of the route the attempt now takes.
+        to_route: usize,
+    },
+    /// The deterministic circuit breaker quarantined a route after K
+    /// consecutive failures.
+    RecoveryQuarantine {
+        /// The node whose breaker tripped.
+        node: usize,
+        /// Ordinal of the quarantined route.
+        route: usize,
+        /// Absolute µs sim-time at which the quarantine lifts.
+        until_us: u64,
+    },
+    /// The recovery layer exhausted its attempt budget and abandoned a
+    /// request (only reachable under fault tiers harsher than the DST
+    /// completion bar).
+    RecoveryGiveUp {
+        /// The abandoning node index.
+        node: usize,
+        /// ARQ sequence number of the abandoned request.
+        seq: u64,
+        /// Attempts that were made.
+        attempts: u32,
+    },
     /// One world of a multi-seed sweep finished ([`crate::sweep`]). In a
     /// parallel sweep these arrive in **completion** order, which is not
     /// deterministic — progress events must never feed a report artifact.
@@ -244,6 +288,17 @@ pub struct MetricsReport {
     pub bytes_sent: u64,
     /// Bytes across delivered messages.
     pub bytes_delivered: u64,
+    /// Retransmissions sent by the recovery layer
+    /// ([`ObsEvent::RecoveryRetry`]).
+    pub recovery_retries: u64,
+    /// Attempts that switched to a backup route
+    /// ([`ObsEvent::RecoveryFailover`]).
+    pub recovery_failovers: u64,
+    /// Circuit-breaker trips ([`ObsEvent::RecoveryQuarantine`]).
+    pub recovery_quarantines: u64,
+    /// Requests abandoned after the attempt budget
+    /// ([`ObsEvent::RecoveryGiveUp`]).
+    pub recovery_give_ups: u64,
     /// Crypto invocations by operation name.
     pub crypto_ops: BTreeMap<String, u64>,
     /// Injected faults by catalog name.

@@ -1,0 +1,208 @@
+//! Recovery *data* types: configuration for the deterministic
+//! retry/timeout/failover layer.
+//!
+//! Like [`crate::faults`], this module holds only the *vocabulary*: the
+//! [`RecoverConfig`] every [`Scenario`](crate::Scenario) run takes via
+//! [`RunOptions`](crate::RunOptions). The machinery — the `ReliableCall`
+//! ARQ state machine, the `Failover` circuit breaker, the wire framing —
+//! lives in `dcp-recover`, which sits *above* this crate in the
+//! dependency graph and re-exports these types at its own paths.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the deterministic recovery layer: per-attempt deadlines,
+/// exponential backoff, and the failover circuit breaker.
+///
+/// `Default` is [`RecoverConfig::disabled`] — the zero-overhead path, in
+/// which scenarios neither frame sequence numbers nor arm retry timers,
+/// so a calm run is bit-for-bit identical to a run of a build without the
+/// recovery layer. [`RecoverConfig::standard`] is what the DST harness
+/// enables; the chainable setters tune individual knobs from either
+/// starting point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecoverConfig {
+    /// Master switch. `false` means no sequence framing, no timers, no
+    /// retries — the scenario behaves exactly as if the layer did not
+    /// exist.
+    pub enabled: bool,
+    /// Total attempts per logical request, including the first
+    /// transmission. Retries stop (and the call is reported abandoned)
+    /// after this many.
+    pub max_attempts: u32,
+    /// Deadline for the first attempt, in µs. Must comfortably exceed the
+    /// scenario's worst-case fault-free round trip.
+    pub base_timeout_us: u64,
+    /// Multiplier applied to the deadline after each failed attempt
+    /// (`2` = classic exponential backoff).
+    pub backoff_factor: u64,
+    /// Upper bound on the per-attempt deadline, in µs (keeps the
+    /// exponential curve from overshooting the fault budget's horizon).
+    pub max_backoff_us: u64,
+    /// Maximum seeded jitter added to each deadline, in µs. Drawn from a
+    /// dedicated SplitMix64 stream derived from the run seed — never from
+    /// the protocol RNG — so enabling recovery perturbs no protocol
+    /// randomness and runs stay bit-for-bit reproducible under sweeps.
+    pub jitter_us: u64,
+    /// Consecutive failures on one route before the circuit breaker
+    /// quarantines it (K in the issue's terms).
+    pub breaker_threshold: u32,
+    /// How long a quarantined route is skipped, in µs.
+    pub quarantine_us: u64,
+}
+
+impl Default for RecoverConfig {
+    fn default() -> Self {
+        RecoverConfig::disabled()
+    }
+}
+
+impl RecoverConfig {
+    /// Recovery off: no framing, no timers, no retries.
+    pub fn disabled() -> Self {
+        RecoverConfig {
+            enabled: false,
+            max_attempts: 1,
+            base_timeout_us: 0,
+            backoff_factor: 1,
+            max_backoff_us: 0,
+            jitter_us: 0,
+            breaker_threshold: u32::MAX,
+            quarantine_us: 0,
+        }
+    }
+
+    /// The tier the DST harness runs under every preset: generous
+    /// attempts (the harsh preset's finite fault budget guarantees the
+    /// tail attempts run clean), deadlines that clear the worst injected
+    /// delay plus a partition window, and a fast-tripping breaker.
+    /// Values are documented in `docs/DST_GUIDE.md`.
+    pub fn standard() -> Self {
+        RecoverConfig {
+            enabled: true,
+            max_attempts: 24,
+            base_timeout_us: 120_000,
+            backoff_factor: 2,
+            max_backoff_us: 500_000,
+            jitter_us: 15_000,
+            breaker_threshold: 2,
+            quarantine_us: 300_000,
+        }
+    }
+
+    /// Set the attempt ceiling.
+    pub fn max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n.max(1);
+        self
+    }
+
+    /// Set the first-attempt deadline, µs.
+    pub fn base_timeout_us(mut self, us: u64) -> Self {
+        self.base_timeout_us = us;
+        self
+    }
+
+    /// Set the per-failure deadline multiplier.
+    pub fn backoff_factor(mut self, f: u64) -> Self {
+        self.backoff_factor = f.max(1);
+        self
+    }
+
+    /// Set the deadline cap, µs.
+    pub fn max_backoff_us(mut self, us: u64) -> Self {
+        self.max_backoff_us = us;
+        self
+    }
+
+    /// Set the maximum seeded jitter, µs.
+    pub fn jitter_us(mut self, us: u64) -> Self {
+        self.jitter_us = us;
+        self
+    }
+
+    /// Set the circuit-breaker trip threshold (consecutive failures).
+    pub fn breaker_threshold(mut self, k: u32) -> Self {
+        self.breaker_threshold = k.max(1);
+        self
+    }
+
+    /// Set the quarantine window, µs.
+    pub fn quarantine_us(mut self, us: u64) -> Self {
+        self.quarantine_us = us;
+        self
+    }
+
+    /// The deterministic (pre-jitter) deadline for `attempt` (0-based):
+    /// `min(base · factor^attempt, max_backoff)`, saturating — a
+    /// `u64::MAX` base survives as "the end of time", it does not panic.
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        let mut d = self.base_timeout_us;
+        for _ in 0..attempt {
+            d = d.saturating_mul(self.backoff_factor);
+            if d >= self.max_backoff_us {
+                break;
+            }
+        }
+        if self.max_backoff_us > 0 {
+            d.min(self.max_backoff_us)
+        } else {
+            d
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let c = RecoverConfig::default();
+        assert!(!c.enabled);
+        assert_eq!(c, RecoverConfig::disabled());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = RecoverConfig::standard()
+            .max_attempts(7)
+            .base_timeout_us(1_000)
+            .backoff_factor(3)
+            .max_backoff_us(50_000)
+            .jitter_us(0)
+            .breaker_threshold(4)
+            .quarantine_us(9_000);
+        assert!(c.enabled);
+        assert_eq!(c.max_attempts, 7);
+        assert_eq!(c.backoff_for(0), 1_000);
+        assert_eq!(c.backoff_for(1), 3_000);
+        assert_eq!(c.backoff_for(2), 9_000);
+        assert_eq!(c.backoff_for(10), 50_000, "capped");
+        assert_eq!(c.breaker_threshold, 4);
+        assert_eq!(c.quarantine_us, 9_000);
+    }
+
+    #[test]
+    fn backoff_saturates_at_u64_max() {
+        let c = RecoverConfig::standard()
+            .base_timeout_us(u64::MAX)
+            .max_backoff_us(0); // 0 = uncapped
+        assert_eq!(c.backoff_for(0), u64::MAX);
+        assert_eq!(c.backoff_for(5), u64::MAX, "multiplication saturates");
+        let capped = RecoverConfig::standard()
+            .base_timeout_us(u64::MAX / 2)
+            .backoff_factor(u64::MAX)
+            .max_backoff_us(u64::MAX);
+        assert_eq!(capped.backoff_for(3), u64::MAX);
+    }
+
+    #[test]
+    fn degenerate_knobs_are_clamped() {
+        let c = RecoverConfig::standard()
+            .max_attempts(0)
+            .backoff_factor(0)
+            .breaker_threshold(0);
+        assert_eq!(c.max_attempts, 1);
+        assert_eq!(c.backoff_factor, 1);
+        assert_eq!(c.breaker_threshold, 1);
+    }
+}

@@ -24,15 +24,20 @@
 
 use crate::faults::{FaultConfig, FaultLog};
 use crate::obs::MetricsReport;
+use crate::recover::RecoverConfig;
 use crate::sweep::{SweepBuilder, SweepExecutor, SweepRun};
 use crate::world::World;
 
-/// How to run a scenario: fault preset + whether to install the metrics
-/// sink. `Default` is calm and uninstrumented — the zero-overhead path.
+/// How to run a scenario: fault preset, recovery layer, and whether to
+/// install the metrics sink. `Default` is calm, recovery-disabled, and
+/// uninstrumented — the zero-overhead path.
 #[derive(Clone, Debug, Default)]
 pub struct RunOptions {
     /// Fault-injection configuration ([`FaultConfig::calm`] = none).
     pub faults: FaultConfig,
+    /// Retry/timeout/failover configuration
+    /// ([`RecoverConfig::disabled`] = no framing, no timers, no retries).
+    pub recover: RecoverConfig,
     /// Install a metrics sink so the report's
     /// [`metrics`](ScenarioReport::metrics) is populated.
     pub observe: bool,
@@ -56,7 +61,7 @@ impl RunOptions {
     pub fn with_faults(faults: &FaultConfig) -> Self {
         RunOptions {
             faults: faults.clone(),
-            observe: false,
+            ..RunOptions::default()
         }
     }
 
@@ -65,7 +70,20 @@ impl RunOptions {
         RunOptions {
             faults: faults.clone(),
             observe: true,
+            ..RunOptions::default()
         }
+    }
+
+    /// Replace the recovery configuration (chainable).
+    pub fn with_recovery(mut self, recover: &RecoverConfig) -> Self {
+        self.recover = recover.clone();
+        self
+    }
+
+    /// Faulted, with [`RecoverConfig::standard`] recovery — the
+    /// combination the DST harness runs under every preset.
+    pub fn recovered(faults: &FaultConfig) -> Self {
+        RunOptions::with_faults(faults).with_recovery(&RecoverConfig::standard())
     }
 }
 
@@ -87,6 +105,23 @@ pub trait ScenarioReport {
     /// Did the workload make any end-to-end progress?
     fn completed(&self) -> bool {
         self.completed_units() > 0
+    }
+    /// How many work units the configuration *asked for*, when the
+    /// scenario can state it (`clients × queries_each`, `users × epochs ×
+    /// moves`, …). `None` means the scenario has no well-defined target
+    /// (e.g. best-effort one-way traffic); the DST harness's harsh
+    /// completion bar only asserts `completed_units == expected_units`
+    /// where this is `Some`.
+    fn expected_units(&self) -> Option<u64> {
+        None
+    }
+    /// Retry-linkage violations found by the
+    /// [`RetryLinkage`](crate::analysis::RetryLinkage) check: pairs of
+    /// attempts of the same logical request that an observer could
+    /// correlate by ciphertext equality. Empty unless the scenario wired
+    /// the check and re-randomization was broken.
+    fn retry_linkage(&self) -> &[String] {
+        &[]
     }
 }
 
@@ -215,5 +250,21 @@ mod tests {
         assert_eq!(RunOptions::with_faults(&chaos).faults, chaos);
         let both = RunOptions::observed_with_faults(&chaos);
         assert!(both.observe && both.faults.enabled);
+        assert!(!both.recover.enabled, "recovery is opt-in");
+        let rec = RunOptions::recovered(&chaos);
+        assert!(rec.recover.enabled && rec.faults.enabled && !rec.observe);
+        assert_eq!(
+            RunOptions::observed()
+                .with_recovery(&crate::RecoverConfig::standard())
+                .recover,
+            crate::RecoverConfig::standard()
+        );
+    }
+
+    #[test]
+    fn report_defaults_for_recovery_lens() {
+        let r = Toy::run(&2, 3);
+        assert_eq!(r.expected_units(), None);
+        assert!(r.retry_linkage().is_empty());
     }
 }

@@ -62,6 +62,7 @@ pub use dcp_odns as odns;
 pub use dcp_pgpp as pgpp;
 pub use dcp_ppm as ppm;
 pub use dcp_privacypass as privacypass;
+pub use dcp_recover as recover;
 pub use dcp_simnet as simnet;
 pub use dcp_sweep as sweep;
 pub use dcp_transport as transport;
@@ -70,8 +71,8 @@ pub use dcp_vpn as vpn;
 // The unified Scenario API, flattened: everything a driver needs to run,
 // fault, and observe any §3 scenario without reaching into sub-crates.
 pub use dcp_core::{
-    derive_seed, MetricsReport, ObsEvent, ObsSink, RunOptions, Scenario, ScenarioReport,
-    SequentialExecutor, SweepBuilder, SweepExecutor, SweepRun,
+    derive_seed, MetricsReport, ObsEvent, ObsSink, RecoverConfig, RunOptions, Scenario,
+    ScenarioReport, SequentialExecutor, SweepBuilder, SweepExecutor, SweepRun,
 };
 pub use dcp_faults::dst::{run_scenario_for, sweep_scenario_for, DstReport, DstSweepReport};
 pub use dcp_faults::{FaultConfig, FaultLog};

@@ -13,9 +13,15 @@
 //!   catalog entry exempted — it *models* §4.2 collusion, and the tests
 //!   assert it is detected rather than prevented.
 //!
-//! Liveness is deliberately weaker: under [`FaultConfig::moderate`] a
-//! scenario must report `completed` (possibly with degraded throughput)
-//! — i.e. fail closed, never fall back to plaintext. Under
+//! Liveness is tiered. Under [`FaultConfig::moderate`] a scenario must
+//! report `completed` (possibly with degraded throughput) — i.e. fail
+//! closed, never fall back to plaintext. Under [`FaultConfig::harsh`]
+//! the bar rises to **completion**: with the `dcp-recover` layer enabled
+//! every request must be answered (`completed_units == expected_units`
+//! where the scenario states a target), the knowledge tables must be
+//! *byte-identical* to the fault-free baseline (recovery adds no
+//! knowledge anywhere), and no two attempts of one request may share a
+//! ciphertext ([`dcp_core::analysis::RetryLinkage`]). Under
 //! [`FaultConfig::chaos`] only safety is promised.
 //!
 //! The harness is generic over a closure `Fn(&FaultConfig, u64) ->`
@@ -66,6 +72,29 @@ pub struct DstOutcome {
     /// Did the workload make end-to-end progress (scenario-defined:
     /// coins deposited, queries answered, aggregate released, …)?
     pub completed: bool,
+    /// Work units that finished end-to-end.
+    pub completed_units: u64,
+    /// Work units the configuration asked for, where the scenario can
+    /// state a target (`None` = best-effort; the harsh completion bar
+    /// then only asserts `completed`).
+    pub expected_units: Option<u64>,
+    /// Retry-linkage violations (attempts correlated by ciphertext
+    /// equality) — must be empty under every preset.
+    pub retry_linkage: Vec<String>,
+}
+
+impl DstOutcome {
+    /// Build from any [`ScenarioReport`].
+    pub fn from_report<R: ScenarioReport>(report: &R) -> Self {
+        DstOutcome {
+            world: report.world().clone(),
+            fault_log: report.fault_log().clone(),
+            completed: report.completed(),
+            completed_units: report.completed_units(),
+            expected_units: report.expected_units(),
+            retry_linkage: report.retry_linkage().to_vec(),
+        }
+    }
 }
 
 /// The harness's verdict for one `(scenario, preset)` cell.
@@ -73,7 +102,7 @@ pub struct DstOutcome {
 pub struct DstReport {
     /// Scenario name (e.g. `"odns"`).
     pub scenario: String,
-    /// Preset name (`"calm"`, `"moderate"`, `"chaos"`).
+    /// Preset name (`"calm"`, `"moderate"`, `"harsh"`, `"chaos"`).
     pub preset: String,
     /// Scenario seed.
     pub seed: u64,
@@ -81,6 +110,13 @@ pub struct DstReport {
     pub faults_injected: usize,
     /// Whether the workload completed (see [`DstOutcome::completed`]).
     pub completed: bool,
+    /// Work units that finished end-to-end.
+    pub completed_units: u64,
+    /// The configuration's work-unit target, where stated.
+    pub expected_units: Option<u64>,
+    /// Did the faulted run's knowledge tables match the calm baseline
+    /// byte-for-byte? (Asserted under `harsh`; reported for the rest.)
+    pub tables_match_baseline: bool,
     /// Couplings present under faults but absent from the calm baseline
     /// — any entry here is a safety violation.
     pub new_couplings: Vec<String>,
@@ -120,6 +156,7 @@ where
         "{scenario}: calm preset must inject nothing, got {:?}",
         baseline.fault_log.events()
     );
+    let baseline_fp = KnowledgeFingerprint::of(&baseline.world);
 
     let mut reports = Vec::new();
     for (preset, config) in FaultConfig::presets() {
@@ -148,12 +185,53 @@ where
              — replay with seed {seed} and config {config:?}"
         );
 
+        // Privacy of recovery: re-randomized retransmission means no two
+        // attempts of one request ever share a ciphertext, under any tier.
+        assert!(
+            a.retry_linkage.is_empty(),
+            "{scenario}/{preset}: attempts linkable by ciphertext equality \
+             {:?} — replay with seed {seed}",
+            a.retry_linkage
+        );
+
+        let tables_match_baseline = fp_a == baseline_fp;
+
+        // The harsh completion bar: every request answered, and the
+        // recovered run's knowledge tables byte-identical to the
+        // fault-free run (retries and failovers taught no entity
+        // anything new).
+        if preset == "harsh" {
+            assert!(
+                a.completed,
+                "{scenario}/harsh: no end-to-end progress despite the \
+                 recovery layer — replay with seed {seed}"
+            );
+            if let Some(expected) = a.expected_units {
+                assert_eq!(
+                    a.completed_units, expected,
+                    "{scenario}/harsh: completed {}/{} work units — the \
+                     recovery layer failed to finish the workload; replay \
+                     with seed {seed}",
+                    a.completed_units, expected
+                );
+            }
+            assert_eq!(
+                fp_a, baseline_fp,
+                "{scenario}/harsh: recovered run's knowledge tables differ \
+                 from the fault-free baseline — recovery leaked knowledge; \
+                 replay with seed {seed}"
+            );
+        }
+
         reports.push(DstReport {
             scenario: scenario.to_string(),
             preset: preset.to_string(),
             seed,
             faults_injected: a.fault_log.len(),
             completed: a.completed,
+            completed_units: a.completed_units,
+            expected_units: a.expected_units,
+            tables_match_baseline,
             new_couplings: fresh,
         });
     }
@@ -161,17 +239,154 @@ where
 }
 
 /// [`run_scenario`] specialized to the unified [`Scenario`] trait: runs
-/// `S` on `cfg` under every preset (twice each) and checks determinism
-/// and baseline-relative safety. The canonical way to DST a §3 system.
+/// `S` on `cfg` under every preset (twice each) **with the standard
+/// recovery layer enabled** and checks determinism, baseline-relative
+/// safety, retry unlinkability, and the harsh completion bar. The
+/// canonical way to DST a §3 system.
+///
+/// Recovery is enabled for the calm baseline too: the baseline must
+/// share the faulted runs' topology and provisioning (backup routes,
+/// retry-headroom token batches) for the table-equality comparison to
+/// mean anything. Calm runs fire zero retries, so this changes no
+/// knowledge.
 pub fn run_scenario_for<S: Scenario>(seed: u64, cfg: &S::Config) -> Vec<DstReport> {
     run_scenario(S::NAME, seed, |config, seed| {
-        let report = S::run_with_faults(cfg, seed, config);
-        DstOutcome {
-            world: report.world().clone(),
-            fault_log: report.fault_log().clone(),
-            completed: report.completed(),
-        }
+        let report = S::run_with(cfg, seed, &dcp_core::RunOptions::recovered(config));
+        DstOutcome::from_report(&report)
     })
+}
+
+/// The harsh-preset recovery probe for one world: a recovered fault-free
+/// baseline plus a recovered [`FaultConfig::harsh`] run (twice, for
+/// determinism), asserting the full completion bar — every work unit
+/// finished, knowledge tables byte-identical to the baseline, no attempt
+/// linkage, no new couplings. Returns the harsh-cell [`DstReport`].
+///
+/// This is [`run_scenario_for`] narrowed to the one preset that carries
+/// the completion bar, so CI can sweep it over more worlds than the full
+/// battery affords.
+pub fn run_recovery_probe_for<S: Scenario>(seed: u64, cfg: &S::Config) -> DstReport {
+    let run = |config: &FaultConfig, seed: u64| {
+        let report = S::run_with(cfg, seed, &dcp_core::RunOptions::recovered(config));
+        DstOutcome::from_report(&report)
+    };
+    let scenario = S::NAME;
+    let baseline = run(&FaultConfig::calm(), seed);
+    assert!(
+        baseline.fault_log.is_empty(),
+        "{scenario}: calm preset must inject nothing"
+    );
+    let baseline_fp = KnowledgeFingerprint::of(&baseline.world);
+
+    let harsh = FaultConfig::harsh();
+    let a = run(&harsh, seed);
+    let b = run(&harsh, seed);
+    assert_eq!(
+        a.fault_log, b.fault_log,
+        "{scenario}/harsh: FaultLog diverged between two runs of seed {seed}"
+    );
+    let fp_a = KnowledgeFingerprint::of(&a.world);
+    assert_eq!(
+        fp_a,
+        KnowledgeFingerprint::of(&b.world),
+        "{scenario}/harsh: knowledge tables diverged between two runs of seed {seed}"
+    );
+    let fresh = new_couplings(&baseline.world, &a.world);
+    assert!(
+        fresh.is_empty(),
+        "{scenario}/harsh: faults created new couplings {fresh:?} — replay with seed {seed}"
+    );
+    assert!(
+        a.retry_linkage.is_empty(),
+        "{scenario}/harsh: attempts linkable by ciphertext equality {:?} — replay with seed {seed}",
+        a.retry_linkage
+    );
+    assert!(
+        a.completed,
+        "{scenario}/harsh: no end-to-end progress despite the recovery layer — seed {seed}"
+    );
+    if let Some(expected) = a.expected_units {
+        assert_eq!(
+            a.completed_units, expected,
+            "{scenario}/harsh: completed {}/{} work units — replay with seed {seed}",
+            a.completed_units, expected
+        );
+    }
+    assert_eq!(
+        fp_a, baseline_fp,
+        "{scenario}/harsh: recovered run's knowledge tables differ from the \
+         fault-free baseline — recovery leaked knowledge; replay with seed {seed}"
+    );
+
+    DstReport {
+        scenario: scenario.to_string(),
+        preset: "harsh".to_string(),
+        seed,
+        faults_injected: a.fault_log.len(),
+        completed: a.completed,
+        completed_units: a.completed_units,
+        expected_units: a.expected_units,
+        tables_match_baseline: true,
+        new_couplings: fresh,
+    }
+}
+
+/// The aggregate of a multi-seed harsh recovery sweep for one scenario —
+/// the artifact the CI `dst_recover` job byte-diffs between the
+/// sequential and parallel executors.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct RecoverySweepReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// The sweep's master seed (per-world seeds are derived from it).
+    pub master_seed: u64,
+    /// Number of independent worlds.
+    pub worlds: u64,
+    /// Total faults injected across all harsh worlds.
+    pub total_faults: u64,
+    /// Worlds that completed the full workload under harsh — always equal
+    /// to `worlds` when the probe returns (the completion bar panics
+    /// otherwise).
+    pub completed_harsh: u64,
+    /// Total work units finished across the sweep.
+    pub completed_units: u64,
+    /// Per-world harsh reports, in index order.
+    pub entries: Vec<DstReport>,
+}
+
+/// Run the harsh recovery probe ([`run_recovery_probe_for`]) at every
+/// seed of `builder`'s sweep, on `exec`. The aggregate is identical for
+/// every conforming executor.
+pub fn sweep_recovery_probe_for<S, X>(
+    cfg: &S::Config,
+    builder: &SweepBuilder,
+    exec: &X,
+) -> RecoverySweepReport
+where
+    S: Scenario,
+    S::Config: Sync,
+    X: SweepExecutor + ?Sized,
+{
+    let run = builder.run_on(exec, |job| run_recovery_probe_for::<S>(job.seed, cfg));
+    let mut report = RecoverySweepReport {
+        scenario: S::NAME.to_string(),
+        master_seed: builder.master_seed(),
+        worlds: builder.world_count(),
+        total_faults: 0,
+        completed_harsh: 0,
+        completed_units: 0,
+        entries: Vec::with_capacity(run.entries.len()),
+    };
+    for entry in &run.entries {
+        let r = &entry.result;
+        report.total_faults += r.faults_injected as u64;
+        report.completed_units += r.completed_units;
+        if r.completed {
+            report.completed_harsh += 1;
+        }
+        report.entries.push(r.clone());
+    }
+    report
 }
 
 /// One world of a multi-seed DST sweep: the full preset battery run at
@@ -203,6 +418,10 @@ pub struct DstSweepReport {
     /// Worlds whose workload completed under the `moderate` preset (the
     /// liveness bar; `chaos` only promises safety).
     pub completed_moderate: u64,
+    /// Worlds whose workload fully completed under the `harsh` preset —
+    /// always equal to `worlds` when the harness returns (the harsh
+    /// completion bar panics otherwise).
+    pub completed_harsh: u64,
     /// Total fault-created couplings across the sweep — always zero when
     /// the harness returns (any violation panics with a replay recipe).
     pub new_couplings: u64,
@@ -227,6 +446,7 @@ where
         worlds: builder.world_count(),
         total_faults: 0,
         completed_moderate: 0,
+        completed_harsh: 0,
         new_couplings: 0,
         entries: Vec::with_capacity(run.entries.len()),
     };
@@ -236,6 +456,9 @@ where
             report.new_couplings += r.new_couplings.len() as u64;
             if r.preset == "moderate" && r.completed {
                 report.completed_moderate += 1;
+            }
+            if r.preset == "harsh" && r.completed {
+                report.completed_harsh += 1;
             }
         }
         report.entries.push(DstSweepEntry {
@@ -296,6 +519,17 @@ mod tests {
         assert!(fresh[0].starts_with("Relay"), "{fresh:?}");
     }
 
+    fn toy_outcome(world: World, log: FaultLog, completed: bool) -> DstOutcome {
+        DstOutcome {
+            world,
+            fault_log: log,
+            completed,
+            completed_units: completed as u64,
+            expected_units: None,
+            retry_linkage: Vec::new(),
+        }
+    }
+
     #[test]
     fn harness_passes_a_safe_deterministic_scenario() {
         let reports = run_scenario("toy", 11, |config, seed| {
@@ -304,25 +538,75 @@ mod tests {
                 // A deterministic pretend-fault so logs are nonempty.
                 log.push(seed, FaultKind::Drop { src: 0, dst: 1 });
             }
-            DstOutcome {
-                world: toy_world(false),
-                fault_log: log,
-                completed: true,
-            }
+            toy_outcome(toy_world(false), log, true)
         });
-        assert_eq!(reports.len(), 3);
+        assert_eq!(reports.len(), 4);
         assert!(reports.iter().all(|r| r.new_couplings.is_empty()));
+        assert!(reports.iter().all(|r| r.tables_match_baseline));
         assert_eq!(reports[0].faults_injected, 0, "calm");
-        assert_eq!(reports[2].faults_injected, 1, "chaos");
+        assert_eq!(reports[2].preset, "harsh");
+        assert_eq!(reports[3].faults_injected, 1, "chaos");
     }
 
     #[test]
     #[should_panic(expected = "created new couplings")]
     fn harness_catches_fault_induced_coupling() {
-        run_scenario("leaky", 12, |config, _seed| DstOutcome {
-            world: toy_world(config.enabled),
-            fault_log: FaultLog::default(),
-            completed: true,
+        run_scenario("leaky", 12, |config, _seed| {
+            toy_outcome(toy_world(config.enabled), FaultLog::default(), true)
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "recovery layer failed to finish")]
+    fn harness_enforces_the_harsh_completion_bar() {
+        run_scenario("lossy", 13, |config, _seed| {
+            // Completes 1 of 2 units whenever faults are on: passes the
+            // moderate progress bar but not the harsh completion bar.
+            let done = if config.enabled { 1 } else { 2 };
+            DstOutcome {
+                world: toy_world(false),
+                fault_log: FaultLog::default(),
+                completed: true,
+                completed_units: done,
+                expected_units: Some(2),
+                retry_linkage: Vec::new(),
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "linkable by ciphertext equality")]
+    fn harness_rejects_linkable_retries() {
+        run_scenario("replayer", 14, |config, _seed| {
+            let linkage = if config.enabled {
+                vec!["flow 0 seq 0: attempts 0 and 1 share ciphertext".into()]
+            } else {
+                Vec::new()
+            };
+            DstOutcome {
+                world: toy_world(false),
+                fault_log: FaultLog::default(),
+                completed: true,
+                completed_units: 1,
+                expected_units: None,
+                retry_linkage: linkage,
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "differ from the fault-free baseline")]
+    fn harness_enforces_table_equality_under_harsh() {
+        run_scenario("leaky-knowledge", 15, |config, _seed| {
+            // Faulted runs accrue extra (uncoupled) relay knowledge: safe
+            // by the coupling test, but a table mismatch under harsh.
+            let mut w = toy_world(false);
+            if config.enabled {
+                let relay = w.entity_by_name("Relay").id;
+                let alice = w.users()[0];
+                w.record(relay, InfoItem::plain_data(alice, DataKind::Payload));
+            }
+            toy_outcome(w, FaultLog::default(), true)
         });
     }
 }

@@ -174,13 +174,22 @@ mod tests {
     fn presets_escalate() {
         let calm = FaultConfig::calm();
         let moderate = FaultConfig::moderate();
+        let harsh = FaultConfig::harsh();
         let chaos = FaultConfig::chaos();
         assert!(!calm.enabled);
-        assert!(moderate.enabled && chaos.enabled);
+        assert!(moderate.enabled && harsh.enabled && chaos.enabled);
         assert!(calm.p_drop == 0.0);
-        assert!(moderate.p_drop < chaos.p_drop);
-        assert!(moderate.max_faults < chaos.max_faults);
-        assert_eq!(FaultConfig::presets().len(), 3);
+        assert!(moderate.p_drop < harsh.p_drop);
+        assert!(moderate.max_faults < harsh.max_faults);
+        assert!(harsh.max_faults < chaos.max_faults);
+        assert_eq!(
+            harsh.p_crash, 0.0,
+            "harsh carries a completion bar: clients must stay alive"
+        );
+        assert!(chaos.p_crash > 0.0);
+        assert_eq!(FaultConfig::presets().len(), 4);
+        let names: Vec<_> = FaultConfig::presets().map(|(n, _)| n).to_vec();
+        assert_eq!(names, ["calm", "moderate", "harsh", "chaos"]);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use dcp_core::{EntityId, KeyId, Label};
 use dcp_crypto::hpke;
+use dcp_recover::{wire, HopMap};
 use dcp_simnet::{Ctx, Message, Node, NodeId};
 use dcp_transport::onion::{self, Unwrapped};
 use rand::seq::SliceRandom;
@@ -29,6 +30,11 @@ pub struct MixNode {
     timer_armed: bool,
     /// Batch sizes at each flush (anonymity-set record).
     pub flush_sizes: Vec<usize>,
+    /// Recovery wiring: unframe hop seqs forward, route acks backward.
+    recover: bool,
+    /// Per-copy ack back-routes keyed by the hop seq this mix minted.
+    /// Take-once, so a duplicated ack cannot ride another copy's route.
+    hop: HopMap<(NodeId, u64)>,
 }
 
 impl MixNode {
@@ -53,12 +59,23 @@ impl MixNode {
             pool: Vec::new(),
             timer_armed: false,
             flush_sizes: Vec::new(),
+            recover: false,
+            hop: HopMap::new(),
         }
     }
 
     /// Disable batch shuffling (ablation: batching alone does not mix).
     pub fn without_shuffle(mut self) -> Self {
         self.shuffle = false;
+        self
+    }
+
+    /// Enable the recovery wire protocol: framed hop seqs on the forward
+    /// path, end-to-end acks routed back hop by hop, and a flush deadline
+    /// re-armed on every arrival (a churned mix can lose a timer, so one
+    /// armed timer is not enough under faults).
+    pub fn with_recovery(mut self, enabled: bool) -> Self {
+        self.recover = enabled;
         self
     }
 
@@ -92,12 +109,33 @@ impl Node for MixNode {
         self.entity
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        // Recovery: an arrival from a node we forward *to* is an ack on
+        // its way back to the sender — relay it along the stored route.
+        if self.recover && self.addr_map.iter().any(|(_, n)| *n == from) {
+            let Some((pseq, body)) = wire::unframe(&msg.bytes) else {
+                return; // unframed ack on a recovered run: drop
+            };
+            let Some((prev, prev_seq)) = self.hop.take(pseq) else {
+                return; // duplicated ack: its route was consumed
+            };
+            let label = msg.label.clone();
+            ctx.send(prev, Message::new(wire::frame(prev_seq, body), label));
+            return;
+        }
+        let (cseq, cipher): (u64, &[u8]) = if self.recover {
+            match wire::unframe(&msg.bytes) {
+                Some((s, b)) => (s, b),
+                None => return, // unframed message on a recovered run: drop
+            }
+        } else {
+            (0, &msg.bytes)
+        };
         // Peel one layer of bytes and label. Anything that fails to peel
         // (tampered, truncated, or not for us) is dropped: a mix fails
         // closed rather than forwarding plaintext it cannot vouch for.
         ctx.world.crypto_op("hpke_open");
-        let Ok(unwrapped) = onion::unwrap_layer(&self.kp, &msg.bytes) else {
+        let Ok(unwrapped) = onion::unwrap_layer(&self.kp, cipher) else {
             return;
         };
         let outer_label = match &msg.label {
@@ -111,12 +149,25 @@ impl Node for MixNode {
             // drop it rather than guessing a destination.
             Unwrapped::Deliver { .. } => return,
         };
-        let mut fwd = Message::new(bytes, inner_label);
+        let body = if self.recover {
+            // Mint a hop seq for this copy and remember the way back, so
+            // the receiver's ack can retrace the chain without the mix
+            // ever learning the end-to-end pairing.
+            let pseq = self.hop.insert((from, cseq));
+            wire::frame(pseq, &bytes)
+        } else {
+            bytes
+        };
+        let mut fwd = Message::new(body, inner_label);
         fwd.flow = msg.flow;
         self.pool.push((next, fwd));
 
         if self.pool.len() >= self.batch_size {
             self.flush(ctx);
+        } else if self.recover {
+            // Re-arm on every arrival: a single armed deadline can be
+            // lost to relay churn, stranding the pool forever.
+            ctx.set_timer(self.max_wait_us, FLUSH_TIMER);
         } else if !self.timer_armed {
             self.timer_armed = true;
             ctx.set_timer(self.max_wait_us, FLUSH_TIMER);

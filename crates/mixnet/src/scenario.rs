@@ -1,8 +1,10 @@
 //! End-to-end mix-net runs: Fig. 1's topology with measurable anonymity.
 
 use std::cell::RefCell;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
+use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
     DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RunOptions, Scenario,
@@ -11,6 +13,7 @@ use dcp_core::{
 use dcp_crypto::hpke;
 use dcp_faults::{FaultConfig, FaultLog};
 use dcp_obs::MetricsHandle;
+use dcp_recover::{wire, Attempt, ReliableCall, RetryLinkage, TimerVerdict};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
 use dcp_transport::onion::{self, Hop, Unwrapped};
 use rand::Rng as _;
@@ -81,6 +84,10 @@ pub struct MixnetReport {
     pub fault_log: FaultLog,
     /// Run metrics (populated on instrumented runs).
     pub metrics: MetricsReport,
+    /// The workload's target: one real message per sender.
+    pub expected: u64,
+    /// Retry-linkage violations over the re-wrapped onion attempts.
+    pub retry_linkage: Vec<String>,
 }
 
 impl dcp_core::ScenarioReport for MixnetReport {
@@ -95,6 +102,12 @@ impl dcp_core::ScenarioReport for MixnetReport {
     }
     fn completed_units(&self) -> u64 {
         self.delivered as u64
+    }
+    fn expected_units(&self) -> Option<u64> {
+        Some(self.expected)
+    }
+    fn retry_linkage(&self) -> &[String] {
+        &self.retry_linkage
     }
 }
 
@@ -156,10 +169,16 @@ impl MixnetReport {
 struct Stats {
     delivered: usize,
     latencies: Vec<u64>,
+    /// Retry-linkage check fed by every real attempt's outermost bytes.
+    linkage: RetryLinkage,
 }
 
 const TOKEN_REAL: u64 = 0;
 const TOKEN_CHAFF: u64 = 1;
+
+/// Chaff copies are framed one-shot (never retried), in a seq space that
+/// can never collide with the sender's ARQ seqs.
+const CHAFF_SEQ_BASE: u64 = 1 << 62;
 
 /// Payload discriminators (inside the innermost encryption layer).
 const BODY_REAL: u8 = 0;
@@ -177,6 +196,16 @@ struct SenderNode {
     delay_us: u64,
     chaff_delays: Vec<u64>,
     sent: bool,
+    stats: Rc<RefCell<Stats>>,
+    /// Per-message ARQ (inert when the run's recovery is disabled).
+    arq: ReliableCall,
+    /// Seq of the open real-message call, if any.
+    inflight: Option<u64>,
+    /// The real body, built once at first transmission so every attempt
+    /// carries the same send-time stamp and the receiver can dedup.
+    real_body: Vec<u8>,
+    /// One-shot chaff seq counter (recovery framing only).
+    chaff_seq: u64,
 }
 
 impl SenderNode {
@@ -206,7 +235,66 @@ impl SenderNode {
             InfoItem::plain_data(self.user, DataKind::Payload),
         ])
         .and(label);
+        if self.arq.enabled() {
+            // Framed so recovered mixes can parse it, but fire-and-forget:
+            // chaff that faults eat is just less cover, never lost work.
+            self.chaff_seq += 1;
+            let seq = CHAFF_SEQ_BASE | self.chaff_seq;
+            ctx.send(
+                self.first_mix,
+                Message::new(wire::frame(seq, &bytes), label),
+            );
+            return;
+        }
         ctx.send(self.first_mix, Message::new(bytes, label));
+    }
+
+    /// Wrap the stored real body in a fresh onion with the hand-built
+    /// label nesting: every intermediate mix sees the (△, ⊙) "someone is
+    /// using the mix-net" facts the paper ascribes to it, while only the
+    /// receiver opens the message itself.
+    fn wrap_real(&mut self, ctx: &mut Ctx) -> (Vec<u8>, Label) {
+        for _ in 0..self.hops.len() {
+            ctx.world.crypto_op("hpke_seal");
+        }
+        let (bytes, _auto_label) =
+            onion::wrap(ctx.rng, &self.hops, &self.real_body, Label::Public).expect("onion");
+        let mut label = Label::items([
+            InfoItem::plain_identity(self.user, IdentityKind::Any),
+            InfoItem::sensitive_data(self.user, DataKind::Message),
+        ])
+        .sealed(self.receiver_key);
+        for &k in self.mix_keys.iter().rev() {
+            label = Label::items([
+                InfoItem::plain_identity(self.user, IdentityKind::Any),
+                InfoItem::plain_data(self.user, DataKind::Payload),
+            ])
+            .and(label)
+            .sealed(k);
+        }
+        // Envelope: the first mix (and any tap on the access link) sees
+        // the sender's address.
+        let label = Label::items([
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+            InfoItem::plain_data(self.user, DataKind::Payload),
+        ])
+        .and(label);
+        (bytes, label)
+    }
+
+    /// (Re)transmit the real message: every attempt is a fresh onion over
+    /// the same body, so no two attempts share a byte on any wire.
+    fn transmit_real(&mut self, ctx: &mut Ctx, att: Attempt) {
+        let (bytes, label) = self.wrap_real(ctx);
+        self.stats
+            .borrow_mut()
+            .linkage
+            .record(self.user.0, att.seq, att.attempt, &bytes);
+        ctx.send(
+            self.first_mix,
+            Message::new(wire::frame(att.seq, &bytes), label).with_flow(self.user.0),
+        );
+        ctx.set_timer(att.timer_delay_us, att.token);
     }
 }
 
@@ -230,6 +318,26 @@ impl Node for SenderNode {
         }
     }
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        if self.arq.enabled() {
+            match self.arq.on_timer(token) {
+                TimerVerdict::NotMine => {} // an app timer: fall through
+                TimerVerdict::Stale => return,
+                TimerVerdict::Retry(att) => {
+                    dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
+                    if self.inflight == Some(att.seq) {
+                        self.transmit_real(ctx, att);
+                    }
+                    return;
+                }
+                TimerVerdict::Exhausted { seq, attempts } => {
+                    dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
+                    if self.inflight == Some(seq) {
+                        self.inflight = None;
+                    }
+                    return;
+                }
+            }
+        }
         if token == TOKEN_CHAFF {
             self.send_chaff(ctx);
             return;
@@ -244,41 +352,31 @@ impl Node for SenderNode {
         let mut body = vec![BODY_REAL];
         body.extend_from_slice(&ctx.now.as_us().to_be_bytes());
         body.extend_from_slice(payload.as_bytes());
-        for _ in 0..self.hops.len() {
-            ctx.world.crypto_op("hpke_seal");
+        self.real_body = body;
+        if self.arq.enabled() {
+            let att = self.arq.begin().expect("enabled ARQ always begins");
+            self.inflight = Some(att.seq);
+            self.transmit_real(ctx, att);
+            return;
         }
-        let (bytes, _auto_label) =
-            onion::wrap(ctx.rng, &self.hops, &body, Label::Public).expect("onion");
-
-        // Hand-build the label nesting so every intermediate mix sees the
-        // (△, ⊙) "someone is using the mix-net" facts the paper ascribes
-        // to it, while only the receiver opens the message itself.
-        let mut label = Label::items([
-            InfoItem::plain_identity(self.user, IdentityKind::Any),
-            InfoItem::sensitive_data(self.user, DataKind::Message),
-        ])
-        .sealed(self.receiver_key);
-        for &k in self.mix_keys.iter().rev() {
-            label = Label::items([
-                InfoItem::plain_identity(self.user, IdentityKind::Any),
-                InfoItem::plain_data(self.user, DataKind::Payload),
-            ])
-            .and(label)
-            .sealed(k);
-        }
-        // Envelope: the first mix (and any tap on the access link) sees
-        // the sender's address.
-        let label = Label::items([
-            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
-            InfoItem::plain_data(self.user, DataKind::Payload),
-        ])
-        .and(label);
+        let (bytes, label) = self.wrap_real(ctx);
         ctx.send(
             self.first_mix,
             Message::new(bytes, label).with_flow(self.user.0),
         );
     }
-    fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Message) {}
+    fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        // The only traffic a sender ever receives is its own ack, retraced
+        // hop by hop from the receiver. Acks for chaff seqs (or duplicated
+        // acks) simply don't match an open call.
+        if self.arq.enabled() {
+            if let Some((seq, _)) = wire::unframe(&msg.bytes) {
+                if self.arq.complete(seq) {
+                    self.inflight = None;
+                }
+            }
+        }
+    }
 }
 
 struct ReceiverNode {
@@ -286,17 +384,34 @@ struct ReceiverNode {
     kp: hpke::Keypair,
     key_id: KeyId,
     stats: Rc<RefCell<Stats>>,
+    /// Recovery wiring: unframe deliveries and ack every copy.
+    recover: bool,
+    /// Real payloads already counted (a retransmitted copy carries the
+    /// same body, so content is the dedup key).
+    seen: BTreeSet<Vec<u8>>,
 }
 
 impl Node for ReceiverNode {
     fn entity(&self) -> EntityId {
         self.entity
     }
-    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        let cipher: &[u8] = if self.recover {
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return; // unframed delivery on a recovered run: drop
+            };
+            // Ack every copy (chaff and duplicates included): the ack
+            // retraces the mix chain, and a copy that arrived must stop
+            // its sender's retries regardless of what it decodes to.
+            ctx.send(from, Message::public(wire::frame(seq, &[])));
+            body
+        } else {
+            &msg.bytes
+        };
         // Final onion layer: the receiver peels its own seal. Undecodable
         // or misrouted deliveries are dropped — fail closed.
         ctx.world.crypto_op("hpke_open");
-        let Ok(unwrapped) = onion::unwrap_layer(&self.kp, &msg.bytes) else {
+        let Ok(unwrapped) = onion::unwrap_layer(&self.kp, cipher) else {
             return;
         };
         let Unwrapped::Deliver { payload } = unwrapped else {
@@ -311,6 +426,9 @@ impl Node for ReceiverNode {
         );
         if payload.len() < 9 || payload[0] == BODY_CHAFF {
             return; // decoy (or truncated): drop silently
+        }
+        if self.recover && !self.seen.insert(payload.clone()) {
+            return; // another copy of a counted message: exactly-once
         }
         let sent_at = u64::from_be_bytes(payload[1..9].try_into().unwrap());
         ctx.world.span("e2e", sent_at, ctx.now.as_us());
@@ -417,7 +535,8 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
             config.batch_size,
             config.mix_max_wait_us.unwrap_or(config.window_us + 200_000),
             addr_map,
-        );
+        )
+        .with_recovery(opts.recover.enabled);
         if !config.shuffle {
             mix = mix.without_shuffle();
         }
@@ -427,6 +546,7 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
     let stats = Rc::new(RefCell::new(Stats {
         delivered: 0,
         latencies: Vec::new(),
+        linkage: RetryLinkage::new(),
     }));
     for i in 0..config.senders {
         net.add_node(Box::new(ReceiverNode {
@@ -434,6 +554,8 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
             kp: recv_kps[i].clone(),
             key_id: recv_keys[i],
             stats: stats.clone(),
+            recover: opts.recover.enabled,
+            seen: BTreeSet::new(),
         }));
     }
 
@@ -496,6 +618,11 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
             delay_us,
             chaff_delays,
             sent: false,
+            stats: stats.clone(),
+            arq: ReliableCall::new(&opts.recover, derive_seed(config.seed, 0x3170 + i as u64)),
+            inflight: None,
+            real_body: Vec::new(),
+            chaff_seq: 0,
         }));
     }
 
@@ -523,6 +650,8 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
         receiver_of,
         fault_log,
         metrics,
+        expected: config.senders as u64,
+        retry_linkage: stats.linkage.violations(),
     }
 }
 
@@ -755,5 +884,65 @@ mod tests {
             bytes3 > bytes0 * 2,
             "and it costs bandwidth: {bytes3} vs {bytes0}"
         );
+    }
+
+    #[test]
+    fn recovered_harsh_run_delivers_every_message_exactly_once() {
+        use dcp_core::ScenarioReport as _;
+        use dcp_faults::dst::KnowledgeFingerprint;
+        let cfg = MixnetConfig {
+            senders: 4,
+            mixes: 2,
+            batch_size: 2,
+            window_us: 100_000,
+            shuffle: true,
+            chaff_per_sender: 0,
+            mix_max_wait_us: Some(50_000),
+            seed: 31,
+        };
+        let calm = Mixnet::run_with(&cfg, 31, &RunOptions::recovered(&FaultConfig::calm()));
+        let harsh = Mixnet::run_with(&cfg, 31, &RunOptions::recovered(&FaultConfig::harsh()));
+        assert_eq!(calm.delivered, 4, "calm recovered run delivers everything");
+        assert_eq!(
+            harsh.delivered as u64,
+            harsh.expected_units().unwrap(),
+            "under harsh faults the recovery layer still finishes the workload"
+        );
+        assert!(!harsh.fault_log.is_empty(), "harsh actually injected");
+        assert!(
+            harsh.retry_linkage().is_empty(),
+            "re-wrapped onion attempts are never linkable: {:?}",
+            harsh.retry_linkage()
+        );
+        assert_eq!(
+            KnowledgeFingerprint::of(&harsh.world),
+            KnowledgeFingerprint::of(&calm.world),
+            "recovery must not change anyone's knowledge ledger"
+        );
+        assert_eq!(harsh.table(0), calm.table(0));
+        assert!(analyze(&harsh.world).decoupled);
+    }
+
+    #[test]
+    fn recovered_calm_run_matches_plain_completion() {
+        let plain = run(cfg());
+        let rec = Mixnet::run_with(&cfg(), 77, &RunOptions::recovered(&FaultConfig::calm()));
+        assert_eq!(plain.delivered, rec.delivered);
+        assert_eq!(plain.table(0), rec.table(0));
+    }
+
+    #[test]
+    fn recovered_run_keeps_chaff_flowing() {
+        // Chaff is framed one-shot on recovered runs: a calm recovered
+        // run must still deliver every real message and drop every decoy.
+        let rec = Mixnet::run_with(
+            &MixnetConfig {
+                chaff_per_sender: 2,
+                ..cfg()
+            },
+            77,
+            &RunOptions::recovered(&FaultConfig::calm()),
+        );
+        assert_eq!(rec.delivered, 6, "chaff never counts, reals all arrive");
     }
 }

@@ -1,8 +1,10 @@
 //! k-relay chain scenarios over nested encrypted tunnels.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
     DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RunOptions, Scenario,
@@ -11,6 +13,7 @@ use dcp_core::{
 use dcp_crypto::hpke;
 use dcp_faults::{FaultConfig, FaultLog};
 use dcp_obs::MetricsHandle;
+use dcp_recover::{wire, Attempt, HopMap, ReliableCall, RetryLinkage, TimerVerdict};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
 use dcp_transport::onion::{self, Hop, Unwrapped};
 
@@ -61,6 +64,10 @@ pub struct ScenarioReport {
     pub fault_log: FaultLog,
     /// Run metrics (populated on instrumented runs).
     pub metrics: MetricsReport,
+    /// The workload's target (`users × fetches_each`).
+    pub expected: u64,
+    /// Retry-linkage violations over the re-wrapped onion attempts.
+    pub retry_linkage: Vec<String>,
 }
 
 impl dcp_core::ScenarioReport for ScenarioReport {
@@ -75,6 +82,12 @@ impl dcp_core::ScenarioReport for ScenarioReport {
     }
     fn completed_units(&self) -> u64 {
         self.completed as u64
+    }
+    fn expected_units(&self) -> Option<u64> {
+        Some(self.expected)
+    }
+    fn retry_linkage(&self) -> &[String] {
+        &self.retry_linkage
     }
 }
 
@@ -132,6 +145,8 @@ struct Stats {
     completed: usize,
     latencies: Vec<u64>,
     payload_bytes: usize,
+    /// Retry-linkage check fed by every attempt's outermost wire bytes.
+    linkage: RetryLinkage,
 }
 
 struct UserNode {
@@ -146,13 +161,17 @@ struct UserNode {
     fetches_left: usize,
     stats: Rc<RefCell<Stats>>,
     sent_at: SimTime,
+    /// Per-request ARQ (inert when the run's recovery is disabled).
+    arq: ReliableCall,
+    /// Send time per open call seq (recovery path).
+    inflight: BTreeMap<u64, SimTime>,
 }
 
 impl UserNode {
-    fn fetch(&mut self, ctx: &mut Ctx) {
-        self.sent_at = ctx.now;
-        self.stats.borrow_mut().payload_bytes += REQUEST.len();
-
+    /// Build one fully wrapped request: a fresh end-to-end seal and a
+    /// fresh onion on every call, which is exactly what a re-randomized
+    /// retransmission needs.
+    fn wrap_request(&mut self, ctx: &mut Ctx) -> (Vec<u8>, Label) {
         // End-to-end sealed request: only the origin reads the full
         // request; its label gives the origin (△, ●) — plus a coarse
         // location item when the geohint regression is enabled.
@@ -175,11 +194,7 @@ impl UserNode {
                 InfoItem::plain_data(self.user, DataKind::Payload),
             ])
             .and(e2e_label);
-            ctx.send(
-                self.first_hop,
-                Message::new(e2e, label).with_flow(self.user.0),
-            );
-            return;
+            return (e2e, label);
         }
 
         // Exit-visible part: the destination FQDN (⊙/●) of an anonymous
@@ -204,10 +219,45 @@ impl UserNode {
             InfoItem::plain_data(self.user, DataKind::Payload),
         ])
         .and(onion_label);
+        (bytes, label)
+    }
+
+    fn fetch(&mut self, ctx: &mut Ctx) {
+        self.sent_at = ctx.now;
+        self.stats.borrow_mut().payload_bytes += REQUEST.len();
+        if self.arq.enabled() {
+            let att = self.arq.begin().expect("enabled ARQ always begins");
+            self.inflight.insert(att.seq, ctx.now);
+            self.transmit(ctx, att);
+            return;
+        }
+        let (bytes, label) = self.wrap_request(ctx);
         ctx.send(
             self.first_hop,
             Message::new(bytes, label).with_flow(self.user.0),
         );
+    }
+
+    /// (Re)transmit fetch `att.seq`: every attempt re-seals and re-wraps,
+    /// so no two attempts share a byte of ciphertext on any wire.
+    fn transmit(&mut self, ctx: &mut Ctx, att: Attempt) {
+        let (bytes, label) = self.wrap_request(ctx);
+        self.stats
+            .borrow_mut()
+            .linkage
+            .record(self.user.0, att.seq, att.attempt, &bytes);
+        ctx.send(
+            self.first_hop,
+            Message::new(wire::frame(att.seq, &bytes), label).with_flow(self.user.0),
+        );
+        ctx.set_timer(att.timer_delay_us, att.token);
+    }
+
+    fn fetch_done(&mut self, ctx: &mut Ctx) {
+        if self.fetches_left > 1 {
+            self.fetches_left -= 1;
+            self.fetch(ctx);
+        }
     }
 }
 
@@ -227,6 +277,26 @@ impl Node for UserNode {
         self.fetch(ctx);
     }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        if self.arq.enabled() {
+            let Some((seq, _body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            let Some(&sent) = self.inflight.get(&seq) else {
+                return;
+            };
+            if !self.arq.complete(seq) {
+                return; // duplicated response: counted exactly once
+            }
+            self.inflight.remove(&seq);
+            ctx.world.span("fetch", sent.as_us(), ctx.now.as_us());
+            let mut stats = self.stats.borrow_mut();
+            stats.completed += 1;
+            stats.latencies.push(ctx.now - sent);
+            stats.payload_bytes += RESPONSE.len();
+            drop(stats);
+            self.fetch_done(ctx);
+            return;
+        }
         // Response sealed to our resp key.
         let _ = msg;
         ctx.world
@@ -236,9 +306,23 @@ impl Node for UserNode {
         stats.latencies.push(ctx.now - self.sent_at);
         stats.payload_bytes += RESPONSE.len();
         drop(stats);
-        if self.fetches_left > 1 {
-            self.fetches_left -= 1;
-            self.fetch(ctx);
+        self.fetch_done(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match self.arq.on_timer(token) {
+            TimerVerdict::NotMine | TimerVerdict::Stale => {}
+            TimerVerdict::Retry(att) => {
+                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
+                if self.inflight.contains_key(&att.seq) {
+                    self.transmit(ctx, att);
+                }
+            }
+            TimerVerdict::Exhausted { seq, attempts } => {
+                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
+                if self.inflight.remove(&seq).is_some() {
+                    self.fetch_done(ctx);
+                }
+            }
         }
     }
 }
@@ -249,8 +333,16 @@ struct RelayNode {
     key_id: KeyId,
     /// addr → node mapping for forwarding.
     addr_map: Vec<(u16, NodeId)>,
-    /// Back-routes for responses: stack of previous hops.
+    /// Back-routes for responses: stack of previous hops. The FIFO
+    /// stack misroutes under drops and duplicates, which is precisely
+    /// why the recovery path replaces it with `hop`.
     back: Vec<NodeId>,
+    /// Recovery wiring: frame/unframe hop sequence numbers.
+    recover: bool,
+    /// Per-request back-routes keyed by the hop seq this relay minted:
+    /// take-once, so duplicated responses die here instead of
+    /// consuming another request's route.
+    hop: HopMap<(NodeId, u64)>,
 }
 
 impl Node for RelayNode {
@@ -260,7 +352,22 @@ impl Node for RelayNode {
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         // Response coming back (from a node we forwarded to): relay it to
         // the stored previous hop.
-        if let Some(pos) = self
+        if self.recover {
+            if self.addr_map.iter().any(|(_, n)| *n == from) {
+                let Some((pseq, body)) = wire::unframe(&msg.bytes) else {
+                    return; // unframed response on a recovered run: drop
+                };
+                let Some((prev, prev_seq)) = self.hop.take(pseq) else {
+                    return; // duplicated response: its route was consumed
+                };
+                let label = msg.label.clone();
+                ctx.send(
+                    prev,
+                    Message::new(wire::frame(prev_seq, body), label).with_flow_opt(msg.flow),
+                );
+                return;
+            }
+        } else if let Some(pos) = self
             .addr_map
             .iter()
             .position(|(_, n)| *n == from)
@@ -277,8 +384,16 @@ impl Node for RelayNode {
         // Forward direction: peel one onion layer (bytes and label). A
         // layer that fails to peel is dropped — a relay never forwards
         // traffic it cannot vouch for.
+        let (cseq, cipher): (u64, &[u8]) = if self.recover {
+            match wire::unframe(&msg.bytes) {
+                Some((s, b)) => (s, b),
+                None => return, // unframed request on a recovered run: drop
+            }
+        } else {
+            (0, &msg.bytes)
+        };
         ctx.world.crypto_op("hpke_open");
-        let Ok(unwrapped) = onion::unwrap_layer(&self.kp, &msg.bytes) else {
+        let Ok(unwrapped) = onion::unwrap_layer(&self.kp, cipher) else {
             return;
         };
         let outer_label = match &msg.label {
@@ -296,6 +411,15 @@ impl Node for RelayNode {
                 else {
                     return; // unroutable hop: drop, never misdeliver
                 };
+                if self.recover {
+                    let pseq = self.hop.insert((from, cseq));
+                    ctx.send(
+                        next_node,
+                        Message::new(wire::frame(pseq, &bytes), inner_label)
+                            .with_flow_opt(msg.flow),
+                    );
+                    return;
+                }
                 self.back.insert(0, from);
                 ctx.send(
                     next_node,
@@ -316,12 +440,21 @@ impl Node for RelayNode {
                 else {
                     return; // unroutable origin: drop, never misdeliver
                 };
-                self.back.insert(0, from);
                 // Forward only the sealed part of the label bundle.
                 let fwd_label = match &inner_label {
                     Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
                     other => other.clone(),
                 };
+                if self.recover {
+                    let pseq = self.hop.insert((from, cseq));
+                    ctx.send(
+                        next_node,
+                        Message::new(wire::frame(pseq, &payload[2..]), fwd_label)
+                            .with_flow_opt(msg.flow),
+                    );
+                    return;
+                }
+                self.back.insert(0, from);
                 ctx.send(
                     next_node,
                     Message::new(payload[2..].to_vec(), fwd_label).with_flow_opt(msg.flow),
@@ -337,6 +470,10 @@ struct OriginNode {
     resp_key: KeyId,
     /// Subjects by flow id (scenario bookkeeping for response labels).
     flow_user: Vec<(u64, UserId)>,
+    /// Recovery wiring: unframe requests and echo their seq back. The
+    /// origin serves an idempotent GET, so it answers every delivery
+    /// (retransmissions included) statelessly; the user's ARQ dedups.
+    recover: bool,
 }
 
 impl Node for OriginNode {
@@ -344,10 +481,18 @@ impl Node for OriginNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        let (seq, cipher): (u64, &[u8]) = if self.recover {
+            match wire::unframe(&msg.bytes) {
+                Some((s, b)) => (s, b),
+                None => return, // unframed request on a recovered run: drop
+            }
+        } else {
+            (0, &msg.bytes)
+        };
         // Fail closed: an undecryptable or unattributable request gets no
         // response at all.
         ctx.world.crypto_op("hpke_open");
-        let Ok(req) = hpke::open(&self.kp, b"e2e", b"", &msg.bytes) else {
+        let Ok(req) = hpke::open(&self.kp, b"e2e", b"", cipher) else {
             return;
         };
         if req != REQUEST {
@@ -364,10 +509,12 @@ impl Node for OriginNode {
         // back to them.
         let resp_label = Label::items([InfoItem::sensitive_data(user, DataKind::Destination)])
             .sealed(self.resp_key);
-        ctx.send(
-            from,
-            Message::new(RESPONSE.to_vec(), resp_label).with_flow_opt(msg.flow),
-        );
+        let body = if self.recover {
+            wire::frame(seq, RESPONSE)
+        } else {
+            RESPONSE.to_vec()
+        };
+        ctx.send(from, Message::new(body, resp_label).with_flow_opt(msg.flow));
     }
 }
 
@@ -460,12 +607,14 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
         })
         .collect();
 
+    let recover_on = opts.recover.enabled;
     let flow_user: Vec<(u64, UserId)> = users.iter().map(|&u| (u.0, u)).collect();
     net.add_node(Box::new(OriginNode {
         entity: origin_e,
         kp: origin_kp.clone(),
         resp_key,
         flow_user,
+        recover: recover_on,
     }));
     for i in 0..config.relays {
         // Each relay can forward to the next relay and to the origin.
@@ -479,6 +628,8 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
             key_id: relay_keys[i],
             addr_map,
             back: Vec::new(),
+            recover: recover_on,
+            hop: HopMap::new(),
         }));
         net.mark_relay(id);
     }
@@ -486,13 +637,14 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
         completed: 0,
         latencies: Vec::new(),
         payload_bytes: 0,
+        linkage: RetryLinkage::new(),
     }));
     let first_hop = if config.relays == 0 {
         origin_id
     } else {
         relay_ids[0]
     };
-    for (&u, &e) in users.iter().zip(user_entities.iter()) {
+    for (i, (&u, &e)) in users.iter().zip(user_entities.iter()).enumerate() {
         net.add_node(Box::new(UserNode {
             entity: e,
             user: u,
@@ -505,6 +657,8 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
             fetches_left: config.fetches_each,
             stats: stats.clone(),
             sent_at: SimTime::ZERO,
+            arq: ReliableCall::new(&opts.recover, derive_seed(config.seed, 0x3b50 + i as u64)),
+            inflight: BTreeMap::new(),
         }));
     }
 
@@ -527,11 +681,13 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
         world,
         trace,
         completed: stats.completed,
+        expected: (config.users * config.fetches_each) as u64,
         mean_fetch_us: mean,
         bytes_factor,
         users,
         relay_names,
         fault_log,
+        retry_linkage: stats.linkage.violations(),
         metrics,
     }
 }
@@ -672,5 +828,47 @@ mod tests {
         });
         assert_eq!(report.completed, 6);
         assert!(analyze(&report.world).decoupled);
+    }
+
+    #[test]
+    fn recovered_harsh_run_completes_every_fetch_exactly_once() {
+        use dcp_core::ScenarioReport as _;
+        use dcp_faults::dst::KnowledgeFingerprint;
+        let cfg = ChainConfig {
+            relays: 2,
+            users: 2,
+            fetches_each: 2,
+            geohint: false,
+            seed: 31,
+        };
+        let calm = Mpr::run_with(&cfg, 31, &RunOptions::recovered(&FaultConfig::calm()));
+        let harsh = Mpr::run_with(&cfg, 31, &RunOptions::recovered(&FaultConfig::harsh()));
+        assert_eq!(calm.completed, 4, "calm recovered run fetches everything");
+        assert_eq!(
+            harsh.completed as u64,
+            harsh.expected_units().unwrap(),
+            "under harsh faults the recovery layer still finishes the workload"
+        );
+        assert!(!harsh.fault_log.is_empty(), "harsh actually injected");
+        assert!(
+            harsh.retry_linkage().is_empty(),
+            "re-wrapped onion attempts are never linkable: {:?}",
+            harsh.retry_linkage()
+        );
+        assert_eq!(
+            KnowledgeFingerprint::of(&harsh.world),
+            KnowledgeFingerprint::of(&calm.world),
+            "recovery must not change anyone's knowledge ledger"
+        );
+        assert_eq!(harsh.table(0), calm.table(0));
+        assert!(analyze(&harsh.world).decoupled);
+    }
+
+    #[test]
+    fn recovered_calm_run_matches_plain_completion() {
+        let plain = run_chain(ChainConfig { seed: 7, ..cfg(2) });
+        let rec = Mpr::run_with(&cfg(2), 7, &RunOptions::recovered(&FaultConfig::calm()));
+        assert_eq!(plain.completed, rec.completed);
+        assert_eq!(plain.table(0), rec.table(0));
     }
 }

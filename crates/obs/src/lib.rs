@@ -118,6 +118,18 @@ impl ObsSink for MetricsSink {
                     item: item.clone(),
                 });
             }
+            ObsEvent::RecoveryRetry { .. } => {
+                r.recovery_retries += 1;
+            }
+            ObsEvent::RecoveryFailover { .. } => {
+                r.recovery_failovers += 1;
+            }
+            ObsEvent::RecoveryQuarantine { .. } => {
+                r.recovery_quarantines += 1;
+            }
+            ObsEvent::RecoveryGiveUp { .. } => {
+                r.recovery_give_ups += 1;
+            }
             // Sweep progress arrives in completion order, which is not
             // deterministic under parallel execution — it must never fold
             // into a report.

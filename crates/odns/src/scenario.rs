@@ -2,19 +2,21 @@
 //! §5.1 striping experiment.
 
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::rc::Rc;
 
+use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
-    World,
+    DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RecoverConfig, RunOptions,
+    Scenario, UserId, World,
 };
 use dcp_crypto::hpke;
 use dcp_dns::workload::ZipfWorkload;
 use dcp_dns::{DnsName, Message as DnsMessage, RecordData, RrType, Zone};
 use dcp_faults::{FaultConfig, FaultLog};
 use dcp_obs::MetricsHandle;
+use dcp_recover::{wire, Attempt, Failover, HopMap, ReliableCall, RetryLinkage, TimerVerdict};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
 
 use crate::odoh;
@@ -41,6 +43,11 @@ pub struct ScenarioReport {
     pub fault_log: FaultLog,
     /// Run metrics (populated on instrumented runs).
     pub metrics: MetricsReport,
+    /// The workload's target (`clients × queries_each`).
+    pub expected: u64,
+    /// Retry-linkage violations: attempts of one query an observer could
+    /// correlate by ciphertext equality (empty is the pass).
+    pub retry_linkage: Vec<String>,
 }
 
 impl dcp_core::ScenarioReport for ScenarioReport {
@@ -55,6 +62,12 @@ impl dcp_core::ScenarioReport for ScenarioReport {
     }
     fn completed_units(&self) -> u64 {
         self.answered as u64
+    }
+    fn expected_units(&self) -> Option<u64> {
+        Some(self.expected)
+    }
+    fn retry_linkage(&self) -> &[String] {
+        &self.retry_linkage
     }
 }
 
@@ -88,6 +101,12 @@ pub struct OdohConfig {
     pub clients: usize,
     /// Queries each client issues.
     pub queries_each: usize,
+    /// Backup proxies behind the primary, used only when the run's
+    /// [`RecoverConfig`] is enabled: clients rotate across all proxies by
+    /// sequence number (so every proxy serves calm traffic too) and the
+    /// circuit breaker fails over between them. `0` (the default) keeps
+    /// the classic single-proxy topology.
+    pub backup_proxies: usize,
 }
 
 impl Default for OdohConfig {
@@ -95,6 +114,7 @@ impl Default for OdohConfig {
         OdohConfig {
             clients: 1,
             queries_each: 4,
+            backup_proxies: 0,
         }
     }
 }
@@ -105,6 +125,7 @@ impl OdohConfig {
         OdohConfig {
             clients,
             queries_each,
+            backup_proxies: 0,
         }
     }
 
@@ -117,6 +138,12 @@ impl OdohConfig {
     /// Set the per-client query count.
     pub fn queries_each(mut self, queries_each: usize) -> Self {
         self.queries_each = queries_each;
+        self
+    }
+
+    /// Set the backup-proxy count (effective only under recovery).
+    pub fn backup_proxies(mut self, backup_proxies: usize) -> Self {
+        self.backup_proxies = backup_proxies;
         self
     }
 }
@@ -304,6 +331,21 @@ struct Stats {
     latencies: Vec<u64>,
     /// Per-resolver distinct names seen (indexed by resolver slot).
     resolver_views: Vec<HashSet<String>>,
+    /// Ciphertext-equality check over every encrypted attempt (ODoH and
+    /// legacy-ODNS clients record here; plain DNS makes no unlinkability
+    /// claim and records nothing).
+    linkage: RetryLinkage,
+}
+
+impl Stats {
+    fn new(resolver_slots: usize) -> Self {
+        Stats {
+            answered: 0,
+            latencies: Vec::new(),
+            resolver_views: vec![HashSet::new(); resolver_slots],
+            linkage: RetryLinkage::new(),
+        }
+    }
 }
 
 // ---------------------------------------------------------------- ODoH --
@@ -319,23 +361,29 @@ struct OdohClient {
     stats: Rc<RefCell<Stats>>,
     sent_at: SimTime,
     next_id: u16,
+    /// Per-request ARQ (inert when the run's recovery is disabled).
+    arq: ReliableCall,
+    /// Proxy routes (primary + backups) with the circuit breaker.
+    failover: Failover,
+    /// RetryLinkage flow id (the client index).
+    flow: u64,
+    /// Open reliable calls, keyed by ARQ sequence number.
+    inflight: BTreeMap<u64, OdohInflight>,
+}
+
+struct OdohInflight {
+    name: DnsName,
+    state: odoh::QueryState,
+    route_ordinal: usize,
+    sent_at: SimTime,
 }
 
 impl OdohClient {
-    fn send_next(&mut self, ctx: &mut Ctx) {
-        let Some(name) = self.queries.pop() else {
-            return;
-        };
-        let q = DnsMessage::query(self.next_id, name, RrType::A);
-        self.next_id = self.next_id.wrapping_add(1);
-        ctx.world.crypto_op("hpke_seal");
-        let (sealed, state) = odoh::seal_query(ctx.rng, &self.target_pk, &q).expect("seal");
-        self.state = Some(state);
-        self.sent_at = ctx.now;
+    fn envelope_label(&self) -> Label {
         // Outer envelope: the proxy knows the client (▲_N) and that a DNS
         // query happened (⊙). Inner seal: the target reads the query
         // content (⊙/●) of an anonymous user (△).
-        let label = Label::items([
+        Label::items([
             InfoItem::sensitive_identity(self.user, IdentityKind::Any),
             InfoItem::plain_data(self.user, DataKind::DnsQuery),
         ])
@@ -345,14 +393,68 @@ impl OdohClient {
                 InfoItem::partial_data(self.user, DataKind::DnsQuery),
             ])
             .sealed(self.target_key),
-        );
+        )
+    }
+
+    fn send_next(&mut self, ctx: &mut Ctx) {
+        let Some(name) = self.queries.pop() else {
+            return;
+        };
+        if self.arq.enabled() {
+            let att = self.arq.begin().expect("enabled ARQ always begins");
+            let sent_at = ctx.now;
+            self.transmit(ctx, name, sent_at, att);
+            return;
+        }
+        let q = DnsMessage::query(self.next_id, name, RrType::A);
+        self.next_id = self.next_id.wrapping_add(1);
+        ctx.world.crypto_op("hpke_seal");
+        let (sealed, state) = odoh::seal_query(ctx.rng, &self.target_pk, &q).expect("seal");
+        self.state = Some(state);
+        self.sent_at = ctx.now;
+        let label = self.envelope_label();
         ctx.send(self.proxy, Message::new(sealed, label));
+    }
+
+    /// One (re)transmission of reliable call `att.seq`: a *fresh* HPKE
+    /// encapsulation every attempt (re-randomized retransmission — a
+    /// replayed ciphertext would let any on-path observer link the
+    /// attempts), framed with the ARQ sequence number outside the
+    /// ciphertext, routed by the failover's deterministic choice.
+    fn transmit(&mut self, ctx: &mut Ctx, name: DnsName, sent_at: SimTime, att: Attempt) {
+        let q = DnsMessage::query(self.next_id, name.clone(), RrType::A);
+        self.next_id = self.next_id.wrapping_add(1);
+        ctx.world.crypto_op("hpke_seal");
+        let (sealed, state) = odoh::seal_query(ctx.rng, &self.target_pk, &q).expect("seal");
+        let pick = self
+            .failover
+            .route_for(att.seq, att.attempt, ctx.now.as_us());
+        self.stats
+            .borrow_mut()
+            .linkage
+            .record(self.flow, att.seq, att.attempt, &sealed);
+        self.inflight.insert(
+            att.seq,
+            OdohInflight {
+                name,
+                state,
+                route_ordinal: pick.ordinal,
+                sent_at,
+            },
+        );
+        let label = self.envelope_label();
+        ctx.send(
+            NodeId(pick.node),
+            Message::new(wire::frame(att.seq, &sealed), label),
+        );
+        ctx.set_timer(att.timer_delay_us, att.token);
     }
 }
 
 // The target_key field is injected at construction; declared separately to
 // keep send_next readable.
 impl OdohClient {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         entity: EntityId,
         user: UserId,
@@ -361,6 +463,10 @@ impl OdohClient {
         target_key: dcp_core::KeyId,
         queries: Vec<DnsName>,
         stats: Rc<RefCell<Stats>>,
+        recover: &RecoverConfig,
+        proxy_routes: &[NodeId],
+        jitter_seed: u64,
+        flow: u64,
     ) -> Self {
         OdohClient {
             entity,
@@ -373,6 +479,10 @@ impl OdohClient {
             sent_at: SimTime::ZERO,
             next_id: 1,
             target_key,
+            arq: ReliableCall::new(recover, jitter_seed),
+            failover: Failover::new(proxy_routes.iter().map(|n| n.0).collect(), recover),
+            flow,
+            inflight: BTreeMap::new(),
         }
     }
 }
@@ -392,7 +502,77 @@ impl Node for OdohClient {
         );
         self.send_next(ctx);
     }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match self.arq.on_timer(token) {
+            TimerVerdict::NotMine | TimerVerdict::Stale => {}
+            TimerVerdict::Retry(att) => {
+                let Some(entry) = self.inflight.get(&att.seq) else {
+                    return;
+                };
+                let (name, sent_at, prev) =
+                    (entry.name.clone(), entry.sent_at, entry.route_ordinal);
+                if let Some(until) = self.failover.report_failure(prev, ctx.now.as_us()) {
+                    dcp_recover::emit_quarantine(
+                        ctx.world,
+                        ctx.id().0,
+                        self.failover.route(prev),
+                        until,
+                    );
+                }
+                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
+                let pick = self
+                    .failover
+                    .route_for(att.seq, att.attempt, ctx.now.as_us());
+                if pick.ordinal != prev {
+                    dcp_recover::emit_failover(
+                        ctx.world,
+                        ctx.id().0,
+                        att.seq,
+                        self.failover.route(prev),
+                        pick.node,
+                    );
+                }
+                self.transmit(ctx, name, sent_at, att);
+            }
+            TimerVerdict::Exhausted { seq, attempts } => {
+                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
+                self.inflight.remove(&seq);
+                self.send_next(ctx);
+            }
+        }
+    }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        if self.arq.enabled() {
+            // Framed response: the echoed sequence number selects which
+            // call's state to open against, so late responses to an
+            // earlier query can never clobber a newer one.
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            let Some(entry) = self.inflight.get(&seq) else {
+                return;
+            };
+            ctx.world.crypto_op("hpke_open");
+            let Ok(resp) = odoh::open_response(&entry.state, body) else {
+                return; // a response to a superseded attempt fails to open
+            };
+            if !resp.is_response {
+                return;
+            }
+            if !self.arq.complete(seq) {
+                return; // duplicated response: counted exactly once
+            }
+            self.failover.report_success(entry.route_ordinal);
+            let sent_at = entry.sent_at;
+            ctx.world.span("query", sent_at.as_us(), ctx.now.as_us());
+            self.inflight.remove(&seq);
+            let mut stats = self.stats.borrow_mut();
+            stats.answered += 1;
+            stats.latencies.push(ctx.now - sent_at);
+            drop(stats);
+            self.send_next(ctx);
+            return;
+        }
         // Only consume the in-flight state once a response actually opens
         // against it — duplicated or stale deliveries must not clobber a
         // newer query's state.
@@ -420,8 +600,16 @@ impl Node for OdohClient {
 struct ProxyNode {
     entity: EntityId,
     target: NodeId,
-    /// Pending client per in-flight query (FIFO per arrival).
+    /// Pending client per in-flight query (FIFO per arrival;
+    /// recovery-disabled path only).
     pending: Vec<NodeId>,
+    /// Is the run's recovery layer on (same [`RunOptions`] every node)?
+    recover: bool,
+    /// Recovery path: hop-local sequence per forwarded query. The proxy
+    /// must not forward the client's own counter — a client-scoped
+    /// counter in the clear would hand the target a stable cross-query
+    /// pseudonym, undoing the decoupling.
+    hop: HopMap<(NodeId, u64)>,
 }
 
 impl Node for ProxyNode {
@@ -430,6 +618,20 @@ impl Node for ProxyNode {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.target {
+            if self.recover {
+                // The target echoed the proxy's hop-local number: map it
+                // back to (client, client seq) and re-frame. A duplicated
+                // response finds its entry consumed and is dropped.
+                let Some((pseq, body)) = wire::unframe(&msg.bytes) else {
+                    return;
+                };
+                let Some((client, cseq)) = self.hop.take(pseq) else {
+                    return;
+                };
+                let framed = wire::frame(cseq, body);
+                ctx.send(client, Message::new(framed, msg.label));
+                return;
+            }
             // Response going back: forward to the waiting client. A
             // duplicated response with no waiter is dropped.
             let Some(client) = self.pending.pop() else {
@@ -437,13 +639,22 @@ impl Node for ProxyNode {
             };
             ctx.send(client, msg);
         } else {
-            self.pending.insert(0, from);
             // Strip the client-identifying envelope: the target sees only
             // the sealed inner part plus an anonymous-aggregate marker.
             let inner = match &msg.label {
                 Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
                 other => other.clone(),
             };
+            if self.recover {
+                let Some((cseq, body)) = wire::unframe(&msg.bytes) else {
+                    return;
+                };
+                let pseq = self.hop.insert((from, cseq));
+                let framed = wire::frame(pseq, body);
+                ctx.send(self.target, Message::new(framed, inner));
+                return;
+            }
+            self.pending.insert(0, from);
             ctx.send(self.target, Message::new(msg.bytes, inner));
         }
     }
@@ -454,12 +665,19 @@ struct TargetNode {
     kp: hpke::Keypair,
     origin: NodeId,
     client_resp_key: dcp_core::KeyId,
-    /// (proxy node, response key, subject) awaiting origin answers.
+    /// (proxy node, response key, subject) awaiting origin answers
+    /// (FIFO; recovery-disabled path only).
     pending: Vec<(NodeId, [u8; 32], UserId)>,
     /// Maps query names to subjects for label construction (the target
     /// cannot name users — this is scenario bookkeeping keyed by what the
     /// target *does* see).
     subject_of_query: std::collections::HashMap<String, UserId>,
+    /// Is the run's recovery layer on?
+    recover: bool,
+    /// Recovery path: awaiting origin answers keyed by the hop-local
+    /// sequence (echoed by the origin), so drops between target and
+    /// origin can never mispair a late answer with the wrong waiter.
+    pending_by_seq: BTreeMap<u64, (NodeId, [u8; 32], UserId)>,
 }
 
 impl Node for TargetNode {
@@ -468,10 +686,22 @@ impl Node for TargetNode {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.origin {
-            let Ok(resp) = DnsMessage::decode(&msg.bytes) else {
+            let (seq, body) = if self.recover {
+                match wire::unframe(&msg.bytes) {
+                    Some((s, b)) => (Some(s), b),
+                    None => return,
+                }
+            } else {
+                (None, &msg.bytes[..])
+            };
+            let Ok(resp) = DnsMessage::decode(body) else {
                 return;
             };
-            let Some((proxy, resp_pk, user)) = self.pending.pop() else {
+            let waiter = match seq {
+                Some(s) => self.pending_by_seq.remove(&s),
+                None => self.pending.pop(),
+            };
+            let Some((proxy, resp_pk, user)) = waiter else {
                 return; // duplicated origin answer: nothing awaits it
             };
             ctx.world.crypto_op("hpke_seal");
@@ -483,13 +713,25 @@ impl Node for TargetNode {
             // entitled to).
             let label = Label::items([InfoItem::sensitive_data(user, DataKind::DnsQuery)])
                 .sealed(self.client_resp_key);
-            ctx.send(proxy, Message::new(sealed, label));
+            let bytes = match seq {
+                Some(s) => wire::frame(s, &sealed),
+                None => sealed,
+            };
+            ctx.send(proxy, Message::new(bytes, label));
             return;
         }
         // Encapsulated query from the proxy. Undecryptable (tampered or
         // duplicated-and-replayed) queries are dropped, never answered.
+        let (seq, body) = if self.recover {
+            match wire::unframe(&msg.bytes) {
+                Some((s, b)) => (Some(s), b),
+                None => return,
+            }
+        } else {
+            (None, &msg.bytes[..])
+        };
         ctx.world.crypto_op("hpke_open");
-        let Ok((query, resp_pk)) = odoh::open_query(&self.kp, &msg.bytes) else {
+        let Ok((query, resp_pk)) = odoh::open_query(&self.kp, body) else {
             return;
         };
         let Some(q0) = query.questions.first() else {
@@ -499,20 +741,33 @@ impl Node for TargetNode {
         let Some(&user) = self.subject_of_query.get(&qname) else {
             return;
         };
-        self.pending.insert(0, (from, resp_pk, user));
+        match seq {
+            Some(s) => {
+                self.pending_by_seq.insert(s, (from, resp_pk, user));
+            }
+            None => self.pending.insert(0, (from, resp_pk, user)),
+        }
         // Plaintext recursive query to the authoritative origin: the
         // origin sees the query (●) from the resolver's address (△).
         let label = Label::items([
             InfoItem::plain_identity(user, IdentityKind::Any),
             InfoItem::sensitive_data(user, DataKind::DnsQuery),
         ]);
-        ctx.send(self.origin, Message::new(query.encode(), label));
+        let bytes = match seq {
+            Some(s) => wire::frame(s, &query.encode()),
+            None => query.encode(),
+        };
+        ctx.send(self.origin, Message::new(bytes, label));
     }
 }
 
 struct OriginNode {
     entity: EntityId,
     zone: Zone,
+    /// Under recovery the origin is a pure echo responder: unframe the
+    /// hop sequence, answer, re-frame — statelessly idempotent, so
+    /// retransmissions just get re-answered.
+    recover: bool,
 }
 
 impl Node for OriginNode {
@@ -520,14 +775,26 @@ impl Node for OriginNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        let Ok(query) = DnsMessage::decode(&msg.bytes) else {
+        let (seq, body) = if self.recover {
+            match wire::unframe(&msg.bytes) {
+                Some((s, b)) => (Some(s), b),
+                None => return,
+            }
+        } else {
+            (None, &msg.bytes[..])
+        };
+        let Ok(query) = DnsMessage::decode(body) else {
             return;
         };
         let resp = self.zone.answer(&query);
         // The response repeats the query content back to the asker; it
         // carries no *new* subject information beyond what the query
         // already established, so label it Public.
-        ctx.send(from, Message::new(resp.encode(), Label::Public));
+        let bytes = match seq {
+            Some(s) => wire::frame(s, &resp.encode()),
+            None => resp.encode(),
+        };
+        ctx.send(from, Message::new(bytes, Label::Public));
     }
 }
 
@@ -540,6 +807,7 @@ impl TargetNode {
         origin: NodeId,
         client_resp_key: dcp_core::KeyId,
         subject_of_query: std::collections::HashMap<String, UserId>,
+        recover: bool,
     ) -> Self {
         TargetNode {
             entity,
@@ -548,6 +816,8 @@ impl TargetNode {
             pending: Vec::new(),
             subject_of_query,
             client_resp_key,
+            recover,
+            pending_by_seq: BTreeMap::new(),
         }
     }
 }
@@ -589,6 +859,19 @@ fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
     let target_e = world.add_entity("Oblivious Resolver", odns_org, None);
     let origin_e = world.add_entity("Origin", auth_org, None);
 
+    // Backup proxies exist only under recovery: each is an independent
+    // operator (own org) so failing over genuinely changes trust, and
+    // clients rotate across all of them even in calm runs — a backup
+    // that only ever saw failure traffic would accrue knowledge only
+    // under faults, breaking the DST's table-equality bar.
+    let recover_on = opts.recover.enabled;
+    let n_backups = if recover_on { cfg.backup_proxies } else { 0 };
+    let mut backup_entities = Vec::new();
+    for i in 0..n_backups {
+        let org = world.add_org(&format!("isp-backup-{}", i + 1));
+        backup_entities.push(world.add_entity(&format!("Resolver {}", i + 2), org, None));
+    }
+
     let target_kp = hpke::Keypair::generate(&mut setup_rng);
 
     let mut users = Vec::new();
@@ -624,11 +907,7 @@ fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
         per_client_queries.push(qs);
     }
 
-    let stats = Rc::new(RefCell::new(Stats {
-        answered: 0,
-        latencies: Vec::new(),
-        resolver_views: vec![HashSet::new()],
-    }));
+    let stats = Rc::new(RefCell::new(Stats::new(1)));
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(8));
@@ -641,6 +920,8 @@ fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
         entity: proxy_e,
         target: target_id,
         pending: Vec::new(),
+        recover: recover_on,
+        hop: HopMap::new(),
     }));
     net.mark_relay(proxy_id);
     net.add_node(Box::new(TargetNode::new(
@@ -649,15 +930,31 @@ fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
         origin_id,
         client_resp_key,
         subject_of_query,
+        recover_on,
     )));
     net.add_node(Box::new(OriginNode {
         entity: origin_e,
         zone,
+        recover: recover_on,
     }));
-    for ((&u, &e), queries) in users
+    let mut proxy_routes = vec![proxy_id];
+    for (i, &e) in backup_entities.iter().enumerate() {
+        let id = NodeId(3 + i);
+        net.add_node(Box::new(ProxyNode {
+            entity: e,
+            target: target_id,
+            pending: Vec::new(),
+            recover: recover_on,
+            hop: HopMap::new(),
+        }));
+        net.mark_relay(id);
+        proxy_routes.push(id);
+    }
+    for (ci, ((&u, &e), queries)) in users
         .iter()
         .zip(client_entities.iter())
         .zip(per_client_queries)
+        .enumerate()
     {
         net.add_node(Box::new(OdohClient::new(
             e,
@@ -667,6 +964,10 @@ fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
             target_key,
             queries,
             stats.clone(),
+            &opts.recover,
+            &proxy_routes,
+            derive_seed(seed, 0x0a10 + ci as u64),
+            ci as u64,
         )));
     }
     // Grant clients their response key so their observations decrypt.
@@ -687,24 +988,61 @@ struct DirectClient {
     stats: Rc<RefCell<Stats>>,
     sent_at: SimTime,
     next_id: u16,
+    /// Per-request ARQ (inert when the run's recovery is disabled). No
+    /// failover list: striping already re-draws the resolver per attempt.
+    arq: ReliableCall,
+    inflight: BTreeMap<u64, DirectInflight>,
+}
+
+struct DirectInflight {
+    name: DnsName,
+    sent_at: SimTime,
 }
 
 impl DirectClient {
+    fn query_label(&self) -> Label {
+        // Plain DNS: the resolver sees both who (▲_N) and what (●).
+        Label::items([
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+            InfoItem::sensitive_data(self.user, DataKind::DnsQuery),
+        ])
+    }
+
     fn send_next(&mut self, ctx: &mut Ctx) {
         let Some(name) = self.queries.pop() else {
             return;
         };
+        if self.arq.enabled() {
+            let att = self.arq.begin().expect("enabled ARQ always begins");
+            let sent_at = ctx.now;
+            self.transmit(ctx, name, sent_at, att);
+            return;
+        }
         // Striping: pick a resolver uniformly at random (§5.1 / ref [18]).
         let idx = ctx.rng.gen_range(0..self.resolvers.len());
         let q = DnsMessage::query(self.next_id, name, RrType::A);
         self.next_id = self.next_id.wrapping_add(1);
         self.sent_at = ctx.now;
-        // Plain DNS: the resolver sees both who (▲_N) and what (●).
-        let label = Label::items([
-            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
-            InfoItem::sensitive_data(self.user, DataKind::DnsQuery),
-        ]);
+        let label = self.query_label();
         ctx.send(self.resolvers[idx], Message::new(q.encode(), label));
+    }
+
+    /// One (re)transmission of reliable call `att.seq`. Plain DNS has no
+    /// ciphertext to re-randomize (the query is readable anyway — this is
+    /// the coupled baseline), so nothing is recorded into the linkage
+    /// check; the striping draw is simply repeated per attempt.
+    fn transmit(&mut self, ctx: &mut Ctx, name: DnsName, sent_at: SimTime, att: Attempt) {
+        let idx = ctx.rng.gen_range(0..self.resolvers.len());
+        let q = DnsMessage::query(self.next_id, name.clone(), RrType::A);
+        self.next_id = self.next_id.wrapping_add(1);
+        self.inflight
+            .insert(att.seq, DirectInflight { name, sent_at });
+        let label = self.query_label();
+        ctx.send(
+            self.resolvers[idx],
+            Message::new(wire::frame(att.seq, &q.encode()), label),
+        );
+        ctx.set_timer(att.timer_delay_us, att.token);
     }
 }
 
@@ -723,7 +1061,51 @@ impl Node for DirectClient {
         );
         self.send_next(ctx);
     }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match self.arq.on_timer(token) {
+            TimerVerdict::NotMine | TimerVerdict::Stale => {}
+            TimerVerdict::Retry(att) => {
+                let Some(entry) = self.inflight.get(&att.seq) else {
+                    return;
+                };
+                let (name, sent_at) = (entry.name.clone(), entry.sent_at);
+                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
+                self.transmit(ctx, name, sent_at, att);
+            }
+            TimerVerdict::Exhausted { seq, attempts } => {
+                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
+                self.inflight.remove(&seq);
+                self.send_next(ctx);
+            }
+        }
+    }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        if self.arq.enabled() {
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            let Some(entry) = self.inflight.get(&seq) else {
+                return;
+            };
+            let Ok(resp) = DnsMessage::decode(body) else {
+                return;
+            };
+            if !resp.is_response {
+                return;
+            }
+            if !self.arq.complete(seq) {
+                return; // duplicated response: counted exactly once
+            }
+            let sent_at = entry.sent_at;
+            ctx.world.span("query", sent_at.as_us(), ctx.now.as_us());
+            self.inflight.remove(&seq);
+            let mut stats = self.stats.borrow_mut();
+            stats.answered += 1;
+            stats.latencies.push(ctx.now - sent_at);
+            drop(stats);
+            self.send_next(ctx);
+            return;
+        }
         // Undecodable or non-response deliveries (duplication faults) are
         // ignored rather than crashing the client.
         let Ok(resp) = DnsMessage::decode(&msg.bytes) else {
@@ -748,6 +1130,11 @@ struct PlainResolver {
     origin: NodeId,
     pending: Vec<NodeId>,
     stats: Rc<RefCell<Stats>>,
+    /// Is the run's recovery layer on?
+    recover: bool,
+    /// Recovery path: hop-local sequence per forwarded query (client
+    /// sequence spaces collide across clients).
+    hop: HopMap<(NodeId, u64)>,
 }
 
 impl Node for PlainResolver {
@@ -756,11 +1143,40 @@ impl Node for PlainResolver {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.origin {
+            if self.recover {
+                let Some((rseq, body)) = wire::unframe(&msg.bytes) else {
+                    return;
+                };
+                let Some((client, cseq)) = self.hop.take(rseq) else {
+                    return;
+                };
+                let framed = wire::frame(cseq, body);
+                ctx.send(client, Message::new(framed, msg.label));
+                return;
+            }
             // A duplicated origin answer with no waiter is dropped.
             let Some(client) = self.pending.pop() else {
                 return;
             };
             ctx.send(client, msg);
+            return;
+        }
+        if self.recover {
+            let Some((cseq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            let Ok(query) = DnsMessage::decode(body) else {
+                return;
+            };
+            let Some(q0) = query.questions.first() else {
+                return;
+            };
+            self.stats.borrow_mut().resolver_views[self.slot].insert(q0.qname.to_string());
+            let rseq = self.hop.insert((from, cseq));
+            let framed = wire::frame(rseq, body);
+            // Forward upstream; the label travels as-is (the resolver
+            // already saw everything — plain DNS hides nothing).
+            ctx.send(self.origin, Message::new(framed, msg.label));
             return;
         }
         let Ok(query) = DnsMessage::decode(&msg.bytes) else {
@@ -831,20 +1247,18 @@ fn direct_impl(cfg: &DirectDnsConfig, seed: u64, opts: &RunOptions) -> ScenarioR
         users.push(u);
     }
 
-    let stats = Rc::new(RefCell::new(Stats {
-        answered: 0,
-        latencies: Vec::new(),
-        resolver_views: vec![HashSet::new(); n_resolvers],
-    }));
+    let stats = Rc::new(RefCell::new(Stats::new(n_resolvers)));
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(8));
     net.enable_faults(opts.faults.clone(), seed);
 
+    let recover_on = opts.recover.enabled;
     let origin_id = NodeId(0);
     net.add_node(Box::new(OriginNode {
         entity: origin_e,
         zone,
+        recover: recover_on,
     }));
     let resolver_ids: Vec<NodeId> = (0..n_resolvers).map(|i| NodeId(1 + i)).collect();
     for (i, &e) in resolver_entities.iter().enumerate() {
@@ -854,9 +1268,11 @@ fn direct_impl(cfg: &DirectDnsConfig, seed: u64, opts: &RunOptions) -> ScenarioR
             origin: origin_id,
             pending: Vec::new(),
             stats: stats.clone(),
+            recover: recover_on,
+            hop: HopMap::new(),
         }));
     }
-    for (&u, &e) in users.iter().zip(client_entities.iter()) {
+    for (ci, (&u, &e)) in users.iter().zip(client_entities.iter()).enumerate() {
         let queries = workload.stream(&mut wl_rng, queries_each);
         net.add_node(Box::new(DirectClient {
             entity: e,
@@ -866,6 +1282,8 @@ fn direct_impl(cfg: &DirectDnsConfig, seed: u64, opts: &RunOptions) -> ScenarioR
             stats: stats.clone(),
             sent_at: SimTime::ZERO,
             next_id: 1,
+            arq: ReliableCall::new(&opts.recover, derive_seed(seed, 0x0d11 + ci as u64)),
+            inflight: BTreeMap::new(),
         }));
     }
 
@@ -919,7 +1337,6 @@ fn finish_report(
     for v in &stats.resolver_views {
         all_names.extend(v.iter().cloned());
     }
-    let _ = expected_queries;
     ScenarioReport {
         world,
         trace,
@@ -930,6 +1347,8 @@ fn finish_report(
         distinct_names: all_names.len(),
         fault_log,
         metrics,
+        expected: expected_queries as u64,
+        retry_linkage: stats.linkage.violations(),
     }
 }
 
@@ -1075,6 +1494,75 @@ mod tests {
             "moderate preset injects faults on the direct path"
         );
     }
+
+    #[test]
+    fn recovered_harsh_odoh_completes_with_baseline_tables() {
+        use dcp_core::ScenarioReport as _;
+        use dcp_faults::dst::KnowledgeFingerprint;
+        use dcp_faults::FaultConfig;
+        let cfg = OdohConfig::new(2, 4).backup_proxies(1);
+        let calm = Odoh::run_with(&cfg, 31, &RunOptions::recovered(&FaultConfig::calm()));
+        let harsh = Odoh::run_with(&cfg, 31, &RunOptions::recovered(&FaultConfig::harsh()));
+        assert_eq!(calm.answered, 8, "calm recovered run answers everything");
+        assert_eq!(
+            harsh.answered as u64,
+            harsh.expected_units().unwrap(),
+            "under harsh faults the recovery layer still finishes the workload"
+        );
+        assert!(!harsh.fault_log.is_empty(), "harsh actually injected");
+        assert!(
+            harsh.retry_linkage().is_empty(),
+            "re-randomized retries are never linkable by ciphertext equality: {:?}",
+            harsh.retry_linkage()
+        );
+        assert_eq!(
+            KnowledgeFingerprint::of(&harsh.world),
+            KnowledgeFingerprint::of(&calm.world),
+            "recovery must not change anyone's knowledge ledger"
+        );
+        assert_eq!(harsh.table(0), calm.table(0));
+    }
+
+    #[test]
+    fn recovered_harsh_legacy_and_direct_complete() {
+        use dcp_core::ScenarioReport as _;
+        use dcp_faults::FaultConfig;
+        let opts = RunOptions::recovered(&FaultConfig::harsh());
+        let legacy = OdnsLegacy::run_with(&OdnsLegacyConfig::new(1, 4), 33, &opts);
+        assert_eq!(legacy.answered as u64, legacy.expected_units().unwrap());
+        assert!(legacy.retry_linkage().is_empty());
+        let direct = DirectDns::run_with(&DirectDnsConfig::new(2, 5, 2), 34, &opts);
+        assert_eq!(direct.answered as u64, direct.expected_units().unwrap());
+    }
+
+    #[test]
+    fn recovery_emits_observable_retry_metrics() {
+        use dcp_core::RecoverConfig;
+        use dcp_faults::FaultConfig;
+        let opts = RunOptions::observed_with_faults(&FaultConfig::harsh())
+            .with_recovery(&RecoverConfig::standard());
+        let report = Odoh::run_with(&OdohConfig::new(1, 6).backup_proxies(1), 35, &opts);
+        assert!(report.metrics.enabled);
+        assert!(
+            report.metrics.recovery_retries > 0,
+            "harsh faults should force at least one retransmission: {:?}",
+            report.metrics
+        );
+        assert_eq!(report.answered, 6);
+    }
+
+    #[test]
+    fn recovered_runs_are_deterministic() {
+        use dcp_faults::FaultConfig;
+        let cfg = OdohConfig::new(1, 4).backup_proxies(1);
+        let opts = RunOptions::recovered(&FaultConfig::harsh());
+        let a = Odoh::run_with(&cfg, 41, &opts);
+        let b = Odoh::run_with(&cfg, 41, &opts);
+        assert_eq!(a.answered, b.answered);
+        assert_eq!(a.mean_query_us, b.mean_query_us);
+        assert_eq!(a.trace.len(), b.trace.len());
+        assert_eq!(a.fault_log.len(), b.fault_log.len());
+    }
 }
 
 // ------------------------------------------------- original ODNS (2019) --
@@ -1093,13 +1581,44 @@ struct OdnsClient {
     stats: Rc<RefCell<Stats>>,
     sent_at: SimTime,
     next_id: u16,
+    /// Per-request ARQ (inert when the run's recovery is disabled).
+    arq: ReliableCall,
+    /// RetryLinkage flow id (the client index).
+    flow: u64,
+    inflight: BTreeMap<u64, OdnsInflight>,
+}
+
+struct OdnsInflight {
+    name: DnsName,
+    resp_kp: hpke::Keypair,
+    sent_at: SimTime,
 }
 
 impl OdnsClient {
+    fn envelope_label(&self) -> Label {
+        Label::items([
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+            InfoItem::plain_data(self.user, DataKind::DnsQuery),
+        ])
+        .and(
+            Label::items([
+                InfoItem::plain_identity(self.user, IdentityKind::Any),
+                InfoItem::partial_data(self.user, DataKind::DnsQuery),
+            ])
+            .sealed(self.target_key),
+        )
+    }
+
     fn send_next(&mut self, ctx: &mut Ctx) {
         let Some(name) = self.queries.pop() else {
             return;
         };
+        if self.arq.enabled() {
+            let att = self.arq.begin().expect("enabled ARQ always begins");
+            let sent_at = ctx.now;
+            self.transmit(ctx, name, sent_at, att);
+            return;
+        }
         let zone = DnsName::parse(ODNS_ZONE).unwrap();
         ctx.world.crypto_op("hpke_seal");
         let (obfuscated, resp_kp) =
@@ -1112,18 +1631,41 @@ impl OdnsClient {
         // to it this is just another domain to resolve.
         let q = DnsMessage::query(self.next_id, obfuscated, RrType::Txt);
         self.next_id = self.next_id.wrapping_add(1);
-        let label = Label::items([
-            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
-            InfoItem::plain_data(self.user, DataKind::DnsQuery),
-        ])
-        .and(
-            Label::items([
-                InfoItem::plain_identity(self.user, IdentityKind::Any),
-                InfoItem::partial_data(self.user, DataKind::DnsQuery),
-            ])
-            .sealed(self.target_key),
-        );
+        let label = self.envelope_label();
         ctx.send(self.recursive, Message::new(q.encode(), label));
+    }
+
+    /// One (re)transmission of reliable call `att.seq`: a *fresh*
+    /// obfuscation every attempt — new ephemeral response keypair, new
+    /// encapsulated name — so no two attempts share bytes anywhere on
+    /// the path (re-randomized retransmission).
+    fn transmit(&mut self, ctx: &mut Ctx, name: DnsName, sent_at: SimTime, att: Attempt) {
+        let zone = DnsName::parse(ODNS_ZONE).unwrap();
+        ctx.world.crypto_op("hpke_seal");
+        let (obfuscated, resp_kp) =
+            crate::odns_name::obfuscate_query(ctx.rng, &self.target_pk, &name, &zone)
+                .expect("obfuscate");
+        let q = DnsMessage::query(self.next_id, obfuscated, RrType::Txt);
+        self.next_id = self.next_id.wrapping_add(1);
+        let encoded = q.encode();
+        self.stats
+            .borrow_mut()
+            .linkage
+            .record(self.flow, att.seq, att.attempt, &encoded);
+        self.inflight.insert(
+            att.seq,
+            OdnsInflight {
+                name,
+                resp_kp,
+                sent_at,
+            },
+        );
+        let label = self.envelope_label();
+        ctx.send(
+            self.recursive,
+            Message::new(wire::frame(att.seq, &encoded), label),
+        );
+        ctx.set_timer(att.timer_delay_us, att.token);
     }
 }
 
@@ -1142,7 +1684,60 @@ impl Node for OdnsClient {
         );
         self.send_next(ctx);
     }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match self.arq.on_timer(token) {
+            TimerVerdict::NotMine | TimerVerdict::Stale => {}
+            TimerVerdict::Retry(att) => {
+                let Some(entry) = self.inflight.get(&att.seq) else {
+                    return;
+                };
+                let (name, sent_at) = (entry.name.clone(), entry.sent_at);
+                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
+                self.transmit(ctx, name, sent_at, att);
+            }
+            TimerVerdict::Exhausted { seq, attempts } => {
+                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
+                self.inflight.remove(&seq);
+                self.send_next(ctx);
+            }
+        }
+    }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        if self.arq.enabled() {
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            let Some(entry) = self.inflight.get(&seq) else {
+                return;
+            };
+            let Ok(resp) = DnsMessage::decode(body) else {
+                return;
+            };
+            let Some(dcp_dns::RecordData::Txt(strings)) = resp.answers.first().map(|rr| &rr.data)
+            else {
+                return;
+            };
+            let sealed: Vec<u8> = strings.concat();
+            ctx.world.crypto_op("hpke_open");
+            let Ok(answer) = hpke::open(&entry.resp_kp, b"odns answer", b"", &sealed) else {
+                return; // a response to a superseded attempt fails to open
+            };
+            if answer.len() != 4 {
+                return;
+            }
+            if !self.arq.complete(seq) {
+                return; // duplicated response: counted exactly once
+            }
+            let sent_at = entry.sent_at;
+            ctx.world.span("query", sent_at.as_us(), ctx.now.as_us());
+            self.inflight.remove(&seq);
+            let mut stats = self.stats.borrow_mut();
+            stats.answered += 1;
+            stats.latencies.push(ctx.now - sent_at);
+            drop(stats);
+            self.send_next(ctx);
+            return;
+        }
         // TXT response carrying the sealed answer. Only consume the
         // in-flight response key once an answer actually opens against it
         // — tampered, duplicated, or stale deliveries must fail closed.
@@ -1182,6 +1777,12 @@ struct OdnsRecursive {
     entity: EntityId,
     odns_authority: NodeId,
     pending: Vec<NodeId>,
+    /// Is the run's recovery layer on?
+    recover: bool,
+    /// Recovery path: hop-local sequence per forwarded query (the
+    /// client's counter must not travel past the recursive — it would be
+    /// a stable cross-query pseudonym at the authority).
+    hop: HopMap<(NodeId, u64)>,
 }
 
 impl Node for OdnsRecursive {
@@ -1190,6 +1791,17 @@ impl Node for OdnsRecursive {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.odns_authority {
+            if self.recover {
+                let Some((rseq, body)) = wire::unframe(&msg.bytes) else {
+                    return;
+                };
+                let Some((client, cseq)) = self.hop.take(rseq) else {
+                    return;
+                };
+                let framed = wire::frame(cseq, body);
+                ctx.send(client, Message::new(framed, msg.label));
+                return;
+            }
             // A duplicated authority answer with no waiter is dropped.
             let Some(client) = self.pending.pop() else {
                 return;
@@ -1197,13 +1809,22 @@ impl Node for OdnsRecursive {
             ctx.send(client, msg);
             return;
         }
-        self.pending.insert(0, from);
         // Strip the client-identifying envelope part (source address
         // rewriting — the recursive resolver is the visible querier).
         let inner = match &msg.label {
             Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
             other => other.clone(),
         };
+        if self.recover {
+            let Some((cseq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            let rseq = self.hop.insert((from, cseq));
+            let framed = wire::frame(rseq, body);
+            ctx.send(self.odns_authority, Message::new(framed, inner));
+            return;
+        }
+        self.pending.insert(0, from);
         ctx.send(self.odns_authority, Message::new(msg.bytes, inner));
     }
 }
@@ -1215,9 +1836,15 @@ struct OdnsAuthority {
     kp: hpke::Keypair,
     origin: NodeId,
     /// (recursive node, query id, response key, subject)
+    /// (FIFO; recovery-disabled path only).
     pending: Vec<(NodeId, u16, [u8; 32], UserId, DnsName)>,
     client_resp_key: dcp_core::KeyId,
     subject_of_query: std::collections::HashMap<String, UserId>,
+    /// Is the run's recovery layer on?
+    recover: bool,
+    /// Recovery path: awaiting origin answers keyed by the hop-local
+    /// sequence the origin echoes back.
+    pending_by_seq: BTreeMap<u64, (NodeId, u16, [u8; 32], UserId, DnsName)>,
 }
 
 impl Node for OdnsAuthority {
@@ -1226,10 +1853,22 @@ impl Node for OdnsAuthority {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.origin {
-            let Ok(resp) = DnsMessage::decode(&msg.bytes) else {
+            let (seq, body) = if self.recover {
+                match wire::unframe(&msg.bytes) {
+                    Some((s, b)) => (Some(s), b),
+                    None => return,
+                }
+            } else {
+                (None, &msg.bytes[..])
+            };
+            let Ok(resp) = DnsMessage::decode(body) else {
                 return;
             };
-            let Some((recursive, qid, resp_pk, user, obf_name)) = self.pending.pop() else {
+            let waiter = match seq {
+                Some(s) => self.pending_by_seq.remove(&s),
+                None => self.pending.pop(),
+            };
+            let Some((recursive, qid, resp_pk, user, obf_name)) = waiter else {
                 return; // duplicated origin answer: nothing awaits it
             };
             // Seal the first A answer back to the client; an answerless
@@ -1256,12 +1895,24 @@ impl Node for OdnsAuthority {
             });
             let label = Label::items([InfoItem::sensitive_data(user, DataKind::DnsQuery)])
                 .sealed(self.client_resp_key);
-            ctx.send(recursive, Message::new(txt_resp.encode(), label));
+            let bytes = match seq {
+                Some(s) => wire::frame(s, &txt_resp.encode()),
+                None => txt_resp.encode(),
+            };
+            ctx.send(recursive, Message::new(bytes, label));
             return;
         }
         // Obfuscated query arriving via the recursive. Undecodable or
         // undeobfuscatable (tampered) names are dropped, never answered.
-        let Ok(query) = DnsMessage::decode(&msg.bytes) else {
+        let (seq, body) = if self.recover {
+            match wire::unframe(&msg.bytes) {
+                Some((s, b)) => (Some(s), b),
+                None => return,
+            }
+        } else {
+            (None, &msg.bytes[..])
+        };
+        let Ok(query) = DnsMessage::decode(body) else {
             return;
         };
         let Some(q0) = query.questions.first() else {
@@ -1277,14 +1928,25 @@ impl Node for OdnsAuthority {
         let Some(&user) = self.subject_of_query.get(&qname.to_string()) else {
             return;
         };
-        self.pending
-            .insert(0, (from, query.id, resp_pk, user, obf_name));
+        match seq {
+            Some(s) => {
+                self.pending_by_seq
+                    .insert(s, (from, query.id, resp_pk, user, obf_name));
+            }
+            None => self
+                .pending
+                .insert(0, (from, query.id, resp_pk, user, obf_name)),
+        }
         let plain_q = DnsMessage::query(query.id, qname, RrType::A);
         let label = Label::items([
             InfoItem::plain_identity(user, IdentityKind::Any),
             InfoItem::sensitive_data(user, DataKind::DnsQuery),
         ]);
-        ctx.send(self.origin, Message::new(plain_q.encode(), label));
+        let bytes = match seq {
+            Some(s) => wire::frame(s, &plain_q.encode()),
+            None => plain_q.encode(),
+        };
+        ctx.send(self.origin, Message::new(bytes, label));
     }
 }
 
@@ -1343,15 +2005,12 @@ fn legacy_impl(cfg: &OdnsLegacyConfig, seed: u64, opts: &RunOptions) -> Scenario
         per_client_queries.push(qs);
     }
 
-    let stats = Rc::new(RefCell::new(Stats {
-        answered: 0,
-        latencies: Vec::new(),
-        resolver_views: vec![HashSet::new()],
-    }));
+    let stats = Rc::new(RefCell::new(Stats::new(1)));
 
     let mut net = Network::new(world, seed);
     net.set_default_link(LinkParams::wan_ms(8));
     net.enable_faults(opts.faults.clone(), seed);
+    let recover_on = opts.recover.enabled;
     let recursive_id = NodeId(0);
     let authority_id = NodeId(1);
     let origin_id = NodeId(2);
@@ -1359,7 +2018,10 @@ fn legacy_impl(cfg: &OdnsLegacyConfig, seed: u64, opts: &RunOptions) -> Scenario
         entity: recursive_e,
         odns_authority: authority_id,
         pending: Vec::new(),
+        recover: recover_on,
+        hop: HopMap::new(),
     }));
+    net.mark_relay(recursive_id);
     net.add_node(Box::new(OdnsAuthority {
         entity: authority_e,
         kp: target_kp.clone(),
@@ -1367,15 +2029,19 @@ fn legacy_impl(cfg: &OdnsLegacyConfig, seed: u64, opts: &RunOptions) -> Scenario
         pending: Vec::new(),
         client_resp_key,
         subject_of_query,
+        recover: recover_on,
+        pending_by_seq: BTreeMap::new(),
     }));
     net.add_node(Box::new(OriginNode {
         entity: origin_e,
         zone,
+        recover: recover_on,
     }));
-    for ((&u, &e), queries) in users
+    for (ci, ((&u, &e), queries)) in users
         .iter()
         .zip(client_entities.iter())
         .zip(per_client_queries)
+        .enumerate()
     {
         net.add_node(Box::new(OdnsClient {
             entity: e,
@@ -1388,6 +2054,9 @@ fn legacy_impl(cfg: &OdnsLegacyConfig, seed: u64, opts: &RunOptions) -> Scenario
             stats: stats.clone(),
             sent_at: SimTime::ZERO,
             next_id: 1,
+            arq: ReliableCall::new(&opts.recover, derive_seed(seed, 0x0d15 + ci as u64)),
+            flow: ci as u64,
+            inflight: BTreeMap::new(),
         }));
     }
     for &e in &client_entities {

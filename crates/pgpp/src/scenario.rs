@@ -1,9 +1,10 @@
 //! Legacy vs. PGPP cellular runs on the simulator.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
+use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
     DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
@@ -12,6 +13,7 @@ use dcp_core::{
 use dcp_faults::{FaultConfig, FaultLog};
 use dcp_obs::MetricsHandle;
 use dcp_privacypass::protocol::{Client as TokenClient, Issuer, Token};
+use dcp_recover::{wire, Attempt, ReliableCall, RetryLinkage, TimerVerdict};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
 use rand::Rng as _;
 
@@ -74,6 +76,12 @@ pub struct PgppReport {
     pub fault_log: FaultLog,
     /// Run metrics (populated on instrumented runs).
     pub metrics: MetricsReport,
+    /// The workload's target (`users × epochs × moves_per_epoch`).
+    pub expected: u64,
+    /// Retry-linkage violations over the re-blinded issuance attempts
+    /// (attach retransmissions carry the *same* one-time token by design —
+    /// see `docs/RECOVERY.md` on instruments the receiver must dedup).
+    pub retry_linkage: Vec<String>,
 }
 
 impl dcp_core::ScenarioReport for PgppReport {
@@ -88,6 +96,12 @@ impl dcp_core::ScenarioReport for PgppReport {
     }
     fn completed_units(&self) -> u64 {
         self.attaches as u64
+    }
+    fn expected_units(&self) -> Option<u64> {
+        Some(self.expected)
+    }
+    fn retry_linkage(&self) -> &[String] {
+        &self.retry_linkage
     }
 }
 
@@ -141,6 +155,18 @@ struct Shared {
     issuer: Issuer,
     /// Ground truth (epoch, imsi) → subscriber index.
     truth: HashMap<(u32, Imsi), usize>,
+    /// Retry-linkage check fed by every issuance attempt's blinded batch.
+    linkage: RetryLinkage,
+}
+
+/// What reliable call `seq` of one phone stands for.
+enum PgInflight {
+    /// The token-issuance round (re-blinded fresh on every attempt).
+    Issuance,
+    /// One attach: the *same* payload is retransmitted verbatim (a fresh
+    /// token per attempt would drain the wallet); the NGC and gateway
+    /// dedup instead.
+    Attach { payload: Vec<u8> },
 }
 
 struct PhoneNode {
@@ -158,11 +184,77 @@ struct PhoneNode {
     wallet: TokenClient,
     pending_issuance: Option<dcp_privacypass::protocol::IssuanceRequest>,
     moves_done: usize,
+    /// Per-request ARQ (inert when the run's recovery is disabled).
+    arq: ReliableCall,
+    flow: u64,
+    inflight: BTreeMap<u64, PgInflight>,
 }
 
 impl PhoneNode {
     fn current_epoch(&self, now_us: u64) -> u32 {
         ((now_us / self.epoch_len_us) as u32).min(self.epochs - 1)
+    }
+
+    /// Draw a fresh blinded issuance batch. Each call re-blinds from
+    /// scratch, which is exactly what a re-randomized retransmission needs.
+    fn issuance_request(&mut self, ctx: &mut Ctx) -> (Vec<u8>, Label) {
+        let need = (self.epochs as usize) * self.moves_per_epoch;
+        for _ in 0..need {
+            ctx.world.crypto_op("voprf_blind");
+        }
+        let req = self.wallet.request_tokens(ctx.rng, need);
+        let mut bytes = vec![0x01u8]; // tag: issuance request
+        for b in &req.blinded {
+            bytes.extend_from_slice(&b.0);
+        }
+        self.pending_issuance = Some(req);
+        let label = Label::items([
+            InfoItem::sensitive_identity(self.user, IdentityKind::Human),
+            InfoItem::plain_identity(self.user, IdentityKind::Network),
+            InfoItem::plain_data(self.user, DataKind::Payload),
+        ]);
+        (bytes, label)
+    }
+
+    fn transmit_issuance(&mut self, ctx: &mut Ctx, att: Attempt) {
+        let (bytes, label) = self.issuance_request(ctx);
+        self.shared
+            .borrow_mut()
+            .linkage
+            .record(self.flow, att.seq, att.attempt, &bytes);
+        ctx.send(self.gw, Message::new(wire::frame(att.seq, &bytes), label));
+        ctx.set_timer(att.timer_delay_us, att.token);
+    }
+
+    /// Retransmit attach `att.seq`. The payload is deliberately
+    /// byte-identical across attempts — the one-time attach token cannot
+    /// be re-randomized without draining the wallet — so it is *not*
+    /// recorded into the linkage check; the NGC dedups by `(phone, seq)`.
+    fn transmit_attach(&mut self, ctx: &mut Ctx, payload: &[u8], att: Attempt) {
+        let label = self.attach_label();
+        ctx.send(self.ngc, Message::new(wire::frame(att.seq, payload), label));
+        ctx.set_timer(att.timer_delay_us, att.token);
+    }
+
+    fn attach_label(&self) -> Label {
+        // What the core learns from an attach: the serving cell (location,
+        // ●-grade data) bound to whatever identity the IMSI is. Legacy:
+        // the IMSI *is* the subscriber (▲_N, and via the billing database
+        // ▲_H). PGPP: a shuffled pseudonym (△_N) — the human identity
+        // never appears (△_H comes from "a member of the subscriber
+        // aggregate").
+        match self.mode {
+            Mode::Legacy => Label::items([
+                InfoItem::sensitive_identity(self.user, IdentityKind::Network),
+                InfoItem::sensitive_identity(self.user, IdentityKind::Human),
+                InfoItem::sensitive_data(self.user, DataKind::Location),
+            ]),
+            Mode::Pgpp => Label::items([
+                InfoItem::plain_identity(self.user, IdentityKind::Network),
+                InfoItem::plain_identity(self.user, IdentityKind::Human),
+                InfoItem::partial_data(self.user, DataKind::Location),
+            ]),
+        }
     }
 
     fn imsi_for(&self, epoch: u32) -> Imsi {
@@ -204,24 +296,18 @@ impl PhoneNode {
         };
         payload.extend_from_slice(&token);
 
-        // What the core learns from an attach: the serving cell (location,
-        // ●-grade data) bound to whatever identity the IMSI is. Legacy:
-        // the IMSI *is* the subscriber (▲_N, and via the billing database
-        // ▲_H). PGPP: a shuffled pseudonym (△_N) — the human identity
-        // never appears (△_H comes from "a member of the subscriber
-        // aggregate").
-        let label = match self.mode {
-            Mode::Legacy => Label::items([
-                InfoItem::sensitive_identity(self.user, IdentityKind::Network),
-                InfoItem::sensitive_identity(self.user, IdentityKind::Human),
-                InfoItem::sensitive_data(self.user, DataKind::Location),
-            ]),
-            Mode::Pgpp => Label::items([
-                InfoItem::plain_identity(self.user, IdentityKind::Network),
-                InfoItem::plain_identity(self.user, IdentityKind::Human),
-                InfoItem::partial_data(self.user, DataKind::Location),
-            ]),
-        };
+        if self.arq.enabled() {
+            let att = self.arq.begin().expect("enabled ARQ always begins");
+            self.inflight.insert(
+                att.seq,
+                PgInflight::Attach {
+                    payload: payload.clone(),
+                },
+            );
+            self.transmit_attach(ctx, &payload, att);
+            return;
+        }
+        let label = self.attach_label();
         ctx.send(self.ngc, Message::new(payload, label));
     }
 
@@ -260,42 +346,57 @@ impl Node for PhoneNode {
         if self.mode == Mode::Pgpp {
             // Buy service: authenticate to the gateway with the billing
             // identity (▲_H) and obtain blinded attach tokens (⊙).
-            let need = (self.epochs as usize) * self.moves_per_epoch;
-            for _ in 0..need {
-                ctx.world.crypto_op("voprf_blind");
+            if self.arq.enabled() {
+                let att = self.arq.begin().expect("enabled ARQ always begins");
+                self.inflight.insert(att.seq, PgInflight::Issuance);
+                self.transmit_issuance(ctx, att);
+                return;
             }
-            let req = self.wallet.request_tokens(ctx.rng, need);
-            let mut bytes = vec![0x01u8]; // tag: issuance request
-            for b in &req.blinded {
-                bytes.extend_from_slice(&b.0);
-            }
-            self.pending_issuance = Some(req);
-            let label = Label::items([
-                InfoItem::sensitive_identity(self.user, IdentityKind::Human),
-                InfoItem::plain_identity(self.user, IdentityKind::Network),
-                InfoItem::plain_data(self.user, DataKind::Payload),
-            ]);
+            let (bytes, label) = self.issuance_request(ctx);
             ctx.send(self.gw, Message::new(bytes, label));
         } else {
             self.schedule_all_moves(ctx);
         }
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if self.arq.enabled() {
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            match self.inflight.get(&seq) {
+                Some(PgInflight::Issuance) if from == self.gw => {
+                    let evals = decode_evals(body);
+                    let Some(req) = self.pending_issuance.take() else {
+                        return;
+                    };
+                    for _ in 0..evals.len() {
+                        ctx.world.crypto_op("voprf_finalize");
+                    }
+                    if self.wallet.accept_issuance(req, &evals).is_err() {
+                        // A superseded attempt's response fails against the
+                        // re-blinded state: drop it, the timer retries.
+                        return;
+                    }
+                    if !self.arq.complete(seq) {
+                        return;
+                    }
+                    self.inflight.remove(&seq);
+                    ctx.world.span("issuance", 0, ctx.now.as_us());
+                    self.schedule_all_moves(ctx);
+                }
+                Some(PgInflight::Attach { .. }) if from == self.ngc => {
+                    if !self.arq.complete(seq) {
+                        return; // duplicated ack: counted exactly once
+                    }
+                    self.inflight.remove(&seq);
+                }
+                _ => {}
+            }
+            return;
+        }
         if from == self.gw {
             // Token issuance response.
-            let mut evals = Vec::new();
-            for chunk in msg.bytes.chunks_exact(96) {
-                let mut e = [0u8; 32];
-                e.copy_from_slice(&chunk[..32]);
-                let mut c = [0u8; 32];
-                c.copy_from_slice(&chunk[32..64]);
-                let mut s = [0u8; 32];
-                s.copy_from_slice(&chunk[64..96]);
-                evals.push((
-                    dcp_crypto::oprf::EvaluatedElement(e),
-                    dcp_crypto::oprf::DleqProof { c, s },
-                ));
-            }
+            let evals = decode_evals(&msg.bytes);
             let Some(req) = self.pending_issuance.take() else {
                 return; // duplicate issuance response: already consumed
             };
@@ -310,10 +411,71 @@ impl Node for PhoneNode {
         }
         // Attach acks need no action.
     }
-    fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
-        self.attach(ctx);
-        self.moves_done += 1;
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match self.arq.on_timer(token) {
+            TimerVerdict::NotMine => {
+                // A scheduled move (the only non-ARQ timer this node sets).
+                self.attach(ctx);
+                self.moves_done += 1;
+            }
+            TimerVerdict::Stale => {}
+            TimerVerdict::Retry(att) => {
+                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
+                match self.inflight.get(&att.seq) {
+                    Some(PgInflight::Issuance) => self.transmit_issuance(ctx, att),
+                    Some(PgInflight::Attach { payload }) => {
+                        let payload = payload.clone();
+                        self.transmit_attach(ctx, &payload, att);
+                    }
+                    None => {}
+                }
+            }
+            TimerVerdict::Exhausted { seq, attempts } => {
+                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
+                // An abandoned issuance leaves an empty wallet, an
+                // abandoned attach an unserved move: the phone never
+                // attaches unauthenticated.
+                self.inflight.remove(&seq);
+            }
+        }
     }
+}
+
+fn decode_evals(
+    payload: &[u8],
+) -> Vec<(
+    dcp_crypto::oprf::EvaluatedElement,
+    dcp_crypto::oprf::DleqProof,
+)> {
+    let mut evals = Vec::new();
+    for chunk in payload.chunks_exact(96) {
+        let mut e = [0u8; 32];
+        e.copy_from_slice(&chunk[..32]);
+        let mut c = [0u8; 32];
+        c.copy_from_slice(&chunk[32..64]);
+        let mut s = [0u8; 32];
+        s.copy_from_slice(&chunk[64..96]);
+        evals.push((
+            dcp_crypto::oprf::EvaluatedElement(e),
+            dcp_crypto::oprf::DleqProof { c, s },
+        ));
+    }
+    evals
+}
+
+/// One attach the core is driving (recovery path).
+struct AttachCheck {
+    /// Arrival time of the first transmission (the recorded attach time).
+    t: u64,
+    imsi: Imsi,
+    cell: CellId,
+    epoch: u32,
+    /// Bare token bytes, kept for re-nudging the gateway leg (PGPP).
+    token: Vec<u8>,
+    /// The core's hop-local sequence on the gateway leg.
+    hopseq: u64,
+    /// Has the verdict landed (attach recorded or rejected)?
+    resolved: bool,
 }
 
 struct NgcNode {
@@ -323,6 +485,15 @@ struct NgcNode {
     shared: Rc<RefCell<Shared>>,
     /// Attaches awaiting gateway token verification (PGPP mode).
     awaiting: Vec<(u64, Imsi, CellId, u32)>,
+    /// Is the run's recovery layer on?
+    recover: bool,
+    /// Recovery path: one recorded attach per `(phone node, phone seq)` —
+    /// the phone's ARQ drives the chain; retransmitted attaches mutate the
+    /// core log exactly once.
+    checks: BTreeMap<(usize, u64), AttachCheck>,
+    /// Reverse map: gateway-leg hop sequence → (phone node, phone seq).
+    by_hop: BTreeMap<u64, (NodeId, u64)>,
+    next_hop: u64,
 }
 
 impl Node for NgcNode {
@@ -330,6 +501,10 @@ impl Node for NgcNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if self.recover {
+            self.on_message_recover(ctx, from, msg);
+            return;
+        }
         if from == self.gw {
             // Verification verdict for the oldest awaiting attach.
             let ok = msg.bytes == [1u8];
@@ -372,9 +547,122 @@ impl Node for NgcNode {
     }
 }
 
+impl NgcNode {
+    /// Recovery-mode message handling: everything is seq-framed, every
+    /// attach is acknowledged, and duplicates replay rather than re-record.
+    fn on_message_recover(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if from == self.gw {
+            // Verification verdict, addressed by our hop sequence.
+            let Some((hopseq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            let Some(&(phone, cseq)) = self.by_hop.get(&hopseq) else {
+                return;
+            };
+            let Some(check) = self.checks.get_mut(&(phone.0, cseq)) else {
+                return;
+            };
+            if check.resolved {
+                return; // duplicated verdict: recorded exactly once
+            }
+            check.resolved = true;
+            let ok = body == [1u8];
+            let mut shared = self.shared.borrow_mut();
+            if ok {
+                shared
+                    .core
+                    .record_attach(check.t, check.imsi, check.cell, check.epoch);
+            } else {
+                shared.core.rejected += 1;
+            }
+            drop(shared);
+            ctx.send(phone, Message::public(wire::frame(cseq, b"ok")));
+            return;
+        }
+        let Some((cseq, body)) = wire::unframe(&msg.bytes) else {
+            return;
+        };
+        if body.len() < 16 {
+            return; // truncated attach: reject
+        }
+        let key = (from.0, cseq);
+        if let Some(check) = self.checks.get(&key) {
+            if check.resolved {
+                // Idempotent replay: the attach is on record, ack again.
+                ctx.send(from, Message::public(wire::frame(cseq, b"ok")));
+            } else {
+                // Still verifying: re-nudge the gateway under the *same*
+                // hop sequence (the gateway replays its verdict).
+                let mut fwd = vec![0x02u8];
+                fwd.extend_from_slice(&check.token);
+                ctx.send(
+                    self.gw,
+                    Message::new(wire::frame(check.hopseq, &fwd), Label::Public),
+                );
+            }
+            return;
+        }
+        let imsi = Imsi(u64::from_be_bytes(body[..8].try_into().unwrap()));
+        let cell = CellId(u32::from_be_bytes(body[8..12].try_into().unwrap()));
+        let epoch = u32::from_be_bytes(body[12..16].try_into().unwrap());
+        match self.mode {
+            Mode::Legacy => {
+                // No gateway leg: record immediately, remember the ack.
+                self.checks.insert(
+                    key,
+                    AttachCheck {
+                        t: ctx.now.as_us(),
+                        imsi,
+                        cell,
+                        epoch,
+                        token: Vec::new(),
+                        hopseq: 0,
+                        resolved: true,
+                    },
+                );
+                self.shared
+                    .borrow_mut()
+                    .core
+                    .record_attach(ctx.now.as_us(), imsi, cell, epoch);
+                ctx.send(from, Message::public(wire::frame(cseq, b"ok")));
+            }
+            Mode::Pgpp => {
+                let token = body[16..].to_vec();
+                let hopseq = self.next_hop;
+                self.next_hop += 1;
+                let mut fwd = vec![0x02u8];
+                fwd.extend_from_slice(&token);
+                self.checks.insert(
+                    key,
+                    AttachCheck {
+                        t: ctx.now.as_us(),
+                        imsi,
+                        cell,
+                        epoch,
+                        token,
+                        hopseq,
+                        resolved: false,
+                    },
+                );
+                self.by_hop.insert(hopseq, (from, cseq));
+                ctx.send(
+                    self.gw,
+                    Message::new(wire::frame(hopseq, &fwd), Label::Public),
+                );
+            }
+        }
+    }
+}
+
 struct GwNode {
     entity: EntityId,
     shared: Rc<RefCell<Shared>>,
+    /// Is the run's recovery layer on?
+    recover: bool,
+    /// Recovery path: verdict per NGC hop sequence, so a re-forwarded
+    /// verification replays the first verdict instead of reading the
+    /// retransmission as a double-spent token.
+    verdicts: BTreeMap<u64, bool>,
 }
 
 impl Node for GwNode {
@@ -382,22 +670,49 @@ impl Node for GwNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        let Some(&tag) = msg.bytes.first() else {
+        let (seq, body) = if self.recover {
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            (Some(seq), body.to_vec())
+        } else {
+            (None, msg.bytes)
+        };
+        let Some(&tag) = body.first() else {
             return;
         };
         if tag == 0x02 {
             // Token verification from the NGC. A token that fails to even
             // decode is refused — the reply keeps the NGC queue in sync.
+            if let Some(seq) = seq {
+                if let Some(&ok) = self.verdicts.get(&seq) {
+                    // Replay: the first verification's outcome stands.
+                    ctx.send(
+                        from,
+                        Message::new(wire::frame(seq, &[u8::from(ok)]), Label::Public),
+                    );
+                    return;
+                }
+            }
             ctx.world.crypto_op("voprf_redeem");
-            let ok = match Token::decode(&msg.bytes[1..]) {
+            let ok = match Token::decode(&body[1..]) {
                 Ok(token) => self.shared.borrow_mut().issuer.redeem(&token).is_ok(),
                 Err(_) => false,
             };
-            ctx.send(from, Message::new(vec![u8::from(ok)], Label::Public));
+            let reply = vec![u8::from(ok)];
+            let bytes = match seq {
+                Some(s) => {
+                    self.verdicts.insert(s, ok);
+                    wire::frame(s, &reply)
+                }
+                None => reply,
+            };
+            ctx.send(from, Message::new(bytes, Label::Public));
         } else {
             // Issuance request from a phone (batch of 32-byte blinded
-            // elements).
-            let blinded: Vec<dcp_crypto::oprf::BlindedElement> = msg.bytes[1..]
+            // elements). Stateless: a retransmitted (re-blinded) batch is
+            // simply evaluated again — no debit to protect.
+            let blinded: Vec<dcp_crypto::oprf::BlindedElement> = body[1..]
                 .chunks_exact(32)
                 .map(|c| {
                     let mut b = [0u8; 32];
@@ -417,7 +732,11 @@ impl Node for GwNode {
                 bytes.extend_from_slice(&p.c);
                 bytes.extend_from_slice(&p.s);
             }
-            ctx.send(from, Message::new(bytes, Label::Public));
+            let out = match seq {
+                Some(s) => wire::frame(s, &bytes),
+                None => bytes,
+            };
+            ctx.send(from, Message::new(out, Label::Public));
         }
     }
 }
@@ -454,6 +773,7 @@ fn run_impl(config: &PgppConfig, opts: &RunOptions) -> PgppReport {
         core: CoreNetwork::new(),
         issuer,
         truth: HashMap::new(),
+        linkage: RetryLinkage::new(),
     }));
 
     let mut users = Vec::new();
@@ -483,9 +803,12 @@ fn run_impl(config: &PgppConfig, opts: &RunOptions) -> PgppReport {
     net.enable_faults(opts.faults.clone(), config.seed);
     let gw_id = NodeId(0);
     let ngc_id = NodeId(1);
+    let recover_on = opts.recover.enabled;
     net.add_node(Box::new(GwNode {
         entity: gw_e,
         shared: shared.clone(),
+        recover: recover_on,
+        verdicts: BTreeMap::new(),
     }));
     net.add_node(Box::new(NgcNode {
         entity: ngc_e,
@@ -493,6 +816,10 @@ fn run_impl(config: &PgppConfig, opts: &RunOptions) -> PgppReport {
         gw: gw_id,
         shared: shared.clone(),
         awaiting: Vec::new(),
+        recover: recover_on,
+        checks: BTreeMap::new(),
+        by_hop: BTreeMap::new(),
+        next_hop: 0,
     }));
     let epoch_len_us = 1_000_000;
     for (i, (&u, &e)) in users.iter().zip(phone_entities.iter()).enumerate() {
@@ -511,6 +838,9 @@ fn run_impl(config: &PgppConfig, opts: &RunOptions) -> PgppReport {
             wallet: TokenClient::new(issuer_pk),
             pending_issuance: None,
             moves_done: 0,
+            arq: ReliableCall::new(&opts.recover, derive_seed(config.seed, 0x9690 + i as u64)),
+            flow: i as u64,
+            inflight: BTreeMap::new(),
         }));
     }
 
@@ -529,6 +859,8 @@ fn run_impl(config: &PgppConfig, opts: &RunOptions) -> PgppReport {
         users,
         fault_log,
         metrics,
+        expected: (config.users * config.epochs as usize * config.moves_per_epoch) as u64,
+        retry_linkage: shared.linkage.violations(),
     }
 }
 
@@ -627,5 +959,62 @@ mod tests {
         // Every move produced exactly one recorded attach (tokens all
         // valid and fresh).
         assert_eq!(report.attaches, 6 * 3 * 2);
+    }
+
+    #[test]
+    fn recovered_harsh_run_records_every_attach_exactly_once() {
+        use dcp_core::ScenarioReport as _;
+        use dcp_faults::dst::KnowledgeFingerprint;
+        let c = cfg(Mode::Pgpp);
+        let calm = Pgpp::run_with(&c, 31, &RunOptions::recovered(&FaultConfig::calm()));
+        let harsh = Pgpp::run_with(&c, 31, &RunOptions::recovered(&FaultConfig::harsh()));
+        assert_eq!(
+            calm.attaches as u64,
+            calm.expected_units().unwrap(),
+            "calm recovered run attaches every move"
+        );
+        assert_eq!(
+            harsh.attaches as u64,
+            harsh.expected_units().unwrap(),
+            "under harsh faults the recovery layer still finishes the workload"
+        );
+        assert!(!harsh.fault_log.is_empty(), "harsh actually injected");
+        assert!(
+            harsh.retry_linkage().is_empty(),
+            "re-blinded issuance attempts are never linkable: {:?}",
+            harsh.retry_linkage()
+        );
+        assert_eq!(
+            KnowledgeFingerprint::of(&harsh.world),
+            KnowledgeFingerprint::of(&calm.world),
+            "recovery must not change anyone's knowledge ledger"
+        );
+        assert_eq!(harsh.table(0), calm.table(0));
+    }
+
+    #[test]
+    fn recovered_harsh_legacy_still_couples() {
+        use dcp_core::ScenarioReport as _;
+        let harsh = Pgpp::run_with(
+            &cfg(Mode::Legacy),
+            31,
+            &RunOptions::recovered(&FaultConfig::harsh()),
+        );
+        assert_eq!(harsh.attaches as u64, harsh.expected_units().unwrap());
+        // Recovery restores liveness but never repairs the coupling:
+        // legacy mode still concentrates knowledge at the core.
+        assert!(!analyze(&harsh.world).decoupled);
+    }
+
+    #[test]
+    fn recovered_calm_run_matches_plain_completion() {
+        let plain = run(cfg(Mode::Pgpp));
+        let rec = Pgpp::run_with(
+            &cfg(Mode::Pgpp),
+            11,
+            &RunOptions::recovered(&FaultConfig::calm()),
+        );
+        assert_eq!(plain.attaches, rec.attaches);
+        assert_eq!(plain.table(0), rec.table(0));
     }
 }

@@ -1,9 +1,10 @@
 //! The PPM system on the simulator: clients → leader + helper → collector.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
+use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
     DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
@@ -11,6 +12,7 @@ use dcp_core::{
 };
 use dcp_faults::{FaultConfig, FaultLog};
 use dcp_obs::MetricsHandle;
+use dcp_recover::{wire, ReliableCall, TimerVerdict};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
 use rand::Rng as _;
 
@@ -23,6 +25,9 @@ const TAG_LEADER_R1: u8 = 2;
 const TAG_HELPER_R1Z: u8 = 3;
 const TAG_LEADER_Z: u8 = 4;
 const TAG_ACCUM: u8 = 5;
+/// Recovery-mode acknowledgment of a seq-framed protocol message. The PPM
+/// flow is one-way (no natural responses), so the ARQ needs explicit acks.
+const TAG_ACK: u8 = 6;
 
 /// Configuration.
 #[derive(Clone, Copy, Debug)]
@@ -88,6 +93,13 @@ pub struct PpmReport {
     pub fault_log: FaultLog,
     /// Run metrics (populated on instrumented runs).
     pub metrics: MetricsReport,
+    /// The workload's target (honest clients folded into the aggregate).
+    pub expected: u64,
+    /// Always empty: a share pair cannot be re-randomized per attempt (a
+    /// fresh split on one leg while the other aggregator holds the old
+    /// share corrupts the sum), so every retransmission is byte-identical
+    /// by design and the receivers dedup — see `docs/RECOVERY.md`.
+    pub retry_linkage: Vec<String>,
 }
 
 impl dcp_core::ScenarioReport for PpmReport {
@@ -108,6 +120,12 @@ impl dcp_core::ScenarioReport for PpmReport {
         } else {
             0
         }
+    }
+    fn expected_units(&self) -> Option<u64> {
+        Some(self.expected)
+    }
+    fn retry_linkage(&self) -> &[String] {
+        &self.retry_linkage
     }
 }
 
@@ -226,6 +244,69 @@ fn decode_verify(bytes: &[u8], with_z: bool) -> (u64, VerifyMsg, Vec<Fe>) {
     (id, VerifyMsg { d, e }, z)
 }
 
+/// Outgoing reliable-call plumbing shared by every PPM node. The flow is
+/// one-way, so each seq-framed message is retried on a timer until the
+/// peer's [`TAG_ACK`] lands. Retransmissions are byte-identical: a share
+/// pair is a one-time instrument (re-splitting one leg corrupts the sum)
+/// and the verification legs carry public deterministic state.
+struct Outbox {
+    arq: ReliableCall,
+    inflight: BTreeMap<u64, (NodeId, Vec<u8>, Label)>,
+}
+
+impl Outbox {
+    fn new(arq: ReliableCall) -> Self {
+        Outbox {
+            arq,
+            inflight: BTreeMap::new(),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.arq.enabled()
+    }
+
+    /// Send `bytes` reliably when recovery is on, plainly otherwise.
+    fn send(&mut self, ctx: &mut Ctx, dest: NodeId, bytes: Vec<u8>, label: Label) {
+        if let Some(att) = self.arq.begin() {
+            self.inflight
+                .insert(att.seq, (dest, bytes.clone(), label.clone()));
+            ctx.send(dest, Message::new(wire::frame(att.seq, &bytes), label));
+            ctx.set_timer(att.timer_delay_us, att.token);
+        } else {
+            ctx.send(dest, Message::new(bytes, label));
+        }
+    }
+
+    /// Handle a timer tick: retransmit or give up.
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match self.arq.on_timer(token) {
+            TimerVerdict::NotMine | TimerVerdict::Stale => {}
+            TimerVerdict::Retry(att) => {
+                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
+                if let Some((dest, bytes, label)) = self.inflight.get(&att.seq) {
+                    ctx.send(
+                        *dest,
+                        Message::new(wire::frame(att.seq, bytes), label.clone()),
+                    );
+                    ctx.set_timer(att.timer_delay_us, att.token);
+                }
+            }
+            TimerVerdict::Exhausted { seq, attempts } => {
+                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
+                self.inflight.remove(&seq);
+            }
+        }
+    }
+
+    /// Complete the call an ack names (duplicated acks are harmless).
+    fn ack(&mut self, seq: u64) {
+        if self.arq.complete(seq) {
+            self.inflight.remove(&seq);
+        }
+    }
+}
+
 struct ClientNode {
     entity: EntityId,
     user: UserId,
@@ -234,6 +315,7 @@ struct ClientNode {
     value: u64,
     bits: usize,
     malicious: bool,
+    outbox: Outbox,
 }
 
 impl Node for ClientNode {
@@ -263,16 +345,35 @@ impl Node for ClientNode {
         ]);
         let delay = ctx.rng.gen_range(0..50_000u64);
         let _ = delay; // submissions may race; the protocol is id-keyed
-        ctx.send(
-            self.leader,
-            Message::new(encode_submission(self.user.0, &shares[0]), label.clone()),
+        let leader = self.leader;
+        let helper = self.helper;
+        self.outbox.send(
+            ctx,
+            leader,
+            encode_submission(self.user.0, &shares[0]),
+            label.clone(),
         );
-        ctx.send(
-            self.helper,
-            Message::new(encode_submission(self.user.0, &shares[1]), label),
+        self.outbox.send(
+            ctx,
+            helper,
+            encode_submission(self.user.0, &shares[1]),
+            label,
         );
     }
-    fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Message) {}
+    fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        if !self.outbox.enabled() {
+            return;
+        }
+        let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+            return;
+        };
+        if body == [TAG_ACK] {
+            self.outbox.ack(seq);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        self.outbox.on_timer(ctx, token);
+    }
 }
 
 struct Pending {
@@ -293,6 +394,8 @@ struct LeaderNode {
     done: usize,
     user_items: Vec<(u64, UserId)>,
     sent_accum: bool,
+    recover: bool,
+    outbox: Outbox,
 }
 
 impl LeaderNode {
@@ -314,7 +417,8 @@ impl LeaderNode {
                     ]
                 })
                 .collect();
-            ctx.send(self.collector, Message::new(bytes, Label::items(items)));
+            let collector = self.collector;
+            self.outbox.send(ctx, collector, bytes, Label::items(items));
         }
     }
 }
@@ -323,24 +427,39 @@ impl Node for LeaderNode {
     fn entity(&self) -> EntityId {
         self.entity
     }
-    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        let Some(&tag) = msg.bytes.first() else {
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        let bytes = if self.recover {
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            if body == [TAG_ACK] {
+                self.outbox.ack(seq);
+                return;
+            }
+            // Ack every framed protocol message, replays included — the
+            // previous ack may have been lost in flight.
+            ctx.send(from, Message::public(wire::frame(seq, &[TAG_ACK])));
+            body.to_vec()
+        } else {
+            msg.bytes
+        };
+        let Some(&tag) = bytes.first() else {
             return;
         };
         match tag {
             TAG_SUBMIT => {
-                let (id, sub) = decode_submission(&msg.bytes);
+                let (id, sub) = decode_submission(&bytes);
                 if self.pending.contains_key(&id) {
                     return; // duplicated submission: first copy wins
                 }
                 ctx.world.crypto_op("prio_verify_r1");
                 let my_r1 = self.agg.verify_round1(&sub);
-                ctx.send(
-                    self.helper,
-                    Message::new(
-                        encode_verify(TAG_LEADER_R1, id, &my_r1, None),
-                        Label::Public,
-                    ),
+                let helper = self.helper;
+                self.outbox.send(
+                    ctx,
+                    helper,
+                    encode_verify(TAG_LEADER_R1, id, &my_r1, None),
+                    Label::Public,
                 );
                 self.pending.insert(
                     id,
@@ -355,7 +474,7 @@ impl Node for LeaderNode {
                 }
             }
             TAG_HELPER_R1Z => {
-                let (id, their_r1, their_z) = decode_verify(&msg.bytes, true);
+                let (id, their_r1, their_z) = decode_verify(&bytes, true);
                 if self.pending.contains_key(&id) {
                     self.finish_verification(ctx, id, their_r1, their_z);
                 } else {
@@ -364,6 +483,9 @@ impl Node for LeaderNode {
             }
             _ => {} // unexpected tag: ignore
         }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        self.outbox.on_timer(ctx, token);
     }
 }
 
@@ -388,12 +510,12 @@ impl LeaderNode {
         self.agg.finish(&sub, &my_z, &their_z);
         self.done += 1;
         // Tell the helper our product shares so it can decide identically.
-        ctx.send(
-            self.helper,
-            Message::new(
-                encode_verify(TAG_LEADER_Z, id, &VerifyMsg::default(), Some(&my_z)),
-                Label::Public,
-            ),
+        let helper = self.helper;
+        self.outbox.send(
+            ctx,
+            helper,
+            encode_verify(TAG_LEADER_Z, id, &VerifyMsg::default(), Some(&my_z)),
+            Label::Public,
         );
         self.maybe_finish(ctx);
     }
@@ -413,6 +535,8 @@ struct HelperNode {
     done: usize,
     user_items: Vec<(u64, UserId)>,
     sent_accum: bool,
+    recover: bool,
+    outbox: Outbox,
 }
 
 impl HelperNode {
@@ -430,12 +554,12 @@ impl HelperNode {
         let my_z = self.agg.verify_round2(&p.sub, &p.my_r1, their_r1);
         // Send round1 + z to the leader.
         let my_r1 = p.my_r1.clone();
-        ctx.send(
-            self.leader,
-            Message::new(
-                encode_verify(TAG_HELPER_R1Z, id, &my_r1, Some(&my_z)),
-                Label::Public,
-            ),
+        let leader = self.leader;
+        self.outbox.send(
+            ctx,
+            leader,
+            encode_verify(TAG_HELPER_R1Z, id, &my_r1, Some(&my_z)),
+            Label::Public,
         );
         self.pending.get_mut(&id).unwrap().my_z = Some(my_z);
         self.try_finish(ctx, id);
@@ -469,7 +593,8 @@ impl HelperNode {
                     ]
                 })
                 .collect();
-            ctx.send(self.collector, Message::new(bytes, Label::items(items)));
+            let collector = self.collector;
+            self.outbox.send(ctx, collector, bytes, Label::items(items));
         }
     }
 }
@@ -478,13 +603,26 @@ impl Node for HelperNode {
     fn entity(&self) -> EntityId {
         self.entity
     }
-    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        let Some(&tag) = msg.bytes.first() else {
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        let bytes = if self.recover {
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            if body == [TAG_ACK] {
+                self.outbox.ack(seq);
+                return;
+            }
+            ctx.send(from, Message::public(wire::frame(seq, &[TAG_ACK])));
+            body.to_vec()
+        } else {
+            msg.bytes
+        };
+        let Some(&tag) = bytes.first() else {
             return;
         };
         match tag {
             TAG_SUBMIT => {
-                let (id, sub) = decode_submission(&msg.bytes);
+                let (id, sub) = decode_submission(&bytes);
                 if !self.seen.insert(id) {
                     return; // duplicated submission: first copy wins
                 }
@@ -501,17 +639,20 @@ impl Node for HelperNode {
                 self.try_round2(ctx, id);
             }
             TAG_LEADER_R1 => {
-                let (id, their_r1, _) = decode_verify(&msg.bytes, false);
+                let (id, their_r1, _) = decode_verify(&bytes, false);
                 self.early_r1.insert(id, their_r1);
                 self.try_round2(ctx, id);
             }
             TAG_LEADER_Z => {
-                let (id, _, leader_z) = decode_verify(&msg.bytes, true);
+                let (id, _, leader_z) = decode_verify(&bytes, true);
                 self.early_z.insert(id, leader_z);
                 self.try_finish(ctx, id);
             }
             _ => {} // unexpected tag: ignore
         }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        self.outbox.on_timer(ctx, token);
     }
 }
 
@@ -520,6 +661,8 @@ struct CollectorNode {
     /// One accumulator share per aggregator node (dedup by sender).
     shares: Vec<(NodeId, Fe)>,
     result: Rc<RefCell<Option<u64>>>,
+    /// Is the run's recovery layer on?
+    recover: bool,
 }
 
 impl Node for CollectorNode {
@@ -527,14 +670,24 @@ impl Node for CollectorNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if msg.bytes.first() != Some(&TAG_ACCUM) || msg.bytes.len() < 9 {
+        let bytes = if self.recover {
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            // Ack replays too: the aggregator retries until an ack lands.
+            ctx.send(from, Message::public(wire::frame(seq, &[TAG_ACK])));
+            body.to_vec()
+        } else {
+            msg.bytes
+        };
+        if bytes.first() != Some(&TAG_ACCUM) || bytes.len() < 9 {
             return;
         }
         if self.shares.iter().any(|(n, _)| *n == from) {
             return; // duplicated accumulator share from the same node
         }
         let mut b = [0u8; 8];
-        b.copy_from_slice(&msg.bytes[1..9]);
+        b.copy_from_slice(&bytes[1..9]);
         let Some(share) = Fe::from_bytes(&b) else {
             return;
         };
@@ -603,6 +756,7 @@ fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
     let collector_id = NodeId(2);
     let user_items: Vec<(u64, UserId)> = users.iter().map(|&u| (u.0, u)).collect();
 
+    let recover_on = opts.recover.enabled;
     net.add_node(Box::new(LeaderNode {
         entity: leader_e,
         helper: helper_id,
@@ -614,6 +768,11 @@ fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
         done: 0,
         user_items: user_items.clone(),
         sent_accum: false,
+        recover: recover_on,
+        outbox: Outbox::new(ReliableCall::new(
+            &opts.recover,
+            derive_seed(config.seed, 0x991d),
+        )),
     }));
     net.add_node(Box::new(HelperNode {
         entity: helper_e,
@@ -628,12 +787,18 @@ fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
         done: 0,
         user_items,
         sent_accum: false,
+        recover: recover_on,
+        outbox: Outbox::new(ReliableCall::new(
+            &opts.recover,
+            derive_seed(config.seed, 0x991e),
+        )),
     }));
     let result = Rc::new(RefCell::new(None));
     net.add_node(Box::new(CollectorNode {
         entity: collector_e,
         shares: Vec::new(),
         result: result.clone(),
+        recover: recover_on,
     }));
     for (i, ((&u, &e), &v)) in users
         .iter()
@@ -649,6 +814,10 @@ fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
             value: v,
             bits: config.bits,
             malicious: i < config.malicious,
+            outbox: Outbox::new(ReliableCall::new(
+                &opts.recover,
+                derive_seed(config.seed, 0x99a0 + i as u64),
+            )),
         }));
     }
 
@@ -672,6 +841,8 @@ fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
         users,
         fault_log,
         metrics,
+        expected: (config.clients - config.malicious) as u64,
+        retry_linkage: Vec::new(),
     }
 }
 
@@ -766,5 +937,46 @@ mod tests {
             seed: 5,
         });
         assert_eq!(report.aggregate, Some(report.expected_sum));
+    }
+
+    #[test]
+    fn recovered_harsh_run_releases_the_exact_aggregate() {
+        use dcp_faults::dst::KnowledgeFingerprint;
+        let config = PpmConfig {
+            clients: 6,
+            bits: 8,
+            malicious: 1,
+            seed: 31,
+        };
+        let calm = Ppm::run_with(&config, 31, &RunOptions::recovered(&FaultConfig::calm()));
+        let harsh = Ppm::run_with(&config, 31, &RunOptions::recovered(&FaultConfig::harsh()));
+        assert_eq!(calm.aggregate, Some(calm.expected_sum));
+        assert_eq!(
+            harsh.aggregate,
+            Some(harsh.expected_sum),
+            "under harsh faults the recovery layer still releases the aggregate"
+        );
+        assert!(!harsh.fault_log.is_empty(), "harsh actually injected");
+        assert_eq!(
+            KnowledgeFingerprint::of(&harsh.world),
+            KnowledgeFingerprint::of(&calm.world),
+            "recovery must not change anyone's knowledge ledger"
+        );
+        assert_eq!(harsh.table(0), calm.table(0));
+    }
+
+    #[test]
+    fn recovered_calm_run_matches_plain_completion() {
+        let config = PpmConfig {
+            clients: 5,
+            bits: 8,
+            malicious: 0,
+            seed: 2,
+        };
+        let plain = run(config);
+        let rec = Ppm::run_with(&config, 2, &RunOptions::recovered(&FaultConfig::calm()));
+        assert_eq!(plain.aggregate, Some(plain.expected_sum));
+        assert_eq!(rec.aggregate, Some(rec.expected_sum));
+        assert_eq!(plain.table(0), rec.table(0));
     }
 }

@@ -1,8 +1,10 @@
 //! The Fig. 2 flow on the simulator: challenge → issuance → redemption.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
     DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
@@ -11,6 +13,7 @@ use dcp_core::{
 use dcp_crypto::oprf::{BlindedElement, DleqProof, EvaluatedElement};
 use dcp_faults::{FaultConfig, FaultLog};
 use dcp_obs::MetricsHandle;
+use dcp_recover::{wire, Attempt, ReliableCall, RetryLinkage, TimerVerdict};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
 use dcp_transport::frame::{Frame, FrameType};
 
@@ -34,6 +37,12 @@ pub struct ScenarioReport {
     pub fault_log: FaultLog,
     /// Run metrics (populated on instrumented runs).
     pub metrics: MetricsReport,
+    /// The workload's target (`clients × fetches_each`).
+    pub expected: u64,
+    /// Retry-linkage violations over the re-blinded issuance attempts
+    /// (redemption retransmits the *same* one-time token by design — see
+    /// `docs/RECOVERY.md` on instruments the receiver must dedup).
+    pub retry_linkage: Vec<String>,
 }
 
 impl dcp_core::ScenarioReport for ScenarioReport {
@@ -48,6 +57,12 @@ impl dcp_core::ScenarioReport for ScenarioReport {
     }
     fn completed_units(&self) -> u64 {
         self.redeemed as u64
+    }
+    fn expected_units(&self) -> Option<u64> {
+        Some(self.expected)
+    }
+    fn retry_linkage(&self) -> &[String] {
+        &self.retry_linkage
     }
 }
 
@@ -138,9 +153,24 @@ struct Shared {
     redeemed: usize,
     refused: usize,
     fetch_times: Vec<u64>,
+    /// Retry-linkage check fed by every issuance attempt's blinded batch.
+    linkage: RetryLinkage,
 }
 
 const TOKENS_PER_BATCH: usize = 4;
+
+/// What reliable call `seq` of one client stands for.
+enum PpInflight {
+    /// The issuance round (re-blinded fresh on every attempt).
+    Issuance,
+    /// One redemption: the *same* token payload is retransmitted verbatim
+    /// (a fresh token per attempt would either double-spend or drain the
+    /// wallet); the origin and issuer dedup instead.
+    Fetch {
+        payload: Vec<u8>,
+        started_at: SimTime,
+    },
+}
 
 struct ClientNode {
     entity: EntityId,
@@ -152,6 +182,10 @@ struct ClientNode {
     client: Client,
     fetches_left: usize,
     started_at: SimTime,
+    /// Per-request ARQ (inert when the run's recovery is disabled).
+    arq: ReliableCall,
+    flow: u64,
+    inflight: BTreeMap<u64, PpInflight>,
 }
 
 impl Node for ClientNode {
@@ -169,44 +203,100 @@ impl Node for ClientNode {
             InfoItem::sensitive_data(self.user, DataKind::Activity),
         );
         self.started_at = ctx.now;
+        if self.arq.enabled() {
+            let att = self.arq.begin().expect("enabled ARQ always begins");
+            self.inflight.insert(att.seq, PpInflight::Issuance);
+            self.transmit_issuance(ctx, att);
+            return;
+        }
         // Issuance: the client authenticates (solves the issuer's
         // challenge) — the issuer learns ▲ but only blinded elements ⊙.
-        for _ in 0..TOKENS_PER_BATCH {
-            ctx.world.crypto_op("voprf_blind");
-        }
-        let req = self.client.request_tokens(ctx.rng, TOKENS_PER_BATCH);
-        let mut bytes = Vec::new();
-        for b in &req.blinded {
-            bytes.extend_from_slice(&b.0);
-        }
-        self.state = Some(req);
-        let label = Label::items([
-            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
-            InfoItem::plain_data(self.user, DataKind::Activity),
-        ]);
+        let (bytes, label) = self.issuance_request(ctx);
         ctx.send(
             self.issuer,
             Message::new(Frame::new(FrameType::Token, bytes).encode(), label),
         );
     }
 
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match self.arq.on_timer(token) {
+            TimerVerdict::NotMine | TimerVerdict::Stale => {}
+            TimerVerdict::Retry(att) => {
+                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
+                match self.inflight.get(&att.seq) {
+                    Some(PpInflight::Issuance) => self.transmit_issuance(ctx, att),
+                    Some(PpInflight::Fetch { payload, .. }) => {
+                        let payload = payload.clone();
+                        self.transmit_fetch(ctx, &payload, att);
+                    }
+                    None => {}
+                }
+            }
+            TimerVerdict::Exhausted { seq, attempts } => {
+                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
+                match self.inflight.remove(&seq) {
+                    Some(PpInflight::Fetch { .. }) => self.fetch_done(ctx),
+                    // An abandoned issuance leaves an empty wallet: the
+                    // client stops — it never falls back to unauthenticated
+                    // fetches.
+                    Some(PpInflight::Issuance) | None => {}
+                }
+            }
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if self.arq.enabled() {
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            match self.inflight.get(&seq) {
+                Some(PpInflight::Issuance) if from == self.issuer => {
+                    let Ok(frame) = Frame::decode(body) else {
+                        return;
+                    };
+                    let evals = decode_evals(&frame.payload);
+                    let Some(req) = self.state.take() else {
+                        return;
+                    };
+                    for _ in 0..evals.len() {
+                        ctx.world.crypto_op("voprf_finalize");
+                    }
+                    if self.client.accept_issuance(req, &evals).is_err() {
+                        // A superseded attempt's response fails against the
+                        // re-blinded state: drop it, the timer retries.
+                        return;
+                    }
+                    if !self.arq.complete(seq) {
+                        return;
+                    }
+                    self.inflight.remove(&seq);
+                    self.fetch(ctx);
+                }
+                Some(PpInflight::Fetch { started_at, .. }) if from == self.origin => {
+                    let started_at = *started_at;
+                    if !self.arq.complete(seq) {
+                        return; // duplicated verdict: counted exactly once
+                    }
+                    self.inflight.remove(&seq);
+                    ctx.world.span("fetch", started_at.as_us(), ctx.now.as_us());
+                    self.shared
+                        .borrow_mut()
+                        .fetch_times
+                        .push(ctx.now - started_at);
+                    self.fetch_done(ctx);
+                }
+                _ => {}
+            }
+            return;
+        }
         if from == self.issuer {
             // Fail closed: a malformed or duplicated issuance response is
             // ignored — the client never falls back to unblinded tokens.
             let Ok(frame) = Frame::decode(&msg.bytes) else {
                 return;
             };
-            let mut evals = Vec::new();
-            for chunk in frame.payload.chunks_exact(32 + 64) {
-                let mut e = [0u8; 32];
-                e.copy_from_slice(&chunk[..32]);
-                let mut c = [0u8; 32];
-                c.copy_from_slice(&chunk[32..64]);
-                let mut s = [0u8; 32];
-                s.copy_from_slice(&chunk[64..96]);
-                evals.push((EvaluatedElement(e), DleqProof { c, s }));
-            }
+            let evals = decode_evals(&frame.payload);
             let Some(req) = self.state.take() else {
                 return; // duplicate response: issuance already consumed
             };
@@ -233,7 +323,82 @@ impl Node for ClientNode {
     }
 }
 
+fn decode_evals(payload: &[u8]) -> Vec<(EvaluatedElement, DleqProof)> {
+    let mut evals = Vec::new();
+    for chunk in payload.chunks_exact(32 + 64) {
+        let mut e = [0u8; 32];
+        e.copy_from_slice(&chunk[..32]);
+        let mut c = [0u8; 32];
+        c.copy_from_slice(&chunk[32..64]);
+        let mut s = [0u8; 32];
+        s.copy_from_slice(&chunk[64..96]);
+        evals.push((EvaluatedElement(e), DleqProof { c, s }));
+    }
+    evals
+}
+
 impl ClientNode {
+    /// Draw a fresh blinded issuance batch (the §3.2.1 request). Each call
+    /// re-blinds from scratch, which is exactly what a re-randomized
+    /// retransmission needs.
+    fn issuance_request(&mut self, ctx: &mut Ctx) -> (Vec<u8>, Label) {
+        for _ in 0..TOKENS_PER_BATCH {
+            ctx.world.crypto_op("voprf_blind");
+        }
+        let req = self.client.request_tokens(ctx.rng, TOKENS_PER_BATCH);
+        let mut bytes = Vec::new();
+        for b in &req.blinded {
+            bytes.extend_from_slice(&b.0);
+        }
+        self.state = Some(req);
+        let label = Label::items([
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+            InfoItem::plain_data(self.user, DataKind::Activity),
+        ]);
+        (bytes, label)
+    }
+
+    fn transmit_issuance(&mut self, ctx: &mut Ctx, att: Attempt) {
+        let (bytes, label) = self.issuance_request(ctx);
+        self.shared
+            .borrow_mut()
+            .linkage
+            .record(self.flow, att.seq, att.attempt, &bytes);
+        let framed = wire::frame(att.seq, &Frame::new(FrameType::Token, bytes).encode());
+        ctx.send(self.issuer, Message::new(framed, label));
+        ctx.set_timer(att.timer_delay_us, att.token);
+    }
+
+    /// Retransmit redemption `att.seq`. The token payload is deliberately
+    /// byte-identical across attempts — a one-time instrument cannot be
+    /// re-randomized without double-spending — so it is *not* recorded
+    /// into the linkage check; the origin dedups by `(client, seq)`.
+    fn transmit_fetch(&mut self, ctx: &mut Ctx, payload: &[u8], att: Attempt) {
+        let label = self.fetch_label();
+        let framed = wire::frame(
+            att.seq,
+            &Frame::new(FrameType::Data, payload.to_vec()).encode(),
+        );
+        ctx.send(self.origin, Message::new(framed, label));
+        ctx.set_timer(att.timer_delay_us, att.token);
+    }
+
+    fn fetch_label(&self) -> Label {
+        // The origin sees the request content (●) from an anonymous but
+        // authorized client (△).
+        Label::items([
+            InfoItem::plain_identity(self.user, IdentityKind::Any),
+            InfoItem::sensitive_data(self.user, DataKind::Activity),
+        ])
+    }
+
+    fn fetch_done(&mut self, ctx: &mut Ctx) {
+        if self.fetches_left > 1 {
+            self.fetches_left -= 1;
+            self.fetch(ctx);
+        }
+    }
+
     fn fetch(&mut self, ctx: &mut Ctx) {
         // An empty wallet (possible when responses are duplicated under
         // faults) simply means no further fetches — never unauthenticated.
@@ -242,12 +407,19 @@ impl ClientNode {
         };
         let mut payload = token.encode();
         payload.extend_from_slice(b"GET /private-resource");
-        // The origin sees the request content (●) from an anonymous but
-        // authorized client (△).
-        let label = Label::items([
-            InfoItem::plain_identity(self.user, IdentityKind::Any),
-            InfoItem::sensitive_data(self.user, DataKind::Activity),
-        ]);
+        if self.arq.enabled() {
+            let att = self.arq.begin().expect("enabled ARQ always begins");
+            self.inflight.insert(
+                att.seq,
+                PpInflight::Fetch {
+                    payload: payload.clone(),
+                    started_at: ctx.now,
+                },
+            );
+            self.transmit_fetch(ctx, &payload, att);
+            return;
+        }
+        let label = self.fetch_label();
         ctx.send(
             self.origin,
             Message::new(Frame::new(FrameType::Data, payload).encode(), label),
@@ -258,6 +430,12 @@ impl ClientNode {
 struct IssuerNode {
     entity: EntityId,
     shared: Rc<RefCell<Shared>>,
+    /// Is the run's recovery layer on?
+    recover: bool,
+    /// Recovery path: verdict per origin hop sequence, so a re-forwarded
+    /// redemption check replays the first verdict instead of reading the
+    /// retransmission as a double-spend.
+    verdicts: BTreeMap<u64, bool>,
 }
 
 impl Node for IssuerNode {
@@ -265,7 +443,15 @@ impl Node for IssuerNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        let Ok(frame) = Frame::decode(&msg.bytes) else {
+        let (seq, body) = if self.recover {
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            (Some(seq), body.to_vec())
+        } else {
+            (None, msg.bytes)
+        };
+        let Ok(frame) = Frame::decode(&body) else {
             return;
         };
         match frame.ftype {
@@ -292,19 +478,32 @@ impl Node for IssuerNode {
                     bytes.extend_from_slice(&p.c);
                     bytes.extend_from_slice(&p.s);
                 }
-                ctx.send(
-                    from,
-                    Message::new(
-                        Frame::new(FrameType::Response, bytes).encode(),
-                        Label::Public,
-                    ),
-                );
+                let encoded = Frame::new(FrameType::Response, bytes).encode();
+                let reply = match seq {
+                    // Echo the client's sequence: issuance evaluation is
+                    // stateless, so retransmissions are simply re-answered.
+                    Some(seq) => wire::frame(seq, &encoded),
+                    None => encoded,
+                };
+                ctx.send(from, Message::new(reply, Label::Public));
             }
             FrameType::Data => {
                 // Redemption check forwarded by the origin. Tokens are
                 // unlinkable: the issuer learns that *some* token was
                 // redeemed — attributable to no one (Label::Public on the
                 // way in).
+                if let Some(seq) = seq {
+                    if let Some(&ok) = self.verdicts.get(&seq) {
+                        // Replay: the first check's verdict stands — a
+                        // retransmitted token is never a double-spend.
+                        let encoded = Frame::new(FrameType::Response, vec![u8::from(ok)]).encode();
+                        ctx.send(
+                            from,
+                            Message::new(wire::frame(seq, &encoded), Label::Public),
+                        );
+                        return;
+                    }
+                }
                 // A token that fails to even decode is refused outright —
                 // the reply keeps the origin's pending queue in sync.
                 let ok = match Token::decode(&frame.payload) {
@@ -314,17 +513,30 @@ impl Node for IssuerNode {
                     }
                     Err(_) => false,
                 };
-                ctx.send(
-                    from,
-                    Message::new(
-                        Frame::new(FrameType::Response, vec![u8::from(ok)]).encode(),
-                        Label::Public,
-                    ),
-                );
+                let encoded = Frame::new(FrameType::Response, vec![u8::from(ok)]).encode();
+                let reply = match seq {
+                    Some(seq) => {
+                        self.verdicts.insert(seq, ok);
+                        wire::frame(seq, &encoded)
+                    }
+                    None => encoded,
+                };
+                ctx.send(from, Message::new(reply, Label::Public));
             }
             _ => {} // unexpected frame type: ignore
         }
     }
+}
+
+/// One redemption check the origin is driving (recovery path).
+struct RedeemCheck {
+    /// The token bytes, kept for re-forwarding while the issuer leg is
+    /// still unresolved.
+    token: Vec<u8>,
+    /// The origin's hop-local sequence on the issuer leg.
+    hopseq: u64,
+    /// The issuer's verdict, once known — replayed to retransmissions.
+    verdict: Option<bool>,
 }
 
 struct OriginNode {
@@ -333,6 +545,25 @@ struct OriginNode {
     shared: Rc<RefCell<Shared>>,
     /// Requests awaiting issuer verification: (client node, request label).
     pending: Vec<(NodeId, Label)>,
+    /// Is the run's recovery layer on?
+    recover: bool,
+    /// Recovery path: one check per `(client node, client seq)`. The
+    /// client's ARQ drives the whole chain — each retransmission either
+    /// gets the stored verdict replayed or re-nudges the issuer leg.
+    checks: BTreeMap<(usize, u64), RedeemCheck>,
+    /// Reverse map: issuer-leg hop sequence → (client node, client seq).
+    by_hop: BTreeMap<u64, (NodeId, u64)>,
+    next_hop: u64,
+}
+
+impl OriginNode {
+    fn verdict_bytes(ok: bool) -> Vec<u8> {
+        if ok {
+            b"200 OK content".to_vec()
+        } else {
+            b"403".to_vec()
+        }
+    }
 }
 
 impl Node for OriginNode {
@@ -341,6 +572,34 @@ impl Node for OriginNode {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.issuer {
+            if self.recover {
+                let Some((hopseq, body)) = wire::unframe(&msg.bytes) else {
+                    return;
+                };
+                let Ok(frame) = Frame::decode(body) else {
+                    return;
+                };
+                let ok = frame.payload == [1u8];
+                let Some(&(client, cseq)) = self.by_hop.get(&hopseq) else {
+                    return;
+                };
+                let Some(check) = self.checks.get_mut(&(client.0, cseq)) else {
+                    return;
+                };
+                if check.verdict.is_none() {
+                    // First verdict: count it exactly once.
+                    check.verdict = Some(ok);
+                    let mut shared = self.shared.borrow_mut();
+                    if ok {
+                        shared.redeemed += 1;
+                    } else {
+                        shared.refused += 1;
+                    }
+                }
+                let reply = wire::frame(cseq, &Self::verdict_bytes(ok));
+                ctx.send(client, Message::public(reply));
+                return;
+            }
             let Ok(frame) = Frame::decode(&msg.bytes) else {
                 return;
             };
@@ -351,13 +610,61 @@ impl Node for OriginNode {
             let mut shared = self.shared.borrow_mut();
             if ok {
                 shared.redeemed += 1;
-                drop(shared);
-                ctx.send(client, Message::public(b"200 OK content".to_vec()));
             } else {
                 shared.refused += 1;
-                drop(shared);
-                ctx.send(client, Message::public(b"403".to_vec()));
             }
+            drop(shared);
+            ctx.send(client, Message::public(Self::verdict_bytes(ok)));
+            return;
+        }
+        if self.recover {
+            let Some((cseq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            let Ok(frame) = Frame::decode(body) else {
+                return;
+            };
+            if frame.payload.len() < 64 {
+                return; // truncated request: fail closed, no content served
+            }
+            let key = (from.0, cseq);
+            if let Some(check) = self.checks.get(&key) {
+                match check.verdict {
+                    // Idempotent replay: the retransmitted token is never
+                    // re-checked (and never re-counted).
+                    Some(ok) => {
+                        let reply = wire::frame(cseq, &Self::verdict_bytes(ok));
+                        ctx.send(from, Message::public(reply));
+                    }
+                    // Still checking: re-nudge the issuer leg under the
+                    // *same* hop sequence (the issuer replays its verdict).
+                    None => {
+                        let fwd = Frame::new(FrameType::Data, check.token.clone()).encode();
+                        ctx.send(
+                            self.issuer,
+                            Message::new(wire::frame(check.hopseq, &fwd), Label::Public),
+                        );
+                    }
+                }
+                return;
+            }
+            let token = frame.payload[..64].to_vec();
+            let hopseq = self.next_hop;
+            self.next_hop += 1;
+            self.checks.insert(
+                key,
+                RedeemCheck {
+                    token: token.clone(),
+                    hopseq,
+                    verdict: None,
+                },
+            );
+            self.by_hop.insert(hopseq, (from, cseq));
+            let fwd = Frame::new(FrameType::Data, token).encode();
+            ctx.send(
+                self.issuer,
+                Message::new(wire::frame(hopseq, &fwd), Label::Public),
+            );
             return;
         }
         // Client request: token (64 bytes) + request body.
@@ -428,6 +735,7 @@ fn run_impl(cfg: &PrivacypassConfig, seed: u64, opts: &RunOptions) -> ScenarioRe
         redeemed: 0,
         refused: 0,
         fetch_times: Vec::new(),
+        linkage: RetryLinkage::new(),
     }));
 
     let mut users = Vec::new();
@@ -450,17 +758,24 @@ fn run_impl(cfg: &PrivacypassConfig, seed: u64, opts: &RunOptions) -> ScenarioRe
 
     let issuer_id = NodeId(0);
     let origin_id = NodeId(1);
+    let recover_on = opts.recover.enabled;
     net.add_node(Box::new(IssuerNode {
         entity: issuer_e,
         shared: shared.clone(),
+        recover: recover_on,
+        verdicts: BTreeMap::new(),
     }));
     net.add_node(Box::new(OriginNode {
         entity: origin_e,
         issuer: issuer_id,
         shared: shared.clone(),
         pending: Vec::new(),
+        recover: recover_on,
+        checks: BTreeMap::new(),
+        by_hop: BTreeMap::new(),
+        next_hop: 0,
     }));
-    for (&u, &e) in users.iter().zip(client_entities.iter()) {
+    for (ci, (&u, &e)) in users.iter().zip(client_entities.iter()).enumerate() {
         net.add_node(Box::new(ClientNode {
             entity: e,
             user: u,
@@ -471,6 +786,9 @@ fn run_impl(cfg: &PrivacypassConfig, seed: u64, opts: &RunOptions) -> ScenarioRe
             client: Client::new(issuer_pk),
             fetches_left: fetches_each,
             started_at: SimTime::ZERO,
+            arq: ReliableCall::new(&opts.recover, derive_seed(seed, 0x9a50 + ci as u64)),
+            flow: ci as u64,
+            inflight: BTreeMap::new(),
         }));
     }
 
@@ -496,6 +814,8 @@ fn run_impl(cfg: &PrivacypassConfig, seed: u64, opts: &RunOptions) -> ScenarioRe
         users,
         fault_log,
         metrics,
+        expected: (n_clients * fetches_each) as u64,
+        retry_linkage: shared.linkage.violations(),
     }
 }
 
@@ -553,5 +873,50 @@ mod tests {
         // Re-coupling a user requires Issuer + Origin together.
         let rep = entity_collusion(&report.world, report.users[0], 3);
         assert_eq!(rep.min_coalition_size, Some(2));
+    }
+
+    #[test]
+    fn recovered_harsh_run_completes_without_double_spend_refusals() {
+        use dcp_core::ScenarioReport as _;
+        use dcp_faults::dst::KnowledgeFingerprint;
+        let cfg = PrivacypassConfig::new(2, 2);
+        let calm = Privacypass::run_with(&cfg, 31, &RunOptions::recovered(&FaultConfig::calm()));
+        let harsh = Privacypass::run_with(&cfg, 31, &RunOptions::recovered(&FaultConfig::harsh()));
+        assert_eq!(calm.redeemed, 4, "calm recovered run redeems everything");
+        assert_eq!(calm.refused, 0);
+        assert_eq!(
+            harsh.redeemed as u64,
+            harsh.expected_units().unwrap(),
+            "under harsh faults the recovery layer still finishes the workload"
+        );
+        assert_eq!(
+            harsh.refused, 0,
+            "retransmitted tokens must be deduped, never refused as double-spends"
+        );
+        assert!(!harsh.fault_log.is_empty(), "harsh actually injected");
+        assert!(
+            harsh.retry_linkage().is_empty(),
+            "re-blinded issuance attempts are never linkable: {:?}",
+            harsh.retry_linkage()
+        );
+        assert_eq!(
+            KnowledgeFingerprint::of(&harsh.world),
+            KnowledgeFingerprint::of(&calm.world),
+            "recovery must not change anyone's knowledge ledger"
+        );
+        assert_eq!(harsh.table(0), calm.table(0));
+    }
+
+    #[test]
+    fn recovered_calm_run_matches_plain_completion() {
+        let plain = run(2, 2, 7);
+        let rec = Privacypass::run_with(
+            &PrivacypassConfig::new(2, 2),
+            7,
+            &RunOptions::recovered(&FaultConfig::calm()),
+        );
+        assert_eq!(plain.redeemed, rec.redeemed);
+        assert_eq!(rec.refused, 0);
+        assert_eq!(plain.table(0), rec.table(0));
     }
 }

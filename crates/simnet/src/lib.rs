@@ -52,9 +52,12 @@ impl SimTime {
     /// Zero.
     pub const ZERO: SimTime = SimTime(0);
 
-    /// Add a duration in microseconds.
+    /// Add a duration in microseconds. Saturating: recovery layers hand
+    /// this exponential-backoff products that can overflow `u64` (a
+    /// deliberately absurd `u64::MAX` delay must park the timer at the
+    /// end of time, not panic the simulator).
     pub fn after(self, us: u64) -> SimTime {
-        SimTime(self.0 + us)
+        SimTime(self.0.saturating_add(us))
     }
 
     /// Microseconds since start.
@@ -95,5 +98,14 @@ mod tests {
         let t = SimTime::ZERO.after(1500);
         assert_eq!(t.as_us(), 1500);
         assert!((t.as_ms() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn after_saturates_on_overflow() {
+        // A u64::MAX backoff delay (uncapped exponential backoff) parks
+        // the timer at the end of time instead of panicking.
+        assert_eq!(SimTime(10).after(u64::MAX), SimTime(u64::MAX));
+        assert_eq!(SimTime(u64::MAX).after(u64::MAX), SimTime(u64::MAX));
+        assert_eq!(SimTime::ZERO.after(u64::MAX), SimTime(u64::MAX));
     }
 }

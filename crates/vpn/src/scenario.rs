@@ -1,8 +1,10 @@
 //! VPN and ECH scenarios with a passive network observer.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
     DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RunOptions, Scenario,
@@ -11,6 +13,7 @@ use dcp_core::{
 use dcp_crypto::hpke;
 use dcp_faults::{FaultConfig, FaultLog};
 use dcp_obs::MetricsHandle;
+use dcp_recover::{wire, Attempt, HopMap, ReliableCall, RetryLinkage, TimerVerdict};
 use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Tap, Trace};
 
 const REQUEST: &[u8] = b"GET /account/medical-records HTTP/1.1";
@@ -33,6 +36,11 @@ pub struct VpnReport {
     pub fault_log: FaultLog,
     /// Run metrics (populated on instrumented runs).
     pub metrics: MetricsReport,
+    /// The workload's target (`users × fetches_each`).
+    pub expected: u64,
+    /// Retry-linkage violations: attempts of one fetch an observer could
+    /// correlate by ciphertext equality (empty is the pass).
+    pub retry_linkage: Vec<String>,
 }
 
 impl dcp_core::ScenarioReport for VpnReport {
@@ -47,6 +55,12 @@ impl dcp_core::ScenarioReport for VpnReport {
     }
     fn completed_units(&self) -> u64 {
         self.completed as u64
+    }
+    fn expected_units(&self) -> Option<u64> {
+        Some(self.expected)
+    }
+    fn retry_linkage(&self) -> &[String] {
+        &self.retry_linkage
     }
 }
 
@@ -139,6 +153,8 @@ impl VpnReport {
 struct VpnStats {
     completed: usize,
     latencies: Vec<u64>,
+    /// Retry-linkage check fed by every transmitted tunnel ciphertext.
+    linkage: RetryLinkage,
 }
 
 struct VpnClient {
@@ -150,21 +166,59 @@ struct VpnClient {
     fetches_left: usize,
     stats: Rc<RefCell<VpnStats>>,
     sent_at: SimTime,
+    /// Per-request ARQ (inert when the run's recovery is disabled). No
+    /// failover list: the scenario's whole point is the single trusted hop.
+    arq: ReliableCall,
+    flow: u64,
+    inflight: BTreeMap<u64, SimTime>,
 }
 
 impl VpnClient {
-    fn fetch(&mut self, ctx: &mut Ctx) {
-        self.sent_at = ctx.now;
-        ctx.world.crypto_op("hpke_seal");
-        let sealed = hpke::seal(ctx.rng, &self.vpn_pk, b"vpn", b"", REQUEST).expect("seal");
+    fn tunnel_label(&self) -> Label {
         // The tunnel protects the request from the *network*, but the VPN
         // terminates it: the server decrypts and sees destination + content
         // (●) bound to the subscriber's address/account (▲).
-        let label = Label::items([InfoItem::sensitive_identity(self.user, IdentityKind::Any)]).and(
+        Label::items([InfoItem::sensitive_identity(self.user, IdentityKind::Any)]).and(
             Label::items([InfoItem::sensitive_data(self.user, DataKind::Destination)])
                 .sealed(self.vpn_key),
-        );
+        )
+    }
+
+    fn fetch(&mut self, ctx: &mut Ctx) {
+        if self.arq.enabled() {
+            let att = self.arq.begin().expect("enabled ARQ always begins");
+            let sent_at = ctx.now;
+            self.transmit(ctx, sent_at, att);
+            return;
+        }
+        self.sent_at = ctx.now;
+        ctx.world.crypto_op("hpke_seal");
+        let sealed = hpke::seal(ctx.rng, &self.vpn_pk, b"vpn", b"", REQUEST).expect("seal");
+        let label = self.tunnel_label();
         ctx.send(self.vpn, Message::new(sealed, label));
+    }
+
+    /// One (re)transmission of reliable call `att.seq`: a *fresh* HPKE
+    /// encapsulation every attempt, so no on-path observer can link two
+    /// attempts of the same fetch by ciphertext equality.
+    fn transmit(&mut self, ctx: &mut Ctx, sent_at: SimTime, att: Attempt) {
+        ctx.world.crypto_op("hpke_seal");
+        let sealed = hpke::seal(ctx.rng, &self.vpn_pk, b"vpn", b"", REQUEST).expect("seal");
+        self.stats
+            .borrow_mut()
+            .linkage
+            .record(self.flow, att.seq, att.attempt, &sealed);
+        self.inflight.insert(att.seq, sent_at);
+        let label = self.tunnel_label();
+        ctx.send(self.vpn, Message::new(wire::frame(att.seq, &sealed), label));
+        ctx.set_timer(att.timer_delay_us, att.token);
+    }
+
+    fn fetch_done(&mut self, ctx: &mut Ctx) {
+        if self.fetches_left > 1 {
+            self.fetches_left -= 1;
+            self.fetch(ctx);
+        }
     }
 }
 
@@ -183,17 +237,50 @@ impl Node for VpnClient {
         );
         self.fetch(ctx);
     }
-    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, _msg: Message) {
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match self.arq.on_timer(token) {
+            TimerVerdict::NotMine | TimerVerdict::Stale => {}
+            TimerVerdict::Retry(att) => {
+                let Some(&sent_at) = self.inflight.get(&att.seq) else {
+                    return;
+                };
+                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
+                self.transmit(ctx, sent_at, att);
+            }
+            TimerVerdict::Exhausted { seq, attempts } => {
+                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
+                self.inflight.remove(&seq);
+                self.fetch_done(ctx);
+            }
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        if self.arq.enabled() {
+            let Some((seq, _body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            let Some(&sent_at) = self.inflight.get(&seq) else {
+                return;
+            };
+            if !self.arq.complete(seq) {
+                return; // duplicated response: counted exactly once
+            }
+            self.inflight.remove(&seq);
+            ctx.world.span("fetch", sent_at.as_us(), ctx.now.as_us());
+            let mut s = self.stats.borrow_mut();
+            s.completed += 1;
+            s.latencies.push(ctx.now - sent_at);
+            drop(s);
+            self.fetch_done(ctx);
+            return;
+        }
         ctx.world
             .span("fetch", self.sent_at.as_us(), ctx.now.as_us());
         let mut s = self.stats.borrow_mut();
         s.completed += 1;
         s.latencies.push(ctx.now - self.sent_at);
         drop(s);
-        if self.fetches_left > 1 {
-            self.fetches_left -= 1;
-            self.fetch(ctx);
-        }
+        self.fetch_done(ctx);
     }
 }
 
@@ -203,6 +290,12 @@ struct VpnServer {
     origin: NodeId,
     back: Vec<(NodeId, UserId)>,
     node_user: Vec<(NodeId, UserId)>,
+    /// Is the run's recovery layer on?
+    recover: bool,
+    /// Recovery path: hop-local sequence per proxied request. Forwarding
+    /// the subscriber's own counter to the origin would hand it a stable
+    /// cross-fetch pseudonym; the tunnel terminator re-keys instead.
+    hop: HopMap<(NodeId, u64)>,
 }
 
 impl Node for VpnServer {
@@ -211,6 +304,16 @@ impl Node for VpnServer {
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         if from == self.origin {
+            if self.recover {
+                let Some((pseq, body)) = wire::unframe(&msg.bytes) else {
+                    return;
+                };
+                let Some((client, cseq)) = self.hop.take(pseq) else {
+                    return; // duplicated response: consumed-once fails closed
+                };
+                ctx.send(client, Message::new(wire::frame(cseq, body), msg.label));
+                return;
+            }
             let Some((client, _)) = self.back.pop() else {
                 return; // duplicated response: no back-route left
             };
@@ -219,8 +322,16 @@ impl Node for VpnServer {
         }
         // Fail closed: traffic that does not decrypt under the tunnel key,
         // or from an unknown peer, is dropped — never proxied onward.
+        let (cseq, sealed) = if self.recover {
+            let Some((cseq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            (Some(cseq), body.to_vec())
+        } else {
+            (None, msg.bytes)
+        };
         ctx.world.crypto_op("hpke_open");
-        let Ok(req) = hpke::open(&self.kp, b"vpn", b"", &msg.bytes) else {
+        let Ok(req) = hpke::open(&self.kp, b"vpn", b"", &sealed) else {
             return;
         };
         let Some(user) = self
@@ -231,26 +342,41 @@ impl Node for VpnServer {
         else {
             return;
         };
-        self.back.insert(0, (from, user));
         // Proxied onward in the clear (from the origin's view, the client
         // is the VPN's address).
         let label = Label::items([
             InfoItem::plain_identity(user, IdentityKind::Any),
             InfoItem::sensitive_data(user, DataKind::Destination),
         ]);
-        ctx.send(self.origin, Message::new(req, label));
+        if let Some(cseq) = cseq {
+            let pseq = self.hop.insert((from, cseq));
+            ctx.send(self.origin, Message::new(wire::frame(pseq, &req), label));
+        } else {
+            self.back.insert(0, (from, user));
+            ctx.send(self.origin, Message::new(req, label));
+        }
     }
 }
 
 struct PlainOrigin {
     entity: EntityId,
+    /// Recovery path: echo the hop sequence back — the origin is a
+    /// stateless responder, idempotent under retransmission.
+    recover: bool,
 }
 
 impl Node for PlainOrigin {
     fn entity(&self) -> EntityId {
         self.entity
     }
-    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, _msg: Message) {
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if self.recover {
+            let Some((seq, _body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            ctx.send(from, Message::public(wire::frame(seq, b"200 OK")));
+            return;
+        }
         ctx.send(from, Message::public(b"200 OK".to_vec()));
     }
 }
@@ -315,20 +441,27 @@ fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
         .enumerate()
         .map(|(i, &u)| (NodeId(2 + i), u))
         .collect();
+    let recover_on = opts.recover.enabled;
     net.add_node(Box::new(VpnServer {
         entity: vpn_e,
         kp: vpn_kp.clone(),
         origin: origin_id,
         back: Vec::new(),
         node_user,
+        recover: recover_on,
+        hop: HopMap::new(),
     }));
     net.mark_relay(vpn_id);
-    net.add_node(Box::new(PlainOrigin { entity: origin_e }));
+    net.add_node(Box::new(PlainOrigin {
+        entity: origin_e,
+        recover: recover_on,
+    }));
     let stats = Rc::new(RefCell::new(VpnStats {
         completed: 0,
         latencies: Vec::new(),
+        linkage: RetryLinkage::new(),
     }));
-    for (&u, &e) in users.iter().zip(user_entities.iter()) {
+    for (ci, (&u, &e)) in users.iter().zip(user_entities.iter()).enumerate() {
         net.add_node(Box::new(VpnClient {
             entity: e,
             user: u,
@@ -338,6 +471,9 @@ fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
             fetches_left: fetches_each,
             stats: stats.clone(),
             sent_at: SimTime::ZERO,
+            arq: ReliableCall::new(&opts.recover, derive_seed(seed, 0x0b50 + ci as u64)),
+            flow: ci as u64,
+            inflight: BTreeMap::new(),
         }));
     }
     // Client-side network observer (the user's ISP): sees the access
@@ -368,6 +504,8 @@ fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
         users,
         fault_log,
         metrics,
+        expected: (n_users * fetches_each) as u64,
+        retry_linkage: stats.linkage.violations(),
     }
 }
 
@@ -387,6 +525,12 @@ pub struct EchReport {
     pub fault_log: FaultLog,
     /// Run metrics (populated on instrumented runs).
     pub metrics: MetricsReport,
+    /// The workload's target (one handshake).
+    pub expected: u64,
+    /// Retry-linkage violations over the sealed ClientHello attempts
+    /// (only populated with ECH on — a cleartext SNI makes no
+    /// unlinkability claim).
+    pub retry_linkage: Vec<String>,
 }
 
 impl dcp_core::ScenarioReport for EchReport {
@@ -401,6 +545,12 @@ impl dcp_core::ScenarioReport for EchReport {
     }
     fn completed_units(&self) -> u64 {
         self.completed as u64
+    }
+    fn expected_units(&self) -> Option<u64> {
+        Some(self.expected)
+    }
+    fn retry_linkage(&self) -> &[String] {
+        &self.retry_linkage
     }
 }
 
@@ -455,6 +605,12 @@ impl EchReport {
     }
 }
 
+struct EchStats {
+    completed: usize,
+    /// Retry-linkage check over the sealed ClientHello (ECH runs only).
+    linkage: RetryLinkage,
+}
+
 struct EchClient {
     entity: EntityId,
     user: UserId,
@@ -462,7 +618,46 @@ struct EchClient {
     server_pk: [u8; 32],
     server_key: KeyId,
     ech: bool,
-    completed: Rc<RefCell<usize>>,
+    stats: Rc<RefCell<EchStats>>,
+    /// Per-handshake ARQ (inert when the run's recovery is disabled).
+    arq: ReliableCall,
+}
+
+impl EchClient {
+    /// Build one ClientHello: with ECH the SNI travels sealed to the
+    /// server's ECH key (a *fresh* encapsulation per attempt, so retries
+    /// stay unlinkable); without it, the SNI is cleartext on the wire —
+    /// identical bytes per attempt, and no unlinkability claim to check.
+    fn client_hello(&self, ctx: &mut Ctx) -> (Vec<u8>, Label) {
+        let sni = b"very-private-site.example".to_vec();
+        let sni_item = InfoItem::sensitive_data(self.user, DataKind::Destination);
+        let envelope = InfoItem::sensitive_identity(self.user, IdentityKind::Any);
+        if self.ech {
+            ctx.world.crypto_op("hpke_seal");
+            let sealed = hpke::seal(ctx.rng, &self.server_pk, b"ech", b"", &sni).expect("ech seal");
+            (
+                sealed,
+                Label::item(envelope).and(Label::item(sni_item).sealed(self.server_key)),
+            )
+        } else {
+            (sni, Label::items([envelope, sni_item]))
+        }
+    }
+
+    fn transmit(&mut self, ctx: &mut Ctx, att: Attempt) {
+        let (bytes, label) = self.client_hello(ctx);
+        if self.ech {
+            self.stats
+                .borrow_mut()
+                .linkage
+                .record(0, att.seq, att.attempt, &bytes);
+        }
+        ctx.send(
+            self.server,
+            Message::new(wire::frame(att.seq, &bytes), label),
+        );
+        ctx.set_timer(att.timer_delay_us, att.token);
+    }
 }
 
 impl Node for EchClient {
@@ -478,26 +673,40 @@ impl Node for EchClient {
             self.entity,
             InfoItem::sensitive_data(self.user, DataKind::Destination),
         );
-        // ClientHello: with ECH the SNI travels sealed to the server's ECH
-        // key; without it, the SNI is cleartext on the wire.
-        let sni = b"very-private-site.example".to_vec();
-        let sni_item = InfoItem::sensitive_data(self.user, DataKind::Destination);
-        let envelope = InfoItem::sensitive_identity(self.user, IdentityKind::Any);
-        let (bytes, label) = if self.ech {
-            ctx.world.crypto_op("hpke_seal");
-            let sealed = hpke::seal(ctx.rng, &self.server_pk, b"ech", b"", &sni).expect("ech seal");
-            (
-                sealed,
-                Label::item(envelope).and(Label::item(sni_item).sealed(self.server_key)),
-            )
-        } else {
-            (sni, Label::items([envelope, sni_item]))
-        };
+        if self.arq.enabled() {
+            let att = self.arq.begin().expect("enabled ARQ always begins");
+            self.transmit(ctx, att);
+            return;
+        }
+        let (bytes, label) = self.client_hello(ctx);
         ctx.send(self.server, Message::new(bytes, label));
     }
-    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, _msg: Message) {
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match self.arq.on_timer(token) {
+            TimerVerdict::NotMine | TimerVerdict::Stale => {}
+            TimerVerdict::Retry(att) => {
+                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
+                self.transmit(ctx, att);
+            }
+            TimerVerdict::Exhausted { seq, attempts } => {
+                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
+            }
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        if self.arq.enabled() {
+            let Some((seq, _body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            if !self.arq.complete(seq) {
+                return; // duplicated ServerHello: counted exactly once
+            }
+            ctx.world.span("handshake", 0, ctx.now.as_us());
+            self.stats.borrow_mut().completed += 1;
+            return;
+        }
         ctx.world.span("handshake", 0, ctx.now.as_us());
-        *self.completed.borrow_mut() += 1;
+        self.stats.borrow_mut().completed += 1;
     }
 }
 
@@ -505,6 +714,9 @@ struct TlsServer {
     entity: EntityId,
     kp: hpke::Keypair,
     ech: bool,
+    /// Recovery path: echo the client's sequence back — the server is a
+    /// stateless responder, idempotent under retransmission.
+    recover: bool,
 }
 
 impl Node for TlsServer {
@@ -512,21 +724,33 @@ impl Node for TlsServer {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        let (seq, hello) = if self.recover {
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            (Some(seq), body.to_vec())
+        } else {
+            (None, msg.bytes)
+        };
         // Fail closed: a ClientHello that does not decrypt, or names an
         // unknown site, is dropped rather than answered.
         let sni = if self.ech {
             ctx.world.crypto_op("hpke_open");
-            let Ok(sni) = hpke::open(&self.kp, b"ech", b"", &msg.bytes) else {
+            let Ok(sni) = hpke::open(&self.kp, b"ech", b"", &hello) else {
                 return;
             };
             sni
         } else {
-            msg.bytes
+            hello
         };
         if sni != b"very-private-site.example" {
             return;
         }
-        ctx.send(from, Message::public(b"ServerHello".to_vec()));
+        let reply = match seq {
+            Some(seq) => wire::frame(seq, b"ServerHello"),
+            None => b"ServerHello".to_vec(),
+        };
+        ctx.send(from, Message::public(reply));
     }
 }
 
@@ -560,11 +784,16 @@ fn run_ech_impl(cfg: &EchConfig, seed: u64, opts: &RunOptions) -> EchReport {
     net.set_default_link(LinkParams::wan_ms(10));
     net.enable_faults(opts.faults.clone(), seed);
     let server_id = NodeId(0);
-    let completed = Rc::new(RefCell::new(0usize));
+    let recover_on = opts.recover.enabled;
+    let stats = Rc::new(RefCell::new(EchStats {
+        completed: 0,
+        linkage: RetryLinkage::new(),
+    }));
     net.add_node(Box::new(TlsServer {
         entity: server_e,
         kp: kp.clone(),
         ech,
+        recover: recover_on,
     }));
     net.add_node(Box::new(EchClient {
         entity: client_e,
@@ -573,7 +802,8 @@ fn run_ech_impl(cfg: &EchConfig, seed: u64, opts: &RunOptions) -> EchReport {
         server_pk: kp.public,
         server_key,
         ech,
-        completed: completed.clone(),
+        stats: stats.clone(),
+        arq: ReliableCall::new(&opts.recover, derive_seed(seed, 0x0ec8)),
     }));
     net.add_tap(Tap {
         observer: observer_e,
@@ -583,14 +813,16 @@ fn run_ech_impl(cfg: &EchConfig, seed: u64, opts: &RunOptions) -> EchReport {
     let fault_log = net.fault_log();
     let (mut world, _) = net.into_parts();
     let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
-    let completed = *completed.borrow();
+    let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
     EchReport {
         world,
         ech,
         user,
-        completed,
+        completed: stats.completed,
         fault_log,
         metrics,
+        expected: 1,
+        retry_linkage: stats.linkage.violations(),
     }
 }
 
@@ -695,5 +927,65 @@ mod tests {
             "ECH does not decouple the server"
         );
         assert!(!analyze(&with.world).decoupled);
+    }
+
+    #[test]
+    fn recovered_harsh_vpn_completes_with_baseline_tables() {
+        use dcp_core::ScenarioReport as _;
+        use dcp_faults::dst::KnowledgeFingerprint;
+        let cfg = VpnConfig::new(2, 4);
+        let calm = Vpn::run_with(&cfg, 31, &RunOptions::recovered(&FaultConfig::calm()));
+        let harsh = Vpn::run_with(&cfg, 31, &RunOptions::recovered(&FaultConfig::harsh()));
+        assert_eq!(calm.completed, 8, "calm recovered run completes everything");
+        assert_eq!(
+            harsh.completed as u64,
+            harsh.expected_units().unwrap(),
+            "under harsh faults the recovery layer still finishes the workload"
+        );
+        assert!(!harsh.fault_log.is_empty(), "harsh actually injected");
+        assert!(
+            harsh.retry_linkage().is_empty(),
+            "re-randomized retries are never linkable by ciphertext equality: {:?}",
+            harsh.retry_linkage()
+        );
+        assert_eq!(
+            KnowledgeFingerprint::of(&harsh.world),
+            KnowledgeFingerprint::of(&calm.world),
+            "recovery must not change anyone's knowledge ledger"
+        );
+        assert_eq!(harsh.table(0), calm.table(0));
+    }
+
+    #[test]
+    fn recovered_harsh_ech_completes_both_ways() {
+        use dcp_core::ScenarioReport as _;
+        use dcp_faults::dst::KnowledgeFingerprint;
+        let opts = RunOptions::recovered(&FaultConfig::harsh());
+        for ech in [true, false] {
+            let cfg = EchConfig::default().ech(ech);
+            let calm = Ech::run_with(&cfg, 33, &RunOptions::recovered(&FaultConfig::calm()));
+            let harsh = Ech::run_with(&cfg, 33, &opts);
+            assert_eq!(harsh.completed as u64, harsh.expected_units().unwrap());
+            assert!(harsh.retry_linkage().is_empty());
+            assert_eq!(
+                KnowledgeFingerprint::of(&harsh.world),
+                KnowledgeFingerprint::of(&calm.world),
+                "ech={ech}: recovery must not change anyone's knowledge ledger"
+            );
+        }
+    }
+
+    #[test]
+    fn recovered_calm_runs_match_plain_completion() {
+        // Recovery adds framing and timers but must not change how much
+        // work a fault-free run completes, nor perturb knowledge.
+        let plain = run_vpn(2, 3, 5);
+        let rec = Vpn::run_with(
+            &VpnConfig::new(2, 3),
+            5,
+            &RunOptions::recovered(&FaultConfig::calm()),
+        );
+        assert_eq!(plain.completed, rec.completed);
+        assert_eq!(plain.table(0), rec.table(0));
     }
 }

@@ -10,15 +10,17 @@
 //!   does not already have (baseline-relative, so the intentionally
 //!   coupled §3.3 VPN still passes);
 //! * **liveness degradation** — under `moderate()` the workload still
-//!   makes end-to-end progress for these seeds; under `chaos()` only
-//!   safety is promised.
+//!   makes end-to-end progress for these seeds; under `harsh()` (with the
+//!   `dcp-recover` layer the harness always enables) the bar rises to
+//!   full completion with knowledge tables byte-identical to the calm
+//!   baseline; under `chaos()` only safety is promised.
 
 use decoupling::{run_scenario_for, DstReport};
 
-/// Every preset report for one scenario, with the moderate-liveness check.
+/// Every preset report for one scenario, with the tiered liveness checks.
 fn check(reports: &[DstReport]) {
-    // Presets come back in calm / moderate / chaos order.
-    assert_eq!(reports.len(), 3);
+    // Presets come back in calm / moderate / harsh / chaos order.
+    assert_eq!(reports.len(), 4);
     for r in reports {
         assert!(
             r.new_couplings.is_empty(),
@@ -38,12 +40,35 @@ fn check(reports: &[DstReport]) {
         "{}: no end-to-end progress under moderate faults",
         reports[1].scenario
     );
+    // The harsh completion bar (also asserted inside the harness): the
+    // recovery layer finishes the whole workload, and the knowledge
+    // tables match the fault-free baseline byte for byte.
+    let harsh = &reports[2];
+    assert_eq!(harsh.preset, "harsh");
+    assert!(
+        harsh.completed,
+        "{}: harsh must complete with recovery on",
+        harsh.scenario
+    );
+    if let Some(expected) = harsh.expected_units {
+        assert_eq!(
+            harsh.completed_units, expected,
+            "{}: harsh completed {}/{} units",
+            harsh.scenario, harsh.completed_units, expected
+        );
+    }
+    assert!(
+        harsh.tables_match_baseline,
+        "{}: harsh knowledge tables drifted from the calm baseline",
+        harsh.scenario
+    );
     // Fault schedules must actually fire. (Chaos can inject *fewer* events
     // than moderate — early crashes and drops leave less traffic to fault —
     // so only "nonzero" is asserted, not monotonicity.)
     assert_eq!(reports[0].faults_injected, 0);
     assert!(reports[1].faults_injected > 0, "moderate injected nothing");
-    assert!(reports[2].faults_injected > 0, "chaos injected nothing");
+    assert!(reports[2].faults_injected > 0, "harsh injected nothing");
+    assert!(reports[3].faults_injected > 0, "chaos injected nothing");
 }
 
 #[test]
@@ -126,6 +151,15 @@ fn dst_vpn() {
     // coupling is not charged to the fault injector.
     let cfg = decoupling::VpnConfig::new(3, 2);
     check(&run_scenario_for::<decoupling::Vpn>(1008, &cfg));
+}
+
+#[test]
+fn dst_ech() {
+    // §4.1 ECH hides the SNI from the network observer but the TLS server
+    // stays coupled by design — baseline-relative safety is what lets it
+    // ride the same battery as the decoupled systems.
+    let cfg = decoupling::EchConfig::default().ech(true);
+    check(&run_scenario_for::<decoupling::Ech>(1009, &cfg));
 }
 
 /// §4.2: key compromise is the one fault the framework *detects* rather
