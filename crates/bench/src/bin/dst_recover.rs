@@ -18,7 +18,6 @@
 
 use decoupling::faults::dst::{sweep_recovery_probe_for, RecoverySweepReport};
 use decoupling::{ParallelExecutor, SequentialExecutor, SweepBuilder, SweepExecutor};
-use std::io::Write as _;
 
 struct Args {
     worlds: u64,
@@ -155,17 +154,11 @@ fn main() {
         elapsed.as_secs_f64()
     );
 
-    let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
     match &args.out {
         Some(path) => {
-            if let Some(dir) = std::path::Path::new(path).parent() {
-                std::fs::create_dir_all(dir).expect("create output directory");
-            }
-            let mut f = std::fs::File::create(path).expect("create output file");
-            f.write_all(json.as_bytes()).expect("write output file");
-            f.write_all(b"\n").expect("write output file");
+            dcp_obs::write_json(&reports, path).expect("write output file");
             eprintln!("wrote {path}");
         }
-        None => println!("{json}"),
+        None => println!("{}", dcp_obs::to_json(&reports)),
     }
 }

@@ -181,12 +181,8 @@ fn main() {
         "relay_latency": relay_latency,
         "padding_cost": padding,
     });
-    std::fs::create_dir_all("out").expect("create out/");
-    std::fs::write(
-        "out/experiments_out.json",
-        serde_json::to_string_pretty(&record).expect("json"),
-    )
-    .expect("write out/experiments_out.json");
+    dcp_obs::write_json(&record, "out/experiments_out.json")
+        .expect("write out/experiments_out.json");
     println!("(machine-readable results written to out/experiments_out.json)");
 
     assert!(all_match, "a paper table failed to reproduce");

@@ -9,13 +9,13 @@ use std::rc::Rc;
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
-    World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, Label, MetricsReport, RoleKind,
+    RunOptions, Scenario, UserId, World,
 };
-use dcp_faults::{FaultConfig, FaultLog};
-use dcp_obs::MetricsHandle;
-use dcp_recover::{wire, Attempt, Dedup, ReliableCall, RetryLinkage, TimerVerdict};
-use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
+use dcp_runtime::{
+    mean_us, wire, Attempt, CallEvent, Ctx, Dedup, Driver, Harness, LinkParams, Message, Node,
+    NodeId, RetryLinkage, SimTime, Trace,
+};
 
 use crate::bank::{Bank, Withdrawal};
 use crate::coin::Coin;
@@ -190,10 +190,9 @@ struct BuyerNode {
     pending: Option<Withdrawal>,
     coins_to_spend: usize,
     started_at: SimTime,
-    /// Per-request ARQ (inert when the run's recovery is disabled).
-    arq: ReliableCall,
+    /// Per-request reliable-call driver (inert when recovery is disabled).
+    calls: Driver<BcInflight>,
     flow: u64,
-    inflight: BTreeMap<u64, BcInflight>,
 }
 
 impl BuyerNode {
@@ -217,9 +216,7 @@ impl BuyerNode {
 
     fn start_withdrawal(&mut self, ctx: &mut Ctx) {
         self.started_at = ctx.now;
-        if self.arq.enabled() {
-            let att = self.arq.begin().expect("enabled ARQ always begins");
-            self.inflight.insert(att.seq, BcInflight::Withdraw);
+        if let Some(att) = self.calls.begin(BcInflight::Withdraw) {
             self.transmit_withdrawal(ctx, att);
             return;
         }
@@ -286,37 +283,35 @@ impl Node for BuyerNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        match self.arq.on_timer(token) {
-            TimerVerdict::NotMine | TimerVerdict::Stale => {}
-            TimerVerdict::Retry(att) => {
-                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
-                match self.inflight.get(&att.seq) {
-                    Some(BcInflight::Withdraw) => self.transmit_withdrawal(ctx, att),
-                    Some(BcInflight::Spend { coin }) => {
-                        let coin = coin.clone();
-                        self.transmit_spend(ctx, &coin, att);
-                    }
-                    None => {}
+        match self.calls.on_timer(ctx, token) {
+            CallEvent::App(_) | CallEvent::Ignored => {}
+            CallEvent::Retry(att) => match self.calls.get(att.seq) {
+                Some(BcInflight::Withdraw) => self.transmit_withdrawal(ctx, att),
+                Some(BcInflight::Spend { coin }) => {
+                    let coin = coin.clone();
+                    self.transmit_spend(ctx, &coin, att);
                 }
-            }
-            TimerVerdict::Exhausted { seq, attempts } => {
-                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
-                match self.inflight.remove(&seq) {
-                    Some(BcInflight::Spend { .. }) => self.cycle_done(ctx),
-                    // An abandoned withdrawal leaves nothing to spend: the
-                    // buyer stops rather than fabricate a coin.
-                    Some(BcInflight::Withdraw) | None => {}
-                }
-            }
+                None => {}
+            },
+            CallEvent::Exhausted {
+                call: BcInflight::Spend { .. },
+                ..
+            } => self.cycle_done(ctx),
+            // An abandoned withdrawal leaves nothing to spend: the buyer
+            // stops rather than fabricate a coin.
+            CallEvent::Exhausted {
+                call: BcInflight::Withdraw,
+                ..
+            } => {}
         }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if self.arq.enabled() {
+        if self.calls.enabled() {
             let Some((seq, body)) = wire::unframe(&msg.bytes) else {
                 return;
             };
-            match self.inflight.get(&seq) {
+            match self.calls.get(seq) {
                 Some(BcInflight::Withdraw) if from == self.signer => {
                     let Some(w) = self.pending.take() else { return };
                     let pk = self.bank.borrow().bank.public_key().clone();
@@ -326,25 +321,22 @@ impl Node for BuyerNode {
                         // re-blinded state: drop it, the timer retries.
                         return;
                     };
-                    if !self.arq.complete(seq) {
+                    if self.calls.complete(seq).is_none() {
                         return;
                     }
-                    self.inflight.remove(&seq);
                     let encoded = coin.encode();
-                    let att = self.arq.begin().expect("enabled ARQ always begins");
-                    self.inflight.insert(
-                        att.seq,
-                        BcInflight::Spend {
+                    let att = self
+                        .calls
+                        .begin(BcInflight::Spend {
                             coin: encoded.clone(),
-                        },
-                    );
+                        })
+                        .expect("enabled ARQ always begins");
                     self.transmit_spend(ctx, &encoded, att);
                 }
                 Some(BcInflight::Spend { .. }) if from == self.seller => {
-                    if !self.arq.complete(seq) {
+                    if self.calls.complete(seq).is_none() {
                         return; // duplicated receipt: counted exactly once
                     }
-                    self.inflight.remove(&seq);
                     ctx.world
                         .span("cycle", self.started_at.as_us(), ctx.now.as_us());
                     self.bank
@@ -612,42 +604,12 @@ impl Node for VerifierNode {
     }
 }
 
-/// Run the scenario: `n_buyers` buyers each complete `coins_each`
-/// withdraw/spend/deposit cycles. `rsa_bits` sizes the bank key (512 for
-/// tests, 2048 for realistic benches).
-#[deprecated(
-    note = "use the unified Scenario API: `Blindcash::run(&BlindcashConfig::new(buyers, coins_each, rsa_bits), seed)`"
-)]
-pub fn run(n_buyers: usize, coins_each: usize, rsa_bits: usize, seed: u64) -> ScenarioReport {
-    Blindcash::run(&BlindcashConfig::new(n_buyers, coins_each, rsa_bits), seed)
-}
-
-/// [`run`], with network fault injection. The run — traffic and fault
-/// schedule both — is a pure function of `(seed, faults)`.
-#[deprecated(
-    note = "use the unified Scenario API: `Blindcash::run_with_faults(&cfg, seed, faults)`"
-)]
-pub fn run_with_faults(
-    n_buyers: usize,
-    coins_each: usize,
-    rsa_bits: usize,
-    seed: u64,
-    faults: &FaultConfig,
-) -> ScenarioReport {
-    Blindcash::run_with_faults(
-        &BlindcashConfig::new(n_buyers, coins_each, rsa_bits),
-        seed,
-        faults,
-    )
-}
-
 fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
     use rand::SeedableRng;
     let (n_buyers, coins_each, rsa_bits) = (cfg.buyers, cfg.coins_each, cfg.rsa_bits);
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xb1bd);
 
-    let mut world = World::new();
-    let obs = MetricsHandle::install_if(&mut world, opts.observe, Blindcash::NAME, seed);
+    let (mut world, harness) = Harness::begin(Blindcash::NAME, seed, opts);
     let bank_org = world.add_org("bank");
     let seller_org = world.add_org("seller");
     let user_org = world.add_org("users");
@@ -683,9 +645,7 @@ fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioRepo
         linkage: RetryLinkage::new(),
     }));
 
-    let mut net = Network::new(world, seed);
-    net.set_default_link(LinkParams::wan_ms(10));
-    net.enable_faults(opts.faults.clone(), seed);
+    let mut net = harness.network(world, LinkParams::wan_ms(10));
 
     // Reserve ids: signer=0, verifier=1, seller=2, buyers=3..
     let signer_id = NodeId(0);
@@ -699,69 +659,76 @@ fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioRepo
         .collect();
 
     let recover_on = opts.recover.enabled;
-    net.add_node(Box::new(SignerNode {
-        entity: signer_e,
-        bank: shared.clone(),
-        node_to_user: node_to_user.clone(),
-        recover: recover_on,
-        debited: Dedup::new(),
-    }));
-    net.add_node(Box::new(VerifierNode {
-        entity: verifier_e,
-        bank: shared.clone(),
-        seller_user,
-        sig_len,
-        recover: recover_on,
-        acked: BTreeMap::new(),
-    }));
-    net.add_node(Box::new(SellerNode {
-        entity: seller_e,
-        verifier: verifier_id,
-        outstanding: Vec::new(),
-        node_to_user: node_to_user.clone(),
-        recover: recover_on,
-        checks: BTreeMap::new(),
-        by_hop: BTreeMap::new(),
-        next_hop: 0,
-    }));
-    for (i, (&u, &e)) in buyers.iter().zip(buyer_entities.iter()).enumerate() {
-        net.add_node(Box::new(BuyerNode {
-            entity: e,
-            user: u,
-            signer: signer_id,
-            seller: seller_id,
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(SignerNode {
+            entity: signer_e,
             bank: shared.clone(),
-            pending: None,
-            coins_to_spend: coins_each,
-            started_at: SimTime::ZERO,
-            arq: ReliableCall::new(&opts.recover, derive_seed(seed, 0xb1b0 + i as u64)),
-            flow: i as u64,
-            inflight: BTreeMap::new(),
-        }));
+            node_to_user: node_to_user.clone(),
+            recover: recover_on,
+            debited: Dedup::new(),
+        }),
+    );
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(VerifierNode {
+            entity: verifier_e,
+            bank: shared.clone(),
+            seller_user,
+            sig_len,
+            recover: recover_on,
+            acked: BTreeMap::new(),
+        }),
+    );
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(SellerNode {
+            entity: seller_e,
+            verifier: verifier_id,
+            outstanding: Vec::new(),
+            node_to_user: node_to_user.clone(),
+            recover: recover_on,
+            checks: BTreeMap::new(),
+            by_hop: BTreeMap::new(),
+            next_hop: 0,
+        }),
+    );
+    for (i, (&u, &e)) in buyers.iter().zip(buyer_entities.iter()).enumerate() {
+        Harness::add(
+            &mut net,
+            RoleKind::Initiator,
+            Box::new(BuyerNode {
+                entity: e,
+                user: u,
+                signer: signer_id,
+                seller: seller_id,
+                bank: shared.clone(),
+                pending: None,
+                coins_to_spend: coins_each,
+                started_at: SimTime::ZERO,
+                calls: Driver::new(&opts.recover, derive_seed(seed, 0xb1b0 + i as u64)),
+                flow: i as u64,
+            }),
+        );
         debug_assert_eq!(buyer_ids[i], NodeId(3 + i));
     }
 
-    net.run();
-    let fault_log = net.fault_log();
-    let (mut world, trace) = net.into_parts();
-    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
+    let core = harness.finish(net);
     let shared = Rc::try_unwrap(shared)
         .map_err(|_| ())
         .expect("sim still holds bank")
         .into_inner();
-    let mean = if shared.cycle_times.is_empty() {
-        0.0
-    } else {
-        shared.cycle_times.iter().sum::<u64>() as f64 / shared.cycle_times.len() as f64
-    };
     ScenarioReport {
-        world,
-        trace,
+        world: core.world,
+        trace: core.trace,
         deposited: shared.deposited,
-        mean_cycle_us: mean,
+        mean_cycle_us: mean_us(&shared.cycle_times),
         buyers,
-        fault_log,
-        metrics,
+        fault_log: core.fault_log,
+        metrics: core.metrics,
         expected: (n_buyers * coins_each) as u64,
         retry_linkage: shared.linkage.violations(),
     }
@@ -770,7 +737,7 @@ fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioRepo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_core::analyze;
+    use dcp_core::{analyze, FaultConfig};
 
     fn run(buyers: usize, coins_each: usize, rsa_bits: usize, seed: u64) -> ScenarioReport {
         Blindcash::run(&BlindcashConfig::new(buyers, coins_each, rsa_bits), seed)

@@ -56,6 +56,7 @@ pub mod faults;
 pub mod label;
 pub mod obs;
 pub mod recover;
+pub mod role;
 pub mod scenario;
 pub mod sweep;
 pub mod table;
@@ -70,6 +71,7 @@ pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultLog};
 pub use label::{Aspect, DataKind, IdentityKind, InfoItem, InfoSet, KeyId, Label, Sensitivity};
 pub use obs::{KnowledgeRecord, MetricsReport, ObsEvent, ObsHandle, ObsSink, SpanRecord};
 pub use recover::RecoverConfig;
+pub use role::{Endpoint, Role, RoleKind};
 pub use scenario::{RunOptions, Scenario, ScenarioReport};
 pub use sweep::{
     derive_seed, SequentialExecutor, SweepBuilder, SweepEntry, SweepExecutor, SweepJob,

@@ -1,0 +1,146 @@
+//! Typed protocol roles: the vocabulary the runtime layer shares with
+//! every scenario.
+//!
+//! "Privacy by Design: On the Conformance Between Protocols and
+//! Architectures" argues the *architecture* level — who plays which role,
+//! who may see what — should be stated once and each protocol checked
+//! against it. This module is that statement for the §3 systems: every
+//! node a scenario registers is an [`Initiator`](RoleKind::Initiator), a
+//! [`Relay`](RoleKind::Relay), or a [`Service`](RoleKind::Service), and
+//! the runtime harness uses the kind (not ad-hoc per-scenario calls) to
+//! decide simulator treatment such as relay marking. [`Endpoint`] adds a
+//! request/response-typed address so a role's peers are part of its type,
+//! not a bag of untyped node indices.
+//!
+//! The decoupling principle itself is a statement about roles: the
+//! initiator holds `(▲, ●)` by definition, relays are allowed `(▲, ⊙)`
+//! or `(△, ⊙/●)`, and a *service* that reaches `(▲, ●)` is a coupling.
+//! Encoding the role of each node at the type level is what lets one
+//! runtime own the *mechanics* (retry loops, dedup, instrumentation)
+//! while each scenario only supplies protocol content.
+
+use core::fmt;
+use core::marker::PhantomData;
+
+/// The three architectural roles a protocol participant can play.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RoleKind {
+    /// The party whose identity/data coupling is being protected: a user,
+    /// client, phone, buyer, or sender. Holds `(▲, ●)` by definition.
+    Initiator,
+    /// A decoupling intermediary (proxy, mix, relay, gateway forwarder).
+    /// The simulator treats relays specially: crash-fault presets may
+    /// target them, and their knowledge is bounded by `(▲, ⊙)`.
+    Relay,
+    /// A terminal service (origin, issuer, signer, verifier, collector).
+    /// Decoupled designs bound it to `(△, ●)`.
+    Service,
+}
+
+impl RoleKind {
+    /// Stable lowercase name (used in docs and diagnostics).
+    pub fn name(self) -> &'static str {
+        match self {
+            RoleKind::Initiator => "initiator",
+            RoleKind::Relay => "relay",
+            RoleKind::Service => "service",
+        }
+    }
+}
+
+impl fmt::Display for RoleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A protocol role: a named participant kind in one scenario's
+/// architecture. Implemented by zero-sized marker types; the runtime and
+/// docs use the constants, never instances.
+pub trait Role {
+    /// Which architectural kind this role is.
+    const KIND: RoleKind;
+    /// Stable role name (e.g. `"odoh-proxy"`).
+    const NAME: &'static str;
+}
+
+/// A typed address: node index `usize` plus the request/response types
+/// the peer speaks. Two endpoints with different protocol types are
+/// different Rust types, so a scenario cannot accidentally send an
+/// issuance request to the attach endpoint even though both are "just"
+/// node indices at runtime.
+///
+/// The type parameters are phantom — an `Endpoint` is exactly a `usize`
+/// on the wire and in memory.
+pub struct Endpoint<Req, Resp> {
+    index: usize,
+    _proto: PhantomData<fn(Req) -> Resp>,
+}
+
+impl<Req, Resp> Endpoint<Req, Resp> {
+    /// Wrap a raw node index.
+    pub fn new(index: usize) -> Self {
+        Endpoint {
+            index,
+            _proto: PhantomData,
+        }
+    }
+
+    /// The raw node index.
+    pub fn index(self) -> usize {
+        self.index
+    }
+}
+
+impl<Req, Resp> Clone for Endpoint<Req, Resp> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<Req, Resp> Copy for Endpoint<Req, Resp> {}
+
+impl<Req, Resp> fmt::Debug for Endpoint<Req, Resp> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Endpoint({})", self.index)
+    }
+}
+
+impl<Req, Resp> PartialEq for Endpoint<Req, Resp> {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index
+    }
+}
+impl<Req, Resp> Eq for Endpoint<Req, Resp> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fetch;
+    struct Page;
+
+    struct OdohProxy;
+    impl Role for OdohProxy {
+        const KIND: RoleKind = RoleKind::Relay;
+        const NAME: &'static str = "odoh-proxy";
+    }
+
+    #[test]
+    fn role_kind_names_are_stable() {
+        assert_eq!(RoleKind::Initiator.name(), "initiator");
+        assert_eq!(RoleKind::Relay.to_string(), "relay");
+        assert_eq!(RoleKind::Service.name(), "service");
+        assert_eq!(OdohProxy::KIND, RoleKind::Relay);
+        assert_eq!(OdohProxy::NAME, "odoh-proxy");
+    }
+
+    #[test]
+    fn endpoints_are_typed_indices() {
+        let a: Endpoint<Fetch, Page> = Endpoint::new(3);
+        let b = a; // Copy regardless of protocol types
+        assert_eq!(a, b);
+        assert_eq!(a.index(), 3);
+        assert_ne!(a, Endpoint::new(4));
+        assert_eq!(format!("{a:?}"), "Endpoint(3)");
+    }
+}

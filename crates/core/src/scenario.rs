@@ -19,8 +19,8 @@
 //! Every implementor keeps its rich, scenario-specific report struct; the
 //! [`ScenarioReport`] trait is the common lens (world, fault log,
 //! metrics, liveness) generic harnesses like DST and the obs property
-//! tests need. The old free-function entrypoints survive as
-//! `#[deprecated]` shims over this trait.
+//! tests need. The old free-function entrypoints are gone — this trait is
+//! the only way to run a scenario.
 
 use crate::faults::{FaultConfig, FaultLog};
 use crate::obs::MetricsReport;

@@ -15,6 +15,10 @@
 //! * [`sweep`] — the rayon-backed parallel sweep engine: fan independent
 //!   `(scenario, config, seed)` worlds across cores with results
 //!   bit-for-bit identical to a sequential run.
+//! * [`runtime`] — the typed protocol-role layer the scenario crates are
+//!   wired through: the [`runtime::Driver`] attempt loop,
+//!   [`runtime::Harness`] run bracketing, and role-tagged node
+//!   registration.
 //! * [`transport`] — framing, encrypted channels, onion tunnels, traffic
 //!   shaping.
 //! * [`dns`] — the DNS substrate (wire codec, zones, resolver, workloads).
@@ -63,6 +67,7 @@ pub use dcp_pgpp as pgpp;
 pub use dcp_ppm as ppm;
 pub use dcp_privacypass as privacypass;
 pub use dcp_recover as recover;
+pub use dcp_runtime as runtime;
 pub use dcp_simnet as simnet;
 pub use dcp_sweep as sweep;
 pub use dcp_transport as transport;

@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use dcp_simnet::{NodeId, PacketRecord, Trace};
+use dcp_runtime::{NodeId, PacketRecord, Trace};
 
 /// A first-hop event the adversary observed: sender node, send time.
 #[derive(Clone, Copy, Debug)]
@@ -136,7 +136,7 @@ pub fn mean_anonymity_set(trace: &Trace, last_hops: &[NodeId]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_simnet::SimTime;
+    use dcp_runtime::SimTime;
 
     fn rec(src: usize, dst: usize, t_send: u64, t_del: u64, flow: u64) -> PacketRecord {
         PacketRecord {

@@ -10,7 +10,7 @@ use std::rc::Rc;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, UserId, World};
 use dcp_crypto::hpke;
-use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
+use dcp_runtime::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
 
 use crate::circuit::{self, ClientCircuit, RelayCircuit};
 

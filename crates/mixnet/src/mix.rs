@@ -2,8 +2,7 @@
 
 use dcp_core::{EntityId, KeyId, Label};
 use dcp_crypto::hpke;
-use dcp_recover::{wire, HopMap};
-use dcp_simnet::{Ctx, Message, Node, NodeId};
+use dcp_runtime::{wire, Ctx, HopMap, Message, Node, NodeId};
 use dcp_transport::onion::{self, Unwrapped};
 use rand::seq::SliceRandom;
 
@@ -189,7 +188,7 @@ mod tests {
     // tests here cover the pool/flush bookkeeping via a tiny harness.
     use super::*;
     use dcp_core::World;
-    use dcp_simnet::{LinkParams, Network, SimTime};
+    use dcp_runtime::{LinkParams, Network, SimTime};
     use dcp_transport::onion::Hop;
     use rand::SeedableRng;
 

@@ -7,14 +7,14 @@ use std::rc::Rc;
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RunOptions, Scenario,
-    UserId, World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RoleKind,
+    RunOptions, Scenario, UserId, World,
 };
 use dcp_crypto::hpke;
-use dcp_faults::{FaultConfig, FaultLog};
-use dcp_obs::MetricsHandle;
-use dcp_recover::{wire, Attempt, ReliableCall, RetryLinkage, TimerVerdict};
-use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
+use dcp_runtime::{
+    mean_us, wire, Attempt, CallEvent, Ctx, Driver, Harness, LinkParams, Message, Node, NodeId,
+    RetryLinkage, Trace,
+};
 use dcp_transport::onion::{self, Hop, Unwrapped};
 use rand::Rng as _;
 
@@ -197,10 +197,9 @@ struct SenderNode {
     chaff_delays: Vec<u64>,
     sent: bool,
     stats: Rc<RefCell<Stats>>,
-    /// Per-message ARQ (inert when the run's recovery is disabled).
-    arq: ReliableCall,
-    /// Seq of the open real-message call, if any.
-    inflight: Option<u64>,
+    /// Per-message reliable-call driver (inert when recovery is
+    /// disabled); the single open call is the real message.
+    calls: Driver<()>,
     /// The real body, built once at first transmission so every attempt
     /// carries the same send-time stamp and the receiver can dedup.
     real_body: Vec<u8>,
@@ -235,7 +234,7 @@ impl SenderNode {
             InfoItem::plain_data(self.user, DataKind::Payload),
         ])
         .and(label);
-        if self.arq.enabled() {
+        if self.calls.enabled() {
             // Framed so recovered mixes can parse it, but fire-and-forget:
             // chaff that faults eat is just less cover, never lost work.
             self.chaff_seq += 1;
@@ -318,25 +317,15 @@ impl Node for SenderNode {
         }
     }
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        if self.arq.enabled() {
-            match self.arq.on_timer(token) {
-                TimerVerdict::NotMine => {} // an app timer: fall through
-                TimerVerdict::Stale => return,
-                TimerVerdict::Retry(att) => {
-                    dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
-                    if self.inflight == Some(att.seq) {
-                        self.transmit_real(ctx, att);
-                    }
-                    return;
-                }
-                TimerVerdict::Exhausted { seq, attempts } => {
-                    dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
-                    if self.inflight == Some(seq) {
-                        self.inflight = None;
-                    }
-                    return;
-                }
+        match self.calls.on_timer(ctx, token) {
+            CallEvent::App(_) => {} // an app timer: fall through
+            CallEvent::Ignored => return,
+            CallEvent::Retry(att) => {
+                self.transmit_real(ctx, att);
+                return;
             }
+            // The one real message is abandoned; chaff keeps flowing.
+            CallEvent::Exhausted { .. } => return,
         }
         if token == TOKEN_CHAFF {
             self.send_chaff(ctx);
@@ -353,9 +342,7 @@ impl Node for SenderNode {
         body.extend_from_slice(&ctx.now.as_us().to_be_bytes());
         body.extend_from_slice(payload.as_bytes());
         self.real_body = body;
-        if self.arq.enabled() {
-            let att = self.arq.begin().expect("enabled ARQ always begins");
-            self.inflight = Some(att.seq);
+        if let Some(att) = self.calls.begin(()) {
             self.transmit_real(ctx, att);
             return;
         }
@@ -369,11 +356,9 @@ impl Node for SenderNode {
         // The only traffic a sender ever receives is its own ack, retraced
         // hop by hop from the receiver. Acks for chaff seqs (or duplicated
         // acks) simply don't match an open call.
-        if self.arq.enabled() {
+        if self.calls.enabled() {
             if let Some((seq, _)) = wire::unframe(&msg.bytes) {
-                if self.arq.complete(seq) {
-                    self.inflight = None;
-                }
+                self.calls.complete(seq);
             }
         }
     }
@@ -438,28 +423,13 @@ impl Node for ReceiverNode {
     }
 }
 
-/// Run the mix-net per `config` with faults disabled.
-#[deprecated(note = "use the unified Scenario API: `Mixnet::run(&config, seed)`")]
-pub fn run(config: MixnetConfig) -> MixnetReport {
-    Mixnet::run(&config, config.seed)
-}
-
-/// Run the mix-net per `config` under a fault schedule.
-#[deprecated(
-    note = "use the unified Scenario API: `Mixnet::run_with_faults(&config, seed, faults)`"
-)]
-pub fn run_with_faults(config: MixnetConfig, faults: &FaultConfig) -> MixnetReport {
-    Mixnet::run_with_faults(&config, config.seed, faults)
-}
-
 fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
     use rand::SeedableRng;
     let config = *config;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x317);
     assert!(config.mixes >= 1 && config.senders >= 1);
 
-    let mut world = World::new();
-    let obs = MetricsHandle::install_if(&mut world, opts.observe, Mixnet::NAME, config.seed);
+    let (mut world, harness) = Harness::begin(Mixnet::NAME, config.seed, opts);
     let user_org = world.add_org("senders");
     let recv_org = world.add_org("receivers");
 
@@ -507,9 +477,7 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
         .map(|&e| world.new_key(&[e]))
         .collect();
 
-    let mut net = Network::new(world, config.seed);
-    net.set_default_link(LinkParams::wan_ms(5));
-    net.enable_faults(opts.faults.clone(), config.seed);
+    let mut net = harness.network(world, LinkParams::wan_ms(5));
 
     // Node layout: mixes 0..M, receivers M..M+S, senders after.
     let mix_ids: Vec<NodeId> = (0..config.mixes).map(NodeId).collect();
@@ -540,8 +508,7 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
         if !config.shuffle {
             mix = mix.without_shuffle();
         }
-        let id = net.add_node(Box::new(mix));
-        net.mark_relay(id);
+        Harness::add(&mut net, RoleKind::Relay, Box::new(mix));
     }
     let stats = Rc::new(RefCell::new(Stats {
         delivered: 0,
@@ -549,14 +516,18 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
         linkage: RetryLinkage::new(),
     }));
     for i in 0..config.senders {
-        net.add_node(Box::new(ReceiverNode {
-            entity: receiver_entities[i],
-            kp: recv_kps[i].clone(),
-            key_id: recv_keys[i],
-            stats: stats.clone(),
-            recover: opts.recover.enabled,
-            seen: BTreeSet::new(),
-        }));
+        Harness::add(
+            &mut net,
+            RoleKind::Service,
+            Box::new(ReceiverNode {
+                entity: receiver_entities[i],
+                kp: recv_kps[i].clone(),
+                key_id: recv_keys[i],
+                stats: stats.clone(),
+                recover: opts.recover.enabled,
+                seen: BTreeSet::new(),
+            }),
+        );
     }
 
     // Sender i messages receiver perm[i] (a seeded derangement-ish shuffle).
@@ -607,49 +578,45 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
         let chaff_delays: Vec<u64> = (0..config.chaff_per_sender)
             .map(|_| setup_rng.gen_range(0..config.window_us.max(1)))
             .collect();
-        net.add_node(Box::new(SenderNode {
-            entity: e,
-            user: u,
-            first_mix: mix_ids[0],
-            hops,
-            chaff_hops,
-            mix_keys: mix_keys.clone(),
-            receiver_key: recv_keys[target],
-            delay_us,
-            chaff_delays,
-            sent: false,
-            stats: stats.clone(),
-            arq: ReliableCall::new(&opts.recover, derive_seed(config.seed, 0x3170 + i as u64)),
-            inflight: None,
-            real_body: Vec::new(),
-            chaff_seq: 0,
-        }));
+        Harness::add(
+            &mut net,
+            RoleKind::Initiator,
+            Box::new(SenderNode {
+                entity: e,
+                user: u,
+                first_mix: mix_ids[0],
+                hops,
+                chaff_hops,
+                mix_keys: mix_keys.clone(),
+                receiver_key: recv_keys[target],
+                delay_us,
+                chaff_delays,
+                sent: false,
+                stats: stats.clone(),
+                calls: Driver::new(&opts.recover, derive_seed(config.seed, 0x3170 + i as u64)),
+                real_body: Vec::new(),
+                chaff_seq: 0,
+            }),
+        );
     }
 
-    net.run();
-    let fault_log = net.fault_log();
-    let (mut world, trace) = net.into_parts();
-    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
+    let core = harness.finish(net);
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
+    let trace = core.trace;
     let attack = adversary::timing_correlation(&trace, mix_ids[0], &[*mix_ids.last().unwrap()]);
     let anon = adversary::mean_anonymity_set(&trace, &[*mix_ids.last().unwrap()]);
-    let mean = if stats.latencies.is_empty() {
-        0.0
-    } else {
-        stats.latencies.iter().sum::<u64>() as f64 / stats.latencies.len() as f64
-    };
     MixnetReport {
-        world,
+        world: core.world,
         trace,
         delivered: stats.delivered,
-        mean_latency_us: mean,
+        mean_latency_us: mean_us(&stats.latencies),
         attack,
         mean_anonymity_set: anon,
         users,
         mix_names,
         receiver_of,
-        fault_log,
-        metrics,
+        fault_log: core.fault_log,
+        metrics: core.metrics,
         expected: config.senders as u64,
         retry_linkage: stats.linkage.violations(),
     }
@@ -658,7 +625,7 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_core::{analyze, collusion::entity_collusion};
+    use dcp_core::{analyze, collusion::entity_collusion, FaultConfig};
 
     fn run(config: MixnetConfig) -> MixnetReport {
         Mixnet::run(&config, config.seed)

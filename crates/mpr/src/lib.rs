@@ -31,6 +31,3 @@
 pub mod scenario;
 
 pub use scenario::{sweep, ChainConfig, Mpr, ScenarioReport};
-
-#[allow(deprecated)]
-pub use scenario::run_chain;

@@ -1,20 +1,19 @@
 //! k-relay chain scenarios over nested encrypted tunnels.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RunOptions, Scenario,
-    UserId, World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RoleKind,
+    RunOptions, Scenario, UserId, World,
 };
 use dcp_crypto::hpke;
-use dcp_faults::{FaultConfig, FaultLog};
-use dcp_obs::MetricsHandle;
-use dcp_recover::{wire, Attempt, HopMap, ReliableCall, RetryLinkage, TimerVerdict};
-use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
+use dcp_runtime::{
+    mean_us, wire, Attempt, CallEvent, Ctx, Driver, Harness, HopMap, LinkParams, Message, Node,
+    NodeId, RetryLinkage, SimTime, Trace,
+};
 use dcp_transport::onion::{self, Hop, Unwrapped};
 
 /// Configuration for a chain run.
@@ -161,10 +160,9 @@ struct UserNode {
     fetches_left: usize,
     stats: Rc<RefCell<Stats>>,
     sent_at: SimTime,
-    /// Per-request ARQ (inert when the run's recovery is disabled).
-    arq: ReliableCall,
-    /// Send time per open call seq (recovery path).
-    inflight: BTreeMap<u64, SimTime>,
+    /// The runtime attempt loop, remembering each call's send time
+    /// (inert when the run's recovery is disabled).
+    calls: Driver<SimTime>,
 }
 
 impl UserNode {
@@ -225,9 +223,7 @@ impl UserNode {
     fn fetch(&mut self, ctx: &mut Ctx) {
         self.sent_at = ctx.now;
         self.stats.borrow_mut().payload_bytes += REQUEST.len();
-        if self.arq.enabled() {
-            let att = self.arq.begin().expect("enabled ARQ always begins");
-            self.inflight.insert(att.seq, ctx.now);
+        if let Some(att) = self.calls.begin(ctx.now) {
             self.transmit(ctx, att);
             return;
         }
@@ -277,17 +273,13 @@ impl Node for UserNode {
         self.fetch(ctx);
     }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        if self.arq.enabled() {
+        if self.calls.enabled() {
             let Some((seq, _body)) = wire::unframe(&msg.bytes) else {
                 return;
             };
-            let Some(&sent) = self.inflight.get(&seq) else {
-                return;
-            };
-            if !self.arq.complete(seq) {
+            let Some(sent) = self.calls.complete(seq) else {
                 return; // duplicated response: counted exactly once
-            }
-            self.inflight.remove(&seq);
+            };
             ctx.world.span("fetch", sent.as_us(), ctx.now.as_us());
             let mut stats = self.stats.borrow_mut();
             stats.completed += 1;
@@ -309,20 +301,10 @@ impl Node for UserNode {
         self.fetch_done(ctx);
     }
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        match self.arq.on_timer(token) {
-            TimerVerdict::NotMine | TimerVerdict::Stale => {}
-            TimerVerdict::Retry(att) => {
-                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
-                if self.inflight.contains_key(&att.seq) {
-                    self.transmit(ctx, att);
-                }
-            }
-            TimerVerdict::Exhausted { seq, attempts } => {
-                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
-                if self.inflight.remove(&seq).is_some() {
-                    self.fetch_done(ctx);
-                }
-            }
+        match self.calls.on_timer(ctx, token) {
+            CallEvent::Retry(att) => self.transmit(ctx, att),
+            CallEvent::Exhausted { .. } => self.fetch_done(ctx),
+            CallEvent::App(_) | CallEvent::Ignored => {}
         }
     }
 }
@@ -529,25 +511,12 @@ impl WithFlowOpt for Message {
     }
 }
 
-/// Run a k-relay chain per `config` with faults disabled.
-#[deprecated(note = "use the unified Scenario API: `Mpr::run(&config, seed)`")]
-pub fn run_chain(config: ChainConfig) -> ScenarioReport {
-    Mpr::run(&config, config.seed)
-}
-
-/// Run a k-relay chain under a fault schedule.
-#[deprecated(note = "use the unified Scenario API: `Mpr::run_with_faults(&config, seed, faults)`")]
-pub fn run_chain_with_faults(config: ChainConfig, faults: &FaultConfig) -> ScenarioReport {
-    Mpr::run_with_faults(&config, config.seed, faults)
-}
-
 fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
     use rand::SeedableRng;
     let config = *config;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x33bb);
 
-    let mut world = World::new();
-    let obs = MetricsHandle::install_if(&mut world, opts.observe, Mpr::NAME, config.seed);
+    let (mut world, harness) = Harness::begin(Mpr::NAME, config.seed, opts);
     let user_org = world.add_org("users");
     let origin_org = world.add_org("origin-co");
     let origin_e = world.add_entity("Origin", origin_org, None);
@@ -589,9 +558,7 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
         world.grant_key(e, resp_key);
     }
 
-    let mut net = Network::new(world, config.seed);
-    net.set_default_link(LinkParams::wan_ms(10));
-    net.enable_faults(opts.faults.clone(), config.seed);
+    let mut net = harness.network(world, LinkParams::wan_ms(10));
 
     // Topology: origin = node 0, relays 1..=k, users after.
     let origin_id = NodeId(0);
@@ -609,29 +576,36 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
 
     let recover_on = opts.recover.enabled;
     let flow_user: Vec<(u64, UserId)> = users.iter().map(|&u| (u.0, u)).collect();
-    net.add_node(Box::new(OriginNode {
-        entity: origin_e,
-        kp: origin_kp.clone(),
-        resp_key,
-        flow_user,
-        recover: recover_on,
-    }));
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(OriginNode {
+            entity: origin_e,
+            kp: origin_kp.clone(),
+            resp_key,
+            flow_user,
+            recover: recover_on,
+        }),
+    );
     for i in 0..config.relays {
         // Each relay can forward to the next relay and to the origin.
         let mut addr_map: Vec<(u16, NodeId)> = vec![(origin_addr, origin_id)];
         if i + 1 < config.relays {
             addr_map.push((relay_addrs[i + 1], relay_ids[i + 1]));
         }
-        let id = net.add_node(Box::new(RelayNode {
-            entity: relay_entities[i],
-            kp: relay_kps[i].clone(),
-            key_id: relay_keys[i],
-            addr_map,
-            back: Vec::new(),
-            recover: recover_on,
-            hop: HopMap::new(),
-        }));
-        net.mark_relay(id);
+        Harness::add(
+            &mut net,
+            RoleKind::Relay,
+            Box::new(RelayNode {
+                entity: relay_entities[i],
+                kp: relay_kps[i].clone(),
+                key_id: relay_keys[i],
+                addr_map,
+                back: Vec::new(),
+                recover: recover_on,
+                hop: HopMap::new(),
+            }),
+        );
     }
     let stats = Rc::new(RefCell::new(Stats {
         completed: 0,
@@ -645,57 +619,52 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
         relay_ids[0]
     };
     for (i, (&u, &e)) in users.iter().zip(user_entities.iter()).enumerate() {
-        net.add_node(Box::new(UserNode {
-            entity: e,
-            user: u,
-            first_hop,
-            hops: hops.clone(),
-            origin_addr,
-            origin_pk: origin_kp.public,
-            origin_key,
-            geohint: config.geohint,
-            fetches_left: config.fetches_each,
-            stats: stats.clone(),
-            sent_at: SimTime::ZERO,
-            arq: ReliableCall::new(&opts.recover, derive_seed(config.seed, 0x3b50 + i as u64)),
-            inflight: BTreeMap::new(),
-        }));
+        Harness::add(
+            &mut net,
+            RoleKind::Initiator,
+            Box::new(UserNode {
+                entity: e,
+                user: u,
+                first_hop,
+                hops: hops.clone(),
+                origin_addr,
+                origin_pk: origin_kp.public,
+                origin_key,
+                geohint: config.geohint,
+                fetches_left: config.fetches_each,
+                stats: stats.clone(),
+                sent_at: SimTime::ZERO,
+                calls: Driver::new(&opts.recover, derive_seed(config.seed, 0x3b50 + i as u64)),
+            }),
+        );
     }
 
-    net.run();
-    let fault_log = net.fault_log();
-    let (mut world, trace) = net.into_parts();
-    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
+    let core = harness.finish(net);
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
-    let mean = if stats.latencies.is_empty() {
-        0.0
-    } else {
-        stats.latencies.iter().sum::<u64>() as f64 / stats.latencies.len() as f64
-    };
     let bytes_factor = if stats.payload_bytes == 0 {
         0.0
     } else {
-        trace.total_bytes() as f64 / stats.payload_bytes as f64
+        core.trace.total_bytes() as f64 / stats.payload_bytes as f64
     };
     ScenarioReport {
-        world,
-        trace,
+        world: core.world,
+        trace: core.trace,
         completed: stats.completed,
         expected: (config.users * config.fetches_each) as u64,
-        mean_fetch_us: mean,
+        mean_fetch_us: mean_us(&stats.latencies),
         bytes_factor,
         users,
         relay_names,
-        fault_log,
+        fault_log: core.fault_log,
         retry_linkage: stats.linkage.violations(),
-        metrics,
+        metrics: core.metrics,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_core::{analyze, collusion::entity_collusion};
+    use dcp_core::{analyze, collusion::entity_collusion, FaultConfig};
 
     fn run_chain(config: ChainConfig) -> ScenarioReport {
         Mpr::run(&config, config.seed)

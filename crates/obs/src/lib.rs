@@ -196,19 +196,29 @@ impl MetricsHandle {
     }
 }
 
-/// Render a report as pretty-printed JSON.
-pub fn to_json(report: &MetricsReport) -> String {
+/// Render any report as pretty-printed JSON — the one serializer every
+/// artifact in this repository goes through.
+///
+/// Struct fields serialize in declaration order and every map in the
+/// report types is a `BTreeMap`, so two runs of the same code produce
+/// key-for-key identical files and `out/` artifacts diff cleanly across
+/// commits.
+pub fn to_json<T: serde::Serialize>(report: &T) -> String {
     serde_json::to_string_pretty(report).expect("report serializes")
 }
 
-/// Write a report to `path` as JSON, creating parent directories.
-pub fn write_json(report: &MetricsReport, path: impl AsRef<Path>) -> std::io::Result<()> {
+/// Write a report to `path` as JSON (newline-terminated), creating
+/// parent directories. All artifact writers — `out/metrics/*.json`,
+/// `out/experiments_out.json`, the `dst_sweep`/`dst_recover` probe
+/// outputs — funnel through here.
+pub fn write_json<T: serde::Serialize>(report: &T, path: impl AsRef<Path>) -> std::io::Result<()> {
     let path = path.as_ref();
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
     let mut f = std::fs::File::create(path)?;
-    f.write_all(to_json(report).as_bytes())
+    f.write_all(to_json(report).as_bytes())?;
+    f.write_all(b"\n")
 }
 
 #[cfg(test)]

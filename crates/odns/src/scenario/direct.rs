@@ -1,0 +1,314 @@
+//! Plain DNS — the coupled baseline — optionally striped across several
+//! resolvers (§5.1).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dcp_core::sweep::derive_seed;
+use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, RunOptions, Scenario, UserId};
+use dcp_dns::workload::ZipfWorkload;
+use dcp_dns::{DnsName, Message as DnsMessage, RrType};
+use dcp_runtime::{
+    wire, Attempt, CallEvent, Ctx, Driver, Harness, HopMap, LinkParams, Message, Node, NodeId,
+    RoleKind, SimTime,
+};
+use rand::Rng as _;
+
+use super::{
+    assemble, build_zone, DirectDns, DirectDnsConfig, OriginNode, ScenarioReport, Stats, SUFFIX,
+};
+
+struct DirectClient {
+    entity: EntityId,
+    user: UserId,
+    resolvers: Vec<NodeId>,
+    queries: Vec<DnsName>,
+    stats: Rc<RefCell<Stats>>,
+    sent_at: SimTime,
+    next_id: u16,
+    /// Open reliable calls (inert when the run's recovery is disabled).
+    /// No failover list: striping already re-draws the resolver per
+    /// attempt.
+    calls: Driver<DirectInflight>,
+}
+
+struct DirectInflight {
+    name: DnsName,
+    sent_at: SimTime,
+}
+
+impl DirectClient {
+    fn query_label(&self) -> Label {
+        // Plain DNS: the resolver sees both who (▲_N) and what (●).
+        Label::items([
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+            InfoItem::sensitive_data(self.user, DataKind::DnsQuery),
+        ])
+    }
+
+    fn send_next(&mut self, ctx: &mut Ctx) {
+        let Some(name) = self.queries.pop() else {
+            return;
+        };
+        if let Some(att) = self.calls.begin(DirectInflight {
+            name: name.clone(),
+            sent_at: ctx.now,
+        }) {
+            self.transmit(ctx, name, att);
+            return;
+        }
+        // Striping: pick a resolver uniformly at random (§5.1 / ref [18]).
+        let idx = ctx.rng.gen_range(0..self.resolvers.len());
+        let q = DnsMessage::query(self.next_id, name, RrType::A);
+        self.next_id = self.next_id.wrapping_add(1);
+        self.sent_at = ctx.now;
+        let label = self.query_label();
+        ctx.send(self.resolvers[idx], Message::new(q.encode(), label));
+    }
+
+    /// One (re)transmission of reliable call `att.seq`. Plain DNS has no
+    /// ciphertext to re-randomize (the query is readable anyway — this is
+    /// the coupled baseline), so nothing is recorded into the linkage
+    /// check; the striping draw is simply repeated per attempt.
+    fn transmit(&mut self, ctx: &mut Ctx, name: DnsName, att: Attempt) {
+        let idx = ctx.rng.gen_range(0..self.resolvers.len());
+        let q = DnsMessage::query(self.next_id, name, RrType::A);
+        self.next_id = self.next_id.wrapping_add(1);
+        let label = self.query_label();
+        ctx.send(
+            self.resolvers[idx],
+            Message::new(wire::frame(att.seq, &q.encode()), label),
+        );
+        ctx.set_timer(att.timer_delay_us, att.token);
+    }
+}
+
+impl Node for DirectClient {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
+        );
+        ctx.world.record(
+            self.entity,
+            InfoItem::sensitive_data(self.user, DataKind::DnsQuery),
+        );
+        self.send_next(ctx);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match self.calls.on_timer(ctx, token) {
+            CallEvent::App(_) | CallEvent::Ignored => {}
+            CallEvent::Retry(att) => {
+                let name = self
+                    .calls
+                    .get(att.seq)
+                    .expect("open call has an entry")
+                    .name
+                    .clone();
+                self.transmit(ctx, name, att);
+            }
+            CallEvent::Exhausted { .. } => self.send_next(ctx),
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
+        if self.calls.enabled() {
+            let Some((seq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            if self.calls.get(seq).is_none() {
+                return;
+            }
+            let Ok(resp) = DnsMessage::decode(body) else {
+                return;
+            };
+            if !resp.is_response {
+                return;
+            }
+            let Some(entry) = self.calls.complete(seq) else {
+                return; // duplicated response: counted exactly once
+            };
+            let sent_at = entry.sent_at;
+            ctx.world.span("query", sent_at.as_us(), ctx.now.as_us());
+            let mut stats = self.stats.borrow_mut();
+            stats.answered += 1;
+            stats.latencies.push(ctx.now - sent_at);
+            drop(stats);
+            self.send_next(ctx);
+            return;
+        }
+        // Undecodable or non-response deliveries (duplication faults) are
+        // ignored rather than crashing the client.
+        let Ok(resp) = DnsMessage::decode(&msg.bytes) else {
+            return;
+        };
+        if !resp.is_response {
+            return;
+        }
+        ctx.world
+            .span("query", self.sent_at.as_us(), ctx.now.as_us());
+        let mut stats = self.stats.borrow_mut();
+        stats.answered += 1;
+        stats.latencies.push(ctx.now - self.sent_at);
+        drop(stats);
+        self.send_next(ctx);
+    }
+}
+
+struct PlainResolver {
+    entity: EntityId,
+    slot: usize,
+    origin: NodeId,
+    pending: Vec<NodeId>,
+    stats: Rc<RefCell<Stats>>,
+    /// Is the run's recovery layer on?
+    recover: bool,
+    /// Recovery path: hop-local sequence per forwarded query (client
+    /// sequence spaces collide across clients).
+    hop: HopMap<(NodeId, u64)>,
+}
+
+impl Node for PlainResolver {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
+        if from == self.origin {
+            if self.recover {
+                let Some((rseq, body)) = wire::unframe(&msg.bytes) else {
+                    return;
+                };
+                let Some((client, cseq)) = self.hop.take(rseq) else {
+                    return;
+                };
+                let framed = wire::frame(cseq, body);
+                ctx.send(client, Message::new(framed, msg.label));
+                return;
+            }
+            // A duplicated origin answer with no waiter is dropped.
+            let Some(client) = self.pending.pop() else {
+                return;
+            };
+            ctx.send(client, msg);
+            return;
+        }
+        if self.recover {
+            let Some((cseq, body)) = wire::unframe(&msg.bytes) else {
+                return;
+            };
+            let Ok(query) = DnsMessage::decode(body) else {
+                return;
+            };
+            let Some(q0) = query.questions.first() else {
+                return;
+            };
+            self.stats.borrow_mut().resolver_views[self.slot].insert(q0.qname.to_string());
+            let rseq = self.hop.insert((from, cseq));
+            let framed = wire::frame(rseq, body);
+            // Forward upstream; the label travels as-is (the resolver
+            // already saw everything — plain DNS hides nothing).
+            ctx.send(self.origin, Message::new(framed, msg.label));
+            return;
+        }
+        let Ok(query) = DnsMessage::decode(&msg.bytes) else {
+            return;
+        };
+        let Some(q0) = query.questions.first() else {
+            return;
+        };
+        self.stats.borrow_mut().resolver_views[self.slot].insert(q0.qname.to_string());
+        self.pending.insert(0, from);
+        // Forward upstream; the label travels as-is (the resolver already
+        // saw everything — plain DNS hides nothing).
+        ctx.send(self.origin, msg);
+    }
+}
+
+pub(super) fn direct_impl(cfg: &DirectDnsConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
+    use rand::SeedableRng;
+    let (n_clients, queries_each, n_resolvers) = (cfg.clients, cfg.queries_each, cfg.resolvers);
+    let mut wl_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xd1e7);
+    let workload = ZipfWorkload::new(200, 1.0, SUFFIX);
+    let zone = build_zone(&workload);
+
+    let (mut world, harness) = Harness::begin(DirectDns::NAME, seed, opts);
+    let auth_org = world.add_org("authoritative");
+    let user_org = world.add_org("users");
+    let origin_e = world.add_entity("Origin", auth_org, None);
+    let mut resolver_entities = Vec::new();
+    for i in 0..n_resolvers {
+        let org = world.add_org(&format!("resolver-op-{i}"));
+        let name = if i == 0 {
+            "Resolver".to_string()
+        } else {
+            format!("Resolver {}", i + 1)
+        };
+        resolver_entities.push(world.add_entity(&name, org, None));
+    }
+
+    let mut users = Vec::new();
+    let mut client_entities = Vec::new();
+    for i in 0..n_clients {
+        let u = world.add_user();
+        let name = if i == 0 {
+            "Client".to_string()
+        } else {
+            format!("Client {}", i + 1)
+        };
+        client_entities.push(world.add_entity(&name, user_org, Some(u)));
+        users.push(u);
+    }
+
+    let stats = Rc::new(RefCell::new(Stats::new(n_resolvers)));
+
+    let mut net = harness.network(world, LinkParams::wan_ms(8));
+
+    let recover_on = opts.recover.enabled;
+    let origin_id = NodeId(0);
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(OriginNode {
+            entity: origin_e,
+            zone,
+            recover: recover_on,
+        }),
+    );
+    let resolver_ids: Vec<NodeId> = (0..n_resolvers).map(|i| NodeId(1 + i)).collect();
+    for (i, &e) in resolver_entities.iter().enumerate() {
+        Harness::add(
+            &mut net,
+            RoleKind::Service,
+            Box::new(PlainResolver {
+                entity: e,
+                slot: i,
+                origin: origin_id,
+                pending: Vec::new(),
+                stats: stats.clone(),
+                recover: recover_on,
+                hop: HopMap::new(),
+            }),
+        );
+    }
+    for (ci, (&u, &e)) in users.iter().zip(client_entities.iter()).enumerate() {
+        let queries = workload.stream(&mut wl_rng, queries_each);
+        Harness::add(
+            &mut net,
+            RoleKind::Initiator,
+            Box::new(DirectClient {
+                entity: e,
+                user: u,
+                resolvers: resolver_ids.clone(),
+                queries,
+                stats: stats.clone(),
+                sent_at: SimTime::ZERO,
+                next_id: 1,
+                calls: Driver::new(&opts.recover, derive_seed(seed, 0x0d11 + ci as u64)),
+            }),
+        );
+    }
+
+    assemble(harness, net, stats, users, n_clients * queries_each)
+}

@@ -7,14 +7,14 @@ use std::rc::Rc;
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
-    World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, Label, MetricsReport, RoleKind,
+    RunOptions, Scenario, UserId, World,
 };
-use dcp_faults::{FaultConfig, FaultLog};
-use dcp_obs::MetricsHandle;
 use dcp_privacypass::protocol::{Client as TokenClient, Issuer, Token};
-use dcp_recover::{wire, Attempt, ReliableCall, RetryLinkage, TimerVerdict};
-use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
+use dcp_runtime::{
+    wire, Attempt, CallEvent, Ctx, Driver, Harness, LinkParams, Message, Node, NodeId,
+    RetryLinkage, Trace,
+};
 use rand::Rng as _;
 
 use crate::cellular::{trajectory_linkage, CellId, CoreNetwork, Imsi, LinkageResult};
@@ -184,10 +184,9 @@ struct PhoneNode {
     wallet: TokenClient,
     pending_issuance: Option<dcp_privacypass::protocol::IssuanceRequest>,
     moves_done: usize,
-    /// Per-request ARQ (inert when the run's recovery is disabled).
-    arq: ReliableCall,
+    /// Per-request reliable-call driver (inert when recovery is disabled).
+    calls: Driver<PgInflight>,
     flow: u64,
-    inflight: BTreeMap<u64, PgInflight>,
 }
 
 impl PhoneNode {
@@ -296,14 +295,9 @@ impl PhoneNode {
         };
         payload.extend_from_slice(&token);
 
-        if self.arq.enabled() {
-            let att = self.arq.begin().expect("enabled ARQ always begins");
-            self.inflight.insert(
-                att.seq,
-                PgInflight::Attach {
-                    payload: payload.clone(),
-                },
-            );
+        if let Some(att) = self.calls.begin(PgInflight::Attach {
+            payload: payload.clone(),
+        }) {
             self.transmit_attach(ctx, &payload, att);
             return;
         }
@@ -346,9 +340,7 @@ impl Node for PhoneNode {
         if self.mode == Mode::Pgpp {
             // Buy service: authenticate to the gateway with the billing
             // identity (▲_H) and obtain blinded attach tokens (⊙).
-            if self.arq.enabled() {
-                let att = self.arq.begin().expect("enabled ARQ always begins");
-                self.inflight.insert(att.seq, PgInflight::Issuance);
+            if let Some(att) = self.calls.begin(PgInflight::Issuance) {
                 self.transmit_issuance(ctx, att);
                 return;
             }
@@ -359,11 +351,11 @@ impl Node for PhoneNode {
         }
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if self.arq.enabled() {
+        if self.calls.enabled() {
             let Some((seq, body)) = wire::unframe(&msg.bytes) else {
                 return;
             };
-            match self.inflight.get(&seq) {
+            match self.calls.get(seq) {
                 Some(PgInflight::Issuance) if from == self.gw => {
                     let evals = decode_evals(body);
                     let Some(req) = self.pending_issuance.take() else {
@@ -377,18 +369,15 @@ impl Node for PhoneNode {
                         // re-blinded state: drop it, the timer retries.
                         return;
                     }
-                    if !self.arq.complete(seq) {
+                    if self.calls.complete(seq).is_none() {
                         return;
                     }
-                    self.inflight.remove(&seq);
                     ctx.world.span("issuance", 0, ctx.now.as_us());
                     self.schedule_all_moves(ctx);
                 }
                 Some(PgInflight::Attach { .. }) if from == self.ngc => {
-                    if !self.arq.complete(seq) {
-                        return; // duplicated ack: counted exactly once
-                    }
-                    self.inflight.remove(&seq);
+                    // Duplicated acks complete (and count) exactly once.
+                    self.calls.complete(seq);
                 }
                 _ => {}
             }
@@ -412,31 +401,25 @@ impl Node for PhoneNode {
         // Attach acks need no action.
     }
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        match self.arq.on_timer(token) {
-            TimerVerdict::NotMine => {
+        match self.calls.on_timer(ctx, token) {
+            CallEvent::App(_) => {
                 // A scheduled move (the only non-ARQ timer this node sets).
                 self.attach(ctx);
                 self.moves_done += 1;
             }
-            TimerVerdict::Stale => {}
-            TimerVerdict::Retry(att) => {
-                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
-                match self.inflight.get(&att.seq) {
-                    Some(PgInflight::Issuance) => self.transmit_issuance(ctx, att),
-                    Some(PgInflight::Attach { payload }) => {
-                        let payload = payload.clone();
-                        self.transmit_attach(ctx, &payload, att);
-                    }
-                    None => {}
+            CallEvent::Ignored => {}
+            CallEvent::Retry(att) => match self.calls.get(att.seq) {
+                Some(PgInflight::Issuance) => self.transmit_issuance(ctx, att),
+                Some(PgInflight::Attach { payload }) => {
+                    let payload = payload.clone();
+                    self.transmit_attach(ctx, &payload, att);
                 }
-            }
-            TimerVerdict::Exhausted { seq, attempts } => {
-                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
-                // An abandoned issuance leaves an empty wallet, an
-                // abandoned attach an unserved move: the phone never
-                // attaches unauthenticated.
-                self.inflight.remove(&seq);
-            }
+                None => {}
+            },
+            // An abandoned issuance leaves an empty wallet, an abandoned
+            // attach an unserved move: the phone never attaches
+            // unauthenticated.
+            CallEvent::Exhausted { .. } => {}
         }
     }
 }
@@ -741,26 +724,13 @@ impl Node for GwNode {
     }
 }
 
-/// Run the cellular scenario per `config` with faults disabled.
-#[deprecated(note = "use the unified Scenario API: `Pgpp::run(&config, seed)`")]
-pub fn run(config: PgppConfig) -> PgppReport {
-    Pgpp::run(&config, config.seed)
-}
-
-/// Run the cellular scenario under a fault schedule.
-#[deprecated(note = "use the unified Scenario API: `Pgpp::run_with_faults(&config, seed, faults)`")]
-pub fn run_with_faults(config: PgppConfig, faults: &FaultConfig) -> PgppReport {
-    Pgpp::run_with_faults(&config, config.seed, faults)
-}
-
 fn run_impl(config: &PgppConfig, opts: &RunOptions) -> PgppReport {
     use rand::SeedableRng;
     let config = *config;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x9699);
     assert!(config.epochs >= 1);
 
-    let mut world = World::new();
-    let obs = MetricsHandle::install_if(&mut world, opts.observe, Pgpp::NAME, config.seed);
+    let (mut world, harness) = Harness::begin(Pgpp::NAME, config.seed, opts);
     let user_org = world.add_org("subscribers");
     let core_org = world.add_org("mobile-operator");
     let gw_org = world.add_org("pgpp-operator");
@@ -798,67 +768,73 @@ fn run_impl(config: &PgppConfig, opts: &RunOptions) -> PgppReport {
         }
     }
 
-    let mut net = Network::new(world, config.seed);
-    net.set_default_link(LinkParams::wan_ms(5));
-    net.enable_faults(opts.faults.clone(), config.seed);
+    let mut net = harness.network(world, LinkParams::wan_ms(5));
     let gw_id = NodeId(0);
     let ngc_id = NodeId(1);
     let recover_on = opts.recover.enabled;
-    net.add_node(Box::new(GwNode {
-        entity: gw_e,
-        shared: shared.clone(),
-        recover: recover_on,
-        verdicts: BTreeMap::new(),
-    }));
-    net.add_node(Box::new(NgcNode {
-        entity: ngc_e,
-        mode: config.mode,
-        gw: gw_id,
-        shared: shared.clone(),
-        awaiting: Vec::new(),
-        recover: recover_on,
-        checks: BTreeMap::new(),
-        by_hop: BTreeMap::new(),
-        next_hop: 0,
-    }));
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(GwNode {
+            entity: gw_e,
+            shared: shared.clone(),
+            recover: recover_on,
+            verdicts: BTreeMap::new(),
+        }),
+    );
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(NgcNode {
+            entity: ngc_e,
+            mode: config.mode,
+            gw: gw_id,
+            shared: shared.clone(),
+            awaiting: Vec::new(),
+            recover: recover_on,
+            checks: BTreeMap::new(),
+            by_hop: BTreeMap::new(),
+            next_hop: 0,
+        }),
+    );
     let epoch_len_us = 1_000_000;
     for (i, (&u, &e)) in users.iter().zip(phone_entities.iter()).enumerate() {
-        net.add_node(Box::new(PhoneNode {
-            entity: e,
-            user: u,
-            index: i,
-            mode: config.mode,
-            ngc: ngc_id,
-            gw: gw_id,
-            cells: config.cells,
-            epochs: config.epochs,
-            moves_per_epoch: config.moves_per_epoch,
-            epoch_len_us,
-            shared: shared.clone(),
-            wallet: TokenClient::new(issuer_pk),
-            pending_issuance: None,
-            moves_done: 0,
-            arq: ReliableCall::new(&opts.recover, derive_seed(config.seed, 0x9690 + i as u64)),
-            flow: i as u64,
-            inflight: BTreeMap::new(),
-        }));
+        Harness::add(
+            &mut net,
+            RoleKind::Initiator,
+            Box::new(PhoneNode {
+                entity: e,
+                user: u,
+                index: i,
+                mode: config.mode,
+                ngc: ngc_id,
+                gw: gw_id,
+                cells: config.cells,
+                epochs: config.epochs,
+                moves_per_epoch: config.moves_per_epoch,
+                epoch_len_us,
+                shared: shared.clone(),
+                wallet: TokenClient::new(issuer_pk),
+                pending_issuance: None,
+                moves_done: 0,
+                calls: Driver::new(&opts.recover, derive_seed(config.seed, 0x9690 + i as u64)),
+                flow: i as u64,
+            }),
+        );
     }
 
-    net.run();
-    let fault_log = net.fault_log();
-    let (mut world, trace) = net.into_parts();
-    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
+    let core = harness.finish(net);
     let shared = Rc::try_unwrap(shared).map_err(|_| ()).unwrap().into_inner();
     let linkage = trajectory_linkage(&shared.core.log, &shared.truth);
     PgppReport {
-        world,
-        trace,
+        world: core.world,
+        trace: core.trace,
         attaches: shared.core.log.len(),
         linkage,
         distinct_imsis: shared.core.distinct_imsis(),
         users,
-        fault_log,
-        metrics,
+        fault_log: core.fault_log,
+        metrics: core.metrics,
         expected: (config.users * config.epochs as usize * config.moves_per_epoch) as u64,
         retry_linkage: shared.linkage.violations(),
     }
@@ -867,7 +843,7 @@ fn run_impl(config: &PgppConfig, opts: &RunOptions) -> PgppReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_core::analyze;
+    use dcp_core::{analyze, FaultConfig};
 
     fn run(config: PgppConfig) -> PgppReport {
         Pgpp::run(&config, config.seed)

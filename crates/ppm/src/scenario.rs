@@ -1,19 +1,16 @@
 //! The PPM system on the simulator: clients → leader + helper → collector.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
-    World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, Label, MetricsReport, RoleKind,
+    RunOptions, Scenario, UserId, World,
 };
-use dcp_faults::{FaultConfig, FaultLog};
-use dcp_obs::MetricsHandle;
-use dcp_recover::{wire, ReliableCall, TimerVerdict};
-use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, Trace};
+use dcp_runtime::{wire, Ctx, Harness, LinkParams, Message, Node, NodeId, Outbox, Trace};
 use rand::Rng as _;
 
 use crate::field::Fe;
@@ -242,69 +239,6 @@ fn decode_verify(bytes: &[u8], with_z: bool) -> (u64, VerifyMsg, Vec<Fe>) {
         Vec::new()
     };
     (id, VerifyMsg { d, e }, z)
-}
-
-/// Outgoing reliable-call plumbing shared by every PPM node. The flow is
-/// one-way, so each seq-framed message is retried on a timer until the
-/// peer's [`TAG_ACK`] lands. Retransmissions are byte-identical: a share
-/// pair is a one-time instrument (re-splitting one leg corrupts the sum)
-/// and the verification legs carry public deterministic state.
-struct Outbox {
-    arq: ReliableCall,
-    inflight: BTreeMap<u64, (NodeId, Vec<u8>, Label)>,
-}
-
-impl Outbox {
-    fn new(arq: ReliableCall) -> Self {
-        Outbox {
-            arq,
-            inflight: BTreeMap::new(),
-        }
-    }
-
-    fn enabled(&self) -> bool {
-        self.arq.enabled()
-    }
-
-    /// Send `bytes` reliably when recovery is on, plainly otherwise.
-    fn send(&mut self, ctx: &mut Ctx, dest: NodeId, bytes: Vec<u8>, label: Label) {
-        if let Some(att) = self.arq.begin() {
-            self.inflight
-                .insert(att.seq, (dest, bytes.clone(), label.clone()));
-            ctx.send(dest, Message::new(wire::frame(att.seq, &bytes), label));
-            ctx.set_timer(att.timer_delay_us, att.token);
-        } else {
-            ctx.send(dest, Message::new(bytes, label));
-        }
-    }
-
-    /// Handle a timer tick: retransmit or give up.
-    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        match self.arq.on_timer(token) {
-            TimerVerdict::NotMine | TimerVerdict::Stale => {}
-            TimerVerdict::Retry(att) => {
-                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
-                if let Some((dest, bytes, label)) = self.inflight.get(&att.seq) {
-                    ctx.send(
-                        *dest,
-                        Message::new(wire::frame(att.seq, bytes), label.clone()),
-                    );
-                    ctx.set_timer(att.timer_delay_us, att.token);
-                }
-            }
-            TimerVerdict::Exhausted { seq, attempts } => {
-                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
-                self.inflight.remove(&seq);
-            }
-        }
-    }
-
-    /// Complete the call an ack names (duplicated acks are harmless).
-    fn ack(&mut self, seq: u64) {
-        if self.arq.complete(seq) {
-            self.inflight.remove(&seq);
-        }
-    }
 }
 
 struct ClientNode {
@@ -701,24 +635,11 @@ impl Node for CollectorNode {
     }
 }
 
-/// Run the scenario with faults disabled.
-#[deprecated(note = "use the unified Scenario API: `Ppm::run(&config, config.seed)`")]
-pub fn run(config: PpmConfig) -> PpmReport {
-    Ppm::run(&config, config.seed)
-}
-
-/// Run the scenario under a fault schedule.
-#[deprecated(note = "use the unified Scenario API: `Ppm::run_with_faults(&cfg, seed, faults)`")]
-pub fn run_with_faults(config: PpmConfig, faults: &FaultConfig) -> PpmReport {
-    Ppm::run_with_faults(&config, config.seed, faults)
-}
-
 fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
     use rand::SeedableRng;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(config.seed ^ 0x99a1);
 
-    let mut world = World::new();
-    let obs = MetricsHandle::install_if(&mut world, opts.observe, Ppm::NAME, config.seed);
+    let (mut world, harness) = Harness::begin(Ppm::NAME, config.seed, opts);
     let user_org = world.add_org("users");
     let leader_org = world.add_org("aggregator-a");
     let helper_org = world.add_org("aggregator-b");
@@ -748,83 +669,88 @@ fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
         .map(|(_, &v)| v)
         .sum();
 
-    let mut net = Network::new(world, config.seed);
-    net.set_default_link(LinkParams::wan_ms(10));
-    net.enable_faults(opts.faults.clone(), config.seed);
+    let mut net = harness.network(world, LinkParams::wan_ms(10));
     let leader_id = NodeId(0);
     let helper_id = NodeId(1);
     let collector_id = NodeId(2);
     let user_items: Vec<(u64, UserId)> = users.iter().map(|&u| (u.0, u)).collect();
 
     let recover_on = opts.recover.enabled;
-    net.add_node(Box::new(LeaderNode {
-        entity: leader_e,
-        helper: helper_id,
-        collector: collector_id,
-        agg: Aggregator::new(0),
-        pending: HashMap::new(),
-        early_r1: HashMap::new(),
-        expected: config.clients,
-        done: 0,
-        user_items: user_items.clone(),
-        sent_accum: false,
-        recover: recover_on,
-        outbox: Outbox::new(ReliableCall::new(
-            &opts.recover,
-            derive_seed(config.seed, 0x991d),
-        )),
-    }));
-    net.add_node(Box::new(HelperNode {
-        entity: helper_e,
-        leader: leader_id,
-        collector: collector_id,
-        agg: Aggregator::new(1),
-        pending: HashMap::new(),
-        seen: std::collections::HashSet::new(),
-        early_r1: HashMap::new(),
-        early_z: HashMap::new(),
-        expected: config.clients,
-        done: 0,
-        user_items,
-        sent_accum: false,
-        recover: recover_on,
-        outbox: Outbox::new(ReliableCall::new(
-            &opts.recover,
-            derive_seed(config.seed, 0x991e),
-        )),
-    }));
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(LeaderNode {
+            entity: leader_e,
+            helper: helper_id,
+            collector: collector_id,
+            agg: Aggregator::new(0),
+            pending: HashMap::new(),
+            early_r1: HashMap::new(),
+            expected: config.clients,
+            done: 0,
+            user_items: user_items.clone(),
+            sent_accum: false,
+            recover: recover_on,
+            outbox: Outbox::from_config(&opts.recover, derive_seed(config.seed, 0x991d)),
+        }),
+    );
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(HelperNode {
+            entity: helper_e,
+            leader: leader_id,
+            collector: collector_id,
+            agg: Aggregator::new(1),
+            pending: HashMap::new(),
+            seen: std::collections::HashSet::new(),
+            early_r1: HashMap::new(),
+            early_z: HashMap::new(),
+            expected: config.clients,
+            done: 0,
+            user_items,
+            sent_accum: false,
+            recover: recover_on,
+            outbox: Outbox::from_config(&opts.recover, derive_seed(config.seed, 0x991e)),
+        }),
+    );
     let result = Rc::new(RefCell::new(None));
-    net.add_node(Box::new(CollectorNode {
-        entity: collector_e,
-        shares: Vec::new(),
-        result: result.clone(),
-        recover: recover_on,
-    }));
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(CollectorNode {
+            entity: collector_e,
+            shares: Vec::new(),
+            result: result.clone(),
+            recover: recover_on,
+        }),
+    );
     for (i, ((&u, &e), &v)) in users
         .iter()
         .zip(client_entities.iter())
         .zip(values.iter())
         .enumerate()
     {
-        net.add_node(Box::new(ClientNode {
-            entity: e,
-            user: u,
-            leader: leader_id,
-            helper: helper_id,
-            value: v,
-            bits: config.bits,
-            malicious: i < config.malicious,
-            outbox: Outbox::new(ReliableCall::new(
-                &opts.recover,
-                derive_seed(config.seed, 0x99a0 + i as u64),
-            )),
-        }));
+        Harness::add(
+            &mut net,
+            RoleKind::Initiator,
+            Box::new(ClientNode {
+                entity: e,
+                user: u,
+                leader: leader_id,
+                helper: helper_id,
+                value: v,
+                bits: config.bits,
+                malicious: i < config.malicious,
+                outbox: Outbox::from_config(
+                    &opts.recover,
+                    derive_seed(config.seed, 0x99a0 + i as u64),
+                ),
+            }),
+        );
     }
 
-    net.run();
-    let fault_log = net.fault_log();
-    let (mut world, trace) = net.into_parts();
-    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
+    let core = harness.finish(net);
     let aggregate = *result.borrow();
 
     // Accepted/rejected counts are symmetric; read them from the trace-
@@ -832,15 +758,15 @@ fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
     let rejected = config.malicious;
     let accepted = config.clients - config.malicious;
     PpmReport {
-        world,
-        trace,
+        world: core.world,
+        trace: core.trace,
         aggregate,
         expected_sum,
         accepted,
         rejected,
         users,
-        fault_log,
-        metrics,
+        fault_log: core.fault_log,
+        metrics: core.metrics,
         expected: (config.clients - config.malicious) as u64,
         retry_linkage: Vec::new(),
     }
@@ -849,7 +775,7 @@ fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_core::{analyze, collusion::entity_collusion};
+    use dcp_core::{analyze, collusion::entity_collusion, FaultConfig};
 
     fn run(config: PpmConfig) -> PpmReport {
         Ppm::run(&config, config.seed)

@@ -7,14 +7,14 @@ use std::rc::Rc;
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, IdentityKind, InfoItem, Label, MetricsReport, RunOptions, Scenario, UserId,
-    World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, Label, MetricsReport, RoleKind,
+    RunOptions, Scenario, UserId, World,
 };
 use dcp_crypto::oprf::{BlindedElement, DleqProof, EvaluatedElement};
-use dcp_faults::{FaultConfig, FaultLog};
-use dcp_obs::MetricsHandle;
-use dcp_recover::{wire, Attempt, ReliableCall, RetryLinkage, TimerVerdict};
-use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
+use dcp_runtime::{
+    mean_us, wire, Attempt, CallEvent, Ctx, Driver, Harness, LinkParams, Message, Node, NodeId,
+    RetryLinkage, SimTime, Trace,
+};
 use dcp_transport::frame::{Frame, FrameType};
 
 use crate::protocol::{Client, Issuer, Token};
@@ -182,10 +182,9 @@ struct ClientNode {
     client: Client,
     fetches_left: usize,
     started_at: SimTime,
-    /// Per-request ARQ (inert when the run's recovery is disabled).
-    arq: ReliableCall,
+    /// Per-request reliable-call driver (inert when recovery is disabled).
+    calls: Driver<PpInflight>,
     flow: u64,
-    inflight: BTreeMap<u64, PpInflight>,
 }
 
 impl Node for ClientNode {
@@ -203,9 +202,7 @@ impl Node for ClientNode {
             InfoItem::sensitive_data(self.user, DataKind::Activity),
         );
         self.started_at = ctx.now;
-        if self.arq.enabled() {
-            let att = self.arq.begin().expect("enabled ARQ always begins");
-            self.inflight.insert(att.seq, PpInflight::Issuance);
+        if let Some(att) = self.calls.begin(PpInflight::Issuance) {
             self.transmit_issuance(ctx, att);
             return;
         }
@@ -219,38 +216,35 @@ impl Node for ClientNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        match self.arq.on_timer(token) {
-            TimerVerdict::NotMine | TimerVerdict::Stale => {}
-            TimerVerdict::Retry(att) => {
-                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
-                match self.inflight.get(&att.seq) {
-                    Some(PpInflight::Issuance) => self.transmit_issuance(ctx, att),
-                    Some(PpInflight::Fetch { payload, .. }) => {
-                        let payload = payload.clone();
-                        self.transmit_fetch(ctx, &payload, att);
-                    }
-                    None => {}
+        match self.calls.on_timer(ctx, token) {
+            CallEvent::App(_) | CallEvent::Ignored => {}
+            CallEvent::Retry(att) => match self.calls.get(att.seq) {
+                Some(PpInflight::Issuance) => self.transmit_issuance(ctx, att),
+                Some(PpInflight::Fetch { payload, .. }) => {
+                    let payload = payload.clone();
+                    self.transmit_fetch(ctx, &payload, att);
                 }
-            }
-            TimerVerdict::Exhausted { seq, attempts } => {
-                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
-                match self.inflight.remove(&seq) {
-                    Some(PpInflight::Fetch { .. }) => self.fetch_done(ctx),
-                    // An abandoned issuance leaves an empty wallet: the
-                    // client stops — it never falls back to unauthenticated
-                    // fetches.
-                    Some(PpInflight::Issuance) | None => {}
-                }
-            }
+                None => {}
+            },
+            CallEvent::Exhausted {
+                call: PpInflight::Fetch { .. },
+                ..
+            } => self.fetch_done(ctx),
+            // An abandoned issuance leaves an empty wallet: the client
+            // stops — it never falls back to unauthenticated fetches.
+            CallEvent::Exhausted {
+                call: PpInflight::Issuance,
+                ..
+            } => {}
         }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if self.arq.enabled() {
+        if self.calls.enabled() {
             let Some((seq, body)) = wire::unframe(&msg.bytes) else {
                 return;
             };
-            match self.inflight.get(&seq) {
+            match self.calls.get(seq) {
                 Some(PpInflight::Issuance) if from == self.issuer => {
                     let Ok(frame) = Frame::decode(body) else {
                         return;
@@ -267,18 +261,16 @@ impl Node for ClientNode {
                         // re-blinded state: drop it, the timer retries.
                         return;
                     }
-                    if !self.arq.complete(seq) {
+                    if self.calls.complete(seq).is_none() {
                         return;
                     }
-                    self.inflight.remove(&seq);
                     self.fetch(ctx);
                 }
                 Some(PpInflight::Fetch { started_at, .. }) if from == self.origin => {
                     let started_at = *started_at;
-                    if !self.arq.complete(seq) {
+                    if self.calls.complete(seq).is_none() {
                         return; // duplicated verdict: counted exactly once
                     }
-                    self.inflight.remove(&seq);
                     ctx.world.span("fetch", started_at.as_us(), ctx.now.as_us());
                     self.shared
                         .borrow_mut()
@@ -407,15 +399,10 @@ impl ClientNode {
         };
         let mut payload = token.encode();
         payload.extend_from_slice(b"GET /private-resource");
-        if self.arq.enabled() {
-            let att = self.arq.begin().expect("enabled ARQ always begins");
-            self.inflight.insert(
-                att.seq,
-                PpInflight::Fetch {
-                    payload: payload.clone(),
-                    started_at: ctx.now,
-                },
-            );
+        if let Some(att) = self.calls.begin(PpInflight::Fetch {
+            payload: payload.clone(),
+            started_at: ctx.now,
+        }) {
             self.transmit_fetch(ctx, &payload, att);
             return;
         }
@@ -688,40 +675,13 @@ impl Node for OriginNode {
     }
 }
 
-/// Run the scenario: `n_clients` clients each redeem `fetches_each` tokens
-/// (one issuance batch covers them; `fetches_each ≤ 4`).
-#[deprecated(
-    note = "use the unified Scenario API: `Privacypass::run(&PrivacypassConfig::new(clients, fetches_each), seed)`"
-)]
-pub fn run(n_clients: usize, fetches_each: usize, seed: u64) -> ScenarioReport {
-    Privacypass::run(&PrivacypassConfig::new(n_clients, fetches_each), seed)
-}
-
-/// Run the scenario under a fault schedule.
-#[deprecated(
-    note = "use the unified Scenario API: `Privacypass::run_with_faults(&cfg, seed, faults)`"
-)]
-pub fn run_with_faults(
-    n_clients: usize,
-    fetches_each: usize,
-    seed: u64,
-    faults: &FaultConfig,
-) -> ScenarioReport {
-    Privacypass::run_with_faults(
-        &PrivacypassConfig::new(n_clients, fetches_each),
-        seed,
-        faults,
-    )
-}
-
 fn run_impl(cfg: &PrivacypassConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
     use rand::SeedableRng;
     let (n_clients, fetches_each) = (cfg.clients, cfg.fetches_each);
     assert!(fetches_each <= TOKENS_PER_BATCH);
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9a55);
 
-    let mut world = World::new();
-    let obs = MetricsHandle::install_if(&mut world, opts.observe, Privacypass::NAME, seed);
+    let (mut world, harness) = Harness::begin(Privacypass::NAME, seed, opts);
     let issuer_org = world.add_org("issuer-co");
     let origin_org = world.add_org("origin-co");
     let user_org = world.add_org("users");
@@ -752,68 +712,69 @@ fn run_impl(cfg: &PrivacypassConfig, seed: u64, opts: &RunOptions) -> ScenarioRe
         client_entities.push(e);
     }
 
-    let mut net = Network::new(world, seed);
-    net.set_default_link(LinkParams::wan_ms(15));
-    net.enable_faults(opts.faults.clone(), seed);
+    let mut net = harness.network(world, LinkParams::wan_ms(15));
 
     let issuer_id = NodeId(0);
     let origin_id = NodeId(1);
     let recover_on = opts.recover.enabled;
-    net.add_node(Box::new(IssuerNode {
-        entity: issuer_e,
-        shared: shared.clone(),
-        recover: recover_on,
-        verdicts: BTreeMap::new(),
-    }));
-    net.add_node(Box::new(OriginNode {
-        entity: origin_e,
-        issuer: issuer_id,
-        shared: shared.clone(),
-        pending: Vec::new(),
-        recover: recover_on,
-        checks: BTreeMap::new(),
-        by_hop: BTreeMap::new(),
-        next_hop: 0,
-    }));
-    for (ci, (&u, &e)) in users.iter().zip(client_entities.iter()).enumerate() {
-        net.add_node(Box::new(ClientNode {
-            entity: e,
-            user: u,
-            issuer: issuer_id,
-            origin: origin_id,
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(IssuerNode {
+            entity: issuer_e,
             shared: shared.clone(),
-            state: None,
-            client: Client::new(issuer_pk),
-            fetches_left: fetches_each,
-            started_at: SimTime::ZERO,
-            arq: ReliableCall::new(&opts.recover, derive_seed(seed, 0x9a50 + ci as u64)),
-            flow: ci as u64,
-            inflight: BTreeMap::new(),
-        }));
+            recover: recover_on,
+            verdicts: BTreeMap::new(),
+        }),
+    );
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(OriginNode {
+            entity: origin_e,
+            issuer: issuer_id,
+            shared: shared.clone(),
+            pending: Vec::new(),
+            recover: recover_on,
+            checks: BTreeMap::new(),
+            by_hop: BTreeMap::new(),
+            next_hop: 0,
+        }),
+    );
+    for (ci, (&u, &e)) in users.iter().zip(client_entities.iter()).enumerate() {
+        Harness::add(
+            &mut net,
+            RoleKind::Initiator,
+            Box::new(ClientNode {
+                entity: e,
+                user: u,
+                issuer: issuer_id,
+                origin: origin_id,
+                shared: shared.clone(),
+                state: None,
+                client: Client::new(issuer_pk),
+                fetches_left: fetches_each,
+                started_at: SimTime::ZERO,
+                calls: Driver::new(&opts.recover, derive_seed(seed, 0x9a50 + ci as u64)),
+                flow: ci as u64,
+            }),
+        );
     }
 
-    net.run();
-    let fault_log = net.fault_log();
-    let (mut world, trace) = net.into_parts();
-    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
+    let core = harness.finish(net);
     let shared = Rc::try_unwrap(shared)
         .map_err(|_| ())
         .expect("sim released")
         .into_inner();
-    let mean = if shared.fetch_times.is_empty() {
-        0.0
-    } else {
-        shared.fetch_times.iter().sum::<u64>() as f64 / shared.fetch_times.len() as f64
-    };
     ScenarioReport {
-        world,
-        trace,
+        world: core.world,
+        trace: core.trace,
         redeemed: shared.redeemed,
         refused: shared.refused,
-        mean_fetch_us: mean,
+        mean_fetch_us: mean_us(&shared.fetch_times),
         users,
-        fault_log,
-        metrics,
+        fault_log: core.fault_log,
+        metrics: core.metrics,
         expected: (n_clients * fetches_each) as u64,
         retry_linkage: shared.linkage.violations(),
     }
@@ -822,8 +783,8 @@ fn run_impl(cfg: &PrivacypassConfig, seed: u64, opts: &RunOptions) -> ScenarioRe
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_core::analyze;
     use dcp_core::collusion::entity_collusion;
+    use dcp_core::{analyze, FaultConfig};
 
     fn run(n_clients: usize, fetches_each: usize, seed: u64) -> ScenarioReport {
         Privacypass::run(&PrivacypassConfig::new(n_clients, fetches_each), seed)

@@ -24,6 +24,3 @@
 pub mod scenario;
 
 pub use scenario::{sweep, sweep_ech, Ech, EchConfig, EchReport, Vpn, VpnConfig, VpnReport};
-
-#[allow(deprecated)]
-pub use scenario::{run_ech, run_vpn};

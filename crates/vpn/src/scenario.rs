@@ -1,20 +1,19 @@
 //! VPN and ECH scenarios with a passive network observer.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RunOptions, Scenario,
-    UserId, World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RoleKind,
+    RunOptions, Scenario, UserId, World,
 };
 use dcp_crypto::hpke;
-use dcp_faults::{FaultConfig, FaultLog};
-use dcp_obs::MetricsHandle;
-use dcp_recover::{wire, Attempt, HopMap, ReliableCall, RetryLinkage, TimerVerdict};
-use dcp_simnet::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Tap, Trace};
+use dcp_runtime::{
+    mean_us, wire, Attempt, CallEvent, Ctx, Driver, Harness, HopMap, LinkParams, Message, Node,
+    NodeId, RetryLinkage, SimTime, Tap, Trace,
+};
 
 const REQUEST: &[u8] = b"GET /account/medical-records HTTP/1.1";
 
@@ -166,11 +165,11 @@ struct VpnClient {
     fetches_left: usize,
     stats: Rc<RefCell<VpnStats>>,
     sent_at: SimTime,
-    /// Per-request ARQ (inert when the run's recovery is disabled). No
-    /// failover list: the scenario's whole point is the single trusted hop.
-    arq: ReliableCall,
+    /// Per-request reliable-call driver (inert when recovery is
+    /// disabled), remembering each fetch's send time. No failover list:
+    /// the scenario's whole point is the single trusted hop.
+    calls: Driver<SimTime>,
     flow: u64,
-    inflight: BTreeMap<u64, SimTime>,
 }
 
 impl VpnClient {
@@ -185,10 +184,8 @@ impl VpnClient {
     }
 
     fn fetch(&mut self, ctx: &mut Ctx) {
-        if self.arq.enabled() {
-            let att = self.arq.begin().expect("enabled ARQ always begins");
-            let sent_at = ctx.now;
-            self.transmit(ctx, sent_at, att);
+        if let Some(att) = self.calls.begin(ctx.now) {
+            self.transmit(ctx, att);
             return;
         }
         self.sent_at = ctx.now;
@@ -201,14 +198,13 @@ impl VpnClient {
     /// One (re)transmission of reliable call `att.seq`: a *fresh* HPKE
     /// encapsulation every attempt, so no on-path observer can link two
     /// attempts of the same fetch by ciphertext equality.
-    fn transmit(&mut self, ctx: &mut Ctx, sent_at: SimTime, att: Attempt) {
+    fn transmit(&mut self, ctx: &mut Ctx, att: Attempt) {
         ctx.world.crypto_op("hpke_seal");
         let sealed = hpke::seal(ctx.rng, &self.vpn_pk, b"vpn", b"", REQUEST).expect("seal");
         self.stats
             .borrow_mut()
             .linkage
             .record(self.flow, att.seq, att.attempt, &sealed);
-        self.inflight.insert(att.seq, sent_at);
         let label = self.tunnel_label();
         ctx.send(self.vpn, Message::new(wire::frame(att.seq, &sealed), label));
         ctx.set_timer(att.timer_delay_us, att.token);
@@ -238,34 +234,20 @@ impl Node for VpnClient {
         self.fetch(ctx);
     }
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        match self.arq.on_timer(token) {
-            TimerVerdict::NotMine | TimerVerdict::Stale => {}
-            TimerVerdict::Retry(att) => {
-                let Some(&sent_at) = self.inflight.get(&att.seq) else {
-                    return;
-                };
-                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
-                self.transmit(ctx, sent_at, att);
-            }
-            TimerVerdict::Exhausted { seq, attempts } => {
-                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
-                self.inflight.remove(&seq);
-                self.fetch_done(ctx);
-            }
+        match self.calls.on_timer(ctx, token) {
+            CallEvent::App(_) | CallEvent::Ignored => {}
+            CallEvent::Retry(att) => self.transmit(ctx, att),
+            CallEvent::Exhausted { .. } => self.fetch_done(ctx),
         }
     }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        if self.arq.enabled() {
+        if self.calls.enabled() {
             let Some((seq, _body)) = wire::unframe(&msg.bytes) else {
                 return;
             };
-            let Some(&sent_at) = self.inflight.get(&seq) else {
-                return;
-            };
-            if !self.arq.complete(seq) {
+            let Some(sent_at) = self.calls.complete(seq) else {
                 return; // duplicated response: counted exactly once
-            }
-            self.inflight.remove(&seq);
+            };
             ctx.world.span("fetch", sent_at.as_us(), ctx.now.as_us());
             let mut s = self.stats.borrow_mut();
             s.completed += 1;
@@ -381,31 +363,11 @@ impl Node for PlainOrigin {
     }
 }
 
-/// Run the VPN scenario with faults disabled.
-#[deprecated(
-    note = "use the unified Scenario API: `Vpn::run(&VpnConfig::new(users, fetches_each), seed)`"
-)]
-pub fn run_vpn(n_users: usize, fetches_each: usize, seed: u64) -> VpnReport {
-    Vpn::run(&VpnConfig::new(n_users, fetches_each), seed)
-}
-
-/// Run the VPN scenario under a fault schedule.
-#[deprecated(note = "use the unified Scenario API: `Vpn::run_with_faults(&cfg, seed, faults)`")]
-pub fn run_vpn_with_faults(
-    n_users: usize,
-    fetches_each: usize,
-    seed: u64,
-    faults: &FaultConfig,
-) -> VpnReport {
-    Vpn::run_with_faults(&VpnConfig::new(n_users, fetches_each), seed, faults)
-}
-
 fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
     use rand::SeedableRng;
     let (n_users, fetches_each) = (cfg.users, cfg.fetches_each);
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1f);
-    let mut world = World::new();
-    let obs = MetricsHandle::install_if(&mut world, opts.observe, Vpn::NAME, seed);
+    let (mut world, harness) = Harness::begin(Vpn::NAME, seed, opts);
     let user_org = world.add_org("users");
     let vpn_org = world.add_org("vpn-co");
     let origin_org = world.add_org("origin-co");
@@ -430,9 +392,7 @@ fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
         users.push(u);
     }
 
-    let mut net = Network::new(world, seed);
-    net.set_default_link(LinkParams::wan_ms(10));
-    net.enable_faults(opts.faults.clone(), seed);
+    let mut net = harness.network(world, LinkParams::wan_ms(10));
     let vpn_id = NodeId(0);
     let origin_id = NodeId(1);
 
@@ -442,39 +402,49 @@ fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
         .map(|(i, &u)| (NodeId(2 + i), u))
         .collect();
     let recover_on = opts.recover.enabled;
-    net.add_node(Box::new(VpnServer {
-        entity: vpn_e,
-        kp: vpn_kp.clone(),
-        origin: origin_id,
-        back: Vec::new(),
-        node_user,
-        recover: recover_on,
-        hop: HopMap::new(),
-    }));
-    net.mark_relay(vpn_id);
-    net.add_node(Box::new(PlainOrigin {
-        entity: origin_e,
-        recover: recover_on,
-    }));
+    Harness::add(
+        &mut net,
+        RoleKind::Relay,
+        Box::new(VpnServer {
+            entity: vpn_e,
+            kp: vpn_kp.clone(),
+            origin: origin_id,
+            back: Vec::new(),
+            node_user,
+            recover: recover_on,
+            hop: HopMap::new(),
+        }),
+    );
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(PlainOrigin {
+            entity: origin_e,
+            recover: recover_on,
+        }),
+    );
     let stats = Rc::new(RefCell::new(VpnStats {
         completed: 0,
         latencies: Vec::new(),
         linkage: RetryLinkage::new(),
     }));
     for (ci, (&u, &e)) in users.iter().zip(user_entities.iter()).enumerate() {
-        net.add_node(Box::new(VpnClient {
-            entity: e,
-            user: u,
-            vpn: vpn_id,
-            vpn_pk: vpn_kp.public,
-            vpn_key,
-            fetches_left: fetches_each,
-            stats: stats.clone(),
-            sent_at: SimTime::ZERO,
-            arq: ReliableCall::new(&opts.recover, derive_seed(seed, 0x0b50 + ci as u64)),
-            flow: ci as u64,
-            inflight: BTreeMap::new(),
-        }));
+        Harness::add(
+            &mut net,
+            RoleKind::Initiator,
+            Box::new(VpnClient {
+                entity: e,
+                user: u,
+                vpn: vpn_id,
+                vpn_pk: vpn_kp.public,
+                vpn_key,
+                fetches_left: fetches_each,
+                stats: stats.clone(),
+                sent_at: SimTime::ZERO,
+                calls: Driver::new(&opts.recover, derive_seed(seed, 0x0b50 + ci as u64)),
+                flow: ci as u64,
+            }),
+        );
     }
     // Client-side network observer (the user's ISP): sees the access
     // links in both directions but not the VPN's egress side.
@@ -486,24 +456,16 @@ fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
         links: Some(access_links),
     });
 
-    net.run();
-    let fault_log = net.fault_log();
-    let (mut world, trace) = net.into_parts();
-    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
+    let core = harness.finish(net);
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
-    let mean = if stats.latencies.is_empty() {
-        0.0
-    } else {
-        stats.latencies.iter().sum::<u64>() as f64 / stats.latencies.len() as f64
-    };
     VpnReport {
-        world,
-        trace,
+        world: core.world,
+        trace: core.trace,
         completed: stats.completed,
-        mean_fetch_us: mean,
+        mean_fetch_us: mean_us(&stats.latencies),
         users,
-        fault_log,
-        metrics,
+        fault_log: core.fault_log,
+        metrics: core.metrics,
         expected: (n_users * fetches_each) as u64,
         retry_linkage: stats.linkage.violations(),
     }
@@ -619,8 +581,9 @@ struct EchClient {
     server_key: KeyId,
     ech: bool,
     stats: Rc<RefCell<EchStats>>,
-    /// Per-handshake ARQ (inert when the run's recovery is disabled).
-    arq: ReliableCall,
+    /// Per-handshake reliable-call driver (inert when recovery is
+    /// disabled).
+    calls: Driver<()>,
 }
 
 impl EchClient {
@@ -673,8 +636,7 @@ impl Node for EchClient {
             self.entity,
             InfoItem::sensitive_data(self.user, DataKind::Destination),
         );
-        if self.arq.enabled() {
-            let att = self.arq.begin().expect("enabled ARQ always begins");
+        if let Some(att) = self.calls.begin(()) {
             self.transmit(ctx, att);
             return;
         }
@@ -682,23 +644,18 @@ impl Node for EchClient {
         ctx.send(self.server, Message::new(bytes, label));
     }
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        match self.arq.on_timer(token) {
-            TimerVerdict::NotMine | TimerVerdict::Stale => {}
-            TimerVerdict::Retry(att) => {
-                dcp_recover::emit_retry(ctx.world, ctx.id().0, att.seq, att.attempt);
-                self.transmit(ctx, att);
-            }
-            TimerVerdict::Exhausted { seq, attempts } => {
-                dcp_recover::emit_give_up(ctx.world, ctx.id().0, seq, attempts);
-            }
+        match self.calls.on_timer(ctx, token) {
+            CallEvent::App(_) | CallEvent::Ignored => {}
+            CallEvent::Retry(att) => self.transmit(ctx, att),
+            CallEvent::Exhausted { .. } => {}
         }
     }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        if self.arq.enabled() {
+        if self.calls.enabled() {
             let Some((seq, _body)) = wire::unframe(&msg.bytes) else {
                 return;
             };
-            if !self.arq.complete(seq) {
+            if self.calls.complete(seq).is_none() {
                 return; // duplicated ServerHello: counted exactly once
             }
             ctx.world.span("handshake", 0, ctx.now.as_us());
@@ -754,21 +711,11 @@ impl Node for TlsServer {
     }
 }
 
-/// Run the ECH handshake model. With `ech = true` the network observer
-/// loses the SNI; the server's view is unchanged either way.
-#[deprecated(
-    note = "use the unified Scenario API: `Ech::run(&EchConfig::default().ech(ech), seed)`"
-)]
-pub fn run_ech(ech: bool, seed: u64) -> EchReport {
-    Ech::run(&EchConfig { ech }, seed)
-}
-
 fn run_ech_impl(cfg: &EchConfig, seed: u64, opts: &RunOptions) -> EchReport {
     use rand::SeedableRng;
     let ech = cfg.ech;
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xec4);
-    let mut world = World::new();
-    let obs = MetricsHandle::install_if(&mut world, opts.observe, Ech::NAME, seed);
+    let (mut world, harness) = Harness::begin(Ech::NAME, seed, opts);
     let user_org = world.add_org("users");
     let site_org = world.add_org("site-co");
     let net_org = world.add_org("network");
@@ -780,47 +727,50 @@ fn run_ech_impl(cfg: &EchConfig, seed: u64, opts: &RunOptions) -> EchReport {
     let kp = hpke::Keypair::generate(&mut setup_rng);
     let server_key = world.new_key(&[server_e]);
 
-    let mut net = Network::new(world, seed);
-    net.set_default_link(LinkParams::wan_ms(10));
-    net.enable_faults(opts.faults.clone(), seed);
+    let mut net = harness.network(world, LinkParams::wan_ms(10));
     let server_id = NodeId(0);
     let recover_on = opts.recover.enabled;
     let stats = Rc::new(RefCell::new(EchStats {
         completed: 0,
         linkage: RetryLinkage::new(),
     }));
-    net.add_node(Box::new(TlsServer {
-        entity: server_e,
-        kp: kp.clone(),
-        ech,
-        recover: recover_on,
-    }));
-    net.add_node(Box::new(EchClient {
-        entity: client_e,
-        user,
-        server: server_id,
-        server_pk: kp.public,
-        server_key,
-        ech,
-        stats: stats.clone(),
-        arq: ReliableCall::new(&opts.recover, derive_seed(seed, 0x0ec8)),
-    }));
+    Harness::add(
+        &mut net,
+        RoleKind::Service,
+        Box::new(TlsServer {
+            entity: server_e,
+            kp: kp.clone(),
+            ech,
+            recover: recover_on,
+        }),
+    );
+    Harness::add(
+        &mut net,
+        RoleKind::Initiator,
+        Box::new(EchClient {
+            entity: client_e,
+            user,
+            server: server_id,
+            server_pk: kp.public,
+            server_key,
+            ech,
+            stats: stats.clone(),
+            calls: Driver::new(&opts.recover, derive_seed(seed, 0x0ec8)),
+        }),
+    );
     net.add_tap(Tap {
         observer: observer_e,
         links: None,
     });
-    net.run();
-    let fault_log = net.fault_log();
-    let (mut world, _) = net.into_parts();
-    let metrics = MetricsHandle::finish_opt(obs.as_ref(), &mut world);
+    let core = harness.finish(net);
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
     EchReport {
-        world,
+        world: core.world,
         ech,
         user,
         completed: stats.completed,
-        fault_log,
-        metrics,
+        fault_log: core.fault_log,
+        metrics: core.metrics,
         expected: 1,
         retry_linkage: stats.linkage.violations(),
     }
@@ -829,7 +779,7 @@ fn run_ech_impl(cfg: &EchConfig, seed: u64, opts: &RunOptions) -> EchReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcp_core::{analyze, collusion::entity_collusion};
+    use dcp_core::{analyze, collusion::entity_collusion, FaultConfig};
 
     fn run_vpn(n_users: usize, fetches_each: usize, seed: u64) -> VpnReport {
         Vpn::run(&VpnConfig::new(n_users, fetches_each), seed)

@@ -1,0 +1,178 @@
+//! The [`RunOptions`] builder matrix, end to end: every combination of
+//! observe × faults × recovery, with the promise that a *disabled* layer
+//! is perfectly inert — no `Recovery*` observations, no metrics, no
+//! fault log, and outcomes identical to the plain [`RunOptions::new`]
+//! run.
+
+use decoupling::faults::dst::KnowledgeFingerprint;
+use decoupling::{
+    DirectDns, DirectDnsConfig, FaultConfig, MetricsReport, Odoh, OdohConfig, Privacypass,
+    RecoverConfig, RunOptions, Scenario, ScenarioReport as _, Vpn,
+};
+
+/// All eight builder combinations for one fault schedule.
+fn matrix(faults: &FaultConfig) -> Vec<(&'static str, RunOptions)> {
+    let recovered = |o: RunOptions| o.with_recovery(&RecoverConfig::standard());
+    vec![
+        ("new", RunOptions::new()),
+        ("observed", RunOptions::observed()),
+        ("with_faults", RunOptions::with_faults(faults)),
+        (
+            "observed_with_faults",
+            RunOptions::observed_with_faults(faults),
+        ),
+        ("new+recovery", recovered(RunOptions::new())),
+        ("observed+recovery", recovered(RunOptions::observed())),
+        ("recovered", RunOptions::recovered(faults)),
+        (
+            "observed_with_faults+recovery",
+            recovered(RunOptions::observed_with_faults(faults)),
+        ),
+    ]
+}
+
+/// Run `S` through the whole matrix and check the inertness contract of
+/// every disabled layer.
+fn assert_matrix<S: Scenario>(cfg: &S::Config, seed: u64) {
+    let plain = S::run_with(cfg, seed, &RunOptions::new());
+    let baseline = KnowledgeFingerprint::of(plain.world());
+
+    for (label, opts) in matrix(&FaultConfig::moderate()) {
+        let report = S::run_with(cfg, seed, &opts);
+
+        // Observability off → the metrics layer never existed.
+        if !opts.observe {
+            assert_eq!(
+                *report.metrics(),
+                MetricsReport::disabled(),
+                "{}/{label}: unobserved run produced metrics",
+                S::NAME
+            );
+        } else {
+            assert!(report.metrics().enabled, "{}/{label}", S::NAME);
+            assert_eq!(report.metrics().scenario, S::NAME, "{label}");
+            assert_eq!(report.metrics().seed, seed, "{label}");
+        }
+
+        // Faults off → nothing was injected.
+        if !opts.faults.enabled {
+            assert!(
+                report.fault_log().is_empty(),
+                "{}/{label}: calm run injected faults",
+                S::NAME
+            );
+        }
+
+        // Recovery off → no ARQ, so no Recovery* observations can exist.
+        if !opts.recover.enabled && opts.observe {
+            let m = report.metrics();
+            assert_eq!(
+                (
+                    m.recovery_retries,
+                    m.recovery_failovers,
+                    m.recovery_quarantines,
+                    m.recovery_give_ups,
+                ),
+                (0, 0, 0, 0),
+                "{}/{label}: recovery events without a recovery layer",
+                S::NAME
+            );
+        }
+
+        // Fault-free runs — whatever the observe/recovery settings — must
+        // finish the same workload with the same knowledge ledger as the
+        // plain run: both layers are outcome-invariant.
+        if !opts.faults.enabled {
+            assert_eq!(
+                report.completed_units(),
+                plain.completed_units(),
+                "{}/{label}: observe/recovery changed liveness",
+                S::NAME
+            );
+            assert_eq!(
+                KnowledgeFingerprint::of(report.world()),
+                baseline,
+                "{}/{label}: observe/recovery changed someone's knowledge",
+                S::NAME
+            );
+        }
+
+        // The full stack: recovery finishes the workload despite whatever
+        // the fault layer injected, ledger still at baseline.
+        if opts.faults.enabled && opts.recover.enabled {
+            if let Some(expected) = report.expected_units() {
+                assert_eq!(report.completed_units(), expected, "{}/{label}", S::NAME);
+            }
+            assert_eq!(
+                KnowledgeFingerprint::of(report.world()),
+                baseline,
+                "{label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn odoh_runoptions_matrix() {
+    assert_matrix::<Odoh>(&OdohConfig::default(), 1101);
+}
+
+#[test]
+fn direct_dns_runoptions_matrix() {
+    assert_matrix::<DirectDns>(&DirectDnsConfig::new(2, 4, 2), 1102);
+}
+
+#[test]
+fn privacypass_runoptions_matrix() {
+    assert_matrix::<Privacypass>(&Default::default(), 1103);
+}
+
+#[test]
+fn vpn_runoptions_matrix() {
+    assert_matrix::<Vpn>(&Default::default(), 1104);
+}
+
+/// Observation must be invisible at the wire level too, not just in the
+/// knowledge ledger: same trace length, same latency, same answer count
+/// for every (faults, recovery) setting.
+#[test]
+fn observation_never_perturbs_the_wire() {
+    let cfg = OdohConfig::new(2, 3).backup_proxies(1);
+    let faults = FaultConfig::moderate();
+    let pairs = [
+        (RunOptions::new(), RunOptions::observed()),
+        (
+            RunOptions::with_faults(&faults),
+            RunOptions::observed_with_faults(&faults),
+        ),
+        (
+            RunOptions::recovered(&faults),
+            RunOptions::observed_with_faults(&faults).with_recovery(&RecoverConfig::standard()),
+        ),
+    ];
+    for (quiet, observed) in pairs {
+        let a = Odoh::run_with(&cfg, 1105, &quiet);
+        let b = Odoh::run_with(&cfg, 1105, &observed);
+        assert_eq!(a.answered, b.answered);
+        assert_eq!(a.mean_query_us, b.mean_query_us);
+        assert_eq!(a.trace.len(), b.trace.len());
+        assert_eq!(a.fault_log.len(), b.fault_log.len());
+    }
+}
+
+/// The chainable builder spells the same options as the shorthand
+/// constructors, and identical options mean identical runs.
+#[test]
+fn builder_and_shorthand_agree() {
+    let faults = FaultConfig::moderate();
+    let built = RunOptions::with_faults(&faults).with_recovery(&RecoverConfig::standard());
+    let shorthand = RunOptions::recovered(&faults);
+    let a = Odoh::run_with(&OdohConfig::default(), 1106, &built);
+    let b = Odoh::run_with(&OdohConfig::default(), 1106, &shorthand);
+    assert_eq!(a.answered, b.answered);
+    assert_eq!(a.trace.len(), b.trace.len());
+    assert_eq!(
+        KnowledgeFingerprint::of(&a.world),
+        KnowledgeFingerprint::of(&b.world)
+    );
+}
