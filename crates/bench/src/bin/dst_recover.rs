@@ -16,7 +16,7 @@
 //! dst_recover [--worlds N] [--threads N] [--seed S] [--sequential] [--out PATH]
 //! ```
 
-use decoupling::faults::dst::{sweep_recovery_probe_for, RecoverySweepReport};
+use decoupling::faults::dst::{sweep_recovery_probe_for_with, RecoverySweepReport};
 use decoupling::{ParallelExecutor, SequentialExecutor, SweepBuilder, SweepExecutor};
 
 struct Args {
@@ -24,6 +24,7 @@ struct Args {
     threads: usize,
     seed: u64,
     sequential: bool,
+    queue: decoupling::QueueKind,
     out: Option<String>,
 }
 
@@ -33,6 +34,7 @@ fn parse_args() -> Args {
         threads: 0,
         seed: 20230402,
         sequential: false,
+        queue: decoupling::QueueKind::default(),
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -46,6 +48,13 @@ fn parse_args() -> Args {
             "--threads" => args.threads = value("--threads").parse().expect("--threads: integer"),
             "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
             "--sequential" => args.sequential = true,
+            "--queue" => {
+                args.queue = match value("--queue").as_str() {
+                    "wheel" => decoupling::QueueKind::TimerWheel,
+                    "heap" => decoupling::QueueKind::BinaryHeap,
+                    other => panic!("--queue: expected wheel|heap, got {other}"),
+                }
+            }
             "--out" => args.out = Some(value("--out")),
             other => panic!("unknown flag {other} (see the module docs for usage)"),
         }
@@ -53,7 +62,11 @@ fn parse_args() -> Args {
     args
 }
 
-fn sweep_all(builder: &SweepBuilder, exec: &impl SweepExecutor) -> Vec<RecoverySweepReport> {
+fn sweep_all(
+    builder: &SweepBuilder,
+    exec: &impl SweepExecutor,
+    opts: &decoupling::RunOptions,
+) -> Vec<RecoverySweepReport> {
     // The same small workloads tests/dst_scenarios.rs smokes, plus Ech.
     let mixnet = decoupling::MixnetConfig {
         senders: 6,
@@ -87,34 +100,39 @@ fn sweep_all(builder: &SweepBuilder, exec: &impl SweepExecutor) -> Vec<RecoveryS
         seed: 0,
     };
     vec![
-        sweep_recovery_probe_for::<decoupling::Blindcash, _>(
+        sweep_recovery_probe_for_with::<decoupling::Blindcash, _>(
             &decoupling::BlindcashConfig::new(2, 2, 512),
             builder,
             exec,
+            opts,
         ),
-        sweep_recovery_probe_for::<decoupling::Mixnet, _>(&mixnet, builder, exec),
-        sweep_recovery_probe_for::<decoupling::Privacypass, _>(
+        sweep_recovery_probe_for_with::<decoupling::Mixnet, _>(&mixnet, builder, exec, opts),
+        sweep_recovery_probe_for_with::<decoupling::Privacypass, _>(
             &decoupling::PrivacypassConfig::new(3, 2),
             builder,
             exec,
+            opts,
         ),
-        sweep_recovery_probe_for::<decoupling::Odoh, _>(
+        sweep_recovery_probe_for_with::<decoupling::Odoh, _>(
             &decoupling::OdohConfig::new(3, 4),
             builder,
             exec,
+            opts,
         ),
-        sweep_recovery_probe_for::<decoupling::Pgpp, _>(&pgpp, builder, exec),
-        sweep_recovery_probe_for::<decoupling::Mpr, _>(&mpr, builder, exec),
-        sweep_recovery_probe_for::<decoupling::Ppm, _>(&ppm, builder, exec),
-        sweep_recovery_probe_for::<decoupling::Vpn, _>(
+        sweep_recovery_probe_for_with::<decoupling::Pgpp, _>(&pgpp, builder, exec, opts),
+        sweep_recovery_probe_for_with::<decoupling::Mpr, _>(&mpr, builder, exec, opts),
+        sweep_recovery_probe_for_with::<decoupling::Ppm, _>(&ppm, builder, exec, opts),
+        sweep_recovery_probe_for_with::<decoupling::Vpn, _>(
             &decoupling::VpnConfig::new(3, 2),
             builder,
             exec,
+            opts,
         ),
-        sweep_recovery_probe_for::<decoupling::Ech, _>(
+        sweep_recovery_probe_for_with::<decoupling::Ech, _>(
             &decoupling::EchConfig::default().ech(true),
             builder,
             exec,
+            opts,
         ),
     ]
 }
@@ -125,11 +143,12 @@ fn main() {
         .worlds(args.worlds)
         .threads(args.threads);
 
+    let opts = decoupling::RunOptions::new().with_queue(args.queue);
     let started = std::time::Instant::now();
     let reports = if args.sequential {
-        sweep_all(&builder, &SequentialExecutor)
+        sweep_all(&builder, &SequentialExecutor, &opts)
     } else {
-        sweep_all(&builder, &ParallelExecutor::for_builder(&builder))
+        sweep_all(&builder, &ParallelExecutor::for_builder(&builder), &opts)
     };
     let elapsed = started.elapsed();
 

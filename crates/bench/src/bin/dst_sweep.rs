@@ -14,7 +14,7 @@
 //! dst_sweep [--worlds N] [--threads N] [--seed S] [--sequential] [--out PATH]
 //! ```
 
-use decoupling::faults::dst::{sweep_scenario_for, DstSweepReport};
+use decoupling::faults::dst::{sweep_scenario_for_with, DstSweepReport};
 use decoupling::{ParallelExecutor, SequentialExecutor, SweepBuilder, SweepExecutor};
 
 struct Args {
@@ -22,6 +22,7 @@ struct Args {
     threads: usize,
     seed: u64,
     sequential: bool,
+    queue: decoupling::QueueKind,
     out: Option<String>,
 }
 
@@ -31,6 +32,7 @@ fn parse_args() -> Args {
         threads: 0,
         seed: 20221114,
         sequential: false,
+        queue: decoupling::QueueKind::default(),
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -44,6 +46,13 @@ fn parse_args() -> Args {
             "--threads" => args.threads = value("--threads").parse().expect("--threads: integer"),
             "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
             "--sequential" => args.sequential = true,
+            "--queue" => {
+                args.queue = match value("--queue").as_str() {
+                    "wheel" => decoupling::QueueKind::TimerWheel,
+                    "heap" => decoupling::QueueKind::BinaryHeap,
+                    other => panic!("--queue: expected wheel|heap, got {other}"),
+                }
+            }
             "--out" => args.out = Some(value("--out")),
             other => panic!("unknown flag {other} (see the module docs for usage)"),
         }
@@ -51,7 +60,11 @@ fn parse_args() -> Args {
     args
 }
 
-fn sweep_all(builder: &SweepBuilder, exec: &impl SweepExecutor) -> Vec<DstSweepReport> {
+fn sweep_all(
+    builder: &SweepBuilder,
+    exec: &impl SweepExecutor,
+    opts: &decoupling::RunOptions,
+) -> Vec<DstSweepReport> {
     // The same small workloads tests/dst_scenarios.rs smokes.
     let mixnet = decoupling::MixnetConfig {
         senders: 6,
@@ -85,26 +98,34 @@ fn sweep_all(builder: &SweepBuilder, exec: &impl SweepExecutor) -> Vec<DstSweepR
         seed: 0,
     };
     vec![
-        sweep_scenario_for::<decoupling::Blindcash, _>(
+        sweep_scenario_for_with::<decoupling::Blindcash, _>(
             &decoupling::BlindcashConfig::new(2, 2, 512),
             builder,
             exec,
+            opts,
         ),
-        sweep_scenario_for::<decoupling::Mixnet, _>(&mixnet, builder, exec),
-        sweep_scenario_for::<decoupling::Privacypass, _>(
+        sweep_scenario_for_with::<decoupling::Mixnet, _>(&mixnet, builder, exec, opts),
+        sweep_scenario_for_with::<decoupling::Privacypass, _>(
             &decoupling::PrivacypassConfig::new(3, 2),
             builder,
             exec,
+            opts,
         ),
-        sweep_scenario_for::<decoupling::Odoh, _>(
+        sweep_scenario_for_with::<decoupling::Odoh, _>(
             &decoupling::OdohConfig::new(3, 4),
             builder,
             exec,
+            opts,
         ),
-        sweep_scenario_for::<decoupling::Pgpp, _>(&pgpp, builder, exec),
-        sweep_scenario_for::<decoupling::Mpr, _>(&mpr, builder, exec),
-        sweep_scenario_for::<decoupling::Ppm, _>(&ppm, builder, exec),
-        sweep_scenario_for::<decoupling::Vpn, _>(&decoupling::VpnConfig::new(3, 2), builder, exec),
+        sweep_scenario_for_with::<decoupling::Pgpp, _>(&pgpp, builder, exec, opts),
+        sweep_scenario_for_with::<decoupling::Mpr, _>(&mpr, builder, exec, opts),
+        sweep_scenario_for_with::<decoupling::Ppm, _>(&ppm, builder, exec, opts),
+        sweep_scenario_for_with::<decoupling::Vpn, _>(
+            &decoupling::VpnConfig::new(3, 2),
+            builder,
+            exec,
+            opts,
+        ),
     ]
 }
 
@@ -114,11 +135,12 @@ fn main() {
         .worlds(args.worlds)
         .threads(args.threads);
 
+    let opts = decoupling::RunOptions::new().with_queue(args.queue);
     let started = std::time::Instant::now();
     let reports = if args.sequential {
-        sweep_all(&builder, &SequentialExecutor)
+        sweep_all(&builder, &SequentialExecutor, &opts)
     } else {
-        sweep_all(&builder, &ParallelExecutor::for_builder(&builder))
+        sweep_all(&builder, &ParallelExecutor::for_builder(&builder), &opts)
     };
     let elapsed = started.elapsed();
 

@@ -23,6 +23,7 @@
 
 pub mod bank;
 pub mod coin;
+pub mod population;
 pub mod scenario;
 
 pub use scenario::{sweep, Blindcash, BlindcashConfig, ScenarioReport};

@@ -69,10 +69,12 @@ pub use analysis::{analyze, DecouplingVerdict, Violation};
 pub use entity::{EntityId, OrgId, UserId};
 pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultLog};
 pub use label::{Aspect, DataKind, IdentityKind, InfoItem, InfoSet, KeyId, Label, Sensitivity};
-pub use obs::{KnowledgeRecord, MetricsReport, ObsEvent, ObsHandle, ObsSink, SpanRecord};
+pub use obs::{
+    KnowledgeRecord, MetricsReport, ObsEvent, ObsHandle, ObsSink, SpanRecord, SpanStats,
+};
 pub use recover::RecoverConfig;
 pub use role::{Endpoint, Role, RoleKind};
-pub use scenario::{RunOptions, Scenario, ScenarioReport};
+pub use scenario::{QueueKind, RunOptions, Scenario, ScenarioReport};
 pub use sweep::{
     derive_seed, SequentialExecutor, SweepBuilder, SweepEntry, SweepExecutor, SweepJob,
     SweepReport, SweepRun,

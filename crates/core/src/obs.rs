@@ -245,6 +245,46 @@ impl SpanRecord {
     }
 }
 
+/// Fold-as-you-go aggregate over the spans of one name: the streaming
+/// counterpart of the itemised [`SpanRecord`] list, always maintained by
+/// the collector so population-scale runs (which drop the list) keep
+/// exact counts, totals, and extremes.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanStats {
+    /// How many spans completed under this name.
+    pub count: u64,
+    /// Sum of span durations, µs.
+    pub total_us: u64,
+    /// Shortest span, µs (0 when `count == 0`).
+    pub min_us: u64,
+    /// Longest span, µs.
+    pub max_us: u64,
+}
+
+impl SpanStats {
+    /// Fold one span duration into the aggregate.
+    pub fn fold(&mut self, duration_us: u64) {
+        if self.count == 0 {
+            self.min_us = duration_us;
+            self.max_us = duration_us;
+        } else {
+            self.min_us = self.min_us.min(duration_us);
+            self.max_us = self.max_us.max(duration_us);
+        }
+        self.count += 1;
+        self.total_us += duration_us;
+    }
+
+    /// Mean duration in µs, or `None` when no span was folded.
+    pub fn mean_us(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.total_us as f64 / self.count as f64)
+        }
+    }
+}
+
 /// One knowledge-accrual event: which label reached which entity at what
 /// sim-time. `entity` is resolved to a name when the collector is
 /// finalized against the final `World`.
@@ -305,9 +345,14 @@ pub struct MetricsReport {
     pub faults: BTreeMap<String, u64>,
     /// Knowledge-accrual events per entity name (filled at finalization).
     pub knowledge_by_entity: BTreeMap<String, u64>,
-    /// Every completed protocol-phase span.
+    /// Fold-as-you-go span aggregates by name — always populated, even
+    /// when the itemised `spans` list is dropped (streaming mode).
+    pub span_stats: BTreeMap<String, SpanStats>,
+    /// Every completed protocol-phase span. Empty in streaming mode;
+    /// `span_stats` keeps the aggregates.
     pub spans: Vec<SpanRecord>,
-    /// The knowledge-accrual timeline, in emission order.
+    /// The knowledge-accrual timeline, in emission order. Empty in
+    /// streaming mode; `knowledge_by_entity` keeps the counts.
     pub knowledge: Vec<KnowledgeRecord>,
 }
 
@@ -322,14 +367,23 @@ impl MetricsReport {
         self.crypto_ops.values().sum()
     }
 
-    /// Count of spans with the given name.
+    /// Count of spans with the given name. Prefers the streaming
+    /// aggregate (always folded by the collector); falls back to the
+    /// itemised list for hand-built reports.
     pub fn span_count(&self, name: &str) -> usize {
-        self.spans.iter().filter(|s| s.name == name).count()
+        match self.span_stats.get(name) {
+            Some(s) => s.count as usize,
+            None => self.spans.iter().filter(|s| s.name == name).count(),
+        }
     }
 
     /// Mean duration (µs) of spans with the given name, or `None` if
-    /// there are none.
+    /// there are none. Same streaming-first sourcing as
+    /// [`span_count`](MetricsReport::span_count).
     pub fn mean_span_us(&self, name: &str) -> Option<f64> {
+        if let Some(s) = self.span_stats.get(name) {
+            return s.mean_us();
+        }
         let durations: Vec<u64> = self
             .spans
             .iter()

@@ -28,10 +28,26 @@ use crate::recover::RecoverConfig;
 use crate::sweep::{SweepBuilder, SweepExecutor, SweepRun};
 use crate::world::World;
 
+/// Which event-queue implementation the simulator runs on.
+///
+/// Both produce the *identical* `(time, seq)` total order — the
+/// queue-swap equivalence gate byte-diffs DST probe JSON across the two
+/// — so this is a performance knob, not a semantics knob. The legacy
+/// heap stays selectable until the gate has soaked.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Hierarchical timer wheel: O(1) amortised, the default.
+    #[default]
+    TimerWheel,
+    /// The original `BinaryHeap`: O(log n), kept as the reference
+    /// implementation for the equivalence gate.
+    BinaryHeap,
+}
+
 /// How to run a scenario: fault preset, recovery layer, and whether to
 /// install the metrics sink. `Default` is calm, recovery-disabled, and
 /// uninstrumented — the zero-overhead path.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct RunOptions {
     /// Fault-injection configuration ([`FaultConfig::calm`] = none).
     pub faults: FaultConfig,
@@ -41,6 +57,29 @@ pub struct RunOptions {
     /// Install a metrics sink so the report's
     /// [`metrics`](ScenarioReport::metrics) is populated.
     pub observe: bool,
+    /// Event-queue implementation (default: [`QueueKind::TimerWheel`]).
+    pub queue: QueueKind,
+    /// Record the per-packet [`Trace`](ScenarioReport) (default on: DST
+    /// and the traffic-analysis attackers read it). Population-scale runs
+    /// turn it off — 10⁸ packet records is unbounded memory.
+    pub record_trace: bool,
+    /// Fold metrics as they arrive instead of retaining the unbounded
+    /// per-event vectors (spans, knowledge records). Aggregate counters
+    /// stay exact; only the itemised lists are dropped.
+    pub streaming_metrics: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            faults: FaultConfig::default(),
+            recover: RecoverConfig::default(),
+            observe: false,
+            queue: QueueKind::default(),
+            record_trace: true,
+            streaming_metrics: false,
+        }
+    }
 }
 
 impl RunOptions {
@@ -84,6 +123,34 @@ impl RunOptions {
     /// combination the DST harness runs under every preset.
     pub fn recovered(faults: &FaultConfig) -> Self {
         RunOptions::with_faults(faults).with_recovery(&RecoverConfig::standard())
+    }
+
+    /// Select the event-queue implementation (chainable).
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Disable per-packet trace recording (chainable). Reports derived
+    /// from the trace (observer views, latency-from-trace measures) see
+    /// an empty trace; metrics and knowledge ledgers are unaffected.
+    pub fn without_trace(mut self) -> Self {
+        self.record_trace = false;
+        self
+    }
+
+    /// Enable streaming (bounded-memory) metrics folding (chainable).
+    pub fn with_streaming_metrics(mut self) -> Self {
+        self.streaming_metrics = true;
+        self
+    }
+
+    /// The population-run profile: no per-packet trace, streaming
+    /// metrics. Everything else stays at the caller's settings.
+    pub fn population(mut self) -> Self {
+        self.record_trace = false;
+        self.streaming_metrics = true;
+        self
     }
 }
 
@@ -259,6 +326,20 @@ mod tests {
                 .recover,
             crate::RecoverConfig::standard()
         );
+    }
+
+    #[test]
+    fn queue_and_trace_defaults() {
+        let d = RunOptions::default();
+        assert_eq!(d.queue, QueueKind::TimerWheel);
+        assert!(d.record_trace, "trace stays on unless opted out");
+        assert!(!d.streaming_metrics);
+        let heap = RunOptions::new().with_queue(QueueKind::BinaryHeap);
+        assert_eq!(heap.queue, QueueKind::BinaryHeap);
+        let pop = RunOptions::observed().population();
+        assert!(!pop.record_trace && pop.streaming_metrics && pop.observe);
+        assert!(!RunOptions::new().without_trace().record_trace);
+        assert!(RunOptions::new().with_streaming_metrics().streaming_metrics);
     }
 
     #[test]

@@ -72,11 +72,12 @@ pub use dcp_simnet as simnet;
 pub use dcp_sweep as sweep;
 pub use dcp_transport as transport;
 pub use dcp_vpn as vpn;
+pub use dcp_worlds as worlds;
 
 // The unified Scenario API, flattened: everything a driver needs to run,
 // fault, and observe any §3 scenario without reaching into sub-crates.
 pub use dcp_core::{
-    derive_seed, MetricsReport, ObsEvent, ObsSink, RecoverConfig, RunOptions, Scenario,
+    derive_seed, MetricsReport, ObsEvent, ObsSink, QueueKind, RecoverConfig, RunOptions, Scenario,
     ScenarioReport, SequentialExecutor, SweepBuilder, SweepExecutor, SweepRun,
 };
 pub use dcp_faults::dst::{run_scenario_for, sweep_scenario_for, DstReport, DstSweepReport};

@@ -250,8 +250,26 @@ where
 /// mean anything. Calm runs fire zero retries, so this changes no
 /// knowledge.
 pub fn run_scenario_for<S: Scenario>(seed: u64, cfg: &S::Config) -> Vec<DstReport> {
+    run_scenario_for_with::<S>(seed, cfg, &dcp_core::RunOptions::default())
+}
+
+/// [`run_scenario_for`] with explicit run plumbing: the fault preset and
+/// recovery layer still come from the battery, but `base`'s simulator
+/// knobs (event queue, trace recording, metrics streaming) are applied
+/// to every run. The queue-swap equivalence gate drives this with
+/// [`QueueKind::BinaryHeap`](dcp_core::QueueKind) vs the timer-wheel
+/// default and byte-diffs the probe JSON.
+pub fn run_scenario_for_with<S: Scenario>(
+    seed: u64,
+    cfg: &S::Config,
+    base: &dcp_core::RunOptions,
+) -> Vec<DstReport> {
     run_scenario(S::NAME, seed, |config, seed| {
-        let report = S::run_with(cfg, seed, &dcp_core::RunOptions::recovered(config));
+        let mut opts = dcp_core::RunOptions::recovered(config);
+        opts.queue = base.queue;
+        opts.record_trace = base.record_trace;
+        opts.streaming_metrics = base.streaming_metrics;
+        let report = S::run_with(cfg, seed, &opts);
         DstOutcome::from_report(&report)
     })
 }
@@ -266,8 +284,22 @@ pub fn run_scenario_for<S: Scenario>(seed: u64, cfg: &S::Config) -> Vec<DstRepor
 /// the completion bar, so CI can sweep it over more worlds than the full
 /// battery affords.
 pub fn run_recovery_probe_for<S: Scenario>(seed: u64, cfg: &S::Config) -> DstReport {
+    run_recovery_probe_for_with::<S>(seed, cfg, &dcp_core::RunOptions::default())
+}
+
+/// [`run_recovery_probe_for`] with explicit simulator knobs — see
+/// [`run_scenario_for_with`].
+pub fn run_recovery_probe_for_with<S: Scenario>(
+    seed: u64,
+    cfg: &S::Config,
+    base: &dcp_core::RunOptions,
+) -> DstReport {
     let run = |config: &FaultConfig, seed: u64| {
-        let report = S::run_with(cfg, seed, &dcp_core::RunOptions::recovered(config));
+        let mut opts = dcp_core::RunOptions::recovered(config);
+        opts.queue = base.queue;
+        opts.record_trace = base.record_trace;
+        opts.streaming_metrics = base.streaming_metrics;
+        let report = S::run_with(cfg, seed, &opts);
         DstOutcome::from_report(&report)
     };
     let scenario = S::NAME;
@@ -367,7 +399,25 @@ where
     S::Config: Sync,
     X: SweepExecutor + ?Sized,
 {
-    let run = builder.run_on(exec, |job| run_recovery_probe_for::<S>(job.seed, cfg));
+    sweep_recovery_probe_for_with::<S, X>(cfg, builder, exec, &dcp_core::RunOptions::default())
+}
+
+/// [`sweep_recovery_probe_for`] with explicit simulator knobs — see
+/// [`run_scenario_for_with`].
+pub fn sweep_recovery_probe_for_with<S, X>(
+    cfg: &S::Config,
+    builder: &SweepBuilder,
+    exec: &X,
+    base: &dcp_core::RunOptions,
+) -> RecoverySweepReport
+where
+    S: Scenario,
+    S::Config: Sync,
+    X: SweepExecutor + ?Sized,
+{
+    let run = builder.run_on(exec, |job| {
+        run_recovery_probe_for_with::<S>(job.seed, cfg, base)
+    });
     let mut report = RecoverySweepReport {
         scenario: S::NAME.to_string(),
         master_seed: builder.master_seed(),
@@ -439,7 +489,25 @@ where
     S::Config: Sync,
     X: SweepExecutor + ?Sized,
 {
-    let run = builder.run_on(exec, |job| run_scenario_for::<S>(job.seed, cfg));
+    sweep_scenario_for_with::<S, X>(cfg, builder, exec, &dcp_core::RunOptions::default())
+}
+
+/// [`sweep_scenario_for`] with explicit simulator knobs — see
+/// [`run_scenario_for_with`]. The queue-swap equivalence gate runs the
+/// same sweep under both [`QueueKind`](dcp_core::QueueKind)s and
+/// byte-diffs the serialized aggregates.
+pub fn sweep_scenario_for_with<S, X>(
+    cfg: &S::Config,
+    builder: &SweepBuilder,
+    exec: &X,
+    base: &dcp_core::RunOptions,
+) -> DstSweepReport
+where
+    S: Scenario,
+    S::Config: Sync,
+    X: SweepExecutor + ?Sized,
+{
+    let run = builder.run_on(exec, |job| run_scenario_for_with::<S>(job.seed, cfg, base));
     let mut report = DstSweepReport {
         scenario: S::NAME.to_string(),
         master_seed: builder.master_seed(),

@@ -26,6 +26,7 @@ pub mod adversary;
 pub mod circuit;
 pub mod circuit_scenario;
 pub mod mix;
+pub mod population;
 pub mod scenario;
 
 pub use scenario::{sweep, Mixnet, MixnetConfig, MixnetReport};

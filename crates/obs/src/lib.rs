@@ -35,14 +35,27 @@ use std::io::Write as _;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+use std::collections::BTreeMap;
+
 use dcp_core::obs::{KnowledgeRecord, MetricsReport, ObsEvent, ObsSink, SpanRecord};
 use dcp_core::World;
 
 /// The standard collector: aggregates every [`ObsEvent`] into a
 /// [`MetricsReport`].
+///
+/// In **streaming** mode the collector keeps only bounded state: the
+/// counter fields, the per-name [`SpanStats`](dcp_core::SpanStats)
+/// aggregates (folded in both modes), and a compact per-entity knowledge
+/// count table — the itemised `spans` / `knowledge` vectors stay empty.
+/// That is what lets a 10⁸-event population run carry a metrics sink
+/// without unbounded memory.
 #[derive(Debug, Default)]
 pub struct MetricsSink {
     report: MetricsReport,
+    streaming: bool,
+    /// Streaming mode's knowledge table: entity id → accruals. Resolved
+    /// to names (into `knowledge_by_entity`) at finalization.
+    knowledge_counts: BTreeMap<u64, u64>,
 }
 
 impl MetricsSink {
@@ -55,7 +68,22 @@ impl MetricsSink {
                 seed,
                 ..MetricsReport::default()
             },
+            streaming: false,
+            knowledge_counts: BTreeMap::new(),
         }
+    }
+
+    /// A fresh collector in bounded-memory streaming mode.
+    pub fn new_streaming(scenario: &str, seed: u64) -> Self {
+        MetricsSink {
+            streaming: true,
+            ..MetricsSink::new(scenario, seed)
+        }
+    }
+
+    /// Is this collector folding in streaming (bounded-memory) mode?
+    pub fn is_streaming(&self) -> bool {
+        self.streaming
     }
 
     /// The report accumulated so far.
@@ -68,6 +96,15 @@ impl MetricsSink {
         let scenario = self.report.scenario.clone();
         let seed = self.report.seed;
         std::mem::replace(&mut self.report, MetricsSink::new(&scenario, seed).report)
+    }
+
+    /// Take the report *and* the streaming knowledge table (empty unless
+    /// streaming) — what finalization consumes.
+    fn take_parts(&mut self) -> (MetricsReport, BTreeMap<u64, u64>) {
+        (
+            self.take_report(),
+            std::mem::take(&mut self.knowledge_counts),
+        )
     }
 }
 
@@ -104,19 +141,29 @@ impl ObsSink for MetricsSink {
                 start_us,
                 end_us,
             } => {
-                r.spans.push(SpanRecord {
-                    name: (*name).to_string(),
-                    start_us: *start_us,
-                    end_us: *end_us,
-                });
+                r.span_stats
+                    .entry((*name).to_string())
+                    .or_default()
+                    .fold(end_us.saturating_sub(*start_us));
+                if !self.streaming {
+                    r.spans.push(SpanRecord {
+                        name: (*name).to_string(),
+                        start_us: *start_us,
+                        end_us: *end_us,
+                    });
+                }
             }
             ObsEvent::Knowledge { entity, item } => {
-                r.knowledge.push(KnowledgeRecord {
-                    at_us,
-                    entity_id: entity.0,
-                    entity: String::new(),
-                    item: item.clone(),
-                });
+                if self.streaming {
+                    *self.knowledge_counts.entry(entity.0).or_insert(0) += 1;
+                } else {
+                    r.knowledge.push(KnowledgeRecord {
+                        at_us,
+                        entity_id: entity.0,
+                        entity: String::new(),
+                        item: item.clone(),
+                    });
+                }
             }
             ObsEvent::RecoveryRetry { .. } => {
                 r.recovery_retries += 1;
@@ -157,30 +204,68 @@ impl MetricsHandle {
         MetricsHandle { sink }
     }
 
+    /// Create a streaming (bounded-memory) collector and install it.
+    pub fn install_streaming(world: &mut World, scenario: &str, seed: u64) -> Self {
+        let sink = Arc::new(Mutex::new(MetricsSink::new_streaming(scenario, seed)));
+        world.install_obs(sink.clone());
+        MetricsHandle { sink }
+    }
+
     /// Install only if `observe` is set — the standard one-liner at the
     /// top of every `Scenario::run_with`.
     pub fn install_if(world: &mut World, observe: bool, scenario: &str, seed: u64) -> Option<Self> {
         observe.then(|| MetricsHandle::install(world, scenario, seed))
     }
 
+    /// Install only if `observe` is set, in streaming mode if `streaming`
+    /// is also set — the runtime harness's entrypoint, fed straight from
+    /// `RunOptions { observe, streaming_metrics, .. }`.
+    pub fn install_with(
+        world: &mut World,
+        observe: bool,
+        streaming: bool,
+        scenario: &str,
+        seed: u64,
+    ) -> Option<Self> {
+        observe.then(|| {
+            if streaming {
+                MetricsHandle::install_streaming(world, scenario, seed)
+            } else {
+                MetricsHandle::install(world, scenario, seed)
+            }
+        })
+    }
+
     /// Finalize: detach the sink from `world`, resolve entity names in
-    /// the knowledge timeline, and return the report.
+    /// the knowledge timeline (and the streaming knowledge table), and
+    /// return the report.
     pub fn finish(&self, world: &mut World) -> MetricsReport {
         world.clear_obs();
-        let mut report = self
+        let (mut report, counts) = self
             .sink
             .lock()
             .expect("metrics sink poisoned")
-            .take_report();
+            .take_parts();
+        // One pass over the entity list instead of a scan per record —
+        // finalization is O(entities + records) even for big worlds.
+        let names: BTreeMap<u64, String> = world
+            .entities()
+            .iter()
+            .map(|e| (e.id.0, e.name.clone()))
+            .collect();
+        let resolve = |id: u64| -> String {
+            names
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| format!("entity-{id}"))
+        };
         for rec in &mut report.knowledge {
-            let name = world
-                .entities()
-                .iter()
-                .find(|e| e.id.0 == rec.entity_id)
-                .map(|e| e.name.clone())
-                .unwrap_or_else(|| format!("entity-{}", rec.entity_id));
+            let name = resolve(rec.entity_id);
             *report.knowledge_by_entity.entry(name.clone()).or_insert(0) += 1;
             rec.entity = name;
+        }
+        for (id, n) in counts {
+            *report.knowledge_by_entity.entry(resolve(id)).or_insert(0) += n;
         }
         report
     }
@@ -297,6 +382,38 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    #[test]
+    fn streaming_sink_matches_itemised_aggregates_with_bounded_state() {
+        let run = |streaming: bool| {
+            let mut world = demo_world();
+            let handle =
+                MetricsHandle::install_with(&mut world, true, streaming, "demo", 9).unwrap();
+            let e = world.entity_by_name("Resolver").id;
+            for i in 0..50u64 {
+                world.set_obs_now(i);
+                world.crypto_op("aead_seal");
+                world.span("fetch", i, i + 10 + i % 3);
+                let user = world.add_user();
+                world.record(e, InfoItem::plain_data(user, DataKind::DnsQuery));
+            }
+            handle.finish(&mut world)
+        };
+        let full = run(false);
+        let lean = run(true);
+        // Aggregates agree exactly…
+        assert_eq!(lean.crypto_ops, full.crypto_ops);
+        assert_eq!(lean.span_stats, full.span_stats);
+        assert_eq!(lean.knowledge_by_entity, full.knowledge_by_entity);
+        assert_eq!(lean.span_count("fetch"), 50);
+        assert_eq!(lean.mean_span_us("fetch"), full.mean_span_us("fetch"));
+        assert_eq!(lean.sim_end_us, full.sim_end_us);
+        // …while the streaming report holds no per-event vectors.
+        assert_eq!(full.spans.len(), 50);
+        assert_eq!(full.knowledge.len(), 50);
+        assert!(lean.spans.is_empty());
+        assert!(lean.knowledge.is_empty());
     }
 
     #[test]

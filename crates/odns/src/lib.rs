@@ -27,6 +27,7 @@
 
 pub mod odns_name;
 pub mod odoh;
+pub mod population;
 pub mod scenario;
 
 pub use scenario::{

@@ -1,0 +1,84 @@
+//! Population-scale bridges for the three DNS wirings: ODoH, the
+//! coupled direct baseline, and legacy ODNS.
+
+use dcp_runtime::{PopulationScenario, Topology, WorldSpec};
+
+use crate::scenario::{DirectDns, DirectDnsConfig, OdnsLegacy, OdnsLegacyConfig, Odoh, OdohConfig};
+
+impl PopulationScenario for Odoh {
+    fn population_config(spec: &WorldSpec) -> OdohConfig {
+        OdohConfig::new(spec.users as usize, spec.queries_per_user() as usize)
+    }
+
+    fn topology() -> Topology {
+        Topology::odoh()
+    }
+}
+
+impl PopulationScenario for DirectDns {
+    fn population_config(spec: &WorldSpec) -> DirectDnsConfig {
+        // resolvers = 1: the coupled §5.1 baseline the decoupled runs
+        // are measured against.
+        DirectDnsConfig::new(spec.users as usize, spec.queries_per_user() as usize, 1)
+    }
+
+    fn topology() -> Topology {
+        Topology::direct()
+    }
+}
+
+impl PopulationScenario for OdnsLegacy {
+    fn population_config(spec: &WorldSpec) -> OdnsLegacyConfig {
+        OdnsLegacyConfig::new(spec.users as usize, spec.queries_per_user() as usize)
+    }
+
+    fn topology() -> Topology {
+        // Legacy ODNS rides an unmodified recursive: one relay hop, no
+        // batching, no padding beyond the obfuscated name.
+        let mut t = Topology::odoh();
+        t.scenario = "odns_legacy".to_string();
+        t.batch_window_us = 0;
+        t.pad_to = 0;
+        t.resolvers = 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dcp_core::ScenarioReport as _;
+    use dcp_runtime::{PopulationScenario, WorldSpec};
+
+    use crate::scenario::{DirectDns, Odoh};
+
+    #[test]
+    fn population_run_answers_every_query() {
+        let spec = WorldSpec::smoke()
+            .users(3)
+            .rate_hz(0.4)
+            .duration_us(5_000_000);
+        let per_user = spec.queries_per_user();
+        let report = Odoh::run_population(&spec, 31);
+        assert_eq!(report.completed_units(), 3 * per_user);
+        assert!(
+            report.trace.is_empty(),
+            "population profile drops the trace"
+        );
+        assert!(report.metrics.enabled);
+        assert!(
+            !report.metrics.span_stats.is_empty(),
+            "streamed aggregates survive"
+        );
+    }
+
+    #[test]
+    fn direct_baseline_couples_at_one_resolver() {
+        let spec = WorldSpec::smoke()
+            .users(2)
+            .rate_hz(0.4)
+            .duration_us(5_000_000);
+        let report = DirectDns::run_population(&spec, 37);
+        assert_eq!(report.resolver_views.len(), 1);
+        assert!(report.completed_units() > 0);
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod cellular;
+pub mod population;
 pub mod scenario;
 
 pub use scenario::{sweep, Mode, Pgpp, PgppConfig, PgppReport};

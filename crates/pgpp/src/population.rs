@@ -1,0 +1,45 @@
+//! Population-scale bridge: map a [`WorldSpec`] onto the PGPP cellular
+//! core and name its abstract decoupled-path topology.
+
+use dcp_runtime::{PopulationScenario, Topology, WorldSpec};
+
+use crate::scenario::{Mode, Pgpp, PgppConfig};
+
+impl PopulationScenario for Pgpp {
+    fn population_config(spec: &WorldSpec) -> PgppConfig {
+        let users = spec.users as usize;
+        PgppConfig {
+            mode: Mode::Pgpp,
+            users,
+            // Cell count grows with the population (≈√users) so towers
+            // stay contended but not degenerate.
+            cells: ((users as f64).sqrt().ceil() as usize).max(3),
+            epochs: 3,
+            moves_per_epoch: (spec.queries_per_user() as usize).max(1),
+            seed: 0, // replaced per run by `run_with`
+        }
+    }
+
+    fn topology() -> Topology {
+        Topology::pgpp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dcp_core::ScenarioReport as _;
+    use dcp_runtime::{PopulationScenario, WorldSpec};
+
+    use crate::scenario::Pgpp;
+
+    #[test]
+    fn population_run_moves_every_user() {
+        let spec = WorldSpec::smoke()
+            .users(6)
+            .rate_hz(0.4)
+            .duration_us(5_000_000);
+        let report = Pgpp::run_population(&spec, 19);
+        assert!(report.completed_units() > 0);
+        assert!(report.metrics.enabled);
+    }
+}

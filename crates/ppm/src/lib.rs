@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod field;
+pub mod population;
 pub mod prio;
 pub mod scenario;
 

@@ -1,0 +1,37 @@
+//! Population-scale bridge: map a [`WorldSpec`] onto Prio-style split
+//! aggregation and name its abstract decoupled-path topology.
+
+use dcp_runtime::{PopulationScenario, Topology, WorldSpec};
+
+use crate::scenario::{Ppm, PpmConfig};
+
+impl PopulationScenario for Ppm {
+    fn population_config(spec: &WorldSpec) -> PpmConfig {
+        PpmConfig {
+            clients: spec.users as usize,
+            bits: 8,
+            malicious: 0,
+            seed: 0, // replaced per run by `run_with`
+        }
+    }
+
+    fn topology() -> Topology {
+        Topology::ppm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dcp_core::ScenarioReport as _;
+    use dcp_runtime::{PopulationScenario, WorldSpec};
+
+    use crate::scenario::Ppm;
+
+    #[test]
+    fn population_run_aggregates_every_client() {
+        let spec = WorldSpec::smoke().users(9);
+        let report = Ppm::run_population(&spec, 23);
+        assert_eq!(report.completed_units(), 9);
+        assert!(report.metrics.enabled);
+    }
+}

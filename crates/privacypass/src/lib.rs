@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod cacti;
+pub mod population;
 pub mod protocol;
 pub mod scenario;
 

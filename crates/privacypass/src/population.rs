@@ -1,0 +1,39 @@
+//! Population-scale bridge: map a [`WorldSpec`] onto Privacy Pass
+//! issuance/redemption and name its abstract decoupled-path topology.
+
+use dcp_runtime::{PopulationScenario, Topology, WorldSpec};
+
+use crate::scenario::{Privacypass, PrivacypassConfig};
+
+impl PopulationScenario for Privacypass {
+    fn population_config(spec: &WorldSpec) -> PrivacypassConfig {
+        // One issuance batch covers at most 4 redemptions — a protocol
+        // bound, not a population cap, so clamp *visibly* here.
+        let fetches = (spec.queries_per_user() as usize).min(4);
+        PrivacypassConfig::new(spec.users as usize, fetches)
+    }
+
+    fn topology() -> Topology {
+        Topology::privacypass()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dcp_core::ScenarioReport as _;
+    use dcp_runtime::{PopulationScenario, WorldSpec};
+
+    use crate::scenario::Privacypass;
+
+    #[test]
+    fn population_run_redeems_for_every_client() {
+        let spec = WorldSpec::smoke()
+            .users(4)
+            .rate_hz(0.4)
+            .duration_us(5_000_000);
+        let report = Privacypass::run_population(&spec, 29);
+        assert_eq!(report.completed_units(), 4 * 2);
+        assert!(report.trace.is_empty());
+        assert!(report.metrics.enabled);
+    }
+}

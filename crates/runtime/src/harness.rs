@@ -31,6 +31,8 @@ pub struct Harness {
     seed: u64,
     faults: FaultConfig,
     obs: Option<MetricsHandle>,
+    queue: dcp_core::QueueKind,
+    record_trace: bool,
 }
 
 impl Harness {
@@ -39,21 +41,32 @@ impl Harness {
     /// then call [`network`](Harness::network).
     pub fn begin(name: &'static str, seed: u64, opts: &RunOptions) -> (World, Harness) {
         let mut world = World::new();
-        let obs = MetricsHandle::install_if(&mut world, opts.observe, name, seed);
+        let obs = MetricsHandle::install_with(
+            &mut world,
+            opts.observe,
+            opts.streaming_metrics,
+            name,
+            seed,
+        );
         (
             world,
             Harness {
                 seed,
                 faults: opts.faults.clone(),
                 obs,
+                queue: opts.queue,
+                record_trace: opts.record_trace,
             },
         )
     }
 
     /// Build the simulator over the prepared world: default link set,
-    /// fault injection armed from the run seed.
+    /// fault injection armed from the run seed, event queue and trace
+    /// recording per the run's [`RunOptions`].
     pub fn network(&self, world: World, link: LinkParams) -> Network {
         let mut net = Network::new(world, self.seed);
+        net.set_queue_kind(self.queue);
+        net.set_trace_recording(self.record_trace);
         net.set_default_link(link);
         net.enable_faults(self.faults.clone(), self.seed);
         net

@@ -56,3 +56,4 @@ pub use dcp_recover::{
 pub use dcp_simnet::{
     Ctx, LinkParams, Message, Network, Node, NodeId, PacketRecord, SimTime, Tap, Trace,
 };
+pub use dcp_worlds::{PopulationScenario, Topology, WorkloadBuilder, WorldSpec};

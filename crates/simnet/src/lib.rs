@@ -27,10 +27,12 @@
 pub mod net;
 pub mod node;
 pub mod record;
+pub mod wheel;
 
 pub use net::{LinkParams, Network, Tap};
 pub use node::{Ctx, Message, Node, NodeId};
 pub use record::{PacketRecord, Trace};
+pub use wheel::TimerWheel;
 
 /// Simulated time in microseconds since simulation start.
 #[derive(

@@ -4,13 +4,14 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use dcp_core::obs::ObsEvent;
-use dcp_core::{EntityId, World};
+use dcp_core::{EntityId, QueueKind, World};
 use dcp_faults::{buggify, FaultConfig, FaultKind, FaultLog, Injector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::node::{Ctx, Message, Node, NodeId};
 use crate::record::{PacketRecord, Trace};
+use crate::wheel::TimerWheel;
 use crate::SimTime;
 
 /// Propagation characteristics of a (directed) link.
@@ -106,6 +107,61 @@ impl Ord for Event {
     }
 }
 
+/// The event queue behind one of two interchangeable engines. Both pop
+/// in ascending `(time, seq)` order; the queue-swap equivalence gate
+/// (tests/queue_equivalence.rs) byte-diffs DST probe JSON across the two
+/// to prove it.
+enum EventQueue {
+    /// Hierarchical timer wheel — O(1) amortised, the default.
+    Wheel(TimerWheel<(NodeId, EventKind)>),
+    /// The original binary heap — the reference implementation.
+    Heap(BinaryHeap<Reverse<Event>>),
+}
+
+impl EventQueue {
+    fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::TimerWheel => EventQueue::Wheel(TimerWheel::new()),
+            QueueKind::BinaryHeap => EventQueue::Heap(BinaryHeap::new()),
+        }
+    }
+
+    fn push(&mut self, e: Event) {
+        match self {
+            EventQueue::Wheel(w) => w.push(e.time.as_us(), e.seq, (e.target, e.kind)),
+            EventQueue::Heap(h) => h.push(Reverse(e)),
+        }
+    }
+
+    /// The earliest queued event's time (its own time, even if it was
+    /// scheduled behind the frontier).
+    fn peek_time(&mut self) -> Option<SimTime> {
+        match self {
+            EventQueue::Wheel(w) => w.peek_time().map(SimTime),
+            EventQueue::Heap(h) => h.peek().map(|Reverse(e)| e.time),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Wheel(w) => w.pop().map(|(time, seq, (target, kind))| Event {
+                time: SimTime(time),
+                seq,
+                target,
+                kind,
+            }),
+            EventQueue::Heap(h) => h.pop().map(|Reverse(e)| e),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            EventQueue::Wheel(w) => w.is_empty(),
+            EventQueue::Heap(h) => h.is_empty(),
+        }
+    }
+}
+
 /// The simulator: nodes, links, taps, the shared [`World`], and an event
 /// queue with a total deterministic order.
 pub struct Network {
@@ -114,11 +170,14 @@ pub struct Network {
     links: HashMap<(NodeId, NodeId), LinkParams>,
     default_link: LinkParams,
     taps: Vec<Tap>,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue,
     seq: u64,
     now: SimTime,
     world: World,
     trace: Trace,
+    /// Record per-packet [`PacketRecord`]s (default on). Population runs
+    /// opt out: at 10⁸ events the trace *is* the memory bound.
+    record_trace: bool,
     rng: StdRng,
     started: bool,
     /// The fault injector, when enabled. It owns its own RNG so that a
@@ -143,11 +202,12 @@ impl Network {
             links: HashMap::new(),
             default_link: LinkParams::default(),
             taps: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(QueueKind::default()),
             seq: 0,
             now: SimTime::ZERO,
             world,
             trace: Trace::default(),
+            record_trace: true,
             rng: StdRng::seed_from_u64(seed),
             started: false,
             faults: None,
@@ -164,6 +224,26 @@ impl Network {
         self.down_until.push(SimTime::ZERO);
         self.relays.push(false);
         id
+    }
+
+    /// Select the event-queue implementation. Must be called before any
+    /// event is scheduled — the two engines hold state differently, so a
+    /// mid-run swap has no meaning.
+    ///
+    /// # Panics
+    /// If events are already queued.
+    pub fn set_queue_kind(&mut self, kind: QueueKind) {
+        assert!(
+            self.queue.is_empty(),
+            "queue kind must be chosen before scheduling events"
+        );
+        self.queue = EventQueue::new(kind);
+    }
+
+    /// Enable or disable per-packet trace recording (default on).
+    /// Disabling it empties nothing retroactively — call before the run.
+    pub fn set_trace_recording(&mut self, on: bool) {
+        self.record_trace = on;
     }
 
     /// Enable fault injection for this run. `seed` should be derived from
@@ -269,7 +349,7 @@ impl Network {
     /// stays exact.
     pub fn into_parts(mut self) -> (World, Trace) {
         if self.world.obs_enabled() {
-            while let Some(Reverse(event)) = self.queue.pop() {
+            while let Some(event) = self.queue.pop() {
                 if let EventKind::Deliver { ref msg, .. } = event.kind {
                     self.world.emit_at(
                         event.time.as_us(),
@@ -297,12 +377,12 @@ impl Network {
             );
         }
         let seq = self.bump_seq();
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             time: at,
             seq,
             target,
             kind: EventKind::Deliver { from: target, msg },
-        }));
+        });
     }
 
     /// Wire-drop accounting: the copy was offered to the wire and lost,
@@ -326,12 +406,12 @@ impl Network {
     /// Schedule a timer for `target` at absolute time `at`.
     pub fn post_timer_at(&mut self, target: NodeId, token: u64, at: SimTime) {
         let seq = self.bump_seq();
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             time: at,
             seq,
             target,
             kind: EventKind::Timer { token },
-        }));
+        });
     }
 
     fn bump_seq(&mut self) -> u64 {
@@ -362,11 +442,11 @@ impl Network {
     pub fn run_until(&mut self, deadline: SimTime) -> usize {
         self.start_if_needed();
         let mut processed = 0;
-        while let Some(time) = self.queue.peek().map(|Reverse(e)| e.time) {
+        while let Some(time) = self.queue.peek_time() {
             if time > deadline {
                 break;
             }
-            let Reverse(event) = self.queue.pop().unwrap();
+            let event = self.queue.pop().unwrap();
             self.now = event.time;
             self.world.set_obs_now(self.now.as_us());
 
@@ -643,14 +723,16 @@ impl Network {
                         bytes: size,
                     });
                 }
-                self.trace.push(PacketRecord {
-                    send_time: self.now,
-                    deliver_time,
-                    src: from,
-                    dst: to,
-                    size,
-                    true_flow: flow,
-                });
+                if self.record_trace {
+                    self.trace.push(PacketRecord {
+                        send_time: self.now,
+                        deliver_time,
+                        src: from,
+                        dst: to,
+                        size,
+                        true_flow: flow,
+                    });
+                }
 
                 // Move the message into the last copy; clone only when a
                 // duplicate fault actually fired.
@@ -660,22 +742,22 @@ impl Network {
                     msg.as_ref().expect("message already sent").clone()
                 };
                 let seq = self.bump_seq();
-                self.queue.push(Reverse(Event {
+                self.queue.push(Event {
                     time: deliver_time,
                     seq,
                     target: to,
                     kind: EventKind::Deliver { from, msg: payload },
-                }));
+                });
             }
         }
         for (at, token) in timers {
             let seq = self.bump_seq();
-            self.queue.push(Reverse(Event {
+            self.queue.push(Event {
                 time: at,
                 seq,
                 target: from,
                 kind: EventKind::Timer { token },
-            }));
+            });
         }
     }
 }
@@ -1082,6 +1164,93 @@ mod tests {
         net.world_mut()
             .observe(ea, &dcp_core::Label::item(item.clone()).sealed(key));
         assert!(net.world().ledger(ea).contains(&item));
+    }
+
+    #[test]
+    fn heap_and_wheel_queues_produce_identical_runs() {
+        // Same seed, same chaos preset, both queue engines: the trace and
+        // fault log must match event for event. (The workspace-level
+        // equivalence gate does this over full DST probe batteries; this
+        // is the fast in-crate canary.)
+        let run = |kind: QueueKind| {
+            let (world, ea, eb) = two_entity_world();
+            let mut net = Network::new(world, 13);
+            net.set_queue_kind(kind);
+            net.enable_faults(FaultConfig::chaos(), 13);
+            net.set_default_link(LinkParams {
+                latency_us: 1000,
+                jitter_us: 700,
+                bytes_per_us: 125,
+            });
+            let echo = net.add_node(Box::new(Echo {
+                entity: eb,
+                echoed: 0,
+            }));
+            let ping = net.add_node(Box::new(Pinger {
+                entity: ea,
+                peer: echo,
+                replies: 0,
+                sent_at: None,
+                rtt: None,
+            }));
+            for i in 0..300 {
+                net.post_at(ping, Message::public(vec![0; 64]), SimTime(i * 977));
+            }
+            let events = net.run();
+            (
+                events,
+                net.fault_log(),
+                net.trace().records().to_vec(),
+                net.now(),
+            )
+        };
+        let wheel = run(QueueKind::TimerWheel);
+        let heap = run(QueueKind::BinaryHeap);
+        assert_eq!(wheel.0, heap.0, "event counts");
+        assert_eq!(wheel.1, heap.1, "fault logs");
+        assert_eq!(wheel.2, heap.2, "packet traces");
+        assert_eq!(wheel.3, heap.3, "final clocks");
+    }
+
+    #[test]
+    #[should_panic(expected = "before scheduling")]
+    fn queue_kind_cannot_change_mid_flight() {
+        let (world, _ea, eb) = two_entity_world();
+        let mut net = Network::new(world, 1);
+        let echo = net.add_node(Box::new(Echo {
+            entity: eb,
+            echoed: 0,
+        }));
+        net.post_at(echo, Message::public(vec![1]), SimTime(0));
+        net.set_queue_kind(QueueKind::BinaryHeap);
+    }
+
+    #[test]
+    fn trace_opt_out_records_nothing_but_run_is_unchanged() {
+        let run = |record: bool| {
+            let (world, ea, eb) = two_entity_world();
+            let mut net = Network::new(world, 21);
+            net.set_trace_recording(record);
+            let echo = net.add_node(Box::new(Echo {
+                entity: eb,
+                echoed: 0,
+            }));
+            let _p = net.add_node(Box::new(Pinger {
+                entity: ea,
+                peer: echo,
+                replies: 0,
+                sent_at: None,
+                rtt: None,
+            }));
+            let events = net.run();
+            (events, net.now(), net.trace().len())
+        };
+        let (ev_on, now_on, len_on) = run(true);
+        let (ev_off, now_off, len_off) = run(false);
+        assert_eq!(ev_on, ev_off, "recording is observation, not behavior");
+        assert_eq!(now_on, now_off);
+        assert_eq!(len_on, 2);
+        assert_eq!(len_off, 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod population;
 pub mod scenario;
 
 pub use scenario::{sweep, sweep_ech, Ech, EchConfig, EchReport, Vpn, VpnConfig, VpnReport};

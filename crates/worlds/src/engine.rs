@@ -1,0 +1,854 @@
+//! The population engine: a compact discrete-event model of a decoupled
+//! query path, built to push 10⁶ users / 10⁸ events through one host
+//! with bounded memory.
+//!
+//! The full simulator (`dcp-simnet`) runs real protocol bytes through
+//! boxed nodes — the right tool for correctness, too heavy for
+//! population-scale measurement. This engine keeps the same event
+//! discipline (the shared [`TimerWheel`], a `(time, seq)` total order, a
+//! serializable RNG) but models the *architecture* of a decoupled path:
+//!
+//! ```text
+//! users → ingress relay(s) (batching) → relay hops → striped resolvers
+//!       ←            responses, padded           ←
+//! ```
+//!
+//! and folds, as it goes, exactly the paper's §4–5 population measures:
+//!
+//! * **anonymity-set size vs. batch window** — distinct users per
+//!   ingress batch (§4.3: batching is what buys metadata privacy);
+//! * **linkage success vs. padding** — a response is linkable when its
+//!   padded size is unique among in-flight responses (§4.3 traffic
+//!   analysis);
+//! * **per-resolver knowledge vs. striping** — what fraction of the user
+//!   population each resolver sees, and how much of one user's query
+//!   stream the busiest resolver for that user captures (§5's "limits
+//!   how much any single entity learns").
+//!
+//! Every per-event cost is O(1) on compact state (counters, histograms,
+//! bitsets) — no per-event allocation survives the event.
+
+use serde::Serialize;
+
+use dcp_simnet::TimerWheel;
+
+use crate::gen::Workload;
+use crate::rng::SplitMix64;
+use crate::spec::{WorkloadBuilder, WorldSpec};
+
+/// The abstract shape of one decoupled query path — which of the nine
+/// wirings a population run is modelling.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Topology {
+    /// Wiring name (matches the scenario crate).
+    pub scenario: String,
+    /// Relay hops between client and resolver (0 = direct).
+    pub hops: u32,
+    /// Ingress relays (the batching points). Ignored when `hops == 0`.
+    pub ingresses: u32,
+    /// Ingress batch window, µs (0 = no batching).
+    pub batch_window_us: u64,
+    /// Pad query/response sizes up to a multiple of this (0 = no
+    /// padding).
+    pub pad_to: u64,
+    /// Resolver/service instances queries are striped over.
+    pub resolvers: u32,
+    /// Stripe by query name (true) or by user (false).
+    pub stripe_by_name: bool,
+    /// Per-hop one-way latency, µs.
+    pub link_us: u64,
+    /// Base query size, bytes.
+    pub query_bytes: u64,
+    /// Base response size, bytes.
+    pub resp_bytes: u64,
+}
+
+impl Topology {
+    fn named(scenario: &str) -> Topology {
+        Topology {
+            scenario: scenario.to_string(),
+            hops: 1,
+            ingresses: 1,
+            batch_window_us: 0,
+            pad_to: 0,
+            resolvers: 1,
+            stripe_by_name: true,
+            link_us: 10_000,
+            query_bytes: 128,
+            resp_bytes: 256,
+        }
+    }
+
+    /// Oblivious DoH: client → proxy (batching) → striped target
+    /// resolvers, padded DNS messages.
+    pub fn odoh() -> Topology {
+        Topology {
+            hops: 1,
+            ingresses: 2,
+            batch_window_us: 5_000,
+            pad_to: 128,
+            resolvers: 2,
+            stripe_by_name: true,
+            query_bytes: 64,
+            resp_bytes: 196,
+            ..Topology::named("odoh")
+        }
+    }
+
+    /// A 3-hop mix cascade with heavy batching and uniform padding.
+    pub fn mixnet() -> Topology {
+        Topology {
+            hops: 3,
+            ingresses: 1,
+            batch_window_us: 20_000,
+            pad_to: 512,
+            resolvers: 1,
+            link_us: 15_000,
+            query_bytes: 256,
+            resp_bytes: 256,
+            ..Topology::named("mixnet")
+        }
+    }
+
+    /// Multi-Party Relay: two non-colluding hops, egress striped wide.
+    pub fn mpr() -> Topology {
+        Topology {
+            hops: 2,
+            ingresses: 2,
+            batch_window_us: 2_000,
+            pad_to: 256,
+            resolvers: 4,
+            link_us: 8_000,
+            query_bytes: 200,
+            resp_bytes: 600,
+            ..Topology::named("mpr")
+        }
+    }
+
+    /// Trusted-relay VPN: one hop, no padding, one egress.
+    pub fn vpn() -> Topology {
+        Topology {
+            hops: 1,
+            ingresses: 1,
+            batch_window_us: 0,
+            pad_to: 0,
+            resolvers: 1,
+            query_bytes: 180,
+            resp_bytes: 800,
+            ..Topology::named("vpn")
+        }
+    }
+
+    /// The coupled baseline: clients talk straight to one resolver.
+    pub fn direct() -> Topology {
+        Topology {
+            hops: 0,
+            ingresses: 0,
+            batch_window_us: 0,
+            pad_to: 0,
+            resolvers: 1,
+            query_bytes: 64,
+            resp_bytes: 196,
+            ..Topology::named("direct")
+        }
+    }
+
+    /// PGPP-style cellular core: gateway batching, identity stripped,
+    /// backends striped by user-session.
+    pub fn pgpp() -> Topology {
+        Topology {
+            hops: 1,
+            ingresses: 4,
+            batch_window_us: 10_000,
+            pad_to: 64,
+            resolvers: 4,
+            stripe_by_name: false,
+            query_bytes: 96,
+            resp_bytes: 96,
+            ..Topology::named("pgpp")
+        }
+    }
+
+    /// PPM-style split aggregation: leader batches reports toward two
+    /// helper shares.
+    pub fn ppm() -> Topology {
+        Topology {
+            hops: 1,
+            ingresses: 1,
+            batch_window_us: 50_000,
+            pad_to: 128,
+            resolvers: 2,
+            stripe_by_name: false,
+            query_bytes: 160,
+            resp_bytes: 32,
+            ..Topology::named("ppm")
+        }
+    }
+
+    /// Privacy Pass issuance/redemption through an edge.
+    pub fn privacypass() -> Topology {
+        Topology {
+            hops: 1,
+            ingresses: 1,
+            batch_window_us: 0,
+            pad_to: 64,
+            resolvers: 2,
+            query_bytes: 96,
+            resp_bytes: 96,
+            ..Topology::named("privacypass")
+        }
+    }
+
+    /// Blind-signature cash: mint and merchants behind one relay hop.
+    pub fn blindcash() -> Topology {
+        Topology {
+            hops: 1,
+            ingresses: 1,
+            batch_window_us: 1_000,
+            pad_to: 256,
+            resolvers: 2,
+            query_bytes: 300,
+            resp_bytes: 300,
+            ..Topology::named("blindcash")
+        }
+    }
+
+    /// Look a preset up by scenario name (the bench CLI's `--preset`).
+    pub fn by_name(name: &str) -> Option<Topology> {
+        Some(match name {
+            "odoh" => Topology::odoh(),
+            "mixnet" => Topology::mixnet(),
+            "mpr" => Topology::mpr(),
+            "vpn" => Topology::vpn(),
+            "direct" => Topology::direct(),
+            "pgpp" => Topology::pgpp(),
+            "ppm" => Topology::ppm(),
+            "privacypass" => Topology::privacypass(),
+            "blindcash" => Topology::blindcash(),
+            _ => return None,
+        })
+    }
+
+    /// All preset names, in a stable order.
+    pub fn preset_names() -> &'static [&'static str] {
+        &[
+            "odoh",
+            "mixnet",
+            "mpr",
+            "vpn",
+            "direct",
+            "pgpp",
+            "ppm",
+            "privacypass",
+            "blindcash",
+        ]
+    }
+
+    fn pad(&self, size: u64) -> u64 {
+        if self.pad_to == 0 {
+            size
+        } else {
+            size.div_ceil(self.pad_to) * self.pad_to
+        }
+    }
+}
+
+/// One queued engine event. Kept small (≤ 24 bytes of payload): the
+/// wheel holds about one pending arrival per user plus in-flight
+/// packets, and this type *is* the queue's memory footprint.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum PopEvent {
+    /// `user` issues their next query now.
+    Arrival { user: u32 },
+    /// A query travelling up, about to arrive at path element `hop`
+    /// (elements `0..hops` are relays; element `hops` is the resolver).
+    Up {
+        user: u32,
+        name: u32,
+        size: u32,
+        hop: u8,
+        sent_us: u64,
+    },
+    /// A response travelling down; `hop` is the number of hops left
+    /// (`0` = arriving at the client).
+    Down {
+        user: u32,
+        size: u32,
+        hop: u8,
+        sent_us: u64,
+    },
+    /// Ingress `ingress` flushes its batch now.
+    Flush { ingress: u32 },
+}
+
+/// Streaming statistics — all bounded: counters, fixed histograms, one
+/// bitset and two small count vectors over the user population.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub(crate) struct Stats {
+    pub queries_sent: u64,
+    pub queries_answered: u64,
+    pub messages: u64,
+    pub batches: u64,
+    pub batch_users_sum: u64,
+    /// log₂ buckets of distinct users per batch: `[1, 2, 4, …, ≥2¹⁵]`.
+    pub anon_hist: Vec<u64>,
+    pub linkage_attempts: u64,
+    pub linkage_linked: u64,
+    /// log₂ buckets of end-to-end latency in ms.
+    pub latency_hist: Vec<u64>,
+    pub latency_sum_us: u64,
+    /// Per-resolver query counts.
+    pub resolver_queries: Vec<u64>,
+    /// Per-resolver seen-user bitsets (`users/64` words each).
+    pub resolver_seen: Vec<Vec<u64>>,
+    /// `users × resolvers` per-user-per-resolver query counts.
+    pub per_user_resolver: Vec<u32>,
+    /// Per-user total queries.
+    pub per_user_queries: Vec<u32>,
+    /// In-flight responses by padded size — the linkage observer's view.
+    pub inflight_sizes: std::collections::BTreeMap<u32, u32>,
+}
+
+const ANON_BUCKETS: usize = 16;
+const LATENCY_BUCKETS: usize = 20;
+
+impl Stats {
+    fn new(users: usize, resolvers: usize) -> Stats {
+        Stats {
+            anon_hist: vec![0; ANON_BUCKETS],
+            latency_hist: vec![0; LATENCY_BUCKETS],
+            resolver_queries: vec![0; resolvers],
+            resolver_seen: vec![vec![0u64; users.div_ceil(64)]; resolvers],
+            per_user_resolver: vec![0; users * resolvers],
+            per_user_queries: vec![0; users],
+            ..Stats::default()
+        }
+    }
+}
+
+fn log2_bucket(v: u64, buckets: usize) -> usize {
+    ((64 - v.max(1).leading_zeros()) as usize - 1).min(buckets - 1)
+}
+
+/// The final report of one population run: the spec and topology it ran,
+/// exact event/message accounting, and the three §4–5 population
+/// measures. A pure function of `(spec, topology, seed)` — byte-stable
+/// JSON, which is what the checkpoint/resume gate diffs.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct PopReport {
+    /// The topology preset this world modelled.
+    pub scenario: String,
+    /// Run seed.
+    pub seed: u64,
+    /// User population.
+    pub users: u64,
+    /// Simulated duration that was configured, µs.
+    pub duration_us: u64,
+    /// Sim-time of the last processed event, µs.
+    pub final_time_us: u64,
+    /// Events popped from the wheel.
+    pub events: u64,
+    /// Protocol messages carried (each scheduled hop transit).
+    pub messages: u64,
+    /// Queries issued by users.
+    pub queries_sent: u64,
+    /// Responses delivered back to users.
+    pub queries_answered: u64,
+    /// Ingress batches flushed.
+    pub batches: u64,
+    /// Mean distinct users per batch — the anonymity-set size.
+    pub mean_anonymity_set: f64,
+    /// log₂ histogram of batch anonymity-set sizes (`[1,2),[2,4),…`).
+    pub anonymity_set_hist: Vec<u64>,
+    /// Size-uniqueness linkage attempts (= deliveries observed).
+    pub linkage_attempts: u64,
+    /// Deliveries whose padded size was unique in flight — linkable.
+    pub linkage_linked: u64,
+    /// `linkage_linked / linkage_attempts` (0 when no deliveries).
+    pub linkage_rate: f64,
+    /// Resolver instances.
+    pub resolvers: u32,
+    /// Mean over resolvers of (fraction of user population seen).
+    pub resolver_user_coverage: f64,
+    /// Mean over active users of (share of that user's queries at the
+    /// user's busiest resolver) — 1.0 means no striping benefit.
+    pub max_resolver_share: f64,
+    /// log₂ histogram of end-to-end latency in ms.
+    pub latency_hist_ms: Vec<u64>,
+    /// Mean end-to-end latency, µs.
+    pub mean_latency_us: f64,
+}
+
+/// The population engine: the timer wheel, the seeded workload, compact
+/// streaming stats, and (via [`checkpoint`](crate::checkpoint)) a
+/// serializable snapshot of all of it.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    pub(crate) spec: WorldSpec,
+    pub(crate) topo: Topology,
+    pub(crate) seed: u64,
+    pub(crate) workload: Workload,
+    pub(crate) wheel: TimerWheel<PopEvent>,
+    pub(crate) rng: SplitMix64,
+    pub(crate) now_us: u64,
+    pub(crate) next_seq: u64,
+    pub(crate) events: u64,
+    pub(crate) stats: Stats,
+    /// Per-ingress batch buffers: `(user, name, size, sent_us)`.
+    pub(crate) batches: Vec<Vec<(u32, u32, u32, u64)>>,
+}
+
+impl Engine {
+    /// Build a world and schedule every user's first arrival.
+    pub fn new(spec: &WorldSpec, topo: &Topology, seed: u64) -> Result<Engine, String> {
+        let mut e = Engine::empty(spec, topo, seed)?;
+        let mut rng = e.rng.clone();
+        for user in 0..e.spec.users as u32 {
+            if let Some(t) = e.workload.next_arrival_us(user, 0, &mut rng) {
+                if t < e.spec.duration_us {
+                    e.schedule(t, PopEvent::Arrival { user });
+                }
+            }
+        }
+        e.rng = rng;
+        Ok(e)
+    }
+
+    /// A world with *no* scheduled events — the checkpoint restore path,
+    /// which overlays queue and state from the snapshot.
+    pub(crate) fn empty(spec: &WorldSpec, topo: &Topology, seed: u64) -> Result<Engine, String> {
+        if topo.resolvers == 0 {
+            return Err("topology needs at least one resolver".into());
+        }
+        if topo.hops > 0 && topo.ingresses == 0 {
+            return Err("relayed topology needs at least one ingress".into());
+        }
+        if spec.users > u32::MAX as u64 || spec.names > u32::MAX as u64 {
+            return Err("population exceeds u32 index space".into());
+        }
+        let workload = WorkloadBuilder::new(spec).build()?;
+        Ok(Engine {
+            spec: spec.clone(),
+            topo: topo.clone(),
+            seed,
+            workload,
+            wheel: TimerWheel::new(),
+            rng: SplitMix64::new(seed),
+            now_us: 0,
+            next_seq: 0,
+            events: 0,
+            stats: Stats::new(spec.users as usize, topo.resolvers as usize),
+            batches: vec![Vec::new(); topo.ingresses as usize],
+        })
+    }
+
+    fn schedule(&mut self, t: u64, ev: PopEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.wheel.push(t, seq, ev);
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Current simulated time, µs.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    /// Pending events (≈ one arrival per active user + packets in
+    /// flight).
+    pub fn pending(&self) -> usize {
+        self.wheel.len()
+    }
+
+    /// Process events until the queue drains or `max_events` have been
+    /// processed *in total* (across resumes). Returns `true` when the
+    /// world ran to quiescence.
+    pub fn run_until_events(&mut self, max_events: u64) -> bool {
+        while self.events < max_events {
+            let Some((t, _seq, ev)) = self.wheel.pop() else {
+                return true;
+            };
+            self.now_us = t;
+            self.events += 1;
+            self.handle(ev);
+        }
+        self.wheel.is_empty()
+    }
+
+    /// Run to quiescence.
+    pub fn run_to_end(&mut self) {
+        self.run_until_events(u64::MAX);
+    }
+
+    fn handle(&mut self, ev: PopEvent) {
+        match ev {
+            PopEvent::Arrival { user } => self.on_arrival(user),
+            PopEvent::Up {
+                user,
+                name,
+                size,
+                hop,
+                sent_us,
+            } => self.on_up(user, name, size, hop, sent_us),
+            PopEvent::Down {
+                user,
+                size,
+                hop,
+                sent_us,
+            } => self.on_down(user, size, hop, sent_us),
+            PopEvent::Flush { ingress } => self.on_flush(ingress),
+        }
+    }
+
+    fn on_arrival(&mut self, user: u32) {
+        // Issue one query…
+        let mut rng = std::mem::replace(&mut self.rng, SplitMix64::new(0));
+        let name = self.workload.sample_name(&mut rng);
+        let next = self.workload.next_arrival_us(user, self.now_us, &mut rng);
+        self.rng = rng;
+
+        let jitter = (name as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58; // 0..64
+        let size = self.topo.pad(self.topo.query_bytes + jitter) as u32;
+        self.stats.queries_sent += 1;
+        self.stats.per_user_queries[user as usize] += 1;
+        self.send_up(user, name, size, 0, self.now_us);
+
+        // …and book the next one while the workload window is open.
+        if let Some(t) = next {
+            if t < self.spec.duration_us {
+                self.schedule(t, PopEvent::Arrival { user });
+            }
+        }
+    }
+
+    /// Put a query on the wire toward path element `hop`.
+    fn send_up(&mut self, user: u32, name: u32, size: u32, hop: u8, sent_us: u64) {
+        self.stats.messages += 1;
+        let at = self.now_us.saturating_add(self.topo.link_us);
+        self.schedule(
+            at,
+            PopEvent::Up {
+                user,
+                name,
+                size,
+                hop,
+                sent_us,
+            },
+        );
+    }
+
+    fn on_up(&mut self, user: u32, name: u32, size: u32, hop: u8, sent_us: u64) {
+        let hops = self.topo.hops as u8;
+        if hop < hops {
+            // A relay. The ingress (hop 0) batches when configured.
+            if hop == 0 && self.topo.batch_window_us > 0 {
+                let ingress = (user % self.topo.ingresses) as usize;
+                self.batches[ingress].push((user, name, size, sent_us));
+                if self.batches[ingress].len() == 1 {
+                    let at = self.now_us.saturating_add(self.topo.batch_window_us);
+                    self.schedule(
+                        at,
+                        PopEvent::Flush {
+                            ingress: ingress as u32,
+                        },
+                    );
+                }
+            } else {
+                self.send_up(user, name, size, hop + 1, sent_us);
+            }
+        } else {
+            // The resolver stripe.
+            let key = if self.topo.stripe_by_name { name } else { user };
+            let r = (key % self.topo.resolvers) as usize;
+            self.stats.resolver_queries[r] += 1;
+            self.stats.resolver_seen[r][user as usize / 64] |= 1u64 << (user % 64);
+            self.stats.per_user_resolver[user as usize * self.topo.resolvers as usize + r] += 1;
+
+            let jitter = (name as u64).wrapping_mul(0xD1B5_4A32_D192_ED03) >> 56; // 0..256
+            let rsize = self.topo.pad(self.topo.resp_bytes + jitter) as u32;
+            *self.stats.inflight_sizes.entry(rsize).or_insert(0) += 1;
+            self.stats.messages += 1;
+            let at = self.now_us.saturating_add(self.topo.link_us);
+            self.schedule(
+                at,
+                PopEvent::Down {
+                    user,
+                    size: rsize,
+                    hop: hops,
+                    sent_us,
+                },
+            );
+        }
+    }
+
+    fn on_down(&mut self, user: u32, size: u32, hop: u8, sent_us: u64) {
+        if hop == 0 {
+            // Delivered to the client: latency + the padding-linkage
+            // measure (a response whose padded size is unique among
+            // in-flight responses is trivially linkable by size).
+            self.stats.queries_answered += 1;
+            let latency = self.now_us.saturating_sub(sent_us);
+            self.stats.latency_sum_us += latency;
+            self.stats.latency_hist[log2_bucket(latency / 1000, LATENCY_BUCKETS)] += 1;
+
+            self.stats.linkage_attempts += 1;
+            match self.stats.inflight_sizes.get_mut(&size) {
+                Some(n) if *n > 1 => *n -= 1,
+                _ => {
+                    self.stats.inflight_sizes.remove(&size);
+                    self.stats.linkage_linked += 1;
+                }
+            }
+        } else {
+            self.stats.messages += 1;
+            let at = self.now_us.saturating_add(self.topo.link_us);
+            self.schedule(
+                at,
+                PopEvent::Down {
+                    user,
+                    size,
+                    hop: hop - 1,
+                    sent_us,
+                },
+            );
+        }
+    }
+
+    fn on_flush(&mut self, ingress: u32) {
+        let batch = std::mem::take(&mut self.batches[ingress as usize]);
+        if batch.is_empty() {
+            return;
+        }
+        // Anonymity set = distinct users in the batch.
+        let mut users: Vec<u32> = batch.iter().map(|&(u, ..)| u).collect();
+        users.sort_unstable();
+        users.dedup();
+        let distinct = users.len() as u64;
+        self.stats.batches += 1;
+        self.stats.batch_users_sum += distinct;
+        self.stats.anon_hist[log2_bucket(distinct, ANON_BUCKETS)] += 1;
+        for (user, name, size, sent_us) in batch {
+            self.send_up(user, name, size, 1, sent_us);
+        }
+    }
+
+    /// The final (or in-progress) report. Deterministic: a pure fold of
+    /// the processed event prefix.
+    pub fn report(&self) -> PopReport {
+        let s = &self.stats;
+        let users = self.spec.users.max(1);
+        let coverage = if s.resolver_seen.is_empty() {
+            0.0
+        } else {
+            let per: f64 = s
+                .resolver_seen
+                .iter()
+                .map(|bits| bits.iter().map(|w| w.count_ones() as u64).sum::<u64>() as f64)
+                .sum();
+            per / (s.resolver_seen.len() as f64 * users as f64)
+        };
+        let resolvers = self.topo.resolvers as usize;
+        let mut active_users = 0u64;
+        let mut share_sum = 0.0f64;
+        for u in 0..self.spec.users as usize {
+            let total = s.per_user_queries[u];
+            // Only users whose queries actually reached a resolver have a
+            // defined share.
+            let row = &s.per_user_resolver[u * resolvers..(u + 1) * resolvers];
+            let reached: u32 = row.iter().sum();
+            if reached == 0 {
+                continue;
+            }
+            let max = row.iter().copied().max().unwrap_or(0);
+            active_users += 1;
+            share_sum += max as f64 / reached as f64;
+            let _ = total;
+        }
+        PopReport {
+            scenario: self.topo.scenario.clone(),
+            seed: self.seed,
+            users: self.spec.users,
+            duration_us: self.spec.duration_us,
+            final_time_us: self.now_us,
+            events: self.events,
+            messages: s.messages,
+            queries_sent: s.queries_sent,
+            queries_answered: s.queries_answered,
+            batches: s.batches,
+            mean_anonymity_set: if s.batches == 0 {
+                0.0
+            } else {
+                s.batch_users_sum as f64 / s.batches as f64
+            },
+            anonymity_set_hist: s.anon_hist.clone(),
+            linkage_attempts: s.linkage_attempts,
+            linkage_linked: s.linkage_linked,
+            linkage_rate: if s.linkage_attempts == 0 {
+                0.0
+            } else {
+                s.linkage_linked as f64 / s.linkage_attempts as f64
+            },
+            resolvers: self.topo.resolvers,
+            resolver_user_coverage: coverage,
+            max_resolver_share: if active_users == 0 {
+                0.0
+            } else {
+                share_sum / active_users as f64
+            },
+            latency_hist_ms: s.latency_hist.clone(),
+            mean_latency_us: if s.queries_answered == 0 {
+                0.0
+            } else {
+                s.latency_sum_us as f64 / s.queries_answered as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> WorldSpec {
+        WorldSpec::smoke()
+            .users(50)
+            .names(30)
+            .duration_us(2_000_000)
+    }
+
+    #[test]
+    fn world_runs_to_quiescence_and_answers_queries() {
+        let mut e = Engine::new(&tiny_spec(), &Topology::odoh(), 7).unwrap();
+        e.run_to_end();
+        let r = e.report();
+        assert!(r.queries_sent > 0, "{r:?}");
+        assert_eq!(r.queries_answered, r.queries_sent, "calm world: all done");
+        assert!(r.batches > 0, "odoh batches");
+        assert!(r.mean_anonymity_set >= 1.0);
+        assert!(r.events > 0 && r.messages > 0);
+        assert!(r.final_time_us >= r.duration_us || e.pending() == 0);
+    }
+
+    #[test]
+    fn identical_seeds_identical_reports() {
+        let run = |seed| {
+            let mut e = Engine::new(&tiny_spec(), &Topology::mixnet(), seed).unwrap();
+            e.run_to_end();
+            e.report()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seed, different world");
+    }
+
+    #[test]
+    fn direct_topology_couples_and_links() {
+        // No batching, no padding, one resolver: every response is
+        // linkable-ish and the single resolver sees everyone.
+        let mut e = Engine::new(&tiny_spec(), &Topology::direct(), 3).unwrap();
+        e.run_to_end();
+        let r = e.report();
+        assert_eq!(r.batches, 0);
+        assert_eq!(r.resolvers, 1);
+        assert_eq!(r.max_resolver_share, 1.0, "one resolver sees all");
+        assert!(r.resolver_user_coverage > 0.9);
+    }
+
+    #[test]
+    fn striping_reduces_per_resolver_share() {
+        let run = |topo: Topology| {
+            let mut e = Engine::new(&tiny_spec().users(200).rate_hz(5.0), &topo, 9).unwrap();
+            e.run_to_end();
+            e.report()
+        };
+        let wide = run(Topology::mpr()); // 4 resolvers, stripe by name
+        let single = run(Topology::vpn()); // 1 resolver
+        assert!(
+            wide.max_resolver_share < single.max_resolver_share,
+            "striping must cut the busiest resolver's share: {} vs {}",
+            wide.max_resolver_share,
+            single.max_resolver_share
+        );
+        assert!(wide.resolver_user_coverage < 1.0);
+    }
+
+    #[test]
+    fn padding_reduces_linkage() {
+        let spec = tiny_spec().users(300).rate_hz(5.0);
+        let run = |pad| {
+            let mut t = Topology::odoh();
+            t.pad_to = pad;
+            let mut e = Engine::new(&spec, &t, 11).unwrap();
+            e.run_to_end();
+            e.report()
+        };
+        let padded = run(4096); // one big bucket → collisions everywhere
+        let bare = run(0);
+        assert!(
+            padded.linkage_rate < bare.linkage_rate,
+            "padding must cut size-linkage: {} vs {}",
+            padded.linkage_rate,
+            bare.linkage_rate
+        );
+    }
+
+    #[test]
+    fn wider_batch_window_grows_anonymity_sets() {
+        let spec = tiny_spec().users(400).rate_hz(5.0);
+        let run = |window| {
+            let mut t = Topology::odoh();
+            t.batch_window_us = window;
+            let mut e = Engine::new(&spec, &t, 13).unwrap();
+            e.run_to_end();
+            e.report()
+        };
+        let narrow = run(1_000);
+        let wide = run(50_000);
+        assert!(
+            wide.mean_anonymity_set > narrow.mean_anonymity_set,
+            "bigger window, bigger sets: {} vs {}",
+            wide.mean_anonymity_set,
+            narrow.mean_anonymity_set
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_topologies() {
+        let mut t = Topology::odoh();
+        t.resolvers = 0;
+        assert!(Engine::new(&tiny_spec(), &t, 1).is_err());
+        let mut t = Topology::odoh();
+        t.ingresses = 0;
+        assert!(Engine::new(&tiny_spec(), &t, 1).is_err());
+        assert!(Engine::new(&tiny_spec().users(0), &Topology::odoh(), 1).is_err());
+    }
+
+    #[test]
+    fn run_until_events_pauses_and_resumes_exactly() {
+        let spec = tiny_spec();
+        let mut straight = Engine::new(&spec, &Topology::odoh(), 21).unwrap();
+        straight.run_to_end();
+
+        let mut stepped = Engine::new(&spec, &Topology::odoh(), 21).unwrap();
+        let mut budget = 500;
+        while !stepped.run_until_events(budget) {
+            budget += 500;
+        }
+        assert_eq!(stepped.report(), straight.report());
+    }
+
+    #[test]
+    fn every_preset_resolves_and_runs() {
+        for name in Topology::preset_names() {
+            let topo = Topology::by_name(name).unwrap();
+            assert_eq!(&topo.scenario, name);
+            let mut e = Engine::new(&tiny_spec().users(20), &topo, 1).unwrap();
+            e.run_to_end();
+            assert!(e.report().queries_sent > 0, "{name}");
+        }
+        assert!(Topology::by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,324 @@
+//! Seeded workload generators: Zipf query populations, Poisson
+//! arrivals, diurnal load curves.
+//!
+//! Real query workloads are nothing like `2 clients × 5 queries`: name
+//! popularity is Zipf-distributed, per-user activity is heavy-tailed,
+//! arrivals are Poisson within a diurnal envelope. These generators
+//! produce that shape deterministically from a seed, so a 10⁶-user world
+//! replays bit-for-bit.
+
+use crate::rng::SplitMix64;
+
+/// A Zipf(s) distribution over ranks `0..n` (rank 0 most popular):
+/// `P(k) ∝ 1/(k+1)^s`. `s = 0` degenerates to uniform; large `s`
+/// concentrates all mass on the head (weights underflow to zero
+/// harmlessly — the CDF stays monotone).
+///
+/// Sampling is by inversion against a precomputed CDF: `O(log n)` per
+/// draw, one `f64` per rank of memory — bounded and fast at 10⁶ ranks.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution; `None` for an empty population (`n = 0`)
+    /// or a non-finite/negative exponent.
+    pub fn new(n: usize, s: f64) -> Option<Zipf> {
+        if n == 0 || !s.is_finite() || s < 0.0 {
+            return None;
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += ((k + 1) as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        if total > 0.0 {
+            for c in &mut cdf {
+                *c /= total;
+            }
+        } else {
+            // s so large every weight underflowed: all mass on rank 0
+            // (a constant CDF of 1.0 makes inversion return rank 0).
+            cdf.fill(1.0);
+        }
+        Some(Zipf { cdf })
+    }
+
+    /// Population size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The probability weight of rank `k` (difference of adjacent CDF
+    /// entries).
+    pub fn weight(&self, k: usize) -> f64 {
+        let hi = self.cdf[k];
+        let lo = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        hi - lo
+    }
+
+    /// Draw a rank.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        let ix = self.cdf.partition_point(|&c| c <= u);
+        ix.min(self.cdf.len() - 1)
+    }
+}
+
+/// Homogeneous Poisson arrivals at `rate_hz` events per simulated
+/// second: exponential inter-arrival times via inversion. A rate of `0`
+/// (or any non-positive/non-finite rate) produces no arrivals, ever.
+#[derive(Clone, Copy, Debug)]
+pub struct Poisson {
+    rate_hz: f64,
+}
+
+impl Poisson {
+    /// A process at `rate_hz` arrivals per simulated second.
+    pub fn new(rate_hz: f64) -> Poisson {
+        Poisson { rate_hz }
+    }
+
+    /// The configured rate.
+    pub fn rate_hz(&self) -> f64 {
+        self.rate_hz
+    }
+
+    /// Next inter-arrival gap in µs, or `None` if the process never
+    /// fires (rate ≤ 0). Gaps are at least 1 µs so arrival times
+    /// strictly advance.
+    pub fn next_interarrival_us(&self, rng: &mut SplitMix64) -> Option<u64> {
+        if self.rate_hz <= 0.0 || !self.rate_hz.is_finite() {
+            return None;
+        }
+        let u = rng.next_f64(); // [0, 1) → 1-u ∈ (0, 1], ln is finite
+        let gap_s = -(1.0 - u).ln() / self.rate_hz;
+        Some(((gap_s * 1e6).ceil() as u64).max(1))
+    }
+}
+
+/// A sinusoidal diurnal load envelope: instantaneous rate factor
+/// `1 + amplitude · sin(2πt/period)`, so load swings between
+/// `1 - amplitude` and `1 + amplitude` around the mean. `amplitude = 0`
+/// or `period_us = 0` is flat.
+#[derive(Clone, Copy, Debug)]
+pub struct Diurnal {
+    /// Swing around the mean rate, clamped to `[0, 0.99]` on
+    /// construction so the trough never reaches zero.
+    pub amplitude: f64,
+    /// Cycle length in simulated µs.
+    pub period_us: u64,
+}
+
+impl Diurnal {
+    /// An envelope with the given swing and period (amplitude clamped to
+    /// `[0, 0.99]`).
+    pub fn new(amplitude: f64, period_us: u64) -> Diurnal {
+        let amplitude = if amplitude.is_finite() {
+            amplitude.clamp(0.0, 0.99)
+        } else {
+            0.0
+        };
+        Diurnal {
+            amplitude,
+            period_us,
+        }
+    }
+
+    /// The rate factor at simulated time `t_us`.
+    pub fn factor(&self, t_us: u64) -> f64 {
+        if self.amplitude == 0.0 || self.period_us == 0 {
+            return 1.0;
+        }
+        let phase = (t_us % self.period_us) as f64 / self.period_us as f64;
+        1.0 + self.amplitude * (phase * core::f64::consts::TAU).sin()
+    }
+}
+
+/// The assembled per-world workload: name popularity (Zipf), per-user
+/// activity skew (Zipf weights as rate multipliers), Poisson arrivals
+/// under the diurnal envelope. Built by
+/// [`WorkloadBuilder`](crate::spec::WorkloadBuilder) from a
+/// [`WorldSpec`](crate::spec::WorldSpec).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    names: Zipf,
+    /// Per-user rate multiplier (mean 1.0 across the population).
+    user_multiplier: Vec<f64>,
+    /// Per-user mean arrival rate × multiplier, sampled at the diurnal
+    /// *peak* and thinned down to the envelope.
+    base: Poisson,
+    diurnal: Diurnal,
+}
+
+impl Workload {
+    pub(crate) fn assemble(
+        users: usize,
+        names: usize,
+        name_exponent: f64,
+        user_exponent: f64,
+        rate_hz: f64,
+        diurnal: Diurnal,
+    ) -> Result<Workload, String> {
+        let names = Zipf::new(names, name_exponent)
+            .ok_or_else(|| format!("empty or invalid name population (n={names})"))?;
+        let activity = Zipf::new(users, user_exponent)
+            .ok_or_else(|| format!("empty or invalid user population (n={users})"))?;
+        // Zipf weights sum to 1; scaling by n gives multipliers with
+        // population mean exactly 1, so `rate_hz` stays the mean rate.
+        let user_multiplier = (0..users)
+            .map(|u| activity.weight(u) * users as f64)
+            .collect();
+        Ok(Workload {
+            names,
+            user_multiplier,
+            base: Poisson::new(rate_hz),
+            diurnal,
+        })
+    }
+
+    /// How many users this workload drives.
+    pub fn users(&self) -> usize {
+        self.user_multiplier.len()
+    }
+
+    /// Draw a query name (rank; 0 = most popular).
+    pub fn sample_name(&self, rng: &mut SplitMix64) -> u32 {
+        self.names.sample(rng) as u32
+    }
+
+    /// `user`'s next arrival strictly after `after_us`, or `None` if the
+    /// user never queries (zero rate). Poisson thinning against the
+    /// diurnal envelope: sample at the peak rate, accept with
+    /// probability `factor(t) / (1 + amplitude)` — an exact
+    /// inhomogeneous-Poisson draw, deterministic given the RNG.
+    pub fn next_arrival_us(&self, user: u32, after_us: u64, rng: &mut SplitMix64) -> Option<u64> {
+        let mult = self.user_multiplier.get(user as usize).copied()?;
+        let peak_rate = self.base.rate_hz() * mult * (1.0 + self.diurnal.amplitude);
+        let peak = Poisson::new(peak_rate);
+        let mut t = after_us;
+        loop {
+            t = t.saturating_add(peak.next_interarrival_us(rng)?);
+            let accept = self.diurnal.factor(t) / (1.0 + self.diurnal.amplitude);
+            if rng.next_f64() < accept {
+                return Some(t);
+            }
+            if t == u64::MAX {
+                return None; // saturated past the end of time
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_rejects_empty_population() {
+        assert!(Zipf::new(0, 1.0).is_none());
+        assert!(Zipf::new(0, 0.0).is_none());
+        assert!(Zipf::new(5, f64::NAN).is_none());
+        assert!(Zipf::new(5, -1.0).is_none());
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for k in 0..4 {
+            assert!((z.weight(k) - 0.25).abs() < 1e-12);
+        }
+        let mut rng = SplitMix64::new(3);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "roughly uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_large_exponent_concentrates_on_head() {
+        let z = Zipf::new(1000, 60.0).unwrap();
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..1000 {
+            assert_eq!(z.sample(&mut rng), 0, "s=60: all mass at rank 0");
+        }
+        // Even more extreme: every weight underflows; still rank 0.
+        let z = Zipf::new(1000, 5000.0).unwrap();
+        assert_eq!(z.sample(&mut SplitMix64::new(1)), 0);
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let z = Zipf::new(100, 1.1).unwrap();
+        assert!(z.weight(0) > z.weight(1));
+        assert!(z.weight(1) > z.weight(50));
+        let total: f64 = (0..100).map(|k| z.weight(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisson_rate_zero_never_fires() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(Poisson::new(0.0).next_interarrival_us(&mut rng), None);
+        assert_eq!(Poisson::new(-3.0).next_interarrival_us(&mut rng), None);
+        assert_eq!(Poisson::new(f64::NAN).next_interarrival_us(&mut rng), None);
+        assert_eq!(
+            Poisson::new(f64::INFINITY).next_interarrival_us(&mut rng),
+            None
+        );
+    }
+
+    #[test]
+    fn poisson_mean_tracks_rate() {
+        let p = Poisson::new(100.0); // 100 Hz → mean gap 10_000 µs
+        let mut rng = SplitMix64::new(11);
+        let n = 20_000;
+        let total: u64 = (0..n)
+            .map(|_| p.next_interarrival_us(&mut rng).unwrap())
+            .sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (8_000.0..12_000.0).contains(&mean),
+            "mean gap ≈ 10ms, got {mean}"
+        );
+    }
+
+    #[test]
+    fn diurnal_envelope_bounds_and_clamp() {
+        let d = Diurnal::new(0.5, 1000);
+        for t in 0..2000 {
+            let f = d.factor(t);
+            assert!((0.5..=1.5).contains(&f));
+        }
+        assert_eq!(Diurnal::new(7.0, 10).amplitude, 0.99, "clamped");
+        assert_eq!(Diurnal::new(f64::NAN, 10).amplitude, 0.0);
+        assert_eq!(Diurnal::new(0.9, 0).factor(123), 1.0, "no period → flat");
+    }
+
+    #[test]
+    fn workload_arrivals_advance_and_respect_zero_rate() {
+        let w = Workload::assemble(10, 10, 1.0, 0.5, 50.0, Diurnal::new(0.8, 1_000_000)).unwrap();
+        let mut rng = SplitMix64::new(2);
+        let mut t = 0;
+        for _ in 0..200 {
+            let next = w.next_arrival_us(3, t, &mut rng).unwrap();
+            assert!(next > t, "arrivals strictly advance");
+            t = next;
+        }
+        let silent = Workload::assemble(4, 4, 1.0, 0.0, 0.0, Diurnal::new(0.0, 0)).unwrap();
+        assert_eq!(silent.next_arrival_us(0, 0, &mut rng), None);
+        assert_eq!(w.next_arrival_us(999, 0, &mut rng), None, "unknown user");
+    }
+
+    #[test]
+    fn workload_rejects_empty_populations() {
+        assert!(Workload::assemble(0, 5, 1.0, 1.0, 1.0, Diurnal::new(0.0, 0)).is_err());
+        assert!(Workload::assemble(5, 0, 1.0, 1.0, 1.0, Diurnal::new(0.0, 0)).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Population-scale properties, end to end:
+//!
+//! * **generator edges** (proptest) — Zipf at `s = 0` and extreme `s`,
+//!   Poisson at rate 0/negative/non-finite, empty populations, and
+//!   bit-for-bit sampling determinism;
+//! * **thread invariance** — population engine reports are byte-identical
+//!   whether worlds run sequentially or on a parallel executor at any
+//!   thread count (the `RAYON_NUM_THREADS` axis of the sweep engine);
+//! * **trace opt-out** (`RunOptions::without_trace`) — dropping the
+//!   per-packet trace changes *nothing* except the trace itself;
+//! * **streaming metrics** (`RunOptions::population`) — folded
+//!   aggregates equal the itemised ones, with the unbounded vectors
+//!   empty.
+
+use decoupling::worlds::{Engine, SplitMix64, Topology, WorkloadBuilder, WorldSpec, Zipf};
+use decoupling::{
+    Odoh, OdohConfig, ParallelExecutor, RunOptions, Scenario, ScenarioReport as _,
+    SequentialExecutor, SweepBuilder,
+};
+use proptest::prelude::*;
+
+// ------------------------------------------------------ generators ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn zipf_samples_stay_in_range_and_are_deterministic(
+        n in 1usize..2_000,
+        s in (0u32..600).prop_map(|s| f64::from(s) / 10.0),
+        seed in any::<u64>(),
+    ) {
+        let z = Zipf::new(n, s).expect("valid population");
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..64 {
+            let x = z.sample(&mut a);
+            prop_assert!(x < n, "rank {x} out of population {n}");
+            prop_assert_eq!(x, z.sample(&mut b), "sampling must be deterministic");
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform_and_large_exponent_is_head_heavy(
+        n in 2usize..500,
+        seed in any::<u64>(),
+    ) {
+        let uniform = Zipf::new(n, 0.0).unwrap();
+        let peaked = Zipf::new(n, 50.0).unwrap();
+        let mut rng = SplitMix64::new(seed);
+        let mut head_uniform = 0u32;
+        let mut head_peaked = 0u32;
+        for _ in 0..256 {
+            head_uniform += (uniform.sample(&mut rng) == 0) as u32;
+            head_peaked += (peaked.sample(&mut rng) == 0) as u32;
+        }
+        // s=50 concentrates essentially all mass on rank 0; s=0 gives it
+        // ~256/n. A generous margin keeps the test seed-stable.
+        prop_assert!(head_peaked >= 250, "peaked head hits: {head_peaked}");
+        if n >= 16 {
+            prop_assert!(head_uniform <= 128, "uniform head hits: {head_uniform}");
+        }
+    }
+
+    #[test]
+    fn workload_arrivals_advance_and_respect_zero_rate(
+        users in 1u64..200,
+        rate in prop_oneof![Just(0.0), (1u32..500).prop_map(|r| f64::from(r) / 100.0)],
+        seed in any::<u64>(),
+    ) {
+        let spec = WorldSpec::new().users(users).names(16).rate_hz(rate);
+        let workload = WorkloadBuilder::new(&spec).build().unwrap();
+        let mut rng = SplitMix64::new(seed);
+        let next = workload.next_arrival_us(0, 1_000, &mut rng);
+        if rate == 0.0 {
+            prop_assert!(next.is_none(), "zero rate must produce no arrivals");
+        } else {
+            prop_assert!(next.unwrap() > 1_000, "arrivals must advance time");
+        }
+    }
+}
+
+#[test]
+fn empty_populations_are_rejected_not_degenerate() {
+    assert!(Zipf::new(0, 1.0).is_none());
+    assert!(Zipf::new(10, f64::NAN).is_none());
+    assert!(Zipf::new(10, -1.0).is_none());
+    assert!(WorkloadBuilder::new(&WorldSpec::new().users(0))
+        .build()
+        .is_err());
+    assert!(WorkloadBuilder::new(&WorldSpec::new().names(0))
+        .build()
+        .is_err());
+}
+
+// ------------------------------------------- thread-count invariance --
+
+/// One population world per sweep seed; the report must not depend on
+/// which executor (or how many threads) ran it.
+#[test]
+fn population_reports_are_identical_across_thread_counts() {
+    fn run_all<X: decoupling::SweepExecutor>(spec: &WorldSpec, exec: &X) -> String {
+        let builder = SweepBuilder::new(20221114).worlds(4);
+        let run = builder.run_on(exec, |job| {
+            let mut e = Engine::new(spec, &Topology::odoh(), job.seed).unwrap();
+            e.run_to_end();
+            e.report()
+        });
+        decoupling::obs::to_json(&run.entries.iter().map(|e| &e.result).collect::<Vec<_>>())
+    }
+    let spec = WorldSpec::smoke()
+        .users(60)
+        .names(30)
+        .duration_us(1_000_000);
+    let sequential = run_all(&spec, &SequentialExecutor);
+    for threads in [1, 2, 3] {
+        let parallel = run_all(&spec, &ParallelExecutor::with_threads(threads));
+        assert_eq!(
+            sequential, parallel,
+            "population sweep diverged at {threads} threads"
+        );
+    }
+}
+
+// ------------------------------------------------- trace opt-out ------
+
+#[test]
+fn trace_opt_out_changes_nothing_but_the_trace() {
+    let cfg = OdohConfig::new(3, 4);
+    let with_trace = Odoh::run_with(&cfg, 7, &RunOptions::observed());
+    let without = Odoh::run_with(&cfg, 7, &RunOptions::observed().without_trace());
+
+    assert!(!with_trace.trace.is_empty(), "default records the trace");
+    assert!(without.trace.is_empty(), "opt-out drops the trace");
+    assert_eq!(with_trace.completed_units(), without.completed_units());
+    assert_eq!(
+        decoupling::obs::to_json(&with_trace.metrics),
+        decoupling::obs::to_json(&without.metrics),
+        "metrics must not depend on trace recording"
+    );
+    assert_eq!(
+        decoupling::faults::dst::KnowledgeFingerprint::of(with_trace.world()),
+        decoupling::faults::dst::KnowledgeFingerprint::of(without.world()),
+        "knowledge must not depend on trace recording"
+    );
+}
+
+// ---------------------------------------------- streaming metrics -----
+
+#[test]
+fn streaming_metrics_match_itemised_aggregates() {
+    let cfg = OdohConfig::new(3, 4);
+    let itemised = Odoh::run_with(&cfg, 9, &RunOptions::observed());
+    let streamed = Odoh::run_with(&cfg, 9, &RunOptions::observed().population());
+
+    // The population profile keeps no unbounded vectors…
+    assert!(streamed.metrics.spans.is_empty());
+    assert!(streamed.metrics.knowledge.is_empty());
+    assert!(streamed.trace.is_empty());
+    // …but every folded aggregate matches the itemised run exactly.
+    assert_eq!(itemised.metrics.span_stats, streamed.metrics.span_stats);
+    assert_eq!(
+        itemised.metrics.knowledge_by_entity,
+        streamed.metrics.knowledge_by_entity
+    );
+    assert_eq!(
+        itemised.metrics.messages_sent,
+        streamed.metrics.messages_sent
+    );
+    assert_eq!(
+        itemised.metrics.messages_delivered,
+        streamed.metrics.messages_delivered
+    );
+    assert_eq!(itemised.completed_units(), streamed.completed_units());
+}

@@ -1,0 +1,83 @@
+//! The queue-swap equivalence gate: the hierarchical timer wheel
+//! (`dcp_simnet::TimerWheel`, the default) and the legacy `BinaryHeap`
+//! must produce the **identical** `(time, seq)` total order — so the
+//! full DST battery and the harsh recovery probe must serialize to
+//! byte-identical JSON under either queue, at the same seeds.
+//!
+//! This is the in-process version of the CI artifact diff
+//! (`dst_sweep --queue wheel` vs `--queue heap`); both queues coexist
+//! behind [`QueueKind`] until the gate has soaked.
+
+use decoupling::faults::dst::{run_recovery_probe_for_with, sweep_scenario_for_with};
+use decoupling::{
+    Blindcash, BlindcashConfig, Mixnet, MixnetConfig, Odoh, OdohConfig, QueueKind, RunOptions,
+    Scenario, SequentialExecutor, SweepBuilder, Vpn, VpnConfig,
+};
+
+fn wheel() -> RunOptions {
+    RunOptions::new().with_queue(QueueKind::TimerWheel)
+}
+
+fn heap() -> RunOptions {
+    RunOptions::new().with_queue(QueueKind::BinaryHeap)
+}
+
+/// Full DST preset battery (calm/moderate/harsh/chaos, determinism and
+/// safety asserted inside) under both queues → byte-identical JSON.
+fn battery_agrees<S: Scenario>(cfg: &S::Config)
+where
+    S::Config: Sync,
+{
+    let builder = SweepBuilder::new(20221114).worlds(2);
+    let a = sweep_scenario_for_with::<S, _>(cfg, &builder, &SequentialExecutor, &wheel());
+    let b = sweep_scenario_for_with::<S, _>(cfg, &builder, &SequentialExecutor, &heap());
+    assert_eq!(
+        a,
+        b,
+        "{}: DST battery diverged across the queue swap",
+        S::NAME
+    );
+    assert_eq!(
+        decoupling::obs::to_json(&a),
+        decoupling::obs::to_json(&b),
+        "{}: probe JSON not byte-identical across the queue swap",
+        S::NAME
+    );
+}
+
+#[test]
+fn dst_battery_is_queue_invariant_odoh() {
+    battery_agrees::<Odoh>(&OdohConfig::new(3, 4));
+}
+
+#[test]
+fn dst_battery_is_queue_invariant_blindcash() {
+    battery_agrees::<Blindcash>(&BlindcashConfig::new(2, 2, 512));
+}
+
+#[test]
+fn dst_battery_is_queue_invariant_mixnet() {
+    let cfg = MixnetConfig {
+        senders: 6,
+        mixes: 2,
+        batch_size: 3,
+        window_us: 100_000,
+        shuffle: true,
+        chaff_per_sender: 0,
+        mix_max_wait_us: None,
+        seed: 0,
+    };
+    battery_agrees::<Mixnet>(&cfg);
+}
+
+#[test]
+fn recovery_probe_is_queue_invariant() {
+    // The harsh completion-bar probe: retries, failovers, and quarantine
+    // timers all ride the event queue — the strictest timing consumer.
+    for seed in [1u64, 20230402, 0xDEAD_BEEF] {
+        let a = run_recovery_probe_for_with::<Vpn>(seed, &VpnConfig::new(3, 2), &wheel());
+        let b = run_recovery_probe_for_with::<Vpn>(seed, &VpnConfig::new(3, 2), &heap());
+        assert_eq!(a, b, "vpn recovery probe diverged at seed {seed}");
+        assert_eq!(decoupling::obs::to_json(&a), decoupling::obs::to_json(&b));
+    }
+}
