@@ -88,25 +88,28 @@ fn bench_voprf(c: &mut Criterion) {
 }
 
 fn bench_modpow_ablation(c: &mut Criterion) {
-    // DESIGN.md ablation: division-based square-and-multiply vs.
-    // Montgomery REDC, at RSA-operand sizes.
-    use dcp_crypto::bigint::BigUint;
-    use dcp_crypto::montgomery::MontgomeryCtx;
+    // DESIGN.md ablation, now expressed over the backend byte surface
+    // (raw `bigint` imports are lint-forbidden outside `crates/crypto`):
+    // reference division-based square-and-multiply vs. the u64 CIOS
+    // Montgomery fast backend, at RSA-operand sizes.
+    use dcp_crypto::backend::{fast, reference};
+    use rand::RngCore;
     let mut g = c.benchmark_group("modpow-ablation");
     g.sample_size(10);
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     for bits in [512usize, 1024] {
-        let p = BigUint::gen_prime(&mut rng, bits / 2);
-        let q = BigUint::gen_prime(&mut rng, bits / 2);
-        let n = p.mul(&q);
-        let base = BigUint::random_below(&mut rng, &n);
-        let exp = BigUint::random_below(&mut rng, &n);
-        let ctx = MontgomeryCtx::new(&n).unwrap();
-        g.bench_function(format!("division-based/{bits}"), |b| {
-            b.iter(|| base.modpow(&exp, &n))
+        let sk = rsa::RsaPrivateKey::generate(&mut rng, bits).unwrap();
+        let n = sk.public_key().modulus_be();
+        let mut base = vec![0u8; n.len()];
+        let mut exp = vec![0u8; n.len()];
+        rng.fill_bytes(&mut base);
+        rng.fill_bytes(&mut exp);
+        base[0] = 0; // keep base < n
+        g.bench_function(format!("reference/{bits}"), |b| {
+            b.iter(|| reference().modpow_bytes(&base, &exp, &n).unwrap())
         });
-        g.bench_function(format!("montgomery/{bits}"), |b| {
-            b.iter(|| ctx.modpow(&base, &exp))
+        g.bench_function(format!("fast-montgomery/{bits}"), |b| {
+            b.iter(|| fast().modpow_bytes(&base, &exp, &n).unwrap())
         });
     }
     g.finish();

@@ -13,7 +13,8 @@
 //! **byte-identical**.
 //!
 //! ```text
-//! dst_recover [--worlds N] [--threads N] [--seed S] [--sequential] [--out PATH]
+//! dst_recover [--worlds N] [--threads N] [--seed S] [--sequential]
+//!             [--backend fast|reference] [--out PATH]
 //! ```
 
 use decoupling::faults::dst::{sweep_recovery_probe_for_with, RecoverySweepReport};
@@ -54,6 +55,12 @@ fn parse_args() -> Args {
                     "heap" => decoupling::QueueKind::BinaryHeap,
                     other => panic!("--queue: expected wheel|heap, got {other}"),
                 }
+            }
+            "--backend" => {
+                let raw = value("--backend");
+                let kind = dcp_crypto::backend::BackendKind::parse(&raw)
+                    .unwrap_or_else(|| panic!("--backend: expected fast|reference, got {raw}"));
+                dcp_crypto::backend::set_backend(kind);
             }
             "--out" => args.out = Some(value("--out")),
             other => panic!("unknown flag {other} (see the module docs for usage)"),
@@ -143,7 +150,7 @@ fn main() {
         .worlds(args.worlds)
         .threads(args.threads);
 
-    let opts = decoupling::RunOptions::new().with_queue(args.queue);
+    let opts = decoupling::RunOptions::dst().with_queue(args.queue);
     let started = std::time::Instant::now();
     let reports = if args.sequential {
         sweep_all(&builder, &SequentialExecutor, &opts)

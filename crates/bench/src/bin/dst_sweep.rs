@@ -11,8 +11,14 @@
 //! scenario, or the aggregation shows up as a diff.
 //!
 //! ```text
-//! dst_sweep [--worlds N] [--threads N] [--seed S] [--sequential] [--out PATH]
+//! dst_sweep [--worlds N] [--threads N] [--seed S] [--sequential]
+//!           [--backend fast|reference] [--out PATH]
 //! ```
+//!
+//! `--backend` selects the process-global bignum backend
+//! ([`dcp_crypto::backend::set_backend`]); CI diffs the two selections
+//! against each other too — the fast path must be *value*-identical,
+//! not just fast.
 
 use decoupling::faults::dst::{sweep_scenario_for_with, DstSweepReport};
 use decoupling::{ParallelExecutor, SequentialExecutor, SweepBuilder, SweepExecutor};
@@ -52,6 +58,12 @@ fn parse_args() -> Args {
                     "heap" => decoupling::QueueKind::BinaryHeap,
                     other => panic!("--queue: expected wheel|heap, got {other}"),
                 }
+            }
+            "--backend" => {
+                let raw = value("--backend");
+                let kind = dcp_crypto::backend::BackendKind::parse(&raw)
+                    .unwrap_or_else(|| panic!("--backend: expected fast|reference, got {raw}"));
+                dcp_crypto::backend::set_backend(kind);
             }
             "--out" => args.out = Some(value("--out")),
             other => panic!("unknown flag {other} (see the module docs for usage)"),
@@ -135,7 +147,7 @@ fn main() {
         .worlds(args.worlds)
         .threads(args.threads);
 
-    let opts = decoupling::RunOptions::new().with_queue(args.queue);
+    let opts = decoupling::RunOptions::dst().with_queue(args.queue);
     let started = std::time::Instant::now();
     let reports = if args.sequential {
         sweep_all(&builder, &SequentialExecutor, &opts)

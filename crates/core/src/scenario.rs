@@ -84,7 +84,52 @@ impl Default for RunOptions {
 
 impl RunOptions {
     /// Calm, uninstrumented (same as `Default`).
+    ///
+    /// Prefer the named profiles — [`RunOptions::interactive`],
+    /// [`RunOptions::population`], [`RunOptions::dst`] — which say *why*
+    /// a run is configured the way it is; `new()` plus the chainable
+    /// setters below remain as the low-level escape hatch for
+    /// combinations the profiles don't name.
     pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    // ------------------------------------------------- named profiles --
+    //
+    // One constructor per way the workspace actually runs: tests and
+    // examples poking at a handful of nodes (`interactive`),
+    // population-scale world engines (`population`), and the determinism
+    // probes (`dst`). Each pins every flag; the field-twiddling forms
+    // below are the documented low-level escape hatch.
+
+    /// The interactive profile: calm, uninstrumented, full per-packet
+    /// trace — what tests, examples, and notebook-style exploration
+    /// want. Identical to [`RunOptions::new`], but named for intent.
+    pub fn interactive() -> Self {
+        RunOptions::default()
+    }
+
+    /// The population-scale profile: metrics sink installed, per-packet
+    /// trace **off**, streaming (bounded-memory) metrics folding **on**.
+    /// This is the only configuration that survives 10⁸-event worlds —
+    /// an unbounded trace or itemised metrics lists would exhaust
+    /// memory.
+    pub fn population() -> Self {
+        RunOptions {
+            observe: true,
+            record_trace: false,
+            streaming_metrics: true,
+            ..RunOptions::default()
+        }
+    }
+
+    /// The DST-probe profile: calm, uninstrumented, full trace — the
+    /// exact-replay configuration the determinism probes byte-diff
+    /// (sequential vs. parallel, wheel vs. heap, fast vs. reference
+    /// crypto backend). Kept distinct from [`RunOptions::interactive`]
+    /// so probe call sites state their intent and can diverge from the
+    /// interactive defaults without touching every test.
+    pub fn dst() -> Self {
         RunOptions::default()
     }
 
@@ -145,11 +190,9 @@ impl RunOptions {
         self
     }
 
-    /// The population-run profile: no per-packet trace, streaming
-    /// metrics. Everything else stays at the caller's settings.
-    pub fn population(mut self) -> Self {
-        self.record_trace = false;
-        self.streaming_metrics = true;
+    /// Install (or remove) the metrics sink (chainable).
+    pub fn observe(mut self, on: bool) -> Self {
+        self.observe = on;
         self
     }
 }
@@ -336,10 +379,32 @@ mod tests {
         assert!(!d.streaming_metrics);
         let heap = RunOptions::new().with_queue(QueueKind::BinaryHeap);
         assert_eq!(heap.queue, QueueKind::BinaryHeap);
-        let pop = RunOptions::observed().population();
-        assert!(!pop.record_trace && pop.streaming_metrics && pop.observe);
         assert!(!RunOptions::new().without_trace().record_trace);
         assert!(RunOptions::new().with_streaming_metrics().streaming_metrics);
+    }
+
+    #[test]
+    fn named_profiles_pin_every_flag() {
+        let i = RunOptions::interactive();
+        assert!(!i.observe && i.record_trace && !i.streaming_metrics);
+        assert!(!i.faults.enabled && !i.recover.enabled);
+
+        let pop = RunOptions::population();
+        assert!(pop.observe, "population runs are always instrumented");
+        assert!(!pop.record_trace, "an unbounded trace would OOM");
+        assert!(pop.streaming_metrics, "metrics fold as they arrive");
+        assert!(!pop.faults.enabled && !pop.recover.enabled);
+
+        let dst = RunOptions::dst();
+        assert!(!dst.observe && dst.record_trace && !dst.streaming_metrics);
+        assert_eq!(dst.queue, QueueKind::TimerWheel);
+
+        // The profiles compose with the chainable escape hatches.
+        let custom = RunOptions::population()
+            .observe(false)
+            .with_queue(QueueKind::BinaryHeap);
+        assert!(!custom.observe && custom.streaming_metrics);
+        assert_eq!(custom.queue, QueueKind::BinaryHeap);
     }
 
     #[test]

@@ -516,13 +516,17 @@ impl BigUint {
         let n_minus_1 = self.sub(&Self::one());
         let s = trailing_zeros(&n_minus_1);
         let d = n_minus_1.shr(s);
+        // Witness exponentiations go through the active backend so prime
+        // generation shares the fast path (modulus guaranteed odd > 2 here,
+        // so the backend call cannot fail).
+        let backend = crate::backend::active();
         let try_base = |a: &BigUint| -> bool {
-            let mut x = a.modpow(&d, self);
+            let mut x = backend.modpow(a, &d, self).expect("odd modulus");
             if x.is_one() || x == n_minus_1 {
                 return true;
             }
             for _ in 0..s.saturating_sub(1) {
-                x = x.mulmod(&x, self);
+                x = backend.mulmod(&x, &x, self).expect("odd modulus");
                 if x == n_minus_1 {
                     return true;
                 }
@@ -730,6 +734,16 @@ mod tests {
     fn le_be_agree() {
         let v = BigUint::from_bytes_be(&[1, 2, 3, 4, 5]);
         assert_eq!(BigUint::from_bytes_le(&[5, 4, 3, 2, 1]), v);
+    }
+
+    #[test]
+    fn checked_sub_underflow_fails_closed() {
+        assert_eq!(big(2).checked_sub(&big(3)), None);
+        assert_eq!(
+            big(3).checked_sub(&big(2)),
+            Some(BigUint::one()),
+            "checked_sub must still subtract"
+        );
     }
 
     #[test]

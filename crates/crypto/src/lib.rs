@@ -14,8 +14,15 @@
 //! * [`scalar`] — arithmetic modulo the Ed25519 group order ℓ.
 //! * [`bigint`] — arbitrary-precision unsigned integers (schoolbook +
 //!   Knuth-D division + modular exponentiation), the substrate for RSA.
-//! * [`montgomery`] — Montgomery-form modpow, the measured ablation
-//!   against the division-based baseline (see the `modpow` bench group).
+//! * [`backend`] — the sealed pluggable bignum [`Backend`](backend::Backend)
+//!   trait every RSA/VOPRF hot path dispatches through, with [`bigint`] as
+//!   the reference implementation and process-global selection.
+//! * [`fastmont`] — the fast backend: `u64`-limb CIOS Montgomery
+//!   multiplication, adaptive fixed-window exponentiation, per-modulus
+//!   context cache.
+//! * [`montgomery`] — the older `u32`-limb Montgomery modpow, kept as the
+//!   measured ablation against the division-based baseline (see the
+//!   `modpow` bench group).
 //! * [`rsa`] — RSA keygen (Miller–Rabin), PKCS#1 v1.5 signatures, and the
 //!   *blind* RSA signing flow (Chaum 1983) used by the digital-cash and
 //!   token systems.
@@ -39,9 +46,11 @@
 #![warn(missing_docs)]
 
 pub mod aead;
+pub mod backend;
 pub mod bigint;
 pub mod chacha20;
 pub mod edwards;
+pub mod fastmont;
 pub mod field25519;
 pub mod hkdf;
 pub mod hmac;

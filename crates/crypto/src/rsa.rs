@@ -5,7 +5,14 @@
 //! digital-cash example: the signer computes a valid signature over a
 //! message it cannot see, and cannot later link the unblinded signature to
 //! the signing request.
+//!
+//! All modular arithmetic dispatches through the pluggable
+//! [`crate::backend`] layer, and the public surface deals in validated
+//! byte encodings ([`Unblinder`], [`RsaPublicKey::modulus_be`]) rather
+//! than raw [`BigUint`] values, so backend internals can change without
+//! breaking callers.
 
+use crate::backend;
 use crate::bigint::BigUint;
 use crate::sha256::sha256;
 use crate::{CryptoError, Result};
@@ -61,12 +68,26 @@ impl RsaPublicKey {
         }
     }
 
-    /// Raw RSA public operation `m^e mod n`.
+    /// Raw RSA public operation `m^e mod n`, through the active backend.
     fn raw(&self, m: &BigUint) -> Result<BigUint> {
         if m >= &self.n {
             return Err(CryptoError::MessageTooLarge);
         }
-        Ok(m.modpow(&self.e, &self.n))
+        backend::active().modpow(m, &self.e, &self.n)
+    }
+
+    /// Minimal big-endian encoding of the modulus `n`.
+    ///
+    /// This is the byte surface callers should use (the raw [`BigUint`]
+    /// is intentionally not exposed); feed it to
+    /// [`crate::backend::Backend`]'s byte-level entry points.
+    pub fn modulus_be(&self) -> Vec<u8> {
+        self.n.to_bytes_be()
+    }
+
+    /// Minimal big-endian encoding of the public exponent `e`.
+    pub fn exponent_be(&self) -> Vec<u8> {
+        self.e.to_bytes_be()
     }
 
     /// Verify a PKCS#1 v1.5 SHA-256 signature over `msg`.
@@ -104,33 +125,134 @@ impl RsaPublicKey {
             if r.is_zero() {
                 continue;
             }
-            let Some(r_inv) = r.modinv(&self.n) else {
+            let Some(r_inv) = backend::active().modinv(&r, &self.n) else {
                 continue; // gcd(r, n) != 1 — astronomically rare
             };
-            let blinded = em.mulmod(&self.raw(&r)?, &self.n);
+            let blinded = backend::active().mulmod(&em, &self.raw(&r)?, &self.n)?;
             let blinded_msg = blinded
                 .checked_to_bytes_be_padded(k)
                 .ok_or(CryptoError::Malformed)?;
             return Ok(BlindingResult {
                 blinded_msg,
-                unblinder: r_inv,
+                unblinder: Unblinder(r_inv),
             });
         }
     }
 
     /// Unblind a signature produced over a blinded element, and verify it.
-    pub fn finalize(&self, msg: &[u8], blind_sig: &[u8], unblinder: &BigUint) -> Result<Vec<u8>> {
+    pub fn finalize(&self, msg: &[u8], blind_sig: &[u8], unblinder: &Unblinder) -> Result<Vec<u8>> {
         let k = self.modulus_len();
         if blind_sig.len() != k {
             return Err(CryptoError::BadSignature);
         }
         self.validate().map_err(|_| CryptoError::BadSignature)?;
-        let s = BigUint::from_bytes_be(blind_sig).mulmod(unblinder, &self.n);
+        let s = backend::active()
+            .mulmod(&BigUint::from_bytes_be(blind_sig), &unblinder.0, &self.n)
+            .map_err(|_| CryptoError::BadSignature)?;
         let sig = s
             .checked_to_bytes_be_padded(k)
             .ok_or(CryptoError::BadSignature)?;
         self.verify(msg, &sig)?;
         Ok(sig)
+    }
+
+    /// Verify a batch of PKCS#1 v1.5 SHA-256 signatures sharing this key,
+    /// returning a per-item verdict in input order.
+    ///
+    /// Small-exponent random-weight batching (Bellare–Garay–Rabin): with
+    /// per-item 64-bit weights `t_i` derived Fiat–Shamir-style from the
+    /// whole batch transcript, check
+    /// `(Π s_i^t_i)^e == Π em_i^t_i (mod n)` in two weighted
+    /// multi-exponentiations instead of `len` full public operations.
+    ///
+    /// **Fail-closed:** when every signature is individually valid the
+    /// combined identity holds *deterministically* (each `s_i^e ≡ em_i`),
+    /// so a combined-check mismatch proves at least one bad item — the
+    /// code then falls back to individual verification, which pinpoints
+    /// exactly which items fail. Items that are malformed before the
+    /// arithmetic (wrong length, `s ≥ n`) are rejected up front and
+    /// excluded from the combined check.
+    ///
+    /// Note on economics: with the usual `e = 65537` an individual verify
+    /// is already a short-exponent operation, so batching here trades CPU
+    /// for the pinpointing guarantee roughly evenly; the win grows with
+    /// larger public exponents and with batch size. See
+    /// `docs/PERFORMANCE.md`.
+    pub fn verify_batch(&self, items: &[(&[u8], &[u8])]) -> Vec<Result<()>> {
+        let k = self.modulus_len();
+        if self.validate().is_err() {
+            return vec![Err(CryptoError::BadSignature); items.len()];
+        }
+        let be = backend::active();
+        // Pre-screen: parse each item; structural failures never reach
+        // the combined identity.
+        let mut out: Vec<Result<()>> = Vec::with_capacity(items.len());
+        let mut parsed: Vec<Option<(BigUint, BigUint)>> = Vec::with_capacity(items.len());
+        for (msg, sig) in items {
+            let entry = (|| {
+                if sig.len() != k {
+                    return Err(CryptoError::BadSignature);
+                }
+                let s = BigUint::from_bytes_be(sig);
+                if s >= self.n {
+                    return Err(CryptoError::BadSignature);
+                }
+                let em = BigUint::from_bytes_be(&emsa_pkcs1_v15(msg, k)?);
+                Ok((s, em))
+            })();
+            match entry {
+                Ok(pair) => {
+                    out.push(Ok(()));
+                    parsed.push(Some(pair));
+                }
+                Err(e) => {
+                    out.push(Err(e));
+                    parsed.push(None);
+                }
+            }
+        }
+        // Fiat–Shamir weights over the whole transcript: an item's weight
+        // depends on every signature in the batch, so weights cannot be
+        // chosen before the signatures are.
+        let mut transcript = Vec::new();
+        for (msg, sig) in items {
+            transcript.extend_from_slice(&(msg.len() as u64).to_be_bytes());
+            transcript.extend_from_slice(msg);
+            transcript.extend_from_slice(&(sig.len() as u64).to_be_bytes());
+            transcript.extend_from_slice(sig);
+        }
+        let seed = sha256(&transcript);
+        let weight = |i: usize| {
+            let mut buf = Vec::with_capacity(seed.len() + 8);
+            buf.extend_from_slice(&seed);
+            buf.extend_from_slice(&(i as u64).to_be_bytes());
+            let h = sha256(&buf);
+            // Nonzero 64-bit weight.
+            BigUint::from_bytes_be(&h[..8]).add(&BigUint::one())
+        };
+        let combined = (|| -> Result<bool> {
+            let mut lhs = BigUint::one();
+            let mut rhs = BigUint::one();
+            for (i, entry) in parsed.iter().enumerate() {
+                let Some((s, em)) = entry else { continue };
+                let t = weight(i);
+                lhs = be.mulmod(&lhs, &be.modpow(s, &t, &self.n)?, &self.n)?;
+                rhs = be.mulmod(&rhs, &be.modpow(em, &t, &self.n)?, &self.n)?;
+            }
+            Ok(be.modpow(&lhs, &self.e, &self.n)? == rhs)
+        })();
+        if matches!(combined, Ok(true)) {
+            return out;
+        }
+        // Combined identity failed (or errored): at least one item is bad.
+        // Fall back to individual verification so every failure is
+        // pinpointed rather than poisoning the whole batch.
+        for (i, (msg, sig)) in items.iter().enumerate() {
+            if out[i].is_ok() {
+                out[i] = self.verify(msg, sig);
+            }
+        }
+        out
     }
 
     /// Serialize as `len(n) ‖ n ‖ e` for transport inside the simulator.
@@ -175,7 +297,44 @@ pub struct BlindingResult {
     /// The element to send to the signer.
     pub blinded_msg: Vec<u8>,
     /// Kept secret by the client; consumed by [`RsaPublicKey::finalize`].
-    pub unblinder: BigUint,
+    pub unblinder: Unblinder,
+}
+
+/// The client-secret unblinding factor `r⁻¹ mod n`, as an opaque handle.
+///
+/// Replaces the raw `BigUint` the blind flow used to expose: callers that
+/// need to persist it round-trip through the validated byte encoding
+/// ([`Unblinder::to_bytes`] / [`Unblinder::from_bytes`]) instead of
+/// reaching into backend integer internals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Unblinder(BigUint);
+
+impl Unblinder {
+    /// Minimal big-endian encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes_be()
+    }
+
+    /// Inverse of [`Self::to_bytes`]. Fails closed: rejects the empty
+    /// string, zero (no unblinding factor is ever zero) and non-minimal
+    /// encodings, so the serialization stays injective.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let v = BigUint::from_bytes_be(bytes);
+        if bytes.is_empty() || v.is_zero() || v.to_bytes_be() != bytes {
+            return Err(CryptoError::Malformed);
+        }
+        Ok(Unblinder(v))
+    }
+
+    /// The raw integer behind the handle.
+    #[deprecated(
+        since = "0.1.0",
+        note = "backend integer internals are no longer part of the public \
+                surface; use `to_bytes`/`from_bytes`"
+    )]
+    pub fn as_biguint(&self) -> &BigUint {
+        &self.0
+    }
 }
 
 impl RsaPrivateKey {
@@ -198,7 +357,9 @@ impl RsaPrivateKey {
                 continue;
             }
             let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
-            let Some(d) = e.modinv(&phi) else { continue };
+            let Some(d) = backend::active().modinv(&e, &phi) else {
+                continue;
+            };
             return Ok(RsaPrivateKey {
                 public: RsaPublicKey { n, e },
                 d,
@@ -212,12 +373,12 @@ impl RsaPrivateKey {
         &self.public
     }
 
-    /// Raw RSA private operation `c^d mod n`.
+    /// Raw RSA private operation `c^d mod n`, through the active backend.
     fn raw(&self, c: &BigUint) -> Result<BigUint> {
         if c >= &self.public.n {
             return Err(CryptoError::MessageTooLarge);
         }
-        Ok(c.modpow(&self.d, &self.public.n))
+        backend::active().modpow(c, &self.d, &self.public.n)
     }
 
     /// PKCS#1 v1.5 SHA-256 signature over `msg`.
@@ -389,7 +550,79 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         assert!(evil.blind(&mut rng, b"msg").is_err());
         assert!(evil.verify(b"msg", &[]).is_err());
-        assert!(evil.finalize(b"msg", &[], &BigUint::one()).is_err());
+        let one = Unblinder::from_bytes(&[1]).unwrap();
+        assert!(evil.finalize(b"msg", &[], &one).is_err());
+    }
+
+    #[test]
+    fn unblinder_byte_roundtrip_fails_closed() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let pk = test_key().public_key().clone();
+        let blinding = pk.blind(&mut rng, b"coin").unwrap();
+        let bytes = blinding.unblinder.to_bytes();
+        assert_eq!(Unblinder::from_bytes(&bytes).unwrap(), blinding.unblinder);
+        // Empty, zero, and non-minimal encodings are rejected.
+        assert!(Unblinder::from_bytes(&[]).is_err());
+        assert!(Unblinder::from_bytes(&[0]).is_err());
+        let mut padded = vec![0u8];
+        padded.extend_from_slice(&bytes);
+        assert!(Unblinder::from_bytes(&padded).is_err());
+    }
+
+    #[test]
+    fn byte_accessors_expose_validated_encodings() {
+        let pk = test_key().public_key().clone();
+        let n = pk.modulus_be();
+        let e = pk.exponent_be();
+        assert_eq!(n.len(), pk.modulus_len());
+        assert_ne!(n[0], 0, "minimal encoding");
+        assert_eq!(BigUint::from_bytes_be(&e), BigUint::from_u64(65537));
+        // The byte surface composes with the backend byte entry points:
+        // verifying a signature manually via modpow_bytes.
+        let sk = test_key();
+        let sig = sk.sign(b"abc").unwrap();
+        let em = crate::backend::active().modpow_bytes(&sig, &e, &n).unwrap();
+        assert_eq!(em, emsa_pkcs1_v15(b"abc", pk.modulus_len()).unwrap());
+    }
+
+    #[test]
+    fn batch_verify_matches_individual_on_mixed_sets() {
+        let sk = test_key();
+        let pk = sk.public_key().clone();
+        let msgs: Vec<Vec<u8>> = (0..5u8).map(|i| vec![b'm', i]).collect();
+        let mut sigs: Vec<Vec<u8>> = msgs.iter().map(|m| sk.sign(m).unwrap()).collect();
+
+        // All valid: batch takes the combined fast path, all Ok.
+        let items: Vec<(&[u8], &[u8])> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s.as_slice()))
+            .collect();
+        assert!(pk.verify_batch(&items).iter().all(|r| r.is_ok()));
+
+        // Corrupt item 1 (bit flip), truncate item 3 (structural): the
+        // batch must pinpoint exactly those two, matching individual
+        // verification on every item.
+        sigs[1][7] ^= 0x20;
+        sigs[3].pop();
+        let items: Vec<(&[u8], &[u8])> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s.as_slice()))
+            .collect();
+        let batch = pk.verify_batch(&items);
+        for (i, (msg, sig)) in items.iter().enumerate() {
+            assert_eq!(
+                batch[i].is_ok(),
+                pk.verify(msg, sig).is_ok(),
+                "item {i} batch verdict must match individual"
+            );
+        }
+        assert!(batch[0].is_ok() && batch[2].is_ok() && batch[4].is_ok());
+        assert!(batch[1].is_err() && batch[3].is_err());
+
+        // Empty batch is vacuously fine.
+        assert!(pk.verify_batch(&[]).is_empty());
     }
 
     #[test]

@@ -99,7 +99,13 @@ impl Scalar {
 
     /// `self * other mod ℓ`.
     pub fn mul(&self, other: &Self) -> Self {
-        Scalar(self.0.mulmod(&other.0, order()))
+        // ℓ is odd and fixed, so the backend call cannot fail and its
+        // per-modulus precomputation is amortized across every product.
+        Scalar(
+            crate::backend::active()
+                .mulmod(&self.0, &other.0, order())
+                .expect("group order is nonzero"),
+        )
     }
 
     /// Additive inverse.
@@ -112,9 +118,14 @@ impl Scalar {
         if self.is_zero() {
             return None;
         }
-        // ℓ is prime, so a^(ℓ-2) is the inverse.
+        // ℓ is prime, so a^(ℓ-2) is the inverse — a full-width exponent,
+        // exactly what the backend's windowed Montgomery path is for.
         let exp = order().sub(&BigUint::from_u64(2));
-        Some(Scalar(self.0.modpow(&exp, order())))
+        Some(Scalar(
+            crate::backend::active()
+                .modpow(&self.0, &exp, order())
+                .expect("group order is nonzero"),
+        ))
     }
 
     /// Iterate the bits of the scalar from most significant to least.

@@ -15,7 +15,7 @@ use dcp_runtime::{
     mean_us, wire, Attempt, CallEvent, Ctx, Driver, Harness, LinkParams, Message, Node, NodeId,
     RetryLinkage, SimTime, Trace,
 };
-use dcp_transport::frame::{Frame, FrameType};
+use dcp_transport::frame::{Frame, FrameRef, FrameType};
 
 use crate::protocol::{Client, Issuer, Token};
 
@@ -246,10 +246,10 @@ impl Node for ClientNode {
             };
             match self.calls.get(seq) {
                 Some(PpInflight::Issuance) if from == self.issuer => {
-                    let Ok(frame) = Frame::decode(body) else {
+                    let Ok(frame) = FrameRef::decode(body) else {
                         return;
                     };
-                    let evals = decode_evals(&frame.payload);
+                    let evals = decode_evals(frame.payload);
                     let Some(req) = self.state.take() else {
                         return;
                     };
@@ -285,10 +285,10 @@ impl Node for ClientNode {
         if from == self.issuer {
             // Fail closed: a malformed or duplicated issuance response is
             // ignored — the client never falls back to unblinded tokens.
-            let Ok(frame) = Frame::decode(&msg.bytes) else {
+            let Ok(frame) = FrameRef::decode(&msg.bytes) else {
                 return;
             };
-            let evals = decode_evals(&frame.payload);
+            let evals = decode_evals(frame.payload);
             let Some(req) = self.state.take() else {
                 return; // duplicate response: issuance already consumed
             };
@@ -438,7 +438,7 @@ impl Node for IssuerNode {
         } else {
             (None, msg.bytes)
         };
-        let Ok(frame) = Frame::decode(&body) else {
+        let Ok(frame) = FrameRef::decode(&body) else {
             return;
         };
         match frame.ftype {
@@ -493,7 +493,7 @@ impl Node for IssuerNode {
                 }
                 // A token that fails to even decode is refused outright —
                 // the reply keeps the origin's pending queue in sync.
-                let ok = match Token::decode(&frame.payload) {
+                let ok = match Token::decode(frame.payload) {
                     Ok(token) => {
                         ctx.world.crypto_op("voprf_redeem");
                         self.shared.borrow_mut().issuer.redeem(&token).is_ok()
@@ -563,7 +563,7 @@ impl Node for OriginNode {
                 let Some((hopseq, body)) = wire::unframe(&msg.bytes) else {
                     return;
                 };
-                let Ok(frame) = Frame::decode(body) else {
+                let Ok(frame) = FrameRef::decode(body) else {
                     return;
                 };
                 let ok = frame.payload == [1u8];
@@ -587,7 +587,7 @@ impl Node for OriginNode {
                 ctx.send(client, Message::public(reply));
                 return;
             }
-            let Ok(frame) = Frame::decode(&msg.bytes) else {
+            let Ok(frame) = FrameRef::decode(&msg.bytes) else {
                 return;
             };
             let ok = frame.payload == [1u8];
@@ -608,7 +608,7 @@ impl Node for OriginNode {
             let Some((cseq, body)) = wire::unframe(&msg.bytes) else {
                 return;
             };
-            let Ok(frame) = Frame::decode(body) else {
+            let Ok(frame) = FrameRef::decode(body) else {
                 return;
             };
             if frame.payload.len() < 64 {
@@ -655,7 +655,7 @@ impl Node for OriginNode {
             return;
         }
         // Client request: token (64 bytes) + request body.
-        let Ok(frame) = Frame::decode(&msg.bytes) else {
+        let Ok(frame) = FrameRef::decode(&msg.bytes) else {
             return;
         };
         if frame.payload.len() < 64 {

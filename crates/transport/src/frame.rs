@@ -62,6 +62,38 @@ impl Frame {
 
     /// Decode a single frame occupying the whole buffer.
     pub fn decode(bytes: &[u8]) -> Result<Frame> {
+        FrameRef::decode(bytes).map(FrameRef::to_owned)
+    }
+
+    /// Decode a frame from the front of `bytes`, returning it and the
+    /// number of bytes consumed.
+    pub fn decode_prefix(bytes: &[u8]) -> Result<(Frame, usize)> {
+        let (fr, used) = FrameRef::decode_prefix(bytes)?;
+        Ok((fr.to_owned(), used))
+    }
+}
+
+/// A decoded frame *borrowing* its payload from the wire buffer.
+///
+/// The zero-copy twin of [`Frame`], for dispatch hot loops that inspect
+/// a frame (type tag, payload prefix, sub-parsing) and move on without
+/// keeping it: decoding allocates nothing. [`FrameRef::to_owned`] is the
+/// escape hatch when the payload must outlive the buffer — owned
+/// [`Frame::decode`] is defined as `FrameRef::decode(..).to_owned()`, so
+/// the two decoders cannot drift apart (the equivalence proptest below
+/// pins it anyway).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameRef<'a> {
+    /// The frame type.
+    pub ftype: FrameType,
+    /// The payload bytes, borrowed from the decode input.
+    pub payload: &'a [u8],
+}
+
+impl<'a> FrameRef<'a> {
+    /// Decode a single frame occupying the whole buffer, borrowing the
+    /// payload. Same validation as [`Frame::decode`].
+    pub fn decode(bytes: &'a [u8]) -> Result<FrameRef<'a>> {
         let (frame, used) = Self::decode_prefix(bytes)?;
         if used != bytes.len() {
             return Err(TransportError::BadFrame);
@@ -70,8 +102,9 @@ impl Frame {
     }
 
     /// Decode a frame from the front of `bytes`, returning it and the
-    /// number of bytes consumed.
-    pub fn decode_prefix(bytes: &[u8]) -> Result<(Frame, usize)> {
+    /// number of bytes consumed. Same validation as
+    /// [`Frame::decode_prefix`].
+    pub fn decode_prefix(bytes: &'a [u8]) -> Result<(FrameRef<'a>, usize)> {
         if bytes.len() < 5 {
             return Err(TransportError::BadFrame);
         }
@@ -81,12 +114,20 @@ impl Frame {
             return Err(TransportError::BadFrame);
         }
         Ok((
-            Frame {
+            FrameRef {
                 ftype,
-                payload: bytes[5..5 + len].to_vec(),
+                payload: &bytes[5..5 + len],
             },
             5 + len,
         ))
+    }
+
+    /// Copy into an owned [`Frame`].
+    pub fn to_owned(self) -> Frame {
+        Frame {
+            ftype: self.ftype,
+            payload: self.payload.to_vec(),
+        }
     }
 }
 
@@ -205,11 +246,47 @@ mod tests {
         assert!(framer.push(&[0x99, 0, 0, 0, 0]).is_err());
     }
 
+    #[test]
+    fn frame_ref_borrows_without_allocating() {
+        let f = Frame::new(FrameType::Token, b"credential".to_vec());
+        let enc = f.encode();
+        let fr = FrameRef::decode(&enc).unwrap();
+        assert_eq!(fr.ftype, FrameType::Token);
+        // The payload is a view into the encode buffer, not a copy.
+        assert!(std::ptr::eq(fr.payload, &enc[5..]));
+        assert_eq!(fr.to_owned(), f);
+    }
+
     proptest! {
         #[test]
         fn roundtrip_any_payload(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
             let f = Frame::new(FrameType::Data, payload);
             prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+        }
+
+        // Decode-equivalence regression: the borrowing and owning
+        // decoders accept/reject identical inputs and agree on every
+        // field, over arbitrary (mostly invalid) byte soup.
+        #[test]
+        fn borrowing_decode_equals_owning_decode(
+            bytes in proptest::collection::vec(any::<u8>(), 0..64)
+        ) {
+            match (Frame::decode(&bytes), FrameRef::decode(&bytes)) {
+                (Ok(owned), Ok(fr)) => {
+                    prop_assert_eq!(&owned, &fr.to_owned());
+                    prop_assert_eq!(owned.payload.as_slice(), fr.payload);
+                }
+                (Err(_), Err(_)) => {}
+                (o, b) => prop_assert!(false, "diverged: owned={o:?} borrowed={b:?}"),
+            }
+            match (Frame::decode_prefix(&bytes), FrameRef::decode_prefix(&bytes)) {
+                (Ok((owned, n1)), Ok((fr, n2))) => {
+                    prop_assert_eq!(n1, n2);
+                    prop_assert_eq!(owned, fr.to_owned());
+                }
+                (Err(_), Err(_)) => {}
+                (o, b) => prop_assert!(false, "prefix diverged: owned={o:?} borrowed={b:?}"),
+            }
         }
 
         #[test]

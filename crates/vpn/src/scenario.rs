@@ -156,6 +156,12 @@ struct VpnStats {
     linkage: RetryLinkage,
 }
 
+/// First byte of a tunnel message when session reuse is on: this
+/// message opens a session and carries `enc ‖ ct`.
+const SESSION_INIT: u8 = 0x01;
+/// First byte of a follow-up message on an open session: `ct` only.
+const SESSION_CONT: u8 = 0x02;
+
 struct VpnClient {
     entity: EntityId,
     user: UserId,
@@ -170,6 +176,14 @@ struct VpnClient {
     /// the scenario's whole point is the single trusted hop.
     calls: Driver<SimTime>,
     flow: u64,
+    /// HPKE session reuse: one encapsulation, many seals. Only safe when
+    /// the recovery layer is off — a reused context would let an on-path
+    /// observer link retransmitted attempts of one fetch (the PR-4
+    /// `RetryLinkage` invariant), so [`run_vpn_impl`] gates it on
+    /// `!recover && !faults`.
+    reuse: bool,
+    /// The open sender context, once the first fetch has encapsulated.
+    tx: Option<hpke::Context>,
 }
 
 impl VpnClient {
@@ -189,8 +203,36 @@ impl VpnClient {
             return;
         }
         self.sent_at = ctx.now;
-        ctx.world.crypto_op("hpke_seal");
-        let sealed = hpke::seal(ctx.rng, &self.vpn_pk, b"vpn", b"", REQUEST).expect("seal");
+        let sealed = if self.reuse {
+            match &mut self.tx {
+                // First fetch: encapsulate once, open the session.
+                None => {
+                    ctx.world.crypto_op("hpke_encap");
+                    let (enc, mut tx) =
+                        hpke::setup_base_s(ctx.rng, &self.vpn_pk, b"vpn").expect("encap");
+                    ctx.world.crypto_op("hpke_seal");
+                    let ct = tx.seal(b"", REQUEST);
+                    self.tx = Some(tx);
+                    let mut bytes = Vec::with_capacity(1 + enc.len() + ct.len());
+                    bytes.push(SESSION_INIT);
+                    bytes.extend_from_slice(&enc);
+                    bytes.extend_from_slice(&ct);
+                    bytes
+                }
+                // Later fetches ride the open session: seal only, no KEM.
+                Some(tx) => {
+                    ctx.world.crypto_op("hpke_seal");
+                    let ct = tx.seal(b"", REQUEST);
+                    let mut bytes = Vec::with_capacity(1 + ct.len());
+                    bytes.push(SESSION_CONT);
+                    bytes.extend_from_slice(&ct);
+                    bytes
+                }
+            }
+        } else {
+            ctx.world.crypto_op("hpke_seal");
+            hpke::seal(ctx.rng, &self.vpn_pk, b"vpn", b"", REQUEST).expect("seal")
+        };
         let label = self.tunnel_label();
         ctx.send(self.vpn, Message::new(sealed, label));
     }
@@ -278,6 +320,11 @@ struct VpnServer {
     /// the subscriber's own counter to the origin would hand it a stable
     /// cross-fetch pseudonym; the tunnel terminator re-keys instead.
     hop: HopMap<(NodeId, u64)>,
+    /// Mirrors the clients' session-reuse gate.
+    reuse: bool,
+    /// Open receiver contexts, one per subscriber link (`BTreeMap` keeps
+    /// iteration — and therefore any future draining — deterministic).
+    rx: std::collections::BTreeMap<NodeId, hpke::Context>,
 }
 
 impl Node for VpnServer {
@@ -312,9 +359,42 @@ impl Node for VpnServer {
         } else {
             (None, msg.bytes)
         };
-        ctx.world.crypto_op("hpke_open");
-        let Ok(req) = hpke::open(&self.kp, b"vpn", b"", &sealed) else {
-            return;
+        let req = if self.reuse {
+            // Fail closed: unknown discriminators, truncated initiations,
+            // and continuations without an open session are all dropped.
+            match sealed.split_first() {
+                Some((&SESSION_INIT, rest)) if rest.len() >= hpke::ENC_LEN => {
+                    ctx.world.crypto_op("hpke_decap");
+                    let mut enc = [0u8; hpke::ENC_LEN];
+                    enc.copy_from_slice(&rest[..hpke::ENC_LEN]);
+                    let Ok(mut rx) = hpke::setup_base_r(&enc, &self.kp, b"vpn") else {
+                        return;
+                    };
+                    ctx.world.crypto_op("hpke_open");
+                    let Ok(req) = rx.open(b"", &rest[hpke::ENC_LEN..]) else {
+                        return;
+                    };
+                    self.rx.insert(from, rx);
+                    req
+                }
+                Some((&SESSION_CONT, rest)) => {
+                    let Some(rx) = self.rx.get_mut(&from) else {
+                        return;
+                    };
+                    ctx.world.crypto_op("hpke_open");
+                    let Ok(req) = rx.open(b"", rest) else {
+                        return;
+                    };
+                    req
+                }
+                _ => return,
+            }
+        } else {
+            ctx.world.crypto_op("hpke_open");
+            let Ok(req) = hpke::open(&self.kp, b"vpn", b"", &sealed) else {
+                return;
+            };
+            req
         };
         let Some(user) = self
             .node_user
@@ -402,6 +482,12 @@ fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
         .map(|(i, &u)| (NodeId(2 + i), u))
         .collect();
     let recover_on = opts.recover.enabled;
+    // HPKE session reuse is the fast path for the steady tunnel: one
+    // encapsulation per subscriber, every later fetch is a pure seal.
+    // It is gated OFF whenever retransmission is possible (recovery or
+    // fault injection): each attempt must be a fresh encapsulation so no
+    // on-path observer can link retries by ciphertext (`RetryLinkage`).
+    let reuse_on = !recover_on && !opts.faults.enabled;
     Harness::add(
         &mut net,
         RoleKind::Relay,
@@ -413,6 +499,8 @@ fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
             node_user,
             recover: recover_on,
             hop: HopMap::new(),
+            reuse: reuse_on,
+            rx: std::collections::BTreeMap::new(),
         }),
     );
     Harness::add(
@@ -443,6 +531,8 @@ fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
                 sent_at: SimTime::ZERO,
                 calls: Driver::new(&opts.recover, derive_seed(seed, 0x0b50 + ci as u64)),
                 flow: ci as u64,
+                reuse: reuse_on,
+                tx: None,
             }),
         );
     }
@@ -818,6 +908,51 @@ mod tests {
         let without = Ech::run_instrumented(&EchConfig { ech: false }, 8);
         assert_eq!(without.metrics.crypto_total(), 0);
         assert_eq!(without.completed, 1);
+    }
+
+    #[test]
+    fn session_reuse_gated_off_under_recovery() {
+        use dcp_core::RecoverConfig;
+        // Calm instrumented run: reuse is on — exactly one encapsulation
+        // (and one decapsulation) per subscriber, while every fetch still
+        // pays its per-message seal/open.
+        let cfg = VpnConfig::new(2, 3);
+        let calm = Vpn::run_instrumented(&cfg, 5);
+        assert_eq!(calm.metrics.crypto_ops["hpke_encap"], 2);
+        assert_eq!(calm.metrics.crypto_ops["hpke_decap"], 2);
+        assert_eq!(calm.metrics.crypto_ops["hpke_seal"], 6);
+        assert_eq!(calm.metrics.crypto_ops["hpke_open"], 6);
+        assert_eq!(calm.completed, 6);
+
+        // With the recovery layer on, reuse must be off: every attempt is
+        // a fresh single-shot encapsulation (no encap/decap ops recorded —
+        // those name the session fast path), and retries stay unlinkable.
+        let rec = Vpn::run_with(
+            &cfg,
+            5,
+            &RunOptions::observed().with_recovery(&RecoverConfig::standard()),
+        );
+        assert!(
+            !rec.metrics.crypto_ops.contains_key("hpke_encap"),
+            "recovered runs must not open reusable sessions: {:?}",
+            rec.metrics.crypto_ops
+        );
+        assert_eq!(rec.metrics.crypto_ops["hpke_seal"], 6);
+        assert_eq!(rec.completed, 6);
+        assert!(rec.retry_linkage.is_empty());
+
+        // Fault injection alone (no recovery) also disables reuse.
+        let faulted = Vpn::run_with(
+            &cfg,
+            5,
+            &RunOptions::observed_with_faults(&FaultConfig::moderate()),
+        );
+        assert!(!faulted.metrics.crypto_ops.contains_key("hpke_encap"));
+
+        // Reuse changes the wire format, never the knowledge outcome: the
+        // derived decoupling table matches the no-reuse (recovered-calm)
+        // run's table.
+        assert_eq!(calm.table(0), rec.table(0));
     }
 
     #[test]

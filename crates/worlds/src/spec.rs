@@ -172,7 +172,7 @@ pub trait PopulationScenario: Scenario {
     /// memory profile.
     fn run_population(spec: &WorldSpec, seed: u64) -> Self::Report {
         let cfg = Self::population_config(spec);
-        Self::run_with(&cfg, seed, &RunOptions::observed().population())
+        Self::run_with(&cfg, seed, &RunOptions::population())
     }
 }
 

@@ -151,7 +151,7 @@ fn trace_opt_out_changes_nothing_but_the_trace() {
 fn streaming_metrics_match_itemised_aggregates() {
     let cfg = OdohConfig::new(3, 4);
     let itemised = Odoh::run_with(&cfg, 9, &RunOptions::observed());
-    let streamed = Odoh::run_with(&cfg, 9, &RunOptions::observed().population());
+    let streamed = Odoh::run_with(&cfg, 9, &RunOptions::population());
 
     // The population profile keeps no unbounded vectors…
     assert!(streamed.metrics.spans.is_empty());

@@ -12,7 +12,6 @@
 //!   encodings) return errors instead of panicking, in sequential *and*
 //!   parallel worlds alike.
 
-use decoupling::crypto::bigint::BigUint;
 use decoupling::crypto::{hpke, rsa::RsaPublicKey};
 use decoupling::faults::dst::sweep_scenario_for;
 use decoupling::{
@@ -138,28 +137,9 @@ fn reports_and_configs_are_send() {
     assert_sync::<decoupling::VpnConfig>();
 }
 
-/// Regression: `BigUint` subtraction off the happy path must be
-/// recoverable, and fixed-width encoding of an oversized value must fail
-/// closed rather than assert.
-#[test]
-fn bigint_underflow_and_overflow_fail_closed() {
-    let two = BigUint::from_u64(2);
-    let three = BigUint::from_u64(3);
-    assert_eq!(two.checked_sub(&three), None);
-    assert_eq!(
-        three.checked_sub(&two),
-        Some(BigUint::one()),
-        "checked_sub must still subtract"
-    );
-    assert_eq!(
-        BigUint::from_u64(0x1_0000).checked_to_bytes_be_padded(2),
-        None
-    );
-    assert_eq!(
-        BigUint::from_u64(0x0102).checked_to_bytes_be_padded(4),
-        Some(vec![0, 0, 1, 2])
-    );
-}
+// (The bignum underflow/overflow fail-closed regression moved next to
+// the arithmetic it pins — the bigint unit tests in dcp-crypto — when
+// raw bigint references outside crates/crypto became lint-forbidden.)
 
 /// Malformed RSA wire bytes — truncated, zero-modulus, non-minimal —
 /// must come back as `Err`, never a panic inside the bignum layer.
