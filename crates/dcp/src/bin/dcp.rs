@@ -1,0 +1,162 @@
+//! `dcp` — the repository's command-line front door.
+//!
+//! The one subcommand so far is `serve`: host a wiring's roles over real
+//! TCP sockets via `dcp-serve` instead of the simulator.
+//!
+//! ```text
+//! dcp serve odoh [--clients N] [--queries N] [--seed S]
+//!     Loopback mode: every role a thread in this process, traffic over
+//!     127.0.0.1, and — because loopback keeps the knowledge-ledger
+//!     shadow — the run's knowledge fingerprint is verified byte-for-
+//!     byte against the simulated twin before reporting success.
+//!
+//! dcp serve odoh --role NAME --listen ADDR --peer NAME=ADDR ...
+//!     Process mode: host exactly one role (proxy | target | origin |
+//!     client | client-K) in this process, speaking TCP to peers at the
+//!     given addresses. Bytes only — verification stays with loopback.
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled: the workspace builds
+//! offline and takes no dependency it can't vendor.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dcp_core::Scenario;
+use dcp_faults::dst::KnowledgeFingerprint;
+use dcp_odns::serve::odoh_serve_spec;
+use dcp_odns::{Odoh, OdohConfig};
+use dcp_serve::{run_loopback, run_role, ServeConfig};
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     dcp serve odoh [--clients N] [--queries N] [--seed S]\n  \
+     dcp serve odoh --role NAME --listen ADDR [--peer NAME=ADDR]... \
+     [--seed S] [--deadline SECS]\n\n\
+     roles: proxy | target | origin | client | client-K"
+}
+
+struct ServeArgs {
+    clients: usize,
+    queries: usize,
+    seed: u64,
+    deadline_s: u64,
+    role: Option<String>,
+    listen: Option<SocketAddr>,
+    peers: Vec<(String, SocketAddr)>,
+}
+
+fn parse_serve(args: &[String]) -> Result<ServeArgs, String> {
+    let mut out = ServeArgs {
+        clients: 1,
+        queries: 4,
+        seed: 7,
+        deadline_s: 30,
+        role: None,
+        listen: None,
+        peers: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--clients" => out.clients = val("--clients")?.parse().map_err(|e| format!("{e}"))?,
+            "--queries" => out.queries = val("--queries")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => out.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--deadline" => {
+                out.deadline_s = val("--deadline")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--role" => out.role = Some(val("--role")?),
+            "--listen" => out.listen = Some(val("--listen")?.parse().map_err(|e| format!("{e}"))?),
+            "--peer" => {
+                let spec = val("--peer")?;
+                let (name, addr) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--peer wants NAME=ADDR, got {spec}"))?;
+                out.peers.push((
+                    name.to_string(),
+                    addr.parse().map_err(|e| format!("bad peer addr: {e}"))?,
+                ));
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if out.role.is_some() && out.listen.is_none() {
+        return Err("--role needs --listen".to_string());
+    }
+    Ok(out)
+}
+
+fn serve_odoh(a: ServeArgs) -> Result<(), String> {
+    let cfg = OdohConfig::new(a.clients, a.queries);
+    let serve_cfg = ServeConfig {
+        seed: a.seed,
+        deadline: Duration::from_secs(a.deadline_s),
+        ..ServeConfig::default()
+    };
+    let spec = odoh_serve_spec(&cfg, a.seed);
+
+    if let Some(role) = a.role {
+        let listen = a.listen.expect("checked in parse_serve");
+        eprintln!("dcp serve odoh: hosting role {role:?} on {listen}");
+        let units = run_role(spec, &role, listen, &a.peers, &serve_cfg)
+            .map_err(|e| format!("serve failed: {e}"))?;
+        println!("role {role}: {units} unit(s) completed");
+        return Ok(());
+    }
+
+    // Loopback: run over real sockets, then hold the result to the
+    // simulator's knowledge tables.
+    let outcome = run_loopback(spec, &serve_cfg).map_err(|e| format!("serve failed: {e}"))?;
+    if !outcome.complete() {
+        return Err(format!(
+            "run incomplete: {}/{} queries answered before the deadline",
+            outcome.completed_units, outcome.expected_units
+        ));
+    }
+    let served_fp = KnowledgeFingerprint::of(&outcome.world);
+    let sim = Odoh::run(&cfg, a.seed);
+    let sim_fp = KnowledgeFingerprint::of(&sim.world);
+    if served_fp != sim_fp {
+        return Err(
+            "knowledge tables diverged from the simulated twin — the serve path leaked or \
+             lost an observation"
+                .to_string(),
+        );
+    }
+    println!(
+        "odoh over loopback TCP: {}/{} queries answered; knowledge tables identical to the \
+         simulated twin (seed {})",
+        outcome.completed_units, outcome.expected_units, a.seed
+    );
+    for (entity, tuples) in &served_fp.rows {
+        println!("  {entity}: {}", tuples.join("  "));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) if cmd == "serve" => match rest.split_first() {
+            Some((scenario, flags)) if scenario == "odoh" => {
+                parse_serve(flags).and_then(serve_odoh)
+            }
+            Some((scenario, _)) => Err(format!("unknown scenario {scenario:?} (try: odoh)")),
+            None => Err(usage().to_string()),
+        },
+        _ => Err(usage().to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

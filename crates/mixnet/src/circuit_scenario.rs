@@ -127,19 +127,26 @@ impl Node for CircuitUser {
         ctx.send(self.entry, Message::new(bytes, self.cell_label()));
     }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
-        match msg.bytes[0] {
+        // Wire-derived input: empty cells, unknown tags, undecryptable or
+        // unexpected payloads are all dropped — never a panic.
+        let Some(&tag) = msg.bytes.first() else {
+            return;
+        };
+        match tag {
             TAG_HS_ACK => {
                 // Circuit built end-to-end; start requesting.
                 self.send_request(ctx);
             }
             TAG_BWD => {
-                let plain = self
-                    .circuit
-                    .as_mut()
-                    .unwrap()
-                    .open_backward(&msg.bytes[1..])
-                    .expect("backward cell");
-                assert_eq!(plain, RESPONSE);
+                let Some(circuit) = self.circuit.as_mut() else {
+                    return;
+                };
+                let Ok(plain) = circuit.open_backward(&msg.bytes[1..]) else {
+                    return;
+                };
+                if plain != RESPONSE {
+                    return;
+                }
                 let mut stats = self.stats.borrow_mut();
                 stats.completed += 1;
                 stats.exchange_times.push(ctx.now - self.started);
@@ -150,7 +157,7 @@ impl Node for CircuitUser {
                     self.send_request(ctx);
                 }
             }
-            t => panic!("user got tag {t}"),
+            _ => {}
         }
     }
 }
@@ -171,21 +178,30 @@ impl Node for CircuitRelay {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        let inner_label = |label: &Label, key: KeyId| -> Label {
-            match label {
-                Label::Bundle(parts) if parts.len() == 2 => {
-                    dcp_transport::onion::unwrap_label(&parts[1], key)
-                }
-                other => dcp_transport::onion::unwrap_label(other, key),
-            }
+        // Everything here is derived from wire bytes, so every surprise —
+        // empty cell, unknown tag, failed decrypt, out-of-order state,
+        // label desync — is a drop, never a panic: a relay fails closed.
+        let inner_label = |label: &Label, key: KeyId| -> Option<Label> {
+            let sealed = match label {
+                Label::Bundle(parts) if parts.len() == 2 => &parts[1],
+                other => other,
+            };
+            dcp_transport::onion::unwrap_label(sealed, key).ok()
         };
-        match msg.bytes[0] {
+        let Some(&tag) = msg.bytes.first() else {
+            return;
+        };
+        match tag {
             TAG_HS => {
-                let (state, rest) =
-                    circuit::accept(&self.kp, self.hop_index, &msg.bytes[1..]).expect("accept");
+                let Ok((state, rest)) = circuit::accept(&self.kp, self.hop_index, &msg.bytes[1..])
+                else {
+                    return;
+                };
+                let Some(label) = inner_label(&msg.label, self.key_id) else {
+                    return;
+                };
                 self.state = Some(state);
                 self.prev_of.insert(0, from);
-                let label = inner_label(&msg.label, self.key_id);
                 match self.next {
                     Some(next) => {
                         let mut bytes = vec![TAG_HS];
@@ -200,14 +216,16 @@ impl Node for CircuitRelay {
                 }
             }
             TAG_FWD => {
-                let peeled = self
-                    .state
-                    .as_mut()
-                    .expect("circuit established")
-                    .peel_forward(&msg.bytes[1..])
-                    .expect("peel");
+                let Some(state) = self.state.as_mut() else {
+                    return;
+                };
+                let Ok(peeled) = state.peel_forward(&msg.bytes[1..]) else {
+                    return;
+                };
+                let Some(label) = inner_label(&msg.label, self.key_id) else {
+                    return;
+                };
                 self.prev_of.insert(0, from);
-                let label = inner_label(&msg.label, self.key_id);
                 match self.next {
                     Some(next) => {
                         let mut bytes = vec![TAG_FWD];
@@ -216,8 +234,13 @@ impl Node for CircuitRelay {
                     }
                     None => {
                         // Exit relay: "contact the destination" and answer.
-                        assert_eq!(peeled, REQUEST);
-                        let cell = self.state.as_mut().unwrap().wrap_backward(RESPONSE);
+                        if peeled != REQUEST {
+                            return;
+                        }
+                        let Some(state) = self.state.as_mut() else {
+                            return;
+                        };
+                        let cell = state.wrap_backward(RESPONSE);
                         let mut bytes = vec![TAG_BWD];
                         bytes.extend_from_slice(&cell);
                         ctx.send(from, Message::new(bytes, Label::Public));
@@ -226,18 +249,25 @@ impl Node for CircuitRelay {
             }
             TAG_BWD => {
                 // Response heading back: add our layer, relay toward user.
-                let cell = self.state.as_mut().unwrap().wrap_backward(&msg.bytes[1..]);
+                let Some(state) = self.state.as_mut() else {
+                    return;
+                };
+                let cell = state.wrap_backward(&msg.bytes[1..]);
                 let mut bytes = vec![TAG_BWD];
                 bytes.extend_from_slice(&cell);
-                let prev = *self.prev_of.get(&0).expect("route");
+                let Some(&prev) = self.prev_of.get(&0) else {
+                    return;
+                };
                 ctx.send(prev, Message::new(bytes, Label::Public));
             }
             TAG_HS_ACK => {
                 // Handshake ack relays backwards unchanged.
-                let prev = *self.prev_of.get(&0).expect("route");
+                let Some(&prev) = self.prev_of.get(&0) else {
+                    return;
+                };
                 ctx.send(prev, Message::new(msg.bytes, Label::Public));
             }
-            t => panic!("relay got tag {t}"),
+            _ => {}
         }
     }
 }

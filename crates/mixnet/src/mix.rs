@@ -141,7 +141,11 @@ impl Node for MixNode {
             Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
             other => other.clone(),
         };
-        let inner_label = onion::unwrap_label(&outer_label, self.key_id);
+        // Label desync means bytes and labels no longer describe the same
+        // message: fail closed and drop, like a failed peel.
+        let Ok(inner_label) = onion::unwrap_label(&outer_label, self.key_id) else {
+            return;
+        };
         let (next, bytes) = match unwrapped {
             Unwrapped::Forward { next, bytes } => (next, bytes),
             // A terminal layer addressed to a mix is a protocol error;

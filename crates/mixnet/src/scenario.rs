@@ -402,13 +402,17 @@ impl Node for ReceiverNode {
         let Unwrapped::Deliver { payload } = unwrapped else {
             return;
         };
-        let _ = onion::unwrap_label(
+        if onion::unwrap_label(
             match &msg.label {
                 Label::Bundle(parts) if parts.len() == 2 => &parts[1],
                 other => other,
             },
             self.key_id,
-        );
+        )
+        .is_err()
+        {
+            return; // label desync: bytes and labels disagree — drop
+        }
         if payload.len() < 9 || payload[0] == BODY_CHAFF {
             return; // decoy (or truncated): drop silently
         }

@@ -382,7 +382,11 @@ impl Node for RelayNode {
             Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
             other => other.clone(),
         };
-        let inner_label = onion::unwrap_label(&outer_label, self.key_id);
+        // Label desync is the same failure class as a failed peel: the
+        // bytes and labels no longer describe one message. Drop it.
+        let Ok(inner_label) = onion::unwrap_label(&outer_label, self.key_id) else {
+            return;
+        };
         match unwrapped {
             Unwrapped::Forward { next, bytes } => {
                 let Some(next_node) = self

@@ -29,6 +29,7 @@ pub mod odns_name;
 pub mod odoh;
 pub mod population;
 pub mod scenario;
+pub mod serve;
 
 pub use scenario::{
     sweep, sweep_direct, DirectDns, DirectDnsConfig, OdnsLegacy, OdnsLegacyConfig, Odoh,

@@ -22,7 +22,7 @@ use dcp_runtime::{
 
 mod direct;
 mod legacy;
-mod odoh;
+pub(crate) mod odoh;
 
 /// Outcome of a DNS scenario run.
 pub struct ScenarioReport {

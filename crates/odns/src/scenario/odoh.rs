@@ -27,6 +27,44 @@ use dcp_runtime::{
 use super::{assemble, build_zone, Odoh, OdohConfig, OriginNode, ScenarioReport, Stats, SUFFIX};
 use crate::odoh;
 
+/// The client's envelope label, shared verbatim by the simulated wiring
+/// and the `dcp serve` twin (`crate::serve`): knowledge tables are a
+/// function of labels and key grants, so sharing the builders is what
+/// makes the two runs byte-comparable.
+///
+/// Outer envelope: the proxy knows the client (▲_N) and that a DNS query
+/// happened (⊙). Inner seal: the target reads the query content (⊙/●) of
+/// an anonymous user (△).
+pub(crate) fn envelope_label(user: UserId, target_key: dcp_core::KeyId) -> Label {
+    Label::items([
+        InfoItem::sensitive_identity(user, IdentityKind::Any),
+        InfoItem::plain_data(user, DataKind::DnsQuery),
+    ])
+    .and(
+        Label::items([
+            InfoItem::plain_identity(user, IdentityKind::Any),
+            InfoItem::partial_data(user, DataKind::DnsQuery),
+        ])
+        .sealed(target_key),
+    )
+}
+
+/// The target's response label: sealed to the client's ephemeral key —
+/// intermediaries learn nothing; the client learns its own answer (●,
+/// which it is entitled to).
+pub(crate) fn response_label(user: UserId, client_resp_key: dcp_core::KeyId) -> Label {
+    Label::items([InfoItem::sensitive_data(user, DataKind::DnsQuery)]).sealed(client_resp_key)
+}
+
+/// The target→origin label: a plaintext recursive query — the origin
+/// sees the query (●) from the resolver's address (△).
+pub(crate) fn origin_query_label(user: UserId) -> Label {
+    Label::items([
+        InfoItem::plain_identity(user, IdentityKind::Any),
+        InfoItem::sensitive_data(user, DataKind::DnsQuery),
+    ])
+}
+
 struct OdohClient {
     entity: EntityId,
     user: UserId,
@@ -57,20 +95,7 @@ struct OdohInflight {
 
 impl OdohClient {
     fn envelope_label(&self) -> Label {
-        // Outer envelope: the proxy knows the client (▲_N) and that a DNS
-        // query happened (⊙). Inner seal: the target reads the query
-        // content (⊙/●) of an anonymous user (△).
-        Label::items([
-            InfoItem::sensitive_identity(self.user, IdentityKind::Any),
-            InfoItem::plain_data(self.user, DataKind::DnsQuery),
-        ])
-        .and(
-            Label::items([
-                InfoItem::plain_identity(self.user, IdentityKind::Any),
-                InfoItem::partial_data(self.user, DataKind::DnsQuery),
-            ])
-            .sealed(self.target_key),
-        )
+        envelope_label(self.user, self.target_key)
     }
 
     fn send_next(&mut self, ctx: &mut Ctx) {
@@ -380,11 +405,7 @@ impl Node for TargetNode {
             let Ok(sealed) = odoh::seal_response(ctx.rng, &resp_pk, &resp) else {
                 return; // cannot seal: never answer in plaintext
             };
-            // Sealed to the client's ephemeral key: intermediaries learn
-            // nothing; the client learns its own answer (●, which it is
-            // entitled to).
-            let label = Label::items([InfoItem::sensitive_data(user, DataKind::DnsQuery)])
-                .sealed(self.client_resp_key);
+            let label = response_label(user, self.client_resp_key);
             let bytes = match seq {
                 Some(s) => wire::frame(s, &sealed),
                 None => sealed,
@@ -419,12 +440,7 @@ impl Node for TargetNode {
             }
             None => self.pending.insert(0, (from, resp_pk, user)),
         }
-        // Plaintext recursive query to the authoritative origin: the
-        // origin sees the query (●) from the resolver's address (△).
-        let label = Label::items([
-            InfoItem::plain_identity(user, IdentityKind::Any),
-            InfoItem::sensitive_data(user, DataKind::DnsQuery),
-        ]);
+        let label = origin_query_label(user);
         let bytes = match seq {
             Some(s) => wire::frame(s, &query.encode()),
             None => query.encode(),
@@ -457,14 +473,45 @@ impl TargetNode {
     }
 }
 
-pub(super) fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
+/// Everything the ODoH wiring derives before any node exists: entities,
+/// keys, the target keypair, and the per-client workload. Installed into
+/// a [`dcp_core::World`] by [`plan_world`], which both the simulated
+/// wiring and the `dcp serve` twin (`crate::serve`) call — the exact
+/// same sequence of world mutations is what makes the two runs'
+/// knowledge tables byte-comparable.
+pub(crate) struct OdohPlan {
+    pub(crate) proxy_e: EntityId,
+    pub(crate) target_e: EntityId,
+    pub(crate) origin_e: EntityId,
+    pub(crate) backup_entities: Vec<EntityId>,
+    pub(crate) target_kp: hpke::Keypair,
+    pub(crate) users: Vec<UserId>,
+    pub(crate) client_entities: Vec<EntityId>,
+    pub(crate) target_key: dcp_core::KeyId,
+    pub(crate) client_resp_key: dcp_core::KeyId,
+    pub(crate) subject_of_query: std::collections::HashMap<String, UserId>,
+    pub(crate) per_client_queries: Vec<Vec<DnsName>>,
+    pub(crate) zone: dcp_dns::Zone,
+}
+
+/// Install the ODoH entity/key/workload layout into `world`.
+///
+/// The mutation order is load-bearing twice over: the sim run's metrics
+/// sink observes entity creation in sequence (the DST probes are
+/// byte-identical across refactors only if the order holds), and the
+/// serve twin relies on producing the *same* entity and key ids.
+pub(crate) fn plan_world(
+    world: &mut dcp_core::World,
+    cfg: &OdohConfig,
+    seed: u64,
+    recover_on: bool,
+) -> OdohPlan {
     use rand::SeedableRng;
     let (n_clients, queries_each) = (cfg.clients, cfg.queries_each);
     let mut setup_rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x0d0a);
     let workload = ZipfWorkload::new(200, 1.0, SUFFIX);
     let zone = build_zone(&workload);
 
-    let (mut world, harness) = Harness::begin(Odoh::NAME, seed, opts);
     let isp_org = world.add_org("isp");
     let odns_org = world.add_org("oblivious-operator");
     let auth_org = world.add_org("authoritative");
@@ -478,7 +525,6 @@ pub(super) fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> Scena
     // clients rotate across all of them even in calm runs — a backup
     // that only ever saw failure traffic would accrue knowledge only
     // under faults, breaking the DST's table-equality bar.
-    let recover_on = opts.recover.enabled;
     let n_backups = if recover_on { cfg.backup_proxies } else { 0 };
     let mut backup_entities = Vec::new();
     for i in 0..n_backups {
@@ -520,6 +566,41 @@ pub(super) fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> Scena
         }
         per_client_queries.push(qs);
     }
+
+    OdohPlan {
+        proxy_e,
+        target_e,
+        origin_e,
+        backup_entities,
+        target_kp,
+        users,
+        client_entities,
+        target_key,
+        client_resp_key,
+        subject_of_query,
+        per_client_queries,
+        zone,
+    }
+}
+
+pub(super) fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> ScenarioReport {
+    let (n_clients, queries_each) = (cfg.clients, cfg.queries_each);
+    let (mut world, harness) = Harness::begin(Odoh::NAME, seed, opts);
+    let recover_on = opts.recover.enabled;
+    let OdohPlan {
+        proxy_e,
+        target_e,
+        origin_e,
+        backup_entities,
+        target_kp,
+        users,
+        client_entities,
+        target_key,
+        client_resp_key,
+        subject_of_query,
+        per_client_queries,
+        zone,
+    } = plan_world(&mut world, cfg, seed, recover_on);
 
     let stats = Rc::new(RefCell::new(Stats::new(1)));
 

@@ -211,7 +211,12 @@ impl Node for ClientNode {
         let (bytes, label) = self.issuance_request(ctx);
         ctx.send(
             self.issuer,
-            Message::new(Frame::new(FrameType::Token, bytes).encode(), label),
+            Message::new(
+                Frame::new(FrameType::Token, bytes)
+                    .encode()
+                    .expect("bounded payload"),
+                label,
+            ),
         );
     }
 
@@ -356,7 +361,12 @@ impl ClientNode {
             .borrow_mut()
             .linkage
             .record(self.flow, att.seq, att.attempt, &bytes);
-        let framed = wire::frame(att.seq, &Frame::new(FrameType::Token, bytes).encode());
+        let framed = wire::frame(
+            att.seq,
+            &Frame::new(FrameType::Token, bytes)
+                .encode()
+                .expect("bounded payload"),
+        );
         ctx.send(self.issuer, Message::new(framed, label));
         ctx.set_timer(att.timer_delay_us, att.token);
     }
@@ -369,7 +379,9 @@ impl ClientNode {
         let label = self.fetch_label();
         let framed = wire::frame(
             att.seq,
-            &Frame::new(FrameType::Data, payload.to_vec()).encode(),
+            &Frame::new(FrameType::Data, payload.to_vec())
+                .encode()
+                .expect("bounded payload"),
         );
         ctx.send(self.origin, Message::new(framed, label));
         ctx.set_timer(att.timer_delay_us, att.token);
@@ -409,7 +421,12 @@ impl ClientNode {
         let label = self.fetch_label();
         ctx.send(
             self.origin,
-            Message::new(Frame::new(FrameType::Data, payload).encode(), label),
+            Message::new(
+                Frame::new(FrameType::Data, payload)
+                    .encode()
+                    .expect("bounded payload"),
+                label,
+            ),
         );
     }
 }
@@ -465,7 +482,9 @@ impl Node for IssuerNode {
                     bytes.extend_from_slice(&p.c);
                     bytes.extend_from_slice(&p.s);
                 }
-                let encoded = Frame::new(FrameType::Response, bytes).encode();
+                let encoded = Frame::new(FrameType::Response, bytes)
+                    .encode()
+                    .expect("bounded payload");
                 let reply = match seq {
                     // Echo the client's sequence: issuance evaluation is
                     // stateless, so retransmissions are simply re-answered.
@@ -483,7 +502,9 @@ impl Node for IssuerNode {
                     if let Some(&ok) = self.verdicts.get(&seq) {
                         // Replay: the first check's verdict stands — a
                         // retransmitted token is never a double-spend.
-                        let encoded = Frame::new(FrameType::Response, vec![u8::from(ok)]).encode();
+                        let encoded = Frame::new(FrameType::Response, vec![u8::from(ok)])
+                            .encode()
+                            .expect("bounded payload");
                         ctx.send(
                             from,
                             Message::new(wire::frame(seq, &encoded), Label::Public),
@@ -500,7 +521,9 @@ impl Node for IssuerNode {
                     }
                     Err(_) => false,
                 };
-                let encoded = Frame::new(FrameType::Response, vec![u8::from(ok)]).encode();
+                let encoded = Frame::new(FrameType::Response, vec![u8::from(ok)])
+                    .encode()
+                    .expect("bounded payload");
                 let reply = match seq {
                     Some(seq) => {
                         self.verdicts.insert(seq, ok);
@@ -626,7 +649,9 @@ impl Node for OriginNode {
                     // Still checking: re-nudge the issuer leg under the
                     // *same* hop sequence (the issuer replays its verdict).
                     None => {
-                        let fwd = Frame::new(FrameType::Data, check.token.clone()).encode();
+                        let fwd = Frame::new(FrameType::Data, check.token.clone())
+                            .encode()
+                            .expect("bounded payload");
                         ctx.send(
                             self.issuer,
                             Message::new(wire::frame(check.hopseq, &fwd), Label::Public),
@@ -647,7 +672,9 @@ impl Node for OriginNode {
                 },
             );
             self.by_hop.insert(hopseq, (from, cseq));
-            let fwd = Frame::new(FrameType::Data, token).encode();
+            let fwd = Frame::new(FrameType::Data, token)
+                .encode()
+                .expect("bounded payload");
             ctx.send(
                 self.issuer,
                 Message::new(wire::frame(hopseq, &fwd), Label::Public),
@@ -668,7 +695,9 @@ impl Node for OriginNode {
         ctx.send(
             self.issuer,
             Message::new(
-                Frame::new(FrameType::Data, token_bytes.to_vec()).encode(),
+                Frame::new(FrameType::Data, token_bytes.to_vec())
+                    .encode()
+                    .expect("bounded payload"),
                 Label::Public,
             ),
         );

@@ -26,6 +26,10 @@
 //!   construction with fault arming, role-typed node registration, and
 //!   [`RunCore`] assembly (world, trace, fault log, metrics) that every
 //!   `ScenarioReport` embeds.
+//! * [`seam`] — the sim/prod transport seam: [`seam::WireRole`] protocol
+//!   logic that `dcp-serve` hosts over real TCP sockets while the DST
+//!   drives its deterministic twin here, with information-flow labels
+//!   riding an out-of-band verification channel (never the socket).
 //! * Re-exports of the full simulator/recovery surface scenarios need
 //!   ([`Ctx`], [`Message`], [`Network`], [`wire`], [`Dedup`],
 //!   [`HopMap`], [`Failover`], …), so scenario crates depend on *this*
@@ -42,6 +46,7 @@
 mod driver;
 mod harness;
 mod outbox;
+pub mod seam;
 
 pub use driver::{CallEvent, Driver};
 pub use harness::{mean_us, Harness, RunCore};

@@ -1,0 +1,282 @@
+//! The sim/prod transport seam: role logic written against this module
+//! runs unmodified over the deterministic simulator *or* over real TCP
+//! sockets (`dcp-serve`).
+//!
+//! The seam is deliberately narrow — a [`WireRole`] sees typed frames
+//! ([`WireMsg`]) from identified peers ([`PeerId`]) and queues typed
+//! frames back through a [`WireCtx`]; everything else (sockets, accept
+//! backpressure, shutdown, the knowledge-ledger shadow) belongs to the
+//! engine behind the seam. Scenario crates depend on *this* module only;
+//! the CI layering lint forbids them from reaching into `dcp-serve`, the
+//! same way it forbids direct `dcp-simnet` use.
+//!
+//! Two engines implement the seam:
+//!
+//! * the simulator (via each scenario's existing `Node` wiring) — the
+//!   deterministic twin the DST probes drive;
+//! * `dcp-serve` — real TCP loopback threads or separate processes.
+//!
+//! Labels never cross a real socket. In loopback mode the engine carries
+//! each message's [`Label`] on an in-memory side channel and replays the
+//! simulator's delivery rule (`world.observe(entity, &label)`) at frame
+//! delivery, which is what makes the knowledge tables of a TCP run
+//! byte-comparable to the simulated twin. In multi-process mode there is
+//! no shared world; bytes still flow, and the twin check is the loopback
+//! run's job.
+
+use dcp_core::role::RoleKind;
+use dcp_core::{EntityId, InfoItem, Label, World};
+use rand::rngs::StdRng;
+
+pub use dcp_transport::frame::{checked_wire_len, Frame, FrameRef, FrameType, MAX_PAYLOAD};
+pub use dcp_transport::TransportError;
+
+/// Identifies one role instance inside a [`ServeSpec`] wiring: the index
+/// into [`ServeSpec::roles`]. Compact (`u16`) because it rides the
+/// connection-hello frame in multi-process mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PeerId(pub u16);
+
+impl PeerId {
+    /// The index into [`ServeSpec::roles`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A message crossing the seam: a typed frame's content, plus the
+/// information-flow label that shadows it for verification. The label is
+/// never serialized onto a socket — the engine carries it out-of-band
+/// (loopback) or drops it (multi-process).
+#[derive(Clone, Debug)]
+pub struct WireMsg {
+    /// Frame type tag (the wire carries it via [`Frame`]).
+    pub ftype: FrameType,
+    /// Frame payload bytes.
+    pub payload: Vec<u8>,
+    /// The verification label riding shotgun.
+    pub label: Label,
+}
+
+impl WireMsg {
+    /// A DATA frame.
+    pub fn data(payload: Vec<u8>, label: Label) -> Self {
+        WireMsg {
+            ftype: FrameType::Data,
+            payload,
+            label,
+        }
+    }
+
+    /// A RESPONSE frame.
+    pub fn response(payload: Vec<u8>, label: Label) -> Self {
+        WireMsg {
+            ftype: FrameType::Response,
+            payload,
+            label,
+        }
+    }
+}
+
+/// What a [`WireRole`] may do during a callback: queue outgoing frames,
+/// record knowledge, count crypto work, and draw randomness. The engine
+/// constructs one per callback and applies the queued effects afterwards
+/// — mirroring the simulator's `Ctx`/outbox discipline so role code has
+/// the same shape in both worlds.
+pub struct WireCtx<'a> {
+    /// Seeded randomness for sealing operations. Per-role and engine-
+    /// owned; ciphertext bytes differ between sim and serve runs, which
+    /// is fine — knowledge tables depend on labels and keys, not on
+    /// ciphertext.
+    pub rng: &'a mut StdRng,
+    pub(crate) out: Vec<(PeerId, WireMsg)>,
+    pub(crate) recorded: Vec<InfoItem>,
+    pub(crate) crypto_ops: Vec<&'static str>,
+    pub(crate) units_done: u64,
+}
+
+impl<'a> WireCtx<'a> {
+    /// Build a context around an engine-owned RNG. Engines call this;
+    /// roles only consume the methods below.
+    pub fn new(rng: &'a mut StdRng) -> Self {
+        WireCtx {
+            rng,
+            out: Vec::new(),
+            recorded: Vec::new(),
+            crypto_ops: Vec::new(),
+            units_done: 0,
+        }
+    }
+
+    /// Queue a frame for delivery to `to`.
+    pub fn send(&mut self, to: PeerId, msg: WireMsg) {
+        self.out.push((to, msg));
+    }
+
+    /// Record an item into this role's own knowledge ledger (the serve
+    /// analogue of `ctx.world.record(self.entity, item)`).
+    pub fn record(&mut self, item: InfoItem) {
+        self.recorded.push(item);
+    }
+
+    /// Count a cryptographic operation (metrics only; never affects
+    /// knowledge tables).
+    pub fn crypto_op(&mut self, op: &'static str) {
+        self.crypto_ops.push(op);
+    }
+
+    /// Mark one end-to-end work unit complete (a resolved query, a
+    /// redeemed token, …). The engine sums these into the run outcome.
+    pub fn unit_done(&mut self) {
+        self.units_done += 1;
+    }
+
+    /// Drain the queued effects. Engine-side: apply `recorded` and
+    /// `crypto_ops` to the world (when one exists), dispatch `out`.
+    pub fn finish(self) -> WireEffects {
+        WireEffects {
+            out: self.out,
+            recorded: self.recorded,
+            crypto_ops: self.crypto_ops,
+            units_done: self.units_done,
+        }
+    }
+}
+
+/// The queued effects of one role callback, in order.
+pub struct WireEffects {
+    /// Outgoing frames.
+    pub out: Vec<(PeerId, WireMsg)>,
+    /// Knowledge recorded by the role about itself.
+    pub recorded: Vec<InfoItem>,
+    /// Crypto operations performed.
+    pub crypto_ops: Vec<&'static str>,
+    /// Work units completed during the callback.
+    pub units_done: u64,
+}
+
+/// Apply a delivered message and a role callback's effects to a world —
+/// the engine-side half of the simulator's delivery rule. `observe` runs
+/// *before* the role sees the frame in engine code; this helper exists so
+/// every engine sequences the ledger writes identically.
+pub fn apply_effects(world: &mut World, entity: EntityId, effects: &WireEffects) {
+    for item in &effects.recorded {
+        world.record(entity, item.clone());
+    }
+    for op in &effects.crypto_ops {
+        world.crypto_op(op);
+    }
+}
+
+/// Protocol logic for one role instance, written once and hosted by
+/// either engine. All methods receive hostile input in production —
+/// implementations must drop malformed or unexpected frames, never
+/// panic (the engine treats a panic as a role crash and tears the run
+/// down).
+pub trait WireRole: Send {
+    /// Called once before any frame flows (the `on_start` twin): seed
+    /// the role's own ledger, send initial requests.
+    fn on_start(&mut self, _ctx: &mut WireCtx) {}
+
+    /// A frame arrived from `from`. The engine has already observed the
+    /// label into the world (loopback mode) — the role only runs
+    /// protocol logic and queues replies.
+    fn on_frame(&mut self, ctx: &mut WireCtx, from: PeerId, msg: WireMsg);
+
+    /// Has this role completed all the work it initiates? Engines stop
+    /// the run when every `Initiator` role reports `true`. Non-initiator
+    /// roles keep the default `false`; they are shut down by the engine.
+    fn finished(&self) -> bool {
+        false
+    }
+}
+
+/// One role instance in a wiring: who it is in the world, what
+/// architectural kind it plays, and its protocol logic.
+pub struct RoleSpec {
+    /// Stable role-instance name (e.g. `"client"`, `"proxy"`); doubles
+    /// as the `--role` selector in multi-process mode.
+    pub name: String,
+    /// The entity whose ledger this role writes (loopback mode).
+    pub entity: EntityId,
+    /// Architectural kind — engines use it to decide who drives the run
+    /// (initiators) and who merely serves.
+    pub kind: RoleKind,
+    /// The protocol logic.
+    pub role: Box<dyn WireRole>,
+}
+
+/// A complete serveable wiring: the world (entity/key layout identical
+/// to the simulated twin's) plus every role. Built by a scenario crate
+/// (e.g. `dcp_odns::odoh_serve_spec`), consumed by an engine.
+pub struct ServeSpec {
+    /// Scenario name (e.g. `"odns"`).
+    pub scenario: &'static str,
+    /// The knowledge world, with the same entity/user/key layout the
+    /// simulated twin builds.
+    pub world: World,
+    /// All role instances. [`PeerId`]`(i)` addresses `roles[i]`.
+    pub roles: Vec<RoleSpec>,
+    /// Work units the wiring should complete end-to-end.
+    pub expected_units: u64,
+}
+
+impl ServeSpec {
+    /// Index of the role named `name`, if any.
+    pub fn role_index(&self, name: &str) -> Option<usize> {
+        self.roles.iter().position(|r| r.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    struct Echo {
+        done: bool,
+    }
+    impl WireRole for Echo {
+        fn on_frame(&mut self, ctx: &mut WireCtx, from: PeerId, msg: WireMsg) {
+            ctx.send(from, WireMsg::response(msg.payload, Label::Public));
+            ctx.unit_done();
+            self.done = true;
+        }
+        fn finished(&self) -> bool {
+            self.done
+        }
+    }
+
+    #[test]
+    fn ctx_queues_effects_in_order() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ctx = WireCtx::new(&mut rng);
+        let mut role = Echo { done: false };
+        role.on_frame(
+            &mut ctx,
+            PeerId(3),
+            WireMsg::data(b"ping".to_vec(), Label::Public),
+        );
+        let fx = ctx.finish();
+        assert_eq!(fx.out.len(), 1);
+        assert_eq!(fx.out[0].0, PeerId(3));
+        assert_eq!(fx.out[0].1.payload, b"ping");
+        assert_eq!(fx.units_done, 1);
+        assert!(role.finished());
+    }
+
+    #[test]
+    fn apply_effects_writes_the_ledger() {
+        use dcp_core::{DataKind, InfoItem};
+        let mut world = World::new();
+        let org = world.add_org("o");
+        let u = world.add_user();
+        let e = world.add_entity("E", org, None);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ctx = WireCtx::new(&mut rng);
+        ctx.record(InfoItem::sensitive_data(u, DataKind::Payload));
+        ctx.crypto_op("hpke_seal");
+        apply_effects(&mut world, e, &ctx.finish());
+        assert!(world.tuple(e, u).has_sensitive_data());
+    }
+}

@@ -1,0 +1,571 @@
+//! Role hosts: the event loop that runs [`WireRole`]s over real sockets.
+//!
+//! One OS thread per role (thread-per-role, the workspace's minimal
+//! stand-in for thread-per-core), each owning a nonblocking listener and
+//! a bounded connection set. Accept backpressure is literal: a host at
+//! its connection cap simply stops calling `accept(2)`, letting the
+//! kernel's SYN backlog absorb or shed the excess.
+//!
+//! ## Connection hello and the label side channel
+//!
+//! The first frame on every connection is a CONNECT hello:
+//! `nonce:u64be ‖ sender:u16be`. In loopback mode the nonce must have
+//! been pre-registered (single-use) by the sending host on the shared
+//! [`LabelBus`] — a rogue local connection that invents a hello is
+//! poisoned and observes nothing. Verified data frames then pop exactly
+//! one label per frame from the bus's per-direction FIFO (valid because
+//! TCP preserves order within a connection and each directed pair uses
+//! one connection), and the engine replays the simulator's delivery
+//! rule — `world.observe(entity, &label)` *before* the role sees the
+//! frame. In multi-process mode there is no shared bus or world: the
+//! hello only identifies the peer, frames deliver with `Label::Public`,
+//! and the twin check belongs to the loopback run.
+//!
+//! ## Fail-closed invariants
+//!
+//! * A decode error ([`FrameReader`]) closes that connection; no resync
+//!   guessing.
+//! * A frame before a (valid) hello, a second hello, or a data frame
+//!   with no queued label closes the connection.
+//! * A role panic tears down the run with [`ServeError::RoleCrash`];
+//!   hostile *wire bytes* can never cause one (roles are written
+//!   fail-closed, and `tests/serve_loopback.rs` fuzzes the decoder).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dcp_core::role::RoleKind;
+use dcp_core::{EntityId, Label, World};
+use dcp_runtime::seam::{
+    apply_effects, PeerId, ServeSpec, WireCtx, WireEffects, WireMsg, WireRole,
+};
+use dcp_transport::frame::{Frame, FrameType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::codec::{write_frame, FrameReader};
+use crate::{ServeError, ServeOutcome};
+
+/// Engine knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Per-host inbound connection cap; at the cap the host stops
+    /// accepting (backpressure) until a connection closes.
+    pub max_conns: usize,
+    /// Seed for engine randomness (role RNGs, hello nonces). The same
+    /// seed the simulated twin ran with, by convention.
+    pub seed: u64,
+    /// Wall-clock bound on the whole run: when it passes, shutdown is
+    /// signalled regardless of progress (a hung peer must not hang the
+    /// process forever).
+    pub deadline: Duration,
+    /// Loopback only: if set, the engine sends every role's bound
+    /// address (indexed by peer id) here right after binding, before any
+    /// role starts. Exists so tests can aim hostile traffic at live
+    /// listeners; production callers leave it `None`.
+    pub port_report: Option<std::sync::mpsc::Sender<Vec<SocketAddr>>>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_conns: 64,
+            seed: 0,
+            deadline: Duration::from_secs(30),
+            port_report: None,
+        }
+    }
+}
+
+/// The loopback label side channel plus the hello-nonce registry.
+///
+/// Labels are verification shadow state — they never touch a socket.
+/// Each directed role pair `(from, to)` keeps a FIFO of labels, pushed
+/// by the sender *before* the frame bytes are written and popped by the
+/// receiver per delivered frame; TCP's in-order delivery on the single
+/// connection per pair keeps bytes and labels in lock-step.
+#[derive(Default)]
+pub(crate) struct LabelBus {
+    queues: Mutex<HashMap<(u16, u16), VecDeque<Label>>>,
+    nonces: Mutex<HashMap<u64, u16>>,
+}
+
+impl LabelBus {
+    fn push(&self, from: u16, to: u16, label: Label) {
+        self.queues
+            .lock()
+            .unwrap()
+            .entry((from, to))
+            .or_default()
+            .push_back(label);
+    }
+
+    fn pop(&self, from: u16, to: u16) -> Option<Label> {
+        self.queues
+            .lock()
+            .unwrap()
+            .get_mut(&(from, to))
+            .and_then(VecDeque::pop_front)
+    }
+
+    fn register_nonce(&self, nonce: u64, sender: u16) {
+        self.nonces.lock().unwrap().insert(nonce, sender);
+    }
+
+    /// Single-use: a replayed hello finds its nonce gone and fails.
+    fn take_nonce(&self, nonce: u64) -> Option<u16> {
+        self.nonces.lock().unwrap().remove(&nonce)
+    }
+}
+
+/// One full-duplex connection: either accepted (peer learned from the
+/// hello) or dialed (peer known at connect time). A directed role pair
+/// uses exactly one connection — replies ride the requester's dial — so
+/// the label side channel's per-pair FIFO stays aligned with TCP's
+/// in-order delivery.
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// `Some(peer)` once identified: immediately for dialed connections,
+    /// after a valid hello for accepted ones. Frames on an accepted
+    /// connection before its hello are a protocol violation and close it.
+    peer: Option<u16>,
+    /// Accepted connections expect a hello; dialed ones must never see
+    /// one.
+    dialed: bool,
+}
+
+/// Engine state shared by every host of one run.
+struct SharedRun {
+    /// Loopback only: the knowledge-ledger twin.
+    world: Option<Arc<Mutex<World>>>,
+    /// Loopback only: the label side channel.
+    bus: Option<Arc<LabelBus>>,
+    shutdown: Arc<AtomicBool>,
+    units: Arc<AtomicU64>,
+    initiators_done: Arc<AtomicUsize>,
+}
+
+struct RoleHost {
+    idx: u16,
+    entity: EntityId,
+    kind: RoleKind,
+    role: Box<dyn WireRole>,
+    listener: TcpListener,
+    peer_addrs: HashMap<u16, SocketAddr>,
+    conns: Vec<Conn>,
+    /// Role-visible RNG (sealing operations).
+    rng: StdRng,
+    /// Engine-only RNG (hello nonces) — separate so engine draws can
+    /// never perturb protocol-level randomness.
+    nonce_rng: StdRng,
+    shared: SharedRun,
+    max_conns: usize,
+}
+
+impl RoleHost {
+    fn run(mut self) -> Result<(), ServeError> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(ServeError::Io)?;
+        let fx = {
+            let mut ctx = WireCtx::new(&mut self.rng);
+            self.role.on_start(&mut ctx);
+            ctx.finish()
+        };
+        self.apply(fx)?;
+        let mut buf = [0u8; 4096];
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if self.kind == RoleKind::Initiator && self.role.finished() {
+                self.shared.initiators_done.fetch_add(1, Ordering::SeqCst);
+                break;
+            }
+            let mut progress = false;
+
+            // Accept with backpressure: at the cap, simply don't accept.
+            while self.conns.len() < self.max_conns {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(true).map_err(ServeError::Io)?;
+                        self.conns.push(Conn {
+                            stream,
+                            reader: FrameReader::new(),
+                            peer: None,
+                            dialed: false,
+                        });
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+
+            // Drain readable connections; any per-connection failure
+            // closes that connection only.
+            let mut i = 0;
+            while i < self.conns.len() {
+                match self.conns[i].stream.read(&mut buf) {
+                    Ok(0) => {
+                        self.conns.swap_remove(i);
+                        continue;
+                    }
+                    Ok(n) => {
+                        progress = true;
+                        let frames = match self.conns[i].reader.push(&buf[..n]) {
+                            Ok(frames) => frames,
+                            Err(_) => {
+                                // Undecodable stream: fail closed.
+                                self.conns.swap_remove(i);
+                                continue;
+                            }
+                        };
+                        let mut poisoned = false;
+                        for frame in frames {
+                            if !self.handle_frame(i, frame)? {
+                                poisoned = true;
+                                break;
+                            }
+                        }
+                        if poisoned {
+                            self.conns.swap_remove(i);
+                            continue;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => {
+                        self.conns.swap_remove(i);
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+
+            if !progress {
+                std::thread::sleep(Duration::from_micros(300));
+            }
+        }
+        Ok(())
+    }
+
+    /// Process one decoded frame on connection `ci`. `Ok(false)` poisons
+    /// the connection (fail closed); errors tear the run down.
+    fn handle_frame(&mut self, ci: usize, frame: Frame) -> Result<bool, ServeError> {
+        // A hello on a connection *we* dialed is a protocol violation no
+        // matter what it claims.
+        if self.conns[ci].dialed && frame.ftype == FrameType::Connect {
+            return Ok(false);
+        }
+        match (self.conns[ci].peer, frame.ftype) {
+            (None, FrameType::Connect) => {
+                if frame.payload.len() != 10 {
+                    return Ok(false);
+                }
+                let nonce = u64::from_be_bytes(frame.payload[..8].try_into().expect("8 bytes"));
+                let from = u16::from_be_bytes([frame.payload[8], frame.payload[9]]);
+                match &self.shared.bus {
+                    // Loopback: the hello must present a nonce the
+                    // claimed sender registered — single-use, so replays
+                    // fail too. A rogue connection observes nothing.
+                    Some(bus) => match bus.take_nonce(nonce) {
+                        Some(registered) if registered == from => {
+                            self.conns[ci].peer = Some(from);
+                            Ok(true)
+                        }
+                        _ => Ok(false),
+                    },
+                    // Multi-process: the hello is identification, not
+                    // authentication (that is the transport-security
+                    // layer's job, out of scope here — see docs/SERVE.md).
+                    None => {
+                        self.conns[ci].peer = Some(from);
+                        Ok(true)
+                    }
+                }
+            }
+            // Data before a hello, or a second hello: protocol violation.
+            (None, _) | (Some(_), FrameType::Connect) => Ok(false),
+            (Some(from), ftype) => {
+                let label = match &self.shared.bus {
+                    Some(bus) => match bus.pop(from, self.idx) {
+                        Some(label) => label,
+                        // Bytes without a shadow label would mean the
+                        // sender bypassed the seam: desync, fail closed.
+                        None => return Ok(false),
+                    },
+                    None => Label::Public,
+                };
+                // The simulator's delivery rule, replayed: the receiving
+                // entity observes the label before protocol processing.
+                if let Some(world) = &self.shared.world {
+                    world.lock().unwrap().observe(self.entity, &label);
+                }
+                let fx = {
+                    let mut ctx = WireCtx::new(&mut self.rng);
+                    self.role.on_frame(
+                        &mut ctx,
+                        PeerId(from),
+                        WireMsg {
+                            ftype,
+                            payload: frame.payload,
+                            label,
+                        },
+                    );
+                    ctx.finish()
+                };
+                self.apply(fx)?;
+                Ok(true)
+            }
+        }
+    }
+
+    fn apply(&mut self, fx: WireEffects) -> Result<(), ServeError> {
+        if let Some(world) = &self.shared.world {
+            apply_effects(&mut world.lock().unwrap(), self.entity, &fx);
+        }
+        if fx.units_done > 0 {
+            self.shared.units.fetch_add(fx.units_done, Ordering::SeqCst);
+        }
+        for (to, msg) in fx.out {
+            self.send(to.0, msg)?;
+        }
+        Ok(())
+    }
+
+    fn send(&mut self, to: u16, msg: WireMsg) -> Result<(), ServeError> {
+        // Prefer the connection we already share with this peer — the
+        // one they dialed to us, or one we dialed earlier. Replies riding
+        // the requester's own connection is what lets a pure responder
+        // (the origin) run with no peer addresses at all, and keeps each
+        // pair on a single TCP stream so the loopback label FIFO stays
+        // aligned with byte order.
+        if !self.conns.iter().any(|c| c.peer == Some(to)) {
+            let addr = *self
+                .peer_addrs
+                .get(&to)
+                .ok_or(ServeError::UnknownPeer(to))?;
+            let mut stream = TcpStream::connect(addr).map_err(ServeError::Io)?;
+            let nonce: u64 = self.nonce_rng.gen();
+            if let Some(bus) = &self.shared.bus {
+                bus.register_nonce(nonce, self.idx);
+            }
+            let mut hello = nonce.to_be_bytes().to_vec();
+            hello.extend_from_slice(&self.idx.to_be_bytes());
+            // Hello goes out while the stream still blocks; everything
+            // after is nonblocking, full duplex.
+            write_frame(&mut stream, FrameType::Connect, &hello)?;
+            stream.set_nonblocking(true).map_err(ServeError::Io)?;
+            self.conns.push(Conn {
+                stream,
+                reader: FrameReader::new(),
+                peer: Some(to),
+                dialed: true,
+            });
+        }
+        // Label rides the side channel, pushed strictly before the frame
+        // bytes so the receiver can never see bytes without their label.
+        if let Some(bus) = &self.shared.bus {
+            bus.push(self.idx, to, msg.label.clone());
+        }
+        let conn = self
+            .conns
+            .iter_mut()
+            .find(|c| c.peer == Some(to))
+            .expect("just ensured");
+        write_frame_retry(&mut conn.stream, msg.ftype, &msg.payload)
+    }
+}
+
+/// `write_all` for a nonblocking stream: a full kernel send buffer
+/// (`WouldBlock`) means back off briefly and keep going — a partial
+/// frame on the wire is never acceptable.
+fn write_frame_retry(
+    stream: &mut TcpStream,
+    ftype: FrameType,
+    payload: &[u8],
+) -> Result<(), ServeError> {
+    use std::io::Write;
+    let bytes = Frame::new(ftype, payload.to_vec())
+        .encode()
+        .map_err(ServeError::Wire)?;
+    let mut off = 0;
+    while off < bytes.len() {
+        match stream.write(&bytes[off..]) {
+            Ok(0) => {
+                return Err(ServeError::Io(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "peer closed mid-frame",
+                )))
+            }
+            Ok(n) => off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Run a whole wiring in one process: every role a thread, traffic over
+/// real loopback TCP, labels on the in-memory side channel, the world a
+/// shared twin ledger. Returns when every initiator role reports
+/// [`WireRole::finished`] (or the deadline passes), after gracefully
+/// shutting the service hosts down.
+pub fn run_loopback(spec: ServeSpec, cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
+    let n = spec.roles.len();
+    let mut listeners = Vec::with_capacity(n);
+    let mut peer_addrs = HashMap::new();
+    for i in 0..n {
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(ServeError::Io)?;
+        peer_addrs.insert(i as u16, listener.local_addr().map_err(ServeError::Io)?);
+        listeners.push(listener);
+    }
+    if let Some(tx) = &cfg.port_report {
+        let addrs: Vec<SocketAddr> = (0..n).map(|i| peer_addrs[&(i as u16)]).collect();
+        let _ = tx.send(addrs);
+    }
+
+    let world = Arc::new(Mutex::new(spec.world));
+    let bus = Arc::new(LabelBus::default());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let units = Arc::new(AtomicU64::new(0));
+    let initiators_done = Arc::new(AtomicUsize::new(0));
+    let expected_units = spec.expected_units;
+
+    let mut initiators = 0usize;
+    let mut handles = Vec::with_capacity(n);
+    for (i, (rs, listener)) in spec.roles.into_iter().zip(listeners).enumerate() {
+        if rs.kind == RoleKind::Initiator {
+            initiators += 1;
+        }
+        let host = RoleHost {
+            idx: i as u16,
+            entity: rs.entity,
+            kind: rs.kind,
+            role: rs.role,
+            listener,
+            peer_addrs: peer_addrs.clone(),
+            conns: Vec::new(),
+            rng: StdRng::seed_from_u64(cfg.seed ^ (0x5e57e ^ (i as u64)).wrapping_mul(0x9e37)),
+            nonce_rng: StdRng::seed_from_u64(cfg.seed ^ 0xa0_0e ^ ((i as u64) << 32)),
+            shared: SharedRun {
+                world: Some(world.clone()),
+                bus: Some(bus.clone()),
+                shutdown: shutdown.clone(),
+                units: units.clone(),
+                initiators_done: initiators_done.clone(),
+            },
+            max_conns: cfg.max_conns,
+        };
+        let name = rs.name.clone();
+        handles.push((name, std::thread::spawn(move || host.run())));
+    }
+
+    // Drive the run: initiators finish on their own; services are shut
+    // down gracefully afterwards. The deadline bounds a wedged run.
+    let deadline = Instant::now() + cfg.deadline;
+    while initiators_done.load(Ordering::SeqCst) < initiators && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    shutdown.store(true, Ordering::SeqCst);
+
+    let mut first_err = None;
+    for (name, handle) in handles {
+        match handle.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => first_err = first_err.or(Some(ServeError::RoleCrash(name))),
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    let world = Arc::try_unwrap(world)
+        .map_err(|_| ServeError::RoleCrash("world still shared".into()))?
+        .into_inner()
+        .unwrap();
+    Ok(ServeOutcome {
+        world,
+        completed_units: units.load(Ordering::SeqCst),
+        expected_units,
+    })
+}
+
+/// Run exactly one role of a wiring in this process, speaking real TCP
+/// to peers given as `(peer_name, addr)` pairs. No shared world or label
+/// bus exists across processes — bytes flow and the role's protocol
+/// logic runs, while knowledge-table verification remains the loopback
+/// twin's job. Returns the role's completed units when it finishes (an
+/// initiator) or when the deadline passes (services run until then).
+pub fn run_role(
+    mut spec: ServeSpec,
+    role_name: &str,
+    listen: SocketAddr,
+    peers: &[(String, SocketAddr)],
+    cfg: &ServeConfig,
+) -> Result<u64, ServeError> {
+    let idx = spec
+        .role_index(role_name)
+        .ok_or_else(|| ServeError::UnknownRole(role_name.to_string()))?;
+    let mut peer_addrs = HashMap::new();
+    for (name, addr) in peers {
+        let pi = spec
+            .role_index(name)
+            .ok_or_else(|| ServeError::UnknownRole(name.clone()))?;
+        peer_addrs.insert(pi as u16, *addr);
+    }
+    let rs = spec.roles.swap_remove(idx);
+    let listener = TcpListener::bind(listen).map_err(ServeError::Io)?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let units = Arc::new(AtomicU64::new(0));
+    let host = RoleHost {
+        idx: idx as u16,
+        entity: rs.entity,
+        kind: rs.kind,
+        role: rs.role,
+        listener,
+        peer_addrs,
+        conns: Vec::new(),
+        rng: StdRng::seed_from_u64(cfg.seed ^ (0x5e57e ^ (idx as u64)).wrapping_mul(0x9e37)),
+        nonce_rng: StdRng::seed_from_u64(cfg.seed ^ 0xa0_0e ^ ((idx as u64) << 32)),
+        shared: SharedRun {
+            world: None,
+            bus: None,
+            shutdown: shutdown.clone(),
+            units: units.clone(),
+            initiators_done: Arc::new(AtomicUsize::new(0)),
+        },
+        max_conns: cfg.max_conns,
+    };
+    // The deadline doubles as the service-role lifetime: without a
+    // cross-process control plane, "graceful shutdown" for a lone
+    // service process is a bounded run.
+    let kind = host.kind;
+    let deadline_shutdown = shutdown.clone();
+    let deadline = cfg.deadline;
+    let timer = std::thread::spawn(move || {
+        let end = Instant::now() + deadline;
+        while Instant::now() < end {
+            if deadline_shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        deadline_shutdown.store(true, Ordering::SeqCst);
+    });
+    let result = host.run();
+    shutdown.store(true, Ordering::SeqCst);
+    let _ = timer.join();
+    result?;
+    let _ = kind;
+    Ok(units.load(Ordering::SeqCst))
+}

@@ -106,16 +106,15 @@ impl ChannelResponder {
 
     /// Unwrap one [`Label::Sealed`] layer keyed by this channel.
     ///
-    /// Panics if the label is not sealed under this channel's key — that
-    /// would mean bytes and labels have come apart, which is a programming
-    /// error in the protocol code.
-    pub fn unwrap_label(&self, label: &Label) -> Label {
+    /// Errors with [`crate::TransportError::LabelDesync`] if the label is
+    /// not sealed under this channel's key — bytes and labels have come
+    /// apart, and the fail-closed response is to drop the message, not
+    /// abort the process (a mis-routed or hostile message can reach this
+    /// path when the channel fronts a real socket).
+    pub fn unwrap_label(&self, label: &Label) -> Result<Label> {
         match label {
-            Label::Sealed { key, inner } if *key == self.key_id => (**inner).clone(),
-            other => panic!(
-                "label/bytes desync: expected seal under {:?}, got {other:?}",
-                self.key_id
-            ),
+            Label::Sealed { key, inner } if *key == self.key_id => Ok((**inner).clone()),
+            _ => Err(crate::TransportError::LabelDesync),
         }
     }
 
@@ -151,7 +150,7 @@ mod tests {
         let (mut rx, pt) =
             ChannelResponder::accept(&kp, b"chan", b"", &sealed.bytes, key_id).unwrap();
         assert_eq!(pt, b"first message");
-        let inner = rx.unwrap_label(&sealed.label);
+        let inner = rx.unwrap_label(&sealed.label).unwrap();
         assert!(inner.observe(|_| false).contains(&item));
 
         // Subsequent messages have no enc prefix.
@@ -177,14 +176,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "label/bytes desync")]
-    fn unwrap_label_panics_on_desync() {
+    fn unwrap_label_errors_on_desync() {
         let mut rng = rng();
         let kp = hpke::Keypair::generate(&mut rng);
         let mut tx = initiate(&mut rng, &kp.public, b"", KeyId(5)).unwrap();
         let sealed = tx.seal(b"", b"x", Label::Public);
         let (rx, _) = ChannelResponder::accept(&kp, b"", b"", &sealed.bytes, KeyId(5)).unwrap();
-        // A label sealed under a *different* key id must panic.
-        rx.unwrap_label(&Label::Public.sealed(KeyId(6)));
+        // A label sealed under a *different* key id is a typed error, not
+        // a panic — the caller drops the message.
+        assert_eq!(
+            rx.unwrap_label(&Label::Public.sealed(KeyId(6)))
+                .unwrap_err(),
+            crate::TransportError::LabelDesync
+        );
     }
 }

@@ -36,6 +36,17 @@ impl FrameType {
     }
 }
 
+/// Largest payload a frame's `len:u32be` field can carry.
+pub const MAX_PAYLOAD: usize = u32::MAX as usize;
+
+/// Checked conversion of a payload length into the wire's `u32` length
+/// field. A payload of 4 GiB or more cannot be represented — `as u32`
+/// would silently truncate it, producing a frame that decodes to a
+/// *different* (shorter) payload — so this fails closed instead.
+pub fn checked_wire_len(len: usize) -> Result<u32> {
+    u32::try_from(len).map_err(|_| TransportError::Oversize)
+}
+
 /// A parsed frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Frame {
@@ -52,12 +63,18 @@ impl Frame {
     }
 
     /// Encode to wire bytes.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// Errors with [`TransportError::Oversize`] when the payload exceeds
+    /// [`MAX_PAYLOAD`] — the length prefix is a `u32`, and an unchecked
+    /// cast would silently truncate, emitting a frame whose length field
+    /// no longer describes its payload.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let len = checked_wire_len(self.payload.len())?;
         let mut out = Vec::with_capacity(5 + self.payload.len());
         out.push(self.ftype as u8);
-        out.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
         out.extend_from_slice(&self.payload);
-        out
+        Ok(out)
     }
 
     /// Decode a single frame occupying the whole buffer.
@@ -187,14 +204,14 @@ mod tests {
             FrameType::Token,
         ] {
             let f = Frame::new(ftype, b"payload".to_vec());
-            assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+            assert_eq!(Frame::decode(&f.encode().unwrap()).unwrap(), f);
         }
     }
 
     #[test]
     fn empty_payload() {
         let f = Frame::new(FrameType::Data, Vec::new());
-        let enc = f.encode();
+        let enc = f.encode().unwrap();
         assert_eq!(enc.len(), 5);
         assert_eq!(Frame::decode(&enc).unwrap(), f);
     }
@@ -205,17 +222,36 @@ mod tests {
         assert!(Frame::decode(&[0xee, 0, 0, 0, 0]).is_err(), "unknown type");
         assert!(Frame::decode(&[1, 0, 0, 0, 5, 1, 2]).is_err(), "truncated");
         // Trailing bytes rejected by whole-buffer decode.
-        let mut enc = Frame::new(FrameType::Data, vec![7]).encode();
+        let mut enc = Frame::new(FrameType::Data, vec![7]).encode().unwrap();
         enc.push(0);
         assert!(Frame::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn checked_wire_len_rejects_payloads_a_u32_cannot_describe() {
+        // Regression for the silent `as u32` truncation: lengths at or
+        // past 4 GiB must fail closed, not wrap. No allocation — only
+        // the length math is under test.
+        assert_eq!(checked_wire_len(0), Ok(0));
+        assert_eq!(checked_wire_len(MAX_PAYLOAD), Ok(u32::MAX));
+        assert_eq!(
+            checked_wire_len(MAX_PAYLOAD + 1),
+            Err(TransportError::Oversize)
+        );
+        // The old cast would have produced 0 here — a "valid" empty frame.
+        assert_eq!(
+            checked_wire_len(1usize << 32),
+            Err(TransportError::Oversize)
+        );
+        assert_eq!(checked_wire_len(usize::MAX), Err(TransportError::Oversize));
     }
 
     #[test]
     fn framer_reassembles_split_frames() {
         let f1 = Frame::new(FrameType::Data, vec![1; 10]);
         let f2 = Frame::new(FrameType::Response, vec![2; 20]);
-        let mut stream = f1.encode();
-        stream.extend_from_slice(&f2.encode());
+        let mut stream = f1.encode().unwrap();
+        stream.extend_from_slice(&f2.encode().unwrap());
 
         let mut framer = Framer::new();
         // Feed one byte at a time.
@@ -234,7 +270,7 @@ mod tests {
             .collect();
         let mut stream = Vec::new();
         for f in &frames {
-            stream.extend_from_slice(&f.encode());
+            stream.extend_from_slice(&f.encode().unwrap());
         }
         let mut framer = Framer::new();
         assert_eq!(framer.push(&stream).unwrap(), frames);
@@ -249,7 +285,7 @@ mod tests {
     #[test]
     fn frame_ref_borrows_without_allocating() {
         let f = Frame::new(FrameType::Token, b"credential".to_vec());
-        let enc = f.encode();
+        let enc = f.encode().unwrap();
         let fr = FrameRef::decode(&enc).unwrap();
         assert_eq!(fr.ftype, FrameType::Token);
         // The payload is a view into the encode buffer, not a copy.
@@ -261,7 +297,7 @@ mod tests {
         #[test]
         fn roundtrip_any_payload(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
             let f = Frame::new(FrameType::Data, payload);
-            prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+            prop_assert_eq!(Frame::decode(&f.encode().unwrap()).unwrap(), f);
         }
 
         // Decode-equivalence regression: the borrowing and owning
@@ -293,7 +329,7 @@ mod tests {
         fn framer_any_split(payload in proptest::collection::vec(any::<u8>(), 0..512),
                             split in 0usize..520) {
             let f = Frame::new(FrameType::Token, payload);
-            let enc = f.encode();
+            let enc = f.encode().unwrap();
             let split = split.min(enc.len());
             let mut framer = Framer::new();
             let mut got = framer.push(&enc[..split]).unwrap();

@@ -34,8 +34,13 @@ pub enum TransportError {
     Crypto(dcp_crypto::CryptoError),
     /// A cell was not the expected constant size.
     BadCell,
-    /// Payload too large for the negotiated cell size.
+    /// Payload too large for the negotiated cell size or the frame
+    /// length field.
     Oversize,
+    /// Bytes and information-flow labels have come apart: a label was
+    /// not sealed under the key the protocol expected. Fail-closed
+    /// callers drop the message instead of guessing.
+    LabelDesync,
 }
 
 impl From<dcp_crypto::CryptoError> for TransportError {
@@ -50,7 +55,8 @@ impl core::fmt::Display for TransportError {
             TransportError::BadFrame => f.write_str("malformed frame"),
             TransportError::Crypto(e) => write!(f, "crypto: {e}"),
             TransportError::BadCell => f.write_str("bad cell size"),
-            TransportError::Oversize => f.write_str("payload exceeds cell capacity"),
+            TransportError::Oversize => f.write_str("payload exceeds frame or cell capacity"),
+            TransportError::LabelDesync => f.write_str("label/bytes desync"),
         }
     }
 }

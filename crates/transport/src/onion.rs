@@ -96,10 +96,15 @@ pub fn unwrap_layer(kp: &hpke::Keypair, bytes: &[u8]) -> Result<Unwrapped> {
 }
 
 /// Unwrap the matching label layer (callers keep bytes/labels in sync).
-pub fn unwrap_label(label: &Label, key_id: KeyId) -> Label {
+///
+/// Errors with [`TransportError::LabelDesync`] when the label is not
+/// sealed under `key_id`. A hostile or mis-routed message can reach this
+/// path, so the desync is a typed error the caller drops on — never a
+/// panic.
+pub fn unwrap_label(label: &Label, key_id: KeyId) -> Result<Label> {
     match label {
-        Label::Sealed { key, inner } if *key == key_id => (**inner).clone(),
-        other => panic!("onion label desync: expected seal under {key_id:?}, got {other:?}"),
+        Label::Sealed { key, inner } if *key == key_id => Ok((**inner).clone()),
+        _ => Err(TransportError::LabelDesync),
     }
 }
 
@@ -227,16 +232,23 @@ mod tests {
     #[test]
     fn unwrap_label_peels_one_layer() {
         let label = Label::Public.sealed(KeyId(1)).sealed(KeyId(0));
-        let inner = unwrap_label(&label, KeyId(0));
+        let inner = unwrap_label(&label, KeyId(0)).unwrap();
         assert_eq!(inner.seal_depth(), 1);
-        let core = unwrap_label(&inner, KeyId(1));
+        let core = unwrap_label(&inner, KeyId(1)).unwrap();
         assert_eq!(core, Label::Public);
     }
 
     #[test]
-    #[should_panic(expected = "desync")]
     fn unwrap_label_detects_wrong_key() {
         let label = Label::Public.sealed(KeyId(0));
-        let _ = unwrap_label(&label, KeyId(9));
+        assert_eq!(
+            unwrap_label(&label, KeyId(9)).unwrap_err(),
+            TransportError::LabelDesync
+        );
+        // An unsealed label under any key is equally a desync.
+        assert_eq!(
+            unwrap_label(&Label::Public, KeyId(0)).unwrap_err(),
+            TransportError::LabelDesync
+        );
     }
 }

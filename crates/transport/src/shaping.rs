@@ -19,11 +19,20 @@ use crate::{Result, TransportError};
 /// Errors with [`TransportError::Oversize`] when the payload (plus the
 /// 4-byte length) exceeds `cell_size`.
 pub fn pad_to_cell(payload: &[u8], cell_size: usize) -> Result<Vec<u8>> {
-    if payload.len() + 4 > cell_size {
+    // checked_add: `len + 4` wraps for payloads within 4 bytes of
+    // usize::MAX, which would sail past the size check below.
+    let framed = payload
+        .len()
+        .checked_add(4)
+        .ok_or(TransportError::Oversize)?;
+    if framed > cell_size {
         return Err(TransportError::Oversize);
     }
+    // Checked, not `as u32`: a ≥ 4 GiB cell would otherwise truncate the
+    // length field and decode to a different payload.
+    let len = crate::frame::checked_wire_len(payload.len())?;
     let mut out = Vec::with_capacity(cell_size);
-    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&len.to_be_bytes());
     out.extend_from_slice(payload);
     out.resize(cell_size, 0);
     Ok(out)
@@ -47,7 +56,11 @@ pub fn unpad_cell(cell: &[u8], cell_size: usize) -> Result<Vec<u8>> {
 
 /// Split an arbitrary payload into as many cells as needed.
 pub fn cells_for(payload: &[u8], cell_size: usize) -> Result<Vec<Vec<u8>>> {
-    assert!(cell_size > 8, "cell too small to be useful");
+    // Typed error, not an assert: cell sizes can arrive from config or
+    // the wire, and a hostile value must not abort the process.
+    if cell_size <= 8 {
+        return Err(TransportError::BadCell);
+    }
     let capacity = cell_size - 4;
     if payload.is_empty() {
         return Ok(vec![pad_to_cell(payload, cell_size)?]);
@@ -61,7 +74,7 @@ pub fn cells_for(payload: &[u8], cell_size: usize) -> Result<Vec<Vec<u8>>> {
 /// Padding overhead factor for sending `payload_len` bytes in `cell_size`
 /// cells (wire bytes per useful byte).
 pub fn overhead_factor(payload_len: usize, cell_size: usize) -> f64 {
-    if payload_len == 0 {
+    if payload_len == 0 || cell_size <= 4 {
         return f64::INFINITY;
     }
     let capacity = cell_size - 4;
@@ -134,6 +147,15 @@ mod tests {
             TransportError::Oversize
         );
         assert!(pad_to_cell(&[0u8; 60], 64).is_ok());
+    }
+
+    #[test]
+    fn degenerate_cell_sizes_fail_closed() {
+        // Tiny cells are a typed error, not a process abort.
+        assert_eq!(cells_for(b"x", 8).unwrap_err(), TransportError::BadCell);
+        assert_eq!(cells_for(b"x", 0).unwrap_err(), TransportError::BadCell);
+        assert!(overhead_factor(10, 4).is_infinite());
+        assert!(overhead_factor(10, 0).is_infinite());
     }
 
     #[test]
