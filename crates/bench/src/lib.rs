@@ -330,6 +330,101 @@ pub fn exp_traffic_on(
         .collect()
 }
 
+/// One row of the fleet degrees-of-decoupling sweep: the §4.2
+/// cost/benefit question asked of the *directory layer* — what does a
+/// bigger relay fleet buy (selection entropy, churn absorption) and what
+/// does it cost (latency under rotation + churn)?
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetRow {
+    /// Advertised relay pool size the directory selects from.
+    pub pool: u16,
+    /// Timing-correlation accuracy under churn (mean over seeds).
+    pub attack_accuracy: f64,
+    /// Mean final-hop anonymity-set size under churn.
+    pub anonymity_set: f64,
+    /// Mean message latency, calm fleet-enabled run (µs).
+    pub calm_latency_us: f64,
+    /// Mean message latency under `harsh_fleet` churn (µs).
+    pub churn_latency_us: f64,
+    /// Mean key rotations performed across the fleet per run.
+    pub rotations: f64,
+    /// Fraction of expected work units completed under churn (the DST
+    /// completion bar demands 1.0; reported, not asserted, here).
+    pub completed: f64,
+}
+
+/// Fleet sweep — directory-selected mix-nets at several pool sizes, each
+/// run calm and under `harsh_fleet` (parallel; see [`exp_fleet_on`]).
+pub fn exp_fleet(pools: &[u16], seeds: u64, base_seed: u64) -> Vec<FleetRow> {
+    exp_fleet_on(pools, seeds, base_seed, &ParallelExecutor::new())
+}
+
+/// [`exp_fleet`] on an explicit executor: `pools.len() × seeds`
+/// independent worlds, each a calm + churn pair at the same derived
+/// seed, folded in world-index order.
+pub fn exp_fleet_on(
+    pools: &[u16],
+    seeds: u64,
+    base_seed: u64,
+    exec: &impl SweepExecutor,
+) -> Vec<FleetRow> {
+    use decoupling::core::ScenarioReport as _;
+    let per = seeds.max(1);
+    let builder = SweepBuilder::new(base_seed).worlds(pools.len() as u64 * per);
+    let run = builder.run_on(exec, |job| {
+        let pool = pools[(job.index / per) as usize];
+        let config = decoupling::MixnetConfig {
+            senders: 8,
+            mixes: 2,
+            batch_size: 2,
+            window_us: 100_000,
+            shuffle: true,
+            chaff_per_sender: 0,
+            mix_max_wait_us: Some(50_000),
+            seed: job.seed,
+        };
+        let fleet = decoupling::FleetConfig::standard().pool(pool);
+        let calm = decoupling::Mixnet::run_with(
+            &config,
+            job.seed,
+            &decoupling::RunOptions::recovered(&decoupling::FaultConfig::calm()).with_fleet(&fleet),
+        );
+        let churn = decoupling::Mixnet::run_with(
+            &config,
+            job.seed,
+            &decoupling::RunOptions::recovered(&decoupling::FaultConfig::harsh_fleet())
+                .with_fleet(&fleet),
+        );
+        let expected = churn.expected_units().unwrap_or(1).max(1) as f64;
+        (
+            churn.attack.accuracy,
+            churn.mean_anonymity_set,
+            calm.mean_latency_us,
+            churn.mean_latency_us,
+            churn.fleet.stats.rotations as f64,
+            churn.delivered as f64 / expected,
+        )
+    });
+    let worlds = run.into_results();
+    pools
+        .iter()
+        .enumerate()
+        .map(|(pi, &pool)| {
+            let chunk = &worlds[pi * per as usize..(pi + 1) * per as usize];
+            let n = per as f64;
+            FleetRow {
+                pool,
+                attack_accuracy: chunk.iter().map(|w| w.0).sum::<f64>() / n,
+                anonymity_set: chunk.iter().map(|w| w.1).sum::<f64>() / n,
+                calm_latency_us: chunk.iter().map(|w| w.2).sum::<f64>() / n,
+                churn_latency_us: chunk.iter().map(|w| w.3).sum::<f64>() / n,
+                rotations: chunk.iter().map(|w| w.4).sum::<f64>() / n,
+                completed: chunk.iter().map(|w| w.5).sum::<f64>() / n,
+            }
+        })
+        .collect()
+}
+
 /// One row of the E-4.3 chaff sweep.
 #[derive(Clone, Debug, Serialize)]
 pub struct ChaffRow {

@@ -48,6 +48,20 @@ pub struct FaultConfig {
     /// P(crash) for nodes marked as *relays* — the mid-circuit churn the
     /// multi-hop systems (mix-nets, MPR, ODoH proxies) must survive.
     pub p_relay_churn: f64,
+    /// P(a relay *joins* the fleet) per directory gossip tick — a
+    /// departed or spare relay is re-admitted to the directory. Only
+    /// meaningful for fleet-enabled runs (`dcp-fleet`); the fixed-relay
+    /// wirings never consult it.
+    pub p_relay_join: f64,
+    /// P(a relay *leaves* the fleet) per directory gossip tick — its
+    /// descriptor is tombstoned and new chains stop selecting it (in-
+    /// flight circuits finish; departure is membership churn, not a
+    /// crash). Fleet-only, like [`FaultConfig::p_relay_join`].
+    pub p_relay_leave: f64,
+    /// P(open a bidirectional partition between two *directory* nodes on
+    /// a gossip send) — the anti-entropy healing test. Uses the same
+    /// window length as [`FaultConfig::partition_window_us`]. Fleet-only.
+    pub p_dir_partition: f64,
     /// Hard cap on injected faults per run: a liveness backstop so chaos
     /// tiers cannot starve a protocol forever (TigerBeetle caps its
     /// storage faults the same way).
@@ -76,6 +90,9 @@ impl FaultConfig {
             p_crash: 0.0,
             crash_down_us: 0,
             p_relay_churn: 0.0,
+            p_relay_join: 0.0,
+            p_relay_leave: 0.0,
+            p_dir_partition: 0.0,
             max_faults: 0,
         }
     }
@@ -96,6 +113,9 @@ impl FaultConfig {
             p_crash: 0.0,
             crash_down_us: 20_000,
             p_relay_churn: 0.002,
+            p_relay_join: 0.0,
+            p_relay_leave: 0.0,
+            p_dir_partition: 0.0,
             max_faults: 200,
         }
     }
@@ -121,7 +141,29 @@ impl FaultConfig {
             p_crash: 0.0,
             crash_down_us: 30_000,
             p_relay_churn: 0.006,
+            p_relay_join: 0.0,
+            p_relay_leave: 0.0,
+            p_dir_partition: 0.0,
             max_faults: 600,
+        }
+    }
+
+    /// [`FaultConfig::harsh`] plus fleet-level churn: relays join and
+    /// leave the directory mid-run, directory gossip links partition, and
+    /// (in fleet-enabled wirings) relay keys rotate underneath in-flight
+    /// traffic. Like `harsh` it carries a **completion** bar: every
+    /// fleet-enabled wiring must finish its whole workload with knowledge
+    /// tables byte-identical to the fixed-relay, fault-free baseline.
+    ///
+    /// Deliberately *not* part of [`FaultConfig::presets`]: the DST sweep
+    /// battery iterates that array, and its baseline artifacts are
+    /// byte-pinned in CI. Fleet probes (`dst_fleet`) call this directly.
+    pub fn harsh_fleet() -> Self {
+        FaultConfig {
+            p_relay_join: 0.10,
+            p_relay_leave: 0.15,
+            p_dir_partition: 0.02,
+            ..FaultConfig::harsh()
         }
     }
 
@@ -141,6 +183,9 @@ impl FaultConfig {
             p_crash: 0.005,
             crash_down_us: 50_000,
             p_relay_churn: 0.01,
+            p_relay_join: 0.0,
+            p_relay_leave: 0.0,
+            p_dir_partition: 0.0,
             max_faults: 2_000,
         }
     }
@@ -219,12 +264,43 @@ pub enum FaultKind {
         /// Absolute µs timestamp of the restart.
         until_us: u64,
     },
-    /// A relay node churned mid-circuit (a crash drawn from
-    /// `p_relay_churn` rather than `p_crash`).
-    RelayChurn {
-        /// The churned relay.
+    /// A relay node crashed mid-circuit (drawn from `p_relay_churn`
+    /// rather than `p_crash`). This used to be called `RelayChurn` back
+    /// when a crash was the *only* churn the injector modeled; the
+    /// observability event stream still names the draw `relay_churn` so
+    /// recorded fault logs stay readable, and [`FaultKind::relay_churn`]
+    /// keeps old constructor call sites compiling (with a deprecation
+    /// warning).
+    RelayCrash {
+        /// The crashed relay.
         node: usize,
         /// Absolute µs timestamp of the restart.
+        until_us: u64,
+    },
+    /// A relay joined (or re-joined) the fleet: its directory descriptor
+    /// became servable again. Drawn from `p_relay_join` at a directory
+    /// gossip tick; `node` is the relay's fleet index, not a simulator
+    /// node id (the fleet layer sits above the simulator).
+    RelayJoin {
+        /// Fleet index of the joining relay.
+        node: usize,
+    },
+    /// A relay left the fleet: its descriptor was tombstoned, so new
+    /// chains stop selecting it while in-flight circuits finish. Drawn
+    /// from `p_relay_leave` at a directory gossip tick.
+    RelayLeave {
+        /// Fleet index of the departing relay.
+        node: usize,
+    },
+    /// A bidirectional partition opened between two *directory* nodes —
+    /// recorded distinctly from [`FaultKind::Partition`] so logs show
+    /// that the anti-entropy path, not the data path, was attacked.
+    DirPartition {
+        /// One directory endpoint (lower index).
+        a: usize,
+        /// Other directory endpoint.
+        b: usize,
+        /// Absolute µs timestamp at which the window closes.
         until_us: u64,
     },
     /// A message or timer arrived at a node while it was down and was
@@ -244,6 +320,17 @@ pub enum FaultKind {
         /// The leaked key (raw `KeyId` payload).
         key: u64,
     },
+}
+
+impl FaultKind {
+    /// Deprecated constructor for what is now
+    /// [`FaultKind::RelayCrash`]. Enum variants cannot carry rename
+    /// aliases, so the old name survives as this constructor (for code)
+    /// and as the `relay_churn` observability event name (for logs).
+    #[deprecated(since = "0.1.0", note = "renamed to FaultKind::RelayCrash")]
+    pub fn relay_churn(node: usize, until_us: u64) -> FaultKind {
+        FaultKind::RelayCrash { node, until_us }
+    }
 }
 
 /// One timestamped entry of the [`FaultLog`].

@@ -53,6 +53,7 @@ pub mod collusion;
 pub mod degrees;
 pub mod entity;
 pub mod faults;
+pub mod fleet;
 pub mod label;
 pub mod obs;
 pub mod recover;
@@ -68,6 +69,7 @@ pub use analysis::RetryLinkage;
 pub use analysis::{analyze, DecouplingVerdict, Violation};
 pub use entity::{EntityId, OrgId, UserId};
 pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultLog};
+pub use fleet::FleetConfig;
 pub use label::{Aspect, DataKind, IdentityKind, InfoItem, InfoSet, KeyId, Label, Sensitivity};
 pub use obs::{
     KnowledgeRecord, MetricsReport, ObsEvent, ObsHandle, ObsSink, SpanRecord, SpanStats,

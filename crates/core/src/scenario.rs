@@ -23,6 +23,7 @@
 //! the only way to run a scenario.
 
 use crate::faults::{FaultConfig, FaultLog};
+use crate::fleet::FleetConfig;
 use crate::obs::MetricsReport;
 use crate::recover::RecoverConfig;
 use crate::sweep::{SweepBuilder, SweepExecutor, SweepRun};
@@ -54,6 +55,11 @@ pub struct RunOptions {
     /// Retry/timeout/failover configuration
     /// ([`RecoverConfig::disabled`] = no framing, no timers, no retries).
     pub recover: RecoverConfig,
+    /// Relay-fleet directory configuration ([`FleetConfig::disabled`] =
+    /// static relay sets, no directory nodes, no epoch rotation). Only
+    /// the relay-fleet wirings (mpr, mixnet) consult it; everything else
+    /// ignores the field entirely.
+    pub fleet: FleetConfig,
     /// Install a metrics sink so the report's
     /// [`metrics`](ScenarioReport::metrics) is populated.
     pub observe: bool,
@@ -74,6 +80,7 @@ impl Default for RunOptions {
         RunOptions {
             faults: FaultConfig::default(),
             recover: RecoverConfig::default(),
+            fleet: FleetConfig::default(),
             observe: false,
             queue: QueueKind::default(),
             record_trace: true,
@@ -168,6 +175,12 @@ impl RunOptions {
     /// combination the DST harness runs under every preset.
     pub fn recovered(faults: &FaultConfig) -> Self {
         RunOptions::with_faults(faults).with_recovery(&RecoverConfig::standard())
+    }
+
+    /// Replace the relay-fleet configuration (chainable).
+    pub fn with_fleet(mut self, fleet: &FleetConfig) -> Self {
+        self.fleet = fleet.clone();
+        self
     }
 
     /// Select the event-queue implementation (chainable).
@@ -387,7 +400,7 @@ mod tests {
     fn named_profiles_pin_every_flag() {
         let i = RunOptions::interactive();
         assert!(!i.observe && i.record_trace && !i.streaming_metrics);
-        assert!(!i.faults.enabled && !i.recover.enabled);
+        assert!(!i.faults.enabled && !i.recover.enabled && !i.fleet.enabled);
 
         let pop = RunOptions::population();
         assert!(pop.observe, "population runs are always instrumented");
@@ -398,6 +411,10 @@ mod tests {
         let dst = RunOptions::dst();
         assert!(!dst.observe && dst.record_trace && !dst.streaming_metrics);
         assert_eq!(dst.queue, QueueKind::TimerWheel);
+        assert!(!dst.fleet.enabled, "fleet is opt-in everywhere");
+
+        let fleet = RunOptions::dst().with_fleet(&FleetConfig::standard());
+        assert!(fleet.fleet.enabled);
 
         // The profiles compose with the chainable escape hatches.
         let custom = RunOptions::population()

@@ -78,11 +78,12 @@ pub use dcp_worlds as worlds;
 // fault, and observe any §3 scenario without reaching into sub-crates.
 pub use dcp_core::{
     derive_seed, MetricsReport, ObsEvent, ObsSink, QueueKind, RecoverConfig, RunOptions, Scenario,
-    ScenarioReport, SequentialExecutor, SweepBuilder, SweepExecutor, SweepRun,
+    ScenarioReport, SequentialExecutor, SweepBuilder, SweepExecutor, SweepJob, SweepRun,
 };
 pub use dcp_faults::dst::{run_scenario_for, sweep_scenario_for, DstReport, DstSweepReport};
 pub use dcp_faults::{FaultConfig, FaultLog};
 pub use dcp_obs::MetricsHandle;
+pub use dcp_runtime::{entities_silent, restricted_fingerprint, FleetConfig, FleetSummary};
 pub use dcp_sweep::{run_sweep, run_sweep_sequential, ParallelExecutor};
 
 pub use dcp_blindcash::{Blindcash, BlindcashConfig};

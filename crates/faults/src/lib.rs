@@ -133,6 +133,24 @@ impl Injector {
             },
         );
     }
+
+    /// Open a partition between two *directory* nodes. Same window
+    /// mechanics as [`Injector::open_partition`], but logged as
+    /// [`FaultKind::DirPartition`] so the replay artifact shows the
+    /// anti-entropy path was attacked rather than the data path.
+    pub fn open_dir_partition(&mut self, now_us: u64, a: usize, b: usize) {
+        let key = (a.min(b), a.max(b));
+        let until_us = now_us + self.config.partition_window_us;
+        self.partitions.insert(key, until_us);
+        self.record(
+            now_us,
+            FaultKind::DirPartition {
+                a: key.0,
+                b: key.1,
+                until_us,
+            },
+        );
+    }
 }
 
 /// FoundationDB-style fault decision point.
@@ -190,6 +208,60 @@ mod tests {
         assert_eq!(FaultConfig::presets().len(), 4);
         let names: Vec<_> = FaultConfig::presets().map(|(n, _)| n).to_vec();
         assert_eq!(names, ["calm", "moderate", "harsh", "chaos"]);
+    }
+
+    #[test]
+    fn harsh_fleet_extends_harsh_without_touching_presets() {
+        let hf = FaultConfig::harsh_fleet();
+        assert!(hf.enabled);
+        assert!(hf.p_relay_join > 0.0 && hf.p_relay_leave > 0.0 && hf.p_dir_partition > 0.0);
+        // Everything else is exactly harsh: the fleet preset is an
+        // extension, not a new tier.
+        let mut stripped = hf.clone();
+        stripped.p_relay_join = 0.0;
+        stripped.p_relay_leave = 0.0;
+        stripped.p_dir_partition = 0.0;
+        assert_eq!(stripped, FaultConfig::harsh());
+        // And it is NOT in the sweep battery: the DST baseline artifacts
+        // iterate presets() and are byte-pinned in CI.
+        assert_eq!(FaultConfig::presets().len(), 4);
+        for (name, preset) in FaultConfig::presets() {
+            assert_ne!(name, "harsh_fleet");
+            assert_eq!(preset.p_relay_join, 0.0, "{name} must stay fleet-free");
+            assert_eq!(preset.p_relay_leave, 0.0, "{name} must stay fleet-free");
+            assert_eq!(preset.p_dir_partition, 0.0, "{name} must stay fleet-free");
+        }
+    }
+
+    #[test]
+    fn relay_churn_name_survives_as_deprecated_constructor() {
+        #[allow(deprecated)]
+        let k = FaultKind::relay_churn(2, 9);
+        assert_eq!(
+            k,
+            FaultKind::RelayCrash {
+                node: 2,
+                until_us: 9
+            }
+        );
+    }
+
+    #[test]
+    fn dir_partitions_are_logged_distinctly_but_block_identically() {
+        let mut cfg = FaultConfig::harsh_fleet();
+        cfg.partition_window_us = 100;
+        let mut inj = Injector::new(cfg, 3);
+        inj.open_dir_partition(10, 1, 0);
+        assert!(inj.partitioned(50, 0, 1), "window blocks traffic");
+        assert!(!inj.partitioned(111, 0, 1), "and expires");
+        assert!(matches!(
+            inj.log().events()[0].kind,
+            FaultKind::DirPartition {
+                a: 0,
+                b: 1,
+                until_us: 110
+            }
+        ));
     }
 
     #[test]

@@ -1,0 +1,305 @@
+//! Epoch-numbered key rotation, fail-closed.
+//!
+//! Every relay holds a [`Keyring`]: its current HPKE keypair plus a
+//! bounded grace window of recent predecessors. A ciphertext arrives
+//! tagged with the epoch that sealed it (see
+//! [`dcp_transport::onion::read_epoch`]); the keyring either yields the
+//! matching keypair or rejects with a typed [`EpochError`] — a stale or
+//! future epoch is **never** decrypted with a guessed key and never
+//! panics the relay.
+//!
+//! The grace window exists so in-flight onions built from a slightly
+//! older directory view still decrypt while gossip catches up; anything
+//! older is cryptographically erased (the keypair is dropped) so a later
+//! compromise cannot open it.
+
+use std::collections::VecDeque;
+
+use dcp_core::KeyId;
+use dcp_crypto::hpke;
+
+/// Typed rejection of an epoch-tagged ciphertext.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EpochError {
+    /// The sealing epoch has aged out of the grace window; its private
+    /// key no longer exists.
+    Stale {
+        /// Epoch the ciphertext was sealed under.
+        epoch: u64,
+        /// The relay's current epoch.
+        current: u64,
+        /// Width of the grace window.
+        grace: u64,
+    },
+    /// The ciphertext claims an epoch the relay has not reached yet
+    /// (clock skew is impossible in the simulator, so this is a forged
+    /// or corrupted tag).
+    Future {
+        /// Epoch the ciphertext was sealed under.
+        epoch: u64,
+        /// The relay's current epoch.
+        current: u64,
+    },
+}
+
+impl std::fmt::Display for EpochError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EpochError::Stale {
+                epoch,
+                current,
+                grace,
+            } => write!(
+                f,
+                "stale epoch {epoch}: current is {current}, grace window {grace}"
+            ),
+            EpochError::Future { epoch, current } => {
+                write!(f, "future epoch {epoch}: current is {current}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EpochError {}
+
+/// A relay's epoch-indexed key material: the current keypair plus up to
+/// `grace` predecessors, oldest first.
+pub struct Keyring {
+    grace: u64,
+    /// `(epoch, keypair, world key id)`, contiguous ascending epochs;
+    /// back = current.
+    keys: VecDeque<(u64, hpke::Keypair, KeyId)>,
+}
+
+impl Keyring {
+    /// A keyring starting at epoch 0 with `genesis` material.
+    pub fn new(grace: u64, genesis: hpke::Keypair, key_id: KeyId) -> Keyring {
+        let mut keys = VecDeque::new();
+        keys.push_back((0, genesis, key_id));
+        Keyring { grace, keys }
+    }
+
+    /// The current (newest) epoch number.
+    pub fn current_epoch(&self) -> u64 {
+        self.keys.back().expect("keyring never empty").0
+    }
+
+    /// The oldest epoch still openable.
+    pub fn oldest_epoch(&self) -> u64 {
+        self.keys.front().expect("keyring never empty").0
+    }
+
+    /// The grace window width this ring was built with.
+    pub fn grace(&self) -> u64 {
+        self.grace
+    }
+
+    /// The current keypair and its world key id.
+    pub fn current(&self) -> (&hpke::Keypair, KeyId) {
+        let (_, kp, id) = self.keys.back().expect("keyring never empty");
+        (kp, *id)
+    }
+
+    /// Install fresh material as the next epoch; keys older than the
+    /// grace window are dropped (cryptographic erasure). Returns the new
+    /// epoch number.
+    pub fn rotate(&mut self, kp: hpke::Keypair, key_id: KeyId) -> u64 {
+        let next = self.current_epoch() + 1;
+        self.keys.push_back((next, kp, key_id));
+        while self.keys.len() as u64 > self.grace + 1 {
+            self.keys.pop_front();
+        }
+        next
+    }
+
+    /// The keypair for `epoch`, or a typed fail-closed rejection.
+    pub fn open(&self, epoch: u64) -> Result<(&hpke::Keypair, KeyId), EpochError> {
+        let current = self.current_epoch();
+        if epoch > current {
+            return Err(EpochError::Future { epoch, current });
+        }
+        if epoch < self.oldest_epoch() {
+            return Err(EpochError::Stale {
+                epoch,
+                current,
+                grace: self.grace,
+            });
+        }
+        // Epochs are contiguous, so index directly.
+        let idx = (epoch - self.oldest_epoch()) as usize;
+        let (e, kp, id) = &self.keys[idx];
+        debug_assert_eq!(*e, epoch);
+        Ok((kp, *id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn ring(grace: u64) -> Keyring {
+        let mut rng = StdRng::seed_from_u64(5);
+        Keyring::new(grace, hpke::Keypair::generate(&mut rng), KeyId(1))
+    }
+
+    #[test]
+    fn rotation_advances_and_erases() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut r = ring(2);
+        for i in 1..=5u64 {
+            let next = r.rotate(hpke::Keypair::generate(&mut rng), KeyId(1 + i));
+            assert_eq!(next, i);
+        }
+        assert_eq!(r.current_epoch(), 5);
+        assert_eq!(r.oldest_epoch(), 3);
+        assert!(r.open(4).is_ok());
+        assert!(r.open(3).is_ok());
+        assert_eq!(
+            r.open(2).err(),
+            Some(EpochError::Stale {
+                epoch: 2,
+                current: 5,
+                grace: 2
+            })
+        );
+    }
+
+    /// The dedicated hostile-input test: a ciphertext sealed under a
+    /// stale epoch is rejected with a typed error — the relay never
+    /// guesses a key, never panics, and never silently falls back to
+    /// the current keypair.
+    #[test]
+    fn stale_epoch_ciphertext_is_rejected_fail_closed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let genesis = hpke::Keypair::generate(&mut rng);
+        let genesis_pk = genesis.public;
+        let mut r = Keyring::new(1, genesis, KeyId(1));
+
+        // Seal against the epoch-0 key, as a client with an old view would.
+        let sealed = hpke::seal(&mut rng, &genesis_pk, b"dcp-onion", b"", b"payload").unwrap();
+
+        // Rotate past the grace window: epoch 0 material is erased.
+        r.rotate(hpke::Keypair::generate(&mut rng), KeyId(2));
+        r.rotate(hpke::Keypair::generate(&mut rng), KeyId(3));
+
+        // The epoch lookup is the rejection point — typed, not a panic.
+        let err = r.open(0).err().expect("stale epoch accepted");
+        assert_eq!(
+            err,
+            EpochError::Stale {
+                epoch: 0,
+                current: 2,
+                grace: 1
+            }
+        );
+        assert!(err.to_string().contains("stale epoch 0"));
+
+        // And even if a buggy caller ignored the typed error and tried
+        // the current key, HPKE itself refuses: no silent fallback path
+        // can decrypt a stale ciphertext.
+        let (kp, _) = r.current();
+        assert!(hpke::open(kp, b"dcp-onion", b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn future_epochs_are_rejected() {
+        let r = ring(3);
+        assert_eq!(
+            r.open(1).err(),
+            Some(EpochError::Future {
+                epoch: 1,
+                current: 0
+            })
+        );
+        assert_eq!(
+            r.open(u64::MAX).err(),
+            Some(EpochError::Future {
+                epoch: u64::MAX,
+                current: 0
+            })
+        );
+    }
+
+    #[test]
+    fn grace_window_keeps_exactly_grace_plus_one() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut r = ring(0); // zero grace: only the current epoch opens
+        r.rotate(hpke::Keypair::generate(&mut rng), KeyId(2));
+        assert!(r.open(1).is_ok());
+        assert!(matches!(r.open(0).err(), Some(EpochError::Stale { .. })));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For ANY sealing epoch `e`, grace width, and rotation count:
+        /// once the ring's current epoch exceeds `e + grace`, epoch `e`
+        /// is rejected as stale — and while it does not, it opens with
+        /// exactly the keypair that sealed it. No off-by-one lets a key
+        /// outlive its window, and no rotation schedule skips erasure.
+        #[test]
+        fn sealing_epoch_rejected_beyond_grace(
+            grace in 0u64..6,
+            rotations in 1u64..24,
+            seal_at in 0u64..24,
+            seed in 0u64..u64::MAX,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r = Keyring::new(grace, hpke::Keypair::generate(&mut rng), KeyId(1));
+            let mut sealed_pk = None;
+            if seal_at == 0 {
+                sealed_pk = Some(r.current().0.public);
+            }
+            for i in 1..=rotations {
+                r.rotate(hpke::Keypair::generate(&mut rng), KeyId(1 + i));
+                if i == seal_at {
+                    sealed_pk = Some(r.current().0.public);
+                }
+            }
+            let current = r.current_epoch();
+            prop_assert_eq!(current, rotations);
+            match r.open(seal_at.min(current)) {
+                Ok((kp, _)) => {
+                    // Openable ⇒ still inside the window, and the key
+                    // is the very one that was current at seal time.
+                    let e = seal_at.min(current);
+                    prop_assert!(current <= e + grace);
+                    if let Some(pk) = sealed_pk {
+                        if e == seal_at {
+                            prop_assert_eq!(kp.public, pk);
+                        }
+                    }
+                }
+                Err(EpochError::Stale { epoch, current: c, grace: g }) => {
+                    prop_assert!(c > epoch + g, "stale verdict with {epoch} inside window of {c}");
+                    prop_assert_eq!(c, current);
+                    prop_assert_eq!(g, grace);
+                }
+                Err(e @ EpochError::Future { .. }) => {
+                    prop_assert!(false, "clamped epoch judged future: {}", e);
+                }
+            }
+        }
+
+        /// Every epoch strictly above current is Future, for any ring
+        /// state — a forged tag can never reach key material.
+        #[test]
+        fn epochs_above_current_always_future(
+            grace in 0u64..6,
+            rotations in 0u64..16,
+            ahead in 1u64..1000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut r = Keyring::new(grace, hpke::Keypair::generate(&mut rng), KeyId(1));
+            for i in 1..=rotations {
+                r.rotate(hpke::Keypair::generate(&mut rng), KeyId(1 + i));
+            }
+            let probe = r.current_epoch() + ahead;
+            prop_assert_eq!(
+                r.open(probe).err(),
+                Some(EpochError::Future { epoch: probe, current: r.current_epoch() })
+            );
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Weighted relay selection under load, byte-reproducible.
+//!
+//! Chains are drawn from a directory view with three rules:
+//!
+//! 1. only servable, non-departed relays are candidates;
+//! 2. a **hot** relay — per-epoch load above `hot_factor × (mean + 1)`
+//!    — is excluded unless that would leave fewer than `k` candidates;
+//! 3. the remaining candidates are sampled without replacement with
+//!    weight `1 / (1 + load)`, then the chain is sorted ascending by
+//!    relay index.
+//!
+//! Randomness comes from an inline SplitMix64 stream seeded from the
+//! run seed, entirely separate from protocol and fault RNGs, so the
+//! same `(seed, config)` always yields the same chains. The index sort
+//! makes the degenerate-but-common case byte-stable: selecting `k`
+//! from a pool of exactly `k` returns `[0, 1, …, k−1]` regardless of
+//! loads or RNG state — which is what lets a fleet-enabled run
+//! reproduce the fixed-relay baseline's knowledge tables byte-for-byte.
+
+use std::collections::BTreeMap;
+
+use crate::directory::DirectoryState;
+
+/// Typed selection failure: the directory cannot currently supply a
+/// chain (callers back off and retry on the next directory view).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotEnoughRelays {
+    /// Servable candidates available.
+    pub have: usize,
+    /// Chain length requested.
+    pub need: usize,
+}
+
+impl std::fmt::Display for NotEnoughRelays {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "directory has {} servable relays, chain needs {}",
+            self.have, self.need
+        )
+    }
+}
+
+impl std::error::Error for NotEnoughRelays {}
+
+/// Deterministic SplitMix64 stream for selection draws.
+#[derive(Clone, Debug)]
+pub struct SelRng {
+    state: u64,
+}
+
+impl SelRng {
+    /// A stream seeded from the run seed (callers salt it).
+    pub fn new(seed: u64) -> SelRng {
+        SelRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n` (n > 0).
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// Per-epoch load counters: how many chains each relay is carrying in
+/// the current key epoch. Counters reset when the directory's epoch
+/// advances, so "hot" always means hot *now*, not hot since genesis.
+#[derive(Clone, Debug, Default)]
+pub struct LoadTracker {
+    epoch: u64,
+    counts: BTreeMap<u16, u64>,
+}
+
+impl LoadTracker {
+    /// Fresh tracker at epoch 0.
+    pub fn new() -> LoadTracker {
+        LoadTracker::default()
+    }
+
+    /// Observe the directory's current max epoch; advancing it resets
+    /// the counters.
+    pub fn note_epoch(&mut self, epoch: u64) {
+        if epoch > self.epoch {
+            self.epoch = epoch;
+            self.counts.clear();
+        }
+    }
+
+    /// Current load of `relay`.
+    pub fn load(&self, relay: u16) -> u64 {
+        self.counts.get(&relay).copied().unwrap_or(0)
+    }
+
+    /// Charge one chain to `relay`.
+    pub fn bump(&mut self, relay: u16) {
+        *self.counts.entry(relay).or_insert(0) += 1;
+    }
+}
+
+/// Draw a `k`-relay chain from `state`. See the module docs for the
+/// rules. On success the selected relays' load counters are bumped.
+pub fn select_chain(
+    state: &DirectoryState,
+    k: usize,
+    loads: &mut LoadTracker,
+    hot_factor: u32,
+    rng: &mut SelRng,
+) -> Result<Vec<u16>, NotEnoughRelays> {
+    loads.note_epoch(state.max_epoch());
+    let servable = state.servable();
+    if servable.len() < k || k == 0 {
+        return Err(NotEnoughRelays {
+            have: servable.len(),
+            need: k,
+        });
+    }
+
+    // Hot-relay detection: exclude overloaded relays when enough cool
+    // candidates remain to fill the chain.
+    let mut candidates = servable.clone();
+    if hot_factor > 0 {
+        let total: u64 = servable.iter().map(|&r| loads.load(r)).sum();
+        let mean = total / servable.len() as u64;
+        let threshold = hot_factor as u64 * (mean + 1);
+        let cool: Vec<u16> = servable
+            .iter()
+            .copied()
+            .filter(|&r| loads.load(r) <= threshold)
+            .collect();
+        if cool.len() >= k {
+            candidates = cool;
+        }
+    }
+
+    // Weighted sampling without replacement, weight = 1/(1+load) scaled
+    // to integers so the draw is exact and platform-independent.
+    const SCALE: u64 = 1 << 20;
+    let mut pool: Vec<(u16, u64)> = candidates
+        .iter()
+        .map(|&r| (r, SCALE / (1 + loads.load(r))))
+        .collect();
+    let mut chain = Vec::with_capacity(k);
+    for _ in 0..k {
+        let total: u64 = pool.iter().map(|(_, w)| *w).sum();
+        let mut roll = rng.below(total);
+        let mut idx = pool.len() - 1;
+        for (i, (_, w)) in pool.iter().enumerate() {
+            if roll < *w {
+                idx = i;
+                break;
+            }
+            roll -= w;
+        }
+        chain.push(pool.swap_remove(idx).0);
+    }
+    chain.sort_unstable();
+    for &r in &chain {
+        loads.bump(r);
+    }
+    Ok(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::RelayDescriptor;
+    use crate::directory::DirectoryState;
+
+    fn dir(n: u16) -> DirectoryState {
+        let mut s = DirectoryState::new([3u8; 32]);
+        for i in 0..n {
+            s.seed(RelayDescriptor {
+                relay: i,
+                addr: 100 + i,
+                epoch: 0,
+                pk: [i as u8; 32],
+                key: i as u64,
+                member_seq: 0,
+                servable: true,
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn pool_equals_k_is_identity_in_index_order() {
+        let s = dir(3);
+        let mut loads = LoadTracker::new();
+        let mut rng = SelRng::new(42);
+        for _ in 0..10 {
+            assert_eq!(
+                select_chain(&s, 3, &mut loads, 4, &mut rng).unwrap(),
+                vec![0, 1, 2]
+            );
+        }
+    }
+
+    #[test]
+    fn selection_is_seed_deterministic() {
+        let s = dir(8);
+        let run = |seed| {
+            let mut loads = LoadTracker::new();
+            let mut rng = SelRng::new(seed);
+            (0..6)
+                .map(|_| select_chain(&s, 3, &mut loads, 4, &mut rng).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "distinct seeds gave identical draws");
+    }
+
+    #[test]
+    fn departed_relays_are_never_selected() {
+        let mut s = dir(5);
+        s.tombstone(1);
+        s.tombstone(3);
+        let mut loads = LoadTracker::new();
+        let mut rng = SelRng::new(1);
+        for _ in 0..20 {
+            let c = select_chain(&s, 2, &mut loads, 0, &mut rng).unwrap();
+            assert!(!c.contains(&1) && !c.contains(&3));
+        }
+    }
+
+    #[test]
+    fn too_few_relays_is_a_typed_error() {
+        let mut s = dir(3);
+        s.tombstone(0);
+        s.tombstone(1);
+        let mut loads = LoadTracker::new();
+        let mut rng = SelRng::new(1);
+        assert_eq!(
+            select_chain(&s, 2, &mut loads, 0, &mut rng),
+            Err(NotEnoughRelays { have: 1, need: 2 })
+        );
+    }
+
+    #[test]
+    fn hot_relays_are_shed_until_needed() {
+        let s = dir(4);
+        let mut loads = LoadTracker::new();
+        // Relay 0 is scorching; the rest are cold.
+        for _ in 0..100 {
+            loads.bump(0);
+        }
+        let mut rng = SelRng::new(9);
+        for _ in 0..20 {
+            let c = select_chain(&s, 2, &mut loads, 2, &mut rng).unwrap();
+            assert!(!c.contains(&0), "hot relay selected while cool ones free");
+        }
+        // But when the chain needs all relays, heat cannot block it.
+        let c = select_chain(&s, 4, &mut loads, 2, &mut rng).unwrap();
+        assert_eq!(c, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn epoch_advance_resets_load_counters() {
+        let mut loads = LoadTracker::new();
+        loads.bump(2);
+        loads.bump(2);
+        assert_eq!(loads.load(2), 2);
+        loads.note_epoch(1);
+        assert_eq!(loads.load(2), 0);
+        // Same epoch again: no reset.
+        loads.bump(2);
+        loads.note_epoch(1);
+        assert_eq!(loads.load(2), 1);
+    }
+}

@@ -2,12 +2,26 @@
 
 use dcp_core::{EntityId, KeyId, Label};
 use dcp_crypto::hpke;
-use dcp_runtime::{wire, Ctx, HopMap, Message, Node, NodeId};
+use dcp_runtime::{wire, Ctx, FleetRelay, HopMap, Message, Node, NodeId};
 use dcp_transport::onion::{self, Unwrapped};
 use rand::seq::SliceRandom;
 
 /// Timer token for the flush deadline.
 const FLUSH_TIMER: u64 = 1;
+
+/// Direction bit on fleet-mode ack frames. Plain chains infer direction
+/// from topology (an ack can only arrive from the node a mix forwards
+/// to); directory-drawn chains give every mix a full-mesh address map,
+/// where that inference misreads a forward copy from the previous mix as
+/// an ack. Fleet acks therefore carry the direction explicitly.
+pub(crate) const RESP_BIT: u64 = 1 << 63;
+
+/// A mix's decryption material: one fixed keypair (plain runs) or an
+/// epoch keyring fed by the fleet directory (fleet runs).
+enum MixKeys {
+    Plain { kp: hpke::Keypair, key_id: KeyId },
+    Fleet(FleetRelay),
+}
 
 /// A threshold mix: it pools incoming messages, and once `batch_size`
 /// messages are queued (or the deadline expires) it peels one onion layer
@@ -15,8 +29,7 @@ const FLUSH_TIMER: u64 = 1;
 /// destroying the arrival/departure order correlation.
 pub struct MixNode {
     entity: EntityId,
-    kp: hpke::Keypair,
-    key_id: KeyId,
+    keys: MixKeys,
     batch_size: usize,
     /// Shuffle each batch before flushing (a FIFO "mix" that batches but
     /// preserves order is the classic broken-mix ablation).
@@ -49,8 +62,7 @@ impl MixNode {
         assert!(batch_size >= 1);
         MixNode {
             entity,
-            kp,
-            key_id,
+            keys: MixKeys::Plain { kp, key_id },
             batch_size,
             shuffle: true,
             max_wait_us,
@@ -67,6 +79,33 @@ impl MixNode {
     pub fn without_shuffle(mut self) -> Self {
         self.shuffle = false;
         self
+    }
+
+    /// Create a fleet-mode mix: decryption material comes from the
+    /// directory's epoch keyring instead of a fixed keypair. The mix
+    /// rotates keys on the directory's schedule and peels layers by
+    /// their cleartext epoch tag, fail-closed on stale or future epochs.
+    pub fn new_fleet(
+        entity: EntityId,
+        relay: FleetRelay,
+        batch_size: usize,
+        max_wait_us: u64,
+        addr_map: Vec<(u16, NodeId)>,
+    ) -> Self {
+        assert!(batch_size >= 1);
+        MixNode {
+            entity,
+            keys: MixKeys::Fleet(relay),
+            batch_size,
+            shuffle: true,
+            max_wait_us,
+            addr_map,
+            pool: Vec::new(),
+            timer_armed: false,
+            flush_sizes: Vec::new(),
+            recover: false,
+            hop: HopMap::new(),
+        }
     }
 
     /// Enable the recovery wire protocol: framed hop seqs on the forward
@@ -108,19 +147,43 @@ impl Node for MixNode {
         self.entity
     }
 
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        if let MixKeys::Fleet(f) = &self.keys {
+            f.arm(ctx);
+        }
+    }
+
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        // Recovery: an arrival from a node we forward *to* is an ack on
-        // its way back to the sender — relay it along the stored route.
-        if self.recover && self.addr_map.iter().any(|(_, n)| *n == from) {
-            let Some((pseq, body)) = wire::unframe(&msg.bytes) else {
-                return; // unframed ack on a recovered run: drop
+        // Recovery: route acks back to the sender along the stored route.
+        // Plain chains recognize an ack by topology (it arrives from the
+        // node this mix forwards to); fleet chains are full-mesh, so acks
+        // are recognized by their explicit direction bit instead.
+        if self.recover {
+            let fleet = matches!(self.keys, MixKeys::Fleet(_));
+            let is_ack = if fleet {
+                wire::unframe(&msg.bytes).is_some_and(|(s, _)| s & RESP_BIT != 0)
+            } else {
+                self.addr_map.iter().any(|(_, n)| *n == from)
             };
-            let Some((prev, prev_seq)) = self.hop.take(pseq) else {
-                return; // duplicated ack: its route was consumed
-            };
-            let label = msg.label.clone();
-            ctx.send(prev, Message::new(wire::frame(prev_seq, body), label));
-            return;
+            if is_ack {
+                let Some((pseq, body)) = wire::unframe(&msg.bytes) else {
+                    return; // unframed ack on a recovered run: drop
+                };
+                let Some((prev, prev_seq)) = self.hop.take(pseq & !RESP_BIT) else {
+                    return; // duplicated ack: its route was consumed
+                };
+                // Mix-bound acks keep the direction bit; the final hop
+                // back to the sender carries the bare ARQ seq.
+                let to_mix = fleet && self.addr_map.iter().any(|(_, n)| *n == prev);
+                let out_seq = if to_mix {
+                    prev_seq | RESP_BIT
+                } else {
+                    prev_seq
+                };
+                let label = msg.label.clone();
+                ctx.send(prev, Message::new(wire::frame(out_seq, body), label));
+                return;
+            }
         }
         let (cseq, cipher): (u64, &[u8]) = if self.recover {
             match wire::unframe(&msg.bytes) {
@@ -134,8 +197,27 @@ impl Node for MixNode {
         // (tampered, truncated, or not for us) is dropped: a mix fails
         // closed rather than forwarding plaintext it cannot vouch for.
         ctx.world.crypto_op("hpke_open");
-        let Ok(unwrapped) = onion::unwrap_layer(&self.kp, cipher) else {
-            return;
+        let (unwrapped, layer_key) = match &mut self.keys {
+            MixKeys::Plain { kp, key_id } => match onion::unwrap_layer(kp, cipher) {
+                Ok(u) => (u, *key_id),
+                Err(_) => return,
+            },
+            MixKeys::Fleet(f) => {
+                // Fleet layers carry their sealing epoch in the clear:
+                // select the matching keypair first, fail-closed — a
+                // stale or future epoch is a typed rejection (counted in
+                // the run stats), never a guessed key.
+                let Ok((epoch, sealed)) = onion::read_epoch(cipher) else {
+                    return; // missing epoch tag: drop
+                };
+                let Ok((kp, key_id)) = f.open_epoch(epoch) else {
+                    return; // stale/future epoch: typed, fail-closed
+                };
+                match onion::unwrap_layer(kp, sealed) {
+                    Ok(u) => (u, key_id),
+                    Err(_) => return,
+                }
+            }
         };
         let outer_label = match &msg.label {
             Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
@@ -143,7 +225,7 @@ impl Node for MixNode {
         };
         // Label desync means bytes and labels no longer describe the same
         // message: fail closed and drop, like a failed peel.
-        let Ok(inner_label) = onion::unwrap_label(&outer_label, self.key_id) else {
+        let Ok(inner_label) = onion::unwrap_label(&outer_label, layer_key) else {
             return;
         };
         let (next, bytes) = match unwrapped {
@@ -178,6 +260,11 @@ impl Node for MixNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        if let MixKeys::Fleet(f) = &mut self.keys {
+            if f.on_timer(ctx, token) {
+                return; // key-rotation tick, handled by the keyring
+            }
+        }
         if token == FLUSH_TIMER {
             self.timer_armed = false;
             // Deadline flush: trade some anonymity for bounded latency.

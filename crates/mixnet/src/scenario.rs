@@ -12,14 +12,14 @@ use dcp_core::{
 };
 use dcp_crypto::hpke;
 use dcp_runtime::{
-    mean_us, wire, Attempt, CallEvent, Ctx, Driver, Harness, LinkParams, Message, Node, NodeId,
-    RetryLinkage, Trace,
+    mean_us, wire, Attempt, CallEvent, Ctx, Driver, FleetClient, FleetSetup, FleetSummary, Harness,
+    LinkParams, Message, Node, NodeId, RetryLinkage, Trace,
 };
 use dcp_transport::onion::{self, Hop, Unwrapped};
 use rand::Rng as _;
 
 use crate::adversary::{self, AttackResult};
-use crate::mix::MixNode;
+use crate::mix::{MixNode, RESP_BIT};
 
 /// Configuration of a mix-net run.
 #[derive(Clone, Copy, Debug)]
@@ -88,6 +88,9 @@ pub struct MixnetReport {
     pub expected: u64,
     /// Retry-linkage violations over the re-wrapped onion attempts.
     pub retry_linkage: Vec<String>,
+    /// Fleet-layer summary ([`FleetSummary::disabled`] when the run had
+    /// no directory).
+    pub fleet: FleetSummary,
 }
 
 impl dcp_core::ScenarioReport for MixnetReport {
@@ -188,10 +191,15 @@ struct SenderNode {
     entity: EntityId,
     user: UserId,
     first_mix: NodeId,
+    /// Plain mode: the full mix+receiver hop stack. Fleet mode: the
+    /// receiver's single hop (mix hops come from the directory per wrap).
     hops: Vec<Hop>,
     /// Alternative hop stacks ending at other receivers (chaff targets).
     chaff_hops: Vec<Vec<Hop>>,
     mix_keys: Vec<KeyId>,
+    /// Fleet mode: the home-directory handle the mix chain's hops are
+    /// read from on every wrap (so retries pick up rotated keys).
+    fleet: Option<FleetClient>,
     receiver_key: KeyId,
     delay_us: u64,
     chaff_delays: Vec<u64>,
@@ -218,16 +226,35 @@ impl SenderNode {
         let mut body = vec![BODY_CHAFF];
         body.extend_from_slice(&[0u8; 8]);
         body.extend_from_slice(format!("dear receiver, love sender {}", self.user.0).as_bytes());
-        for _ in 0..hops.len() {
-            ctx.world.crypto_op("hpke_seal");
-        }
-        let (bytes, _) = onion::wrap(ctx.rng, &hops, &body, Label::Public).expect("chaff onion");
+        let (bytes, chaff_keys) = if let Some(client) = &self.fleet {
+            // Fleet: seal the receiver's layer, then route it through the
+            // directory-drawn chain with epoch-tagged layers.
+            let ehops = client.hops();
+            for _ in 0..(ehops.len() + hops.len()) {
+                ctx.world.crypto_op("hpke_seal");
+            }
+            let (recv_cipher, _) =
+                onion::wrap(ctx.rng, &hops, &body, Label::Public).expect("chaff recv seal");
+            let (bytes, _) =
+                onion::wrap_epochs(ctx.rng, &ehops, hops[0].addr, &recv_cipher, Label::Public)
+                    .expect("chaff onion");
+            let mut keys: Vec<KeyId> = ehops.iter().map(|h| h.hop.key_id).collect();
+            keys.extend(hops.iter().map(|h| h.key_id));
+            (bytes, keys)
+        } else {
+            for _ in 0..hops.len() {
+                ctx.world.crypto_op("hpke_seal");
+            }
+            let (bytes, _) =
+                onion::wrap(ctx.rng, &hops, &body, Label::Public).expect("chaff onion");
+            (bytes, hops.iter().map(|h| h.key_id).collect())
+        };
         // Chaff reveals the same envelope facts (someone at this address is
         // sending into the mix-net) but protects nothing further: every
         // layer seals emptiness.
         let mut label = Label::Public;
-        for hop in hops.iter().rev() {
-            label = label.sealed(hop.key_id);
+        for &k in chaff_keys.iter().rev() {
+            label = label.sealed(k);
         }
         let label = Label::items([
             InfoItem::sensitive_identity(self.user, IdentityKind::Any),
@@ -253,17 +280,45 @@ impl SenderNode {
     /// using the mix-net" facts the paper ascribes to it, while only the
     /// receiver opens the message itself.
     fn wrap_real(&mut self, ctx: &mut Ctx) -> (Vec<u8>, Label) {
-        for _ in 0..self.hops.len() {
-            ctx.world.crypto_op("hpke_seal");
-        }
-        let (bytes, _auto_label) =
-            onion::wrap(ctx.rng, &self.hops, &self.real_body, Label::Public).expect("onion");
+        let (bytes, layer_keys) = if let Some(client) = &self.fleet {
+            // Fleet: the receiver's layer is sealed under its fixed key,
+            // then routed through the directory-drawn mix chain with
+            // epoch-tagged layers; the exit mix forwards the receiver's
+            // ciphertext to its address. Hops are re-read from the
+            // directory on every wrap, so after a stale-epoch rejection
+            // the ARQ's next attempt seals under rotated keys.
+            let ehops = client.hops();
+            for _ in 0..(ehops.len() + self.hops.len()) {
+                ctx.world.crypto_op("hpke_seal");
+            }
+            let (recv_cipher, _) = onion::wrap(ctx.rng, &self.hops, &self.real_body, Label::Public)
+                .expect("recv seal");
+            let (bytes, _) = onion::wrap_epochs(
+                ctx.rng,
+                &ehops,
+                self.hops[0].addr,
+                &recv_cipher,
+                Label::Public,
+            )
+            .expect("onion");
+            (
+                bytes,
+                ehops.iter().map(|h| h.hop.key_id).collect::<Vec<_>>(),
+            )
+        } else {
+            for _ in 0..self.hops.len() {
+                ctx.world.crypto_op("hpke_seal");
+            }
+            let (bytes, _auto_label) =
+                onion::wrap(ctx.rng, &self.hops, &self.real_body, Label::Public).expect("onion");
+            (bytes, self.mix_keys.clone())
+        };
         let mut label = Label::items([
             InfoItem::plain_identity(self.user, IdentityKind::Any),
             InfoItem::sensitive_data(self.user, DataKind::Message),
         ])
         .sealed(self.receiver_key);
-        for &k in self.mix_keys.iter().rev() {
+        for &k in layer_keys.iter().rev() {
             label = Label::items([
                 InfoItem::plain_identity(self.user, IdentityKind::Any),
                 InfoItem::plain_data(self.user, DataKind::Payload),
@@ -371,6 +426,9 @@ struct ReceiverNode {
     stats: Rc<RefCell<Stats>>,
     /// Recovery wiring: unframe deliveries and ack every copy.
     recover: bool,
+    /// Fleet runs: mark acks with [`RESP_BIT`] so full-mesh mixes can
+    /// tell direction without topology.
+    resp_bit: bool,
     /// Real payloads already counted (a retransmitted copy carries the
     /// same body, so content is the dedup key).
     seen: BTreeSet<Vec<u8>>,
@@ -388,7 +446,8 @@ impl Node for ReceiverNode {
             // Ack every copy (chaff and duplicates included): the ack
             // retraces the mix chain, and a copy that arrived must stop
             // its sender's retries regardless of what it decodes to.
-            ctx.send(from, Message::public(wire::frame(seq, &[])));
+            let out_seq = if self.resp_bit { seq | RESP_BIT } else { seq };
+            ctx.send(from, Message::public(wire::frame(out_seq, &[])));
             body
         } else {
             &msg.bytes
@@ -437,13 +496,27 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
     let user_org = world.add_org("senders");
     let recv_org = world.add_org("receivers");
 
+    // Fleet mode: mixes come from a gossiped directory instead of static
+    // wiring. `pool = 0` means "the wiring's own mix count".
+    let fleet_on = opts.fleet.enabled && config.mixes > 0;
+    assert!(
+        !fleet_on || opts.recover.enabled,
+        "fleet mode requires the recovery runtime (RunOptions::recovered): \
+         churn survival rides the ARQ's re-sealed retransmissions"
+    );
+    let pool = if fleet_on {
+        config.mixes.max(opts.fleet.pool as usize)
+    } else {
+        config.mixes
+    };
+
     let mut mix_entities = Vec::new();
-    let mut mix_names = Vec::new();
-    for i in 0..config.mixes {
+    let mut pool_names = Vec::new();
+    for i in 0..pool {
         let org = world.add_org(&format!("mix-op-{i}"));
         let name = format!("Mix {}", i + 1);
         mix_entities.push(world.add_entity(&name, org, None));
-        mix_names.push(name);
+        pool_names.push(name);
     }
 
     let mut users = Vec::new();
@@ -468,11 +541,50 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
         receiver_entities.push(world.add_entity(&name, recv_org, None));
     }
 
-    // Keys.
+    // Directory entities register after every baseline entity so the
+    // byte-identity probe can compare fleet runs against the fixed-mix
+    // baseline on the baseline's own rows.
+    let mix_addrs: Vec<u16> = (0..pool).map(|i| 100 + i as u16).collect();
+    let mut dir_entities = Vec::new();
+    let mut fleet_setup = if fleet_on {
+        let dir_org = world.add_org("directory-auth");
+        for j in 0..opts.fleet.directories.max(1) {
+            dir_entities.push(world.add_entity(&format!("Directory {}", j + 1), dir_org, None));
+        }
+        Some(FleetSetup::build(
+            &mut world,
+            &opts.fleet,
+            config.seed,
+            &mix_entities,
+            &mix_addrs,
+        ))
+    } else {
+        None
+    };
+    // One shared chain: a mix-net batches, so every sender traverses the
+    // same mixes in the same order (fleet runs pin it at t = 0 from the
+    // genesis directory; churn is survived through the pinned chain's
+    // ARQ, keeping knowledge byte-identical to the fixed-mix run).
+    let chain: Vec<u16> = match &mut fleet_setup {
+        Some(fs) => fs.chain(config.mixes).expect("fleet pool < chain length"),
+        None => (0..config.mixes as u16).collect(),
+    };
+    let mix_names: Vec<String> = chain
+        .iter()
+        .map(|&m| pool_names[m as usize].clone())
+        .collect();
+
+    // Keys: one per mix (fleet mode mints them per epoch instead — the
+    // keypairs are still drawn so the seed stream, and with it the
+    // sender→receiver permutation below, matches the fixed-mix baseline).
     let mix_kps: Vec<hpke::Keypair> = (0..config.mixes)
         .map(|_| hpke::Keypair::generate(&mut setup_rng))
         .collect();
-    let mix_keys: Vec<KeyId> = mix_entities.iter().map(|&e| world.new_key(&[e])).collect();
+    let mix_keys: Vec<KeyId> = if fleet_on {
+        Vec::new()
+    } else {
+        mix_entities.iter().map(|&e| world.new_key(&[e])).collect()
+    };
     let recv_kps: Vec<hpke::Keypair> = (0..config.senders)
         .map(|_| hpke::Keypair::generate(&mut setup_rng))
         .collect();
@@ -483,31 +595,55 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
 
     let mut net = harness.network(world, LinkParams::wan_ms(5));
 
-    // Node layout: mixes 0..M, receivers M..M+S, senders after.
-    let mix_ids: Vec<NodeId> = (0..config.mixes).map(NodeId).collect();
-    let recv_ids: Vec<NodeId> = (0..config.senders)
-        .map(|i| NodeId(config.mixes + i))
+    // Node layout: mixes 0..pool, receivers after, senders after those,
+    // then (fleet runs) the directory nodes.
+    let mix_ids: Vec<NodeId> = (0..pool).map(NodeId).collect();
+    let recv_ids: Vec<NodeId> = (0..config.senders).map(|i| NodeId(pool + i)).collect();
+    let dir_ids: Vec<NodeId> = (0..dir_entities.len())
+        .map(|j| NodeId(pool + 2 * config.senders + j))
         .collect();
     let mix_addr = |i: usize| 100 + i as u16;
     let recv_addr = |i: usize| 1000 + i as u16;
 
-    for i in 0..config.mixes {
+    for i in 0..pool {
+        // Plain mode: each mix forwards to the next (the last one to the
+        // receivers). Fleet mode: chains are directory-drawn, so every
+        // mix can route to every other mix and to every receiver.
         let mut addr_map: Vec<(u16, NodeId)> = Vec::new();
-        if i + 1 < config.mixes {
+        if fleet_on {
+            for (j, &m) in mix_ids.iter().enumerate().take(pool) {
+                if j != i {
+                    addr_map.push((mix_addr(j), m));
+                }
+            }
+            for (j, &r) in recv_ids.iter().enumerate() {
+                addr_map.push((recv_addr(j), r));
+            }
+        } else if i + 1 < config.mixes {
             addr_map.push((mix_addr(i + 1), mix_ids[i + 1]));
         } else {
             for (j, &r) in recv_ids.iter().enumerate() {
                 addr_map.push((recv_addr(j), r));
             }
         }
-        let mut mix = MixNode::new(
-            mix_entities[i],
-            mix_kps[i].clone(),
-            mix_keys[i],
-            config.batch_size,
-            config.mix_max_wait_us.unwrap_or(config.window_us + 200_000),
-            addr_map,
-        )
+        let max_wait = config.mix_max_wait_us.unwrap_or(config.window_us + 200_000);
+        let mut mix = match &mut fleet_setup {
+            Some(fs) => MixNode::new_fleet(
+                mix_entities[i],
+                fs.relay(i as u16, dir_ids[i % dir_ids.len()]),
+                config.batch_size,
+                max_wait,
+                addr_map,
+            ),
+            None => MixNode::new(
+                mix_entities[i],
+                mix_kps[i].clone(),
+                mix_keys[i],
+                config.batch_size,
+                max_wait,
+                addr_map,
+            ),
+        }
         .with_recovery(opts.recover.enabled);
         if !config.shuffle {
             mix = mix.without_shuffle();
@@ -529,6 +665,7 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
                 key_id: recv_keys[i],
                 stats: stats.clone(),
                 recover: opts.recover.enabled,
+                resp_bit: fleet_on,
                 seen: BTreeSet::new(),
             }),
         );
@@ -549,49 +686,59 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
 
     for (i, (&u, &e)) in users.iter().zip(sender_entities.iter()).enumerate() {
         let target = perm[i];
-        let mut hops: Vec<Hop> = (0..config.mixes)
-            .map(|m| Hop {
-                addr: mix_addr(m),
-                pk: mix_kps[m].public,
-                key_id: mix_keys[m],
-            })
-            .collect();
-        hops.push(Hop {
-            addr: recv_addr(target),
-            pk: recv_kps[target].public,
-            key_id: recv_keys[target],
-        });
+        let recv_hop = |r: usize| Hop {
+            addr: recv_addr(r),
+            pk: recv_kps[r].public,
+            key_id: recv_keys[r],
+        };
+        let hops: Vec<Hop> = if fleet_on {
+            // Fleet: only the receiver's hop is static; the mix hops are
+            // read from the directory on every wrap.
+            vec![recv_hop(target)]
+        } else {
+            let mut hops: Vec<Hop> = (0..config.mixes)
+                .map(|m| Hop {
+                    addr: mix_addr(m),
+                    pk: mix_kps[m].public,
+                    key_id: mix_keys[m],
+                })
+                .collect();
+            hops.push(recv_hop(target));
+            hops
+        };
         let delay_us = setup_rng.gen_range(0..config.window_us.max(1));
         let chaff_hops: Vec<Vec<Hop>> = (0..config.senders)
             .map(|r| {
-                let mut hs: Vec<Hop> = (0..config.mixes)
-                    .map(|m| Hop {
-                        addr: mix_addr(m),
-                        pk: mix_kps[m].public,
-                        key_id: mix_keys[m],
-                    })
-                    .collect();
-                hs.push(Hop {
-                    addr: recv_addr(r),
-                    pk: recv_kps[r].public,
-                    key_id: recv_keys[r],
-                });
-                hs
+                if fleet_on {
+                    vec![recv_hop(r)]
+                } else {
+                    let mut hs: Vec<Hop> = (0..config.mixes)
+                        .map(|m| Hop {
+                            addr: mix_addr(m),
+                            pk: mix_kps[m].public,
+                            key_id: mix_keys[m],
+                        })
+                        .collect();
+                    hs.push(recv_hop(r));
+                    hs
+                }
             })
             .collect();
         let chaff_delays: Vec<u64> = (0..config.chaff_per_sender)
             .map(|_| setup_rng.gen_range(0..config.window_us.max(1)))
             .collect();
+        let client = fleet_setup.as_mut().map(|fs| fs.client(i, chain.clone()));
         Harness::add(
             &mut net,
             RoleKind::Initiator,
             Box::new(SenderNode {
                 entity: e,
                 user: u,
-                first_mix: mix_ids[0],
+                first_mix: mix_ids[chain[0] as usize],
                 hops,
                 chaff_hops,
                 mix_keys: mix_keys.clone(),
+                fleet: client,
                 receiver_key: recv_keys[target],
                 delay_us,
                 chaff_delays,
@@ -604,11 +751,28 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
         );
     }
 
+    if let Some(fs) = &mut fleet_setup {
+        for (j, &dir_entity) in dir_entities.iter().enumerate() {
+            let peers: Vec<NodeId> = dir_ids
+                .iter()
+                .enumerate()
+                .filter(|&(p, _)| p != j)
+                .map(|(_, &id)| id)
+                .collect();
+            Harness::add_directory(&mut net, Box::new(fs.directory_node(j, dir_entity, peers)));
+        }
+    }
+
     let core = harness.finish(net);
+    let fleet = fleet_setup
+        .map(|fs| fs.summary())
+        .unwrap_or_else(FleetSummary::disabled);
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
     let trace = core.trace;
-    let attack = adversary::timing_correlation(&trace, mix_ids[0], &[*mix_ids.last().unwrap()]);
-    let anon = adversary::mean_anonymity_set(&trace, &[*mix_ids.last().unwrap()]);
+    let entry_mix = mix_ids[chain[0] as usize];
+    let exit_mix = mix_ids[*chain.last().unwrap() as usize];
+    let attack = adversary::timing_correlation(&trace, entry_mix, &[exit_mix]);
+    let anon = adversary::mean_anonymity_set(&trace, &[exit_mix]);
     MixnetReport {
         world: core.world,
         trace,
@@ -623,6 +787,7 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
         metrics: core.metrics,
         expected: config.senders as u64,
         retry_linkage: stats.linkage.violations(),
+        fleet,
     }
 }
 
@@ -892,6 +1057,98 @@ mod tests {
         );
         assert_eq!(harsh.table(0), calm.table(0));
         assert!(analyze(&harsh.world).decoupled);
+    }
+
+    /// The tentpole acceptance bar, mix-net edition: a fleet-enabled run
+    /// under `harsh_fleet()` delivers the whole workload with knowledge
+    /// tables byte-identical to the fixed-mix, fault-free baseline.
+    #[test]
+    fn fleet_run_survives_churn_with_baseline_knowledge() {
+        use dcp_core::ScenarioReport as _;
+        use dcp_runtime::{entities_silent, restricted_fingerprint, FleetConfig};
+
+        let cfg = MixnetConfig {
+            senders: 4,
+            mixes: 2,
+            batch_size: 2,
+            window_us: 100_000,
+            shuffle: true,
+            chaff_per_sender: 0,
+            mix_max_wait_us: Some(50_000),
+            seed: 41,
+        };
+        let baseline = Mixnet::run_with(&cfg, 41, &RunOptions::recovered(&FaultConfig::calm()));
+        let fleet = Mixnet::run_with(
+            &cfg,
+            41,
+            &RunOptions::recovered(&FaultConfig::harsh_fleet())
+                .with_fleet(&FleetConfig::standard()),
+        );
+
+        assert_eq!(
+            fleet.delivered as u64,
+            fleet.expected_units().unwrap(),
+            "fleet run under harsh_fleet lost messages"
+        );
+        assert!(fleet.fleet.enabled);
+        assert!(fleet.fleet.converged, "directories ended divergent");
+        assert!(
+            fleet.fleet.stats.rotations > 0,
+            "rotation schedule never fired"
+        );
+        assert!(entities_silent(&fleet.world, "Directory"));
+
+        let names: BTreeSet<String> = baseline
+            .world
+            .entities()
+            .iter()
+            .map(|e| e.name.clone())
+            .collect();
+        assert_eq!(
+            restricted_fingerprint(&fleet.world, &names),
+            restricted_fingerprint(&baseline.world, &names),
+            "fleet run changed a baseline entity's knowledge"
+        );
+        assert!(analyze(&fleet.world).decoupled);
+    }
+
+    /// Mid-run key rotation is knowledge-invariant: the same run with
+    /// rotation disabled produces identical knowledge tables.
+    #[test]
+    fn fleet_rotation_never_changes_knowledge() {
+        use dcp_faults::dst::KnowledgeFingerprint;
+        use dcp_runtime::FleetConfig;
+
+        let cfg = MixnetConfig {
+            senders: 4,
+            mixes: 2,
+            batch_size: 2,
+            window_us: 100_000,
+            shuffle: true,
+            chaff_per_sender: 1,
+            mix_max_wait_us: Some(50_000),
+            seed: 43,
+        };
+        let rotating = Mixnet::run_with(
+            &cfg,
+            43,
+            &RunOptions::recovered(&FaultConfig::calm()).with_fleet(&FleetConfig::standard()),
+        );
+        let frozen = Mixnet::run_with(
+            &cfg,
+            43,
+            &RunOptions::recovered(&FaultConfig::calm())
+                .with_fleet(&FleetConfig::standard().max_rotations(0)),
+        );
+        assert!(rotating.fleet.stats.rotations > 0);
+        assert_eq!(frozen.fleet.stats.rotations, 0);
+        assert_eq!(rotating.delivered, 4, "rotation must not lose messages");
+        assert_eq!(frozen.delivered, 4);
+        assert_eq!(
+            KnowledgeFingerprint::of(&rotating.world),
+            KnowledgeFingerprint::of(&frozen.world),
+            "key rotation leaked into a knowledge ledger"
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@ use dcp_core::{
 };
 use dcp_crypto::hpke;
 use dcp_runtime::{
-    mean_us, wire, Attempt, CallEvent, Ctx, Driver, Harness, HopMap, LinkParams, Message, Node,
-    NodeId, RetryLinkage, SimTime, Trace,
+    mean_us, wire, Attempt, CallEvent, Ctx, Driver, FleetClient, FleetRelay, FleetSetup,
+    FleetSummary, Harness, HopMap, LinkParams, Message, Node, NodeId, RetryLinkage, SimTime, Trace,
 };
 use dcp_transport::onion::{self, Hop, Unwrapped};
 
@@ -67,6 +67,9 @@ pub struct ScenarioReport {
     pub expected: u64,
     /// Retry-linkage violations over the re-wrapped onion attempts.
     pub retry_linkage: Vec<String>,
+    /// Fleet-layer summary ([`FleetSummary::disabled`] when the run had
+    /// no directory).
+    pub fleet: FleetSummary,
 }
 
 impl dcp_core::ScenarioReport for ScenarioReport {
@@ -140,6 +143,13 @@ impl ScenarioReport {
 const REQUEST: &[u8] = b"GET /profile/sensitive-page HTTP/1.1";
 const RESPONSE: &[u8] = b"HTTP/1.1 200 OK\r\n\r\n<private content>";
 
+/// Direction bit on fleet-mode response frames. Plain chains infer
+/// direction from topology (a response can only arrive from the one node
+/// a relay forwards to); directory-drawn chains are a full mesh, where
+/// that inference misreads a request from the previous hop as a response.
+/// Fleet responses therefore carry the direction explicitly.
+const RESP_BIT: u64 = 1 << 63;
+
 struct Stats {
     completed: usize,
     latencies: Vec<u64>,
@@ -153,6 +163,9 @@ struct UserNode {
     user: UserId,
     first_hop: NodeId,
     hops: Vec<Hop>,
+    /// Fleet mode: the home-directory handle the chain's hops are read
+    /// from on every wrap (so retries pick up rotated keys).
+    fleet: Option<FleetClient>,
     origin_addr: u16,
     origin_pk: [u8; 32],
     origin_key: KeyId,
@@ -185,7 +198,7 @@ impl UserNode {
             hpke::seal(ctx.rng, &self.origin_pk, b"e2e", b"", REQUEST).expect("seal to origin");
         let e2e_label = Label::items(origin_items).sealed(self.origin_key);
 
-        if self.hops.is_empty() {
+        if self.hops.is_empty() && self.fleet.is_none() {
             // Direct: the origin additionally sees the user's address (▲).
             let label = Label::items([
                 InfoItem::sensitive_identity(self.user, IdentityKind::Any),
@@ -205,11 +218,29 @@ impl UserNode {
         ])
         .and(e2e_label);
 
-        for _ in 0..self.hops.len() {
+        let chain_len = self
+            .fleet
+            .as_ref()
+            .map(|c| c.chain().len())
+            .unwrap_or(self.hops.len());
+        for _ in 0..chain_len {
             ctx.world.crypto_op("hpke_seal");
         }
-        let (bytes, onion_label) =
-            onion::wrap(ctx.rng, &self.hops, &exit_plain, exit_label).expect("onion");
+        let (bytes, onion_label) = if let Some(client) = &self.fleet {
+            // Re-read the directory on every wrap: after a stale-epoch
+            // rejection the ARQ's next attempt seals under fresh keys.
+            let ehops = client.hops();
+            onion::wrap_epochs(
+                ctx.rng,
+                &ehops,
+                onion::DELIVER_LOCAL,
+                &exit_plain,
+                exit_label,
+            )
+            .expect("onion")
+        } else {
+            onion::wrap(ctx.rng, &self.hops, &exit_plain, exit_label).expect("onion")
+        };
         // Envelope: relay 1 sees the user's network identity (▲) and that
         // opaque traffic is flowing (⊙).
         let label = Label::items([
@@ -309,10 +340,16 @@ impl Node for UserNode {
     }
 }
 
+/// A relay's decryption material: one fixed keypair (plain runs) or an
+/// epoch keyring fed by the fleet directory (fleet runs).
+enum RelayKeys {
+    Plain { kp: hpke::Keypair, key_id: KeyId },
+    Fleet(FleetRelay),
+}
+
 struct RelayNode {
     entity: EntityId,
-    kp: hpke::Keypair,
-    key_id: KeyId,
+    keys: RelayKeys,
     /// addr → node mapping for forwarding.
     addr_map: Vec<(u16, NodeId)>,
     /// Back-routes for responses: stack of previous hops. The FIFO
@@ -331,21 +368,45 @@ impl Node for RelayNode {
     fn entity(&self) -> EntityId {
         self.entity
     }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        if let RelayKeys::Fleet(f) = &self.keys {
+            f.arm(ctx);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        if let RelayKeys::Fleet(f) = &mut self.keys {
+            f.on_timer(ctx, token);
+        }
+    }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
         // Response coming back (from a node we forwarded to): relay it to
         // the stored previous hop.
         if self.recover {
-            if self.addr_map.iter().any(|(_, n)| *n == from) {
+            let fleet = matches!(self.keys, RelayKeys::Fleet(_));
+            let is_resp = if fleet {
+                wire::unframe(&msg.bytes).is_some_and(|(s, _)| s & RESP_BIT != 0)
+            } else {
+                self.addr_map.iter().any(|(_, n)| *n == from)
+            };
+            if is_resp {
                 let Some((pseq, body)) = wire::unframe(&msg.bytes) else {
                     return; // unframed response on a recovered run: drop
                 };
-                let Some((prev, prev_seq)) = self.hop.take(pseq) else {
+                let Some((prev, prev_seq)) = self.hop.take(pseq & !RESP_BIT) else {
                     return; // duplicated response: its route was consumed
+                };
+                // Relay-bound responses keep the direction bit; the final
+                // hop back to the user carries the bare ARQ seq.
+                let to_relay = fleet && self.addr_map.iter().any(|(_, n)| *n == prev);
+                let out_seq = if to_relay {
+                    prev_seq | RESP_BIT
+                } else {
+                    prev_seq
                 };
                 let label = msg.label.clone();
                 ctx.send(
                     prev,
-                    Message::new(wire::frame(prev_seq, body), label).with_flow_opt(msg.flow),
+                    Message::new(wire::frame(out_seq, body), label).with_flow_opt(msg.flow),
                 );
                 return;
             }
@@ -375,8 +436,27 @@ impl Node for RelayNode {
             (0, &msg.bytes)
         };
         ctx.world.crypto_op("hpke_open");
-        let Ok(unwrapped) = onion::unwrap_layer(&self.kp, cipher) else {
-            return;
+        let (unwrapped, layer_key) = match &mut self.keys {
+            RelayKeys::Plain { kp, key_id } => match onion::unwrap_layer(kp, cipher) {
+                Ok(u) => (u, *key_id),
+                Err(_) => return,
+            },
+            RelayKeys::Fleet(f) => {
+                // Fleet layers carry their sealing epoch in the clear:
+                // select the matching keypair first, fail-closed — a
+                // stale or future epoch is a typed rejection (counted in
+                // the run stats), never a guessed key.
+                let Ok((epoch, sealed)) = onion::read_epoch(cipher) else {
+                    return; // missing epoch tag: drop
+                };
+                let Ok((kp, key_id)) = f.open_epoch(epoch) else {
+                    return; // stale/future epoch: typed, fail-closed
+                };
+                match onion::unwrap_layer(kp, sealed) {
+                    Ok(u) => (u, key_id),
+                    Err(_) => return,
+                }
+            }
         };
         let outer_label = match &msg.label {
             Label::Bundle(parts) if parts.len() == 2 => parts[1].clone(),
@@ -384,7 +464,7 @@ impl Node for RelayNode {
         };
         // Label desync is the same failure class as a failed peel: the
         // bytes and labels no longer describe one message. Drop it.
-        let Ok(inner_label) = onion::unwrap_label(&outer_label, self.key_id) else {
+        let Ok(inner_label) = onion::unwrap_label(&outer_label, layer_key) else {
             return;
         };
         match unwrapped {
@@ -460,6 +540,9 @@ struct OriginNode {
     /// origin serves an idempotent GET, so it answers every delivery
     /// (retransmissions included) statelessly; the user's ARQ dedups.
     recover: bool,
+    /// Fleet runs: mark responses with [`RESP_BIT`] so full-mesh relays
+    /// can tell direction without topology.
+    resp_bit: bool,
 }
 
 impl Node for OriginNode {
@@ -496,7 +579,8 @@ impl Node for OriginNode {
         let resp_label = Label::items([InfoItem::sensitive_data(user, DataKind::Destination)])
             .sealed(self.resp_key);
         let body = if self.recover {
-            wire::frame(seq, RESPONSE)
+            let out_seq = if self.resp_bit { seq | RESP_BIT } else { seq };
+            wire::frame(out_seq, RESPONSE)
         } else {
             RESPONSE.to_vec()
         };
@@ -525,9 +609,23 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
     let origin_org = world.add_org("origin-co");
     let origin_e = world.add_entity("Origin", origin_org, None);
 
+    // Fleet mode: relays come from a gossiped directory instead of
+    // static wiring. `pool = 0` means "the wiring's own relay count".
+    let fleet_on = opts.fleet.enabled && config.relays > 0;
+    assert!(
+        !fleet_on || opts.recover.enabled,
+        "fleet mode requires the recovery runtime (RunOptions::recovered): \
+         churn survival rides the ARQ's re-sealed retransmissions"
+    );
+    let pool = if fleet_on {
+        config.relays.max(opts.fleet.pool as usize)
+    } else {
+        config.relays
+    };
+
     let mut relay_entities = Vec::new();
     let mut relay_names = Vec::new();
-    for i in 0..config.relays {
+    for i in 0..pool {
         let org = world.add_org(&format!("relay-op-{i}"));
         let name = format!("Relay {}", i + 1);
         relay_entities.push(world.add_entity(&name, org, None));
@@ -547,14 +645,44 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
         users.push(u);
     }
 
-    // Keys: one per relay, one for the origin's e2e, one for responses.
-    let relay_kps: Vec<hpke::Keypair> = (0..config.relays)
-        .map(|_| hpke::Keypair::generate(&mut setup_rng))
-        .collect();
-    let relay_keys: Vec<KeyId> = relay_entities
-        .iter()
-        .map(|&e| world.new_key(&[e]))
-        .collect();
+    // Directory entities register after every baseline entity so the
+    // byte-identity probe can compare fleet runs against the fixed-relay
+    // baseline on the baseline's own rows.
+    let relay_addrs: Vec<u16> = (0..pool).map(|i| 100 + i as u16).collect();
+    let mut dir_entities = Vec::new();
+    let mut fleet_setup = if fleet_on {
+        let dir_org = world.add_org("directory-auth");
+        for j in 0..opts.fleet.directories.max(1) {
+            dir_entities.push(world.add_entity(&format!("Directory {}", j + 1), dir_org, None));
+        }
+        Some(FleetSetup::build(
+            &mut world,
+            &opts.fleet,
+            config.seed,
+            &relay_entities,
+            &relay_addrs,
+        ))
+    } else {
+        None
+    };
+
+    // Keys: one per relay (fleet mode mints them per epoch instead),
+    // one for the origin's e2e, one for responses.
+    let relay_kps: Vec<hpke::Keypair> = if fleet_on {
+        Vec::new()
+    } else {
+        (0..pool)
+            .map(|_| hpke::Keypair::generate(&mut setup_rng))
+            .collect()
+    };
+    let relay_keys: Vec<KeyId> = if fleet_on {
+        Vec::new()
+    } else {
+        relay_entities
+            .iter()
+            .map(|&e| world.new_key(&[e]))
+            .collect()
+    };
     let origin_kp = hpke::Keypair::generate(&mut setup_rng);
     let origin_key = world.new_key(&[origin_e]);
     let resp_key = world.new_key(&[]);
@@ -564,19 +692,26 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
 
     let mut net = harness.network(world, LinkParams::wan_ms(10));
 
-    // Topology: origin = node 0, relays 1..=k, users after.
+    // Topology: origin = node 0, relays 1..=pool, users after, then
+    // (fleet runs) the directory nodes.
     let origin_id = NodeId(0);
-    let relay_ids: Vec<NodeId> = (0..config.relays).map(|i| NodeId(1 + i)).collect();
+    let relay_ids: Vec<NodeId> = (0..pool).map(|i| NodeId(1 + i)).collect();
     let origin_addr: u16 = 9000;
-    let relay_addrs: Vec<u16> = (0..config.relays).map(|i| 100 + i as u16).collect();
-
-    let hops: Vec<Hop> = (0..config.relays)
-        .map(|i| Hop {
-            addr: relay_addrs[i],
-            pk: relay_kps[i].public,
-            key_id: relay_keys[i],
-        })
+    let dir_ids: Vec<NodeId> = (0..dir_entities.len())
+        .map(|j| NodeId(1 + pool + config.users + j))
         .collect();
+
+    let hops: Vec<Hop> = if fleet_on {
+        Vec::new()
+    } else {
+        (0..pool)
+            .map(|i| Hop {
+                addr: relay_addrs[i],
+                pk: relay_kps[i].public,
+                key_id: relay_keys[i],
+            })
+            .collect()
+    };
 
     let recover_on = opts.recover.enabled;
     let flow_user: Vec<(u64, UserId)> = users.iter().map(|&u| (u.0, u)).collect();
@@ -589,21 +724,36 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
             resp_key,
             flow_user,
             recover: recover_on,
+            resp_bit: fleet_on,
         }),
     );
-    for i in 0..config.relays {
-        // Each relay can forward to the next relay and to the origin.
+    for i in 0..pool {
+        // Plain mode: each relay can forward to the next relay and to
+        // the origin. Fleet mode: chains are directory-drawn, so every
+        // relay can route to every other relay (and the origin).
         let mut addr_map: Vec<(u16, NodeId)> = vec![(origin_addr, origin_id)];
-        if i + 1 < config.relays {
+        if fleet_on {
+            for j in 0..pool {
+                if j != i {
+                    addr_map.push((relay_addrs[j], relay_ids[j]));
+                }
+            }
+        } else if i + 1 < pool {
             addr_map.push((relay_addrs[i + 1], relay_ids[i + 1]));
         }
+        let keys = match &mut fleet_setup {
+            Some(fs) => RelayKeys::Fleet(fs.relay(i as u16, dir_ids[i % dir_ids.len()])),
+            None => RelayKeys::Plain {
+                kp: relay_kps[i].clone(),
+                key_id: relay_keys[i],
+            },
+        };
         Harness::add(
             &mut net,
             RoleKind::Relay,
             Box::new(RelayNode {
                 entity: relay_entities[i],
-                kp: relay_kps[i].clone(),
-                key_id: relay_keys[i],
+                keys,
                 addr_map,
                 back: Vec::new(),
                 recover: recover_on,
@@ -623,14 +773,26 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
         relay_ids[0]
     };
     for (i, (&u, &e)) in users.iter().zip(user_entities.iter()).enumerate() {
+        // Fleet mode: pin this user's chain from the genesis directory
+        // (t = 0) — churn is survived through the pinned chain's ARQ, so
+        // knowledge tables stay byte-identical to the fixed-relay run.
+        let (client, user_first) = match &mut fleet_setup {
+            Some(fs) => {
+                let chain = fs.chain(config.relays).expect("fleet pool < chain length");
+                let entry = relay_ids[chain[0] as usize];
+                (Some(fs.client(i, chain)), entry)
+            }
+            None => (None, first_hop),
+        };
         Harness::add(
             &mut net,
             RoleKind::Initiator,
             Box::new(UserNode {
                 entity: e,
                 user: u,
-                first_hop,
+                first_hop: user_first,
                 hops: hops.clone(),
+                fleet: client,
                 origin_addr,
                 origin_pk: origin_kp.public,
                 origin_key,
@@ -643,7 +805,22 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
         );
     }
 
+    if let Some(fs) = &mut fleet_setup {
+        for (j, &dir_entity) in dir_entities.iter().enumerate() {
+            let peers: Vec<NodeId> = dir_ids
+                .iter()
+                .enumerate()
+                .filter(|&(p, _)| p != j)
+                .map(|(_, &id)| id)
+                .collect();
+            Harness::add_directory(&mut net, Box::new(fs.directory_node(j, dir_entity, peers)));
+        }
+    }
+
     let core = harness.finish(net);
+    let fleet = fleet_setup
+        .map(|fs| fs.summary())
+        .unwrap_or_else(FleetSummary::disabled);
     let stats = Rc::try_unwrap(stats).map_err(|_| ()).unwrap().into_inner();
     let bytes_factor = if stats.payload_bytes == 0 {
         0.0
@@ -662,6 +839,7 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
         fault_log: core.fault_log,
         retry_linkage: stats.linkage.violations(),
         metrics: core.metrics,
+        fleet,
     }
 }
 
@@ -835,6 +1013,93 @@ mod tests {
         );
         assert_eq!(harsh.table(0), calm.table(0));
         assert!(analyze(&harsh.world).decoupled);
+    }
+
+    /// The tentpole acceptance bar: a fleet-enabled run under
+    /// `harsh_fleet()` (wire faults + directory churn + key rotation +
+    /// directory partitions) completes its whole workload with knowledge
+    /// tables byte-identical to the fixed-relay, fault-free baseline.
+    #[test]
+    fn fleet_run_survives_churn_with_baseline_knowledge() {
+        use dcp_core::ScenarioReport as _;
+        use dcp_runtime::{entities_silent, restricted_fingerprint, FleetConfig};
+        use std::collections::BTreeSet;
+
+        let cfg = ChainConfig {
+            relays: 2,
+            users: 2,
+            fetches_each: 2,
+            geohint: false,
+            seed: 17,
+        };
+        let baseline = Mpr::run_with(&cfg, 17, &RunOptions::recovered(&FaultConfig::calm()));
+        let fleet = Mpr::run_with(
+            &cfg,
+            17,
+            &RunOptions::recovered(&FaultConfig::harsh_fleet())
+                .with_fleet(&FleetConfig::standard()),
+        );
+
+        assert_eq!(
+            fleet.completed as u64,
+            fleet.expected_units().unwrap(),
+            "fleet run under harsh_fleet left fetches unfinished"
+        );
+        assert!(fleet.fleet.enabled);
+        assert!(fleet.fleet.converged, "directories ended divergent");
+        assert!(
+            fleet.fleet.stats.rotations > 0,
+            "rotation schedule never fired"
+        );
+        assert!(entities_silent(&fleet.world, "Directory"));
+
+        let names: BTreeSet<String> = baseline
+            .world
+            .entities()
+            .iter()
+            .map(|e| e.name.clone())
+            .collect();
+        assert_eq!(
+            restricted_fingerprint(&fleet.world, &names),
+            restricted_fingerprint(&baseline.world, &names),
+            "fleet run changed a baseline entity's knowledge"
+        );
+        assert!(analyze(&fleet.world).decoupled);
+    }
+
+    /// Mid-run key rotation is knowledge-invariant: the same run with
+    /// rotation disabled produces identical knowledge tables.
+    #[test]
+    fn fleet_rotation_never_changes_knowledge() {
+        use dcp_faults::dst::KnowledgeFingerprint;
+        use dcp_runtime::FleetConfig;
+
+        let cfg = ChainConfig {
+            relays: 2,
+            users: 2,
+            fetches_each: 2,
+            geohint: false,
+            seed: 23,
+        };
+        let rotating = Mpr::run_with(
+            &cfg,
+            23,
+            &RunOptions::recovered(&FaultConfig::calm()).with_fleet(&FleetConfig::standard()),
+        );
+        let frozen = Mpr::run_with(
+            &cfg,
+            23,
+            &RunOptions::recovered(&FaultConfig::calm())
+                .with_fleet(&FleetConfig::standard().max_rotations(0)),
+        );
+        assert!(rotating.fleet.stats.rotations > 0);
+        assert_eq!(frozen.fleet.stats.rotations, 0);
+        assert_eq!(
+            KnowledgeFingerprint::of(&rotating.world),
+            KnowledgeFingerprint::of(&frozen.world),
+            "key rotation leaked into a knowledge ledger"
+        );
+        assert_eq!(rotating.completed, frozen.completed);
     }
 
     #[test]

@@ -83,6 +83,15 @@ impl Harness {
         id
     }
 
+    /// Register a fleet directory node: marked on the simulator so the
+    /// directory-partition fault (`p_dir_partition`) targets only
+    /// directory↔directory links.
+    pub fn add_directory(net: &mut Network, node: Box<dyn Node>) -> NodeId {
+        let id = net.add_node(node);
+        net.mark_directory(id);
+        id
+    }
+
     /// Run the network to quiescence and assemble the [`RunCore`].
     pub fn finish(self, mut net: Network) -> RunCore {
         net.run();

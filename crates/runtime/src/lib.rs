@@ -53,6 +53,10 @@ pub use harness::{mean_us, Harness, RunCore};
 pub use outbox::Outbox;
 
 pub use dcp_core::role::{Endpoint, Role, RoleKind};
+pub use dcp_fleet::{
+    entities_silent, restricted_fingerprint, DirectoryNode, EpochError, FleetClient, FleetConfig,
+    FleetRelay, FleetSetup, FleetStats, FleetSummary, ROTATE_TOKEN,
+};
 pub use dcp_obs::MetricsHandle;
 pub use dcp_recover::{
     emit_failover, emit_give_up, emit_quarantine, emit_retry, wire, Attempt, Dedup, Failover,

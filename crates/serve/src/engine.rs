@@ -68,6 +68,16 @@ pub struct ServeConfig {
     /// role starts. Exists so tests can aim hostile traffic at live
     /// listeners; production callers leave it `None`.
     pub port_report: Option<std::sync::mpsc::Sender<Vec<SocketAddr>>>,
+    /// Dial attempts per outbound connection (minimum 1). A peer that is
+    /// still binding, or briefly restarting, refuses the first connect;
+    /// the host retries with backoff instead of failing the run, and a
+    /// peer still unreachable after the budget is a typed
+    /// [`ServeError::DialExhausted`](crate::ServeError::DialExhausted).
+    pub dial_attempts: u32,
+    /// Base backoff between dial attempts; attempt `k` waits roughly
+    /// `k × dial_backoff`, with ±50% seeded jitter so a herd of
+    /// redialing hosts never re-synchronizes.
+    pub dial_backoff: Duration,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +87,8 @@ impl Default for ServeConfig {
             seed: 0,
             deadline: Duration::from_secs(30),
             port_report: None,
+            dial_attempts: 4,
+            dial_backoff: Duration::from_millis(25),
         }
     }
 }
@@ -165,6 +177,8 @@ struct RoleHost {
     nonce_rng: StdRng,
     shared: SharedRun,
     max_conns: usize,
+    dial_attempts: u32,
+    dial_backoff: Duration,
 }
 
 impl RoleHost {
@@ -350,7 +364,13 @@ impl RoleHost {
                 .peer_addrs
                 .get(&to)
                 .ok_or(ServeError::UnknownPeer(to))?;
-            let mut stream = TcpStream::connect(addr).map_err(ServeError::Io)?;
+            let mut stream = dial_with_backoff(
+                addr,
+                to,
+                self.dial_attempts,
+                self.dial_backoff,
+                &mut self.nonce_rng,
+            )?;
             let nonce: u64 = self.nonce_rng.gen();
             if let Some(bus) = &self.shared.bus {
                 bus.register_nonce(nonce, self.idx);
@@ -380,6 +400,42 @@ impl RoleHost {
             .expect("just ensured");
         write_frame_retry(&mut conn.stream, msg.ftype, &msg.payload)
     }
+}
+
+/// Dial a peer with bounded retry: transient refusals (a peer that has
+/// not finished binding, or is briefly restarting) are retried with
+/// linear backoff plus seeded jitter from the engine-only RNG; a peer
+/// still unreachable after the budget is a typed
+/// [`ServeError::DialExhausted`], never a hang and never a silent drop.
+fn dial_with_backoff(
+    addr: SocketAddr,
+    peer: u16,
+    attempts: u32,
+    backoff: Duration,
+    jitter_rng: &mut StdRng,
+) -> Result<TcpStream, ServeError> {
+    let budget = attempts.max(1);
+    let mut last = None;
+    for attempt in 0..budget {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                if attempt + 1 < budget {
+                    // Attempt k waits roughly k × backoff, jittered into
+                    // [50%, 150%] so redialing hosts spread out.
+                    let base = (backoff.as_micros() as u64).max(1) * (attempt as u64 + 1);
+                    let jittered = base / 2 + jitter_rng.gen_range(0..=base);
+                    std::thread::sleep(Duration::from_micros(jittered));
+                }
+            }
+        }
+    }
+    Err(ServeError::DialExhausted {
+        peer,
+        attempts: budget,
+        last: last.expect("at least one attempt was made"),
+    })
 }
 
 /// `write_all` for a nonblocking stream: a full kernel send buffer
@@ -464,6 +520,8 @@ pub fn run_loopback(spec: ServeSpec, cfg: &ServeConfig) -> Result<ServeOutcome, 
                 initiators_done: initiators_done.clone(),
             },
             max_conns: cfg.max_conns,
+            dial_attempts: cfg.dial_attempts,
+            dial_backoff: cfg.dial_backoff,
         };
         let name = rs.name.clone();
         handles.push((name, std::thread::spawn(move || host.run())));
@@ -545,6 +603,8 @@ pub fn run_role(
             initiators_done: Arc::new(AtomicUsize::new(0)),
         },
         max_conns: cfg.max_conns,
+        dial_attempts: cfg.dial_attempts,
+        dial_backoff: cfg.dial_backoff,
     };
     // The deadline doubles as the service-role lifetime: without a
     // cross-process control plane, "graceful shutdown" for a lone
@@ -568,4 +628,65 @@ pub fn run_role(
     result?;
     let _ = kind;
     Ok(units.load(Ordering::SeqCst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{Ipv4Addr, SocketAddrV4, TcpListener};
+
+    /// Nobody listening and nobody ever will: the dial budget drains and
+    /// the caller gets the typed exhaustion error, not a hang.
+    #[test]
+    fn dial_exhausts_into_typed_error() {
+        // Bind-then-drop reserves a port that is closed by the time we dial.
+        let addr = {
+            let l = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let err = dial_with_backoff(addr, 3, 3, Duration::from_micros(100), &mut rng)
+            .expect_err("closed port must not connect");
+        match err {
+            ServeError::DialExhausted {
+                peer,
+                attempts,
+                last,
+            } => {
+                assert_eq!(peer, 3);
+                assert_eq!(attempts, 3);
+                assert_eq!(last.kind(), std::io::ErrorKind::ConnectionRefused);
+            }
+            other => panic!("expected DialExhausted, got {other}"),
+        }
+    }
+
+    /// A peer that binds late (restart, slow start) is reached by the
+    /// retry loop instead of failing the whole run on the first refusal.
+    #[test]
+    fn dial_retries_until_late_listener_appears() {
+        let addr = {
+            let l = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+            l.local_addr().unwrap()
+        };
+        let bind_to = match addr {
+            SocketAddr::V4(v4) => SocketAddrV4::new(*v4.ip(), v4.port()),
+            SocketAddr::V6(_) => unreachable!("bound v4 above"),
+        };
+        let listener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(40));
+            let l = TcpListener::bind(bind_to).unwrap();
+            // Hold the listener long enough for the dialer to land.
+            let _ = l.accept();
+        });
+        let mut rng = StdRng::seed_from_u64(11);
+        let stream = dial_with_backoff(addr, 9, 12, Duration::from_millis(10), &mut rng);
+        assert!(
+            stream.is_ok(),
+            "late listener should be reached: {:?}",
+            stream.err()
+        );
+        drop(stream);
+        let _ = listener.join();
+    }
 }

@@ -53,6 +53,18 @@ pub enum ServeError {
     RoleCrash(String),
     /// A role tried to send to a peer id with no known address.
     UnknownPeer(u16),
+    /// Every dial attempt to a peer failed: the engine retried with
+    /// backoff (`ServeConfig::dial_attempts` × `dial_backoff`) and the
+    /// peer never accepted. Carries the final OS error so operators can
+    /// tell "refused" (peer down) from "unreachable" (network).
+    DialExhausted {
+        /// The peer id the host was dialing.
+        peer: u16,
+        /// How many connect attempts were made.
+        attempts: u32,
+        /// The last attempt's OS error.
+        last: std::io::Error,
+    },
     /// A role or peer name that isn't part of the wiring's spec.
     UnknownRole(String),
 }
@@ -64,6 +76,16 @@ impl std::fmt::Display for ServeError {
             ServeError::Wire(e) => write!(f, "wire encode error: {e}"),
             ServeError::RoleCrash(name) => write!(f, "role crashed: {name}"),
             ServeError::UnknownPeer(id) => write!(f, "no address for peer {id}"),
+            ServeError::DialExhausted {
+                peer,
+                attempts,
+                last,
+            } => {
+                write!(
+                    f,
+                    "peer {peer} unreachable after {attempts} dial attempts: {last}"
+                )
+            }
             ServeError::UnknownRole(name) => write!(f, "unknown role: {name}"),
         }
     }
@@ -74,6 +96,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Io(e) => Some(e),
             ServeError::Wire(e) => Some(e),
+            ServeError::DialExhausted { last, .. } => Some(last),
             _ => None,
         }
     }

@@ -190,6 +190,9 @@ pub struct Network {
     /// Nodes marked as relays: the churn fault (`p_relay_churn`) targets
     /// only these.
     relays: Vec<bool>,
+    /// Nodes marked as fleet directories: the directory-partition fault
+    /// (`p_dir_partition`) targets links between these.
+    directories: Vec<bool>,
 }
 
 impl Network {
@@ -213,6 +216,7 @@ impl Network {
             faults: None,
             down_until: Vec::new(),
             relays: Vec::new(),
+            directories: Vec::new(),
         }
     }
 
@@ -223,6 +227,7 @@ impl Network {
         self.nodes.push(Some(node));
         self.down_until.push(SimTime::ZERO);
         self.relays.push(false);
+        self.directories.push(false);
         id
     }
 
@@ -258,6 +263,13 @@ impl Network {
     /// circuit mixes, MPR hops, ODoH proxies, …).
     pub fn mark_relay(&mut self, id: NodeId) {
         self.relays[id.0] = true;
+    }
+
+    /// Mark `id` as a fleet directory node: links between two marked
+    /// nodes become targets for the `p_dir_partition` fault, the
+    /// anti-entropy attack the gossip layer must heal from.
+    pub fn mark_directory(&mut self, id: NodeId) {
+        self.directories[id.0] = true;
     }
 
     /// The fault schedule injected so far (empty when faults are
@@ -483,7 +495,7 @@ impl Network {
                     let until_us = self.now.as_us() + inj.config.crash_down_us;
                     let (kind, kind_name) = if self.relays[target.0] {
                         (
-                            FaultKind::RelayChurn {
+                            FaultKind::RelayCrash {
                                 node: target.0,
                                 until_us,
                             },
@@ -557,6 +569,7 @@ impl Network {
             self_id: target,
             outbox: Vec::new(),
             timers: Vec::new(),
+            faults: self.faults.as_mut(),
         };
         node.on_timer(&mut ctx, token);
         let (outbox, timers) = (ctx.outbox, ctx.timers);
@@ -573,6 +586,7 @@ impl Network {
             self_id: target,
             outbox: Vec::new(),
             timers: Vec::new(),
+            faults: self.faults.as_mut(),
         };
         node.on_start(&mut ctx);
         let (outbox, timers) = (ctx.outbox, ctx.timers);
@@ -589,6 +603,7 @@ impl Network {
             self_id: target,
             outbox: Vec::new(),
             timers: Vec::new(),
+            faults: self.faults.as_mut(),
         };
         node.on_message(&mut ctx, from, msg);
         let (outbox, timers) = (ctx.outbox, ctx.timers);
@@ -611,6 +626,20 @@ impl Network {
                     self.obs_drop(from, to, msg.size(), "partition");
                     continue;
                 }
+            }
+            if self.directories[from.0]
+                && self.directories[to.0]
+                && buggify!(self.faults, p_dir_partition)
+            {
+                let inj = self.faults.as_mut().expect("buggify hit without injector");
+                inj.open_dir_partition(now_us, from.0, to.0);
+                if self.world.obs_enabled() {
+                    self.world.emit(&ObsEvent::FaultInjected {
+                        kind: "dir_partition",
+                    });
+                }
+                self.obs_drop(from, to, msg.size(), "dir_partition");
+                continue; // the triggering gossip push is the first casualty
             }
             if buggify!(self.faults, p_partition) {
                 let inj = self.faults.as_mut().expect("buggify hit without injector");
@@ -1127,7 +1156,7 @@ mod tests {
         let log = net.fault_log();
         use dcp_faults::FaultKind;
         assert_eq!(
-            log.count(|k| matches!(k, FaultKind::RelayChurn { .. })),
+            log.count(|k| matches!(k, FaultKind::RelayCrash { .. })),
             1,
             "{log:?}"
         );

@@ -1,6 +1,7 @@
 //! The [`Node`] trait and per-dispatch context.
 
 use dcp_core::{EntityId, Label};
+use dcp_faults::{FaultConfig, FaultKind, Injector};
 use rand::rngs::StdRng;
 
 use crate::SimTime;
@@ -66,6 +67,7 @@ pub struct Ctx<'a> {
     pub(crate) self_id: NodeId,
     pub(crate) outbox: Vec<(NodeId, Message)>,
     pub(crate) timers: Vec<(SimTime, u64)>,
+    pub(crate) faults: Option<&'a mut Injector>,
 }
 
 impl Ctx<'_> {
@@ -82,6 +84,46 @@ impl Ctx<'_> {
     /// Arrange for `on_timer(token)` after `delay_us` microseconds.
     pub fn set_timer(&mut self, delay_us: u64, token: u64) {
         self.timers.push((self.now.after(delay_us), token));
+    }
+
+    /// The active fault configuration, if the run has faults armed.
+    ///
+    /// Layers above the wire (the fleet directory's join/leave churn)
+    /// read their probabilities here so every fault in a run comes from
+    /// the one seeded injector.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.faults.as_deref().map(|inj| &inj.config)
+    }
+
+    /// Draw a fault decision from the run's injector: `true` with
+    /// probability `p`, never once the `max_faults` budget is spent, and
+    /// always `false` when faults are disabled. Same semantics (and same
+    /// RNG stream) as the simulator's own `buggify!` sites.
+    pub fn roll_fault(&mut self, p: f64) -> bool {
+        match self.faults.as_deref_mut() {
+            Some(inj) => inj.roll(p),
+            None => false,
+        }
+    }
+
+    /// A uniform draw in `1..=max` from the fault RNG (0 if `max` is 0
+    /// or faults are disabled) — for picking fault *parameters* (which
+    /// relay leaves, how long a delay) without touching protocol
+    /// randomness.
+    pub fn fault_amount(&mut self, max: u64) -> u64 {
+        match self.faults.as_deref_mut() {
+            Some(inj) => inj.amount(max),
+            None => 0,
+        }
+    }
+
+    /// Record an injected fault in the run's replay log (no-op when
+    /// faults are disabled).
+    pub fn record_fault(&mut self, kind: FaultKind) {
+        let now = self.now.as_us();
+        if let Some(inj) = self.faults.as_deref_mut() {
+            inj.record(now, kind);
+        }
     }
 }
 

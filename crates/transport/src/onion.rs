@@ -112,6 +112,74 @@ pub fn unwrap_label(label: &Label, key_id: KeyId) -> Result<Label> {
 /// HPKE's encapsulated key and AEAD tag.
 pub const LAYER_OVERHEAD: usize = 2 + hpke::SEAL_OVERHEAD;
 
+/// Length of the cleartext epoch tag prefixed to every fleet layer.
+pub const EPOCH_TAG_LEN: usize = 8;
+
+/// One hop's public material plus the key *epoch* it was published
+/// under. Fleet-enabled wirings build their onions from directory
+/// descriptors, and every layer carries its epoch in the clear so the
+/// receiving relay can select (or fail-closed reject) the matching
+/// keypair *before* any decryption is attempted.
+#[derive(Clone)]
+pub struct EpochHop {
+    /// The hop's address, public key, and world key id.
+    pub hop: Hop,
+    /// Epoch number the public key belongs to (from the hop's signed
+    /// relay descriptor).
+    pub epoch: u64,
+}
+
+/// Build an epoch-tagged onion through `hops`.
+///
+/// Layer format: `epoch:u64be ‖ sealed(next_addr:u16be ‖ inner)` — like
+/// [`wrap`], but each layer is prefixed with the cleartext epoch of the
+/// key that sealed it. The innermost layer addresses `exit_addr`:
+/// [`DELIVER_LOCAL`] keeps the exit payload at the last hop (MPR's exit
+/// relay forwards to the origin itself), while a real address makes the
+/// last fleet hop forward the raw `payload` there (a mix-net handing the
+/// receiver its own, separately sealed, ciphertext).
+///
+/// The label nests exactly as in [`wrap`]: epochs are routing metadata,
+/// not information content — a fresh epoch key is a fresh `KeyId` held
+/// by the *same* entity, so knowledge ledgers are epoch-invariant.
+pub fn wrap_epochs<R: Rng + ?Sized>(
+    rng: &mut R,
+    hops: &[EpochHop],
+    exit_addr: u16,
+    payload: &[u8],
+    payload_label: Label,
+) -> Result<(Vec<u8>, Label)> {
+    assert!(!hops.is_empty(), "onion needs at least one hop");
+    let mut bytes = payload.to_vec();
+    let mut label = payload_label;
+    for (i, eh) in hops.iter().enumerate().rev() {
+        let next_addr = if i + 1 < hops.len() {
+            hops[i + 1].hop.addr
+        } else {
+            exit_addr
+        };
+        let mut plain = next_addr.to_be_bytes().to_vec();
+        plain.extend_from_slice(&bytes);
+        let sealed = hpke::seal(rng, &eh.hop.pk, b"dcp-onion", b"", &plain)?;
+        bytes = eh.epoch.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&sealed);
+        label = label.sealed(eh.hop.key_id);
+    }
+    Ok((bytes, label))
+}
+
+/// Split an epoch-tagged layer into `(epoch, ciphertext)`, fail-closed:
+/// a frame too short to carry the tag is [`TransportError::BadFrame`],
+/// never a panic or a guessed epoch.
+pub fn read_epoch(bytes: &[u8]) -> Result<(u64, &[u8])> {
+    if bytes.len() < EPOCH_TAG_LEN {
+        return Err(TransportError::BadFrame);
+    }
+    let mut tag = [0u8; EPOCH_TAG_LEN];
+    tag.copy_from_slice(&bytes[..EPOCH_TAG_LEN]);
+    Ok((u64::from_be_bytes(tag), &bytes[EPOCH_TAG_LEN..]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,6 +295,96 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 1;
         assert!(unwrap_layer(&kps[0], &bytes).is_err());
+    }
+
+    #[test]
+    fn epoch_onion_carries_tags_and_peels_in_order() {
+        let mut rng = rng();
+        let (hops, kps) = make_hops(&mut rng, 3);
+        let ehops: Vec<EpochHop> = hops
+            .iter()
+            .enumerate()
+            .map(|(i, h)| EpochHop {
+                hop: h.clone(),
+                epoch: 10 + i as u64,
+            })
+            .collect();
+        let (bytes, label) = wrap_epochs(
+            &mut rng,
+            &ehops,
+            DELIVER_LOCAL,
+            b"exit payload",
+            Label::Public,
+        )
+        .unwrap();
+        assert_eq!(label.seal_depth(), 3);
+
+        // Hop 0: tag says epoch 10, layer peels, forwards to hop 1.
+        let (epoch, cipher) = read_epoch(&bytes).unwrap();
+        assert_eq!(epoch, 10);
+        let (next, bytes1) = match unwrap_layer(&kps[0], cipher).unwrap() {
+            Unwrapped::Forward { next, bytes } => (next, bytes),
+            _ => panic!("expected forward"),
+        };
+        assert_eq!(next, 101);
+
+        let (epoch, cipher) = read_epoch(&bytes1).unwrap();
+        assert_eq!(epoch, 11);
+        let (next, bytes2) = match unwrap_layer(&kps[1], cipher).unwrap() {
+            Unwrapped::Forward { next, bytes } => (next, bytes),
+            _ => panic!("expected forward"),
+        };
+        assert_eq!(next, 102);
+
+        let (epoch, cipher) = read_epoch(&bytes2).unwrap();
+        assert_eq!(epoch, 12);
+        match unwrap_layer(&kps[2], cipher).unwrap() {
+            Unwrapped::Deliver { payload } => assert_eq!(payload, b"exit payload"),
+            _ => panic!("expected deliver"),
+        }
+    }
+
+    #[test]
+    fn epoch_onion_with_real_exit_addr_forwards_raw_payload() {
+        // The mix-net shape: the last fleet hop forwards the (separately
+        // sealed) receiver ciphertext to the receiver's address.
+        let mut rng = rng();
+        let (hops, kps) = make_hops(&mut rng, 2);
+        let ehops: Vec<EpochHop> = hops
+            .iter()
+            .map(|h| EpochHop {
+                hop: h.clone(),
+                epoch: 0,
+            })
+            .collect();
+        let (bytes, _) =
+            wrap_epochs(&mut rng, &ehops, 1000, b"receiver-cipher", Label::Public).unwrap();
+        let (_, cipher) = read_epoch(&bytes).unwrap();
+        let Unwrapped::Forward { bytes: b1, .. } = unwrap_layer(&kps[0], cipher).unwrap() else {
+            panic!("expected forward");
+        };
+        let (_, cipher) = read_epoch(&b1).unwrap();
+        match unwrap_layer(&kps[1], cipher).unwrap() {
+            Unwrapped::Forward { next, bytes } => {
+                assert_eq!(next, 1000, "exit addr is a real address");
+                assert_eq!(bytes, b"receiver-cipher", "payload forwarded untouched");
+            }
+            _ => panic!("expected forward to the exit"),
+        }
+    }
+
+    #[test]
+    fn epoch_tag_read_fails_closed_on_short_frames() {
+        for len in 0..EPOCH_TAG_LEN {
+            assert_eq!(
+                read_epoch(&vec![0u8; len]).unwrap_err(),
+                TransportError::BadFrame,
+                "{len} bytes"
+            );
+        }
+        let (epoch, rest) = read_epoch(&[0, 0, 0, 0, 0, 0, 0, 7]).unwrap();
+        assert_eq!(epoch, 7);
+        assert!(rest.is_empty());
     }
 
     #[test]

@@ -127,7 +127,8 @@ fn log_count_by_kind(log: &FaultLog, kind: &str) -> u64 {
                 | ("reorder", K::Reorder { .. })
                 | ("partition", K::Partition { .. })
                 | ("crash", K::Crash { .. })
-                | ("relay_churn", K::RelayChurn { .. })
+                | ("relay_churn", K::RelayCrash { .. })
+                | ("dir_partition", K::DirPartition { .. })
                 | ("crash_loss", K::CrashLoss { .. })
                 | ("key_compromise", K::KeyCompromise { .. })
         )
@@ -142,6 +143,7 @@ const FAULT_KINDS: &[&str] = &[
     "partition",
     "crash",
     "relay_churn",
+    "dir_partition",
     "crash_loss",
     "key_compromise",
 ];
