@@ -25,8 +25,10 @@ pub mod bank;
 pub mod coin;
 pub mod population;
 pub mod scenario;
+pub mod types;
 
 pub use scenario::{sweep, Blindcash, BlindcashConfig, ScenarioReport};
+pub use types::declared_caps;
 
 pub use bank::{Bank, DepositError};
 pub use coin::Coin;

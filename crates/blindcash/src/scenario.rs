@@ -9,16 +9,19 @@ use std::rc::Rc;
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, Label, MetricsReport, RoleKind,
-    RunOptions, Scenario, UserId, World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, Label, MetricsReport, RunOptions,
+    Scenario, UserId, World,
 };
 use dcp_runtime::{
-    mean_us, wire, Attempt, CallEvent, Ctx, Dedup, Driver, Harness, LinkParams, Message, Node,
-    NodeId, RetryLinkage, SimTime, Trace,
+    mean_us, wire, Attempt, CallEvent, Control, Ctx, Dedup, Driver, Endpoint, Harness, LinkParams,
+    Message, Node, NodeId, RetryLinkage, SimTime, Trace, TypedSend,
 };
 
 use crate::bank::{Bank, Withdrawal};
 use crate::coin::Coin;
+use crate::types::{
+    BankSigner, BankVerifier, CoinBuyer, CoinDeposit, CoinSeller, Purchase, WithdrawalReq,
+};
 
 /// Result of a scenario run.
 pub struct ScenarioReport {
@@ -184,8 +187,11 @@ enum BcInflight {
 struct BuyerNode {
     entity: EntityId,
     user: UserId,
-    signer: NodeId,
-    seller: NodeId,
+    /// The withdrawal endpoint: the typed claim that the signing bank
+    /// sees `(▲, ⊙)` — an authenticated account, a blinded element.
+    signer: Endpoint<WithdrawalReq, Control, BankSigner>,
+    /// The spend endpoint: the seller sees `(△, ●)`.
+    seller: Endpoint<Purchase, Control, CoinSeller>,
     bank: Rc<RefCell<Shared>>,
     pending: Option<Withdrawal>,
     coins_to_spend: usize,
@@ -221,7 +227,7 @@ impl BuyerNode {
             return;
         }
         let (bytes, label) = self.blind_withdrawal(ctx);
-        ctx.send(self.signer, Message::new(bytes, label));
+        ctx.send_to(self.signer, Message::new(bytes, label));
     }
 
     fn transmit_withdrawal(&mut self, ctx: &mut Ctx, att: Attempt) {
@@ -230,11 +236,7 @@ impl BuyerNode {
             .borrow_mut()
             .linkage
             .record(self.flow, att.seq, att.attempt, &bytes);
-        ctx.send(
-            self.signer,
-            Message::new(wire::frame(att.seq, &bytes), label),
-        );
-        ctx.set_timer(att.timer_delay_us, att.token);
+        self.calls.transmit(ctx, self.signer, &att, &bytes, label);
     }
 
     fn spend_label(&self) -> Label {
@@ -252,8 +254,7 @@ impl BuyerNode {
     /// `(buyer, seq)`.
     fn transmit_spend(&mut self, ctx: &mut Ctx, coin: &[u8], att: Attempt) {
         let label = self.spend_label();
-        ctx.send(self.seller, Message::new(wire::frame(att.seq, coin), label));
-        ctx.set_timer(att.timer_delay_us, att.token);
+        self.calls.transmit(ctx, self.seller, &att, coin, label);
     }
 
     fn cycle_done(&mut self, ctx: &mut Ctx) {
@@ -312,7 +313,7 @@ impl Node for BuyerNode {
                 return;
             };
             match self.calls.get(seq) {
-                Some(BcInflight::Withdraw) if from == self.signer => {
+                Some(BcInflight::Withdraw) if from.0 == self.signer.index() => {
                     let Some(w) = self.pending.take() else { return };
                     let pk = self.bank.borrow().bank.public_key().clone();
                     ctx.world.crypto_op("rsa_unblind");
@@ -333,7 +334,7 @@ impl Node for BuyerNode {
                         .expect("enabled ARQ always begins");
                     self.transmit_spend(ctx, &encoded, att);
                 }
-                Some(BcInflight::Spend { .. }) if from == self.seller => {
+                Some(BcInflight::Spend { .. }) if from.0 == self.seller.index() => {
                     if self.calls.complete(seq).is_none() {
                         return; // duplicated receipt: counted exactly once
                     }
@@ -349,7 +350,7 @@ impl Node for BuyerNode {
             }
             return;
         }
-        if from == self.signer {
+        if from.0 == self.signer.index() {
             // Blind signature came back: unblind and spend. A duplicated
             // reply finds no pending withdrawal and is ignored; a
             // mangled one fails to unblind and the cycle stalls closed.
@@ -360,8 +361,8 @@ impl Node for BuyerNode {
                 return;
             };
             let label = self.spend_label();
-            ctx.send(self.seller, Message::new(coin.encode(), label));
-        } else if from == self.seller {
+            ctx.send_to(self.seller, Message::new(coin.encode(), label));
+        } else if from.0 == self.seller.index() {
             // Receipt. Start the next cycle if any remain.
             ctx.world
                 .span("cycle", self.started_at.as_us(), ctx.now.as_us());
@@ -445,7 +446,9 @@ struct DepositCheck {
 
 struct SellerNode {
     entity: EntityId,
-    verifier: NodeId,
+    /// The deposit endpoint: an anonymous coin with limited content,
+    /// admitted by the verifier's `(△, ⊙/●)` cap.
+    verifier: Endpoint<CoinDeposit, Control, BankVerifier>,
     /// Deposits awaiting verifier ack: (buyer node, subject).
     outstanding: Vec<(NodeId, UserId)>,
     /// Subject attached to incoming coins by sender node.
@@ -466,7 +469,7 @@ impl Node for SellerNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if from == self.verifier {
+        if from.0 == self.verifier.index() {
             if self.recover {
                 let Some((hopseq, _body)) = wire::unframe(&msg.bytes) else {
                     return;
@@ -516,7 +519,7 @@ impl Node for SellerNode {
                     // Still depositing: re-nudge the verifier leg under the
                     // *same* hop sequence (the verifier replays its ack).
                     let fwd = wire::frame(check.hopseq, &check.coin);
-                    ctx.send(self.verifier, Message::new(fwd, label));
+                    ctx.send_to(self.verifier, Message::new(fwd, label));
                 }
                 return;
             }
@@ -531,14 +534,14 @@ impl Node for SellerNode {
                 },
             );
             self.by_hop.insert(hopseq, (from, cseq));
-            ctx.send(
+            ctx.send_to(
                 self.verifier,
                 Message::new(wire::frame(hopseq, coin), label),
             );
             return;
         }
         self.outstanding.insert(0, (from, user));
-        ctx.send(self.verifier, Message::new(msg.bytes, label));
+        ctx.send_to(self.verifier, Message::new(msg.bytes, label));
     }
 }
 
@@ -648,9 +651,9 @@ fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioRepo
     let mut net = harness.network(world, LinkParams::wan_ms(10));
 
     // Reserve ids: signer=0, verifier=1, seller=2, buyers=3..
-    let signer_id = NodeId(0);
-    let verifier_id = NodeId(1);
-    let seller_id = NodeId(2);
+    let signer_ep: Endpoint<WithdrawalReq, Control, BankSigner> = Endpoint::new(0);
+    let verifier_ep: Endpoint<CoinDeposit, Control, BankVerifier> = Endpoint::new(1);
+    let seller_ep: Endpoint<Purchase, Control, CoinSeller> = Endpoint::new(2);
     let buyer_ids: Vec<NodeId> = (0..n_buyers).map(|i| NodeId(3 + i)).collect();
     let node_to_user: Vec<(NodeId, UserId)> = buyer_ids
         .iter()
@@ -659,9 +662,8 @@ fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioRepo
         .collect();
 
     let recover_on = opts.recover.enabled;
-    Harness::add(
+    Harness::add_role::<BankSigner>(
         &mut net,
-        RoleKind::Service,
         Box::new(SignerNode {
             entity: signer_e,
             bank: shared.clone(),
@@ -670,9 +672,8 @@ fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioRepo
             debited: Dedup::new(),
         }),
     );
-    Harness::add(
+    Harness::add_role::<BankVerifier>(
         &mut net,
-        RoleKind::Service,
         Box::new(VerifierNode {
             entity: verifier_e,
             bank: shared.clone(),
@@ -682,12 +683,11 @@ fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioRepo
             acked: BTreeMap::new(),
         }),
     );
-    Harness::add(
+    Harness::add_role::<CoinSeller>(
         &mut net,
-        RoleKind::Service,
         Box::new(SellerNode {
             entity: seller_e,
-            verifier: verifier_id,
+            verifier: verifier_ep,
             outstanding: Vec::new(),
             node_to_user: node_to_user.clone(),
             recover: recover_on,
@@ -697,14 +697,13 @@ fn run_impl(cfg: &BlindcashConfig, seed: u64, opts: &RunOptions) -> ScenarioRepo
         }),
     );
     for (i, (&u, &e)) in buyers.iter().zip(buyer_entities.iter()).enumerate() {
-        Harness::add(
+        Harness::add_role::<CoinBuyer>(
             &mut net,
-            RoleKind::Initiator,
             Box::new(BuyerNode {
                 entity: e,
                 user: u,
-                signer: signer_id,
-                seller: seller_id,
+                signer: signer_ep,
+                seller: seller_ep,
                 bank: shared.clone(),
                 pending: None,
                 coins_to_spend: coins_each,

@@ -1,0 +1,94 @@
+//! Label-bounded wire types and typed roles for the blind-cash wiring.
+//!
+//! Every [`WireLabel`] impl for this crate lives in this module (the CI
+//! layering lint holds wiring crates to that), so the §3.1.1 table rows
+//! are declared in one place: the signing bank is bounded at `(▲, ⊙)`,
+//! the verifying bank at `(△, ⊙/●)`, and the seller at `(△, ●)`.
+
+use dcp_core::cap::{Addressed, Blinded, KnowledgeCap, WireLabel};
+use dcp_core::role::{Role, RoleKind};
+use dcp_core::Sensitivity;
+
+/// A purchase as the seller reads it: sensitive purchase content (`●`)
+/// from a customer whose only identity is an anonymous coin (`△`).
+pub struct Purchase;
+
+impl WireLabel for Purchase {
+    const IDENTITY: Sensitivity = Sensitivity::NonSensitive;
+    const DATA: Sensitivity = Sensitivity::Sensitive;
+}
+
+/// The withdrawal leg buyer → signing bank: the account authenticates
+/// (▲ on the envelope) but the element is blinded (⊙) — the `(▲, ⊙)`
+/// cell of the paper's table, as a type.
+pub type WithdrawalReq = Addressed<Blinded<Purchase>>;
+
+/// The deposit leg seller → verifying bank: an anonymous coin whose
+/// serial reveals only limited purchase content — `(△, ⊙/●)`, a cap no
+/// marker combinator produces, so it is declared directly.
+pub struct CoinDeposit;
+
+impl WireLabel for CoinDeposit {
+    const IDENTITY: Sensitivity = Sensitivity::NonSensitive;
+    const DATA: Sensitivity = Sensitivity::Partial;
+}
+
+/// The buyer (initiator).
+pub struct CoinBuyer;
+
+impl Role for CoinBuyer {
+    const KIND: RoleKind = RoleKind::Initiator;
+    const NAME: &'static str = "cash-buyer";
+}
+
+/// The signing half of the bank: knows the account, signs blind —
+/// `(▲, ⊙)` declared as an override of the service default.
+pub struct BankSigner;
+
+impl Role for BankSigner {
+    const KIND: RoleKind = RoleKind::Service;
+    const NAME: &'static str = "cash-signer";
+    const CAP: KnowledgeCap = KnowledgeCap::new(Sensitivity::Sensitive, Sensitivity::NonSensitive);
+}
+
+/// The verifying half of the bank: sees deposited coins (limited `⊙/●`
+/// content) from anonymous depositor chains — `(△, ⊙/●)`.
+pub struct BankVerifier;
+
+impl Role for BankVerifier {
+    const KIND: RoleKind = RoleKind::Service;
+    const NAME: &'static str = "cash-verifier";
+    const CAP: KnowledgeCap = KnowledgeCap::new(Sensitivity::NonSensitive, Sensitivity::Partial);
+}
+
+/// The seller: the service default `(△, ●)`.
+pub struct CoinSeller;
+
+impl Role for CoinSeller {
+    const KIND: RoleKind = RoleKind::Service;
+    const NAME: &'static str = "cash-seller";
+}
+
+/// Entity-name rows (matched by prefix) → declared caps, reconciled
+/// against runtime knowledge ledgers by the cap-reconciliation proptest.
+pub fn declared_caps() -> Vec<(&'static str, KnowledgeCap)> {
+    vec![
+        ("Buyer", CoinBuyer::CAP),
+        ("Signer (Bank)", BankSigner::CAP),
+        ("Verifier (Bank)", BankVerifier::CAP),
+        ("Seller", CoinSeller::CAP),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_mirror_the_paper_table() {
+        assert_eq!(CoinBuyer::CAP.render(), "(▲, ●)");
+        assert_eq!(BankSigner::CAP.render(), "(▲, ⊙)");
+        assert_eq!(BankVerifier::CAP.render(), "(△, ⊙/●)");
+        assert_eq!(CoinSeller::CAP.render(), "(△, ●)");
+    }
+}

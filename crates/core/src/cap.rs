@@ -1,0 +1,372 @@
+//! Compile-time knowledge caps: the `(▲, ●)` lattice lifted into types.
+//!
+//! The runtime half of this repo *measures* coupling after the fact: every
+//! payload carries a [`Label`](crate::Label), entities accumulate
+//! [`InfoItem`](crate::InfoItem)s, and the analyzer derives the paper's §3
+//! tables from the ledgers. This module adds the *static* half, following
+//! "Privacy by typing in the π-calculus" and the static-taint-analysis
+//! line of work: message types declare the sensitivity caps of their
+//! plaintext-visible content ([`WireLabel`]), roles declare the knowledge
+//! they are architecturally allowed to hold ([`KnowledgeCap`] on
+//! [`Role`](crate::role::Role)), and the runtime's send paths demand an
+//! [`Admits`] witness — so a wiring that would hand a sensitive
+//! identity+data pair to a single non-initiator role **fails to build**,
+//! with the runtime knowledge tables as the empirical cross-check.
+//!
+//! The check is deliberately a *cap* comparison, not a flow analysis: a
+//! message's [`WireLabel`] bounds what its plaintext can reveal to the
+//! peer it is delivered to, and a role's [`KnowledgeCap`] bounds what that
+//! peer may accumulate. Encryption lowers message caps the way
+//! [`Label::Sealed`](crate::Label::Sealed) does at runtime: wrapping a
+//! message type in [`Sealed`] erases both caps (ciphertext in transit
+//! reveals nothing), [`Addressed`] restores the envelope's sensitive
+//! network identity, and [`Blinded`] erases the data half only (a blinded
+//! token request still names the requesting account).
+
+use core::marker::PhantomData;
+
+use crate::label::Sensitivity;
+use crate::role::RoleKind;
+use crate::tuple::{DataVis, IdVis, KnowledgeTuple};
+
+/// Rank a [`Sensitivity`] for `const` comparison (the derived `PartialOrd`
+/// is not callable in const context).
+const fn rank(s: Sensitivity) -> u8 {
+    match s {
+        Sensitivity::NonSensitive => 0,
+        Sensitivity::Partial => 1,
+        Sensitivity::Sensitive => 2,
+    }
+}
+
+/// The `(identity, data)` knowledge bound of one architectural role: the
+/// most sensitive identity and the most sensitive data the role is
+/// allowed to see in message plaintext — one cell of the paper's §3
+/// tables, as a compile-time constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct KnowledgeCap {
+    /// Most sensitive user *identity* the role may see (`▲` / `△`).
+    pub identity: Sensitivity,
+    /// Most sensitive user *data* the role may see (`●` / `⊙/●` / `⊙`).
+    pub data: Sensitivity,
+}
+
+impl KnowledgeCap {
+    /// A cap from its two halves.
+    pub const fn new(identity: Sensitivity, data: Sensitivity) -> Self {
+        KnowledgeCap { identity, data }
+    }
+
+    /// `(▲, ●)` — the initiator's own view. Only the user's trust domain
+    /// holds this by right; anywhere else it is the coupling the paper
+    /// warns about (declare it with [`KnowledgeCap::coupled_by_design`]
+    /// so the admission is visible in the wiring's types).
+    pub const UNBOUNDED: Self = KnowledgeCap::new(Sensitivity::Sensitive, Sensitivity::Sensitive);
+
+    /// `(▲, ⊙)` — the relay default: sees who (the connecting address)
+    /// but never what.
+    pub const RELAY: Self = KnowledgeCap::new(Sensitivity::Sensitive, Sensitivity::NonSensitive);
+
+    /// `(△, ●)` — the service default: sees what (it must serve the
+    /// request) but never who.
+    pub const SERVICE: Self = KnowledgeCap::new(Sensitivity::NonSensitive, Sensitivity::Sensitive);
+
+    /// The default cap of an architectural [`RoleKind`], mirroring the
+    /// role vocabulary's doc comment: initiators hold `(▲, ●)` by
+    /// definition, relays are bounded by `(▲, ⊙)`, services by `(△, ●)`.
+    pub const fn for_kind(kind: RoleKind) -> Self {
+        match kind {
+            RoleKind::Initiator => Self::UNBOUNDED,
+            RoleKind::Relay => Self::RELAY,
+            RoleKind::Service => Self::SERVICE,
+        }
+    }
+
+    /// An explicit `(▲, ●)` cap on a non-initiator role: the paper's
+    /// *negative* examples (the §3.3 VPN server, the ECH TLS server)
+    /// really do couple, and the framework must still be able to wire
+    /// them — but only by writing this loud constructor into the role
+    /// declaration, never silently.
+    pub const fn coupled_by_design() -> Self {
+        Self::UNBOUNDED
+    }
+
+    /// Does this cap admit a message whose plaintext-visible labels reach
+    /// `identity` / `data`? Pairwise `≤` on the sensitivity lattice.
+    pub const fn admits(self, identity: Sensitivity, data: Sensitivity) -> bool {
+        rank(identity) <= rank(self.identity) && rank(data) <= rank(self.data)
+    }
+
+    /// Is this cap itself a coupling (`▲` *and* `●`)?
+    pub const fn is_coupled(self) -> bool {
+        rank(self.identity) == 2 && rank(self.data) == 2
+    }
+
+    /// The most visible [`IdVis`] a runtime tuple may reach under this
+    /// cap.
+    pub fn max_id_vis(self) -> IdVis {
+        match self.identity {
+            Sensitivity::Sensitive => IdVis::Sensitive,
+            Sensitivity::Partial | Sensitivity::NonSensitive => IdVis::NonSensitive,
+        }
+    }
+
+    /// The most visible [`DataVis`] a runtime tuple may reach under this
+    /// cap.
+    pub fn max_data_vis(self) -> DataVis {
+        match self.data {
+            Sensitivity::Sensitive => DataVis::Sensitive,
+            Sensitivity::Partial => DataVis::Partial,
+            Sensitivity::NonSensitive => DataVis::NonSensitive,
+        }
+    }
+
+    /// Reconcile a runtime [`KnowledgeTuple`] against this static cap:
+    /// the empirical cross-check closing the loop between the type claim
+    /// and the ledger. `true` iff everything the entity accumulated fits
+    /// under the declared bound.
+    pub fn admits_tuple(self, tuple: &KnowledgeTuple) -> bool {
+        tuple.identity_overall() <= self.max_id_vis() && tuple.data <= self.max_data_vis()
+    }
+
+    /// Render in the paper's notation, e.g. `(▲, ⊙)`.
+    pub fn render(self) -> String {
+        let id = match self.identity {
+            Sensitivity::Sensitive => "▲",
+            Sensitivity::Partial | Sensitivity::NonSensitive => "△",
+        };
+        let data = match self.data {
+            Sensitivity::Sensitive => "●",
+            Sensitivity::Partial => "⊙/●",
+            Sensitivity::NonSensitive => "⊙",
+        };
+        format!("({id}, {data})")
+    }
+}
+
+/// The plaintext-visible sensitivity cap of a wire message type: what the
+/// peer a message is *delivered to* can learn by reading it. The static
+/// twin of the runtime [`Label`](crate::Label) a payload carries.
+///
+/// Message types are zero-sized markers — they parameterize
+/// [`Endpoint`](crate::role::Endpoint)s and send paths, and are never
+/// constructed. Declare impls **only** in a wiring crate's `types`
+/// module; the CI layering lint holds the workspace to it.
+pub trait WireLabel {
+    /// Most sensitive user identity the plaintext reveals.
+    const IDENTITY: Sensitivity;
+    /// Most sensitive user data the plaintext reveals.
+    const DATA: Sensitivity;
+}
+
+/// Content sealed *past* the recipient (onion layers, ECH inner hello in
+/// transit): ciphertext reveals nothing, so both caps drop to
+/// non-sensitive — the static twin of [`Label::Sealed`](crate::Label::Sealed)
+/// observed without the key. A message sealed *to* the recipient is not
+/// `Sealed` from that endpoint's point of view: type the hop with the
+/// inner message, because the peer will open it.
+pub struct Sealed<T: ?Sized>(PhantomData<fn() -> T>);
+
+impl<T: WireLabel + ?Sized> WireLabel for Sealed<T> {
+    const IDENTITY: Sensitivity = Sensitivity::NonSensitive;
+    const DATA: Sensitivity = Sensitivity::NonSensitive;
+}
+
+/// A message whose envelope exposes the sender's sensitive network
+/// identity (source address, account, IMSI) on top of whatever the inner
+/// content reveals — the static twin of the clear header half of a
+/// [`Label::Bundle`](crate::Label::Bundle).
+pub struct Addressed<T: ?Sized>(PhantomData<fn() -> T>);
+
+impl<T: WireLabel + ?Sized> WireLabel for Addressed<T> {
+    const IDENTITY: Sensitivity = Sensitivity::Sensitive;
+    const DATA: Sensitivity = T::DATA;
+}
+
+/// Cryptographically blinded content (blind-RSA requests, VOPRF
+/// evaluation inputs): the data half is information-theoretically hidden
+/// from the evaluator, the identity half is whatever the inner message
+/// already exposed.
+pub struct Blinded<T: ?Sized>(PhantomData<fn() -> T>);
+
+impl<T: WireLabel + ?Sized> WireLabel for Blinded<T> {
+    const IDENTITY: Sensitivity = T::IDENTITY;
+    const DATA: Sensitivity = Sensitivity::NonSensitive;
+}
+
+/// Plain protocol machinery (acks, padding, session control): reveals
+/// nothing about any user. The static twin of
+/// [`Label::Public`](crate::Label::Public).
+pub struct Control;
+
+impl WireLabel for Control {
+    const IDENTITY: Sensitivity = Sensitivity::NonSensitive;
+    const DATA: Sensitivity = Sensitivity::NonSensitive;
+}
+
+/// The compile-time admission check: message type `Self` may be delivered
+/// to a peer playing role `R` only if `R`'s declared [`KnowledgeCap`]
+/// admits `Self`'s plaintext-visible caps.
+///
+/// The blanket impl makes every `(role, message)` pair *nameable*; the
+/// [`WITNESS`](Admits::WITNESS) const makes the illegal ones
+/// *unbuildable*: typed send paths force its evaluation, so a wiring that
+/// routes a `(▲, ●)` message to a default-capped relay or service fails
+/// to compile with a `knowledge-cap violation` error at the exact send
+/// site (a post-monomorphization `const` panic — the same mechanism as a
+/// failed `static_assert`).
+pub trait Admits<R: crate::role::Role>: WireLabel {
+    /// Evaluates to `()` when the role's cap admits this message, and to
+    /// a compile error otherwise. Typed send paths force it with
+    /// `let _: () = <M as Admits<R>>::WITNESS;`.
+    const WITNESS: () = assert!(
+        R::CAP.admits(Self::IDENTITY, Self::DATA),
+        "knowledge-cap violation: this message's plaintext-visible labels exceed the \
+         receiving role's declared KnowledgeCap — routing a sensitive identity+data \
+         pair to a non-initiator role is the coupling the decoupling principle \
+         forbids; seal or blind the payload, or declare the role \
+         KnowledgeCap::coupled_by_design() if the coupling is the point"
+    );
+}
+
+impl<R: crate::role::Role, M: WireLabel + ?Sized> Admits<R> for M {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::role::{Role, RoleKind};
+
+    struct Query;
+    impl WireLabel for Query {
+        const IDENTITY: Sensitivity = Sensitivity::NonSensitive;
+        const DATA: Sensitivity = Sensitivity::Sensitive;
+    }
+
+    struct SomeRelay;
+    impl Role for SomeRelay {
+        const KIND: RoleKind = RoleKind::Relay;
+        const NAME: &'static str = "some-relay";
+    }
+
+    struct SomeService;
+    impl Role for SomeService {
+        const KIND: RoleKind = RoleKind::Service;
+        const NAME: &'static str = "some-service";
+    }
+
+    #[test]
+    fn kind_defaults_mirror_the_role_doc() {
+        assert_eq!(
+            KnowledgeCap::for_kind(RoleKind::Initiator),
+            KnowledgeCap::UNBOUNDED
+        );
+        assert_eq!(KnowledgeCap::for_kind(RoleKind::Relay), KnowledgeCap::RELAY);
+        assert_eq!(
+            KnowledgeCap::for_kind(RoleKind::Service),
+            KnowledgeCap::SERVICE
+        );
+        assert_eq!(SomeRelay::CAP, KnowledgeCap::RELAY);
+        assert_eq!(SomeService::CAP, KnowledgeCap::SERVICE);
+    }
+
+    #[test]
+    fn admits_is_pairwise_lattice_le() {
+        let relay = KnowledgeCap::RELAY;
+        assert!(relay.admits(Sensitivity::Sensitive, Sensitivity::NonSensitive));
+        assert!(relay.admits(Sensitivity::NonSensitive, Sensitivity::NonSensitive));
+        assert!(!relay.admits(Sensitivity::NonSensitive, Sensitivity::Partial));
+        assert!(!relay.admits(Sensitivity::Sensitive, Sensitivity::Sensitive));
+
+        let service = KnowledgeCap::SERVICE;
+        assert!(service.admits(Sensitivity::NonSensitive, Sensitivity::Sensitive));
+        assert!(!service.admits(Sensitivity::Sensitive, Sensitivity::NonSensitive));
+
+        assert!(KnowledgeCap::UNBOUNDED.admits(Sensitivity::Sensitive, Sensitivity::Sensitive));
+        assert!(KnowledgeCap::coupled_by_design().is_coupled());
+        assert!(!KnowledgeCap::RELAY.is_coupled());
+        assert!(!KnowledgeCap::SERVICE.is_coupled());
+    }
+
+    #[test]
+    fn wrappers_transform_caps_like_runtime_labels() {
+        // Sealing erases both halves, like Label::Sealed seen without the key.
+        assert_eq!(<Sealed<Query>>::IDENTITY, Sensitivity::NonSensitive);
+        assert_eq!(<Sealed<Query>>::DATA, Sensitivity::NonSensitive);
+        // The envelope restores the sensitive network identity.
+        assert_eq!(<Addressed<Sealed<Query>>>::IDENTITY, Sensitivity::Sensitive);
+        assert_eq!(<Addressed<Sealed<Query>>>::DATA, Sensitivity::NonSensitive);
+        // Addressing without sealing couples.
+        assert_eq!(<Addressed<Query>>::IDENTITY, Sensitivity::Sensitive);
+        assert_eq!(<Addressed<Query>>::DATA, Sensitivity::Sensitive);
+        // Blinding erases only the data half.
+        assert_eq!(
+            <Blinded<Addressed<Query>>>::IDENTITY,
+            Sensitivity::Sensitive
+        );
+        assert_eq!(<Blinded<Addressed<Query>>>::DATA, Sensitivity::NonSensitive);
+        // Control traffic reveals nothing.
+        assert_eq!(Control::IDENTITY, Sensitivity::NonSensitive);
+        assert_eq!(Control::DATA, Sensitivity::NonSensitive);
+    }
+
+    #[test]
+    fn witnesses_for_legal_pairs_evaluate() {
+        // The decoupled ODoH shape: the relay sees an addressed sealed
+        // query, the service sees the bare query.
+        let _: () = <Addressed<Sealed<Query>> as Admits<SomeRelay>>::WITNESS;
+        let _: () = <Query as Admits<SomeService>>::WITNESS;
+        let _: () = <Control as Admits<SomeRelay>>::WITNESS;
+        // (The illegal pairs are covered by tests/compile_fail/, where
+        // forcing the witness must *fail* the build.)
+    }
+
+    #[test]
+    fn tuple_reconciliation_matches_caps() {
+        use crate::entity::UserId;
+        use crate::label::{DataKind, IdentityKind, InfoItem};
+        let u = UserId(1);
+        let relay_view = KnowledgeTuple::from_items(
+            [
+                InfoItem::sensitive_identity(u, IdentityKind::Network),
+                InfoItem::plain_data(u, DataKind::Payload),
+            ]
+            .iter(),
+        );
+        assert!(KnowledgeCap::RELAY.admits_tuple(&relay_view));
+        assert!(KnowledgeCap::UNBOUNDED.admits_tuple(&relay_view));
+        assert!(!KnowledgeCap::SERVICE.admits_tuple(&relay_view));
+
+        let coupled_view = KnowledgeTuple::from_items(
+            [
+                InfoItem::sensitive_identity(u, IdentityKind::Any),
+                InfoItem::sensitive_data(u, DataKind::Destination),
+            ]
+            .iter(),
+        );
+        assert!(!KnowledgeCap::RELAY.admits_tuple(&coupled_view));
+        assert!(!KnowledgeCap::SERVICE.admits_tuple(&coupled_view));
+        assert!(KnowledgeCap::coupled_by_design().admits_tuple(&coupled_view));
+
+        let partial_view = KnowledgeTuple::from_items(
+            [
+                InfoItem::plain_identity(u, IdentityKind::Any),
+                InfoItem::partial_data(u, DataKind::Destination),
+            ]
+            .iter(),
+        );
+        let egress = KnowledgeCap::new(Sensitivity::NonSensitive, Sensitivity::Partial);
+        assert!(egress.admits_tuple(&partial_view));
+        assert!(!KnowledgeCap::RELAY.admits_tuple(&partial_view));
+        assert_eq!(egress.render(), "(△, ⊙/●)");
+        assert_eq!(KnowledgeCap::RELAY.render(), "(▲, ⊙)");
+        assert_eq!(KnowledgeCap::UNBOUNDED.render(), "(▲, ●)");
+    }
+
+    #[test]
+    fn cap_vis_maxima() {
+        assert_eq!(KnowledgeCap::RELAY.max_id_vis(), IdVis::Sensitive);
+        assert_eq!(KnowledgeCap::RELAY.max_data_vis(), DataVis::NonSensitive);
+        assert_eq!(KnowledgeCap::SERVICE.max_id_vis(), IdVis::NonSensitive);
+        assert_eq!(KnowledgeCap::SERVICE.max_data_vis(), DataVis::Sensitive);
+    }
+}

@@ -29,6 +29,11 @@
 //!   ledgers.
 //! * [`analysis`] — the §2.4 decoupling verdict, with per-entity violation
 //!   reporting.
+//! * [`cap`] — the same lattice lifted into the type system:
+//!   [`cap::WireLabel`] message caps, [`cap::KnowledgeCap`] role bounds,
+//!   and the [`cap::Admits`] witness that makes a `(▲, ●)` co-location at
+//!   a non-initiator role a *compile error*, with the runtime ledgers as
+//!   the empirical cross-check.
 //! * [`collusion`] — §4.1/§5.1 collusion closure: which coalitions of
 //!   entities (or whole organizations) re-couple a user, and the minimal
 //!   collusion set size as a quantitative privacy measure.
@@ -49,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cap;
 pub mod collusion;
 pub mod degrees;
 pub mod entity;
@@ -67,6 +73,7 @@ pub mod world;
 
 pub use analysis::RetryLinkage;
 pub use analysis::{analyze, DecouplingVerdict, Violation};
+pub use cap::{Addressed, Admits, Blinded, Control, KnowledgeCap, Sealed, WireLabel};
 pub use entity::{EntityId, OrgId, UserId};
 pub use faults::{FaultConfig, FaultEvent, FaultKind, FaultLog};
 pub use fleet::FleetConfig;

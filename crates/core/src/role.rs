@@ -17,10 +17,18 @@
 //! or `(△, ⊙/●)`, and a *service* that reaches `(▲, ●)` is a coupling.
 //! Encoding the role of each node at the type level is what lets one
 //! runtime own the *mechanics* (retry loops, dedup, instrumentation)
-//! while each scenario only supplies protocol content.
+//! while each scenario only supplies protocol content — and, with the
+//! [`KnowledgeCap`] bound on [`Role`] plus the role-owning [`Endpoint`]
+//! parameter, what makes a `(▲, ●)` coupling at a non-initiator role a
+//! *compile error* rather than a post-run ledger diff (see
+//! [`cap`](crate::cap)).
 
+use core::cmp::Ordering;
 use core::fmt;
+use core::hash::{Hash, Hasher};
 use core::marker::PhantomData;
+
+use crate::cap::KnowledgeCap;
 
 /// The three architectural roles a protocol participant can play.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -62,27 +70,42 @@ pub trait Role {
     const KIND: RoleKind;
     /// Stable role name (e.g. `"odoh-proxy"`).
     const NAME: &'static str;
+    /// The knowledge this role is architecturally allowed to accumulate —
+    /// one cell of the scenario's §3 table, stated in the type. Defaults
+    /// to the kind's cap (initiators `(▲, ●)`, relays `(▲, ⊙)`, services
+    /// `(△, ●)`); override it to declare a narrower row (an egress relay
+    /// at `(△, ⊙/●)`) or — loudly — a
+    /// [`coupled_by_design`](KnowledgeCap::coupled_by_design) negative
+    /// example like the §3.3 VPN server.
+    const CAP: KnowledgeCap = KnowledgeCap::for_kind(Self::KIND);
 }
 
 /// A typed address: node index `usize` plus the request/response types
-/// the peer speaks. Two endpoints with different protocol types are
-/// different Rust types, so a scenario cannot accidentally send an
-/// issuance request to the attach endpoint even though both are "just"
-/// node indices at runtime.
+/// the peer speaks plus the [`Role`] the peer plays. Two endpoints with
+/// different protocol types are different Rust types, so a scenario
+/// cannot accidentally send an issuance request to the attach endpoint
+/// even though both are "just" node indices at runtime — and because the
+/// owning role rides along, an endpoint *is* the claim "this peer may see
+/// these caps": the runtime's typed send paths check each request's
+/// [`WireLabel`](crate::cap::WireLabel) against `R::CAP` at compile time.
 ///
 /// The type parameters are phantom — an `Endpoint` is exactly a `usize`
-/// on the wire and in memory.
-pub struct Endpoint<Req, Resp> {
+/// on the wire and in memory. Ordering, equality, and hashing are by
+/// index, so endpoints can key `BTreeMap`s the way raw indices already do
+/// in wiring code.
+pub struct Endpoint<Req, Resp, R> {
     index: usize,
     _proto: PhantomData<fn(Req) -> Resp>,
+    _role: PhantomData<fn() -> R>,
 }
 
-impl<Req, Resp> Endpoint<Req, Resp> {
+impl<Req, Resp, R> Endpoint<Req, Resp, R> {
     /// Wrap a raw node index.
     pub fn new(index: usize) -> Self {
         Endpoint {
             index,
             _proto: PhantomData,
+            _role: PhantomData,
         }
     }
 
@@ -92,25 +115,42 @@ impl<Req, Resp> Endpoint<Req, Resp> {
     }
 }
 
-impl<Req, Resp> Clone for Endpoint<Req, Resp> {
+impl<Req, Resp, R> Clone for Endpoint<Req, Resp, R> {
     fn clone(&self) -> Self {
         *self
     }
 }
-impl<Req, Resp> Copy for Endpoint<Req, Resp> {}
+impl<Req, Resp, R> Copy for Endpoint<Req, Resp, R> {}
 
-impl<Req, Resp> fmt::Debug for Endpoint<Req, Resp> {
+impl<Req, Resp, R> fmt::Debug for Endpoint<Req, Resp, R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Endpoint({})", self.index)
     }
 }
 
-impl<Req, Resp> PartialEq for Endpoint<Req, Resp> {
+impl<Req, Resp, R> PartialEq for Endpoint<Req, Resp, R> {
     fn eq(&self, other: &Self) -> bool {
         self.index == other.index
     }
 }
-impl<Req, Resp> Eq for Endpoint<Req, Resp> {}
+impl<Req, Resp, R> Eq for Endpoint<Req, Resp, R> {}
+
+impl<Req, Resp, R> PartialOrd for Endpoint<Req, Resp, R> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<Req, Resp, R> Ord for Endpoint<Req, Resp, R> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.index.cmp(&other.index)
+    }
+}
+
+impl<Req, Resp, R> Hash for Endpoint<Req, Resp, R> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.index.hash(state);
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -136,11 +176,37 @@ mod tests {
 
     #[test]
     fn endpoints_are_typed_indices() {
-        let a: Endpoint<Fetch, Page> = Endpoint::new(3);
+        let a: Endpoint<Fetch, Page, OdohProxy> = Endpoint::new(3);
         let b = a; // Copy regardless of protocol types
         assert_eq!(a, b);
         assert_eq!(a.index(), 3);
         assert_ne!(a, Endpoint::new(4));
         assert_eq!(format!("{a:?}"), "Endpoint(3)");
+    }
+
+    #[test]
+    fn endpoints_order_and_hash_by_index() {
+        use std::collections::BTreeMap;
+        let a: Endpoint<Fetch, Page, OdohProxy> = Endpoint::new(1);
+        let b: Endpoint<Fetch, Page, OdohProxy> = Endpoint::new(2);
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), core::cmp::Ordering::Equal);
+        let mut map: BTreeMap<Endpoint<Fetch, Page, OdohProxy>, &str> = BTreeMap::new();
+        map.insert(b, "two");
+        map.insert(a, "one");
+        assert_eq!(
+            map.values().copied().collect::<Vec<_>>(),
+            vec!["one", "two"]
+        );
+        let mut hs = std::collections::HashSet::new();
+        hs.insert(a);
+        assert!(hs.contains(&Endpoint::new(1)));
+        assert!(!hs.contains(&b));
+    }
+
+    #[test]
+    fn roles_default_to_their_kind_cap() {
+        use crate::cap::KnowledgeCap;
+        assert_eq!(OdohProxy::CAP, KnowledgeCap::RELAY);
     }
 }

@@ -325,16 +325,6 @@ impl Unblinder {
         }
         Ok(Unblinder(v))
     }
-
-    /// The raw integer behind the handle.
-    #[deprecated(
-        since = "0.1.0",
-        note = "backend integer internals are no longer part of the public \
-                surface; use `to_bytes`/`from_bytes`"
-    )]
-    pub fn as_biguint(&self) -> &BigUint {
-        &self.0
-    }
 }
 
 impl RsaPrivateKey {

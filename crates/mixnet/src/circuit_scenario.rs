@@ -10,9 +10,12 @@ use std::rc::Rc;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, KeyId, Label, UserId, World};
 use dcp_crypto::hpke;
-use dcp_runtime::{Ctx, LinkParams, Message, Network, Node, NodeId, SimTime, Trace};
+use dcp_runtime::{
+    Control, Ctx, Endpoint, LinkParams, Message, Network, Node, NodeId, SimTime, Trace, TypedSend,
+};
 
 use crate::circuit::{self, ClientCircuit, RelayCircuit};
+use crate::types::{CircuitCell, SessionRelay};
 
 /// Report from a circuit run.
 pub struct CircuitReport {
@@ -59,7 +62,7 @@ const TAG_HS_ACK: u8 = 4;
 struct CircuitUser {
     entity: EntityId,
     user: UserId,
-    entry: NodeId,
+    entry: Endpoint<CircuitCell, Control, SessionRelay>,
     relay_pks: Vec<[u8; 32]>,
     relay_keys: Vec<KeyId>,
     circuit: Option<ClientCircuit>,
@@ -101,7 +104,7 @@ impl CircuitUser {
             .seal_forward(REQUEST);
         let mut bytes = vec![TAG_FWD];
         bytes.extend_from_slice(&cell);
-        ctx.send(self.entry, Message::new(bytes, self.cell_label()));
+        ctx.send_to(self.entry, Message::new(bytes, self.cell_label()));
     }
 }
 
@@ -124,7 +127,7 @@ impl Node for CircuitUser {
         let mut bytes = vec![TAG_HS];
         bytes.extend_from_slice(&hs.onion);
         // The handshake reveals the same envelope facts as a data cell.
-        ctx.send(self.entry, Message::new(bytes, self.cell_label()));
+        ctx.send_to(self.entry, Message::new(bytes, self.cell_label()));
     }
     fn on_message(&mut self, ctx: &mut Ctx, _from: NodeId, msg: Message) {
         // Wire-derived input: empty cells, unknown tags, undecryptable or
@@ -335,7 +338,7 @@ pub fn run_circuit(relays: usize, exchanges: usize, seed: u64) -> CircuitReport 
     net.add_node(Box::new(CircuitUser {
         entity: user_e,
         user,
-        entry: relay_ids[0],
+        entry: Endpoint::new(relay_ids[0].0),
         relay_pks: relay_kps.iter().map(|k| k.public).collect(),
         relay_keys,
         circuit: None,

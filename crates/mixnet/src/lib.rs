@@ -28,5 +28,7 @@ pub mod circuit_scenario;
 pub mod mix;
 pub mod population;
 pub mod scenario;
+pub mod types;
 
 pub use scenario::{sweep, Mixnet, MixnetConfig, MixnetReport};
+pub use types::declared_caps;

@@ -7,19 +7,20 @@ use std::rc::Rc;
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RoleKind,
-    RunOptions, Scenario, UserId, World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RunOptions,
+    Scenario, UserId, World,
 };
 use dcp_crypto::hpke;
 use dcp_runtime::{
-    mean_us, wire, Attempt, CallEvent, Ctx, Driver, FleetClient, FleetSetup, FleetSummary, Harness,
-    LinkParams, Message, Node, NodeId, RetryLinkage, Trace,
+    mean_us, wire, Attempt, CallEvent, Control, Ctx, Driver, Endpoint, FleetClient, FleetSetup,
+    FleetSummary, Harness, LinkParams, Message, Node, NodeId, RetryLinkage, Trace, TypedSend,
 };
 use dcp_transport::onion::{self, Hop, Unwrapped};
 use rand::Rng as _;
 
 use crate::adversary::{self, AttackResult};
 use crate::mix::{MixNode, RESP_BIT};
+use crate::types::{BatchMix, MailReceiver, MailSender, MixedMail};
 
 /// Configuration of a mix-net run.
 #[derive(Clone, Copy, Debug)]
@@ -190,7 +191,7 @@ const BODY_CHAFF: u8 = 1;
 struct SenderNode {
     entity: EntityId,
     user: UserId,
-    first_mix: NodeId,
+    first_mix: Endpoint<MixedMail, Control, BatchMix>,
     /// Plain mode: the full mix+receiver hop stack. Fleet mode: the
     /// receiver's single hop (mix hops come from the directory per wrap).
     hops: Vec<Hop>,
@@ -266,13 +267,13 @@ impl SenderNode {
             // chaff that faults eat is just less cover, never lost work.
             self.chaff_seq += 1;
             let seq = CHAFF_SEQ_BASE | self.chaff_seq;
-            ctx.send(
+            ctx.send_to(
                 self.first_mix,
                 Message::new(wire::frame(seq, &bytes), label),
             );
             return;
         }
-        ctx.send(self.first_mix, Message::new(bytes, label));
+        ctx.send_to(self.first_mix, Message::new(bytes, label));
     }
 
     /// Wrap the stored real body in a fresh onion with the hand-built
@@ -344,7 +345,7 @@ impl SenderNode {
             .borrow_mut()
             .linkage
             .record(self.user.0, att.seq, att.attempt, &bytes);
-        ctx.send(
+        ctx.send_to(
             self.first_mix,
             Message::new(wire::frame(att.seq, &bytes), label).with_flow(self.user.0),
         );
@@ -402,7 +403,7 @@ impl Node for SenderNode {
             return;
         }
         let (bytes, label) = self.wrap_real(ctx);
-        ctx.send(
+        ctx.send_to(
             self.first_mix,
             Message::new(bytes, label).with_flow(self.user.0),
         );
@@ -648,7 +649,7 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
         if !config.shuffle {
             mix = mix.without_shuffle();
         }
-        Harness::add(&mut net, RoleKind::Relay, Box::new(mix));
+        Harness::add_role::<BatchMix>(&mut net, Box::new(mix));
     }
     let stats = Rc::new(RefCell::new(Stats {
         delivered: 0,
@@ -656,9 +657,8 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
         linkage: RetryLinkage::new(),
     }));
     for i in 0..config.senders {
-        Harness::add(
+        Harness::add_role::<MailReceiver>(
             &mut net,
-            RoleKind::Service,
             Box::new(ReceiverNode {
                 entity: receiver_entities[i],
                 kp: recv_kps[i].clone(),
@@ -728,13 +728,12 @@ fn run_impl(config: &MixnetConfig, opts: &RunOptions) -> MixnetReport {
             .map(|_| setup_rng.gen_range(0..config.window_us.max(1)))
             .collect();
         let client = fleet_setup.as_mut().map(|fs| fs.client(i, chain.clone()));
-        Harness::add(
+        Harness::add_role::<MailSender>(
             &mut net,
-            RoleKind::Initiator,
             Box::new(SenderNode {
                 entity: e,
                 user: u,
-                first_mix: mix_ids[chain[0] as usize],
+                first_mix: Endpoint::new(mix_ids[chain[0] as usize].0),
                 hops,
                 chaff_hops,
                 mix_keys: mix_keys.clone(),

@@ -1,0 +1,99 @@
+//! Label-bounded wire types and typed roles for the mix-net wiring.
+//!
+//! Every [`WireLabel`] impl for this crate lives in this module (the CI
+//! layering lint holds wiring crates to that). Two wirings share these
+//! types: the batch-and-shuffle chain of `scenario` (Fig. 1) and the
+//! session-circuit chain of `circuit_scenario` (§4.2). Batch mixes are
+//! bounded at the relay default `(▲, ⊙)`; circuit relays include the
+//! exit position, which must see the destination (`⊙/●`), so their cap
+//! is the union `(▲, ⊙/●)`.
+
+use dcp_core::cap::{Addressed, Blinded, KnowledgeCap, WireLabel};
+use dcp_core::role::{Role, RoleKind};
+use dcp_core::Sensitivity;
+
+/// A message as content: what the sender says (and to whom) — sensitive
+/// data with no identity of its own.
+pub struct MailMessage;
+
+impl WireLabel for MailMessage {
+    const IDENTITY: Sensitivity = Sensitivity::NonSensitive;
+    const DATA: Sensitivity = Sensitivity::Sensitive;
+}
+
+/// A sender's first-hop frame: the access link names the sender (▲)
+/// around an onion the entry mix cannot open (⊙). Chaff is the same
+/// type on purpose — on the wire it is indistinguishable from mail.
+pub type MixedMail = Addressed<Blinded<MailMessage>>;
+
+/// A circuit cell user → entry: same envelope shape as [`MixedMail`],
+/// riding per-hop session keys instead of per-message onions.
+pub type CircuitCell = Addressed<Blinded<MailMessage>>;
+
+/// A message sender (initiator).
+pub struct MailSender;
+
+impl Role for MailSender {
+    const KIND: RoleKind = RoleKind::Initiator;
+    const NAME: &'static str = "mixnet-sender";
+}
+
+/// A threshold mix in the chain: the relay default `(▲, ⊙)` — the entry
+/// sees who sends, later positions see strictly less.
+pub struct BatchMix;
+
+impl Role for BatchMix {
+    const KIND: RoleKind = RoleKind::Relay;
+    const NAME: &'static str = "mixnet-mix";
+}
+
+/// A circuit relay, any position: the exit must learn the destination
+/// to contact it, so the cap is the union `(▲, ⊙/●)`.
+pub struct SessionRelay;
+
+impl Role for SessionRelay {
+    const KIND: RoleKind = RoleKind::Relay;
+    const NAME: &'static str = "mixnet-circuit-relay";
+    const CAP: KnowledgeCap = KnowledgeCap::new(Sensitivity::Sensitive, Sensitivity::Partial);
+}
+
+/// A receiver: anonymous senders, full message content — `(△, ●)`, the
+/// service default.
+pub struct MailReceiver;
+
+impl Role for MailReceiver {
+    const KIND: RoleKind = RoleKind::Service;
+    const NAME: &'static str = "mixnet-receiver";
+}
+
+/// Entity-name rows (matched by prefix) → declared caps, reconciled
+/// against runtime ledgers by the cap-reconciliation proptest. "Mix"
+/// matches every `Mix N` row.
+pub fn declared_caps() -> Vec<(&'static str, KnowledgeCap)> {
+    vec![
+        ("Sender", MailSender::CAP),
+        ("Mix", BatchMix::CAP),
+        ("Receiver", MailReceiver::CAP),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_cap_is_the_relay_default_and_rejects_content() {
+        assert_eq!(BatchMix::CAP.render(), "(▲, ⊙)");
+        assert_eq!(SessionRelay::CAP.render(), "(▲, ⊙/●)");
+        assert!(BatchMix::CAP.admits(
+            <MixedMail as WireLabel>::IDENTITY,
+            <MixedMail as WireLabel>::DATA
+        ));
+        // Neither mix flavour may see the message itself.
+        assert!(!BatchMix::CAP.admits(MailMessage::IDENTITY, MailMessage::DATA));
+        assert!(!SessionRelay::CAP.admits(MailMessage::IDENTITY, MailMessage::DATA));
+        // The exit's destination visibility fits circuits, not batch mixes.
+        assert!(SessionRelay::CAP.admits(Sensitivity::NonSensitive, Sensitivity::Partial));
+        assert!(!BatchMix::CAP.admits(Sensitivity::NonSensitive, Sensitivity::Partial));
+    }
+}

@@ -30,5 +30,7 @@
 
 pub mod population;
 pub mod scenario;
+pub mod types;
 
 pub use scenario::{sweep, ChainConfig, Mpr, ScenarioReport};
+pub use types::declared_caps;

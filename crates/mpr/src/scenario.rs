@@ -6,15 +6,18 @@ use std::rc::Rc;
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RoleKind,
-    RunOptions, Scenario, UserId, World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RunOptions,
+    Scenario, UserId, World,
 };
 use dcp_crypto::hpke;
 use dcp_runtime::{
-    mean_us, wire, Attempt, CallEvent, Ctx, Driver, FleetClient, FleetRelay, FleetSetup,
-    FleetSummary, Harness, HopMap, LinkParams, Message, Node, NodeId, RetryLinkage, SimTime, Trace,
+    mean_us, wire, Admits, Attempt, CallEvent, Control, Ctx, Driver, Endpoint, FleetClient,
+    FleetRelay, FleetSetup, FleetSummary, Harness, HopMap, LinkParams, Message, Node, NodeId,
+    RetryLinkage, Role, SimTime, Trace, TypedSend, WireLabel,
 };
 use dcp_transport::onion::{self, Hop, Unwrapped};
+
+use crate::types::{ChainOrigin, ChainRelay, ChainUser, DirectFetch, DirectOrigin, OnionedFetch};
 
 /// Configuration for a chain run.
 #[derive(Clone, Copy, Debug)]
@@ -158,10 +161,10 @@ struct Stats {
     linkage: RetryLinkage,
 }
 
-struct UserNode {
+struct UserNode<R: Role, M: WireLabel> {
     entity: EntityId,
     user: UserId,
-    first_hop: NodeId,
+    first_hop: Endpoint<M, Control, R>,
     hops: Vec<Hop>,
     /// Fleet mode: the home-directory handle the chain's hops are read
     /// from on every wrap (so retries pick up rotated keys).
@@ -178,7 +181,7 @@ struct UserNode {
     calls: Driver<SimTime>,
 }
 
-impl UserNode {
+impl<R: Role, M: WireLabel + Admits<R>> UserNode<R, M> {
     /// Build one fully wrapped request: a fresh end-to-end seal and a
     /// fresh onion on every call, which is exactly what a re-randomized
     /// retransmission needs.
@@ -259,7 +262,7 @@ impl UserNode {
             return;
         }
         let (bytes, label) = self.wrap_request(ctx);
-        ctx.send(
+        ctx.send_to(
             self.first_hop,
             Message::new(bytes, label).with_flow(self.user.0),
         );
@@ -273,7 +276,7 @@ impl UserNode {
             .borrow_mut()
             .linkage
             .record(self.user.0, att.seq, att.attempt, &bytes);
-        ctx.send(
+        ctx.send_to(
             self.first_hop,
             Message::new(wire::frame(att.seq, &bytes), label).with_flow(self.user.0),
         );
@@ -288,7 +291,7 @@ impl UserNode {
     }
 }
 
-impl Node for UserNode {
+impl<R: Role + 'static, M: WireLabel + Admits<R> + 'static> Node for UserNode<R, M> {
     fn entity(&self) -> EntityId {
         self.entity
     }
@@ -715,18 +718,22 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
 
     let recover_on = opts.recover.enabled;
     let flow_user: Vec<(u64, UserId)> = users.iter().map(|&u| (u.0, u)).collect();
-    Harness::add(
-        &mut net,
-        RoleKind::Service,
-        Box::new(OriginNode {
-            entity: origin_e,
-            kp: origin_kp.clone(),
-            resp_key,
-            flow_user,
-            recover: recover_on,
-            resp_bit: fleet_on,
-        }),
-    );
+    let origin_node = Box::new(OriginNode {
+        entity: origin_e,
+        kp: origin_kp.clone(),
+        resp_key,
+        flow_user,
+        recover: recover_on,
+        resp_bit: fleet_on,
+    });
+    // A zero-relay wiring puts the origin in the coupled direct role; the
+    // registration behaviour is identical (both are `Service`), only the
+    // knowledge cap differs.
+    if config.relays == 0 {
+        Harness::add_role::<DirectOrigin>(&mut net, origin_node);
+    } else {
+        Harness::add_role::<ChainOrigin>(&mut net, origin_node);
+    }
     for i in 0..pool {
         // Plain mode: each relay can forward to the next relay and to
         // the origin. Fleet mode: chains are directory-drawn, so every
@@ -748,9 +755,8 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
                 key_id: relay_keys[i],
             },
         };
-        Harness::add(
+        Harness::add_role::<ChainRelay>(
             &mut net,
-            RoleKind::Relay,
             Box::new(RelayNode {
                 entity: relay_entities[i],
                 keys,
@@ -784,25 +790,77 @@ fn run_impl(config: &ChainConfig, opts: &RunOptions) -> ScenarioReport {
             }
             None => (None, first_hop),
         };
-        Harness::add(
-            &mut net,
-            RoleKind::Initiator,
-            Box::new(UserNode {
-                entity: e,
-                user: u,
-                first_hop: user_first,
-                hops: hops.clone(),
-                fleet: client,
+        #[allow(clippy::too_many_arguments)]
+        fn add_user<R: Role + 'static, M: WireLabel + Admits<R> + 'static>(
+            net: &mut dcp_runtime::Network,
+            first_hop: Endpoint<M, Control, R>,
+            e: EntityId,
+            u: UserId,
+            i: usize,
+            hops: Vec<Hop>,
+            fleet: Option<FleetClient>,
+            origin_addr: u16,
+            origin_pk: [u8; 32],
+            origin_key: KeyId,
+            config: &ChainConfig,
+            opts: &RunOptions,
+            stats: &Rc<RefCell<Stats>>,
+        ) {
+            Harness::add_role::<ChainUser>(
+                net,
+                Box::new(UserNode::<R, M> {
+                    entity: e,
+                    user: u,
+                    first_hop,
+                    hops,
+                    fleet,
+                    origin_addr,
+                    origin_pk,
+                    origin_key,
+                    geohint: config.geohint,
+                    fetches_left: config.fetches_each,
+                    stats: stats.clone(),
+                    sent_at: SimTime::ZERO,
+                    calls: Driver::new(&opts.recover, derive_seed(config.seed, 0x3b50 + i as u64)),
+                }),
+            );
+        }
+        // Direct runs couple at the origin and must say so in the type:
+        // `DirectFetch` only clears the knowledge-cap witness against the
+        // explicitly coupled `DirectOrigin`.
+        if config.relays == 0 {
+            add_user::<DirectOrigin, DirectFetch>(
+                &mut net,
+                Endpoint::new(user_first.0),
+                e,
+                u,
+                i,
+                hops.clone(),
+                client,
                 origin_addr,
-                origin_pk: origin_kp.public,
+                origin_kp.public,
                 origin_key,
-                geohint: config.geohint,
-                fetches_left: config.fetches_each,
-                stats: stats.clone(),
-                sent_at: SimTime::ZERO,
-                calls: Driver::new(&opts.recover, derive_seed(config.seed, 0x3b50 + i as u64)),
-            }),
-        );
+                &config,
+                opts,
+                &stats,
+            );
+        } else {
+            add_user::<ChainRelay, OnionedFetch>(
+                &mut net,
+                Endpoint::new(user_first.0),
+                e,
+                u,
+                i,
+                hops.clone(),
+                client,
+                origin_addr,
+                origin_kp.public,
+                origin_key,
+                &config,
+                opts,
+                &stats,
+            );
+        }
     }
 
     if let Some(fs) = &mut fleet_setup {

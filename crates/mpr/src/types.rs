@@ -1,0 +1,102 @@
+//! Label-bounded wire types and typed roles for the MPR wiring.
+//!
+//! Every [`WireLabel`] impl for this crate lives in this module (the CI
+//! layering lint holds wiring crates to that). The k-relay chain has one
+//! relay *role* serving every position — entry sees `(▲, ⊙)`, exit sees
+//! `(△, ⊙/●)`, and fleet-mode chains are directory-drawn so any relay
+//! may serve any slot — so [`ChainRelay`]'s cap is the union of the
+//! positions, `(▲, ⊙/●)`. The zero-relay run routes the user straight
+//! to [`DirectOrigin`], the §3.3 negative example, which therefore must
+//! declare [`KnowledgeCap::coupled_by_design`].
+
+use dcp_core::cap::{Addressed, Blinded, KnowledgeCap, WireLabel};
+use dcp_core::role::{Role, RoleKind};
+use dcp_core::Sensitivity;
+
+/// A fetch as content: the sensitive destination of an otherwise
+/// anonymous request.
+pub struct FetchRequest;
+
+impl WireLabel for FetchRequest {
+    const IDENTITY: Sensitivity = Sensitivity::NonSensitive;
+    const DATA: Sensitivity = Sensitivity::Sensitive;
+}
+
+/// The user's first-hop frame into the chain: the network envelope names
+/// the subscriber (▲) around an onion the entry relay cannot open (⊙).
+pub type OnionedFetch = Addressed<Blinded<FetchRequest>>;
+
+/// A direct (relay-free) fetch: the origin sees the requester's address
+/// bound to the full request — `(▲, ●)`, stated in the type.
+pub type DirectFetch = Addressed<FetchRequest>;
+
+/// The fetching user (initiator).
+pub struct ChainUser;
+
+impl Role for ChainUser {
+    const KIND: RoleKind = RoleKind::Initiator;
+    const NAME: &'static str = "mpr-user";
+}
+
+/// A chain relay, any position: bounded at the union of what the entry
+/// (`(▲, ⊙)`) and the exit (`(△, ⊙/●)`) may learn.
+pub struct ChainRelay;
+
+impl Role for ChainRelay {
+    const KIND: RoleKind = RoleKind::Relay;
+    const NAME: &'static str = "mpr-relay";
+    const CAP: KnowledgeCap = KnowledgeCap::new(Sensitivity::Sensitive, Sensitivity::Partial);
+}
+
+/// The origin behind a chain: anonymous requests, full content —
+/// `(△, ●)`, the service default.
+pub struct ChainOrigin;
+
+impl Role for ChainOrigin {
+    const KIND: RoleKind = RoleKind::Service;
+    const NAME: &'static str = "mpr-origin";
+}
+
+/// The origin of a zero-relay run: it sees who asks *and* what for.
+/// Admissible only as an explicit coupling.
+pub struct DirectOrigin;
+
+impl Role for DirectOrigin {
+    const KIND: RoleKind = RoleKind::Service;
+    const NAME: &'static str = "mpr-direct-origin";
+    const CAP: KnowledgeCap = KnowledgeCap::coupled_by_design();
+}
+
+/// Entity-name rows (matched by prefix) → declared caps for a relayed
+/// run, reconciled against runtime ledgers by the cap-reconciliation
+/// proptest. "Relay" matches every `Relay N` row.
+pub fn declared_caps() -> Vec<(&'static str, KnowledgeCap)> {
+    vec![
+        ("User", ChainUser::CAP),
+        ("Relay", ChainRelay::CAP),
+        ("Origin", ChainOrigin::CAP),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_cap_is_the_union_of_chain_positions() {
+        assert_eq!(ChainRelay::CAP.render(), "(▲, ⊙/●)");
+        // Entry sees (▲, ⊙); exit sees (△, ⊙/●); both fit.
+        assert!(ChainRelay::CAP.admits(
+            <OnionedFetch as WireLabel>::IDENTITY,
+            <OnionedFetch as WireLabel>::DATA
+        ));
+        assert!(ChainRelay::CAP.admits(Sensitivity::NonSensitive, Sensitivity::Partial));
+        // The full request never fits a relay.
+        assert!(!ChainRelay::CAP.admits(
+            <DirectFetch as WireLabel>::IDENTITY,
+            <DirectFetch as WireLabel>::DATA
+        ));
+        assert!(DirectOrigin::CAP.is_coupled());
+        assert_eq!(ChainOrigin::CAP.render(), "(△, ●)");
+    }
+}

@@ -30,8 +30,10 @@ pub mod odoh;
 pub mod population;
 pub mod scenario;
 pub mod serve;
+pub mod types;
 
 pub use scenario::{
     sweep, sweep_direct, DirectDns, DirectDnsConfig, OdnsLegacy, OdnsLegacyConfig, Odoh,
     OdohConfig, ScenarioReport,
 };
+pub use types::{declared_caps, direct_declared_caps};

@@ -9,19 +9,22 @@ use dcp_core::{DataKind, EntityId, IdentityKind, InfoItem, Label, RunOptions, Sc
 use dcp_dns::workload::ZipfWorkload;
 use dcp_dns::{DnsName, Message as DnsMessage, RrType};
 use dcp_runtime::{
-    wire, Attempt, CallEvent, Ctx, Driver, Harness, HopMap, LinkParams, Message, Node, NodeId,
-    RoleKind, SimTime,
+    wire, Attempt, CallEvent, Control, Ctx, Driver, Endpoint, Harness, HopMap, LinkParams, Message,
+    Node, NodeId, SimTime, TypedSend,
 };
 use rand::Rng as _;
 
 use super::{
     assemble, build_zone, DirectDns, DirectDnsConfig, OriginNode, ScenarioReport, Stats, SUFFIX,
 };
+use crate::types::{CoupledQuery, CoupledResolver, ExposedOrigin, StubClient};
 
 struct DirectClient {
     entity: EntityId,
     user: UserId,
-    resolvers: Vec<NodeId>,
+    /// Coupled on purpose: the endpoint type says each resolver may see
+    /// `(▲, ●)` — the baseline the oblivious wirings improve on.
+    resolvers: Vec<Endpoint<CoupledQuery, Control, CoupledResolver>>,
     queries: Vec<DnsName>,
     stats: Rc<RefCell<Stats>>,
     sent_at: SimTime,
@@ -63,7 +66,7 @@ impl DirectClient {
         self.next_id = self.next_id.wrapping_add(1);
         self.sent_at = ctx.now;
         let label = self.query_label();
-        ctx.send(self.resolvers[idx], Message::new(q.encode(), label));
+        ctx.send_to(self.resolvers[idx], Message::new(q.encode(), label));
     }
 
     /// One (re)transmission of reliable call `att.seq`. Plain DNS has no
@@ -75,7 +78,7 @@ impl DirectClient {
         let q = DnsMessage::query(self.next_id, name, RrType::A);
         self.next_id = self.next_id.wrapping_add(1);
         let label = self.query_label();
-        ctx.send(
+        ctx.send_to(
             self.resolvers[idx],
             Message::new(wire::frame(att.seq, &q.encode()), label),
         );
@@ -160,7 +163,7 @@ impl Node for DirectClient {
 struct PlainResolver {
     entity: EntityId,
     slot: usize,
-    origin: NodeId,
+    origin: Endpoint<CoupledQuery, Control, ExposedOrigin>,
     pending: Vec<NodeId>,
     stats: Rc<RefCell<Stats>>,
     /// Is the run's recovery layer on?
@@ -175,7 +178,7 @@ impl Node for PlainResolver {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if from == self.origin {
+        if from.0 == self.origin.index() {
             if self.recover {
                 let Some((rseq, body)) = wire::unframe(&msg.bytes) else {
                     return;
@@ -209,7 +212,7 @@ impl Node for PlainResolver {
             let framed = wire::frame(rseq, body);
             // Forward upstream; the label travels as-is (the resolver
             // already saw everything — plain DNS hides nothing).
-            ctx.send(self.origin, Message::new(framed, msg.label));
+            ctx.send_to(self.origin, Message::new(framed, msg.label));
             return;
         }
         let Ok(query) = DnsMessage::decode(&msg.bytes) else {
@@ -222,7 +225,7 @@ impl Node for PlainResolver {
         self.pending.insert(0, from);
         // Forward upstream; the label travels as-is (the resolver already
         // saw everything — plain DNS hides nothing).
-        ctx.send(self.origin, msg);
+        ctx.send_to(self.origin, msg);
     }
 }
 
@@ -266,21 +269,20 @@ pub(super) fn direct_impl(cfg: &DirectDnsConfig, seed: u64, opts: &RunOptions) -
     let mut net = harness.network(world, LinkParams::wan_ms(8));
 
     let recover_on = opts.recover.enabled;
-    let origin_id = NodeId(0);
-    Harness::add(
+    let origin_id: Endpoint<CoupledQuery, Control, ExposedOrigin> = Endpoint::new(0);
+    Harness::add_role::<ExposedOrigin>(
         &mut net,
-        RoleKind::Service,
         Box::new(OriginNode {
             entity: origin_e,
             zone,
             recover: recover_on,
         }),
     );
-    let resolver_ids: Vec<NodeId> = (0..n_resolvers).map(|i| NodeId(1 + i)).collect();
+    let resolver_ids: Vec<Endpoint<CoupledQuery, Control, CoupledResolver>> =
+        (0..n_resolvers).map(|i| Endpoint::new(1 + i)).collect();
     for (i, &e) in resolver_entities.iter().enumerate() {
-        Harness::add(
+        Harness::add_role::<CoupledResolver>(
             &mut net,
-            RoleKind::Service,
             Box::new(PlainResolver {
                 entity: e,
                 slot: i,
@@ -294,9 +296,8 @@ pub(super) fn direct_impl(cfg: &DirectDnsConfig, seed: u64, opts: &RunOptions) -
     }
     for (ci, (&u, &e)) in users.iter().zip(client_entities.iter()).enumerate() {
         let queries = workload.stream(&mut wl_rng, queries_each);
-        Harness::add(
+        Harness::add_role::<StubClient>(
             &mut net,
-            RoleKind::Initiator,
             Box::new(DirectClient {
                 entity: e,
                 user: u,

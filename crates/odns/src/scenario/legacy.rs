@@ -12,19 +12,22 @@ use dcp_crypto::hpke;
 use dcp_dns::workload::ZipfWorkload;
 use dcp_dns::{DnsName, Message as DnsMessage, RrType};
 use dcp_runtime::{
-    wire, Attempt, CallEvent, Ctx, Driver, Harness, HopMap, LinkParams, Message, Node, NodeId,
-    RoleKind, SimTime,
+    wire, Attempt, CallEvent, Control, Ctx, Driver, Endpoint, Harness, HopMap, LinkParams, Message,
+    Node, NodeId, SimTime, TypedSend,
 };
 
 use super::{
     assemble, build_zone, OdnsLegacy, OdnsLegacyConfig, OriginNode, ScenarioReport, Stats,
     ODNS_ZONE, SUFFIX,
 };
+use crate::types::{
+    AuthOrigin, DnsQuery, ObliviousProxy, ObliviousQuery, ObliviousTarget, SealedQuery, StubClient,
+};
 
 struct OdnsClient {
     entity: EntityId,
     user: UserId,
-    recursive: NodeId,
+    recursive: Endpoint<SealedQuery, Control, ObliviousProxy>,
     target_pk: [u8; 32],
     target_key: dcp_core::KeyId,
     queries: Vec<DnsName>,
@@ -88,7 +91,7 @@ impl OdnsClient {
         let q = DnsMessage::query(self.next_id, obfuscated, RrType::Txt);
         self.next_id = self.next_id.wrapping_add(1);
         let label = self.envelope_label();
-        ctx.send(self.recursive, Message::new(q.encode(), label));
+        ctx.send_to(self.recursive, Message::new(q.encode(), label));
     }
 
     /// One (re)transmission of reliable call `att.seq`: a *fresh*
@@ -113,7 +116,7 @@ impl OdnsClient {
             .expect("open call has an entry")
             .resp_kp = Some(resp_kp);
         let label = self.envelope_label();
-        ctx.send(
+        ctx.send_to(
             self.recursive,
             Message::new(wire::frame(att.seq, &encoded), label),
         );
@@ -226,7 +229,7 @@ impl Node for OdnsClient {
 /// delegation — no ODNS-specific code.
 struct OdnsRecursive {
     entity: EntityId,
-    odns_authority: NodeId,
+    odns_authority: Endpoint<ObliviousQuery, Control, ObliviousTarget>,
     pending: Vec<NodeId>,
     /// Is the run's recovery layer on?
     recover: bool,
@@ -241,7 +244,7 @@ impl Node for OdnsRecursive {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if from == self.odns_authority {
+        if from.0 == self.odns_authority.index() {
             if self.recover {
                 let Some((rseq, body)) = wire::unframe(&msg.bytes) else {
                     return;
@@ -272,11 +275,11 @@ impl Node for OdnsRecursive {
             };
             let rseq = self.hop.insert((from, cseq));
             let framed = wire::frame(rseq, body);
-            ctx.send(self.odns_authority, Message::new(framed, inner));
+            ctx.send_to(self.odns_authority, Message::new(framed, inner));
             return;
         }
         self.pending.insert(0, from);
-        ctx.send(self.odns_authority, Message::new(msg.bytes, inner));
+        ctx.send_to(self.odns_authority, Message::new(msg.bytes, inner));
     }
 }
 
@@ -285,7 +288,7 @@ impl Node for OdnsRecursive {
 struct OdnsAuthority {
     entity: EntityId,
     kp: hpke::Keypair,
-    origin: NodeId,
+    origin: Endpoint<DnsQuery, Control, AuthOrigin>,
     /// (recursive node, query id, response key, subject)
     /// (FIFO; recovery-disabled path only).
     pending: Vec<(NodeId, u16, [u8; 32], UserId, DnsName)>,
@@ -303,7 +306,7 @@ impl Node for OdnsAuthority {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if from == self.origin {
+        if from.0 == self.origin.index() {
             let (seq, body) = if self.recover {
                 match wire::unframe(&msg.bytes) {
                     Some((s, b)) => (Some(s), b),
@@ -397,7 +400,7 @@ impl Node for OdnsAuthority {
             Some(s) => wire::frame(s, &plain_q.encode()),
             None => plain_q.encode(),
         };
-        ctx.send(self.origin, Message::new(bytes, label));
+        ctx.send_to(self.origin, Message::new(bytes, label));
     }
 }
 
@@ -450,12 +453,11 @@ pub(super) fn legacy_impl(cfg: &OdnsLegacyConfig, seed: u64, opts: &RunOptions) 
 
     let mut net = harness.network(world, LinkParams::wan_ms(8));
     let recover_on = opts.recover.enabled;
-    let recursive_id = NodeId(0);
-    let authority_id = NodeId(1);
-    let origin_id = NodeId(2);
-    Harness::add(
+    let recursive_id: Endpoint<SealedQuery, Control, ObliviousProxy> = Endpoint::new(0);
+    let authority_id: Endpoint<ObliviousQuery, Control, ObliviousTarget> = Endpoint::new(1);
+    let origin_id: Endpoint<DnsQuery, Control, AuthOrigin> = Endpoint::new(2);
+    Harness::add_role::<ObliviousProxy>(
         &mut net,
-        RoleKind::Relay,
         Box::new(OdnsRecursive {
             entity: recursive_e,
             odns_authority: authority_id,
@@ -464,9 +466,8 @@ pub(super) fn legacy_impl(cfg: &OdnsLegacyConfig, seed: u64, opts: &RunOptions) 
             hop: HopMap::new(),
         }),
     );
-    Harness::add(
+    Harness::add_role::<ObliviousTarget>(
         &mut net,
-        RoleKind::Service,
         Box::new(OdnsAuthority {
             entity: authority_e,
             kp: target_kp.clone(),
@@ -478,9 +479,8 @@ pub(super) fn legacy_impl(cfg: &OdnsLegacyConfig, seed: u64, opts: &RunOptions) 
             pending_by_seq: BTreeMap::new(),
         }),
     );
-    Harness::add(
+    Harness::add_role::<AuthOrigin>(
         &mut net,
-        RoleKind::Service,
         Box::new(OriginNode {
             entity: origin_e,
             zone,
@@ -493,9 +493,8 @@ pub(super) fn legacy_impl(cfg: &OdnsLegacyConfig, seed: u64, opts: &RunOptions) 
         .zip(per_client_queries)
         .enumerate()
     {
-        Harness::add(
+        Harness::add_role::<StubClient>(
             &mut net,
-            RoleKind::Initiator,
             Box::new(OdnsClient {
                 entity: e,
                 user: u,

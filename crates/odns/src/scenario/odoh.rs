@@ -19,13 +19,16 @@ use dcp_crypto::hpke;
 use dcp_dns::workload::ZipfWorkload;
 use dcp_dns::{DnsName, Message as DnsMessage, RrType};
 use dcp_runtime::{
-    emit_failover, emit_give_up, emit_quarantine, emit_retry, wire, Attempt, Ctx, Failover,
-    Harness, HopMap, LinkParams, Message, Node, NodeId, ReliableCall, RoleKind, SimTime,
-    TimerVerdict,
+    emit_failover, emit_give_up, emit_quarantine, emit_retry, wire, Attempt, Control, Ctx,
+    Endpoint, Failover, Harness, HopMap, LinkParams, Message, Node, NodeId, ReliableCall, SimTime,
+    TimerVerdict, TypedSend,
 };
 
 use super::{assemble, build_zone, Odoh, OdohConfig, OriginNode, ScenarioReport, Stats, SUFFIX};
 use crate::odoh;
+use crate::types::{
+    AuthOrigin, DnsQuery, ObliviousProxy, ObliviousQuery, ObliviousTarget, SealedQuery, StubClient,
+};
 
 /// The client's envelope label, shared verbatim by the simulated wiring
 /// and the `dcp serve` twin (`crate::serve`): knowledge tables are a
@@ -68,7 +71,7 @@ pub(crate) fn origin_query_label(user: UserId) -> Label {
 struct OdohClient {
     entity: EntityId,
     user: UserId,
-    proxy: NodeId,
+    proxy: Endpoint<SealedQuery, Control, ObliviousProxy>,
     target_pk: [u8; 32],
     target_key: dcp_core::KeyId,
     queries: Vec<DnsName>,
@@ -115,7 +118,7 @@ impl OdohClient {
         self.state = Some(state);
         self.sent_at = ctx.now;
         let label = self.envelope_label();
-        ctx.send(self.proxy, Message::new(sealed, label));
+        ctx.send_to(self.proxy, Message::new(sealed, label));
     }
 
     /// One (re)transmission of reliable call `att.seq`: a *fresh* HPKE
@@ -145,8 +148,10 @@ impl OdohClient {
             },
         );
         let label = self.envelope_label();
-        ctx.send(
-            NodeId(pick.node),
+        // Failover picks among the proxies dynamically; every route plays
+        // the same role, so the typed endpoint is built from the pick.
+        ctx.send_to(
+            Endpoint::<SealedQuery, Control, ObliviousProxy>::new(pick.node),
             Message::new(wire::frame(att.seq, &sealed), label),
         );
         ctx.set_timer(att.timer_delay_us, att.token);
@@ -160,7 +165,7 @@ impl OdohClient {
     fn new(
         entity: EntityId,
         user: UserId,
-        proxy: NodeId,
+        proxy: Endpoint<SealedQuery, Control, ObliviousProxy>,
         target_pk: [u8; 32],
         target_key: dcp_core::KeyId,
         queries: Vec<DnsName>,
@@ -296,7 +301,7 @@ impl Node for OdohClient {
 
 struct ProxyNode {
     entity: EntityId,
-    target: NodeId,
+    target: Endpoint<ObliviousQuery, Control, ObliviousTarget>,
     /// Pending client per in-flight query (FIFO per arrival;
     /// recovery-disabled path only).
     pending: Vec<NodeId>,
@@ -314,7 +319,7 @@ impl Node for ProxyNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if from == self.target {
+        if from.0 == self.target.index() {
             if self.recover {
                 // The target echoed the proxy's hop-local number: map it
                 // back to (client, client seq) and re-frame. A duplicated
@@ -348,11 +353,11 @@ impl Node for ProxyNode {
                 };
                 let pseq = self.hop.insert((from, cseq));
                 let framed = wire::frame(pseq, body);
-                ctx.send(self.target, Message::new(framed, inner));
+                ctx.send_to(self.target, Message::new(framed, inner));
                 return;
             }
             self.pending.insert(0, from);
-            ctx.send(self.target, Message::new(msg.bytes, inner));
+            ctx.send_to(self.target, Message::new(msg.bytes, inner));
         }
     }
 }
@@ -360,7 +365,7 @@ impl Node for ProxyNode {
 struct TargetNode {
     entity: EntityId,
     kp: hpke::Keypair,
-    origin: NodeId,
+    origin: Endpoint<DnsQuery, Control, AuthOrigin>,
     client_resp_key: dcp_core::KeyId,
     /// (proxy node, response key, subject) awaiting origin answers
     /// (FIFO; recovery-disabled path only).
@@ -382,7 +387,7 @@ impl Node for TargetNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if from == self.origin {
+        if from.0 == self.origin.index() {
             let (seq, body) = if self.recover {
                 match wire::unframe(&msg.bytes) {
                     Some((s, b)) => (Some(s), b),
@@ -445,7 +450,7 @@ impl Node for TargetNode {
             Some(s) => wire::frame(s, &query.encode()),
             None => query.encode(),
         };
-        ctx.send(self.origin, Message::new(bytes, label));
+        ctx.send_to(self.origin, Message::new(bytes, label));
     }
 }
 
@@ -455,7 +460,7 @@ impl TargetNode {
     fn new(
         entity: EntityId,
         kp: hpke::Keypair,
-        origin: NodeId,
+        origin: Endpoint<DnsQuery, Control, AuthOrigin>,
         client_resp_key: dcp_core::KeyId,
         subject_of_query: std::collections::HashMap<String, UserId>,
         recover: bool,
@@ -606,12 +611,11 @@ pub(super) fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> Scena
 
     let mut net = harness.network(world, LinkParams::wan_ms(8));
 
-    let proxy_id = NodeId(0);
-    let target_id = NodeId(1);
-    let origin_id = NodeId(2);
-    Harness::add(
+    let proxy_id: Endpoint<SealedQuery, Control, ObliviousProxy> = Endpoint::new(0);
+    let target_id: Endpoint<ObliviousQuery, Control, ObliviousTarget> = Endpoint::new(1);
+    let origin_id: Endpoint<DnsQuery, Control, AuthOrigin> = Endpoint::new(2);
+    Harness::add_role::<ObliviousProxy>(
         &mut net,
-        RoleKind::Relay,
         Box::new(ProxyNode {
             entity: proxy_e,
             target: target_id,
@@ -620,9 +624,8 @@ pub(super) fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> Scena
             hop: HopMap::new(),
         }),
     );
-    Harness::add(
+    Harness::add_role::<ObliviousTarget>(
         &mut net,
-        RoleKind::Service,
         Box::new(TargetNode::new(
             target_e,
             target_kp.clone(),
@@ -632,20 +635,18 @@ pub(super) fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> Scena
             recover_on,
         )),
     );
-    Harness::add(
+    Harness::add_role::<AuthOrigin>(
         &mut net,
-        RoleKind::Service,
         Box::new(OriginNode {
             entity: origin_e,
             zone,
             recover: recover_on,
         }),
     );
-    let mut proxy_routes = vec![proxy_id];
+    let mut proxy_routes = vec![NodeId(proxy_id.index())];
     for &e in backup_entities.iter() {
-        let id = Harness::add(
+        let id = Harness::add_role::<ObliviousProxy>(
             &mut net,
-            RoleKind::Relay,
             Box::new(ProxyNode {
                 entity: e,
                 target: target_id,
@@ -662,9 +663,8 @@ pub(super) fn odoh_impl(cfg: &OdohConfig, seed: u64, opts: &RunOptions) -> Scena
         .zip(per_client_queries)
         .enumerate()
     {
-        Harness::add(
+        Harness::add_role::<StubClient>(
             &mut net,
-            RoleKind::Initiator,
             Box::new(OdohClient::new(
                 e,
                 u,

@@ -34,13 +34,16 @@ use std::collections::HashMap;
 use dcp_core::{DataKind, IdentityKind, InfoItem, KeyId, Label, UserId, World};
 use dcp_dns::{DnsName, Message as DnsMessage, RrType, Zone};
 use dcp_runtime::seam::{PeerId, RoleSpec, ServeSpec, WireCtx, WireMsg, WireRole};
-use dcp_runtime::{wire, RoleKind};
+use dcp_runtime::{wire, Control, Endpoint};
 
 use crate::odoh;
 use crate::scenario::odoh::{
     envelope_label, origin_query_label, plan_world, response_label, OdohPlan,
 };
 use crate::scenario::{Odoh, OdohConfig};
+use crate::types::{
+    AuthOrigin, DnsQuery, ObliviousProxy, ObliviousQuery, ObliviousTarget, SealedQuery, StubClient,
+};
 
 /// Fixed peer ids, mirroring the simulator's `NodeId` assignment order
 /// (proxy, target, origin, then clients).
@@ -76,7 +79,10 @@ impl ServeClient {
         self.next_seq += 1;
         self.inflight.insert(seq, state);
         let label = envelope_label(self.user, self.target_key);
-        ctx.send(PROXY, WireMsg::data(wire::frame(seq, &sealed), label));
+        ctx.send_to(
+            Endpoint::<SealedQuery, Control, ObliviousProxy>::new(PROXY.index()),
+            WireMsg::data(wire::frame(seq, &sealed), label),
+        );
     }
 }
 
@@ -158,7 +164,10 @@ impl WireRole for ServeProxy {
         let pseq = self.next_pseq;
         self.next_pseq += 1;
         self.pending.insert(pseq, (from, cseq));
-        ctx.send(TARGET, WireMsg::data(wire::frame(pseq, body), inner));
+        ctx.send_to(
+            Endpoint::<ObliviousQuery, Control, ObliviousTarget>::new(TARGET.index()),
+            WireMsg::data(wire::frame(pseq, body), inner),
+        );
     }
 }
 
@@ -212,8 +221,8 @@ impl WireRole for ServeTarget {
         self.next_tseq += 1;
         self.pending.insert(tseq, (from, pseq, resp_pk, user));
         let label = origin_query_label(user);
-        ctx.send(
-            ORIGIN,
+        ctx.send_to(
+            Endpoint::<DnsQuery, Control, AuthOrigin>::new(ORIGIN.index()),
             WireMsg::data(wire::frame(tseq, &query.encode()), label),
         );
     }
@@ -270,30 +279,19 @@ pub fn odoh_serve_spec(cfg: &OdohConfig, seed: u64) -> ServeSpec {
     }
 
     let mut roles = vec![
-        RoleSpec {
-            name: "proxy".to_string(),
-            entity: proxy_e,
-            kind: RoleKind::Relay,
-            role: Box::new(ServeProxy::default()),
-        },
-        RoleSpec {
-            name: "target".to_string(),
-            entity: target_e,
-            kind: RoleKind::Service,
-            role: Box::new(ServeTarget {
+        RoleSpec::of::<ObliviousProxy>("proxy", proxy_e, Box::new(ServeProxy::default())),
+        RoleSpec::of::<ObliviousTarget>(
+            "target",
+            target_e,
+            Box::new(ServeTarget {
                 kp: target_kp.clone(),
                 client_resp_key,
                 subject_of_query,
                 pending: HashMap::new(),
                 next_tseq: 0,
             }),
-        },
-        RoleSpec {
-            name: "origin".to_string(),
-            entity: origin_e,
-            kind: RoleKind::Service,
-            role: Box::new(ServeOrigin { zone }),
-        },
+        ),
+        RoleSpec::of::<AuthOrigin>("origin", origin_e, Box::new(ServeOrigin { zone })),
     ];
     for (ci, ((&u, &e), queries)) in users
         .iter()
@@ -307,11 +305,10 @@ pub fn odoh_serve_spec(cfg: &OdohConfig, seed: u64) -> ServeSpec {
             format!("client-{}", ci + 1)
         };
         let total = queries.len();
-        roles.push(RoleSpec {
+        roles.push(RoleSpec::of::<StubClient>(
             name,
-            entity: e,
-            kind: RoleKind::Initiator,
-            role: Box::new(ServeClient {
+            e,
+            Box::new(ServeClient {
                 user: u,
                 target_pk: target_kp.public,
                 target_key,
@@ -322,7 +319,7 @@ pub fn odoh_serve_spec(cfg: &OdohConfig, seed: u64) -> ServeSpec {
                 answered: 0,
                 total,
             }),
-        });
+        ));
     }
 
     ServeSpec {

@@ -26,5 +26,7 @@
 pub mod cellular;
 pub mod population;
 pub mod scenario;
+pub mod types;
 
 pub use scenario::{sweep, Mode, Pgpp, PgppConfig, PgppReport};
+pub use types::{legacy_declared_caps, pgpp_declared_caps};

@@ -7,17 +7,21 @@ use std::rc::Rc;
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, Label, MetricsReport, RoleKind,
-    RunOptions, Scenario, UserId, World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, Label, MetricsReport, RunOptions,
+    Scenario, UserId, World,
 };
 use dcp_privacypass::protocol::{Client as TokenClient, Issuer, Token};
 use dcp_runtime::{
-    wire, Attempt, CallEvent, Ctx, Driver, Harness, LinkParams, Message, Node, NodeId,
-    RetryLinkage, Trace,
+    wire, Admits, Attempt, CallEvent, Control, Ctx, Driver, Endpoint, Harness, LinkParams, Message,
+    Node, NodeId, RetryLinkage, Role, Trace, TypedSend, WireLabel,
 };
 use rand::Rng as _;
 
 use crate::cellular::{trajectory_linkage, CellId, CoreNetwork, Imsi, LinkageResult};
+use crate::types::{
+    Handset, IssueTokensReq, LegacyAttach, LegacyCore, PgppAttach, PgppCore, PgppGateway,
+    VerifyTokenReq,
+};
 
 /// Operating mode.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,13 +173,18 @@ enum PgInflight {
     Attach { payload: Vec<u8> },
 }
 
-struct PhoneNode {
+/// The handset, generic over which core it attaches to: `PhoneNode<
+/// PgppCore, PgppAttach>` compiles against the core's `(△, ⊙/●)` cap,
+/// while `PhoneNode<LegacyCore, LegacyAttach>` compiles *only* because
+/// [`LegacyCore`] declares itself coupled by design — instantiating it
+/// against [`PgppCore`] is a build error.
+struct PhoneNode<R: Role, M: WireLabel> {
     entity: EntityId,
     user: UserId,
     index: usize,
     mode: Mode,
-    ngc: NodeId,
-    gw: NodeId,
+    ngc: Endpoint<M, Control, R>,
+    gw: Endpoint<IssueTokensReq, Control, PgppGateway>,
     cells: usize,
     epochs: u32,
     moves_per_epoch: usize,
@@ -189,7 +198,7 @@ struct PhoneNode {
     flow: u64,
 }
 
-impl PhoneNode {
+impl<R: Role, M: WireLabel + Admits<R>> PhoneNode<R, M> {
     fn current_epoch(&self, now_us: u64) -> u32 {
         ((now_us / self.epoch_len_us) as u32).min(self.epochs - 1)
     }
@@ -221,8 +230,7 @@ impl PhoneNode {
             .borrow_mut()
             .linkage
             .record(self.flow, att.seq, att.attempt, &bytes);
-        ctx.send(self.gw, Message::new(wire::frame(att.seq, &bytes), label));
-        ctx.set_timer(att.timer_delay_us, att.token);
+        self.calls.transmit(ctx, self.gw, &att, &bytes, label);
     }
 
     /// Retransmit attach `att.seq`. The payload is deliberately
@@ -231,8 +239,7 @@ impl PhoneNode {
     /// recorded into the linkage check; the NGC dedups by `(phone, seq)`.
     fn transmit_attach(&mut self, ctx: &mut Ctx, payload: &[u8], att: Attempt) {
         let label = self.attach_label();
-        ctx.send(self.ngc, Message::new(wire::frame(att.seq, payload), label));
-        ctx.set_timer(att.timer_delay_us, att.token);
+        self.calls.transmit(ctx, self.ngc, &att, payload, label);
     }
 
     fn attach_label(&self) -> Label {
@@ -302,7 +309,7 @@ impl PhoneNode {
             return;
         }
         let label = self.attach_label();
-        ctx.send(self.ngc, Message::new(payload, label));
+        ctx.send_to(self.ngc, Message::new(payload, label));
     }
 
     /// Schedule every attach up front: `moves_per_epoch` attaches inside
@@ -320,7 +327,7 @@ impl PhoneNode {
     }
 }
 
-impl Node for PhoneNode {
+impl<R: Role + 'static, M: WireLabel + Admits<R> + 'static> Node for PhoneNode<R, M> {
     fn entity(&self) -> EntityId {
         self.entity
     }
@@ -345,7 +352,7 @@ impl Node for PhoneNode {
                 return;
             }
             let (bytes, label) = self.issuance_request(ctx);
-            ctx.send(self.gw, Message::new(bytes, label));
+            ctx.send_to(self.gw, Message::new(bytes, label));
         } else {
             self.schedule_all_moves(ctx);
         }
@@ -356,7 +363,7 @@ impl Node for PhoneNode {
                 return;
             };
             match self.calls.get(seq) {
-                Some(PgInflight::Issuance) if from == self.gw => {
+                Some(PgInflight::Issuance) if from.0 == self.gw.index() => {
                     let evals = decode_evals(body);
                     let Some(req) = self.pending_issuance.take() else {
                         return;
@@ -375,7 +382,7 @@ impl Node for PhoneNode {
                     ctx.world.span("issuance", 0, ctx.now.as_us());
                     self.schedule_all_moves(ctx);
                 }
-                Some(PgInflight::Attach { .. }) if from == self.ngc => {
+                Some(PgInflight::Attach { .. }) if from.0 == self.ngc.index() => {
                     // Duplicated acks complete (and count) exactly once.
                     self.calls.complete(seq);
                 }
@@ -383,7 +390,7 @@ impl Node for PhoneNode {
             }
             return;
         }
-        if from == self.gw {
+        if from.0 == self.gw.index() {
             // Token issuance response.
             let evals = decode_evals(&msg.bytes);
             let Some(req) = self.pending_issuance.take() else {
@@ -464,7 +471,9 @@ struct AttachCheck {
 struct NgcNode {
     entity: EntityId,
     mode: Mode,
-    gw: NodeId,
+    /// The over-the-top verification endpoint: forwarded tokens are
+    /// unlinkable, well under the gateway's `(▲, ⊙)` cap.
+    gw: Endpoint<VerifyTokenReq, Control, PgppGateway>,
     shared: Rc<RefCell<Shared>>,
     /// Attaches awaiting gateway token verification (PGPP mode).
     awaiting: Vec<(u64, Imsi, CellId, u32)>,
@@ -488,7 +497,7 @@ impl Node for NgcNode {
             self.on_message_recover(ctx, from, msg);
             return;
         }
-        if from == self.gw {
+        if from.0 == self.gw.index() {
             // Verification verdict for the oldest awaiting attach.
             let ok = msg.bytes == [1u8];
             let Some((t, imsi, cell, epoch)) = self.awaiting.pop() else {
@@ -524,7 +533,7 @@ impl Node for NgcNode {
                 token.extend_from_slice(&msg.bytes[16..]);
                 self.awaiting
                     .insert(0, (ctx.now.as_us(), imsi, cell, epoch));
-                ctx.send(self.gw, Message::new(token, Label::Public));
+                ctx.send_to(self.gw, Message::new(token, Label::Public));
             }
         }
     }
@@ -534,7 +543,7 @@ impl NgcNode {
     /// Recovery-mode message handling: everything is seq-framed, every
     /// attach is acknowledged, and duplicates replay rather than re-record.
     fn on_message_recover(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if from == self.gw {
+        if from.0 == self.gw.index() {
             // Verification verdict, addressed by our hop sequence.
             let Some((hopseq, body)) = wire::unframe(&msg.bytes) else {
                 return;
@@ -578,7 +587,7 @@ impl NgcNode {
                 // hop sequence (the gateway replays its verdict).
                 let mut fwd = vec![0x02u8];
                 fwd.extend_from_slice(&check.token);
-                ctx.send(
+                ctx.send_to(
                     self.gw,
                     Message::new(wire::frame(check.hopseq, &fwd), Label::Public),
                 );
@@ -628,7 +637,7 @@ impl NgcNode {
                     },
                 );
                 self.by_hop.insert(hopseq, (from, cseq));
-                ctx.send(
+                ctx.send_to(
                     self.gw,
                     Message::new(wire::frame(hopseq, &fwd), Label::Public),
                 );
@@ -724,6 +733,43 @@ impl Node for GwNode {
     }
 }
 
+/// Register one handset against the mode's typed core: the `(R, M)` pair
+/// is where the wiring states, in types, what its attaches reveal.
+#[allow(clippy::too_many_arguments)]
+fn add_phone<R: Role + 'static, M: WireLabel + dcp_core::Admits<R> + 'static>(
+    net: &mut dcp_runtime::Network,
+    config: &PgppConfig,
+    opts: &RunOptions,
+    i: usize,
+    u: UserId,
+    e: EntityId,
+    shared: &Rc<RefCell<Shared>>,
+    issuer_pk: dcp_crypto::oprf::PublicKey,
+    epoch_len_us: u64,
+) {
+    Harness::add_role::<Handset>(
+        net,
+        Box::new(PhoneNode::<R, M> {
+            entity: e,
+            user: u,
+            index: i,
+            mode: config.mode,
+            ngc: Endpoint::new(1),
+            gw: Endpoint::new(0),
+            cells: config.cells,
+            epochs: config.epochs,
+            moves_per_epoch: config.moves_per_epoch,
+            epoch_len_us,
+            shared: shared.clone(),
+            wallet: TokenClient::new(issuer_pk),
+            pending_issuance: None,
+            moves_done: 0,
+            calls: Driver::new(&opts.recover, derive_seed(config.seed, 0x9690 + i as u64)),
+            flow: i as u64,
+        }),
+    );
+}
+
 fn run_impl(config: &PgppConfig, opts: &RunOptions) -> PgppReport {
     use rand::SeedableRng;
     let config = *config;
@@ -769,12 +815,10 @@ fn run_impl(config: &PgppConfig, opts: &RunOptions) -> PgppReport {
     }
 
     let mut net = harness.network(world, LinkParams::wan_ms(5));
-    let gw_id = NodeId(0);
-    let ngc_id = NodeId(1);
+    let gw_ep: Endpoint<VerifyTokenReq, Control, PgppGateway> = Endpoint::new(0);
     let recover_on = opts.recover.enabled;
-    Harness::add(
+    Harness::add_role::<PgppGateway>(
         &mut net,
-        RoleKind::Service,
         Box::new(GwNode {
             entity: gw_e,
             shared: shared.clone(),
@@ -782,45 +826,47 @@ fn run_impl(config: &PgppConfig, opts: &RunOptions) -> PgppReport {
             verdicts: BTreeMap::new(),
         }),
     );
-    Harness::add(
-        &mut net,
-        RoleKind::Service,
-        Box::new(NgcNode {
-            entity: ngc_e,
-            mode: config.mode,
-            gw: gw_id,
-            shared: shared.clone(),
-            awaiting: Vec::new(),
-            recover: recover_on,
-            checks: BTreeMap::new(),
-            by_hop: BTreeMap::new(),
-            next_hop: 0,
-        }),
-    );
+    let ngc = Box::new(NgcNode {
+        entity: ngc_e,
+        mode: config.mode,
+        gw: gw_ep,
+        shared: shared.clone(),
+        awaiting: Vec::new(),
+        recover: recover_on,
+        checks: BTreeMap::new(),
+        by_hop: BTreeMap::new(),
+        next_hop: 0,
+    });
+    match config.mode {
+        Mode::Legacy => Harness::add_role::<LegacyCore>(&mut net, ngc),
+        Mode::Pgpp => Harness::add_role::<PgppCore>(&mut net, ngc),
+    };
     let epoch_len_us = 1_000_000;
     for (i, (&u, &e)) in users.iter().zip(phone_entities.iter()).enumerate() {
-        Harness::add(
-            &mut net,
-            RoleKind::Initiator,
-            Box::new(PhoneNode {
-                entity: e,
-                user: u,
-                index: i,
-                mode: config.mode,
-                ngc: ngc_id,
-                gw: gw_id,
-                cells: config.cells,
-                epochs: config.epochs,
-                moves_per_epoch: config.moves_per_epoch,
+        match config.mode {
+            Mode::Legacy => add_phone::<LegacyCore, LegacyAttach>(
+                &mut net,
+                &config,
+                opts,
+                i,
+                u,
+                e,
+                &shared,
+                issuer_pk,
                 epoch_len_us,
-                shared: shared.clone(),
-                wallet: TokenClient::new(issuer_pk),
-                pending_issuance: None,
-                moves_done: 0,
-                calls: Driver::new(&opts.recover, derive_seed(config.seed, 0x9690 + i as u64)),
-                flow: i as u64,
-            }),
-        );
+            ),
+            Mode::Pgpp => add_phone::<PgppCore, PgppAttach>(
+                &mut net,
+                &config,
+                opts,
+                i,
+                u,
+                e,
+                &shared,
+                issuer_pk,
+                epoch_len_us,
+            ),
+        }
     }
 
     let core = harness.finish(net);

@@ -28,6 +28,8 @@ pub mod field;
 pub mod population;
 pub mod prio;
 pub mod scenario;
+pub mod types;
 
 pub use scenario::{sweep, Ppm, PpmConfig, PpmReport};
+pub use types::declared_caps;
 pub mod share;

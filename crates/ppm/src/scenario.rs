@@ -7,14 +7,17 @@ use std::rc::Rc;
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, Label, MetricsReport, RoleKind,
-    RunOptions, Scenario, UserId, World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, Label, MetricsReport, RunOptions,
+    Scenario, UserId, World,
 };
-use dcp_runtime::{wire, Ctx, Harness, LinkParams, Message, Node, NodeId, Outbox, Trace};
+use dcp_runtime::{
+    wire, Control, Ctx, Endpoint, Harness, LinkParams, Message, Node, NodeId, Outbox, Trace,
+};
 use rand::Rng as _;
 
 use crate::field::Fe;
 use crate::prio::{Aggregator, SubmissionShare, TripleShare, VerifyMsg};
+use crate::types::{AccumShare, AggCollector, PrioAggregator, Reporter, ShareSubmission};
 
 /// Wire tags for the PPM protocol.
 const TAG_SUBMIT: u8 = 1;
@@ -244,8 +247,8 @@ fn decode_verify(bytes: &[u8], with_z: bool) -> (u64, VerifyMsg, Vec<Fe>) {
 struct ClientNode {
     entity: EntityId,
     user: UserId,
-    leader: NodeId,
-    helper: NodeId,
+    leader: Endpoint<ShareSubmission, Control, PrioAggregator>,
+    helper: Endpoint<ShareSubmission, Control, PrioAggregator>,
     value: u64,
     bits: usize,
     malicious: bool,
@@ -281,13 +284,13 @@ impl Node for ClientNode {
         let _ = delay; // submissions may race; the protocol is id-keyed
         let leader = self.leader;
         let helper = self.helper;
-        self.outbox.send(
+        self.outbox.send_to(
             ctx,
             leader,
             encode_submission(self.user.0, &shares[0]),
             label.clone(),
         );
-        self.outbox.send(
+        self.outbox.send_to(
             ctx,
             helper,
             encode_submission(self.user.0, &shares[1]),
@@ -318,8 +321,8 @@ struct Pending {
 
 struct LeaderNode {
     entity: EntityId,
-    helper: NodeId,
-    collector: NodeId,
+    helper: Endpoint<Control, Control, PrioAggregator>,
+    collector: Endpoint<AccumShare, Control, AggCollector>,
     agg: Aggregator,
     pending: HashMap<u64, Pending>,
     /// Round-1 messages that arrived before our own share did.
@@ -352,7 +355,8 @@ impl LeaderNode {
                 })
                 .collect();
             let collector = self.collector;
-            self.outbox.send(ctx, collector, bytes, Label::items(items));
+            self.outbox
+                .send_to(ctx, collector, bytes, Label::items(items));
         }
     }
 }
@@ -389,7 +393,7 @@ impl Node for LeaderNode {
                 ctx.world.crypto_op("prio_verify_r1");
                 let my_r1 = self.agg.verify_round1(&sub);
                 let helper = self.helper;
-                self.outbox.send(
+                self.outbox.send_to(
                     ctx,
                     helper,
                     encode_verify(TAG_LEADER_R1, id, &my_r1, None),
@@ -445,7 +449,7 @@ impl LeaderNode {
         self.done += 1;
         // Tell the helper our product shares so it can decide identically.
         let helper = self.helper;
-        self.outbox.send(
+        self.outbox.send_to(
             ctx,
             helper,
             encode_verify(TAG_LEADER_Z, id, &VerifyMsg::default(), Some(&my_z)),
@@ -457,8 +461,8 @@ impl LeaderNode {
 
 struct HelperNode {
     entity: EntityId,
-    leader: NodeId,
-    collector: NodeId,
+    leader: Endpoint<Control, Control, PrioAggregator>,
+    collector: Endpoint<AccumShare, Control, AggCollector>,
     agg: Aggregator,
     pending: HashMap<u64, Pending>,
     /// Submission ids ever accepted (dedup under duplicated deliveries).
@@ -489,7 +493,7 @@ impl HelperNode {
         // Send round1 + z to the leader.
         let my_r1 = p.my_r1.clone();
         let leader = self.leader;
-        self.outbox.send(
+        self.outbox.send_to(
             ctx,
             leader,
             encode_verify(TAG_HELPER_R1Z, id, &my_r1, Some(&my_z)),
@@ -528,7 +532,8 @@ impl HelperNode {
                 })
                 .collect();
             let collector = self.collector;
-            self.outbox.send(ctx, collector, bytes, Label::items(items));
+            self.outbox
+                .send_to(ctx, collector, bytes, Label::items(items));
         }
     }
 }
@@ -670,19 +675,18 @@ fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
         .sum();
 
     let mut net = harness.network(world, LinkParams::wan_ms(10));
-    let leader_id = NodeId(0);
-    let helper_id = NodeId(1);
-    let collector_id = NodeId(2);
+    // One node, several typed views: the helper is a `Control` peer to
+    // the leader but a `ShareSubmission` sink to the clients.
+    let collector_ep: Endpoint<AccumShare, Control, AggCollector> = Endpoint::new(2);
     let user_items: Vec<(u64, UserId)> = users.iter().map(|&u| (u.0, u)).collect();
 
     let recover_on = opts.recover.enabled;
-    Harness::add(
+    Harness::add_role::<PrioAggregator>(
         &mut net,
-        RoleKind::Service,
         Box::new(LeaderNode {
             entity: leader_e,
-            helper: helper_id,
-            collector: collector_id,
+            helper: Endpoint::new(1),
+            collector: collector_ep,
             agg: Aggregator::new(0),
             pending: HashMap::new(),
             early_r1: HashMap::new(),
@@ -694,13 +698,12 @@ fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
             outbox: Outbox::from_config(&opts.recover, derive_seed(config.seed, 0x991d)),
         }),
     );
-    Harness::add(
+    Harness::add_role::<PrioAggregator>(
         &mut net,
-        RoleKind::Service,
         Box::new(HelperNode {
             entity: helper_e,
-            leader: leader_id,
-            collector: collector_id,
+            leader: Endpoint::new(0),
+            collector: collector_ep,
             agg: Aggregator::new(1),
             pending: HashMap::new(),
             seen: std::collections::HashSet::new(),
@@ -715,9 +718,8 @@ fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
         }),
     );
     let result = Rc::new(RefCell::new(None));
-    Harness::add(
+    Harness::add_role::<AggCollector>(
         &mut net,
-        RoleKind::Service,
         Box::new(CollectorNode {
             entity: collector_e,
             shares: Vec::new(),
@@ -731,14 +733,13 @@ fn run_impl(config: &PpmConfig, opts: &RunOptions) -> PpmReport {
         .zip(values.iter())
         .enumerate()
     {
-        Harness::add(
+        Harness::add_role::<Reporter>(
             &mut net,
-            RoleKind::Initiator,
             Box::new(ClientNode {
                 entity: e,
                 user: u,
-                leader: leader_id,
-                helper: helper_id,
+                leader: Endpoint::new(0),
+                helper: Endpoint::new(1),
                 value: v,
                 bits: config.bits,
                 malicious: i < config.malicious,

@@ -1,0 +1,90 @@
+//! Label-bounded wire types and typed roles for the PPM wiring.
+//!
+//! Every [`WireLabel`] impl for this crate lives in this module (the CI
+//! layering lint holds wiring crates to that). Prio's split aggregation
+//! gives each leg its own bound: an aggregator sees *who* reports but
+//! only a uniform share — `(▲, ⊙)` — and the collector sees only the
+//! anonymous sum — `(△, ⊙)`, a cap strictly below the service default.
+
+use dcp_core::cap::{Addressed, Blinded, KnowledgeCap, WireLabel};
+use dcp_core::role::{Role, RoleKind};
+use dcp_core::Sensitivity;
+
+/// A measurement as content: the client's sensitive contribution.
+pub struct Measurement;
+
+impl WireLabel for Measurement {
+    const IDENTITY: Sensitivity = Sensitivity::NonSensitive;
+    const DATA: Sensitivity = Sensitivity::Sensitive;
+}
+
+/// One leg of a split submission: the reporting client's address (▲)
+/// around an information-theoretically uniform share (⊙).
+pub type ShareSubmission = Addressed<Blinded<Measurement>>;
+
+/// An accumulator share bound for the collector: no contributor
+/// identity, no individual value — `(△, ⊙)`.
+pub type AccumShare = Blinded<Measurement>;
+
+/// A reporting client (initiator).
+pub struct Reporter;
+
+impl Role for Reporter {
+    const KIND: RoleKind = RoleKind::Initiator;
+    const NAME: &'static str = "ppm-reporter";
+}
+
+/// Either aggregator (leader or helper): knows who reported, never what
+/// — `(▲, ⊙)` declared as an override of the service default.
+pub struct PrioAggregator;
+
+impl Role for PrioAggregator {
+    const KIND: RoleKind = RoleKind::Service;
+    const NAME: &'static str = "ppm-aggregator";
+    const CAP: KnowledgeCap = KnowledgeCap::new(Sensitivity::Sensitive, Sensitivity::NonSensitive);
+}
+
+/// The collector: anonymous membership and the aggregate only —
+/// `(△, ⊙)`, strictly below the `(△, ●)` service default.
+pub struct AggCollector;
+
+impl Role for AggCollector {
+    const KIND: RoleKind = RoleKind::Service;
+    const NAME: &'static str = "ppm-collector";
+    const CAP: KnowledgeCap =
+        KnowledgeCap::new(Sensitivity::NonSensitive, Sensitivity::NonSensitive);
+}
+
+/// Entity-name rows (matched by prefix) → declared caps, reconciled
+/// against runtime ledgers by the cap-reconciliation proptest.
+pub fn declared_caps() -> Vec<(&'static str, KnowledgeCap)> {
+    vec![
+        ("Client", Reporter::CAP),
+        ("Aggregator", PrioAggregator::CAP),
+        ("Helper Aggregator", PrioAggregator::CAP),
+        ("Collector", AggCollector::CAP),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_cap_sits_below_the_service_default() {
+        assert_eq!(PrioAggregator::CAP.render(), "(▲, ⊙)");
+        assert_eq!(AggCollector::CAP.render(), "(△, ⊙)");
+        // A raw measurement fits neither aggregator nor collector.
+        assert!(!PrioAggregator::CAP.admits(Measurement::IDENTITY, Measurement::DATA));
+        assert!(!AggCollector::CAP.admits(Measurement::IDENTITY, Measurement::DATA));
+        // A share leg fits the aggregator but not the collector (▲).
+        assert!(PrioAggregator::CAP.admits(
+            <ShareSubmission as WireLabel>::IDENTITY,
+            <ShareSubmission as WireLabel>::DATA
+        ));
+        assert!(!AggCollector::CAP.admits(
+            <ShareSubmission as WireLabel>::IDENTITY,
+            <ShareSubmission as WireLabel>::DATA
+        ));
+    }
+}

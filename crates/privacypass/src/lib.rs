@@ -23,7 +23,9 @@ pub mod cacti;
 pub mod population;
 pub mod protocol;
 pub mod scenario;
+pub mod types;
 
 pub use scenario::{sweep, Privacypass, PrivacypassConfig, ScenarioReport};
+pub use types::declared_caps;
 
 pub use protocol::{Client, Issuer, RedeemError, Token};

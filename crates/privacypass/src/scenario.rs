@@ -7,17 +7,20 @@ use std::rc::Rc;
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, Label, MetricsReport, RoleKind,
-    RunOptions, Scenario, UserId, World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, Label, MetricsReport, RunOptions,
+    Scenario, UserId, World,
 };
 use dcp_crypto::oprf::{BlindedElement, DleqProof, EvaluatedElement};
 use dcp_runtime::{
-    mean_us, wire, Attempt, CallEvent, Ctx, Driver, Harness, LinkParams, Message, Node, NodeId,
-    RetryLinkage, SimTime, Trace,
+    mean_us, wire, Attempt, CallEvent, Control, Ctx, Driver, Endpoint, Harness, LinkParams,
+    Message, Node, NodeId, RetryLinkage, SimTime, Trace, TypedSend,
 };
 use dcp_transport::frame::{Frame, FrameRef, FrameType};
 
 use crate::protocol::{Client, Issuer, Token};
+use crate::types::{
+    AccessRequest, IssuanceReq, RedeemCheckReq, TokenClient, TokenIssuer, TokenOrigin,
+};
 
 /// Result of a scenario run.
 pub struct ScenarioReport {
@@ -175,8 +178,11 @@ enum PpInflight {
 struct ClientNode {
     entity: EntityId,
     user: UserId,
-    issuer: NodeId,
-    origin: NodeId,
+    /// The issuance endpoint: the typed claim that the issuer sees
+    /// `(▲, ⊙)` — an authenticated account, a blinded batch.
+    issuer: Endpoint<IssuanceReq, Control, TokenIssuer>,
+    /// The redemption endpoint: the origin sees `(△, ●)`.
+    origin: Endpoint<AccessRequest, Control, TokenOrigin>,
     shared: Rc<RefCell<Shared>>,
     state: Option<crate::protocol::IssuanceRequest>,
     client: Client,
@@ -209,7 +215,7 @@ impl Node for ClientNode {
         // Issuance: the client authenticates (solves the issuer's
         // challenge) — the issuer learns ▲ but only blinded elements ⊙.
         let (bytes, label) = self.issuance_request(ctx);
-        ctx.send(
+        ctx.send_to(
             self.issuer,
             Message::new(
                 Frame::new(FrameType::Token, bytes)
@@ -250,7 +256,7 @@ impl Node for ClientNode {
                 return;
             };
             match self.calls.get(seq) {
-                Some(PpInflight::Issuance) if from == self.issuer => {
+                Some(PpInflight::Issuance) if from.0 == self.issuer.index() => {
                     let Ok(frame) = FrameRef::decode(body) else {
                         return;
                     };
@@ -271,7 +277,7 @@ impl Node for ClientNode {
                     }
                     self.fetch(ctx);
                 }
-                Some(PpInflight::Fetch { started_at, .. }) if from == self.origin => {
+                Some(PpInflight::Fetch { started_at, .. }) if from.0 == self.origin.index() => {
                     let started_at = *started_at;
                     if self.calls.complete(seq).is_none() {
                         return; // duplicated verdict: counted exactly once
@@ -287,7 +293,7 @@ impl Node for ClientNode {
             }
             return;
         }
-        if from == self.issuer {
+        if from.0 == self.issuer.index() {
             // Fail closed: a malformed or duplicated issuance response is
             // ignored — the client never falls back to unblinded tokens.
             let Ok(frame) = FrameRef::decode(&msg.bytes) else {
@@ -304,7 +310,7 @@ impl Node for ClientNode {
                 return; // bad DLEQ proof: refuse the batch
             }
             self.fetch(ctx);
-        } else if from == self.origin {
+        } else if from.0 == self.origin.index() {
             ctx.world
                 .span("fetch", self.started_at.as_us(), ctx.now.as_us());
             self.shared
@@ -361,14 +367,10 @@ impl ClientNode {
             .borrow_mut()
             .linkage
             .record(self.flow, att.seq, att.attempt, &bytes);
-        let framed = wire::frame(
-            att.seq,
-            &Frame::new(FrameType::Token, bytes)
-                .encode()
-                .expect("bounded payload"),
-        );
-        ctx.send(self.issuer, Message::new(framed, label));
-        ctx.set_timer(att.timer_delay_us, att.token);
+        let encoded = Frame::new(FrameType::Token, bytes)
+            .encode()
+            .expect("bounded payload");
+        self.calls.transmit(ctx, self.issuer, &att, &encoded, label);
     }
 
     /// Retransmit redemption `att.seq`. The token payload is deliberately
@@ -377,14 +379,10 @@ impl ClientNode {
     /// into the linkage check; the origin dedups by `(client, seq)`.
     fn transmit_fetch(&mut self, ctx: &mut Ctx, payload: &[u8], att: Attempt) {
         let label = self.fetch_label();
-        let framed = wire::frame(
-            att.seq,
-            &Frame::new(FrameType::Data, payload.to_vec())
-                .encode()
-                .expect("bounded payload"),
-        );
-        ctx.send(self.origin, Message::new(framed, label));
-        ctx.set_timer(att.timer_delay_us, att.token);
+        let encoded = Frame::new(FrameType::Data, payload.to_vec())
+            .encode()
+            .expect("bounded payload");
+        self.calls.transmit(ctx, self.origin, &att, &encoded, label);
     }
 
     fn fetch_label(&self) -> Label {
@@ -419,7 +417,7 @@ impl ClientNode {
             return;
         }
         let label = self.fetch_label();
-        ctx.send(
+        ctx.send_to(
             self.origin,
             Message::new(
                 Frame::new(FrameType::Data, payload)
@@ -551,7 +549,9 @@ struct RedeemCheck {
 
 struct OriginNode {
     entity: EntityId,
-    issuer: NodeId,
+    /// The redemption-check endpoint: the forwarded token is unlinkable,
+    /// well under the issuer's `(▲, ⊙)` cap.
+    issuer: Endpoint<RedeemCheckReq, Control, TokenIssuer>,
     shared: Rc<RefCell<Shared>>,
     /// Requests awaiting issuer verification: (client node, request label).
     pending: Vec<(NodeId, Label)>,
@@ -581,7 +581,7 @@ impl Node for OriginNode {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if from == self.issuer {
+        if from.0 == self.issuer.index() {
             if self.recover {
                 let Some((hopseq, body)) = wire::unframe(&msg.bytes) else {
                     return;
@@ -652,7 +652,7 @@ impl Node for OriginNode {
                         let fwd = Frame::new(FrameType::Data, check.token.clone())
                             .encode()
                             .expect("bounded payload");
-                        ctx.send(
+                        ctx.send_to(
                             self.issuer,
                             Message::new(wire::frame(check.hopseq, &fwd), Label::Public),
                         );
@@ -675,7 +675,7 @@ impl Node for OriginNode {
             let fwd = Frame::new(FrameType::Data, token)
                 .encode()
                 .expect("bounded payload");
-            ctx.send(
+            ctx.send_to(
                 self.issuer,
                 Message::new(wire::frame(hopseq, &fwd), Label::Public),
             );
@@ -692,7 +692,7 @@ impl Node for OriginNode {
         self.pending.insert(0, (from, msg.label.clone()));
         // Forward only the token to the issuer — carries no user-
         // attributable information (unlinkable).
-        ctx.send(
+        ctx.send_to(
             self.issuer,
             Message::new(
                 Frame::new(FrameType::Data, token_bytes.to_vec())
@@ -743,12 +743,12 @@ fn run_impl(cfg: &PrivacypassConfig, seed: u64, opts: &RunOptions) -> ScenarioRe
 
     let mut net = harness.network(world, LinkParams::wan_ms(15));
 
-    let issuer_id = NodeId(0);
-    let origin_id = NodeId(1);
+    let issuance_ep: Endpoint<IssuanceReq, Control, TokenIssuer> = Endpoint::new(0);
+    let check_ep: Endpoint<RedeemCheckReq, Control, TokenIssuer> = Endpoint::new(0);
+    let origin_ep: Endpoint<AccessRequest, Control, TokenOrigin> = Endpoint::new(1);
     let recover_on = opts.recover.enabled;
-    Harness::add(
+    Harness::add_role::<TokenIssuer>(
         &mut net,
-        RoleKind::Service,
         Box::new(IssuerNode {
             entity: issuer_e,
             shared: shared.clone(),
@@ -756,12 +756,11 @@ fn run_impl(cfg: &PrivacypassConfig, seed: u64, opts: &RunOptions) -> ScenarioRe
             verdicts: BTreeMap::new(),
         }),
     );
-    Harness::add(
+    Harness::add_role::<TokenOrigin>(
         &mut net,
-        RoleKind::Service,
         Box::new(OriginNode {
             entity: origin_e,
-            issuer: issuer_id,
+            issuer: check_ep,
             shared: shared.clone(),
             pending: Vec::new(),
             recover: recover_on,
@@ -771,14 +770,13 @@ fn run_impl(cfg: &PrivacypassConfig, seed: u64, opts: &RunOptions) -> ScenarioRe
         }),
     );
     for (ci, (&u, &e)) in users.iter().zip(client_entities.iter()).enumerate() {
-        Harness::add(
+        Harness::add_role::<TokenClient>(
             &mut net,
-            RoleKind::Initiator,
             Box::new(ClientNode {
                 entity: e,
                 user: u,
-                issuer: issuer_id,
-                origin: origin_id,
+                issuer: issuance_ep,
+                origin: origin_ep,
                 shared: shared.clone(),
                 state: None,
                 client: Client::new(issuer_pk),

@@ -1,0 +1,79 @@
+//! Label-bounded wire types and typed roles for the Privacy Pass wiring.
+//!
+//! Every [`WireLabel`] impl for this crate lives in this module (the CI
+//! layering lint holds wiring crates to that), so the Fig. 2 table rows
+//! are declared in one place: the issuer is bounded at `(▲, ⊙)` — it
+//! authenticates the account but sees only blinded elements — and the
+//! origin at the service default `(△, ●)`.
+
+use dcp_core::cap::{Addressed, Blinded, KnowledgeCap, WireLabel};
+use dcp_core::role::{Role, RoleKind};
+use dcp_core::Sensitivity;
+
+/// An authorized fetch as the origin reads it: sensitive activity data
+/// (`●`) from a bearer whose identity is only the anonymous token (`△`).
+pub struct AccessRequest;
+
+impl WireLabel for AccessRequest {
+    const IDENTITY: Sensitivity = Sensitivity::NonSensitive;
+    const DATA: Sensitivity = Sensitivity::Sensitive;
+}
+
+/// The issuance leg client → issuer: the client authenticates (▲ rides
+/// the envelope) but the batch itself is blinded (⊙) — exactly the
+/// `(▲, ⊙)` cell of the paper's table, as a type.
+pub type IssuanceReq = Addressed<Blinded<AccessRequest>>;
+
+/// The redemption-check leg origin → issuer: a bare unlinkable token,
+/// attributable to no one.
+pub type RedeemCheckReq = Blinded<AccessRequest>;
+
+/// The token client (initiator).
+pub struct TokenClient;
+
+impl Role for TokenClient {
+    const KIND: RoleKind = RoleKind::Initiator;
+    const NAME: &'static str = "pp-client";
+}
+
+/// The Fig. 2 issuer: architecturally a service (it answers issuance and
+/// redemption RPCs), knowledge-bounded like a relay — `(▲, ⊙)`, the
+/// paper's cell, declared as an override of the service default.
+pub struct TokenIssuer;
+
+impl Role for TokenIssuer {
+    const KIND: RoleKind = RoleKind::Service;
+    const NAME: &'static str = "pp-issuer";
+    const CAP: KnowledgeCap = KnowledgeCap::new(Sensitivity::Sensitive, Sensitivity::NonSensitive);
+}
+
+/// The origin serving authorized fetches: the service default `(△, ●)`.
+pub struct TokenOrigin;
+
+impl Role for TokenOrigin {
+    const KIND: RoleKind = RoleKind::Service;
+    const NAME: &'static str = "pp-origin";
+}
+
+/// Entity-name rows (matched by prefix) → declared caps, reconciled
+/// against runtime knowledge ledgers by the cap-reconciliation proptest.
+pub fn declared_caps() -> Vec<(&'static str, KnowledgeCap)> {
+    vec![
+        ("Client", TokenClient::CAP),
+        ("Issuer", TokenIssuer::CAP),
+        ("Origin", TokenOrigin::CAP),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_mirror_the_paper_table() {
+        assert_eq!(TokenClient::CAP.render(), "(▲, ●)");
+        assert_eq!(TokenIssuer::CAP.render(), "(▲, ⊙)");
+        assert_eq!(TokenOrigin::CAP.render(), "(△, ●)");
+        assert!(!TokenIssuer::CAP.is_coupled());
+    }
+}

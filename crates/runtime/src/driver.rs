@@ -2,9 +2,14 @@
 
 use std::collections::BTreeMap;
 
+use dcp_core::cap::{Admits, WireLabel};
 use dcp_core::recover::RecoverConfig;
-use dcp_recover::{emit_give_up, emit_retry, Attempt, ReliableCall, TimerVerdict};
-use dcp_simnet::Ctx;
+use dcp_core::role::{Endpoint, Role};
+use dcp_core::Label;
+use dcp_recover::{emit_give_up, emit_retry, wire, Attempt, ReliableCall, TimerVerdict};
+use dcp_simnet::{Ctx, Message};
+
+use crate::typed::TypedSend;
 
 /// What the [`Driver`] decided about a fired timer token.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,6 +134,33 @@ impl<T> Driver<T> {
                 }
             }
         }
+    }
+
+    /// One label-bounded (re)transmission of reliable call `att`: frame
+    /// the protocol bytes under the attempt's sequence number, send them
+    /// through the typed path, and arm the retry timer — the exact step
+    /// every wiring's transmit hook performed by hand, now carrying the
+    /// [`Admits`] bound so the coupling check happens where the retry
+    /// loop's bytes leave the role. The caller still re-randomizes
+    /// (re-seals, re-blinds) `bytes` per attempt; this helper never
+    /// caches them.
+    pub fn transmit<Req, Resp, R>(
+        &self,
+        ctx: &mut Ctx,
+        ep: Endpoint<Req, Resp, R>,
+        att: &Attempt,
+        bytes: &[u8],
+        label: Label,
+    ) where
+        Req: WireLabel + Admits<R>,
+        R: Role,
+    {
+        debug_assert!(
+            self.inflight.contains_key(&att.seq),
+            "transmit of a call that is not in flight"
+        );
+        ctx.send_to(ep, Message::new(wire::frame(att.seq, bytes), label));
+        ctx.set_timer(att.timer_delay_us, att.token);
     }
 
     /// Number of open (incomplete, unabandoned) calls.

@@ -1,7 +1,7 @@
 //! Run setup/teardown: the choreography every scenario wiring repeated.
 
 use dcp_core::faults::{FaultConfig, FaultLog};
-use dcp_core::role::RoleKind;
+use dcp_core::role::{Role, RoleKind};
 use dcp_core::{MetricsReport, RunOptions, World};
 use dcp_obs::MetricsHandle;
 use dcp_simnet::{LinkParams, Network, Node, NodeId, Trace};
@@ -81,6 +81,16 @@ impl Harness {
             net.mark_relay(id);
         }
         id
+    }
+
+    /// Register a node under its typed role: simulator treatment derives
+    /// from `R::KIND` exactly as in [`add`](Harness::add), and the
+    /// registration names the [`KnowledgeCap`](dcp_core::KnowledgeCap)
+    /// this node is bounded by — the [`Endpoint`](dcp_core::Endpoint)s
+    /// other roles hold toward it carry `R`, so every typed send toward
+    /// this node is admission-checked at compile time.
+    pub fn add_role<R: Role>(net: &mut Network, node: Box<dyn Node>) -> NodeId {
+        Self::add(net, R::KIND, node)
     }
 
     /// Register a fleet directory node: marked on the simulator so the

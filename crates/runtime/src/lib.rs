@@ -30,6 +30,12 @@
 //!   logic that `dcp-serve` hosts over real TCP sockets while the DST
 //!   drives its deterministic twin here, with information-flow labels
 //!   riding an out-of-band verification channel (never the socket).
+//! * [`TypedSend`] — the label-bounded send path: wirings hold
+//!   role-owning [`Endpoint`]s and every forward transmission forces the
+//!   [`Admits`] witness, so a message whose plaintext-visible
+//!   [`WireLabel`] caps exceed the receiving role's [`KnowledgeCap`]
+//!   fails to *compile* (see `docs/ARCHITECTURE.md`, "Compile-time
+//!   decoupling").
 //! * Re-exports of the full simulator/recovery surface scenarios need
 //!   ([`Ctx`], [`Message`], [`Network`], [`wire`], [`Dedup`],
 //!   [`HopMap`], [`Failover`], …), so scenario crates depend on *this*
@@ -47,11 +53,14 @@ mod driver;
 mod harness;
 mod outbox;
 pub mod seam;
+mod typed;
 
 pub use driver::{CallEvent, Driver};
 pub use harness::{mean_us, Harness, RunCore};
 pub use outbox::Outbox;
+pub use typed::TypedSend;
 
+pub use dcp_core::cap::{Addressed, Admits, Blinded, Control, KnowledgeCap, Sealed, WireLabel};
 pub use dcp_core::role::{Endpoint, Role, RoleKind};
 pub use dcp_fleet::{
     entities_silent, restricted_fingerprint, DirectoryNode, EpochError, FleetClient, FleetConfig,

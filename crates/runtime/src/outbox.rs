@@ -2,7 +2,9 @@
 
 use std::collections::BTreeMap;
 
+use dcp_core::cap::{Admits, WireLabel};
 use dcp_core::recover::RecoverConfig;
+use dcp_core::role::{Endpoint, Role};
 use dcp_core::Label;
 use dcp_recover::{emit_give_up, emit_retry, wire, ReliableCall, TimerVerdict};
 use dcp_simnet::{Ctx, Message, NodeId};
@@ -46,6 +48,25 @@ impl Outbox {
         } else {
             ctx.send(dest, Message::new(bytes, label));
         }
+    }
+
+    /// Label-bounded variant of [`send`](Outbox::send): identical
+    /// reliable-send semantics, with the peer named by a label-bounded
+    /// [`Endpoint`] so the admission check happens at compile time —
+    /// one-way flows get the same `(▲, ●)` guarantee as request/response
+    /// drivers.
+    pub fn send_to<Req, Resp, R>(
+        &mut self,
+        ctx: &mut Ctx,
+        ep: Endpoint<Req, Resp, R>,
+        bytes: Vec<u8>,
+        label: Label,
+    ) where
+        Req: WireLabel + Admits<R>,
+        R: Role,
+    {
+        let _: () = <Req as Admits<R>>::WITNESS;
+        self.send(ctx, NodeId(ep.index()), bytes, label);
     }
 
     /// Handle a timer tick: retransmit (byte-identically) or give up.

@@ -24,7 +24,8 @@
 //! no shared world; bytes still flow, and the twin check is the loopback
 //! run's job.
 
-use dcp_core::role::RoleKind;
+use dcp_core::cap::{Admits, WireLabel};
+use dcp_core::role::{Endpoint, Role, RoleKind};
 use dcp_core::{EntityId, InfoItem, Label, World};
 use rand::rngs::StdRng;
 
@@ -111,6 +112,22 @@ impl<'a> WireCtx<'a> {
     /// Queue a frame for delivery to `to`.
     pub fn send(&mut self, to: PeerId, msg: WireMsg) {
         self.out.push((to, msg));
+    }
+
+    /// Label-bounded variant of [`send`](WireCtx::send): the peer is
+    /// named by an [`Endpoint`] over the spec's role table
+    /// ([`Endpoint::index`] is the [`PeerId`] index), and the endpoint's
+    /// request type must be admitted by the peer role's declared
+    /// [`KnowledgeCap`](dcp_core::KnowledgeCap) — served wirings inherit
+    /// the same compile-time coupling check as simulated ones, for free.
+    pub fn send_to<Req, Resp, R>(&mut self, ep: Endpoint<Req, Resp, R>, msg: WireMsg)
+    where
+        Req: WireLabel + Admits<R>,
+        R: Role,
+    {
+        let _: () = <Req as Admits<R>>::WITNESS;
+        let index = u16::try_from(ep.index()).expect("role-table index fits a PeerId");
+        self.send(PeerId(index), msg);
     }
 
     /// Record an item into this role's own knowledge ledger (the serve
@@ -219,6 +236,21 @@ pub struct ServeSpec {
     pub roles: Vec<RoleSpec>,
     /// Work units the wiring should complete end-to-end.
     pub expected_units: u64,
+}
+
+impl RoleSpec {
+    /// Build a spec whose kind derives from the typed role marker — the
+    /// served twin of [`Harness::add_role`](crate::Harness::add_role), so
+    /// a served wiring's role table carries the same declared caps its
+    /// simulated twin registers under.
+    pub fn of<R: Role>(name: impl Into<String>, entity: EntityId, role: Box<dyn WireRole>) -> Self {
+        RoleSpec {
+            name: name.into(),
+            entity,
+            kind: R::KIND,
+            role,
+        }
+    }
 }
 
 impl ServeSpec {

@@ -6,13 +6,17 @@ use std::rc::Rc;
 use dcp_core::sweep::derive_seed;
 use dcp_core::table::DecouplingTable;
 use dcp_core::{
-    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RoleKind,
-    RunOptions, Scenario, UserId, World,
+    DataKind, EntityId, FaultLog, IdentityKind, InfoItem, KeyId, Label, MetricsReport, RunOptions,
+    Scenario, UserId, World,
 };
 use dcp_crypto::hpke;
 use dcp_runtime::{
-    mean_us, wire, Attempt, CallEvent, Ctx, Driver, Harness, HopMap, LinkParams, Message, Node,
-    NodeId, RetryLinkage, SimTime, Tap, Trace,
+    mean_us, wire, Attempt, CallEvent, Control, Ctx, Driver, Endpoint, Harness, HopMap, LinkParams,
+    Message, Node, NodeId, RetryLinkage, SimTime, Tap, Trace, TypedSend,
+};
+
+use crate::types::{
+    Browser, EchHello, HttpRequest, Origin, Subscriber, TlsTerminator, TunnelReq, TunnelServer,
 };
 
 const REQUEST: &[u8] = b"GET /account/medical-records HTTP/1.1";
@@ -165,7 +169,10 @@ const SESSION_CONT: u8 = 0x02;
 struct VpnClient {
     entity: EntityId,
     user: UserId,
-    vpn: NodeId,
+    /// The tunnel endpoint: sending here is the typed claim that the VPN
+    /// server may see `(▲, ●)` — which compiles only because
+    /// [`TunnelServer`] declares itself coupled by design.
+    vpn: Endpoint<TunnelReq, Control, TunnelServer>,
     vpn_pk: [u8; 32],
     vpn_key: KeyId,
     fetches_left: usize,
@@ -234,7 +241,7 @@ impl VpnClient {
             hpke::seal(ctx.rng, &self.vpn_pk, b"vpn", b"", REQUEST).expect("seal")
         };
         let label = self.tunnel_label();
-        ctx.send(self.vpn, Message::new(sealed, label));
+        ctx.send_to(self.vpn, Message::new(sealed, label));
     }
 
     /// One (re)transmission of reliable call `att.seq`: a *fresh* HPKE
@@ -248,8 +255,7 @@ impl VpnClient {
             .linkage
             .record(self.flow, att.seq, att.attempt, &sealed);
         let label = self.tunnel_label();
-        ctx.send(self.vpn, Message::new(wire::frame(att.seq, &sealed), label));
-        ctx.set_timer(att.timer_delay_us, att.token);
+        self.calls.transmit(ctx, self.vpn, &att, &sealed, label);
     }
 
     fn fetch_done(&mut self, ctx: &mut Ctx) {
@@ -311,7 +317,9 @@ impl Node for VpnClient {
 struct VpnServer {
     entity: EntityId,
     kp: hpke::Keypair,
-    origin: NodeId,
+    /// The egress endpoint: the proxied request is admitted by the
+    /// origin's default `(△, ●)` service cap.
+    origin: Endpoint<HttpRequest, Control, Origin>,
     back: Vec<(NodeId, UserId)>,
     node_user: Vec<(NodeId, UserId)>,
     /// Is the run's recovery layer on?
@@ -332,7 +340,7 @@ impl Node for VpnServer {
         self.entity
     }
     fn on_message(&mut self, ctx: &mut Ctx, from: NodeId, msg: Message) {
-        if from == self.origin {
+        if from.0 == self.origin.index() {
             if self.recover {
                 let Some((pseq, body)) = wire::unframe(&msg.bytes) else {
                     return;
@@ -412,10 +420,10 @@ impl Node for VpnServer {
         ]);
         if let Some(cseq) = cseq {
             let pseq = self.hop.insert((from, cseq));
-            ctx.send(self.origin, Message::new(wire::frame(pseq, &req), label));
+            ctx.send_to(self.origin, Message::new(wire::frame(pseq, &req), label));
         } else {
             self.back.insert(0, (from, user));
-            ctx.send(self.origin, Message::new(req, label));
+            ctx.send_to(self.origin, Message::new(req, label));
         }
     }
 }
@@ -474,7 +482,8 @@ fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
 
     let mut net = harness.network(world, LinkParams::wan_ms(10));
     let vpn_id = NodeId(0);
-    let origin_id = NodeId(1);
+    let vpn_ep: Endpoint<TunnelReq, Control, TunnelServer> = Endpoint::new(0);
+    let origin_ep: Endpoint<HttpRequest, Control, Origin> = Endpoint::new(1);
 
     let node_user: Vec<(NodeId, UserId)> = users
         .iter()
@@ -488,13 +497,12 @@ fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
     // fault injection): each attempt must be a fresh encapsulation so no
     // on-path observer can link retries by ciphertext (`RetryLinkage`).
     let reuse_on = !recover_on && !opts.faults.enabled;
-    Harness::add(
+    Harness::add_role::<TunnelServer>(
         &mut net,
-        RoleKind::Relay,
         Box::new(VpnServer {
             entity: vpn_e,
             kp: vpn_kp.clone(),
-            origin: origin_id,
+            origin: origin_ep,
             back: Vec::new(),
             node_user,
             recover: recover_on,
@@ -503,9 +511,8 @@ fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
             rx: std::collections::BTreeMap::new(),
         }),
     );
-    Harness::add(
+    Harness::add_role::<Origin>(
         &mut net,
-        RoleKind::Service,
         Box::new(PlainOrigin {
             entity: origin_e,
             recover: recover_on,
@@ -517,13 +524,12 @@ fn run_vpn_impl(cfg: &VpnConfig, seed: u64, opts: &RunOptions) -> VpnReport {
         linkage: RetryLinkage::new(),
     }));
     for (ci, (&u, &e)) in users.iter().zip(user_entities.iter()).enumerate() {
-        Harness::add(
+        Harness::add_role::<Subscriber>(
             &mut net,
-            RoleKind::Initiator,
             Box::new(VpnClient {
                 entity: e,
                 user: u,
-                vpn: vpn_id,
+                vpn: vpn_ep,
                 vpn_pk: vpn_kp.public,
                 vpn_key,
                 fetches_left: fetches_each,
@@ -666,7 +672,10 @@ struct EchStats {
 struct EchClient {
     entity: EntityId,
     user: UserId,
-    server: NodeId,
+    /// The handshake endpoint: typed `(▲, ●)` — admitted only because
+    /// [`TlsTerminator`] declares itself coupled by design (§4.1's
+    /// honest admission).
+    server: Endpoint<EchHello, Control, TlsTerminator>,
     server_pk: [u8; 32],
     server_key: KeyId,
     ech: bool,
@@ -705,11 +714,7 @@ impl EchClient {
                 .linkage
                 .record(0, att.seq, att.attempt, &bytes);
         }
-        ctx.send(
-            self.server,
-            Message::new(wire::frame(att.seq, &bytes), label),
-        );
-        ctx.set_timer(att.timer_delay_us, att.token);
+        self.calls.transmit(ctx, self.server, &att, &bytes, label);
     }
 }
 
@@ -731,7 +736,7 @@ impl Node for EchClient {
             return;
         }
         let (bytes, label) = self.client_hello(ctx);
-        ctx.send(self.server, Message::new(bytes, label));
+        ctx.send_to(self.server, Message::new(bytes, label));
     }
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
         match self.calls.on_timer(ctx, token) {
@@ -818,15 +823,14 @@ fn run_ech_impl(cfg: &EchConfig, seed: u64, opts: &RunOptions) -> EchReport {
     let server_key = world.new_key(&[server_e]);
 
     let mut net = harness.network(world, LinkParams::wan_ms(10));
-    let server_id = NodeId(0);
+    let server_ep: Endpoint<EchHello, Control, TlsTerminator> = Endpoint::new(0);
     let recover_on = opts.recover.enabled;
     let stats = Rc::new(RefCell::new(EchStats {
         completed: 0,
         linkage: RetryLinkage::new(),
     }));
-    Harness::add(
+    Harness::add_role::<TlsTerminator>(
         &mut net,
-        RoleKind::Service,
         Box::new(TlsServer {
             entity: server_e,
             kp: kp.clone(),
@@ -834,13 +838,12 @@ fn run_ech_impl(cfg: &EchConfig, seed: u64, opts: &RunOptions) -> EchReport {
             recover: recover_on,
         }),
     );
-    Harness::add(
+    Harness::add_role::<Browser>(
         &mut net,
-        RoleKind::Initiator,
         Box::new(EchClient {
             entity: client_e,
             user,
-            server: server_id,
+            server: server_ep,
             server_pk: kp.public,
             server_key,
             ech,

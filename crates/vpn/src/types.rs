@@ -1,0 +1,119 @@
+//! Label-bounded wire types and typed roles for the VPN and ECH wirings.
+//!
+//! Every [`WireLabel`] impl for this crate lives in this module — the CI
+//! layering lint holds wiring crates to that, so a message type's
+//! declared caps are always found next to the roles they bound.
+//!
+//! The declarations *are* the paper's §3.3/§4.1 table rows: the tunnel
+//! terminator and the TLS server are the paper's negative examples, and
+//! both must say [`KnowledgeCap::coupled_by_design`] out loud to compile
+//! — silently wiring a `(▲, ●)` message to a default-capped role is a
+//! build error.
+
+use dcp_core::cap::{Addressed, KnowledgeCap, WireLabel};
+use dcp_core::role::{Role, RoleKind};
+use dcp_core::Sensitivity;
+
+/// An HTTP fetch as a terminating hop sees it after decryption: no
+/// identity of its own, sensitive destination + content (`●`).
+pub struct HttpRequest;
+
+impl WireLabel for HttpRequest {
+    const IDENTITY: Sensitivity = Sensitivity::NonSensitive;
+    const DATA: Sensitivity = Sensitivity::Sensitive;
+}
+
+/// The tunnel leg client → VPN: the subscriber's address rides the
+/// envelope and the VPN server terminates the encryption, so delivery
+/// reveals `(▲, ●)` — the §3.3 coupling, stated in the type.
+pub type TunnelReq = Addressed<HttpRequest>;
+
+/// A ClientHello's server name as the TLS server reads it: sensitive
+/// destination data, no identity of its own.
+pub struct SniHello;
+
+impl WireLabel for SniHello {
+    const IDENTITY: Sensitivity = Sensitivity::NonSensitive;
+    const DATA: Sensitivity = Sensitivity::Sensitive;
+}
+
+/// The handshake leg client → TLS server: the client's address plus the
+/// SNI the server will read (sealed or not, the *server* always sees it)
+/// — `(▲, ●)`, ECH's honest admission that the server stays coupled.
+pub type EchHello = Addressed<SniHello>;
+
+/// The VPN subscriber (initiator): holds `(▲, ●)` by definition.
+pub struct Subscriber;
+
+impl Role for Subscriber {
+    const KIND: RoleKind = RoleKind::Initiator;
+    const NAME: &'static str = "vpn-subscriber";
+}
+
+/// The §3.3 trusted-intermediary VPN server. Architecturally a relay,
+/// but it terminates the tunnel — the paper's point is that it
+/// re-couples, so its cap must be declared coupled to admit
+/// [`TunnelReq`].
+pub struct TunnelServer;
+
+impl Role for TunnelServer {
+    const KIND: RoleKind = RoleKind::Relay;
+    const NAME: &'static str = "vpn-server";
+    const CAP: KnowledgeCap = KnowledgeCap::coupled_by_design();
+}
+
+/// The origin behind the VPN: sees the request, never the subscriber —
+/// the default service cap `(△, ●)`.
+pub struct Origin;
+
+impl Role for Origin {
+    const KIND: RoleKind = RoleKind::Service;
+    const NAME: &'static str = "vpn-origin";
+}
+
+/// The ECH browser (initiator).
+pub struct Browser;
+
+impl Role for Browser {
+    const KIND: RoleKind = RoleKind::Initiator;
+    const NAME: &'static str = "ech-browser";
+}
+
+/// The §4.1 TLS server: ECH hides the SNI from the *network*, but the
+/// server's own view is unchanged — `(▲, ●)`, coupled by design.
+pub struct TlsTerminator;
+
+impl Role for TlsTerminator {
+    const KIND: RoleKind = RoleKind::Service;
+    const NAME: &'static str = "ech-tls-server";
+    const CAP: KnowledgeCap = KnowledgeCap::coupled_by_design();
+}
+
+/// Entity-name rows (matched by prefix) → declared caps for the VPN
+/// wiring, reconciled against runtime knowledge ledgers by the
+/// cap-reconciliation proptest.
+pub fn vpn_declared_caps() -> Vec<(&'static str, KnowledgeCap)> {
+    vec![
+        ("Client", Subscriber::CAP),
+        ("VPN Server", TunnelServer::CAP),
+        ("Origin", Origin::CAP),
+    ]
+}
+
+/// Entity-name rows → declared caps for the ECH wiring.
+pub fn ech_declared_caps() -> Vec<(&'static str, KnowledgeCap)> {
+    vec![("Client", Browser::CAP), ("TLS Server", TlsTerminator::CAP)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_negative_examples_declare_their_coupling() {
+        assert!(TunnelServer::CAP.is_coupled());
+        assert!(TlsTerminator::CAP.is_coupled());
+        assert_eq!(Origin::CAP, KnowledgeCap::SERVICE);
+        assert_eq!(TunnelServer::KIND, RoleKind::Relay);
+    }
+}

@@ -1,0 +1,67 @@
+//! Compile-fail harness for the knowledge-cap witness.
+//!
+//! `trybuild`-style tooling is unavailable offline, so this is the
+//! vendored equivalent: two tiny out-of-workspace crates under
+//! `tests/compile_fail/` are built with the real toolchain, and the
+//! assertions are on the *build outcome* —
+//!
+//! * `decoupled_control` (a sealed query to a relay) must build, proving
+//!   the harness toolchain and path-dependencies work;
+//! * `coupled_strawman` (the same wiring, one `Sealed` wrapper removed)
+//!   must FAIL with the `Admits` witness's "knowledge-cap violation"
+//!   message at the send site.
+//!
+//! The witness is a post-monomorphization `const` evaluation, so the
+//! failure only appears on `cargo build` (codegen), never on
+//! `cargo check` — which is exactly what these tests pin down.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Repo root, derived from this test's manifest (`crates/dcp`).
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+/// Build one of the `tests/compile_fail/` crates offline, reusing a
+/// shared target dir so repeated runs pay for the dependency graph once.
+fn build(crate_dir: &str) -> std::process::Output {
+    let root = repo_root();
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    Command::new(cargo)
+        .arg("build")
+        .arg("--offline")
+        .current_dir(root.join("tests/compile_fail").join(crate_dir))
+        .env("CARGO_TARGET_DIR", root.join("target/compile_fail"))
+        .output()
+        .expect("cargo spawns")
+}
+
+#[test]
+fn decoupled_control_builds() {
+    let out = build("decoupled_control");
+    assert!(
+        out.status.success(),
+        "the decoupled control wiring must compile; stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn coupled_strawman_fails_with_knowledge_cap_violation() {
+    let out = build("coupled_strawman");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "the coupled strawman must NOT compile — a (▲, ●) message reached a \
+         (△, ●) service endpoint without tripping the witness"
+    );
+    assert!(
+        stderr.contains("knowledge-cap violation"),
+        "the build must fail *because of the cap witness*, not for some \
+         other reason; stderr:\n{stderr}"
+    );
+}

@@ -1,0 +1,58 @@
+//! The coupling the decoupling principle forbids, as a build: a client
+//! routes its readable query — with its address on the envelope, a
+//! `(▲, ●)` message — straight to an origin wired as a default `(△, ●)`
+//! service. The typed send path forces the [`Admits`] witness for
+//! `(CoupledQuery, AuthOrigin)`, so this crate must FAIL to compile
+//! with a "knowledge-cap violation" error. The `compile_fail` runner
+//! test asserts exactly that; the sibling `decoupled_control` crate is
+//! the same wiring with the query sealed, and must build.
+
+use dcp_core::{EntityId, Label, RunOptions};
+use dcp_odns::types::{AuthOrigin, CoupledQuery, StubClient};
+use dcp_runtime::{Control, Ctx, Endpoint, Harness, LinkParams, Message, Node, NodeId, TypedSend};
+
+struct Origin {
+    entity: EntityId,
+}
+
+impl Node for Origin {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Message) {}
+}
+
+struct Client {
+    entity: EntityId,
+    origin: Endpoint<CoupledQuery, Control, AuthOrigin>,
+}
+
+impl Node for Client {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        // (▲, ●) to a (△, ●) service: the witness below this call rejects
+        // the pair at compile time.
+        ctx.send_to(self.origin, Message::new(b"who+what".to_vec(), Label::Public));
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Message) {}
+}
+
+fn main() {
+    let opts = RunOptions::default();
+    let (mut world, harness) = Harness::begin("coupled-strawman", 7, &opts);
+    let org = world.add_org("strawman");
+    let origin_e = world.add_entity("Origin", org, None);
+    let client_e = world.add_entity("Client", org, None);
+    let mut net = harness.network(world, LinkParams::wan_ms(8));
+    Harness::add_role::<AuthOrigin>(&mut net, Box::new(Origin { entity: origin_e }));
+    Harness::add_role::<StubClient>(
+        &mut net,
+        Box::new(Client {
+            entity: client_e,
+            origin: Endpoint::new(0),
+        }),
+    );
+    harness.finish(net);
+}

@@ -1,0 +1,53 @@
+//! The positive control for `coupled_strawman`: the identical wiring
+//! with the query sealed past the first hop — `(▲, ⊙)` to a relay whose
+//! cap admits it — which must BUILD. Together the pair pins the
+//! witness: same send path, same roles crate, one wrapper apart.
+
+use dcp_core::{EntityId, Label, RunOptions};
+use dcp_odns::types::{ObliviousProxy, SealedQuery, StubClient};
+use dcp_runtime::{Control, Ctx, Endpoint, Harness, LinkParams, Message, Node, NodeId, TypedSend};
+
+struct Proxy {
+    entity: EntityId,
+}
+
+impl Node for Proxy {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Message) {}
+}
+
+struct Client {
+    entity: EntityId,
+    proxy: Endpoint<SealedQuery, Control, ObliviousProxy>,
+}
+
+impl Node for Client {
+    fn entity(&self) -> EntityId {
+        self.entity
+    }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        // (▲, ⊙) to a (▲, ⊙) relay: admitted, so this crate compiles.
+        ctx.send_to(self.proxy, Message::new(b"who+sealed".to_vec(), Label::Public));
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx, _from: NodeId, _msg: Message) {}
+}
+
+fn main() {
+    let opts = RunOptions::default();
+    let (mut world, harness) = Harness::begin("decoupled-control", 7, &opts);
+    let org = world.add_org("control");
+    let proxy_e = world.add_entity("Proxy", org, None);
+    let client_e = world.add_entity("Client", org, None);
+    let mut net = harness.network(world, LinkParams::wan_ms(8));
+    Harness::add_role::<ObliviousProxy>(&mut net, Box::new(Proxy { entity: proxy_e }));
+    Harness::add_role::<StubClient>(
+        &mut net,
+        Box::new(Client {
+            entity: client_e,
+            proxy: Endpoint::new(0),
+        }),
+    );
+    harness.finish(net);
+}
